@@ -1,0 +1,21 @@
+//! # haccs-baselines
+//!
+//! The comparison client-selection strategies from the paper's evaluation
+//! (§V-A), implemented against the [`haccs_fedsim::Selector`] interface:
+//!
+//! * [`RandomSelector`] — uniform random `k` of the available clients,
+//! * [`TiflSelector`] — TiFL (Chai et al., HPDC'20): clients grouped into
+//!   latency tiers; each epoch a tier is chosen "based on the average loss
+//!   in each tier and how often tiers have been sampled in past epochs",
+//!   then clients are drawn randomly within the tier,
+//! * [`OortSelector`] — Oort (Lai et al., OSDI'21): per-client utility =
+//!   statistical utility × latency penalty, ε-greedy exploration, and
+//!   top-k exploitation.
+
+pub mod oort;
+pub mod random;
+pub mod tifl;
+
+pub use oort::OortSelector;
+pub use random::RandomSelector;
+pub use tifl::TiflSelector;

@@ -1,0 +1,214 @@
+//! Oort (Lai et al., OSDI'21): guided participant selection.
+//!
+//! Each client carries a utility combining *statistical* value (how much
+//! its data still hurts the model) and *system* value (how fast it is):
+//!
+//! ```text
+//! util(i) = n_i · loss_i × (T / t_i)^α   if t_i > T, else n_i · loss_i
+//! ```
+//!
+//! where `T` is the preferred round duration (a latency quantile of the
+//! population) and `α` the system-penalty exponent. Selection is ε-greedy:
+//! an exploration share of the budget goes to never-tried clients, the rest
+//! to the highest-utility explored clients ("we recompute the utility of
+//! each client available for training and select k clients with the
+//! highest utility", §V-A).
+
+use haccs_fedsim::{SelectionContext, Selector};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// The Oort selector.
+#[derive(Debug, Clone)]
+pub struct OortSelector {
+    /// System-penalty exponent α.
+    pub alpha: f64,
+    /// Quantile of the latency distribution used as preferred duration `T`.
+    pub duration_quantile: f64,
+    /// Current exploration fraction ε.
+    epsilon: f64,
+    /// Multiplicative ε decay per epoch.
+    epsilon_decay: f64,
+    /// Lower bound on ε.
+    epsilon_min: f64,
+    explored: std::collections::HashSet<usize>,
+}
+
+impl Default for OortSelector {
+    fn default() -> Self {
+        // Oort's published defaults: ε 0.9 → 0.2 with 0.98 decay, α = 2
+        OortSelector {
+            alpha: 2.0,
+            duration_quantile: 0.5,
+            epsilon: 0.9,
+            epsilon_decay: 0.98,
+            epsilon_min: 0.2,
+            explored: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl OortSelector {
+    /// Oort with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current exploration fraction (exposed for tests/telemetry).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The utility of one client given preferred duration `t_pref`.
+    fn utility(&self, loss: f32, n_train: usize, latency: f64, t_pref: f64) -> f64 {
+        let stat = n_train as f64 * loss as f64;
+        if latency > t_pref && latency > 0.0 {
+            stat * (t_pref / latency).powf(self.alpha)
+        } else {
+            stat
+        }
+    }
+}
+
+impl Selector for OortSelector {
+    fn name(&self) -> String {
+        "oort".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> Vec<usize> {
+        if ctx.available.is_empty() {
+            return Vec::new();
+        }
+        // preferred duration: latency quantile over available clients
+        let mut lats: Vec<f64> = ctx.available.iter().map(|c| c.est_latency).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qi = ((lats.len() as f64 - 1.0) * self.duration_quantile).round() as usize;
+        let t_pref = lats[qi];
+
+        let n_explore = ((ctx.k as f64) * self.epsilon).round() as usize;
+        let mut unexplored: Vec<usize> = ctx
+            .available
+            .iter()
+            .filter(|c| !self.explored.contains(&c.id))
+            .map(|c| c.id)
+            .collect();
+        unexplored.shuffle(rng);
+        let explore: Vec<usize> = unexplored.into_iter().take(n_explore).collect();
+
+        // exploit: highest-utility among the rest
+        let mut scored: Vec<(usize, f64)> = ctx
+            .available
+            .iter()
+            .filter(|c| !explore.contains(&c.id))
+            .map(|c| (c.id, self.utility(c.last_loss, c.n_train, c.est_latency, t_pref)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let mut selection = explore;
+        for (id, _) in scored {
+            if selection.len() >= ctx.k {
+                break;
+            }
+            selection.push(id);
+        }
+        self.epsilon = (self.epsilon * self.epsilon_decay).max(self.epsilon_min);
+        selection
+    }
+
+    fn observe_round(&mut self, _epoch: usize, participants: &[usize], _losses: &[f32]) {
+        self.explored.extend(participants.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_fedsim::ClientInfo;
+    use rand::SeedableRng;
+
+    fn info(id: usize, lat: f64, loss: f32, n: usize) -> ClientInfo {
+        ClientInfo { id, est_latency: lat, last_loss: loss, n_train: n, participation_count: 0 }
+    }
+
+    #[test]
+    fn utility_prefers_high_loss() {
+        let o = OortSelector::new();
+        let hi = o.utility(5.0, 100, 1.0, 2.0);
+        let lo = o.utility(1.0, 100, 1.0, 2.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn utility_penalizes_slow_clients() {
+        let o = OortSelector::new();
+        let fast = o.utility(1.0, 100, 1.0, 2.0); // under T: no penalty
+        let slow = o.utility(1.0, 100, 8.0, 2.0); // 4× over T: (1/4)² penalty
+        assert_eq!(fast, 100.0);
+        assert!((slow - 100.0 * (2.0f64 / 8.0).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exploitation_picks_top_utility() {
+        // zero out exploration to test exploitation deterministically
+        let mut o = OortSelector { epsilon: 0.0, epsilon_min: 0.0, ..Default::default() };
+        let avail = vec![
+            info(0, 1.0, 0.1, 100),
+            info(1, 1.0, 5.0, 100), // highest utility
+            info(2, 1.0, 2.0, 100),
+            info(3, 1.0, 4.0, 100),
+        ];
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = o.select(&ctx, &mut rng);
+        assert_eq!(sel, vec![1, 3]);
+    }
+
+    #[test]
+    fn epsilon_decays_to_floor() {
+        let mut o = OortSelector::new();
+        let avail = vec![info(0, 1.0, 1.0, 10)];
+        let mut rng = StdRng::seed_from_u64(1);
+        for epoch in 0..500 {
+            let ctx = SelectionContext { epoch, available: &avail, k: 1 };
+            o.select(&ctx, &mut rng);
+        }
+        assert!((o.epsilon() - 0.2).abs() < 1e-9, "ε should floor at 0.2: {}", o.epsilon());
+    }
+
+    #[test]
+    fn explores_unseen_clients_early() {
+        let mut o = OortSelector::new();
+        let avail: Vec<ClientInfo> = (0..10).map(|i| info(i, 1.0, 1.0, 10)).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..20 {
+            let ctx = SelectionContext { epoch, available: &avail, k: 3 };
+            let sel = o.select(&ctx, &mut rng);
+            o.observe_round(epoch, &sel, &[1.0; 3]);
+            seen.extend(sel);
+        }
+        assert_eq!(seen.len(), 10, "exploration should reach everyone early");
+    }
+
+    #[test]
+    fn selects_k_clients() {
+        let mut o = OortSelector::new();
+        let avail: Vec<ClientInfo> = (0..20).map(|i| info(i, (i as f64) + 1.0, 1.0, 10)).collect();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 7 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = o.select(&ctx, &mut rng);
+        assert_eq!(sel.len(), 7);
+        let mut u = sel.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 7, "no duplicates");
+    }
+
+    #[test]
+    fn empty_pool() {
+        let mut o = OortSelector::new();
+        let ctx = SelectionContext { epoch: 0, available: &[], k: 3 };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(o.select(&ctx, &mut rng).is_empty());
+    }
+}

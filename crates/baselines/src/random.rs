@@ -1,0 +1,83 @@
+//! Uniform random selection — the paper's `Random` baseline.
+
+use haccs_fedsim::{SelectionContext, Selector};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Selects `k` clients uniformly at random (without replacement) from the
+/// available pool each epoch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomSelector;
+
+impl RandomSelector {
+    /// A random selector.
+    pub fn new() -> Self {
+        RandomSelector
+    }
+}
+
+impl Selector for RandomSelector {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> Vec<usize> {
+        let mut ids: Vec<usize> = ctx.available.iter().map(|c| c.id).collect();
+        ids.shuffle(rng);
+        ids.truncate(ctx.k);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_fedsim::ClientInfo;
+    use rand::SeedableRng;
+
+    fn infos(n: usize) -> Vec<ClientInfo> {
+        (0..n)
+            .map(|id| ClientInfo {
+                id,
+                est_latency: 1.0,
+                last_loss: 1.0,
+                n_train: 10,
+                participation_count: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selects_k_distinct() {
+        let avail = infos(20);
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 5 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = RandomSelector.select(&ctx, &mut rng);
+        assert_eq!(sel.len(), 5);
+        let mut uniq = sel.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5);
+    }
+
+    #[test]
+    fn covers_all_clients_over_time() {
+        let avail = infos(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        let mut sel = RandomSelector;
+        for epoch in 0..50 {
+            let ctx = SelectionContext { epoch, available: &avail, k: 3 };
+            seen.extend(sel.select(&ctx, &mut rng));
+        }
+        assert_eq!(seen.len(), 10, "random selection should eventually touch everyone");
+    }
+
+    #[test]
+    fn fewer_available_than_k() {
+        let avail = infos(2);
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 5 };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(RandomSelector.select(&ctx, &mut rng).len(), 2);
+    }
+}

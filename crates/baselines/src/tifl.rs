@@ -1,0 +1,233 @@
+//! TiFL (Chai et al., HPDC'20): tier-based federated client selection.
+//!
+//! Clients are profiled once and grouped into latency **tiers**. Each
+//! epoch, one tier is sampled with probability proportional to its average
+//! observed loss (slower-learning tiers get more attention) and discounted
+//! by how often it has already been selected; `k` clients are then drawn
+//! uniformly from within the tier, topping up from the next-fastest tiers
+//! if the tier is too small.
+
+use haccs_fedsim::{SelectionContext, Selector};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The TiFL selector.
+#[derive(Debug, Clone)]
+pub struct TiflSelector {
+    n_tiers: usize,
+    /// tier id per client id, assigned on first sight from latency.
+    tier_of: HashMap<usize, usize>,
+    /// times each tier has been selected.
+    times_selected: Vec<usize>,
+    tiers_built: bool,
+}
+
+impl TiflSelector {
+    /// TiFL with `n_tiers` latency tiers (the paper's testbed uses the four
+    /// Table II categories; 4 is the natural default).
+    pub fn new(n_tiers: usize) -> Self {
+        assert!(n_tiers >= 1);
+        TiflSelector {
+            n_tiers,
+            tier_of: HashMap::new(),
+            times_selected: vec![0; n_tiers],
+            tiers_built: false,
+        }
+    }
+
+    /// Tier assignment of a client, if profiled.
+    pub fn tier_of(&self, client: usize) -> Option<usize> {
+        self.tier_of.get(&client).copied()
+    }
+
+    /// Profiles clients by latency: equal-size quantile tiers, tier 0 =
+    /// fastest.
+    fn build_tiers(&mut self, ctx: &SelectionContext<'_>) {
+        let mut by_lat: Vec<(usize, f64)> =
+            ctx.available.iter().map(|c| (c.id, c.est_latency)).collect();
+        by_lat.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let n = by_lat.len();
+        for (rank, (id, _)) in by_lat.into_iter().enumerate() {
+            let tier = (rank * self.n_tiers / n.max(1)).min(self.n_tiers - 1);
+            self.tier_of.insert(id, tier);
+        }
+        self.tiers_built = true;
+    }
+}
+
+impl Selector for TiflSelector {
+    fn name(&self) -> String {
+        "tifl".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> Vec<usize> {
+        if !self.tiers_built {
+            self.build_tiers(ctx);
+        }
+        // late joiners (never profiled): assign to the slowest tier
+        for c in ctx.available {
+            self.tier_of.entry(c.id).or_insert(self.n_tiers - 1);
+        }
+
+        // average loss per tier over available clients
+        let mut loss_sum = vec![0.0f64; self.n_tiers];
+        let mut count = vec![0usize; self.n_tiers];
+        for c in ctx.available {
+            let t = self.tier_of[&c.id];
+            loss_sum[t] += c.last_loss as f64;
+            count[t] += 1;
+        }
+        // selection weight: avg loss, discounted by prior selections
+        let weights: Vec<f64> = (0..self.n_tiers)
+            .map(|t| {
+                if count[t] == 0 {
+                    0.0
+                } else {
+                    let avg = loss_sum[t] / count[t] as f64;
+                    avg / (1.0 + self.times_selected[t] as f64).sqrt()
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut u = rng.gen_range(0.0..total);
+        let mut tier = self.n_tiers - 1;
+        for (t, &w) in weights.iter().enumerate() {
+            if u < w {
+                tier = t;
+                break;
+            }
+            u -= w;
+        }
+        self.times_selected[tier] += 1;
+
+        // draw k clients from the tier; top up from other tiers, fastest
+        // first, if the tier is short
+        let mut in_tier: Vec<usize> = ctx
+            .available
+            .iter()
+            .filter(|c| self.tier_of[&c.id] == tier)
+            .map(|c| c.id)
+            .collect();
+        in_tier.shuffle(rng);
+        let mut selection: Vec<usize> = in_tier.into_iter().take(ctx.k).collect();
+        if selection.len() < ctx.k {
+            let mut rest: Vec<(usize, f64)> = ctx
+                .available
+                .iter()
+                .filter(|c| self.tier_of[&c.id] != tier)
+                .map(|c| (c.id, c.est_latency))
+                .collect();
+            rest.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            for (id, _) in rest {
+                if selection.len() >= ctx.k {
+                    break;
+                }
+                selection.push(id);
+            }
+        }
+        selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_fedsim::ClientInfo;
+    use rand::SeedableRng;
+
+    fn info(id: usize, lat: f64, loss: f32) -> ClientInfo {
+        ClientInfo { id, est_latency: lat, last_loss: loss, n_train: 10, participation_count: 0 }
+    }
+
+    fn pool() -> Vec<ClientInfo> {
+        // 8 clients, latency 1..8
+        (0..8).map(|i| info(i, (i + 1) as f64, 1.0)).collect()
+    }
+
+    #[test]
+    fn tiers_split_by_latency() {
+        let avail = pool();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        t.select(&ctx, &mut rng);
+        // 8 clients into 4 tiers of 2, ordered by latency
+        assert_eq!(t.tier_of(0), Some(0));
+        assert_eq!(t.tier_of(1), Some(0));
+        assert_eq!(t.tier_of(6), Some(3));
+        assert_eq!(t.tier_of(7), Some(3));
+    }
+
+    #[test]
+    fn selection_comes_from_one_tier_when_full() {
+        let avail = pool();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = t.select(&ctx, &mut rng);
+        assert_eq!(sel.len(), 2);
+        let tier0 = t.tier_of(sel[0]).unwrap();
+        let tier1 = t.tier_of(sel[1]).unwrap();
+        assert_eq!(tier0, tier1, "both picks should come from the sampled tier");
+    }
+
+    #[test]
+    fn high_loss_tier_gets_selected_more() {
+        // tier of clients 6,7 (slowest) has 10× the loss; over many rounds
+        // it should be sampled most often
+        let avail: Vec<ClientInfo> = (0..8)
+            .map(|i| info(i, (i + 1) as f64, if i >= 6 { 10.0 } else { 1.0 }))
+            .collect();
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tier3_hits = 0;
+        for epoch in 0..200 {
+            let ctx = SelectionContext { epoch, available: &avail, k: 2 };
+            let sel = t.select(&ctx, &mut rng);
+            if sel.iter().all(|&id| t.tier_of(id) == Some(3)) {
+                tier3_hits += 1;
+            }
+        }
+        assert!(tier3_hits > 60, "high-loss tier selected only {tier3_hits}/200 times");
+    }
+
+    #[test]
+    fn repeated_selection_is_discounted() {
+        // equal losses: discounting should spread selections across tiers
+        let avail = pool();
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0usize; 4];
+        for epoch in 0..400 {
+            let ctx = SelectionContext { epoch, available: &avail, k: 2 };
+            let sel = t.select(&ctx, &mut rng);
+            hits[t.tier_of(sel[0]).unwrap()] += 1;
+        }
+        for (tier, &h) in hits.iter().enumerate() {
+            assert!(h > 40, "tier {tier} starved: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn tops_up_from_other_tiers() {
+        let avail = pool();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 5 };
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = t.select(&ctx, &mut rng);
+        assert_eq!(sel.len(), 5, "tier of 2 must be topped up to k=5");
+    }
+
+    #[test]
+    fn empty_pool_selects_nothing() {
+        let ctx = SelectionContext { epoch: 0, available: &[], k: 3 };
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(t.select(&ctx, &mut rng).is_empty());
+    }
+}

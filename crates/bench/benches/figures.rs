@@ -1,0 +1,185 @@
+//! One benchmark per paper table/figure: each measures a scaled-down slice
+//! of the pipeline that regenerates the artifact, so a performance
+//! regression in any experiment path is caught. The *results* themselves
+//! are produced by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use haccs_core::selector::WithinClusterPolicy;
+use haccs_data::{partition, DatasetKind};
+use haccs_experiments::common::{build_haccs, Env, Scale, StrategyKind};
+use haccs_experiments::{fig3, fig8};
+use haccs_summary::Summarizer;
+use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A small shared environment: 16 clients, 4 classes, majority/noise skew.
+fn tiny_env(kind: DatasetKind, seed: u64) -> Env {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = partition::majority_noise(
+        16,
+        4,
+        &partition::MAJORITY_NOISE_75,
+        (40, 60),
+        8,
+        &mut rng,
+    );
+    Env::new(kind, 4, &specs, Scale::Fast, seed)
+}
+
+/// One training round of `strategy` on a fresh sim.
+fn one_round(env: &Env, strategy: StrategyKind, availability: Availability) {
+    let mut selector = strategy.build(env, 0.5, None);
+    let mut sim = env.build_sim(4, availability);
+    black_box(sim.run_round(selector.as_mut()));
+}
+
+fn fig1_dropout(c: &mut Criterion) {
+    // Fig. 1 slice: a round of random selection under permanent group drop
+    let specs = partition::table_i_groups(2, 10, 40, 8);
+    let env = Env::new(DatasetKind::MnistLike, 10, &specs, Scale::Fast, 1);
+    c.bench_function("fig1_dropout_round", |b| {
+        b.iter(|| one_round(&env, StrategyKind::Random, Availability::permanent(0..16)))
+    });
+}
+
+fn fig3_dp_hist(c: &mut Criterion) {
+    c.bench_function("fig3_dp_hist", |b| b.iter(|| black_box(fig3::run(7))));
+}
+
+fn fig5_tta(c: &mut Criterion) {
+    let env = tiny_env(DatasetKind::CifarLike, 5);
+    let mut group = c.benchmark_group("fig5_tta_round");
+    for s in StrategyKind::ALL {
+        group.bench_function(s.name(), |b| {
+            b.iter(|| one_round(&env, s, Availability::AlwaysOn))
+        });
+    }
+    group.finish();
+}
+
+fn fig6_dropout(c: &mut Criterion) {
+    let env = tiny_env(DatasetKind::FemnistLike, 6);
+    c.bench_function("fig6_dropout_round", |b| {
+        b.iter(|| {
+            one_round(
+                &env,
+                StrategyKind::HaccsPxy,
+                Availability::epoch_dropout(0.10, 16, 9),
+            )
+        })
+    });
+}
+
+fn fig7_skew(c: &mut Criterion) {
+    // skew slice: 5-random-labels layout, one HACCS round
+    let mut rng = StdRng::seed_from_u64(7);
+    let specs = partition::k_random_labels(16, 10, 5, (40, 60), 8, &mut rng);
+    let env = Env::new(DatasetKind::CifarLike, 10, &specs, Scale::Fast, 7);
+    c.bench_function("fig7_skew_round", |b| {
+        b.iter(|| one_round(&env, StrategyKind::HaccsPy, Availability::AlwaysOn))
+    });
+}
+
+fn fig8a_dp_clustering(c: &mut Criterion) {
+    c.bench_function("fig8a_dp_clustering_cell", |b| {
+        b.iter(|| black_box(fig8::clustering_accuracy_once(100, 0.05, Scale::Fast, 11)))
+    });
+}
+
+fn fig8b_dp_tta(c: &mut Criterion) {
+    let env = tiny_env(DatasetKind::CifarLike, 8);
+    c.bench_function("fig8b_dp_clustered_selector_build", |b| {
+        b.iter(|| {
+            black_box(build_haccs(
+                &env,
+                Summarizer::label_dist(),
+                Some(0.1),
+                0.5,
+                "P(y)",
+            ))
+        })
+    });
+}
+
+fn fig9_rho(c: &mut Criterion) {
+    let env = tiny_env(DatasetKind::CifarLike, 9);
+    c.bench_function("fig9_rho_low_round", |b| {
+        b.iter_batched(
+            || {
+                (
+                    build_haccs(&env, Summarizer::label_dist(), None, 0.01, "P(y)"),
+                    env.build_sim(4, Availability::AlwaysOn),
+                )
+            },
+            |(mut sel, mut sim)| black_box(sim.run_round(&mut sel)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig10_feature_skew(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut specs = partition::majority_noise(
+        16,
+        4,
+        &partition::MAJORITY_NOISE_75,
+        (40, 60),
+        8,
+        &mut rng,
+    );
+    partition::assign_rotations(&mut specs, 45.0, &mut rng);
+    let env = Env::new(DatasetKind::MnistLike, 4, &specs, Scale::Fast, 10);
+    c.bench_function("fig10_feature_skew_round", |b| {
+        b.iter(|| one_round(&env, StrategyKind::HaccsPxy, Availability::AlwaysOn))
+    });
+}
+
+fn tab2_latency_model(c: &mut Criterion) {
+    let lat = LatencyModel::default();
+    c.bench_function("tab2_profile_sample_and_latency", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| {
+            let p = DeviceProfile::sample(&mut rng);
+            black_box(lat.round_seconds(&p, 150))
+        })
+    });
+}
+
+fn tab3_inclusion(c: &mut Criterion) {
+    let env = tiny_env(DatasetKind::MnistLike, 13);
+    c.bench_function("tab3_inclusion_telemetry", |b| {
+        b.iter_batched(
+            || {
+                (
+                    build_haccs(&env, Summarizer::label_dist(), None, 0.01, "P(y)")
+                        .with_policy(WithinClusterPolicy::MinLatency),
+                    env.build_sim(4, Availability::AlwaysOn),
+                )
+            },
+            |(mut sel, mut sim)| {
+                sim.run_round(&mut sel);
+                black_box(sel.telemetry().table_iii_histogram())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig11_bias(c: &mut Criterion) {
+    let env = tiny_env(DatasetKind::MnistLike, 14);
+    let sim = env.build_sim(4, Availability::AlwaysOn);
+    c.bench_function("fig11_per_client_eval", |b| {
+        b.iter(|| black_box(sim.evaluate_per_client()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_dropout, fig3_dp_hist, fig5_tta, fig6_dropout, fig7_skew,
+              fig8a_dp_clustering, fig8b_dp_tta, fig9_rho, fig10_feature_skew,
+              tab2_latency_model, tab3_inclusion, fig11_bias
+}
+criterion_main!(figures);

@@ -1,0 +1,194 @@
+//! `haccs-sim`: run a custom federated simulation from the command line.
+//!
+//! ```text
+//! haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]
+//!           [--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]
+//!           [--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]
+//!           [--full] [--seed N] [--target F]
+//! ```
+//!
+//! Prints the clustering summary, the accuracy-over-time curve and the TTA
+//! readout. The downstream-user entry point: everything the experiment
+//! harness can do, but with your own parameters.
+
+use haccs_experiments::common::{
+    accuracy_series, build_haccs, Env, Scale, StrategyKind,
+};
+use haccs_data::{partition, DatasetKind};
+use haccs_summary::Summarizer;
+use haccs_sysmodel::Availability;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    clients: usize,
+    select: usize,
+    rounds: usize,
+    classes: usize,
+    dataset: DatasetKind,
+    strategy: String,
+    rho: f32,
+    epsilon: Option<f64>,
+    dropout: f64,
+    skew: String,
+    scale: Scale,
+    seed: u64,
+    target: f32,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            clients: 50,
+            select: 10,
+            rounds: 60,
+            classes: 10,
+            dataset: DatasetKind::CifarLike,
+            strategy: "py".into(),
+            rho: 0.5,
+            epsilon: None,
+            dropout: 0.0,
+            skew: "majority".into(),
+            scale: Scale::Fast,
+            seed: 42,
+            target: 0.5,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => a.clients = val("--clients").parse().expect("integer"),
+            "--select" => a.select = val("--select").parse().expect("integer"),
+            "--rounds" => a.rounds = val("--rounds").parse().expect("integer"),
+            "--classes" => a.classes = val("--classes").parse().expect("integer"),
+            "--dataset" => {
+                a.dataset = match val("--dataset").as_str() {
+                    "mnist" => DatasetKind::MnistLike,
+                    "femnist" => DatasetKind::FemnistLike,
+                    "cifar" => DatasetKind::CifarLike,
+                    other => panic!("unknown dataset {other} (mnist|femnist|cifar)"),
+                }
+            }
+            "--strategy" => a.strategy = val("--strategy"),
+            "--rho" => a.rho = val("--rho").parse().expect("float"),
+            "--epsilon" => a.epsilon = Some(val("--epsilon").parse().expect("float")),
+            "--dropout" => a.dropout = val("--dropout").parse().expect("float"),
+            "--skew" => a.skew = val("--skew"),
+            "--full" => a.scale = Scale::Full,
+            "--seed" => a.seed = val("--seed").parse().expect("integer"),
+            "--target" => a.target = val("--target").parse().expect("float"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]\n\
+                     \t[--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]\n\
+                     \t[--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]\n\
+                     \t[--full] [--seed N] [--target F]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    a
+}
+
+fn main() {
+    let a = parse_args();
+    let mut rng = StdRng::seed_from_u64(a.seed);
+    let specs = match a.skew.as_str() {
+        "majority" => partition::majority_noise(
+            a.clients,
+            a.classes,
+            &partition::MAJORITY_NOISE_75,
+            a.scale.samples_range(),
+            a.scale.test_n(),
+            &mut rng,
+        ),
+        "klabels" => partition::k_random_labels(
+            a.clients,
+            a.classes,
+            (a.classes / 2).max(1),
+            a.scale.samples_range(),
+            a.scale.test_n(),
+            &mut rng,
+        ),
+        "iid" => partition::iid(
+            a.clients,
+            a.classes,
+            a.scale.samples_range().0,
+            a.scale.test_n(),
+        ),
+        other => panic!("unknown skew {other} (majority|klabels|iid)"),
+    };
+    let env = Env::new(a.dataset, a.classes, &specs, a.scale, a.seed);
+    println!(
+        "federation: {} clients, {:?}, {} classes, skew={}, {} samples total",
+        a.clients,
+        a.dataset,
+        a.classes,
+        a.skew,
+        env.fed.total_train()
+    );
+
+    let availability = if a.dropout > 0.0 {
+        Availability::epoch_dropout(a.dropout, a.clients, a.seed)
+    } else {
+        Availability::AlwaysOn
+    };
+
+    let mut selector: Box<dyn haccs_fedsim::Selector> = match a.strategy.as_str() {
+        "random" => StrategyKind::Random.build(&env, a.rho, a.epsilon),
+        "tifl" => StrategyKind::Tifl.build(&env, a.rho, a.epsilon),
+        "oort" => StrategyKind::Oort.build(&env, a.rho, a.epsilon),
+        "py" => {
+            let h = build_haccs(&env, Summarizer::label_dist(), a.epsilon, a.rho, "P(y)");
+            println!(
+                "P(y) clustering: {} schedulable groups, sizes {:?}",
+                h.groups().len(),
+                h.groups().iter().map(|g| g.len()).collect::<Vec<_>>()
+            );
+            Box::new(h)
+        }
+        "pxy" => {
+            let h = build_haccs(&env, Summarizer::cond_dist(16), a.epsilon, a.rho, "P(X|y)");
+            println!(
+                "P(X|y) clustering: {} schedulable groups",
+                h.groups().len()
+            );
+            Box::new(h)
+        }
+        other => panic!("unknown strategy {other} (random|tifl|oort|py|pxy)"),
+    };
+
+    let mut sim = env.build_sim(a.select, availability);
+    let t0 = std::time::Instant::now();
+    let run = sim.run(selector.as_mut(), a.rounds);
+    let series = accuracy_series(&run);
+    println!(
+        "\n{} rounds in {:.1}s wall, {:.1}s simulated",
+        a.rounds,
+        t0.elapsed().as_secs_f64(),
+        run.total_time()
+    );
+    // terminal curve: one row per 10% of the run
+    for i in (0..series.points.len()).step_by((series.points.len() / 10).max(1)) {
+        let (t, acc) = series.points[i];
+        let bar = "#".repeat((acc * 50.0) as usize);
+        println!("t={t:>7.1}s acc={acc:.3} |{bar}");
+    }
+    match haccs_experiments::common::smoothed_tta(&run, a.target) {
+        Some(t) => println!("\nTTA@{:.0}%: {t:.1} simulated seconds", a.target * 100.0),
+        None => println!(
+            "\ntarget {:.0}% not reached (best {:.3})",
+            a.target * 100.0,
+            run.best_accuracy()
+        ),
+    }
+}

@@ -1,0 +1,63 @@
+//! `repro`: regenerates every table and figure of the HACCS evaluation.
+//!
+//! ```text
+//! repro [--full] [--seed N] [--out DIR] [ids...]
+//! ```
+//!
+//! * no ids → all experiments, in paper order
+//! * `--full` → paper-scale runs (LeNet, long horizons); default is the
+//!   fast preset (MLP on 8×8 synthetic images, minutes total in release)
+//! * `--out DIR` → also write one JSON per experiment (default `results/`)
+
+use haccs_bench::run_suite;
+use haccs_experiments::{Scale, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = Scale::Fast;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().expect("--out needs a directory")));
+            }
+            "--no-save" => out = None,
+            "--help" | "-h" => {
+                println!("usage: repro [--full] [--seed N] [--out DIR | --no-save] [ids...]");
+                println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let reports = run_suite(&ids, scale, seed);
+    for report in &reports {
+        println!("{}", report.render());
+        if let Some(dir) = &out {
+            match report.save(dir) {
+                Ok(path) => println!("saved {}\n", path.display()),
+                Err(e) => eprintln!("failed to save {}: {e}", report.id),
+            }
+        }
+    }
+    println!(
+        "ran {} experiment(s) at {:?} scale in {:.1}s (seed {seed})",
+        reports.len(),
+        scale,
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,46 @@
+//! # haccs-bench
+//!
+//! Benchmark harness for the HACCS reproduction:
+//!
+//! * the **`repro`** binary regenerates every table and figure of the
+//!   paper's evaluation (`cargo run -p haccs-bench --release --bin repro`),
+//! * **`benches/microbench.rs`** measures the substrate kernels (matmul,
+//!   conv, Hellinger, OPTICS, local SGD, FedAvg),
+//! * **`benches/figures.rs`** measures a scaled-down round of every
+//!   experiment so regressions in any figure's pipeline are caught.
+
+use haccs_experiments::{run_experiment, ExperimentReport, Scale, ALL_EXPERIMENTS};
+
+/// Runs a set of experiment ids (or all when empty), returning the reports.
+pub fn run_suite(ids: &[String], scale: Scale, seed: u64) -> Vec<ExperimentReport> {
+    let ids: Vec<&str> = if ids.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+    for id in &ids {
+        assert!(
+            ALL_EXPERIMENTS.contains(id),
+            "unknown experiment id {id}; known: {ALL_EXPERIMENTS:?}"
+        );
+    }
+    ids.iter().map(|id| run_experiment(id, scale, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_runs_through_suite() {
+        let reports = run_suite(&["fig3".into()], Scale::Fast, 0);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, "fig3");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_rejected() {
+        run_suite(&["fig99".into()], Scale::Fast, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Agglomerative (hierarchical) clustering — the alternative the related
+//! work uses for federated clustering (Briggs et al., IJCNN'20). Provided
+//! for the `ablation_extraction` comparison; HACCS itself uses OPTICS.
+
+use crate::Clustering;
+
+/// How the distance between two clusters is derived from point distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum over cross pairs (chains like DBSCAN).
+    Single,
+    /// Maximum over cross pairs (compact clusters).
+    Complete,
+    /// Unweighted average over cross pairs (UPGMA).
+    Average,
+}
+
+impl Linkage {
+    fn merge(self, a: f32, b: f32, na: usize, nb: usize) -> f32 {
+        match self {
+            Linkage::Single => a.min(b),
+            Linkage::Complete => a.max(b),
+            Linkage::Average => {
+                (a * na as f32 + b * nb as f32) / (na + nb) as f32
+            }
+        }
+    }
+}
+
+/// Bottom-up merge until `k` clusters remain. `dist` must be a symmetric
+/// matrix with zero diagonal. Never produces noise points.
+pub fn agglomerative(dist: &[Vec<f32>], k: usize, linkage: Linkage) -> Clustering {
+    let n = dist.len();
+    assert!(k >= 1, "need at least one cluster");
+    if n == 0 {
+        return Clustering::new(Vec::new());
+    }
+    let k = k.min(n);
+    crate::dbscan::validate_matrix(dist);
+
+    // active cluster list: member sets + mutable pairwise distances
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut d: Vec<Vec<f32>> = dist.to_vec();
+    let mut active = n;
+    while active > k {
+        // find the closest active pair
+        let mut best = (usize::MAX, usize::MAX, f32::INFINITY);
+        for i in 0..n {
+            if members[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if members[j].is_none() {
+                    continue;
+                }
+                if d[i][j] < best.2 {
+                    best = (i, j, d[i][j]);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        // merge j into i; update linkage distances
+        let nj = members[j].as_ref().map(|m| m.len()).unwrap_or(0);
+        let ni = members[i].as_ref().map(|m| m.len()).unwrap_or(0);
+        for t in 0..n {
+            if t == i || t == j || members[t].is_none() {
+                continue;
+            }
+            let merged = linkage.merge(d[i][t], d[j][t], ni, nj);
+            d[i][t] = merged;
+            d[t][i] = merged;
+        }
+        let moved = members[j].take().expect("j active");
+        members[i].as_mut().expect("i active").extend(moved);
+        active -= 1;
+    }
+
+    // densify labels
+    let mut labels = vec![None; n];
+    let mut next = 0usize;
+    for m in members.iter().flatten() {
+        for &p in m {
+            labels[p] = Some(next);
+        }
+        next += 1;
+    }
+    Clustering::new(labels)
+}
+
+/// Bottom-up merge while the closest pair is within `threshold` (the
+/// cluster count is discovered rather than specified).
+pub fn agglomerative_threshold(
+    dist: &[Vec<f32>],
+    threshold: f32,
+    linkage: Linkage,
+) -> Clustering {
+    let n = dist.len();
+    assert!(threshold >= 0.0);
+    if n == 0 {
+        return Clustering::new(Vec::new());
+    }
+    crate::dbscan::validate_matrix(dist);
+
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut d: Vec<Vec<f32>> = dist.to_vec();
+    loop {
+        let mut best = (usize::MAX, usize::MAX, f32::INFINITY);
+        for i in 0..n {
+            if members[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if members[j].is_none() {
+                    continue;
+                }
+                if d[i][j] < best.2 {
+                    best = (i, j, d[i][j]);
+                }
+            }
+        }
+        if best.2 > threshold || best.0 == usize::MAX {
+            break;
+        }
+        let (i, j, _) = best;
+        let nj = members[j].as_ref().map(|m| m.len()).unwrap_or(0);
+        let ni = members[i].as_ref().map(|m| m.len()).unwrap_or(0);
+        for t in 0..n {
+            if t == i || t == j || members[t].is_none() {
+                continue;
+            }
+            let merged = linkage.merge(d[i][t], d[j][t], ni, nj);
+            d[i][t] = merged;
+            d[t][i] = merged;
+        }
+        let moved = members[j].take().expect("j active");
+        members[i].as_mut().expect("i active").extend(moved);
+    }
+
+    let mut labels = vec![None; n];
+    let mut next = 0usize;
+    for m in members.iter().flatten() {
+        for &p in m {
+            labels[p] = Some(next);
+        }
+        next += 1;
+    }
+    Clustering::new(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
+        xs.iter()
+            .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn k_clusters_on_blobs() {
+        let xs = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = agglomerative(&line_dist(&xs), 2, linkage);
+            assert_eq!(c.n_clusters(), 2, "{linkage:?}");
+            assert_eq!(c.members(c.labels()[0].unwrap()).len(), 3);
+            assert!(c.noise().is_empty(), "agglomerative never leaves noise");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let xs = [0.0, 1.0, 2.0];
+        let c = agglomerative(&line_dist(&xs), 3, Linkage::Average);
+        assert_eq!(c.n_clusters(), 3);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let xs = [0.0, 5.0, 100.0];
+        let c = agglomerative(&line_dist(&xs), 1, Linkage::Complete);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.members(0).len(), 3);
+    }
+
+    #[test]
+    fn threshold_discovers_cluster_count() {
+        let xs = [0.0, 0.1, 5.0, 5.1, 20.0];
+        let c = agglomerative_threshold(&line_dist(&xs), 0.5, Linkage::Average);
+        assert_eq!(c.n_clusters(), 5 - 2, "two merges under threshold 0.5");
+        // raising the threshold merges the blobs too
+        let c2 = agglomerative_threshold(&line_dist(&xs), 6.0, Linkage::Single);
+        assert_eq!(c2.n_clusters(), 2);
+    }
+
+    #[test]
+    fn single_linkage_chains_complete_does_not() {
+        // a chain: single linkage merges it at small k-distance; complete
+        // linkage keeps ends apart longer
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let single = agglomerative_threshold(&line_dist(&xs), 1.0, Linkage::Single);
+        assert_eq!(single.n_clusters(), 1);
+        let complete = agglomerative_threshold(&line_dist(&xs), 1.0, Linkage::Complete);
+        assert!(complete.n_clusters() > 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = agglomerative(&[], 3, Linkage::Average);
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! DBSCAN (Ester et al., KDD'96) over a precomputed distance matrix.
+
+use crate::Clustering;
+use std::collections::VecDeque;
+
+/// Runs DBSCAN.
+///
+/// * `dist` — symmetric `n×n` distance matrix,
+/// * `eps` — neighborhood radius,
+/// * `min_pts` — minimum neighborhood size (including the point itself)
+///   for a point to be a *core* point.
+///
+/// Border points join the first core point's cluster that reaches them;
+/// points reachable from no core point are noise.
+pub fn dbscan(dist: &[Vec<f32>], eps: f32, min_pts: usize) -> Clustering {
+    let n = dist.len();
+    validate_matrix(dist);
+    assert!(eps >= 0.0, "eps must be non-negative");
+    assert!(min_pts >= 1, "min_pts must be at least 1");
+
+    let neighbors: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| dist[i][j] <= eps).collect())
+        .collect();
+    let core: Vec<bool> = neighbors.iter().map(|nb| nb.len() >= min_pts).collect();
+
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut next_cluster = 0usize;
+
+    for p in 0..n {
+        if visited[p] || !core[p] {
+            continue;
+        }
+        // expand a new cluster from core point p (BFS)
+        let cid = next_cluster;
+        next_cluster += 1;
+        let mut queue = VecDeque::new();
+        visited[p] = true;
+        labels[p] = Some(cid);
+        queue.push_back(p);
+        while let Some(q) = queue.pop_front() {
+            for &r in &neighbors[q] {
+                if labels[r].is_none() {
+                    labels[r] = Some(cid);
+                }
+                if !visited[r] && core[r] {
+                    visited[r] = true;
+                    queue.push_back(r);
+                }
+            }
+        }
+    }
+    Clustering::new(labels)
+}
+
+/// Panics unless `dist` is square, symmetric, non-negative with zero
+/// diagonal.
+pub fn validate_matrix(dist: &[Vec<f32>]) {
+    let n = dist.len();
+    for (i, row) in dist.iter().enumerate() {
+        assert_eq!(row.len(), n, "distance matrix must be square");
+        assert!(row[i].abs() < 1e-6, "diagonal must be zero");
+        for (j, &d) in row.iter().enumerate() {
+            assert!(d >= 0.0 && d.is_finite(), "distances must be finite and ≥ 0");
+            assert!(
+                (d - dist[j][i]).abs() < 1e-5,
+                "matrix must be symmetric at ({i},{j})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix for points on a line.
+    fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
+        xs.iter()
+            .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn two_obvious_blobs() {
+        let xs = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let c = dbscan(&line_dist(&xs), 0.5, 2);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.members(0), vec![0, 1, 2]);
+        assert_eq!(c.members(1), vec![3, 4, 5]);
+        assert!(c.noise().is_empty());
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let xs = [0.0, 0.1, 0.2, 50.0];
+        let c = dbscan(&line_dist(&xs), 0.5, 2);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.noise(), vec![3]);
+    }
+
+    #[test]
+    fn chain_connectivity_merges() {
+        // each consecutive pair within eps → one cluster despite large span
+        let xs = [0.0, 0.4, 0.8, 1.2, 1.6];
+        let c = dbscan(&line_dist(&xs), 0.5, 2);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.members(0).len(), 5);
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let xs = [0.0, 100.0];
+        let c = dbscan(&line_dist(&xs), 0.5, 1);
+        assert_eq!(c.n_clusters(), 2); // two singleton clusters, no noise
+        assert!(c.noise().is_empty());
+    }
+
+    #[test]
+    fn high_min_pts_all_noise() {
+        let xs = [0.0, 0.1, 0.2];
+        let c = dbscan(&line_dist(&xs), 0.5, 10);
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.noise().len(), 3);
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // 0.0, 0.3, 0.6 with eps=0.35, min_pts=3: only 0.3 is core
+        // (neighbors {0.0, 0.3, 0.6}); 0.0 and 0.6 are border points.
+        let xs = [0.0, 0.3, 0.6];
+        let c = dbscan(&line_dist(&xs), 0.35, 3);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.members(0).len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan(&[], 1.0, 2);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.n_clusters(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        let m = vec![vec![0.0, 1.0], vec![2.0, 0.0]];
+        dbscan(&m, 0.5, 1);
+    }
+}

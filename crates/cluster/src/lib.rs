@@ -1,0 +1,139 @@
+//! # haccs-cluster
+//!
+//! Density-based clustering over precomputed distance matrices, as required
+//! by §IV-C of the paper:
+//!
+//! * [`dbscan::dbscan`] — classic DBSCAN (Ester et al., KDD'96),
+//! * [`optics::Optics`] — OPTICS (Ankerst et al., SIGMOD'99) producing a
+//!   reachability ordering, with two cluster-extraction methods:
+//!   DBSCAN-equivalent ε′-thresholding and ξ-steep extraction. The paper
+//!   selects OPTICS because it has "one less hyperparameter compared to
+//!   DBSCAN"; the ε′ extraction here can also pick its threshold
+//!   automatically from the reachability plot.
+//! * [`quality`] — clustering quality metrics: the Fig. 8a
+//!   "fraction of ground-truth clusters correctly identified" score and the
+//!   adjusted-free Rand index,
+//! * [`agglomerative`] — hierarchical clustering (the related-work
+//!   alternative, Briggs et al. IJCNN'20), used by the extraction ablation.
+//!
+//! These algorithms operate on abstract pairwise distances, so they work
+//! unchanged for P(y) and P(X|y) summaries (or anything else).
+
+pub mod agglomerative;
+pub mod dbscan;
+pub mod optics;
+pub mod quality;
+
+/// A clustering result: per-point cluster label, `None` = noise.
+///
+/// Density-based algorithms may label points as noise instead of forcing an
+/// assignment — a property §IV-C calls out as important for HACCS, because
+/// the scheduler assumes good statistical similarity within a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    labels: Vec<Option<usize>>,
+    n_clusters: usize,
+}
+
+impl Clustering {
+    /// Builds from per-point labels; cluster ids must be dense `0..k`.
+    pub fn new(labels: Vec<Option<usize>>) -> Self {
+        let n_clusters = labels.iter().flatten().map(|&c| c + 1).max().unwrap_or(0);
+        // verify density: every id below the max must occur
+        for c in 0..n_clusters {
+            assert!(
+                labels.iter().any(|l| *l == Some(c)),
+                "cluster ids must be dense: missing {c}"
+            );
+        }
+        Clustering { labels, n_clusters }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of clusters (noise excluded).
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Per-point labels.
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// Point indices in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Some(c))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices labelled as noise.
+    pub fn noise(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Converts to a flat list of clusters where each noise point becomes
+    /// its own singleton cluster. HACCS schedules *clusters*, and every
+    /// client must remain schedulable, so noise devices act as clusters of
+    /// one (their distribution is, as far as we can tell, unique).
+    pub fn to_schedulable_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> =
+            (0..self.n_clusters).map(|c| self.members(c)).collect();
+        for i in self.noise() {
+            groups.push(vec![i]);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_members() {
+        let c = Clustering::new(vec![Some(0), Some(1), None, Some(0)]);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.members(0), vec![0, 3]);
+        assert_eq!(c.members(1), vec![1]);
+        assert_eq!(c.noise(), vec![2]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn schedulable_groups_include_noise_singletons() {
+        let c = Clustering::new(vec![Some(0), None, Some(0), None]);
+        let g = c.to_schedulable_groups();
+        assert_eq!(g, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn all_noise_is_valid() {
+        let c = Clustering::new(vec![None, None]);
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.to_schedulable_groups().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_ids_rejected() {
+        Clustering::new(vec![Some(0), Some(2)]);
+    }
+}

@@ -1,0 +1,382 @@
+//! OPTICS (Ankerst et al., SIGMOD'99) over a precomputed distance matrix.
+//!
+//! [`optics`] computes the cluster-ordering with per-point reachability and
+//! core distances. Two extraction methods turn the ordering into a
+//! [`Clustering`]:
+//!
+//! * [`Optics::extract_dbscan`] — ε′-thresholding, equivalent to DBSCAN at
+//!   radius ε′ (up to border-point assignment),
+//! * [`Optics::extract_xi`] — a compact variant of the paper's ξ-steep
+//!   extraction (used by the `ablation_extraction` bench),
+//! * [`Optics::auto_eps`] — picks ε′ automatically from the largest gap in
+//!   the reachability plot, which is what lets HACCS run OPTICS with *no*
+//!   radius hyperparameter (§IV-C: "one less hyperparameter than DBSCAN").
+
+use crate::dbscan::validate_matrix;
+use crate::Clustering;
+
+/// OPTICS output: the cluster-ordering plus reachability/core distances.
+#[derive(Debug, Clone)]
+pub struct Optics {
+    /// Visit order of point indices.
+    pub order: Vec<usize>,
+    /// Reachability distance of `order[i]`, `f32::INFINITY` if undefined.
+    pub reachability: Vec<f32>,
+    /// Core distance per *point index* (not order position), `INFINITY` if
+    /// the point never had `min_pts` neighbors within `eps`.
+    pub core_dist: Vec<f32>,
+    min_pts: usize,
+}
+
+/// Runs OPTICS with generating radius `eps` (use `f32::INFINITY` for the
+/// unbounded version — the usual choice, and HACCS's default) and density
+/// threshold `min_pts` (neighborhood size including the point itself).
+pub fn optics(dist: &[Vec<f32>], eps: f32, min_pts: usize) -> Optics {
+    validate_matrix(dist);
+    assert!(min_pts >= 1, "min_pts must be at least 1");
+    assert!(eps >= 0.0, "eps must be non-negative");
+    let n = dist.len();
+
+    // core distance: distance to the min_pts-th nearest neighbor (self
+    // included), undefined if that exceeds eps
+    let core_dist: Vec<f32> = (0..n)
+        .map(|i| {
+            let mut ds: Vec<f32> = dist[i].clone();
+            ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if ds.len() >= min_pts && ds[min_pts - 1] <= eps {
+                ds[min_pts - 1]
+            } else {
+                f32::INFINITY
+            }
+        })
+        .collect();
+
+    let mut processed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut reachability = Vec::with_capacity(n);
+    // pending reachability per point (min over emitted updates)
+    let mut reach = vec![f32::INFINITY; n];
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        processed[start] = true;
+        order.push(start);
+        reachability.push(f32::INFINITY);
+        if core_dist[start].is_finite() {
+            update_seeds(dist, eps, &core_dist, start, &processed, &mut reach);
+        }
+        // expand: repeatedly take the unprocessed point with min pending
+        // reachability among those touched so far
+        loop {
+            let next = (0..n)
+                .filter(|&j| !processed[j] && reach[j].is_finite())
+                .min_by(|&a, &b| {
+                    reach[a]
+                        .partial_cmp(&reach[b])
+                        .unwrap()
+                        .then(a.cmp(&b)) // deterministic tie-break
+                });
+            let Some(q) = next else { break };
+            processed[q] = true;
+            order.push(q);
+            reachability.push(reach[q]);
+            if core_dist[q].is_finite() {
+                update_seeds(dist, eps, &core_dist, q, &processed, &mut reach);
+            }
+        }
+    }
+    Optics { order, reachability, core_dist, min_pts }
+}
+
+/// Relaxes pending reachability of every unprocessed neighbor of `p`.
+fn update_seeds(
+    dist: &[Vec<f32>],
+    eps: f32,
+    core_dist: &[f32],
+    p: usize,
+    processed: &[bool],
+    reach: &mut [f32],
+) {
+    let cd = core_dist[p];
+    for (j, &d) in dist[p].iter().enumerate() {
+        if processed[j] || d > eps {
+            continue;
+        }
+        let new_reach = cd.max(d);
+        if new_reach < reach[j] {
+            reach[j] = new_reach;
+        }
+    }
+}
+
+impl Optics {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// DBSCAN-equivalent extraction at radius `eps_prime`.
+    pub fn extract_dbscan(&self, eps_prime: f32) -> Clustering {
+        let n = self.len();
+        let mut labels: Vec<Option<usize>> = vec![None; n];
+        let mut cluster: Option<usize> = None;
+        let mut next = 0usize;
+        for (pos, &point) in self.order.iter().enumerate() {
+            if self.reachability[pos] > eps_prime {
+                if self.core_dist[point] <= eps_prime {
+                    cluster = Some(next);
+                    next += 1;
+                    labels[point] = cluster;
+                } else {
+                    cluster = None; // noise
+                }
+            } else {
+                labels[point] = cluster;
+            }
+        }
+        Clustering::new(labels)
+    }
+
+    /// Picks an extraction radius from the reachability plot: the midpoint
+    /// of the largest gap between sorted finite reachability values,
+    /// provided that gap (a) sits in the **upper half** of the plot — a
+    /// threshold below the median would mark most points noise, which
+    /// contradicts density clustering — and (b) clearly dominates the
+    /// typical spacing. Otherwise returns a value above every reachability
+    /// (→ a single cluster), which is the correct behaviour when the data
+    /// is homogeneous (the paper's IID case, where "the clustering for
+    /// P(y) groups all of the clients into a single cluster").
+    pub fn auto_eps(&self) -> f32 {
+        let mut rs: Vec<f32> = self
+            .reachability
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .collect();
+        if rs.len() < 2 {
+            return f32::MAX;
+        }
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gaps: Vec<f32> = rs.windows(2).map(|w| w[1] - w[0]).collect();
+        // only gaps at or above the median reachability are cluster splits;
+        // anything lower is variation *inside* the dense region
+        let min_i = (gaps.len().saturating_sub(1)) / 2;
+        let (best_i, &best_gap) = gaps
+            .iter()
+            .enumerate()
+            .skip(min_i)
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .expect("non-empty by construction");
+        let mut sorted_gaps = gaps.clone();
+        sorted_gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_gap = sorted_gaps[sorted_gaps.len() / 2];
+        let range = rs[rs.len() - 1] - rs[0];
+        // (1) a meaningful split must clearly dominate typical spacing AND
+        // actually produce ≥2 clusters — the largest gap of a smooth ramp
+        // sits at its tail and would only shave off stragglers
+        if best_gap > 3.0 * median_gap.max(1e-6) && best_gap > 0.1 * range.max(1e-6) {
+            let candidate = rs[best_i] + best_gap / 2.0;
+            if self.extract_dbscan(candidate).n_clusters() >= 2 {
+                return candidate;
+            }
+        }
+        // no dominant gap: distinguish a *homogeneous* plot (all points in
+        // one dense region → one cluster) from a *smooth wide ramp* (no
+        // density structure at all → keep only the tightest neighborhoods
+        // as clusters and leave the rest as noise/singletons). Measured by
+        // robust dispersion: IQR relative to the median.
+        let (q25, q50, q75) = (
+            rs[rs.len() / 4],
+            rs[rs.len() / 2],
+            rs[3 * rs.len() / 4],
+        );
+        // the dispersion estimate needs enough points to be trustworthy;
+        // small federations default to the conservative single cluster
+        if rs.len() >= 16 && q50 > 0.0 && (q75 - q25) / q50 > 0.3 {
+            // (2) dispersed without structure: conservative radius — only
+            // genuinely similar points cluster, everything else becomes a
+            // singleton (HACCS keeps those schedulable as clusters of one)
+            q25
+        } else {
+            // (3) homogeneous: a single cluster
+            rs[rs.len() - 1] * 1.001 + 1e-6
+        }
+    }
+
+    /// Extraction with the automatically chosen radius.
+    pub fn extract_auto(&self) -> Clustering {
+        self.extract_dbscan(self.auto_eps())
+    }
+
+    /// Compact ξ-steep extraction: splits the ordering at positions whose
+    /// reachability exceeds both neighbors' "valley" levels by the relative
+    /// factor `1/(1−ξ)`, then labels each resulting segment of at least
+    /// `min_pts` points as a cluster and smaller segments as noise.
+    ///
+    /// This is a simplification of the full steep-area algorithm from the
+    /// OPTICS paper; it recovers the same clusters on plateau-like
+    /// reachability plots (which is what histogram summaries produce) and
+    /// exists mainly for the `ablation_extraction` bench.
+    pub fn extract_xi(&self, xi: f32) -> Clustering {
+        assert!((0.0..1.0).contains(&xi), "xi must be in [0, 1)");
+        let n = self.len();
+        let mut labels: Vec<Option<usize>> = vec![None; n];
+        if n == 0 {
+            return Clustering::new(labels);
+        }
+        // boundary positions: pos 0 plus any pos whose reachability is a
+        // steep ξ-jump above the following point's level
+        let factor = 1.0 / (1.0 - xi);
+        let mut boundaries = vec![0usize];
+        for pos in 1..n {
+            let r = self.reachability[pos];
+            let next = if pos + 1 < n { self.reachability[pos + 1] } else { f32::INFINITY };
+            if !r.is_finite() || (next.is_finite() && r > next * factor) {
+                boundaries.push(pos);
+            }
+        }
+        boundaries.push(n);
+        let mut next_cluster = 0usize;
+        for w in boundaries.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if end - start >= self.min_pts {
+                for pos in start..end {
+                    // the boundary point itself belongs to the next segment
+                    // only via its small following reachability; include it
+                    labels[self.order[pos]] = Some(next_cluster);
+                }
+                next_cluster += 1;
+            }
+        }
+        // densify ids (some segments may have been skipped as noise)
+        Clustering::new(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::dbscan;
+
+    fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
+        xs.iter()
+            .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ordering_covers_all_points_once() {
+        let xs = [0.0, 0.1, 5.0, 5.1, 10.0];
+        let o = optics(&line_dist(&xs), f32::INFINITY, 2);
+        let mut seen = o.order.clone();
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(o.reachability.len(), 5);
+    }
+
+    #[test]
+    fn reachability_low_within_blobs_high_between() {
+        let xs = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let o = optics(&line_dist(&xs), f32::INFINITY, 2);
+        // exactly one finite reachability should be large (the jump between
+        // blobs); the rest should be ≤ 0.2
+        let finite: Vec<f32> = o.reachability.iter().copied().filter(|r| r.is_finite()).collect();
+        let large: Vec<f32> = finite.iter().copied().filter(|&r| r > 1.0).collect();
+        assert_eq!(large.len(), 1, "reachabilities: {:?}", o.reachability);
+    }
+
+    #[test]
+    fn extract_dbscan_matches_dbscan_clusters() {
+        let xs = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 50.0];
+        let d = line_dist(&xs);
+        let o = optics(&d, f32::INFINITY, 2);
+        let via_optics = o.extract_dbscan(0.5);
+        let via_dbscan = dbscan(&d, 0.5, 2);
+        // same partition, possibly different cluster numbering
+        assert_eq!(via_optics.n_clusters(), via_dbscan.n_clusters());
+        assert_eq!(via_optics.noise(), via_dbscan.noise());
+        for c in 0..via_dbscan.n_clusters() {
+            let members = via_dbscan.members(c);
+            let mapped = via_optics.labels()[members[0]];
+            assert!(mapped.is_some());
+            for &m in &members {
+                assert_eq!(via_optics.labels()[m], mapped, "split cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_eps_finds_two_blobs() {
+        let xs = [0.0, 0.05, 0.1, 0.15, 5.0, 5.05, 5.1, 5.15];
+        let o = optics(&line_dist(&xs), f32::INFINITY, 2);
+        let c = o.extract_auto();
+        assert_eq!(c.n_clusters(), 2, "reachability: {:?}", o.reachability);
+        assert!(c.noise().is_empty());
+    }
+
+    #[test]
+    fn auto_eps_homogeneous_is_one_cluster() {
+        // evenly spaced points: no density structure → a single cluster
+        let xs: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+        let o = optics(&line_dist(&xs), f32::INFINITY, 2);
+        let c = o.extract_auto();
+        assert_eq!(c.n_clusters(), 1, "reachability: {:?}", o.reachability);
+        assert_eq!(c.members(0).len(), 12);
+    }
+
+    #[test]
+    fn xi_extraction_on_blobs() {
+        let xs = [0.0, 0.05, 0.1, 0.15, 5.0, 5.05, 5.1, 5.15];
+        let o = optics(&line_dist(&xs), f32::INFINITY, 2);
+        let c = o.extract_xi(0.5);
+        assert_eq!(c.n_clusters(), 2, "reachability: {:?}", o.reachability);
+    }
+
+    #[test]
+    fn three_blobs_auto() {
+        let mut xs = Vec::new();
+        for base in [0.0f32, 7.0, 19.0] {
+            for k in 0..4 {
+                xs.push(base + k as f32 * 0.05);
+            }
+        }
+        let o = optics(&line_dist(&xs), f32::INFINITY, 3);
+        let c = o.extract_auto();
+        assert_eq!(c.n_clusters(), 3, "reachability: {:?}", o.reachability);
+        for cl in 0..3 {
+            assert_eq!(c.members(cl).len(), 4);
+        }
+    }
+
+    #[test]
+    fn bounded_eps_marks_sparse_noise() {
+        let xs = [0.0, 0.1, 0.2, 50.0];
+        let o = optics(&line_dist(&xs), 1.0, 2);
+        let c = o.extract_dbscan(0.5);
+        assert_eq!(c.noise(), vec![3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let o = optics(&[], f32::INFINITY, 2);
+        assert!(o.is_empty());
+        assert_eq!(o.extract_auto().len(), 0);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let xs = [3.0, 1.0, 2.0, 9.0, 8.0];
+        let d = line_dist(&xs);
+        let a = optics(&d, f32::INFINITY, 2);
+        let b = optics(&d, f32::INFINITY, 2);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.reachability, b.reachability);
+    }
+}

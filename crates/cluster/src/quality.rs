@@ -1,0 +1,125 @@
+//! Clustering quality metrics.
+//!
+//! [`cluster_identification_accuracy`] is the Fig. 8a metric: the fraction
+//! of ground-truth clusters that the algorithm recovered *exactly*.
+//! [`rand_index`] is the standard pair-counting agreement score, used by
+//! tests and the ablation benches.
+
+use crate::Clustering;
+
+/// Fraction of ground-truth groups recovered exactly.
+///
+/// A ground-truth group counts as correctly identified iff some predicted
+/// cluster contains exactly that group's members (no more, no fewer) —
+/// "the clustering accuracy will be based on the number of clusters we
+/// correctly identify" (§V-D2).
+pub fn cluster_identification_accuracy(predicted: &Clustering, truth: &[Vec<usize>]) -> f32 {
+    assert!(!truth.is_empty(), "need at least one ground-truth group");
+    let predicted_sets: Vec<Vec<usize>> = (0..predicted.n_clusters())
+        .map(|c| {
+            let mut m = predicted.members(c);
+            m.sort_unstable();
+            m
+        })
+        .collect();
+    let mut correct = 0usize;
+    for group in truth {
+        let mut g = group.clone();
+        g.sort_unstable();
+        if predicted_sets.iter().any(|p| *p == g) {
+            correct += 1;
+        }
+    }
+    correct as f32 / truth.len() as f32
+}
+
+/// Rand index between a predicted clustering and ground-truth labels.
+/// Noise points are treated as singleton clusters. Returns a value in
+/// `[0, 1]`; 1 means perfect pairwise agreement.
+pub fn rand_index(predicted: &Clustering, truth_labels: &[usize]) -> f32 {
+    let n = predicted.len();
+    assert_eq!(truth_labels.len(), n, "label length mismatch");
+    if n < 2 {
+        return 1.0;
+    }
+    // map noise to unique negative ids via offset
+    let pred: Vec<usize> = predicted
+        .labels()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| match l {
+            Some(c) => *c,
+            None => predicted.n_clusters() + i,
+        })
+        .collect();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_pred = pred[i] == pred[j];
+            let same_true = truth_labels[i] == truth_labels[j];
+            if same_pred == same_true {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f32 / total as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identification_perfect() {
+        let pred = Clustering::new(vec![Some(0), Some(0), Some(1), Some(1)]);
+        let truth = vec![vec![0, 1], vec![2, 3]];
+        assert_eq!(cluster_identification_accuracy(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn identification_partial() {
+        // cluster {2,3} found; {0,1} split
+        let pred = Clustering::new(vec![Some(0), Some(1), Some(2), Some(2)]);
+        let truth = vec![vec![0, 1], vec![2, 3]];
+        assert_eq!(cluster_identification_accuracy(&pred, &truth), 0.5);
+    }
+
+    #[test]
+    fn identification_merged_groups_fail() {
+        // one big cluster matches neither 2-element group exactly
+        let pred = Clustering::new(vec![Some(0), Some(0), Some(0), Some(0)]);
+        let truth = vec![vec![0, 1], vec![2, 3]];
+        assert_eq!(cluster_identification_accuracy(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn identification_order_insensitive() {
+        let pred = Clustering::new(vec![Some(1), Some(0), Some(0), Some(1)]);
+        let truth = vec![vec![3, 0], vec![2, 1]];
+        assert_eq!(cluster_identification_accuracy(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn rand_index_perfect_and_worst() {
+        let pred = Clustering::new(vec![Some(0), Some(0), Some(1), Some(1)]);
+        assert_eq!(rand_index(&pred, &[5, 5, 9, 9]), 1.0);
+        // completely merged vs all-distinct truth
+        let merged = Clustering::new(vec![Some(0), Some(0), Some(0)]);
+        assert_eq!(rand_index(&merged, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn rand_index_noise_is_singleton() {
+        let pred = Clustering::new(vec![Some(0), Some(0), None]);
+        // truth: {0,1} together, 2 alone → noise-as-singleton agrees fully
+        assert_eq!(rand_index(&pred, &[0, 0, 1]), 1.0);
+    }
+
+    #[test]
+    fn rand_index_tiny_inputs() {
+        let pred = Clustering::new(vec![Some(0)]);
+        assert_eq!(rand_index(&pred, &[0]), 1.0);
+    }
+}

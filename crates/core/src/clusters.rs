@@ -1,0 +1,268 @@
+//! Building clusters from client summaries (steps 1–2 of the pipeline).
+
+use haccs_cluster::optics::{optics, Optics};
+use haccs_cluster::Clustering;
+use haccs_data::FederatedDataset;
+use haccs_summary::{pairwise_distances, ClientSummary, Summarizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How clusters are extracted from the OPTICS ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtractionMethod {
+    /// Threshold chosen automatically from the reachability plot (default —
+    /// this is what keeps HACCS free of a radius hyperparameter).
+    Auto,
+    /// Fixed ε′ DBSCAN-equivalent extraction.
+    Eps(f32),
+    /// ξ-steep extraction (ablation).
+    Xi(f32),
+}
+
+impl Default for ExtractionMethod {
+    fn default() -> Self {
+        ExtractionMethod::Auto
+    }
+}
+
+impl ExtractionMethod {
+    /// Applies the extraction to an OPTICS result.
+    pub fn extract(self, o: &Optics) -> Clustering {
+        match self {
+            ExtractionMethod::Auto => o.extract_auto(),
+            ExtractionMethod::Eps(e) => o.extract_dbscan(e),
+            ExtractionMethod::Xi(x) => o.extract_xi(x),
+        }
+    }
+}
+
+/// Computes every client's summary **client-side**: each client uses its
+/// own seeded RNG for the DP noise, and only the (noised) summary would
+/// cross the network in a deployment.
+pub fn summarize_federation(
+    fed: &FederatedDataset,
+    summarizer: &Summarizer,
+    seed: u64,
+) -> Vec<ClientSummary> {
+    fed.clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            summarizer.summarize(&c.train, &mut rng)
+        })
+        .collect()
+}
+
+/// Clusters client summaries: pairwise distance matrix → OPTICS →
+/// extraction → schedulable groups (noise points become singleton
+/// clusters, because every device must stay schedulable).
+///
+/// `min_pts` is OPTICS's density parameter; the paper's deployments use
+/// small clusters, so 2 is the natural floor.
+pub fn build_clusters(
+    summarizer: &Summarizer,
+    summaries: &[ClientSummary],
+    min_pts: usize,
+    extraction: ExtractionMethod,
+) -> (Clustering, Vec<Vec<usize>>) {
+    let dist = pairwise_distances(summarizer, summaries);
+    let o = optics(&dist, f32::INFINITY, min_pts);
+    let clustering = extraction.extract(&o);
+    let groups = clustering.to_schedulable_groups();
+    (clustering, groups)
+}
+
+/// Cosine distance `1 − cos(a, b)`, rescaled to `[0, 1]`, between gradient
+/// sketches. Zero-norm sketches are maximally distant from everything
+/// (they carry no direction).
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sketches must have equal dimension");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    let cos = (dot / (na * nb)).clamp(-1.0, 1.0);
+    (1.0 - cos) / 2.0
+}
+
+/// Clusters clients by the cosine distance between their gradient sketches
+/// (the §IV-A alternative summary). Must be re-run every epoch, since
+/// gradients change with the model — exactly the overhead the paper warns
+/// about; the `ablation_gradient` experiment quantifies it.
+pub fn build_gradient_clusters(
+    sketches: &[Vec<f32>],
+    min_pts: usize,
+    extraction: ExtractionMethod,
+) -> (Clustering, Vec<Vec<usize>>) {
+    let n = sketches.len();
+    let dist: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { cosine_distance(&sketches[i], &sketches[j]) })
+                .collect()
+        })
+        .collect();
+    let o = optics(&dist, f32::INFINITY, min_pts);
+    let clustering = extraction.extract(&o);
+    let groups = clustering.to_schedulable_groups();
+    (clustering, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::{partition, SynthVision};
+
+    /// 3 groups of 4 clients each, disjoint label pairs.
+    fn grouped_federation() -> FederatedDataset {
+        let gen = SynthVision::mnist_like(6, 8, 0);
+        let mut specs = Vec::new();
+        for g in 0..3 {
+            for _ in 0..4 {
+                let mut w = vec![0.0f32; 6];
+                w[2 * g] = 0.5;
+                w[2 * g + 1] = 0.5;
+                specs.push(partition::ClientSpec {
+                    label_weights: w,
+                    n_train: 120,
+                    n_test: 0,
+                    rotation_deg: 0.0,
+                    brightness: 0.0,
+                    contrast: 1.0,
+                    group: Some(g),
+                });
+            }
+        }
+        FederatedDataset::materialize(&gen, &specs, 0)
+    }
+
+    #[test]
+    fn recovers_label_groups_with_py_summary() {
+        let fed = grouped_federation();
+        let s = Summarizer::label_dist();
+        let sums = summarize_federation(&fed, &s, 0);
+        let (clustering, groups) = build_clusters(&s, &sums, 2, ExtractionMethod::Auto);
+        assert_eq!(clustering.n_clusters(), 3, "labels: {:?}", clustering.labels());
+        assert_eq!(groups.len(), 3);
+        // each recovered cluster must be exactly one ground-truth group
+        for g in 0..3 {
+            let truth: Vec<usize> = (g * 4..(g + 1) * 4).collect();
+            assert!(
+                groups.iter().any(|grp| {
+                    let mut sorted = grp.clone();
+                    sorted.sort_unstable();
+                    sorted == truth
+                }),
+                "group {g} not recovered: {groups:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn iid_data_collapses_to_one_cluster() {
+        let gen = SynthVision::mnist_like(6, 8, 0);
+        let specs = partition::iid(10, 6, 150, 0);
+        let fed = FederatedDataset::materialize(&gen, &specs, 1);
+        let s = Summarizer::label_dist();
+        let sums = summarize_federation(&fed, &s, 0);
+        let (clustering, groups) = build_clusters(&s, &sums, 2, ExtractionMethod::Auto);
+        assert_eq!(clustering.n_clusters(), 1, "IID should give one cluster");
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 10);
+    }
+
+    #[test]
+    fn summaries_are_deterministic_per_seed() {
+        let fed = grouped_federation();
+        let s = Summarizer::label_dist().with_epsilon(0.1);
+        let a = summarize_federation(&fed, &s, 42);
+        let b = summarize_federation(&fed, &s, 42);
+        assert_eq!(a, b);
+        let c = summarize_federation(&fed, &s, 43);
+        assert_ne!(a, c, "different seeds must change DP noise");
+    }
+
+    #[test]
+    fn heavy_dp_noise_degrades_clusters() {
+        let fed = grouped_federation();
+        let clean = Summarizer::label_dist();
+        let noisy = Summarizer::label_dist().with_epsilon(0.002);
+        let (c_clean, _) = build_clusters(
+            &clean,
+            &summarize_federation(&fed, &clean, 0),
+            2,
+            ExtractionMethod::Auto,
+        );
+        let (c_noisy, _) = build_clusters(
+            &noisy,
+            &summarize_federation(&fed, &noisy, 0),
+            2,
+            ExtractionMethod::Auto,
+        );
+        // exact recovery with clean summaries, degraded with ε=0.002
+        assert_eq!(c_clean.n_clusters(), 3);
+        let truth: Vec<Vec<usize>> = (0..3).map(|g| (g * 4..(g + 1) * 4).collect()).collect();
+        let acc_noisy =
+            haccs_cluster::quality::cluster_identification_accuracy(&c_noisy, &truth);
+        assert!(acc_noisy < 1.0, "extreme noise should break at least one cluster");
+    }
+
+    #[test]
+    fn cosine_distance_properties() {
+        let a = vec![1.0, 0.0, 0.0];
+        let b = vec![0.0, 1.0, 0.0];
+        let c = vec![-1.0, 0.0, 0.0];
+        assert!(cosine_distance(&a, &a) < 1e-6);
+        assert!((cosine_distance(&a, &b) - 0.5).abs() < 1e-6, "orthogonal = 0.5");
+        assert!((cosine_distance(&a, &c) - 1.0).abs() < 1e-6, "opposite = 1.0");
+        assert_eq!(cosine_distance(&a, &[0.0; 3]), 1.0, "zero sketch is maximally distant");
+        // scale invariance
+        let a2: Vec<f32> = a.iter().map(|x| x * 7.5).collect();
+        assert!(cosine_distance(&a, &a2) < 1e-6);
+    }
+
+    #[test]
+    fn gradient_clusters_group_parallel_sketches() {
+        // two directions, three sketches each (scaled copies + jitter)
+        let mut sketches = Vec::new();
+        for s in [1.0f32, 2.0, 0.5] {
+            sketches.push(vec![s, 0.01 * s, 0.0, 0.0]);
+        }
+        for s in [1.0f32, 3.0, 0.7] {
+            sketches.push(vec![0.0, 0.0, s, -0.01 * s]);
+        }
+        let (clustering, groups) =
+            build_gradient_clusters(&sketches, 2, ExtractionMethod::Auto);
+        assert_eq!(clustering.n_clusters(), 2, "labels: {:?}", clustering.labels());
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn cond_summary_separates_rotated_clients() {
+        // same labels everywhere; half the clients rotated 45°
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let mut specs = partition::iid(8, 4, 120, 0);
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.rotation_deg = if i < 4 { 0.0 } else { 45.0 };
+        }
+        let fed = FederatedDataset::materialize(&gen, &specs, 2);
+        let s = Summarizer::cond_dist(16);
+        let sums = summarize_federation(&fed, &s, 0);
+        let (clustering, _) = build_clusters(&s, &sums, 2, ExtractionMethod::Auto);
+        // P(X|y) must distinguish rotated from unrotated
+        assert!(clustering.n_clusters() >= 2, "labels: {:?}", clustering.labels());
+        // and must not put a rotated client with an unrotated one
+        for i in 0..4 {
+            for j in 4..8 {
+                if let (Some(a), Some(b)) = (clustering.labels()[i], clustering.labels()[j]) {
+                    assert_ne!(a, b, "client {i} (0°) clustered with {j} (45°)");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! [`HaccsSelector`]: Algorithm 1 — Weighted-SRSWR over clusters, then the
+//! lowest-latency available device within each sampled cluster.
+
+use crate::telemetry::InclusionTelemetry;
+use crate::weights::{cluster_weights, ClusterStats};
+use haccs_fedsim::{ClientInfo, SelectionContext, Selector};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// How a device is picked inside a sampled cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WithinClusterPolicy {
+    /// Take the minimum-latency available device (Algorithm 1).
+    #[default]
+    MinLatency,
+    /// Sample uniformly inside the cluster — the §V-E mitigation for
+    /// straggler bias ("perform sampling within a cluster, rather than
+    /// simply using the current ordering based on latency").
+    Uniform,
+}
+
+/// The HACCS client selector.
+pub struct HaccsSelector {
+    /// Cluster membership (client ids per cluster), from
+    /// [`crate::clusters::build_clusters`].
+    groups: Vec<Vec<usize>>,
+    /// ρ: latency-vs-loss trade-off (Eq. 7).
+    rho: f32,
+    /// Within-cluster device policy.
+    policy: WithinClusterPolicy,
+    /// Inclusion telemetry for the bias analysis.
+    telemetry: InclusionTelemetry,
+    /// Human-readable summary label ("P(y)", "P(X|y)"), used in reports.
+    label: String,
+}
+
+impl HaccsSelector {
+    /// Builds the selector from cluster membership. `label` names the
+    /// summary the clusters were derived from (for reports).
+    pub fn new(groups: Vec<Vec<usize>>, rho: f32, label: impl Into<String>) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+        assert!(!groups.is_empty(), "need at least one cluster");
+        assert!(groups.iter().all(|g| !g.is_empty()), "clusters must be non-empty");
+        let telemetry = InclusionTelemetry::new(&groups);
+        HaccsSelector {
+            groups,
+            rho,
+            policy: WithinClusterPolicy::MinLatency,
+            telemetry,
+            label: label.into(),
+        }
+    }
+
+    /// Sets the within-cluster policy (builder style).
+    pub fn with_policy(mut self, policy: WithinClusterPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The cluster membership.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// ρ parameter.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// The inclusion telemetry collected so far.
+    pub fn telemetry(&self) -> &InclusionTelemetry {
+        &self.telemetry
+    }
+
+    /// Replaces the cluster structure (re-clustering after joins/leaves or
+    /// updated summaries, §IV-C). Telemetry restarts for the new structure.
+    pub fn recluster(&mut self, groups: Vec<Vec<usize>>) {
+        assert!(!groups.is_empty());
+        self.telemetry = InclusionTelemetry::new(&groups);
+        self.groups = groups;
+    }
+}
+
+impl Selector for HaccsSelector {
+    fn name(&self) -> String {
+        format!("haccs-{}", self.label)
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> Vec<usize> {
+        let info_of: HashMap<usize, &ClientInfo> =
+            ctx.available.iter().map(|c| (c.id, c)).collect();
+
+        // available members per cluster (dropout robustness: missing
+        // devices simply vanish from their cluster this epoch)
+        let mut live: Vec<(usize, Vec<&ClientInfo>)> = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter_map(|(gi, members)| {
+                let infos: Vec<&ClientInfo> =
+                    members.iter().filter_map(|id| info_of.get(id).copied()).collect();
+                if infos.is_empty() {
+                    None
+                } else {
+                    Some((gi, infos))
+                }
+            })
+            .collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+
+        // Eq. 6/7 inputs over available members
+        let stats: Vec<ClusterStats> = live
+            .iter()
+            .map(|(_, infos)| ClusterStats {
+                avg_latency: infos.iter().map(|c| c.est_latency).sum::<f64>()
+                    / infos.len() as f64,
+                avg_loss: infos.iter().map(|c| c.last_loss).sum::<f32>() / infos.len() as f32,
+            })
+            .collect();
+        let mut theta = cluster_weights(&stats, self.rho);
+
+        // order members by ascending latency so "best" pops cheaply
+        for (_, infos) in &mut live {
+            infos.sort_by(|a, b| a.est_latency.partial_cmp(&b.est_latency).unwrap());
+        }
+
+        // Weighted-SRSWR: sample clusters with replacement; take one device
+        // per draw and remove it from the cluster (Algorithm 1). A cluster
+        // whose devices are exhausted gets weight zero.
+        let mut selection = Vec::with_capacity(ctx.k);
+        while selection.len() < ctx.k {
+            let total: f64 = theta.iter().sum();
+            if total <= 0.0 {
+                break;
+            }
+            let mut u = rng.gen_range(0.0..total);
+            let mut pick = live.len() - 1;
+            for (i, &t) in theta.iter().enumerate() {
+                if u < t {
+                    pick = i;
+                    break;
+                }
+                u -= t;
+            }
+            let (gi, infos) = &mut live[pick];
+            let chosen = match self.policy {
+                WithinClusterPolicy::MinLatency => infos.remove(0),
+                WithinClusterPolicy::Uniform => {
+                    let j = rng.gen_range(0..infos.len());
+                    infos.remove(j)
+                }
+            };
+            self.telemetry.record(*gi, chosen.id);
+            selection.push(chosen.id);
+            if infos.is_empty() {
+                theta[pick] = 0.0;
+            }
+        }
+        selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn info(id: usize, lat: f64, loss: f32) -> ClientInfo {
+        ClientInfo { id, est_latency: lat, last_loss: loss, n_train: 10, participation_count: 0 }
+    }
+
+    /// Two clusters: {0,1,2} fast→slow, {3,4,5} fast→slow.
+    fn pool() -> Vec<ClientInfo> {
+        vec![
+            info(0, 1.0, 1.0),
+            info(1, 2.0, 1.0),
+            info(2, 3.0, 1.0),
+            info(3, 1.5, 1.0),
+            info(4, 2.5, 1.0),
+            info(5, 3.5, 1.0),
+        ]
+    }
+
+    fn selector(rho: f32) -> HaccsSelector {
+        HaccsSelector::new(vec![vec![0, 1, 2], vec![3, 4, 5]], rho, "P(y)")
+    }
+
+    #[test]
+    fn picks_min_latency_within_cluster() {
+        let avail = pool();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+        let mut s = selector(0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = s.select(&ctx, &mut rng);
+        assert_eq!(sel.len(), 2);
+        // whichever clusters were sampled, the chosen devices must be the
+        // fastest *remaining* members of their cluster: a slower member may
+        // only appear if its faster sibling was already taken
+        for &id in &sel {
+            assert!([0, 1, 3, 4].contains(&id), "unexpected pick {id} in {sel:?}");
+        }
+        if sel.contains(&1) {
+            assert!(sel.contains(&0), "1 before 0 in {sel:?}");
+        }
+        if sel.contains(&4) {
+            assert!(sel.contains(&3), "4 before 3 in {sel:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_cluster_resamples_other() {
+        // k = 4 from two clusters of 3: both clusters must contribute
+        let avail = pool();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 6 };
+        let mut s = selector(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sel = s.select(&ctx, &mut rng);
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2, 3, 4, 5], "all devices selectable when k = n");
+    }
+
+    #[test]
+    fn dropout_falls_back_to_cluster_sibling() {
+        // device 0 (fastest of cluster A) unavailable → 1 takes its place
+        let avail: Vec<ClientInfo> = pool().into_iter().filter(|c| c.id != 0).collect();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 6 };
+        let mut s = selector(0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = s.select(&ctx, &mut rng);
+        assert!(!sel.contains(&0));
+        assert!(sel.contains(&1), "cluster sibling should replace the dropout");
+    }
+
+    #[test]
+    fn rho_zero_prefers_high_loss_cluster() {
+        // cluster B has 9× the loss; at ρ=0 it should be sampled first far
+        // more often
+        let avail = vec![
+            info(0, 1.0, 0.5),
+            info(1, 1.0, 0.5),
+            info(2, 1.0, 4.5),
+            info(3, 1.0, 4.5),
+        ];
+        let mut hits_b = 0;
+        for seed in 0..200 {
+            let mut s = HaccsSelector::new(vec![vec![0, 1], vec![2, 3]], 0.0, "P(y)");
+            let ctx = SelectionContext { epoch: 0, available: &avail, k: 1 };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sel = s.select(&ctx, &mut rng);
+            if sel[0] >= 2 {
+                hits_b += 1;
+            }
+        }
+        assert!(hits_b > 150, "high-loss cluster picked only {hits_b}/200");
+    }
+
+    #[test]
+    fn rho_one_prefers_fast_cluster() {
+        let avail = vec![
+            info(0, 1.0, 1.0),
+            info(1, 1.0, 1.0),
+            info(2, 10.0, 1.0),
+            info(3, 10.0, 1.0),
+        ];
+        let mut hits_fast = 0;
+        for seed in 0..200 {
+            let mut s = HaccsSelector::new(vec![vec![0, 1], vec![2, 3]], 1.0, "P(y)");
+            let ctx = SelectionContext { epoch: 0, available: &avail, k: 1 };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sel = s.select(&ctx, &mut rng);
+            if sel[0] < 2 {
+                hits_fast += 1;
+            }
+        }
+        // τ_slow = 0 → fast cluster always wins at ρ = 1
+        assert_eq!(hits_fast, 200);
+    }
+
+    #[test]
+    fn uniform_policy_spreads_within_cluster() {
+        let avail = pool();
+        let mut s = selector(0.5).with_policy(WithinClusterPolicy::Uniform);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..60 {
+            let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+            let mut rng = StdRng::seed_from_u64(seed);
+            seen.extend(s.select(&ctx, &mut rng));
+        }
+        // uniform within-cluster should reach slow devices too
+        assert!(seen.contains(&2) || seen.contains(&5), "slowest never sampled: {seen:?}");
+    }
+
+    #[test]
+    fn telemetry_records_inclusions() {
+        let avail = pool();
+        let mut s = selector(0.5);
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 6 };
+        let mut rng = StdRng::seed_from_u64(3);
+        s.select(&ctx, &mut rng);
+        assert_eq!(s.telemetry().inclusion_fractions(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn recluster_resets_structure() {
+        let mut s = selector(0.5);
+        s.recluster(vec![vec![0], vec![1, 2, 3, 4, 5]]);
+        assert_eq!(s.groups().len(), 2);
+        assert_eq!(s.telemetry().n_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_available_returns_empty() {
+        let mut s = selector(0.5);
+        let ctx = SelectionContext { epoch: 0, available: &[], k: 3 };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(s.select(&ctx, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn name_includes_summary_label() {
+        assert_eq!(selector(0.5).name(), "haccs-P(y)");
+    }
+}

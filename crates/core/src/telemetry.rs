@@ -1,0 +1,106 @@
+//! Inclusion telemetry for the paper's bias analysis (§V-E).
+//!
+//! Table III reports, per cluster, the fraction of member devices that were
+//! included in training at least once over 200 epochs; Fig. 11 compares
+//! the accuracy of each cluster's fastest and slowest devices.
+
+use std::collections::HashSet;
+
+/// Tracks which members of each cluster have ever been selected.
+#[derive(Debug, Clone, Default)]
+pub struct InclusionTelemetry {
+    /// cluster → members ever included
+    included: Vec<HashSet<usize>>,
+    /// cluster → full membership
+    members: Vec<Vec<usize>>,
+}
+
+impl InclusionTelemetry {
+    /// Telemetry for the given cluster membership.
+    pub fn new(groups: &[Vec<usize>]) -> Self {
+        InclusionTelemetry {
+            included: vec![HashSet::new(); groups.len()],
+            members: groups.to_vec(),
+        }
+    }
+
+    /// Records that `client` (a member of cluster `cluster`) trained.
+    pub fn record(&mut self, cluster: usize, client: usize) {
+        debug_assert!(
+            self.members[cluster].contains(&client),
+            "client {client} is not a member of cluster {cluster}"
+        );
+        self.included[cluster].insert(client);
+    }
+
+    /// Fraction of each cluster's members included at least once.
+    pub fn inclusion_fractions(&self) -> Vec<f32> {
+        self.members
+            .iter()
+            .zip(&self.included)
+            .map(|(m, inc)| {
+                if m.is_empty() {
+                    0.0
+                } else {
+                    inc.len() as f32 / m.len() as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Table III histogram: counts of clusters with inclusion in
+    /// `[0, 50%)`, `[50%, 75%)` and `[75%, 100%]`.
+    pub fn table_iii_histogram(&self) -> [usize; 3] {
+        let mut out = [0usize; 3];
+        for f in self.inclusion_fractions() {
+            if f < 0.5 {
+                out[0] += 1;
+            } else if f < 0.75 {
+                out[1] += 1;
+            } else {
+                out[2] += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of clusters tracked.
+    pub fn n_clusters(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_track_inclusion() {
+        let mut t = InclusionTelemetry::new(&[vec![0, 1, 2, 3], vec![4, 5]]);
+        t.record(0, 0);
+        t.record(0, 1);
+        t.record(0, 0); // repeat doesn't double-count
+        t.record(1, 4);
+        assert_eq!(t.inclusion_fractions(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn table_iii_buckets() {
+        let mut t = InclusionTelemetry::new(&[vec![0, 1], vec![2, 3, 4, 5], vec![6]]);
+        // cluster 0: 100%, cluster 1: 25%, cluster 2: 100%
+        t.record(0, 0);
+        t.record(0, 1);
+        t.record(1, 2);
+        t.record(2, 6);
+        assert_eq!(t.table_iii_histogram(), [1, 0, 2]);
+    }
+
+    #[test]
+    fn boundary_is_inclusive_at_75() {
+        let mut t = InclusionTelemetry::new(&[vec![0, 1, 2, 3]]);
+        for c in 0..3 {
+            t.record(0, c);
+        }
+        assert_eq!(t.table_iii_histogram(), [0, 0, 1]); // 75% → top bucket
+    }
+}

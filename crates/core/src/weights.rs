@@ -1,0 +1,113 @@
+//! The Eq. 6 / Eq. 7 cluster sampling weights.
+
+/// Per-cluster scheduling statistics for one epoch, computed over the
+/// cluster's *available* members.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterStats {
+    /// Mean §IV-D latency of available members, seconds.
+    pub avg_latency: f64,
+    /// Average client loss in the cluster (ACL_i).
+    pub avg_loss: f32,
+}
+
+/// Computes the Eq. 7 sampling weights:
+///
+/// ```text
+/// τ_i = 1 − Latency_i / Latency_max                (Eq. 6)
+/// θ_i = ρ·τ_i + (1−ρ)·ACL_i / Σ_j ACL_j            (Eq. 7)
+/// ```
+///
+/// `ρ ∈ [0, 1]` trades latency optimization (ρ→1) against loss
+/// optimization (ρ→0). If every weight degenerates to zero (e.g. ρ=1 with
+/// all-equal latencies), the weights fall back to uniform so sampling stays
+/// well-defined.
+pub fn cluster_weights(stats: &[ClusterStats], rho: f32) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+    if stats.is_empty() {
+        return Vec::new();
+    }
+    let lat_max = stats.iter().map(|s| s.avg_latency).fold(0.0f64, f64::max);
+    let loss_sum: f64 = stats.iter().map(|s| s.avg_loss as f64).sum();
+    let rho = rho as f64;
+    let mut theta: Vec<f64> = stats
+        .iter()
+        .map(|s| {
+            let tau = if lat_max > 0.0 { 1.0 - s.avg_latency / lat_max } else { 0.0 };
+            let norm_loss = if loss_sum > 0.0 { s.avg_loss as f64 / loss_sum } else { 0.0 };
+            rho * tau + (1.0 - rho) * norm_loss
+        })
+        .collect();
+    if theta.iter().all(|&t| t <= 0.0) {
+        theta = vec![1.0; stats.len()];
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(lat: f64, loss: f32) -> ClusterStats {
+        ClusterStats { avg_latency: lat, avg_loss: loss }
+    }
+
+    #[test]
+    fn rho_one_rewards_fast_clusters() {
+        let s = [stats(1.0, 1.0), stats(10.0, 1.0)];
+        let w = cluster_weights(&s, 1.0);
+        assert!(w[0] > w[1], "{w:?}");
+        assert!((w[0] - 0.9).abs() < 1e-9); // 1 - 1/10
+        assert!(w[1].abs() < 1e-9); // slowest cluster: τ = 0
+    }
+
+    #[test]
+    fn rho_zero_rewards_lossy_clusters() {
+        let s = [stats(1.0, 3.0), stats(10.0, 1.0)];
+        let w = cluster_weights(&s, 0.0);
+        assert!((w[0] - 0.75).abs() < 1e-9);
+        assert!((w[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convex_combination() {
+        let s = [stats(2.0, 2.0), stats(4.0, 2.0)];
+        let w_half = cluster_weights(&s, 0.5);
+        let w_lat = cluster_weights(&s, 1.0);
+        let w_loss = cluster_weights(&s, 0.0);
+        for i in 0..2 {
+            let expect = 0.5 * w_lat[i].max(0.0) + 0.5 * w_loss[i];
+            // note: fall-back kicks in for the all-zero ρ=1 edge only when
+            // *all* weights vanish, which is not the case here
+            assert!((w_half[i] - expect).abs() < 1e-9, "{w_half:?}");
+        }
+    }
+
+    #[test]
+    fn weights_nonnegative() {
+        let s = [stats(5.0, 0.5), stats(2.0, 4.0), stats(9.0, 1.5)];
+        for rho in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for w in cluster_weights(&s, rho) {
+                assert!(w >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_all_zero_falls_back_uniform() {
+        // single cluster at ρ = 1: τ = 0 → all-zero θ → uniform fallback
+        let s = [stats(3.0, 1.0)];
+        let w = cluster_weights(&s, 1.0);
+        assert_eq!(w, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_weights(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn bad_rho_rejected() {
+        cluster_weights(&[stats(1.0, 1.0)], 1.5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the HACCS scheduler components.
+
+use haccs_core::{cluster_weights, ClusterStats, HaccsSelector};
+use haccs_fedsim::{ClientInfo, SelectionContext, Selector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn stats() -> impl Strategy<Value = Vec<ClusterStats>> {
+    proptest::collection::vec(
+        (0.01f64..100.0, 0.0f32..10.0)
+            .prop_map(|(avg_latency, avg_loss)| ClusterStats { avg_latency, avg_loss }),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn weights_nonnegative_and_finite(s in stats(), rho_pct in 0usize..=100) {
+        let rho = rho_pct as f32 / 100.0;
+        let w = cluster_weights(&s, rho);
+        prop_assert_eq!(w.len(), s.len());
+        prop_assert!(w.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        prop_assert!(w.iter().sum::<f64>() > 0.0, "weights must be samplable");
+    }
+
+    #[test]
+    fn rho_zero_weights_proportional_to_loss(s in stats()) {
+        let w = cluster_weights(&s, 0.0);
+        let loss_sum: f64 = s.iter().map(|x| x.avg_loss as f64).sum();
+        if loss_sum > 0.0 {
+            for (wi, si) in w.iter().zip(&s) {
+                let expect = si.avg_loss as f64 / loss_sum;
+                prop_assert!((wi - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rho_one_slowest_cluster_gets_zero(s in stats()) {
+        prop_assume!(s.len() >= 2);
+        // make latencies distinct enough to identify the strict max
+        let max_lat = s.iter().map(|x| x.avg_latency).fold(0.0f64, f64::max);
+        let w = cluster_weights(&s, 1.0);
+        if w.iter().any(|&x| x > 0.0) && s.iter().filter(|x| x.avg_latency == max_lat).count() == 1 {
+            let slowest = s.iter().position(|x| x.avg_latency == max_lat).unwrap();
+            // unless the uniform fallback kicked in (all-zero θ)
+            if w.iter().sum::<f64>() != w.len() as f64 {
+                prop_assert_eq!(w[slowest], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_distinct_and_available(
+        n_clusters in 1usize..6,
+        per_cluster in 1usize..5,
+        k in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let groups: Vec<Vec<usize>> = (0..n_clusters)
+            .map(|c| (0..per_cluster).map(|i| c * per_cluster + i).collect())
+            .collect();
+        let n = n_clusters * per_cluster;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let infos: Vec<ClientInfo> = (0..n)
+            .map(|id| ClientInfo {
+                id,
+                est_latency: rng.gen_range(0.1..10.0),
+                last_loss: rng.gen_range(0.1..5.0),
+                n_train: rng.gen_range(10..100),
+                participation_count: 0,
+            })
+            .collect();
+        let mut sel = HaccsSelector::new(groups, 0.5, "P(y)");
+        let ctx = SelectionContext { epoch: 0, available: &infos, k };
+        let chosen = sel.select(&ctx, &mut rng);
+        // distinct
+        let mut uniq = chosen.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), chosen.len(), "duplicate selections");
+        // within bounds and never more than min(k, n)
+        prop_assert!(chosen.len() <= k.min(n));
+        prop_assert!(chosen.iter().all(|&id| id < n));
+        // if k >= n, everyone is selected (all clusters exhaust)
+        if k >= n {
+            prop_assert_eq!(chosen.len(), n);
+        }
+    }
+
+    #[test]
+    fn dropout_never_selects_unavailable(
+        seed in any::<u64>(),
+        unavailable in proptest::collection::hash_set(0usize..12, 0..8),
+    ) {
+        let groups: Vec<Vec<usize>> = vec![(0..6).collect(), (6..12).collect()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let infos: Vec<ClientInfo> = (0..12)
+            .filter(|id| !unavailable.contains(id))
+            .map(|id| ClientInfo {
+                id,
+                est_latency: rng.gen_range(0.1..10.0),
+                last_loss: 1.0,
+                n_train: 10,
+                participation_count: 0,
+            })
+            .collect();
+        let mut sel = HaccsSelector::new(groups, 0.5, "P(y)");
+        let ctx = SelectionContext { epoch: 0, available: &infos, k: 5 };
+        let chosen = sel.select(&ctx, &mut rng);
+        prop_assert!(chosen.iter().all(|id| !unavailable.contains(id)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Materialized federated datasets: per-client train/test shards plus a
+//! global test set ("the loss function must be evaluated over Z_i for all
+//! i", §II-C).
+
+use crate::image::ImageSet;
+use crate::partition::ClientSpec;
+use crate::synth::SynthVision;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One client's local data.
+#[derive(Debug, Clone)]
+pub struct ClientData {
+    /// Training shard.
+    pub train: ImageSet,
+    /// Local held-out test shard (same distribution as train).
+    pub test: ImageSet,
+    /// The spec this shard was generated from.
+    pub spec: ClientSpec,
+}
+
+impl ClientData {
+    /// Number of training examples, the FedAvg aggregation weight.
+    pub fn n_train(&self) -> usize {
+        self.train.len()
+    }
+}
+
+/// The whole federation's data: per-client shards plus pooled test data.
+#[derive(Debug, Clone)]
+pub struct FederatedDataset {
+    /// One entry per client, index = client id.
+    pub clients: Vec<ClientData>,
+    /// Union of all per-client test shards (convergence "must be with
+    /// respect to all devices in the system").
+    pub global_test: ImageSet,
+    /// Number of class labels.
+    pub classes: usize,
+}
+
+impl FederatedDataset {
+    /// Materializes `specs` against a generator. Each client draws from its
+    /// own seeded RNG (derived from `seed` and the client id), so the
+    /// dataset is reproducible and generation parallelizes cleanly.
+    pub fn materialize(gen: &SynthVision, specs: &[ClientSpec], seed: u64) -> Self {
+        let clients: Vec<ClientData> = specs
+            .par_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x517C_C1B7_2722_0A95));
+                let t = spec.transform();
+                let train =
+                    gen.generate_transformed(spec.n_train, &spec.label_weights, &t, &mut rng);
+                let test =
+                    gen.generate_transformed(spec.n_test, &spec.label_weights, &t, &mut rng);
+                ClientData { train, test, spec: spec.clone() }
+            })
+            .collect();
+        let mut global_test = ImageSet::empty(gen.channels(), gen.side(), gen.classes());
+        for c in &clients {
+            global_test.extend(&c.test);
+        }
+        FederatedDataset { clients, global_test, classes: gen.classes() }
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total training examples across all clients.
+    pub fn total_train(&self) -> usize {
+        self.clients.iter().map(|c| c.n_train()).sum()
+    }
+
+    /// Clients whose spec belongs to partition group `g` (Table I layouts).
+    pub fn group_members(&self, g: usize) -> Vec<usize> {
+        self.clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.spec.group == Some(g))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let gen = SynthVision::mnist_like(10, 8, 0);
+        let specs = partition::iid(4, 10, 20, 5);
+        let a = FederatedDataset::materialize(&gen, &specs, 7);
+        let b = FederatedDataset::materialize(&gen, &specs, 7);
+        assert_eq!(a.clients[2].train, b.clients[2].train);
+        let c = FederatedDataset::materialize(&gen, &specs, 8);
+        assert_ne!(a.clients[2].train, c.clients[2].train);
+    }
+
+    #[test]
+    fn clients_differ_from_each_other() {
+        let gen = SynthVision::mnist_like(10, 8, 0);
+        let specs = partition::iid(3, 10, 20, 0);
+        let d = FederatedDataset::materialize(&gen, &specs, 1);
+        assert_ne!(d.clients[0].train, d.clients[1].train);
+    }
+
+    #[test]
+    fn global_test_pools_all_shards() {
+        let gen = SynthVision::mnist_like(10, 8, 0);
+        let specs = partition::iid(5, 10, 10, 4);
+        let d = FederatedDataset::materialize(&gen, &specs, 2);
+        assert_eq!(d.global_test.len(), 20);
+        assert_eq!(d.total_train(), 50);
+        assert_eq!(d.n_clients(), 5);
+    }
+
+    #[test]
+    fn group_members_follow_specs() {
+        let gen = SynthVision::mnist_like(10, 8, 0);
+        let specs = partition::table_i_groups(3, 10, 10, 2);
+        let d = FederatedDataset::materialize(&gen, &specs, 3);
+        assert_eq!(d.group_members(0), vec![0, 1, 2]);
+        assert_eq!(d.group_members(9), vec![27, 28, 29]);
+        // group-0 clients hold only labels 6 and 7
+        let counts = d.clients[0].train.label_counts();
+        for (l, &n) in counts.iter().enumerate() {
+            if l == 6 || l == 7 {
+                continue;
+            }
+            assert_eq!(n, 0, "label {l} should be absent");
+        }
+    }
+
+    #[test]
+    fn respects_sample_counts() {
+        let gen = SynthVision::cifar_like(10, 8, 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let specs =
+            partition::majority_noise(6, 10, &partition::MAJORITY_NOISE_75, (30, 60), 12, &mut rng);
+        let d = FederatedDataset::materialize(&gen, &specs, 5);
+        for (c, s) in d.clients.iter().zip(&specs) {
+            assert_eq!(c.train.len(), s.n_train);
+            assert_eq!(c.test.len(), 12);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for datasets and partitioners.
+
+use haccs_data::rotate::rotate_image;
+use haccs_data::{partition, FederatedDataset, ImageSet, SynthVision};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_sets_respect_weights_support(
+        seed in any::<u64>(),
+        n in 1usize..120,
+        majority in 0usize..6,
+    ) {
+        let classes = 6;
+        let g = SynthVision::mnist_like(classes, 8, 0);
+        let mut w = vec![0.0f32; classes];
+        w[majority] = 0.8;
+        w[(majority + 1) % classes] = 0.2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = g.generate_weighted(n, &w, 0.0, &mut rng);
+        prop_assert_eq!(set.len(), n);
+        let counts = set.label_counts();
+        for (c, &cnt) in counts.iter().enumerate() {
+            if w[c] == 0.0 {
+                prop_assert_eq!(cnt, 0, "label {} should be absent", c);
+            }
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn pixels_always_in_unit_range(seed in any::<u64>(), rot in 0.0f32..90.0) {
+        let g = SynthVision::cifar_like(4, 8, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = g.sample(seed as usize % 4, rot, &mut rng);
+        prop_assert!(img.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn split_tail_partitions_exactly(n in 1usize..60, pct in 0usize..=100) {
+        let mut s = ImageSet::empty(1, 2, 3);
+        for i in 0..n {
+            s.push(&[i as f32; 4], i % 3);
+        }
+        let frac = pct as f32 / 100.0;
+        let (head, tail) = s.split_tail(frac);
+        prop_assert_eq!(head.len() + tail.len(), n);
+        let expect_tail = ((n as f32) * frac).round() as usize;
+        prop_assert_eq!(tail.len(), expect_tail);
+    }
+
+    #[test]
+    fn rotation_preserves_range_and_size(angle in -180.0f32..180.0, side in 4usize..12) {
+        let img: Vec<f32> = (0..side * side).map(|i| (i % 7) as f32 / 6.0).collect();
+        let out = rotate_image(&img, 1, side, angle);
+        prop_assert_eq!(out.len(), img.len());
+        prop_assert!(out.iter().all(|&x| (0.0..=1.0 + 1e-5).contains(&x)));
+    }
+
+    #[test]
+    fn majority_noise_specs_are_valid(
+        n_clients in 1usize..30,
+        classes in 4usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs = partition::majority_noise(
+            n_clients, classes, &partition::MAJORITY_NOISE_75, (10, 20), 5, &mut rng,
+        );
+        prop_assert_eq!(specs.len(), n_clients);
+        for s in &specs {
+            let total: f32 = s.label_weights.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert_eq!(s.support().len(), 4);
+            prop_assert!((10..=20).contains(&s.n_train));
+            prop_assert!(s.label_weights[s.majority_label()] >= 0.74);
+        }
+    }
+
+    #[test]
+    fn materialized_federation_counts_match(seed in any::<u64>(), n_clients in 1usize..8) {
+        let g = SynthVision::mnist_like(4, 8, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs = partition::k_random_labels(n_clients, 4, 2, (5, 15), 3, &mut rng);
+        let fed = FederatedDataset::materialize(&g, &specs, seed);
+        prop_assert_eq!(fed.n_clients(), n_clients);
+        prop_assert_eq!(fed.global_test.len(), 3 * n_clients);
+        for (c, s) in fed.clients.iter().zip(&specs) {
+            prop_assert_eq!(c.train.len(), s.n_train);
+            // every training label must be in the spec's support
+            let support = s.support();
+            prop_assert!(c.train.labels().iter().all(|l| support.contains(l)));
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! Shared experiment infrastructure: scale presets, strategy construction,
+//! and the run-one-strategy helper every figure module uses.
+
+use crate::report::{Series, TableBlock};
+use haccs_baselines::{OortSelector, RandomSelector, TiflSelector};
+use haccs_core::{build_clusters, summarize_federation, ExtractionMethod, HaccsSelector};
+use haccs_data::{ClientSpec, DatasetKind, FederatedDataset, SynthVision};
+use haccs_fedsim::engine::ModelFactory;
+use haccs_fedsim::trainer::TrainConfig;
+use haccs_fedsim::{FedSim, RunResult, Selector, SimConfig};
+use haccs_nn::ModelKind;
+use haccs_summary::Summarizer;
+use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale: MLP on 8×8 synthetic images, 50 clients, short runs.
+    /// Used by the Criterion benches and the default `repro` runs.
+    Fast,
+    /// Paper-scale shapes: LeNet on 16×16, longer horizons.
+    Full,
+}
+
+impl Scale {
+    /// Image side length.
+    pub fn side(self) -> usize {
+        match self {
+            Scale::Fast => 8,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Model architecture.
+    pub fn model(self) -> ModelKind {
+        match self {
+            Scale::Fast => ModelKind::Mlp,
+            Scale::Full => ModelKind::LeNet,
+        }
+    }
+
+    /// Per-client training-set size range ("the amount of data available in
+    /// each client varies", §V-A).
+    pub fn samples_range(self) -> (usize, usize) {
+        match self {
+            Scale::Fast => (100, 500),
+            Scale::Full => (200, 1000),
+        }
+    }
+
+    /// Per-client held-out test examples.
+    pub fn test_n(self) -> usize {
+        match self {
+            Scale::Fast => 20,
+            Scale::Full => 40,
+        }
+    }
+
+    /// Default training rounds.
+    pub fn rounds(self) -> usize {
+        match self {
+            Scale::Fast => 60,
+            Scale::Full => 200,
+        }
+    }
+
+    /// Evaluation cadence (rounds).
+    pub fn eval_every(self) -> usize {
+        1
+    }
+}
+
+/// A materialized experiment environment shared by all strategies of one
+/// figure: identical data, profiles and seeds so runs are comparable.
+pub struct Env {
+    /// The federation's data.
+    pub fed: FederatedDataset,
+    /// Per-client Table II profiles.
+    pub profiles: Vec<DeviceProfile>,
+    /// Dataset family (decides channels).
+    pub kind: DatasetKind,
+    /// Scale preset.
+    pub scale: Scale,
+    /// Class count.
+    pub classes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Env {
+    /// Builds an environment from client specs.
+    pub fn new(
+        kind: DatasetKind,
+        classes: usize,
+        specs: &[ClientSpec],
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        let gen = make_generator(kind, classes, scale.side(), seed);
+        let fed = FederatedDataset::materialize(&gen, specs, seed ^ 0xDA7A);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5157EE);
+        let profiles = DeviceProfile::sample_many(fed.n_clients(), &mut rng);
+        Env { fed, profiles, kind, scale, classes, seed }
+    }
+
+    /// Model factory producing identically-initialized models (fixed seed:
+    /// every strategy starts from the same global parameters).
+    pub fn factory(&self) -> ModelFactory {
+        let model = self.scale.model();
+        let channels = self.kind.channels();
+        let side = self.scale.side();
+        let classes = self.classes;
+        let seed = self.seed ^ 0x0DE1;
+        Box::new(move || model.build(channels, side, classes, &mut StdRng::seed_from_u64(seed)))
+    }
+
+    /// Latency model sized for this environment's model architecture.
+    pub fn latency(&self) -> LatencyModel {
+        let n_params = self.factory()().param_count();
+        // Base per-example cost chosen so compute (≈0.25–0.75 s with the
+        // Table II multipliers at the 256-example local cap) and transfer
+        // (up to ~1 s on the 1–25 Mbps very-slow tier) both matter — the
+        // regime the paper's Table II spans.
+        LatencyModel::for_params(n_params, 1e-3, self.train_config().local_epochs)
+    }
+
+    /// Local-training hyperparameters.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            batch_size: 32,
+            local_epochs: 1,
+            lr: match self.scale.model() {
+                ModelKind::Mlp => 0.02,
+                ModelKind::LeNet => 0.02,
+            },
+            momentum: 0.9,
+            weight_decay: 1e-3,
+            max_batches_per_epoch: Some(8),
+            prox_mu: 0.0,
+            wants_images: self.scale.model().wants_images(),
+        }
+    }
+
+    /// Simulation config with `k` participants per round.
+    pub fn sim_config(&self, k: usize) -> SimConfig {
+        SimConfig {
+            k,
+            train: self.train_config(),
+            eval_every: self.scale.eval_every(),
+            eval_batch: 128,
+            eval_max: 1024,
+            probe_max: 64,
+            seed: self.seed,
+        }
+    }
+
+    /// Builds a fresh simulation (all strategies get identical state).
+    pub fn build_sim(&self, k: usize, availability: Availability) -> FedSim {
+        FedSim::new(
+            self.factory(),
+            self.fed.clone(),
+            self.profiles.clone(),
+            self.latency(),
+            availability,
+            self.sim_config(k),
+        )
+    }
+}
+
+/// Builds the synthetic generator standing in for `kind`.
+pub fn make_generator(kind: DatasetKind, classes: usize, side: usize, seed: u64) -> SynthVision {
+    match kind {
+        DatasetKind::MnistLike => SynthVision::mnist_like(classes, side, seed),
+        DatasetKind::FemnistLike => SynthVision::femnist_like(classes, side, seed),
+        DatasetKind::CifarLike => SynthVision::cifar_like(classes, side, seed),
+    }
+}
+
+/// The five evaluated strategies (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Uniform random selection.
+    Random,
+    /// TiFL tier-based selection.
+    Tifl,
+    /// Oort utility-based selection.
+    Oort,
+    /// HACCS clustering on the P(y) summary.
+    HaccsPy,
+    /// HACCS clustering on the P(X|y) summary.
+    HaccsPxy,
+}
+
+impl StrategyKind {
+    /// All five, in the paper's listing order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Random,
+        StrategyKind::Tifl,
+        StrategyKind::Oort,
+        StrategyKind::HaccsPy,
+        StrategyKind::HaccsPxy,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Random => "random",
+            StrategyKind::Tifl => "tifl",
+            StrategyKind::Oort => "oort",
+            StrategyKind::HaccsPy => "haccs-P(y)",
+            StrategyKind::HaccsPxy => "haccs-P(X|y)",
+        }
+    }
+
+    /// Instantiates the selector for `env`. HACCS variants compute client
+    /// summaries (with optional DP budget `epsilon`) and cluster them here,
+    /// exactly as the real system would at training start.
+    pub fn build(
+        self,
+        env: &Env,
+        rho: f32,
+        epsilon: Option<f64>,
+    ) -> Box<dyn Selector> {
+        match self {
+            StrategyKind::Random => Box::new(RandomSelector::new()),
+            StrategyKind::Tifl => Box::new(TiflSelector::new(4)),
+            StrategyKind::Oort => Box::new(OortSelector::new()),
+            StrategyKind::HaccsPy => {
+                Box::new(build_haccs(env, Summarizer::label_dist(), epsilon, rho, "P(y)"))
+            }
+            StrategyKind::HaccsPxy => {
+                Box::new(build_haccs(env, Summarizer::cond_dist(16), epsilon, rho, "P(X|y)"))
+            }
+        }
+    }
+}
+
+/// Summarize → cluster → HACCS selector.
+pub fn build_haccs(
+    env: &Env,
+    mut summarizer: Summarizer,
+    epsilon: Option<f64>,
+    rho: f32,
+    label: &str,
+) -> HaccsSelector {
+    if let Some(eps) = epsilon {
+        summarizer = summarizer.with_epsilon(eps);
+    }
+    let summaries = summarize_federation(&env.fed, &summarizer, env.seed ^ 0xD9);
+    let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+    HaccsSelector::new(groups, rho, label)
+}
+
+/// Runs one strategy in a fresh simulation of `env` for `rounds` rounds.
+pub fn run_strategy(
+    env: &Env,
+    strategy: StrategyKind,
+    k: usize,
+    rho: f32,
+    epsilon: Option<f64>,
+    availability: Availability,
+    rounds: usize,
+) -> RunResult {
+    let mut selector = strategy.build(env, rho, epsilon);
+    let mut sim = env.build_sim(k, availability);
+    sim.run(selector.as_mut(), rounds)
+}
+
+/// Converts a run into a time-accuracy [`Series`].
+pub fn accuracy_series(run: &RunResult) -> Series {
+    Series {
+        name: run.strategy.clone(),
+        x_label: "time_s".into(),
+        y_label: "accuracy".into(),
+        points: run
+            .curve
+            .iter()
+            .map(|p| (p.time_s, p.accuracy as f64))
+            .collect(),
+    }
+}
+
+/// Smoothing window for TTA readouts (the paper reports smoothed curves).
+pub const SMOOTH_WINDOW: usize = 5;
+
+/// Independent trials per configuration. TTA on a single short run is
+/// noisy (FedAvg under non-IID selection oscillates); tables report the
+/// median across trials with fresh data/profile/model seeds.
+pub fn trials_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Fast => 3,
+        Scale::Full => 5,
+    }
+}
+
+/// Runs every strategy in `strategies` across `trials` independent
+/// environments built by `make_env(trial_seed)`. Availability is rebuilt
+/// per trial via `make_availability(trial_seed)` so dropout traces stay
+/// identical *across strategies* within a trial.
+///
+/// Returns `[trial][strategy]` run results.
+pub fn run_trials(
+    strategies: &[StrategyKind],
+    trials: usize,
+    base_seed: u64,
+    k: usize,
+    rho: f32,
+    epsilon: Option<f64>,
+    rounds: usize,
+    make_env: impl Fn(u64) -> Env,
+    make_availability: impl Fn(u64) -> Availability,
+) -> Vec<Vec<RunResult>> {
+    (0..trials)
+        .map(|t| {
+            let seed = base_seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ t as u64;
+            let env = make_env(seed);
+            let availability = make_availability(seed);
+            strategies
+                .iter()
+                .map(|&s| run_strategy(&env, s, k, rho, epsilon, availability.clone(), rounds))
+                .collect()
+        })
+        .collect()
+}
+
+/// Median of a set of optional TTAs: unreached runs count as `+∞`, so the
+/// median is `None` when most trials never reached the target.
+pub fn median_tta(ttas: &[Option<f64>]) -> Option<f64> {
+    let mut vals: Vec<f64> = ttas.iter().map(|t| t.unwrap_or(f64::INFINITY)).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let m = vals[vals.len() / 2];
+    m.is_finite().then_some(m)
+}
+
+/// Builds the per-strategy TTA summary over trials: median smoothed TTA,
+/// how many trials reached the target, and mean best accuracy.
+pub fn tta_trials_table(all: &[Vec<RunResult>], target: f32) -> TableBlock {
+    assert!(!all.is_empty());
+    let n_strategies = all[0].len();
+    let trials = all.len();
+    let mut rows = Vec::new();
+    for s in 0..n_strategies {
+        let runs: Vec<&RunResult> = all.iter().map(|trial| &trial[s]).collect();
+        let ttas: Vec<Option<f64>> = runs.iter().map(|r| smoothed_tta(r, target)).collect();
+        let reached = ttas.iter().filter(|t| t.is_some()).count();
+        let mean_best: f32 = runs
+            .iter()
+            .map(|r| r.smoothed(SMOOTH_WINDOW).best_accuracy())
+            .sum::<f32>()
+            / trials as f32;
+        rows.push(vec![
+            runs[0].strategy.clone(),
+            median_tta(&ttas)
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "not reached".into()),
+            format!("{reached}/{trials}"),
+            format!("{mean_best:.3}"),
+        ]);
+    }
+    TableBlock {
+        title: format!(
+            "median time to {:.0}% accuracy over {trials} trials (smoothed curves)",
+            target * 100.0
+        ),
+        headers: vec![
+            "strategy".into(),
+            "median_tta_s".into(),
+            "reached".into(),
+            "mean_best_acc".into(),
+        ],
+        rows,
+    }
+}
+
+/// Median smoothed TTA for the strategy named `name` across trials.
+pub fn trials_tta_of(all: &[Vec<RunResult>], name: &str, target: f32) -> Option<f64> {
+    let ttas: Vec<Option<f64>> = all
+        .iter()
+        .filter_map(|trial| trial.iter().find(|r| r.strategy == name))
+        .map(|r| smoothed_tta(r, target))
+        .collect();
+    if ttas.is_empty() {
+        return None;
+    }
+    median_tta(&ttas)
+}
+
+/// TTA of a run at `target`, read from the smoothed curve.
+pub fn smoothed_tta(run: &RunResult, target: f32) -> Option<f64> {
+    run.smoothed(SMOOTH_WINDOW).time_to_accuracy(target)
+}
+
+/// Builds the TTA summary table for a set of runs at `target` accuracy.
+/// TTA is read from the smoothed curve, like the paper's figures.
+pub fn tta_table(runs: &[RunResult], target: f32) -> TableBlock {
+    let rows = runs
+        .iter()
+        .map(|r| {
+            let sm = r.smoothed(SMOOTH_WINDOW);
+            vec![
+                r.strategy.clone(),
+                match sm.time_to_accuracy(target) {
+                    Some(t) => format!("{t:.1}"),
+                    None => "not reached".into(),
+                },
+                format!("{:.3}", sm.best_accuracy()),
+                format!("{:.1}", r.total_time()),
+            ]
+        })
+        .collect();
+    TableBlock {
+        title: format!(
+            "time to {:.0}% accuracy (simulated seconds, smoothed curve)",
+            target * 100.0
+        ),
+        headers: vec![
+            "strategy".into(),
+            "tta_s".into(),
+            "best_acc".into(),
+            "total_time_s".into(),
+        ],
+        rows,
+    }
+}
+
+/// Percentage reduction of `a` relative to `b` (positive = `a` faster).
+pub fn reduction_pct(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) if y > 0.0 => Some(100.0 * (y - x) / y),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::partition;
+
+    fn tiny_env() -> Env {
+        let mut rng = StdRng::seed_from_u64(0);
+        let specs = partition::majority_noise(
+            8,
+            4,
+            &[0.75, 0.25],
+            (40, 60),
+            10,
+            &mut rng,
+        );
+        Env::new(DatasetKind::MnistLike, 4, &specs, Scale::Fast, 1)
+    }
+
+    #[test]
+    fn env_builds_consistent_pieces() {
+        let env = tiny_env();
+        assert_eq!(env.fed.n_clients(), 8);
+        assert_eq!(env.profiles.len(), 8);
+        let m1 = env.factory()();
+        let m2 = env.factory()();
+        assert_eq!(m1.get_params(), m2.get_params(), "factory must be deterministic");
+        assert!(env.latency().model_bits > 0.0);
+    }
+
+    #[test]
+    fn all_strategies_instantiate() {
+        let env = tiny_env();
+        for s in StrategyKind::ALL {
+            let sel = s.build(&env, 0.5, None);
+            assert!(!sel.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_strategy_produces_curve() {
+        let env = tiny_env();
+        let run = run_strategy(&env, StrategyKind::Random, 3, 0.5, None, Availability::AlwaysOn, 3);
+        assert_eq!(run.rounds.len(), 3);
+        assert_eq!(run.curve.len(), 3);
+        assert_eq!(run.strategy, "random");
+        let s = accuracy_series(&run);
+        assert_eq!(s.points.len(), 3);
+    }
+
+    #[test]
+    fn tta_table_handles_unreached() {
+        let env = tiny_env();
+        let run = run_strategy(&env, StrategyKind::Random, 3, 0.5, None, Availability::AlwaysOn, 2);
+        let t = tta_table(&[run], 0.999);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][1], "not reached");
+    }
+
+    #[test]
+    fn reduction_pct_math() {
+        assert_eq!(reduction_pct(Some(50.0), Some(100.0)), Some(50.0));
+        assert_eq!(reduction_pct(None, Some(100.0)), None);
+        assert_eq!(reduction_pct(Some(150.0), Some(100.0)), Some(-50.0));
+    }
+
+    #[test]
+    fn haccs_strategies_cluster_skewed_clients() {
+        // cleanly separable layout: 4 pairs, each pair sharing its exact
+        // label distribution
+        let mut rng = StdRng::seed_from_u64(5);
+        let specs = partition::two_clients_per_label(4, 80, &mut rng);
+        let env = Env::new(DatasetKind::MnistLike, 4, &specs, Scale::Fast, 2);
+        let h = build_haccs(&env, Summarizer::label_dist(), None, 0.5, "P(y)");
+        assert_eq!(h.groups().len(), 4, "groups: {:?}", h.groups());
+        let total: usize = h.groups().iter().map(|g| g.len()).sum();
+        assert_eq!(total, 8, "every client must be schedulable");
+    }
+
+    #[test]
+    fn weakly_skewed_clients_remain_schedulable() {
+        // the 8-client majority/noise env may or may not split into clusters
+        // (in-pair noise labels differ), but scheduling must always cover
+        // every client
+        let env = tiny_env();
+        let h = build_haccs(&env, Summarizer::label_dist(), None, 0.5, "P(y)");
+        let total: usize = h.groups().iter().map(|g| g.len()).sum();
+        assert_eq!(total, 8, "every client must be schedulable");
+    }
+}

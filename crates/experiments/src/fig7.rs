@@ -1,0 +1,165 @@
+//! Fig. 7 — sensitivity to the degree of label skew (§V-D1).
+//!
+//! Three data layouts on CIFAR-10-like data:
+//!
+//! * **IID** — every label on every client, identical sample counts,
+//! * **5 labels** — five random labels per client,
+//! * **high skew** — one majority label plus three noise labels
+//!   (75/12/7/6, the §V-A layout).
+//!
+//! For each layout, all five strategies run and the time to 50% accuracy
+//! is reported.
+
+use crate::common::{reduction_pct, Env, Scale, StrategyKind};
+use crate::report::{ExperimentReport, TableBlock};
+use haccs_data::{partition, ClientSpec, DatasetKind};
+use haccs_sysmodel::Availability;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three §V-D1 skew levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewLevel {
+    /// All 10 labels per client, equal sample counts.
+    Iid,
+    /// 5 random labels per client.
+    FiveLabels,
+    /// One majority label + 3 noise labels (75/12/7/6).
+    HighSkew,
+}
+
+impl SkewLevel {
+    /// All levels, lowest skew first.
+    pub const ALL: [SkewLevel; 3] = [SkewLevel::Iid, SkewLevel::FiveLabels, SkewLevel::HighSkew];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkewLevel::Iid => "iid",
+            SkewLevel::FiveLabels => "5-labels",
+            SkewLevel::HighSkew => "high-skew",
+        }
+    }
+
+    /// Builds the client specs for this level.
+    pub fn specs(self, n_clients: usize, classes: usize, scale: Scale, rng: &mut StdRng) -> Vec<ClientSpec> {
+        let range = scale.samples_range();
+        match self {
+            // "we ensure that the same number of training samples exist on
+            // each client" for IID
+            SkewLevel::Iid => {
+                partition::iid(n_clients, classes, (range.0 + range.1) / 2, scale.test_n())
+            }
+            SkewLevel::FiveLabels => {
+                partition::k_random_labels(n_clients, classes, 5, range, scale.test_n(), rng)
+            }
+            SkewLevel::HighSkew => partition::majority_noise(
+                n_clients,
+                classes,
+                &partition::MAJORITY_NOISE_75,
+                range,
+                scale.test_n(),
+                rng,
+            ),
+        }
+    }
+}
+
+/// Runs the Fig. 7 sweep.
+pub fn run(scale: Scale, seed: u64) -> ExperimentReport {
+    let n_clients = 50;
+    let k = 10;
+    let classes = 10;
+    let target = 0.5;
+    let rounds = scale.rounds();
+
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "time to 50% accuracy across degrees of label skew (CIFAR-10-like)",
+    );
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    let trials = crate::common::trials_for(scale);
+
+    for level in SkewLevel::ALL {
+        let all = crate::common::run_trials(
+            &StrategyKind::ALL,
+            trials,
+            seed ^ 0xF167 ^ level.name().len() as u64,
+            k,
+            0.5,
+            None,
+            rounds,
+            |s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                let specs = level.specs(n_clients, classes, scale, &mut rng);
+                Env::new(DatasetKind::CifarLike, classes, &specs, scale, s)
+            },
+            |_| Availability::AlwaysOn,
+        );
+        for (si, s) in StrategyKind::ALL.iter().enumerate() {
+            let ttas: Vec<Option<f64>> = all
+                .iter()
+                .map(|t| crate::common::smoothed_tta(&t[si], target))
+                .collect();
+            let mean_best: f32 = all
+                .iter()
+                .map(|t| t[si].best_accuracy())
+                .sum::<f32>()
+                / trials as f32;
+            rows.push(vec![
+                level.name().into(),
+                s.name().into(),
+                crate::common::median_tta(&ttas)
+                    .map(|t| format!("{t:.1}"))
+                    .unwrap_or_else(|| "not reached".into()),
+                format!("{mean_best:.3}"),
+            ]);
+        }
+        // headline reductions for the skewed cases
+        if level != SkewLevel::Iid {
+            let py = crate::common::trials_tta_of(&all, "haccs-P(y)", target);
+            for base in ["tifl", "oort"] {
+                if let Some(red) =
+                    reduction_pct(py, crate::common::trials_tta_of(&all, base, target))
+                {
+                    notes.push(format!(
+                        "{}: haccs-P(y) vs {base}: {red:.0}% TTA reduction",
+                        level.name()
+                    ));
+                }
+            }
+        }
+    }
+
+    report.tables.push(TableBlock {
+        title: format!("median TTA@50% by skew level and strategy ({trials} trials)"),
+        headers: vec![
+            "skew".into(),
+            "strategy".into(),
+            "median_tta_s".into(),
+            "mean_best_acc".into(),
+        ],
+        rows,
+    });
+    report.notes = notes;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_levels_build_expected_supports() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let iid = SkewLevel::Iid.specs(4, 10, Scale::Fast, &mut rng);
+        assert!(iid.iter().all(|s| s.support().len() == 10));
+        // IID: identical sample counts
+        assert!(iid.iter().all(|s| s.n_train == iid[0].n_train));
+        let five = SkewLevel::FiveLabels.specs(4, 10, Scale::Fast, &mut rng);
+        assert!(five.iter().all(|s| s.support().len() == 5));
+        let high = SkewLevel::HighSkew.specs(4, 10, Scale::Fast, &mut rng);
+        assert!(high.iter().all(|s| s.support().len() == 4));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fig. 8 — the differential-privacy trade-off (§V-D2).
+//!
+//! * **8a**: clustering accuracy vs ε. 20 clients, exactly two per majority
+//!   label (70/10/10/10 distribution), m ∈ {100, 500, 1000} data points per
+//!   client; for each ε the P(y) summaries are privatized, clustered, and
+//!   scored by the fraction of the 10 ground-truth pairs recovered exactly,
+//!   averaged over 10 trials.
+//! * **8b**: training TTA vs ε. The §V-A skewed CIFAR-like workload run
+//!   with HACCS-P(y) at ε ∈ {0.1, 0.01, 0.001} plus the random baseline.
+
+use crate::common::{accuracy_series, build_haccs, reduction_pct, run_strategy, Scale, StrategyKind};
+use crate::report::{ExperimentReport, Series, TableBlock};
+use haccs_cluster::quality::cluster_identification_accuracy;
+use haccs_core::{build_clusters, summarize_federation, ExtractionMethod};
+use haccs_data::{partition, DatasetKind, FederatedDataset};
+use haccs_summary::Summarizer;
+use haccs_sysmodel::Availability;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The ε grid swept in Fig. 8a.
+pub const EPSILONS_8A: [f64; 7] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// Clustering accuracy for one (m, ε, trial) cell. Public so the figure
+/// bench can measure a single cell.
+pub fn clustering_accuracy_once(m: usize, epsilon: f64, scale: Scale, seed: u64) -> f32 {
+    let classes = 10;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = partition::two_clients_per_label(classes, m, &mut rng);
+    let gen = crate::common::make_generator(DatasetKind::CifarLike, classes, scale.side(), seed);
+    let fed = FederatedDataset::materialize(&gen, &specs, seed ^ 0xDA7A);
+
+    let summarizer = Summarizer::label_dist().with_epsilon(epsilon);
+    let summaries = summarize_federation(&fed, &summarizer, seed ^ 0xD9);
+    let (clustering, _) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+
+    // ground truth: the two clients sharing each majority label
+    let truth: Vec<Vec<usize>> = (0..classes).map(|g| fed.group_members(g)).collect();
+    cluster_identification_accuracy(&clustering, &truth)
+}
+
+/// Fig. 8a: ε vs clustering accuracy at three data sizes.
+pub fn run_clustering(scale: Scale, seed: u64) -> ExperimentReport {
+    let trials = 10;
+    let sizes = [100usize, 500, 1000];
+    let mut report = ExperimentReport::new(
+        "fig8a",
+        "privacy budget ε vs clustering accuracy, P(y) summary, 2 clients per label",
+    );
+
+    let mut rows = Vec::new();
+    for &m in &sizes {
+        let mut points = Vec::new();
+        for &eps in &EPSILONS_8A {
+            let accs: Vec<f32> = (0..trials)
+                .map(|t| {
+                    clustering_accuracy_once(
+                        m,
+                        eps,
+                        scale,
+                        seed ^ (t as u64 + 1).wrapping_mul(0xA5A5_1234)
+                            ^ (m as u64) << 20
+                            ^ (eps * 1e6) as u64,
+                    )
+                })
+                .collect();
+            let mean = accs.iter().sum::<f32>() / trials as f32;
+            points.push((eps, mean as f64));
+            rows.push(vec![format!("{m}"), format!("{eps}"), format!("{mean:.2}")]);
+        }
+        report.series.push(Series {
+            name: format!("m={m}"),
+            x_label: "epsilon".into(),
+            y_label: "clustering_accuracy".into(),
+            points,
+        });
+    }
+    report.tables.push(TableBlock {
+        title: format!("mean clustering accuracy over {trials} trials"),
+        headers: vec!["data points / client".into(), "epsilon".into(), "accuracy".into()],
+        rows,
+    });
+    report
+        .notes
+        .push("paper: accuracy stays high for ε ≥ 0.05 when m ≥ 500; m = 100 degrades smoothly".into());
+    report
+}
+
+/// Fig. 8b: ε vs training TTA. Multi-trial: each trial builds a fresh
+/// federation; the random baseline and every ε level run in identical
+/// environments within a trial.
+pub fn run_tta(scale: Scale, seed: u64) -> ExperimentReport {
+    let k = 10;
+    let classes = 10;
+    let targets = [0.5f32, 0.55];
+    let rounds = scale.rounds();
+    let epsilons = [0.1f64, 0.01, 0.001];
+    let trials = crate::common::trials_for(scale);
+
+    // runs[config][trial]; config 0 = random baseline, then one per ε
+    let mut runs: Vec<Vec<haccs_fedsim::RunResult>> = vec![Vec::new(); 1 + epsilons.len()];
+    let mut cluster_counts = vec![Vec::new(); epsilons.len()];
+    for t in 0..trials {
+        let tseed = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ t as u64;
+        let env = crate::fig5::standard_env(DatasetKind::CifarLike, classes, scale, tseed);
+        runs[0].push(run_strategy(
+            &env,
+            StrategyKind::Random,
+            k,
+            0.5,
+            None,
+            Availability::AlwaysOn,
+            rounds,
+        ));
+        for (ei, &eps) in epsilons.iter().enumerate() {
+            let mut selector =
+                build_haccs(&env, Summarizer::label_dist(), Some(eps), 0.5, "P(y)");
+            cluster_counts[ei].push(selector.groups().len());
+            let mut sim = env.build_sim(k, Availability::AlwaysOn);
+            let mut run = sim.run(&mut selector, rounds);
+            run.strategy = format!("haccs-P(y) eps={eps}");
+            runs[1 + ei].push(run);
+        }
+    }
+
+    let mut report =
+        ExperimentReport::new("fig8b", "impact of the privacy budget ε on TTA");
+    for cfg in &runs {
+        report.series.push(accuracy_series(&cfg[0]));
+    }
+    for &target in &targets {
+        let median = |cfg: &[haccs_fedsim::RunResult]| -> Option<f64> {
+            let ttas: Vec<Option<f64>> =
+                cfg.iter().map(|r| crate::common::smoothed_tta(r, target)).collect();
+            crate::common::median_tta(&ttas)
+        };
+        let base_tta = median(&runs[0]);
+        let rows = runs
+            .iter()
+            .map(|cfg| {
+                let tta = median(cfg);
+                let red = if std::ptr::eq(cfg, &runs[0]) {
+                    "-".into()
+                } else {
+                    reduction_pct(tta, base_tta)
+                        .map(|r| format!("{r:.0}%"))
+                        .unwrap_or_else(|| "-".into())
+                };
+                let mean_best: f32 =
+                    cfg.iter().map(|r| r.best_accuracy()).sum::<f32>() / cfg.len() as f32;
+                vec![cfg[0].strategy.clone(), fmt_tta(tta), red, format!("{mean_best:.3}")]
+            })
+            .collect();
+        report.tables.push(TableBlock {
+            title: format!(
+                "median TTA@{:.0}% over {trials} trials and reduction vs random",
+                target * 100.0
+            ),
+            headers: vec![
+                "strategy".into(),
+                "median_tta_s".into(),
+                "reduction vs random".into(),
+                "mean_best_acc".into(),
+            ],
+            rows,
+        });
+    }
+    for (ei, &eps) in epsilons.iter().enumerate() {
+        report.notes.push(format!(
+            "eps={eps}: clusters per trial {:?} (noise destroys structure at small ε)",
+            cluster_counts[ei]
+        ));
+    }
+    report.notes.push(
+        "small ε can still hit an early 50% quickly (degenerate single cluster = pure \
+         latency-greedy selection) but caps the final accuracy — the 55% readout exposes it"
+            .into(),
+    );
+    report
+}
+
+fn fmt_tta(t: Option<f64>) -> String {
+    t.map(|x| format!("{x:.1}")).unwrap_or_else(|| "not reached".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_summaries_recover_pairs() {
+        // very weak noise ≈ exact clustering
+        let acc = clustering_accuracy_once(500, 50.0, Scale::Fast, 7);
+        assert!(acc >= 0.9, "accuracy {acc} with negligible noise");
+    }
+
+    #[test]
+    fn strong_noise_destroys_clusters_at_small_m() {
+        let accs: Vec<f32> = (0..5)
+            .map(|t| clustering_accuracy_once(100, 0.001, Scale::Fast, 100 + t))
+            .collect();
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        assert!(mean < 0.5, "ε=0.001 at m=100 should break most clusters, got {mean}");
+    }
+}

@@ -1,0 +1,73 @@
+//! # haccs-experiments
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation, each regenerating the corresponding result as a
+//! [`report::ExperimentReport`] (pretty-printed table + JSON series).
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`fig1`]  | Fig. 1 — dropout with skewed labels (motivation, §III) |
+//! | [`fig3`]  | Fig. 3 — histograms under Laplace noise (ε=0.1 / 0.005) |
+//! | [`fig5`]  | Fig. 5 — TTA on CIFAR-like and FEMNIST-like, 5 strategies |
+//! | [`fig6`]  | Fig. 6 — 10% per-epoch dropout on FEMNIST-like, 20 classes |
+//! | [`fig7`]  | Fig. 7 — TTA@target across degrees of label skew |
+//! | [`fig8`]  | Fig. 8a/8b — privacy budget vs clustering accuracy / TTA |
+//! | [`fig9`]  | Fig. 9 — the ρ trade-off sweep |
+//! | [`fig10`] | Fig. 10 — feature skew (45° rotated images) |
+//! | [`tab3`]  | Table III + Fig. 11 — inclusion & straggler bias at ρ=0.01 |
+//! | [`ablation`] | extra ablations called out in DESIGN.md |
+//!
+//! Table I is a constant in [`haccs_data::partition`]; Table II is the
+//! [`haccs_sysmodel::profile`] sampler; both are property-tested there.
+//!
+//! Every experiment takes a [`common::Scale`]: `Fast` (minutes, MLP on 8×8
+//! synthetic images — the default for benches and CI) or `Full`
+//! (LeNet on 16×16, paper-scale client counts and rounds).
+
+pub mod ablation;
+pub mod common;
+pub mod fig1;
+pub mod fig10;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod tab3;
+
+pub use common::{Scale, StrategyKind};
+pub use report::{ExperimentReport, Series, TableBlock};
+
+/// All experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1", "fig3", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "tab3",
+    "fig11", "ablation_extraction", "ablation_distance", "ablation_within_cluster",
+    "ablation_gradient", "ext_drift",
+];
+
+/// Runs one experiment by id. Panics on an unknown id (callers validate
+/// against [`ALL_EXPERIMENTS`]).
+pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> ExperimentReport {
+    match id {
+        "fig1" => fig1::run(scale, seed),
+        "fig3" => fig3::run(seed),
+        "fig5a" => fig5::run_cifar(scale, seed),
+        "fig5b" => fig5::run_femnist(scale, seed),
+        "fig6" => fig6::run(scale, seed),
+        "fig7" => fig7::run(scale, seed),
+        "fig8a" => fig8::run_clustering(scale, seed),
+        "fig8b" => fig8::run_tta(scale, seed),
+        "fig9" => fig9::run(scale, seed),
+        "fig10" => fig10::run(scale, seed),
+        "tab3" => tab3::run_table(scale, seed),
+        "fig11" => tab3::run_fig11(scale, seed),
+        "ablation_extraction" => ablation::run_extraction(scale, seed),
+        "ablation_distance" => ablation::run_distance(scale, seed),
+        "ablation_within_cluster" => ablation::run_within_cluster(scale, seed),
+        "ablation_gradient" => ablation::run_gradient(scale, seed),
+        "ext_drift" => ablation::run_drift(scale, seed),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Client-side state and the server's scheduling view of a client.
+
+use haccs_data::ClientData;
+use haccs_sysmodel::{DeviceProfile, LatencyModel};
+
+/// A simulated device: its data, its system profile, and bookkeeping the
+/// server maintains about it.
+#[derive(Debug, Clone)]
+pub struct ClientState {
+    /// Stable client id (index into the federation).
+    pub id: usize,
+    /// Local train/test shards.
+    pub data: ClientData,
+    /// Table II system profile.
+    pub profile: DeviceProfile,
+    /// Last local training loss observed by the server (`None` until the
+    /// client first participates or is probed).
+    pub last_loss: Option<f32>,
+    /// How many rounds this client has participated in.
+    pub participation_count: usize,
+}
+
+impl ClientState {
+    /// Creates a client.
+    pub fn new(id: usize, data: ClientData, profile: DeviceProfile) -> Self {
+        ClientState { id, data, profile, last_loss: None, participation_count: 0 }
+    }
+
+    /// Expected round latency for this client under `lat` (§IV-D).
+    pub fn expected_latency(&self, lat: &LatencyModel) -> f64 {
+        lat.round_seconds(&self.profile, self.data.n_train())
+    }
+}
+
+/// The server's immutable scheduling view of one client for one epoch.
+/// This is all a [`crate::Selector`] gets to see — mirroring what a real
+/// central server would know (no raw data!).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientInfo {
+    /// Client id.
+    pub id: usize,
+    /// Estimated §IV-D latency in seconds.
+    pub est_latency: f64,
+    /// Last observed local loss (initial probe or latest participation).
+    pub last_loss: f32,
+    /// Local training-set size (FedAvg weight, Oort's |B_i|).
+    pub n_train: usize,
+    /// Rounds participated so far.
+    pub participation_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::{partition, FederatedDataset, SynthVision};
+
+    fn mk_client() -> ClientState {
+        let gen = SynthVision::mnist_like(10, 8, 0);
+        let specs = partition::iid(1, 10, 40, 10);
+        let fed = FederatedDataset::materialize(&gen, &specs, 0);
+        ClientState::new(0, fed.clients[0].clone(), DeviceProfile::uniform_fast())
+    }
+
+    #[test]
+    fn new_client_has_no_loss() {
+        let c = mk_client();
+        assert!(c.last_loss.is_none());
+        assert_eq!(c.participation_count, 0);
+        assert_eq!(c.data.n_train(), 40);
+    }
+
+    #[test]
+    fn expected_latency_positive_and_monotone_in_multiplier() {
+        let mut c = mk_client();
+        let lat = LatencyModel::default();
+        let fast = c.expected_latency(&lat);
+        assert!(fast > 0.0);
+        c.profile.compute_multiplier = 3.0;
+        assert!(c.expected_latency(&lat) > fast);
+    }
+}

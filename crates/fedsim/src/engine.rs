@@ -1,0 +1,596 @@
+//! [`FedSim`]: the synchronous federated-averaging round loop.
+
+use crate::client::{ClientInfo, ClientState};
+use crate::metrics::{RoundRecord, RunResult, TimePoint};
+use crate::selector::{sanitize_selection, SelectionContext, Selector};
+use crate::trainer::{probe_loss, train_local, TrainConfig};
+use haccs_data::{FederatedDataset, ImageSet};
+use haccs_nn::{evaluate, Sequential};
+use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel, SimClock};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Builds a fresh (randomly initialized) model instance. Each parallel
+/// local trainer constructs its own instance and overwrites the parameters
+/// with the current global model.
+pub type ModelFactory = Box<dyn Fn() -> Sequential + Send + Sync>;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Clients selected per round (`k`). The paper uses 10 of 50 (20%).
+    pub k: usize,
+    /// Local-training hyperparameters.
+    pub train: TrainConfig,
+    /// Evaluate the global model every `eval_every` rounds.
+    pub eval_every: usize,
+    /// Mini-batch used during evaluation.
+    pub eval_batch: usize,
+    /// Cap on global-test examples per evaluation (sampled once, seeded).
+    pub eval_max: usize,
+    /// Examples per client for the initial loss probe.
+    pub probe_max: usize,
+    /// Master seed: local shuffles, probes and evaluation sampling derive
+    /// from it, so a run is fully reproducible.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            k: 10,
+            train: TrainConfig::default(),
+            eval_every: 1,
+            eval_batch: 64,
+            eval_max: 2048,
+            probe_max: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// The federated simulation: global model, clients, clock and history.
+pub struct FedSim {
+    factory: ModelFactory,
+    global_params: Vec<f32>,
+    /// All devices in the federation.
+    pub clients: Vec<ClientState>,
+    /// Latency model used for both scheduling estimates and clock advances.
+    pub latency: LatencyModel,
+    /// Dropout model.
+    pub availability: Availability,
+    cfg: SimConfig,
+    clock: SimClock,
+    eval_model: Sequential,
+    eval_set: ImageSet,
+    rng: StdRng,
+    epoch: usize,
+    result: RunResult,
+}
+
+impl FedSim {
+    /// Assembles a simulation from a materialized dataset and per-client
+    /// profiles. Probes every client's initial loss with the fresh global
+    /// model so selectors have a loss signal from round 0.
+    pub fn new(
+        factory: ModelFactory,
+        fed: FederatedDataset,
+        profiles: Vec<DeviceProfile>,
+        latency: LatencyModel,
+        availability: Availability,
+        cfg: SimConfig,
+    ) -> Self {
+        assert_eq!(fed.clients.len(), profiles.len(), "one profile per client");
+        assert!(cfg.k >= 1, "k must be at least 1");
+        assert!(cfg.eval_every >= 1);
+        let global_model = factory();
+        let global_params = global_model.get_params();
+
+        // down-sample the pooled test set once (seeded, unbiased)
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE7A1_77F0);
+        let eval_set = if fed.global_test.len() > cfg.eval_max {
+            let mut idx: Vec<usize> = (0..fed.global_test.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(cfg.eval_max);
+            let mut s = ImageSet::empty(
+                fed.global_test.channels(),
+                fed.global_test.side(),
+                fed.global_test.classes(),
+            );
+            for i in idx {
+                s.push(fed.global_test.image(i), fed.global_test.labels()[i]);
+            }
+            s
+        } else {
+            fed.global_test.clone()
+        };
+
+        let mut clients: Vec<ClientState> = fed
+            .clients
+            .into_iter()
+            .zip(profiles)
+            .enumerate()
+            .map(|(id, (data, profile))| ClientState::new(id, data, profile))
+            .collect();
+
+        // initial loss probe, in parallel (each worker builds its own model)
+        let cfg_train = cfg.train;
+        let probe_max = cfg.probe_max;
+        let gp = &global_params;
+        let f = &factory;
+        let losses: Vec<f32> = clients
+            .par_iter()
+            .map(|c| {
+                let mut m = f();
+                m.set_params(gp);
+                probe_loss(&mut m, &c.data.train, &cfg_train, probe_max)
+            })
+            .collect();
+        for (c, l) in clients.iter_mut().zip(losses) {
+            c.last_loss = Some(l);
+        }
+
+        FedSim {
+            factory,
+            global_params,
+            clients,
+            latency,
+            availability,
+            cfg,
+            clock: SimClock::new(),
+            eval_model: global_model,
+            eval_set,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            epoch: 0,
+            result: RunResult::default(),
+        }
+    }
+
+    /// Current epoch (rounds completed).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The current global parameter vector.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global_params
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Expected §IV-D round latency of client `id`, accounting for the
+    /// per-round local-work cap.
+    pub fn expected_latency(&self, id: usize) -> f64 {
+        let c = &self.clients[id];
+        let effective = self.cfg.train.effective_examples(c.data.n_train());
+        self.latency.round_seconds(&c.profile, effective)
+    }
+
+    /// Scheduling view ([`ClientInfo`]) of the given client ids.
+    pub fn client_infos(&self, ids: &[usize]) -> Vec<ClientInfo> {
+        ids.iter()
+            .map(|&id| {
+                let c = &self.clients[id];
+                ClientInfo {
+                    id,
+                    est_latency: self.expected_latency(id),
+                    last_loss: c.last_loss.unwrap_or(f32::MAX),
+                    n_train: c.data.n_train(),
+                    participation_count: c.participation_count,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs one synchronous round with `selector`. Returns the round record.
+    pub fn run_round(&mut self, selector: &mut dyn Selector) -> RoundRecord {
+        let n = self.clients.len();
+        let available_ids = self.availability.available_clients(n, self.epoch);
+        let infos = self.client_infos(&available_ids);
+        let ctx = SelectionContext { epoch: self.epoch, available: &infos, k: self.cfg.k };
+        let raw = selector.select(&ctx, &mut self.rng);
+        let selected = sanitize_selection(raw, &ctx);
+
+        let record = if selected.is_empty() {
+            // nothing trainable this epoch: idle-tick the clock so callers
+            // looping on time still terminate
+            self.clock.advance(1.0);
+            RoundRecord {
+                epoch: self.epoch,
+                time_s: self.clock.now(),
+                round_seconds: 1.0,
+                participants: Vec::new(),
+                mean_local_loss: f32::NAN,
+            }
+        } else {
+            // parallel local training (real SGD; simulated time)
+            let cfg_train = self.cfg.train;
+            let seed = self.cfg.seed;
+            let epoch = self.epoch;
+            let gp = &self.global_params;
+            let f = &self.factory;
+            let clients = &self.clients;
+            let updates: Vec<(usize, Vec<f32>, f32)> = selected
+                .par_iter()
+                .map(|&id| {
+                    let mut m = f();
+                    m.set_params(gp);
+                    let local_seed = seed
+                        ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9)
+                        ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B);
+                    let loss = train_local(&mut m, &clients[id].data.train, &cfg_train, local_seed);
+                    (id, m.get_params(), loss)
+                })
+                .collect();
+
+            // FedAvg: weight by local sample count
+            let total_weight: f64 = updates
+                .iter()
+                .map(|(id, _, _)| self.clients[*id].data.n_train() as f64)
+                .sum();
+            let mut new_params = vec![0.0f64; self.global_params.len()];
+            for (id, params, _) in &updates {
+                let w = self.clients[*id].data.n_train() as f64 / total_weight;
+                for (acc, &p) in new_params.iter_mut().zip(params) {
+                    *acc += w * p as f64;
+                }
+            }
+            self.global_params = new_params.into_iter().map(|x| x as f32).collect();
+
+            // bookkeeping + clock: the round takes as long as its slowest
+            // participant (synchronous FedAvg)
+            let mut round_seconds = 0.0f64;
+            let mut loss_sum = 0.0f32;
+            for (id, _, loss) in &updates {
+                round_seconds = round_seconds.max(self.expected_latency(*id));
+                let c = &mut self.clients[*id];
+                c.last_loss = Some(*loss);
+                c.participation_count += 1;
+                loss_sum += loss;
+            }
+            self.clock.advance(round_seconds);
+
+            let losses: Vec<f32> = updates.iter().map(|(_, _, l)| *l).collect();
+            let ids: Vec<usize> = updates.iter().map(|(id, _, _)| *id).collect();
+            selector.observe_round(self.epoch, &ids, &losses);
+
+            RoundRecord {
+                epoch: self.epoch,
+                time_s: self.clock.now(),
+                round_seconds,
+                participants: ids,
+                mean_local_loss: loss_sum / updates.len() as f32,
+            }
+        };
+
+        self.result.rounds.push(record.clone());
+        self.epoch += 1;
+
+        if self.epoch % self.cfg.eval_every == 0 {
+            let tp = self.evaluate_global();
+            self.result.curve.push(tp);
+        }
+        record
+    }
+
+    /// Evaluates the current global model on the (sampled) pooled test set.
+    pub fn evaluate_global(&mut self) -> TimePoint {
+        self.eval_model.set_params(&self.global_params);
+        let (x, y) = if self.cfg.train.wants_images {
+            (self.eval_set.tensor_nchw(), self.eval_set.labels().to_vec())
+        } else {
+            (self.eval_set.tensor_flat(), self.eval_set.labels().to_vec())
+        };
+        let r = evaluate(&mut self.eval_model, &x, &y, self.cfg.eval_batch);
+        TimePoint {
+            time_s: self.clock.now(),
+            epoch: self.epoch,
+            accuracy: r.accuracy,
+            loss: r.loss,
+        }
+    }
+
+    /// Computes a per-client **gradient sketch**: the flat gradient of the
+    /// loss at the *current global model* over (up to `max_examples` of)
+    /// each client's training data. This is the alternative summary §IV-A
+    /// discusses — "devices may have gradients that point in similar
+    /// directions" — which must be recomputed every epoch because it
+    /// changes with the model. In a deployment each client would compute
+    /// and upload this (Θ(|w|) per client per epoch!); here the simulator
+    /// evaluates it directly.
+    pub fn gradient_sketches(&self, max_examples: usize) -> Vec<Vec<f32>> {
+        let gp = &self.global_params;
+        let f = &self.factory;
+        let cfg = self.cfg;
+        self.clients
+            .par_iter()
+            .map(|c| {
+                let mut m = f();
+                m.set_params(gp);
+                let n = c.data.train.len().min(max_examples.max(1));
+                let idx: Vec<usize> = (0..n).collect();
+                let (x, y) = if cfg.train.wants_images {
+                    c.data.train.batch_nchw(&idx)
+                } else {
+                    c.data.train.batch_flat(&idx)
+                };
+                let logits = m.forward(x);
+                let (_, d) = haccs_nn::softmax_cross_entropy(&logits, &y);
+                m.zero_grad();
+                m.backward(d);
+                m.get_grads()
+            })
+            .collect()
+    }
+
+    /// Evaluates the global model on every client's *local test* shard —
+    /// the per-group accuracy readout of Fig. 1 and the per-device readout
+    /// of Fig. 11. Clients with empty test shards get accuracy `NaN`.
+    pub fn evaluate_per_client(&self) -> Vec<f32> {
+        let gp = &self.global_params;
+        let f = &self.factory;
+        let cfg = self.cfg;
+        self.clients
+            .par_iter()
+            .map(|c| {
+                if c.data.test.is_empty() {
+                    return f32::NAN;
+                }
+                let mut m = f();
+                m.set_params(gp);
+                let (x, y) = if cfg.train.wants_images {
+                    (c.data.test.tensor_nchw(), c.data.test.labels().to_vec())
+                } else {
+                    (c.data.test.tensor_flat(), c.data.test.labels().to_vec())
+                };
+                evaluate(&mut m, &x, &y, cfg.eval_batch).accuracy
+            })
+            .collect()
+    }
+
+    /// Adds a client mid-training (§IV-C: devices may join while training
+    /// is in progress). The new client's loss is probed against the current
+    /// global model so selectors see a meaningful signal immediately.
+    /// Returns the new client's id. Callers using HACCS should re-cluster
+    /// (`HaccsSelector::recluster`) with the newcomer's summary included.
+    pub fn add_client(
+        &mut self,
+        data: haccs_data::ClientData,
+        profile: DeviceProfile,
+    ) -> usize {
+        let id = self.clients.len();
+        let mut c = ClientState::new(id, data, profile);
+        let mut m = (self.factory)();
+        m.set_params(&self.global_params);
+        c.last_loss = Some(probe_loss(&mut m, &c.data.train, &self.cfg.train, self.cfg.probe_max));
+        self.clients.push(c);
+        id
+    }
+
+    /// Replaces a client's local data mid-training (§IV-C: "the data
+    /// distribution at a given client device could change over time").
+    /// The client's loss is re-probed against the current global model.
+    /// Callers should have the client send a fresh summary and re-cluster.
+    pub fn replace_client_data(&mut self, id: usize, data: haccs_data::ClientData) {
+        let mut m = (self.factory)();
+        m.set_params(&self.global_params);
+        let loss = probe_loss(&mut m, &data.train, &self.cfg.train, self.cfg.probe_max);
+        let c = &mut self.clients[id];
+        c.data = data;
+        c.last_loss = Some(loss);
+    }
+
+    /// Runs `rounds` rounds and returns the accumulated result.
+    pub fn run(&mut self, selector: &mut dyn Selector, rounds: usize) -> RunResult {
+        for _ in 0..rounds {
+            self.run_round(selector);
+        }
+        let mut out = self.result.clone();
+        out.strategy = selector.name();
+        out
+    }
+
+    /// Runs until `target` accuracy is reached (checked at each evaluation)
+    /// or `max_rounds` elapse, whichever comes first.
+    pub fn run_until(
+        &mut self,
+        selector: &mut dyn Selector,
+        target: f32,
+        max_rounds: usize,
+    ) -> RunResult {
+        for _ in 0..max_rounds {
+            self.run_round(selector);
+            if let Some(tp) = self.result.curve.last() {
+                if tp.accuracy >= target {
+                    break;
+                }
+            }
+        }
+        let mut out = self.result.clone();
+        out.strategy = selector.name();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::{partition, SynthVision};
+    use haccs_nn::mlp;
+
+    /// Trivial selector: first k available.
+    struct FirstK;
+    impl Selector for FirstK {
+        fn name(&self) -> String {
+            "first-k".into()
+        }
+        fn select(&mut self, ctx: &SelectionContext<'_>, _rng: &mut StdRng) -> Vec<usize> {
+            ctx.available.iter().take(ctx.k).map(|c| c.id).collect()
+        }
+    }
+
+    fn build_sim(n_clients: usize, availability: Availability) -> FedSim {
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(n_clients, 4, 60, 16);
+        let fed = FederatedDataset::materialize(&gen, &specs, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let profiles = DeviceProfile::sample_many(n_clients, &mut rng);
+        let factory: ModelFactory =
+            Box::new(|| mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
+        FedSim::new(
+            factory,
+            fed,
+            profiles,
+            LatencyModel::default(),
+            availability,
+            SimConfig { k: 3, seed: 5, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn initial_probe_fills_losses() {
+        let sim = build_sim(6, Availability::AlwaysOn);
+        for c in &sim.clients {
+            let l = c.last_loss.expect("probed");
+            assert!(l.is_finite() && l > 0.0);
+        }
+    }
+
+    #[test]
+    fn round_advances_clock_by_slowest() {
+        let mut sim = build_sim(6, Availability::AlwaysOn);
+        let rec = sim.run_round(&mut FirstK);
+        assert_eq!(rec.participants.len(), 3);
+        let slowest = rec
+            .participants
+            .iter()
+            .map(|&id| sim.expected_latency(id))
+            .fold(0.0f64, f64::max);
+        assert!((rec.round_seconds - slowest).abs() < 1e-9);
+        assert!((sim.now() - rec.round_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_improves_accuracy() {
+        let mut sim = build_sim(6, Availability::AlwaysOn);
+        let before = sim.evaluate_global();
+        let result = sim.run(&mut FirstK, 15);
+        let after = result.curve.last().unwrap();
+        assert!(
+            after.accuracy > before.accuracy + 0.1,
+            "accuracy {} -> {}",
+            before.accuracy,
+            after.accuracy
+        );
+        assert!(after.loss < before.loss);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut sim = build_sim(6, Availability::AlwaysOn);
+        let res = sim.run(&mut FirstK, 5);
+        for w in res.rounds.windows(2) {
+            assert!(w[1].time_s >= w[0].time_s);
+        }
+    }
+
+    #[test]
+    fn dropout_shrinks_available_pool() {
+        let mut sim = build_sim(6, Availability::permanent([0, 1, 2, 3, 4]));
+        let rec = sim.run_round(&mut FirstK);
+        assert_eq!(rec.participants, vec![5]);
+    }
+
+    #[test]
+    fn all_dropped_idles() {
+        let mut sim = build_sim(3, Availability::permanent([0, 1, 2]));
+        let rec = sim.run_round(&mut FirstK);
+        assert!(rec.participants.is_empty());
+        assert_eq!(rec.round_seconds, 1.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let r1 = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 5);
+        let r2 = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 5);
+        assert_eq!(r1.rounds, r2.rounds);
+        for (a, b) in r1.curve.iter().zip(&r2.curve) {
+            assert_eq!(a.accuracy, b.accuracy);
+        }
+    }
+
+    #[test]
+    fn fedavg_of_identical_updates_is_identity() {
+        // single client selected → global params become that client's params
+        let mut sim = build_sim(2, Availability::permanent([1]));
+        let before = sim.global_params().to_vec();
+        sim.run_round(&mut FirstK);
+        let after = sim.global_params().to_vec();
+        assert_ne!(before, after, "params should move");
+    }
+
+    #[test]
+    fn per_client_eval_has_one_entry_each() {
+        let sim = build_sim(5, Availability::AlwaysOn);
+        let accs = sim.evaluate_per_client();
+        assert_eq!(accs.len(), 5);
+        assert!(accs.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn clients_can_join_mid_training() {
+        let mut sim = build_sim(4, Availability::AlwaysOn);
+        sim.run(&mut FirstK, 2);
+        // a new device joins with fresh data
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(1, 4, 30, 8);
+        let fed = FederatedDataset::materialize(&gen, &specs, 99);
+        let id = sim.add_client(fed.clients[0].clone(), DeviceProfile::uniform_fast());
+        assert_eq!(id, 4);
+        assert_eq!(sim.clients.len(), 5);
+        // probed against the *current* global model
+        assert!(sim.clients[4].last_loss.unwrap().is_finite());
+        // it is schedulable in the next round
+        let infos = sim.client_infos(&[4]);
+        assert_eq!(infos[0].id, 4);
+        assert!(infos[0].est_latency > 0.0);
+        sim.run_round(&mut FirstK); // engine still runs fine with 5 clients
+    }
+
+    #[test]
+    fn client_data_can_be_replaced_mid_training() {
+        let mut sim = build_sim(4, Availability::AlwaysOn);
+        sim.run(&mut FirstK, 2);
+        let old_loss = sim.clients[0].last_loss.unwrap();
+        // replace client 0's shard with much bigger, differently-seeded data
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(1, 4, 90, 5);
+        let fed = FederatedDataset::materialize(&gen, &specs, 1234);
+        sim.replace_client_data(0, fed.clients[0].clone());
+        assert_eq!(sim.clients[0].data.n_train(), 90);
+        let new_loss = sim.clients[0].last_loss.unwrap();
+        assert!(new_loss.is_finite());
+        assert_ne!(new_loss, old_loss, "loss must be re-probed on fresh data");
+        sim.run_round(&mut FirstK);
+    }
+
+    #[test]
+    fn participation_counts_recorded() {
+        let mut sim = build_sim(6, Availability::AlwaysOn);
+        let res = sim.run(&mut FirstK, 4);
+        let counts = res.participation_counts(6);
+        assert_eq!(counts[0], 4); // FirstK always picks client 0
+        assert_eq!(counts[5], 0);
+        assert_eq!(sim.clients[0].participation_count, 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # haccs-fedsim
+//!
+//! The federated-learning simulation engine. This is the substrate the
+//! paper built with PySyft + gRPC across two Xeon machines (§IV-F): a
+//! central server running Federated Averaging over virtual clients, with
+//! system heterogeneity accounted by [`haccs_sysmodel`]'s simulated clock
+//! instead of injected sleeps (see DESIGN.md §2 for the substitution).
+//!
+//! Key pieces:
+//!
+//! * [`client::ClientState`] — a device: local shards, a Table II
+//!   performance profile, and the server's view of its last observed loss,
+//! * [`selector::Selector`] — the strategy interface every scheduler
+//!   (Random/TiFL/Oort/HACCS) implements,
+//! * [`trainer`] — real local SGD on the client's shard (clients train
+//!   *for real*; only time is simulated), parallelized across clients with
+//!   rayon,
+//! * [`engine::FedSim`] — the synchronous round loop: select → train →
+//!   FedAvg → advance clock by the slowest participant → evaluate,
+//! * [`metrics`] — time-to-accuracy curves and the TTA(target) readout the
+//!   paper's evaluation reports.
+
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod selector;
+pub mod trainer;
+
+pub use client::{ClientInfo, ClientState};
+pub use engine::{FedSim, SimConfig};
+pub use metrics::{RoundRecord, RunResult, TimePoint};
+pub use selector::{SelectionContext, Selector};

@@ -1,0 +1,153 @@
+//! Run records and time-to-accuracy curves.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation point on the training curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Simulated seconds since training started.
+    pub time_s: f64,
+    /// Round index at which the evaluation happened.
+    pub epoch: usize,
+    /// Global test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Global test loss.
+    pub loss: f32,
+}
+
+/// Bookkeeping for one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index.
+    pub epoch: usize,
+    /// Simulated time at the *end* of the round.
+    pub time_s: f64,
+    /// Duration of this round (slowest selected client).
+    pub round_seconds: f64,
+    /// Ids that trained this round.
+    pub participants: Vec<usize>,
+    /// Mean local training loss across participants.
+    pub mean_local_loss: f32,
+}
+
+/// The full result of a simulated run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Accuracy/loss checkpoints over simulated time.
+    pub curve: Vec<TimePoint>,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunResult {
+    /// Simulated seconds needed to *first* reach `target` accuracy, or
+    /// `None` if the run never got there. This is the paper's TTA metric.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.curve
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.time_s)
+    }
+
+    /// A copy of this run with the accuracy/loss curve replaced by a
+    /// centered moving average of width `window` (the paper reports
+    /// "smoothed curves"; TTA readouts on the smoothed curve are robust to
+    /// single-evaluation spikes).
+    pub fn smoothed(&self, window: usize) -> RunResult {
+        assert!(window >= 1);
+        let n = self.curve.len();
+        let half = window / 2;
+        let curve = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(n);
+                let span = &self.curve[lo..hi];
+                let m = span.len() as f32;
+                TimePoint {
+                    time_s: self.curve[i].time_s,
+                    epoch: self.curve[i].epoch,
+                    accuracy: span.iter().map(|p| p.accuracy).sum::<f32>() / m,
+                    loss: span.iter().map(|p| p.loss).sum::<f32>() / m,
+                }
+            })
+            .collect();
+        RunResult { strategy: self.strategy.clone(), curve, rounds: self.rounds.clone() }
+    }
+
+    /// Best accuracy seen.
+    pub fn best_accuracy(&self) -> f32 {
+        self.curve.iter().map(|p| p.accuracy).fold(0.0, f32::max)
+    }
+
+    /// Final simulated time.
+    pub fn total_time(&self) -> f64 {
+        self.rounds.last().map(|r| r.time_s).unwrap_or(0.0)
+    }
+
+    /// How many times each client id participated.
+    pub fn participation_counts(&self, n_clients: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_clients];
+        for r in &self.rounds {
+            for &p in &r.participants {
+                counts[p] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> RunResult {
+        RunResult {
+            strategy: "test".into(),
+            curve: vec![
+                TimePoint { time_s: 10.0, epoch: 0, accuracy: 0.3, loss: 2.0 },
+                TimePoint { time_s: 20.0, epoch: 1, accuracy: 0.55, loss: 1.5 },
+                TimePoint { time_s: 30.0, epoch: 2, accuracy: 0.5, loss: 1.6 },
+                TimePoint { time_s: 40.0, epoch: 3, accuracy: 0.7, loss: 1.0 },
+            ],
+            rounds: vec![
+                RoundRecord {
+                    epoch: 0,
+                    time_s: 10.0,
+                    round_seconds: 10.0,
+                    participants: vec![0, 1],
+                    mean_local_loss: 2.0,
+                },
+                RoundRecord {
+                    epoch: 1,
+                    time_s: 20.0,
+                    round_seconds: 10.0,
+                    participants: vec![1, 2],
+                    mean_local_loss: 1.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tta_finds_first_crossing() {
+        let r = run();
+        assert_eq!(r.time_to_accuracy(0.5), Some(20.0));
+        assert_eq!(r.time_to_accuracy(0.7), Some(40.0));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn best_accuracy_and_total_time() {
+        let r = run();
+        assert_eq!(r.best_accuracy(), 0.7);
+        assert_eq!(r.total_time(), 20.0);
+    }
+
+    #[test]
+    fn participation_counts() {
+        let r = run();
+        assert_eq!(r.participation_counts(4), vec![1, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! The client-selection strategy interface.
+
+use crate::client::ClientInfo;
+use rand::rngs::StdRng;
+
+/// Everything a selector sees when choosing participants for one epoch.
+#[derive(Debug)]
+pub struct SelectionContext<'a> {
+    /// Current epoch (round) number, starting at 0.
+    pub epoch: usize,
+    /// Scheduling view of *available* clients this epoch (dropout applied).
+    pub available: &'a [ClientInfo],
+    /// Number of clients to select.
+    pub k: usize,
+}
+
+/// A client-selection strategy. Implemented by Random/TiFL/Oort
+/// (haccs-baselines) and HACCS itself (haccs-core).
+pub trait Selector: Send {
+    /// Strategy name for reports.
+    fn name(&self) -> String;
+
+    /// Picks up to `ctx.k` *distinct* client ids from `ctx.available`.
+    /// Returning fewer than `k` is allowed (e.g. fewer clients available).
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> Vec<usize>;
+
+    /// Feedback after the round: the ids that participated and their fresh
+    /// local losses. Default: ignore.
+    fn observe_round(&mut self, _epoch: usize, _participants: &[usize], _losses: &[f32]) {}
+}
+
+/// Validates and normalizes a selector's output: drops ids not available,
+/// deduplicates preserving order, truncates to `k`.
+pub fn sanitize_selection(selection: Vec<usize>, ctx: &SelectionContext<'_>) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let available: std::collections::HashSet<usize> =
+        ctx.available.iter().map(|c| c.id).collect();
+    selection
+        .into_iter()
+        .filter(|id| available.contains(id) && seen.insert(*id))
+        .take(ctx.k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: usize) -> ClientInfo {
+        ClientInfo { id, est_latency: 1.0, last_loss: 1.0, n_train: 10, participation_count: 0 }
+    }
+
+    #[test]
+    fn sanitize_dedupes_and_filters() {
+        let avail = [info(1), info(2), info(3)];
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+        let out = sanitize_selection(vec![2, 9, 2, 1, 3], &ctx);
+        assert_eq!(out, vec![2, 1]);
+    }
+
+    #[test]
+    fn sanitize_allows_short_output() {
+        let avail = [info(1)];
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 5 };
+        assert_eq!(sanitize_selection(vec![1], &ctx), vec![1]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Local training: real SGD on a client's shard.
+
+use haccs_data::ImageSet;
+use haccs_nn::{softmax_cross_entropy, Sequential, Sgd};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Local-training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay — important in federated runs where a selector may
+    /// repeatedly train the same small shards (guards against memorizing
+    /// per-shard noise).
+    pub weight_decay: f32,
+    /// Fixed mini-batch count per local epoch (`None` = one pass over the
+    /// full local data). Practical FL systems run a fixed number of local
+    /// steps per round (Oort's evaluation does exactly this): clients with
+    /// small shards cycle their data, clients with large shards subsample.
+    /// This also decorrelates a client's round time from its shard size —
+    /// heterogeneity comes from Table II, not data volume.
+    pub max_batches_per_epoch: Option<usize>,
+    /// FedProx proximal coefficient μ (Li et al., MLSys'20 — the paper's
+    /// \[36\]): adds `μ‖w − w_global‖²/2` to the local objective, pulling
+    /// local updates toward the global model under statistical
+    /// heterogeneity. `0.0` = plain FedAvg.
+    pub prox_mu: f32,
+    /// Whether the model consumes NCHW images (CNN) or flat rows (MLP).
+    pub wants_images: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            batch_size: 32,
+            local_epochs: 1,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-3,
+            max_batches_per_epoch: Some(8),
+            prox_mu: 0.0,
+            wants_images: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Examples actually trained per local epoch on a shard of `n` examples
+    /// (exactly `cap·batch_size` under a fixed step count — small shards
+    /// cycle, large shards subsample).
+    pub fn effective_examples(&self, n: usize) -> usize {
+        match self.max_batches_per_epoch {
+            Some(cap) => cap * self.batch_size,
+            None => n,
+        }
+    }
+}
+
+/// Runs `cfg.local_epochs` of SGD over `data` on `model` and returns the
+/// mean training loss across all batches. The caller seeds determinism via
+/// `seed` (shuffling only).
+pub fn train_local(model: &mut Sequential, data: &ImageSet, cfg: &TrainConfig, seed: u64) -> f32 {
+    assert!(cfg.batch_size >= 1);
+    assert!(cfg.prox_mu >= 0.0, "proximal coefficient must be non-negative");
+    assert!(!data.is_empty(), "cannot train on an empty shard");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Sgd::with_options(cfg.lr, cfg.momentum, cfg.weight_decay);
+    // FedProx anchor: the global parameters the client received
+    let anchor = (cfg.prox_mu > 0.0).then(|| model.get_params());
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut total_loss = 0.0f64;
+    let mut batches = 0usize;
+    for _ in 0..cfg.local_epochs {
+        idx.shuffle(&mut rng);
+        let chunks: Vec<Vec<usize>> = match cfg.max_batches_per_epoch {
+            // fixed step count: cycle the shuffled shard to fill the quota
+            Some(cap) => {
+                let need = cap * cfg.batch_size;
+                let cycled: Vec<usize> =
+                    idx.iter().cycle().take(need).copied().collect();
+                cycled.chunks(cfg.batch_size).map(|c| c.to_vec()).collect()
+            }
+            None => idx.chunks(cfg.batch_size).map(|c| c.to_vec()).collect(),
+        };
+        for chunk in &chunks {
+            let (x, y) = if cfg.wants_images {
+                data.batch_nchw(chunk)
+            } else {
+                data.batch_flat(chunk)
+            };
+            let logits = model.forward(x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
+            model.zero_grad();
+            model.backward(dlogits);
+            opt.step(model);
+            if let Some(anchor) = &anchor {
+                // proximal step: w ← w − lr·μ·(w − w_global)
+                let shrink = cfg.lr * cfg.prox_mu;
+                let mut at = 0usize;
+                model.for_each_param(|p, _| {
+                    let n = p.len();
+                    for (w, &a) in p.iter_mut().zip(&anchor[at..at + n]) {
+                        *w -= shrink * (*w - a);
+                    }
+                    at += n;
+                });
+            }
+            total_loss += loss as f64;
+            batches += 1;
+        }
+    }
+    (total_loss / batches as f64) as f32
+}
+
+/// Computes the mean loss of `model` on (a sample of) `data` without
+/// updating parameters — the server's initial "probe" of client losses.
+pub fn probe_loss(model: &mut Sequential, data: &ImageSet, cfg: &TrainConfig, max_examples: usize) -> f32 {
+    assert!(!data.is_empty());
+    let n = data.len().min(max_examples.max(1));
+    let idx: Vec<usize> = (0..n).collect();
+    let (x, y) = if cfg.wants_images {
+        data.batch_nchw(&idx)
+    } else {
+        data.batch_flat(&idx)
+    };
+    let logits = model.forward(x);
+    let (loss, _) = softmax_cross_entropy(&logits, &y);
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::SynthVision;
+    use haccs_nn::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shard(seed: u64) -> ImageSet {
+        let g = SynthVision::mnist_like(4, 8, 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        g.generate(&[20, 20, 20, 20], 0.0, &mut rng)
+    }
+
+    fn model(seed: u64) -> Sequential {
+        mlp(64, &[32], 4, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = shard(0);
+        let mut m = model(0);
+        let cfg = TrainConfig { local_epochs: 1, lr: 0.1, ..Default::default() };
+        let first = probe_loss(&mut m, &data, &cfg, 80);
+        for round in 0..5 {
+            train_local(&mut m, &data, &cfg, round);
+        }
+        let after = probe_loss(&mut m, &data, &cfg, 80);
+        assert!(after < first * 0.8, "loss {first} -> {after}");
+    }
+
+    #[test]
+    fn train_is_deterministic_given_seed() {
+        let data = shard(1);
+        let cfg = TrainConfig::default();
+        let mut m1 = model(1);
+        let mut m2 = model(1);
+        let l1 = train_local(&mut m1, &data, &cfg, 42);
+        let l2 = train_local(&mut m2, &data, &cfg, 42);
+        assert_eq!(l1, l2);
+        assert_eq!(m1.get_params(), m2.get_params());
+    }
+
+    #[test]
+    fn probe_does_not_modify_params() {
+        let data = shard(2);
+        let mut m = model(2);
+        let before = m.get_params();
+        probe_loss(&mut m, &data, &TrainConfig::default(), 50);
+        assert_eq!(m.get_params(), before);
+    }
+
+    #[test]
+    fn multiple_local_epochs_train_more() {
+        let data = shard(3);
+        let cfg1 = TrainConfig { local_epochs: 1, lr: 0.05, ..Default::default() };
+        let cfg4 = TrainConfig { local_epochs: 4, ..cfg1 };
+        let mut m1 = model(3);
+        let mut m4 = model(3);
+        train_local(&mut m1, &data, &cfg1, 0);
+        train_local(&mut m4, &data, &cfg4, 0);
+        let l1 = probe_loss(&mut m1, &data, &cfg1, 80);
+        let l4 = probe_loss(&mut m4, &data, &cfg4, 80);
+        assert!(l4 < l1, "more local epochs should fit better: {l4} vs {l1}");
+    }
+
+    #[test]
+    fn fedprox_pulls_updates_toward_global() {
+        let data = shard(5);
+        let plain_cfg = TrainConfig { prox_mu: 0.0, ..Default::default() };
+        let prox_cfg = TrainConfig { prox_mu: 5.0, ..Default::default() };
+        let mut plain = model(5);
+        let mut prox = model(5);
+        let start = plain.get_params();
+        train_local(&mut plain, &data, &plain_cfg, 0);
+        train_local(&mut prox, &data, &prox_cfg, 0);
+        let drift = |m: &Sequential| -> f32 {
+            m.get_params()
+                .iter()
+                .zip(&start)
+                .map(|(w, a)| (w - a) * (w - a))
+                .sum::<f32>()
+                .sqrt()
+        };
+        assert!(
+            drift(&prox) < drift(&plain) * 0.9,
+            "prox drift {} should be well under plain drift {}",
+            drift(&prox),
+            drift(&plain)
+        );
+    }
+
+    #[test]
+    fn fedprox_zero_mu_is_plain_fedavg() {
+        let data = shard(6);
+        let cfg = TrainConfig::default();
+        let mut a = model(6);
+        let mut b = model(6);
+        train_local(&mut a, &data, &cfg, 3);
+        train_local(&mut b, &data, &TrainConfig { prox_mu: 0.0, ..cfg }, 3);
+        assert_eq!(a.get_params(), b.get_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn empty_shard_panics() {
+        let g = SynthVision::mnist_like(4, 8, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty = g.generate(&[0, 0, 0, 0], 0.0, &mut rng);
+        train_local(&mut model(0), &empty, &TrainConfig::default(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # haccs-nn
+//!
+//! A minimal neural-network stack with manual backpropagation, built on
+//! [`haccs_tensor`]. It provides the model zoo the HACCS paper trains:
+//! a LeNet-style CNN (used on MNIST/FEMNIST/CIFAR-10 in the paper) and an
+//! MLP (a cheaper stand-in used by the fast experiment presets).
+//!
+//! Design notes:
+//!
+//! * Layers own their parameters, gradients and forward caches; a
+//!   [`Sequential`] model chains them. No autograd tape — each layer
+//!   implements its own analytic backward pass, all of which are validated
+//!   against finite differences in the test-suite.
+//! * Models expose their parameters as a flat `Vec<f32>`
+//!   ([`Sequential::get_params`] / [`Sequential::set_params`]), which is
+//!   exactly the representation federated averaging needs.
+//! * All randomness flows through caller-provided RNGs for reproducibility.
+
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod sequential;
+pub mod sgd;
+
+pub use layers::{Conv2d, Flatten, Layer, Linear, MaxPool2, Relu};
+pub use loss::softmax_cross_entropy;
+pub use metrics::{accuracy, evaluate, EvalResult};
+pub use models::{lenet, mlp, ModelKind};
+pub use sequential::Sequential;
+pub use sgd::Sgd;

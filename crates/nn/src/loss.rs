@@ -1,0 +1,98 @@
+//! Softmax cross-entropy loss with its gradient.
+
+use haccs_tensor::{ops, Tensor};
+
+/// Computes mean softmax cross-entropy over a batch and the gradient of the
+/// loss with respect to the logits.
+///
+/// * `logits`: `[batch, classes]`
+/// * `targets`: class index per example
+///
+/// Returns `(mean_loss, d_logits)` where `d_logits = (softmax - onehot)/batch`.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), batch, "targets length must equal batch size");
+    assert!(batch > 0, "empty batch");
+
+    let probs = ops::softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.data().to_vec();
+    let inv_batch = 1.0 / batch as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        let p = probs.at2(i, t).max(1e-12);
+        loss -= p.ln();
+        grad[i * classes + t] -= 1.0;
+    }
+    for g in &mut grad {
+        *g *= inv_batch;
+    }
+    (loss * inv_batch, Tensor::from_vec(grad, logits.shape()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5, "loss {loss}");
+    }
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 20.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn confident_wrong_prediction_high_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 20.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss > 10.0, "loss {loss}");
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0, 0.5, -0.5], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6, "row {i} grad sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.1, 0.7, -0.3, 1.1, -0.2, 0.4], &[2, 3]);
+        let targets = [1usize, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let h = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += h;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= h;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets);
+            let (fm, _) = softmax_cross_entropy(&lm, &targets);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (fd - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}] fd={fd} an={}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Evaluation helpers: accuracy and batched loss/accuracy over a dataset.
+
+use crate::loss::softmax_cross_entropy;
+use crate::sequential::Sequential;
+use haccs_tensor::{ops, Tensor};
+
+/// Result of evaluating a model over a labelled set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Fraction of correctly classified examples, in `[0, 1]`.
+    pub accuracy: f32,
+    /// Number of examples evaluated.
+    pub n: usize,
+}
+
+impl EvalResult {
+    /// Combines per-shard results into an overall, example-weighted result.
+    pub fn merge(parts: &[EvalResult]) -> EvalResult {
+        let n: usize = parts.iter().map(|p| p.n).sum();
+        if n == 0 {
+            return EvalResult { loss: 0.0, accuracy: 0.0, n: 0 };
+        }
+        let loss = parts.iter().map(|p| p.loss * p.n as f32).sum::<f32>() / n as f32;
+        let accuracy = parts.iter().map(|p| p.accuracy * p.n as f32).sum::<f32>() / n as f32;
+        EvalResult { loss, accuracy, n }
+    }
+}
+
+/// Fraction of `predictions` equal to `targets`.
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), targets.len());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Evaluates `model` on `(x, y)` in mini-batches of `batch` rows.
+///
+/// `x` may be rank-2 (`[n, features]`) or rank-4 (`[n, c, h, w]`); batching
+/// slices along the leading dimension either way.
+pub fn evaluate(model: &mut Sequential, x: &Tensor, y: &[usize], batch: usize) -> EvalResult {
+    let n = x.shape()[0];
+    assert_eq!(y.len(), n, "labels must match leading dim of x");
+    assert!(batch > 0, "batch size must be positive");
+    if n == 0 {
+        return EvalResult { loss: 0.0, accuracy: 0.0, n: 0 };
+    }
+    let row_len: usize = x.shape()[1..].iter().product();
+    let mut total_loss = 0.0f32;
+    let mut correct = 0usize;
+    let mut at = 0usize;
+    while at < n {
+        let take = batch.min(n - at);
+        let mut shape = x.shape().to_vec();
+        shape[0] = take;
+        let xb = Tensor::from_vec(
+            x.data()[at * row_len..(at + take) * row_len].to_vec(),
+            &shape,
+        );
+        let yb = &y[at..at + take];
+        let logits = model.forward(xb);
+        let (loss, _) = softmax_cross_entropy(&logits, yb);
+        total_loss += loss * take as f32;
+        let preds = ops::argmax_rows(&logits);
+        correct += preds.iter().zip(yb).filter(|(p, t)| p == t).count();
+        at += take;
+    }
+    EvalResult {
+        loss: total_loss / n as f32,
+        accuracy: correct as f32 / n as f32,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn evaluate_counts_all_batches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = Sequential::new().add(Box::new(Linear::new(2, 2, &mut rng)));
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let y = vec![0, 1, 0];
+        let r = evaluate(&mut m, &x, &y, 2); // uneven final batch
+        assert_eq!(r.n, 3);
+        assert!(r.loss.is_finite());
+        assert!((0.0..=1.0).contains(&r.accuracy));
+    }
+
+    #[test]
+    fn evaluate_batch_size_does_not_change_result() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Sequential::new().add(Box::new(Linear::new(4, 3, &mut rng)));
+        let x = haccs_tensor::init::uniform(&[10, 4], -1.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let a = evaluate(&mut m, &x, &y, 3);
+        let b = evaluate(&mut m, &x, &y, 10);
+        assert!((a.loss - b.loss).abs() < 1e-5);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn merge_weights_by_examples() {
+        let a = EvalResult { loss: 1.0, accuracy: 1.0, n: 1 };
+        let b = EvalResult { loss: 0.0, accuracy: 0.0, n: 3 };
+        let m = EvalResult::merge(&[a, b]);
+        assert_eq!(m.n, 4);
+        assert!((m.loss - 0.25).abs() < 1e-6);
+        assert!((m.accuracy - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_empty_is_zero() {
+        let m = EvalResult::merge(&[]);
+        assert_eq!(m.n, 0);
+        assert_eq!(m.loss, 0.0);
+    }
+}

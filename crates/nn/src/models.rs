@@ -1,0 +1,118 @@
+//! Model builders: the LeNet-style CNN used by the paper and a cheaper MLP
+//! used by fast experiment presets.
+
+use crate::layers::{Conv2d, Flatten, Linear, MaxPool2, Relu};
+use crate::sequential::Sequential;
+use rand::Rng;
+
+/// Which architecture an experiment trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// LeNet-style CNN: conv5-pool-conv5-pool-fc120-fc. Matches the paper's
+    /// "convolutional neural network based upon the LeNet architecture".
+    LeNet,
+    /// Two-hidden-layer MLP on flattened pixels; ~10× cheaper per step.
+    /// Used by the scaled-down experiment presets and benches.
+    Mlp,
+}
+
+impl ModelKind {
+    /// Builds a model for images of `channels × side × side` pixels with
+    /// `classes` output labels.
+    pub fn build<R: Rng>(self, channels: usize, side: usize, classes: usize, rng: &mut R) -> Sequential {
+        match self {
+            ModelKind::LeNet => lenet(channels, side, classes, rng),
+            ModelKind::Mlp => mlp(channels * side * side, &[64, 32], classes, rng),
+        }
+    }
+
+    /// Whether `build` expects NCHW image input (vs flat rows).
+    pub fn wants_images(self) -> bool {
+        matches!(self, ModelKind::LeNet)
+    }
+}
+
+/// LeNet-style CNN.
+///
+/// `side` must be divisible by 4 (two 2×2 poolings).
+pub fn lenet<R: Rng>(channels: usize, side: usize, classes: usize, rng: &mut R) -> Sequential {
+    assert!(side % 4 == 0, "image side {side} must be divisible by 4");
+    assert!(side >= 8, "image side {side} too small for LeNet");
+    let c1 = 6;
+    let c2 = 16;
+    let spatial = side / 4;
+    Sequential::new()
+        .add(Box::new(Conv2d::new(channels, c1, 5, 1, 2, rng)))
+        .add(Box::new(Relu::new()))
+        .add(Box::new(MaxPool2::new(2)))
+        .add(Box::new(Conv2d::new(c1, c2, 5, 1, 2, rng)))
+        .add(Box::new(Relu::new()))
+        .add(Box::new(MaxPool2::new(2)))
+        .add(Box::new(Flatten::new()))
+        .add(Box::new(Linear::new(c2 * spatial * spatial, 120, rng)))
+        .add(Box::new(Relu::new()))
+        .add(Box::new(Linear::new(120, classes, rng)))
+}
+
+/// MLP on flattened inputs with the given hidden widths.
+pub fn mlp<R: Rng>(input_dim: usize, hidden: &[usize], classes: usize, rng: &mut R) -> Sequential {
+    assert!(input_dim > 0 && classes > 0);
+    let mut m = Sequential::new();
+    let mut prev = input_dim;
+    for &h in hidden {
+        m = m.add(Box::new(Linear::new(prev, h, rng))).add(Box::new(Relu::new()));
+        prev = h;
+    }
+    m.add(Box::new(Linear::new(prev, classes, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lenet_shapes_28() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = lenet(1, 28, 10, &mut rng);
+        let y = m.forward(Tensor::zeros(&[2, 1, 28, 28]));
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn lenet_shapes_16_rgb() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = lenet(3, 16, 10, &mut rng);
+        let y = m.forward(Tensor::zeros(&[1, 3, 16, 16]));
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn lenet_rejects_bad_side() {
+        lenet(1, 30, 10, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = mlp(64, &[32, 16], 5, &mut rng);
+        let y = m.forward(Tensor::zeros(&[3, 64]));
+        assert_eq!(y.shape(), &[3, 5]);
+        assert_eq!(m.param_count(), 64 * 32 + 32 + 32 * 16 + 16 + 16 * 5 + 5);
+    }
+
+    #[test]
+    fn kind_builds_matching_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cnn = ModelKind::LeNet.build(1, 12, 4, &mut rng);
+        assert!(ModelKind::LeNet.wants_images());
+        assert_eq!(cnn.forward(Tensor::zeros(&[1, 1, 12, 12])).shape(), &[1, 4]);
+
+        let mut flat = ModelKind::Mlp.build(1, 12, 4, &mut rng);
+        assert!(!ModelKind::Mlp.wants_images());
+        assert_eq!(flat.forward(Tensor::zeros(&[1, 144])).shape(), &[1, 4]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the NN stack: gradient checks on random inputs
+//! and parameter-vector invariants.
+
+use haccs_nn::{mlp, softmax_cross_entropy, Sequential};
+use haccs_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference(
+        (batch, classes) in (1usize..4, 2usize..6),
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Tensor::from_vec(
+            (0..batch * classes).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+            &[batch, classes],
+        );
+        let targets: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..classes)).collect();
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let h = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += h;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= h;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets);
+            let (fm, _) = softmax_cross_entropy(&lm, &targets);
+            let fd = (fp - fm) / (2.0 * h);
+            prop_assert!((fd - grad.data()[i]).abs() < 2e-3,
+                "grad[{i}]: fd {fd} vs analytic {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative((batch, classes) in (1usize..6, 2usize..8), seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Tensor::from_vec(
+            (0..batch * classes).map(|_| rng.gen_range(-5.0f32..5.0)).collect(),
+            &[batch, classes],
+        );
+        let targets: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..classes)).collect();
+        let (loss, _) = softmax_cross_entropy(&logits, &targets);
+        prop_assert!(loss >= 0.0 && loss.is_finite());
+    }
+
+    #[test]
+    fn param_roundtrip_any_architecture(
+        (input, h1, h2, classes) in (1usize..20, 1usize..16, 1usize..16, 2usize..6),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m: Sequential = mlp(input, &[h1, h2], classes, &mut rng);
+        let p = m.get_params();
+        prop_assert_eq!(p.len(), m.param_count());
+        let expect = input * h1 + h1 + h1 * h2 + h2 + h2 * classes + classes;
+        prop_assert_eq!(p.len(), expect);
+        // roundtrip with a transformed vector
+        let p2: Vec<f32> = p.iter().map(|x| x * 2.0 + 1.0).collect();
+        m.set_params(&p2);
+        prop_assert_eq!(m.get_params(), p2);
+    }
+
+    #[test]
+    fn model_backward_produces_finite_grads(
+        (input, hidden, classes, batch) in (1usize..12, 1usize..10, 2usize..5, 1usize..5),
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = mlp(input, &[hidden], classes, &mut rng);
+        let x = Tensor::from_vec(
+            (0..batch * input).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            &[batch, input],
+        );
+        let targets: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..classes)).collect();
+        let logits = m.forward(x);
+        let (_, d) = softmax_cross_entropy(&logits, &targets);
+        m.zero_grad();
+        m.backward(d);
+        let grads = m.get_grads();
+        prop_assert_eq!(grads.len(), m.param_count());
+        prop_assert!(grads.iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,212 @@
+//! Distance functions between distribution summaries.
+//!
+//! The paper uses the Hellinger distance (Eq. 3) for `P(y)` and the
+//! *average* Hellinger distance between histogram sets for `P(X|y)`.
+//! Total-variation and Euclidean distances are provided for the
+//! `ablation_distance` bench.
+
+use crate::hist::Histogram;
+
+/// Which distance a summarizer/clusterer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceKind {
+    /// Hellinger distance (the paper's choice, Eq. 3).
+    #[default]
+    Hellinger,
+    /// Total-variation distance, `½·Σ|p−q|`.
+    TotalVariation,
+    /// Euclidean (L2) distance between bin vectors.
+    Euclidean,
+}
+
+impl DistanceKind {
+    /// Applies the distance to a pair of histograms.
+    pub fn apply(self, a: &Histogram, b: &Histogram) -> f32 {
+        match self {
+            DistanceKind::Hellinger => hellinger(a, b),
+            DistanceKind::TotalVariation => total_variation(a, b),
+            DistanceKind::Euclidean => euclidean(a, b),
+        }
+    }
+}
+
+/// Hellinger distance (Eq. 3): `H(p, q) = (1/√2)·‖√p − √q‖₂`.
+///
+/// Bounded in `[0, 1]` for probability vectors (Eq. 4) and tolerant of zero
+/// entries, which is why the paper picks it for histograms.
+pub fn hellinger(a: &Histogram, b: &Histogram) -> f32 {
+    assert_eq!(a.len(), b.len(), "histograms must have equal bin counts");
+    let s: f32 = a
+        .bins()
+        .iter()
+        .zip(b.bins())
+        .map(|(&p, &q)| {
+            let d = p.sqrt() - q.sqrt();
+            d * d
+        })
+        .sum();
+    (s / 2.0).sqrt().min(1.0)
+}
+
+/// Mean Hellinger distance across paired histogram sets — the distance for
+/// the `P(X|y)` summary (§IV-A, "the *average* Hellinger distance between
+/// the two sets of histograms").
+///
+/// Pairs where **both** histograms are null (label absent on both clients)
+/// carry no information and are skipped; pairs where exactly one side is
+/// null count as maximally distant (the label exists on one client only).
+pub fn avg_hellinger(a: &[Histogram], b: &[Histogram]) -> f32 {
+    assert_eq!(a.len(), b.len(), "summary sets must have equal cardinality");
+    let mut total = 0.0f32;
+    let mut n = 0usize;
+    for (ha, hb) in a.iter().zip(b) {
+        match (ha.is_null(), hb.is_null()) {
+            (true, true) => continue,
+            (true, false) | (false, true) => {
+                total += 1.0;
+                n += 1;
+            }
+            (false, false) => {
+                total += hellinger(ha, hb);
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f32
+    }
+}
+
+/// Total-variation distance `½·Σ|p−q| ∈ [0, 1]`.
+pub fn total_variation(a: &Histogram, b: &Histogram) -> f32 {
+    assert_eq!(a.len(), b.len());
+    0.5 * a
+        .bins()
+        .iter()
+        .zip(b.bins())
+        .map(|(p, q)| (p - q).abs())
+        .sum::<f32>()
+}
+
+/// Euclidean distance between bin vectors.
+pub fn euclidean(a: &Histogram, b: &Histogram) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.bins()
+        .iter()
+        .zip(b.bins())
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f32>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(bins: &[f32]) -> Histogram {
+        Histogram::from_counts(bins)
+    }
+
+    #[test]
+    fn hellinger_identical_is_zero() {
+        let a = h(&[1.0, 2.0, 3.0]);
+        assert!(hellinger(&a, &a) < 1e-7);
+    }
+
+    #[test]
+    fn hellinger_disjoint_is_one() {
+        let a = h(&[1.0, 0.0]);
+        let b = h(&[0.0, 1.0]);
+        assert!((hellinger(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hellinger_symmetric() {
+        let a = h(&[0.7, 0.2, 0.1]);
+        let b = h(&[0.1, 0.1, 0.8]);
+        assert_eq!(hellinger(&a, &b), hellinger(&b, &a));
+    }
+
+    #[test]
+    fn hellinger_bounded() {
+        // Eq. 4: 0 ≤ H ≤ 1 for arbitrary distributions
+        let cases = [
+            (vec![1.0, 0.0, 0.0], vec![0.0, 0.5, 0.5]),
+            (vec![0.25, 0.25, 0.5], vec![0.3, 0.3, 0.4]),
+            (vec![1.0], vec![1.0]),
+        ];
+        for (p, q) in cases {
+            let d = hellinger(&h(&p), &h(&q));
+            assert!((0.0..=1.0).contains(&d), "H = {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn hellinger_known_value() {
+        // H([1,0],[.5,.5]) = sqrt((1-√.5)² + .5)/√2 = sqrt(1 - √.5)
+        let d = hellinger(&h(&[1.0, 0.0]), &h(&[0.5, 0.5]));
+        let expect = (1.0f32 - 0.5f32.sqrt()).sqrt();
+        assert!((d - expect).abs() < 1e-5, "{d} vs {expect}");
+    }
+
+    #[test]
+    fn avg_hellinger_skips_mutual_nulls() {
+        let a = vec![h(&[1.0, 0.0]), Histogram::from_counts(&[0.0, 0.0])];
+        let b = vec![h(&[1.0, 0.0]), Histogram::from_counts(&[0.0, 0.0])];
+        assert_eq!(avg_hellinger(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn avg_hellinger_penalizes_one_sided_nulls() {
+        let a = vec![h(&[1.0, 1.0]), Histogram::from_counts(&[0.0, 0.0])];
+        let b = vec![h(&[1.0, 1.0]), h(&[1.0, 1.0])];
+        // first pair distance 0, second pair distance 1 → mean 0.5
+        assert!((avg_hellinger(&a, &b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_variation_known() {
+        let d = total_variation(&h(&[1.0, 0.0]), &h(&[0.0, 1.0]));
+        assert!((d - 1.0).abs() < 1e-6);
+        let d2 = total_variation(&h(&[0.5, 0.5]), &h(&[0.25, 0.75]));
+        assert!((d2 - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_known() {
+        let d = euclidean(&h(&[1.0, 0.0]), &h(&[0.0, 1.0]));
+        assert!((d - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality_hellinger() {
+        // Hellinger is a proper metric; spot-check the triangle inequality.
+        let ps = [
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.8, 0.1],
+            vec![0.33, 0.33, 0.34],
+            vec![1.0, 0.0, 0.0],
+        ];
+        for x in &ps {
+            for y in &ps {
+                for z in &ps {
+                    let (hx, hy, hz) = (h(x), h(y), h(z));
+                    let (dxy, dyz, dxz) =
+                        (hellinger(&hx, &hy), hellinger(&hy, &hz), hellinger(&hx, &hz));
+                    assert!(dxz <= dxy + dyz + 1e-6, "triangle violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_kind_dispatch() {
+        let a = h(&[1.0, 0.0]);
+        let b = h(&[0.0, 1.0]);
+        assert_eq!(DistanceKind::Hellinger.apply(&a, &b), hellinger(&a, &b));
+        assert_eq!(DistanceKind::TotalVariation.apply(&a, &b), total_variation(&a, &b));
+        assert_eq!(DistanceKind::Euclidean.apply(&a, &b), euclidean(&a, &b));
+    }
+}

@@ -1,0 +1,153 @@
+//! The Laplace mechanism (§IV-B): (ε, 0)-differential privacy for
+//! histogram summaries.
+//!
+//! For privacy loss ε, each histogram bin receives independent noise drawn
+//! from `Laplace(0, 1/ε)`, whose variance is `2·(1/ε)²` (Eq. 5). Smaller ε
+//! means stronger privacy and noisier summaries — the trade-off Fig. 8
+//! quantifies.
+
+use rand::Rng;
+
+/// A configured Laplace mechanism with privacy budget ε.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism with budget `epsilon > 0`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive and finite");
+        LaplaceMechanism { epsilon }
+    }
+
+    /// The privacy budget.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Scale parameter `b = 1/ε` of the noise distribution.
+    pub fn scale(&self) -> f64 {
+        1.0 / self.epsilon
+    }
+
+    /// Noise variance `2·b²` (Eq. 5).
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale() * self.scale()
+    }
+
+    /// Draws one noise value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        laplace_noise(self.scale(), rng)
+    }
+
+    /// Privatizes raw histogram *counts*: adds Laplace(0, 1/ε) noise to each
+    /// bin. The result may contain negative bins; [`privatize_counts`]
+    /// documents the clamp-and-release convention used downstream.
+    pub fn privatize<R: Rng>(&self, counts: &[f32], rng: &mut R) -> Vec<f32> {
+        counts
+            .iter()
+            .map(|&c| (c as f64 + self.sample(rng)) as f32)
+            .collect()
+    }
+}
+
+/// Draws one sample from `Laplace(0, b)` via inverse-CDF:
+/// `x = −b·sign(u)·ln(1 − 2|u|)` for `u ~ U(−½, ½)`.
+pub fn laplace_noise<R: Rng>(b: f64, rng: &mut R) -> f64 {
+    assert!(b > 0.0, "scale must be positive");
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Privatizes counts and post-processes them into valid histogram counts:
+/// noise is added per bin, then negative bins are clamped to zero.
+///
+/// Clamping is pure post-processing of the released noisy counts, so it
+/// does not consume additional privacy budget.
+pub fn privatize_counts<R: Rng>(counts: &[f32], epsilon: f64, rng: &mut R) -> Vec<f32> {
+    let mech = LaplaceMechanism::new(epsilon);
+    mech.privatize(counts, rng)
+        .into_iter()
+        .map(|c| c.max(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variance_formula_matches_eq5() {
+        let m = LaplaceMechanism::new(0.1);
+        assert!((m.variance() - 200.0).abs() < 1e-9); // 2·(1/0.1)² = 200
+        let m2 = LaplaceMechanism::new(0.005);
+        assert!((m2.variance() - 80000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_moments_match() {
+        let m = LaplaceMechanism::new(0.5); // b = 2, var = 8
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn smaller_epsilon_noisier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = vec![100.0f32; 50];
+        let strong = privatize_counts(&counts, 0.005, &mut rng);
+        let weak = privatize_counts(&counts, 1.0, &mut rng);
+        let dev = |v: &[f32]| -> f32 {
+            v.iter().map(|&x| (x - 100.0).abs()).sum::<f32>() / v.len() as f32
+        };
+        assert!(
+            dev(&strong) > 10.0 * dev(&weak),
+            "strong ε noise {} should dwarf weak {}",
+            dev(&strong),
+            dev(&weak)
+        );
+    }
+
+    #[test]
+    fn privatize_counts_non_negative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = privatize_counts(&[0.5, 1.0, 2.0], 0.01, &mut rng);
+        assert!(out.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn raw_privatize_can_go_negative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LaplaceMechanism::new(0.01);
+        let out = m.privatize(&[1.0; 100], &mut rng);
+        assert!(out.iter().any(|&c| c < 0.0), "expected some negative noisy bins");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        LaplaceMechanism::new(0.0);
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let m = LaplaceMechanism::new(0.1);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

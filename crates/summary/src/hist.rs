@@ -1,0 +1,132 @@
+//! Normalized histograms: the summary representation `S(Z_i)` of §IV-A.
+
+/// A normalized histogram (discrete probability distribution) over a fixed
+/// number of bins. Invariant: every bin is ≥ 0 and bins sum to 1, unless
+/// the histogram was built from zero observations, in which case all bins
+/// are 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bins: Vec<f32>,
+}
+
+impl Histogram {
+    /// Builds a normalized histogram from raw, non-negative counts.
+    pub fn from_counts(counts: &[f32]) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        assert!(counts.iter().all(|&c| c >= 0.0 && c.is_finite()), "counts must be finite and ≥ 0");
+        let total: f32 = counts.iter().sum();
+        let bins = if total > 0.0 {
+            counts.iter().map(|&c| c / total).collect()
+        } else {
+            vec![0.0; counts.len()]
+        };
+        Histogram { bins }
+    }
+
+    /// Builds from integer counts.
+    pub fn from_int_counts(counts: &[usize]) -> Self {
+        let f: Vec<f32> = counts.iter().map(|&c| c as f32).collect();
+        Self::from_counts(&f)
+    }
+
+    /// Builds the label histogram (the **P(y)** summary) from class labels.
+    pub fn from_labels(labels: &[usize], classes: usize) -> Self {
+        let mut counts = vec![0.0f32; classes];
+        for &l in labels {
+            assert!(l < classes, "label {l} out of range");
+            counts[l] += 1.0;
+        }
+        Self::from_counts(&counts)
+    }
+
+    /// Bins a slice of values in `[lo, hi]` into `n_bins` equal-width bins
+    /// (values outside are clamped to the boundary bins). Used for the
+    /// per-class pixel histograms of the **P(X|y)** summary.
+    pub fn from_values(values: &[f32], n_bins: usize, lo: f32, hi: f32) -> Self {
+        assert!(n_bins >= 1);
+        assert!(lo < hi, "invalid range");
+        let mut counts = vec![0.0f32; n_bins];
+        let scale = n_bins as f32 / (hi - lo);
+        for &v in values {
+            let b = (((v - lo) * scale).floor() as isize).clamp(0, n_bins as isize - 1) as usize;
+            counts[b] += 1.0;
+        }
+        Self::from_counts(&counts)
+    }
+
+    /// The normalized bins.
+    pub fn bins(&self) -> &[f32] {
+        &self.bins
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if the histogram has no bins (never constructible) — present
+    /// for clippy's `len_without_is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// True if all mass is zero (built from no observations).
+    pub fn is_null(&self) -> bool {
+        self.bins.iter().all(|&b| b == 0.0)
+    }
+
+    /// Sum of bins (1 or 0 by invariant, up to float error).
+    pub fn total(&self) -> f32 {
+        self.bins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_normalizes() {
+        let h = Histogram::from_counts(&[1.0, 3.0]);
+        assert_eq!(h.bins(), &[0.25, 0.75]);
+        assert!((h.total() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_counts_give_null() {
+        let h = Histogram::from_counts(&[0.0, 0.0, 0.0]);
+        assert!(h.is_null());
+        assert_eq!(h.total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and ≥ 0")]
+    fn negative_counts_rejected() {
+        Histogram::from_counts(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn from_labels_counts_correctly() {
+        let h = Histogram::from_labels(&[0, 1, 1, 2, 1], 4);
+        assert_eq!(h.bins(), &[0.2, 0.6, 0.2, 0.0]);
+    }
+
+    #[test]
+    fn from_values_bins_and_clamps() {
+        let h = Histogram::from_values(&[0.05, 0.95, 1.5, -0.2, 0.45], 2, 0.0, 1.0);
+        // bins: [0, .5) and [.5, 1]; -0.2 clamps low, 1.5 clamps high
+        assert_eq!(h.bins(), &[0.6, 0.4]);
+    }
+
+    #[test]
+    fn from_values_single_bin() {
+        let h = Histogram::from_values(&[0.1, 0.9], 1, 0.0, 1.0);
+        assert_eq!(h.bins(), &[1.0]);
+    }
+
+    #[test]
+    fn from_int_counts() {
+        let h = Histogram::from_int_counts(&[2, 2]);
+        assert_eq!(h.bins(), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # haccs-summary
+//!
+//! Privacy-preserving data-distribution summaries (§IV-A/§IV-B of the
+//! paper):
+//!
+//! * [`hist::Histogram`] — the normalized histogram representation used for
+//!   both summaries,
+//! * the **P(y)** summary — the marginal label distribution,
+//! * the **P(X|y)** summary — one pixel-value histogram per class label,
+//! * [`distance::hellinger`] — the Hellinger distance (Eq. 3) and the
+//!   average-Hellinger distance between histogram *sets*, plus alternative
+//!   distances used by the ablation benches,
+//! * [`dp`] — the Laplace mechanism providing (ε, 0)-differential privacy
+//!   for histograms (Eq. 5 controls the noise variance 2/ε²).
+//!
+//! A [`Summarizer`] bundles the configuration (summary kind, bin count,
+//! privacy budget) and produces [`ClientSummary`] values from a client's
+//! [`haccs_data::ImageSet`]; pairwise distance matrices are computed in
+//! parallel with rayon.
+
+pub mod distance;
+pub mod dp;
+pub mod hist;
+pub mod summarizer;
+
+pub use distance::{avg_hellinger, euclidean, hellinger, total_variation, DistanceKind};
+pub use dp::{laplace_noise, privatize_counts, LaplaceMechanism};
+pub use hist::Histogram;
+pub use summarizer::{pairwise_distances, ClientSummary, SummaryKind, Summarizer};

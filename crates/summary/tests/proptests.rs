@@ -1,0 +1,110 @@
+//! Property-based tests for histograms, distances and the Laplace
+//! mechanism.
+
+use haccs_summary::{
+    euclidean, hellinger, laplace_noise, privatize_counts, total_variation, Histogram,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn counts() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..100.0, 1..20)
+}
+
+/// Two equal-length count vectors.
+fn count_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..20).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.0f32..100.0, n),
+            proptest::collection::vec(0.0f32..100.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_is_normalized(c in counts()) {
+        let h = Histogram::from_counts(&c);
+        let total = h.total();
+        prop_assert!(h.is_null() || (total - 1.0).abs() < 1e-4, "total {total}");
+        prop_assert!(h.bins().iter().all(|&b| (0.0..=1.0 + 1e-6).contains(&b)));
+    }
+
+    #[test]
+    fn hellinger_is_a_bounded_metric((a, b) in count_pair()) {
+        let (ha, hb) = (Histogram::from_counts(&a), Histogram::from_counts(&b));
+        let d = hellinger(&ha, &hb);
+        prop_assert!((0.0..=1.0).contains(&d), "H = {d}");
+        prop_assert!((d - hellinger(&hb, &ha)).abs() < 1e-6, "asymmetric");
+        prop_assert!(hellinger(&ha, &ha) < 1e-6, "H(x,x) != 0");
+    }
+
+    #[test]
+    fn hellinger_triangle_inequality(
+        (n, sa, sb, sc) in (2usize..10).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(0.01f32..100.0, n),
+            proptest::collection::vec(0.01f32..100.0, n),
+            proptest::collection::vec(0.01f32..100.0, n),
+        ))
+    ) {
+        let _ = n;
+        let (a, b, c) = (
+            Histogram::from_counts(&sa),
+            Histogram::from_counts(&sb),
+            Histogram::from_counts(&sc),
+        );
+        let (dab, dbc, dac) = (hellinger(&a, &b), hellinger(&b, &c), hellinger(&a, &c));
+        prop_assert!(dac <= dab + dbc + 1e-5, "triangle violated: {dac} > {dab} + {dbc}");
+    }
+
+    #[test]
+    fn total_variation_bounded_and_dominated_by_sqrt2_hellinger((a, b) in count_pair()) {
+        let (ha, hb) = (Histogram::from_counts(&a), Histogram::from_counts(&b));
+        let tv = total_variation(&ha, &hb);
+        let h = hellinger(&ha, &hb);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&tv));
+        // standard inequality: H² ≤ TV ≤ √2·H
+        prop_assert!(h * h <= tv + 1e-4, "H²={} > TV={tv}", h * h);
+        prop_assert!(tv <= std::f32::consts::SQRT_2 * h + 1e-4, "TV={tv} > √2·H={}", h * 1.415);
+    }
+
+    #[test]
+    fn euclidean_nonnegative_symmetric((a, b) in count_pair()) {
+        let (ha, hb) = (Histogram::from_counts(&a), Histogram::from_counts(&b));
+        let d = euclidean(&ha, &hb);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - euclidean(&hb, &ha)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_values_total_preserved(values in proptest::collection::vec(-0.5f32..1.5, 1..200),
+                                   bins in 1usize..32) {
+        let h = Histogram::from_values(&values, bins, 0.0, 1.0);
+        prop_assert_eq!(h.len(), bins);
+        prop_assert!((h.total() - 1.0).abs() < 1e-4, "values outside range must be clamped, not lost");
+    }
+
+    #[test]
+    fn privatized_counts_stay_valid(c in counts(), eps in 0.001f64..10.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = privatize_counts(&c, eps, &mut rng);
+        prop_assert_eq!(noisy.len(), c.len());
+        prop_assert!(noisy.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        // the noisy counts still form a valid histogram
+        let h = Histogram::from_counts(&noisy);
+        prop_assert!(h.is_null() || (h.total() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn laplace_noise_is_finite(b in 0.01f64..1000.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let x = laplace_noise(b, &mut rng);
+            prop_assert!(x.is_finite());
+        }
+    }
+}

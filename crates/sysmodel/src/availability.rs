@@ -1,0 +1,161 @@
+//! Device availability / dropout models.
+//!
+//! * [`Availability::AlwaysOn`] — every device available every epoch,
+//! * [`Availability::EpochDropout`] — Fig. 6: a seeded random fraction of
+//!   devices is unavailable each epoch and recovers at the next one. The
+//!   paper seeds the RNG "to ensure that the same set of devices are
+//!   dropped in each epoch across all the client selection strategies";
+//!   this model derives the dropped set purely from `(seed, epoch)`, giving
+//!   exactly that property.
+//! * [`Availability::PermanentDrop`] — Fig. 1: a fixed set of devices is
+//!   gone from `from_epoch` onward (random devices or whole groups).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// A dropout model. Queried per `(client, epoch)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Availability {
+    /// Every client is always available.
+    AlwaysOn,
+    /// Each epoch, `floor(rate · n_clients)` distinct clients (chosen by a
+    /// seeded shuffle, independent per epoch) are unavailable.
+    EpochDropout {
+        /// Fraction of clients to drop per epoch, in `[0, 1]`.
+        rate: f64,
+        /// Total clients in the system.
+        n_clients: usize,
+        /// RNG seed shared across strategies for comparability.
+        seed: u64,
+    },
+    /// The given clients are unavailable from `from_epoch` onward.
+    PermanentDrop {
+        /// Clients that disappear.
+        dropped: HashSet<usize>,
+        /// First epoch at which they are gone.
+        from_epoch: usize,
+    },
+}
+
+impl Availability {
+    /// Fig. 6 model: `rate` of the population re-drawn every epoch.
+    pub fn epoch_dropout(rate: f64, n_clients: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        Availability::EpochDropout { rate, n_clients, seed }
+    }
+
+    /// Fig. 1 model: permanently drop the given clients from epoch 0.
+    pub fn permanent(dropped: impl IntoIterator<Item = usize>) -> Self {
+        Availability::PermanentDrop { dropped: dropped.into_iter().collect(), from_epoch: 0 }
+    }
+
+    /// Whether `client` can participate in `epoch`.
+    pub fn is_available(&self, client: usize, epoch: usize) -> bool {
+        match self {
+            Availability::AlwaysOn => true,
+            Availability::EpochDropout { .. } => !self.dropped_set(epoch).contains(&client),
+            Availability::PermanentDrop { dropped, from_epoch } => {
+                epoch < *from_epoch || !dropped.contains(&client)
+            }
+        }
+    }
+
+    /// The set of clients unavailable in `epoch`.
+    pub fn dropped_set(&self, epoch: usize) -> HashSet<usize> {
+        match self {
+            Availability::AlwaysOn => HashSet::new(),
+            Availability::EpochDropout { rate, n_clients, seed } => {
+                let k = (*rate * *n_clients as f64).floor() as usize;
+                let mut ids: Vec<usize> = (0..*n_clients).collect();
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                ids.shuffle(&mut rng);
+                ids.into_iter().take(k).collect()
+            }
+            Availability::PermanentDrop { dropped, from_epoch } => {
+                if epoch >= *from_epoch {
+                    dropped.clone()
+                } else {
+                    HashSet::new()
+                }
+            }
+        }
+    }
+
+    /// All clients in `0..n` available at `epoch`.
+    pub fn available_clients(&self, n: usize, epoch: usize) -> Vec<usize> {
+        (0..n).filter(|&c| self.is_available(c, epoch)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on() {
+        let a = Availability::AlwaysOn;
+        assert!(a.is_available(0, 0));
+        assert_eq!(a.available_clients(5, 100), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn epoch_dropout_drops_exact_fraction() {
+        let a = Availability::epoch_dropout(0.1, 50, 7);
+        for epoch in 0..20 {
+            assert_eq!(a.dropped_set(epoch).len(), 5, "epoch {epoch}");
+            assert_eq!(a.available_clients(50, epoch).len(), 45);
+        }
+    }
+
+    #[test]
+    fn epoch_dropout_is_seed_deterministic() {
+        let a = Availability::epoch_dropout(0.2, 30, 42);
+        let b = Availability::epoch_dropout(0.2, 30, 42);
+        for epoch in 0..10 {
+            assert_eq!(a.dropped_set(epoch), b.dropped_set(epoch));
+        }
+        let c = Availability::epoch_dropout(0.2, 30, 43);
+        assert!((0..10).any(|e| a.dropped_set(e) != c.dropped_set(e)));
+    }
+
+    #[test]
+    fn epoch_dropout_varies_across_epochs() {
+        let a = Availability::epoch_dropout(0.1, 100, 0);
+        let sets: Vec<_> = (0..5).map(|e| a.dropped_set(e)).collect();
+        assert!(sets.windows(2).any(|w| w[0] != w[1]), "dropout should re-draw per epoch");
+    }
+
+    #[test]
+    fn devices_recover_next_epoch() {
+        // a device dropped at epoch e should usually be back later
+        let a = Availability::epoch_dropout(0.1, 50, 1);
+        let e0 = a.dropped_set(0);
+        let client = *e0.iter().next().unwrap();
+        assert!((1..20).any(|e| a.is_available(client, e)), "client never recovered");
+    }
+
+    #[test]
+    fn permanent_drop() {
+        let a = Availability::permanent([1, 3]);
+        assert!(!a.is_available(1, 0));
+        assert!(!a.is_available(3, 500));
+        assert!(a.is_available(0, 0));
+        assert_eq!(a.available_clients(4, 0), vec![0, 2]);
+    }
+
+    #[test]
+    fn permanent_drop_from_epoch() {
+        let a = Availability::PermanentDrop { dropped: [2].into_iter().collect(), from_epoch: 5 };
+        assert!(a.is_available(2, 4));
+        assert!(!a.is_available(2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bad_rate_rejected() {
+        Availability::epoch_dropout(1.5, 10, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The simulated wall clock. Time-to-accuracy curves plot accuracy against
+//! this clock; it only ever moves forward.
+
+/// Monotone simulated clock, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances by `dt` seconds. Panics on negative or non-finite `dt` —
+    /// the round loop must never move time backwards.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "clock must advance by a finite, non-negative dt (got {dt})");
+        self.now += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        c.advance(0.0);
+        c.advance(2.5);
+        assert!((c.now() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_advance_panics() {
+        SimClock::new().advance(f64::NAN);
+    }
+}

@@ -1,0 +1,114 @@
+//! The §IV-D latency definition: expected model-transfer time (both
+//! directions) plus the local training time for one epoch.
+
+use crate::profile::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Converts a device profile plus workload parameters into seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Seconds of compute per training example per local epoch on a `Fast`
+    /// (multiplier 1.0) device. The experiment harness calibrates this to
+    /// the model architecture.
+    pub base_seconds_per_example: f64,
+    /// Size of the model parameters in bits (transferred down *and* up).
+    pub model_bits: f64,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+}
+
+impl LatencyModel {
+    /// A model sized for `n_params` f32 parameters.
+    pub fn for_params(n_params: usize, base_seconds_per_example: f64, local_epochs: usize) -> Self {
+        assert!(base_seconds_per_example > 0.0);
+        assert!(local_epochs >= 1);
+        LatencyModel {
+            base_seconds_per_example,
+            model_bits: (n_params * 32) as f64,
+            local_epochs,
+        }
+    }
+
+    /// Compute time for one round on `device` with `n_examples` local
+    /// training examples.
+    pub fn compute_seconds(&self, device: &DeviceProfile, n_examples: usize) -> f64 {
+        self.base_seconds_per_example
+            * n_examples as f64
+            * self.local_epochs as f64
+            * device.compute_multiplier
+    }
+
+    /// Transfer time for one round: model down + model up, plus one RTT.
+    pub fn transfer_seconds(&self, device: &DeviceProfile) -> f64 {
+        let bits_per_second = device.bandwidth_mbps * 1e6;
+        2.0 * self.model_bits / bits_per_second + device.rtt_ms / 1e3
+    }
+
+    /// Total §IV-D latency: transfer + compute.
+    pub fn round_seconds(&self, device: &DeviceProfile, n_examples: usize) -> f64 {
+        self.compute_seconds(device, n_examples) + self.transfer_seconds(device)
+    }
+}
+
+impl Default for LatencyModel {
+    /// Sized for a small LeNet (~62k parameters) at 0.2 ms/example.
+    fn default() -> Self {
+        LatencyModel::for_params(62_000, 2e-4, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PerfCategory;
+
+    fn device(mult: f64, mbps: f64, rtt: f64) -> DeviceProfile {
+        DeviceProfile {
+            compute_category: PerfCategory::Fast,
+            bandwidth_category: PerfCategory::Fast,
+            compute_multiplier: mult,
+            bandwidth_mbps: mbps,
+            rtt_ms: rtt,
+        }
+    }
+
+    #[test]
+    fn round_time_decomposes() {
+        let m = LatencyModel { base_seconds_per_example: 0.01, model_bits: 1e6, local_epochs: 1 };
+        let d = device(2.0, 10.0, 100.0);
+        // compute: 0.01 * 50 * 2 = 1.0 s
+        assert!((m.compute_seconds(&d, 50) - 1.0).abs() < 1e-9);
+        // transfer: 2*1e6/1e7 + 0.1 = 0.3 s
+        assert!((m.transfer_seconds(&d) - 0.3).abs() < 1e-9);
+        assert!((m.round_seconds(&d, 50) - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slower_device_takes_longer() {
+        let m = LatencyModel::default();
+        let fast = device(1.0, 100.0, 20.0);
+        let slow = device(3.0, 5.0, 150.0);
+        assert!(m.round_seconds(&slow, 100) > m.round_seconds(&fast, 100));
+    }
+
+    #[test]
+    fn more_data_takes_longer() {
+        let m = LatencyModel::default();
+        let d = device(1.0, 50.0, 50.0);
+        assert!(m.round_seconds(&d, 400) > m.round_seconds(&d, 100));
+    }
+
+    #[test]
+    fn local_epochs_scale_compute() {
+        let m1 = LatencyModel { base_seconds_per_example: 0.01, model_bits: 0.0, local_epochs: 1 };
+        let m3 = LatencyModel { local_epochs: 3, ..m1 };
+        let d = device(1.0, 100.0, 0.0);
+        assert!((m3.compute_seconds(&d, 10) - 3.0 * m1.compute_seconds(&d, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_params_sets_bits() {
+        let m = LatencyModel::for_params(1000, 1e-4, 1);
+        assert_eq!(m.model_bits, 32_000.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # haccs-sysmodel
+//!
+//! The system-heterogeneity substrate: everything the paper's testbed
+//! simulated with injected delays (§V-A, Table II), reimplemented as an
+//! explicit model:
+//!
+//! * [`profile`] — per-device performance profiles drawn from the Table II
+//!   categories (fast/medium/slow/very-slow at 60/20/15/5%), with compute
+//!   multipliers, bandwidth and network RTT,
+//! * [`latency`] — the §IV-D latency definition: "the expected time
+//!   required to transfer the model parameters to and from the client, plus
+//!   the time required to perform a single epoch",
+//! * [`availability`] — dropout models: always-on, seeded per-epoch random
+//!   unavailability (Fig. 6), and permanent drop of chosen devices or whole
+//!   groups (Fig. 1),
+//! * [`clock`] — the simulated wall clock that time-to-accuracy curves are
+//!   plotted against.
+
+pub mod availability;
+pub mod clock;
+pub mod latency;
+pub mod profile;
+
+pub use availability::Availability;
+pub use clock::SimClock;
+pub use latency::LatencyModel;
+pub use profile::{DeviceProfile, PerfCategory};

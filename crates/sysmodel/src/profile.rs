@@ -1,0 +1,199 @@
+//! Device performance profiles drawn from the paper's Table II.
+//!
+//! | Attribute  | Fast       | Medium     | Slow       | Very Slow  |
+//! |------------|-----------|------------|------------|------------|
+//! | Compute    | no delay  | 1.5–2.0×   | 2.0–2.5×   | 2.5–3.0×   |
+//! | Bandwidth  | 75–100 Mbps | 50–75 Mbps | 25–50 Mbps | 1–25 Mbps |
+//! | NW latency | 20–200 ms | 20–200 ms  | 20–200 ms  | 20–200 ms  |
+//!
+//! Categories are assigned per attribute with probability 60/20/15/5%.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The four Table II performance categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerfCategory {
+    Fast,
+    Medium,
+    Slow,
+    VerySlow,
+}
+
+impl PerfCategory {
+    /// Assignment probabilities: 60% / 20% / 15% / 5% (§V-A).
+    pub const PROBS: [f64; 4] = [0.60, 0.20, 0.15, 0.05];
+
+    /// All categories, in Table II order.
+    pub const ALL: [PerfCategory; 4] = [
+        PerfCategory::Fast,
+        PerfCategory::Medium,
+        PerfCategory::Slow,
+        PerfCategory::VerySlow,
+    ];
+
+    /// Draws a category with the §V-A probabilities.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (cat, &p) in Self::ALL.iter().zip(Self::PROBS.iter()) {
+            acc += p;
+            if u < acc {
+                return *cat;
+            }
+        }
+        PerfCategory::VerySlow
+    }
+
+    /// Compute-delay multiplier range for this category (Table II row 1);
+    /// `Fast` has no delay (multiplier exactly 1).
+    pub fn compute_multiplier_range(self) -> (f64, f64) {
+        match self {
+            PerfCategory::Fast => (1.0, 1.0),
+            PerfCategory::Medium => (1.5, 2.0),
+            PerfCategory::Slow => (2.0, 2.5),
+            PerfCategory::VerySlow => (2.5, 3.0),
+        }
+    }
+
+    /// Bandwidth range in Mbps (Table II row 2).
+    pub fn bandwidth_mbps_range(self) -> (f64, f64) {
+        match self {
+            PerfCategory::Fast => (75.0, 100.0),
+            PerfCategory::Medium => (50.0, 75.0),
+            PerfCategory::Slow => (25.0, 50.0),
+            PerfCategory::VerySlow => (1.0, 25.0),
+        }
+    }
+
+    /// Network round-trip latency range in milliseconds (identical across
+    /// categories, Table II row 3).
+    pub fn network_latency_ms_range(self) -> (f64, f64) {
+        (20.0, 200.0)
+    }
+}
+
+/// One device's sampled system parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Category drawn for the compute attribute.
+    pub compute_category: PerfCategory,
+    /// Category drawn for the bandwidth attribute.
+    pub bandwidth_category: PerfCategory,
+    /// Multiplier on base compute time (1.0 = no delay).
+    pub compute_multiplier: f64,
+    /// Link bandwidth in Mbps.
+    pub bandwidth_mbps: f64,
+    /// Network round-trip time in ms.
+    pub rtt_ms: f64,
+}
+
+impl DeviceProfile {
+    /// Samples a profile per §V-A: independent category draws for compute
+    /// and bandwidth, then uniform values within each category's interval.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let compute_category = PerfCategory::sample(rng);
+        let bandwidth_category = PerfCategory::sample(rng);
+        let (clo, chi) = compute_category.compute_multiplier_range();
+        let compute_multiplier = if clo == chi { clo } else { rng.gen_range(clo..chi) };
+        let (blo, bhi) = bandwidth_category.bandwidth_mbps_range();
+        let bandwidth_mbps = rng.gen_range(blo..bhi);
+        let (llo, lhi) = compute_category.network_latency_ms_range();
+        let rtt_ms = rng.gen_range(llo..lhi);
+        DeviceProfile {
+            compute_category,
+            bandwidth_category,
+            compute_multiplier,
+            bandwidth_mbps,
+            rtt_ms,
+        }
+    }
+
+    /// Samples `n` profiles.
+    pub fn sample_many<R: Rng>(n: usize, rng: &mut R) -> Vec<Self> {
+        (0..n).map(|_| Self::sample(rng)).collect()
+    }
+
+    /// A uniform "no heterogeneity" profile, useful in tests.
+    pub fn uniform_fast() -> Self {
+        DeviceProfile {
+            compute_category: PerfCategory::Fast,
+            bandwidth_category: PerfCategory::Fast,
+            compute_multiplier: 1.0,
+            bandwidth_mbps: 100.0,
+            rtt_ms: 20.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probs_sum_to_one() {
+        let s: f64 = PerfCategory::PROBS.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_frequencies_match() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 100_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let c = PerfCategory::sample(&mut rng);
+            counts[PerfCategory::ALL.iter().position(|&x| x == c).unwrap()] += 1;
+        }
+        for (i, &p) in PerfCategory::PROBS.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "cat {i}: {freq} vs {p}");
+        }
+    }
+
+    #[test]
+    fn profile_values_within_table_ii() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = DeviceProfile::sample(&mut rng);
+            let (clo, chi) = p.compute_category.compute_multiplier_range();
+            assert!(p.compute_multiplier >= clo && p.compute_multiplier <= chi);
+            let (blo, bhi) = p.bandwidth_category.bandwidth_mbps_range();
+            assert!(p.bandwidth_mbps >= blo && p.bandwidth_mbps < bhi);
+            assert!((20.0..200.0).contains(&p.rtt_ms));
+        }
+    }
+
+    #[test]
+    fn fast_has_no_compute_delay() {
+        assert_eq!(PerfCategory::Fast.compute_multiplier_range(), (1.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let p = DeviceProfile::sample(&mut rng);
+            if p.compute_category == PerfCategory::Fast {
+                assert_eq!(p.compute_multiplier, 1.0);
+            } else {
+                assert!(p.compute_multiplier >= 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = DeviceProfile::sample_many(10, &mut StdRng::seed_from_u64(3));
+        let b = DeviceProfile::sample_many(10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compute_and_bandwidth_categories_independent() {
+        // with independent draws, some devices must have mismatched cats
+        let mut rng = StdRng::seed_from_u64(4);
+        let profiles = DeviceProfile::sample_many(500, &mut rng);
+        assert!(profiles
+            .iter()
+            .any(|p| p.compute_category != p.bandwidth_category));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the system-heterogeneity model.
+
+use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel, PerfCategory, SimClock};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn profiles_respect_table_ii(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = DeviceProfile::sample(&mut rng);
+        let (clo, chi) = p.compute_category.compute_multiplier_range();
+        prop_assert!(p.compute_multiplier >= clo && p.compute_multiplier <= chi);
+        let (blo, bhi) = p.bandwidth_category.bandwidth_mbps_range();
+        prop_assert!(p.bandwidth_mbps >= blo && p.bandwidth_mbps < bhi);
+        prop_assert!((20.0..200.0).contains(&p.rtt_ms));
+        if p.compute_category == PerfCategory::Fast {
+            prop_assert_eq!(p.compute_multiplier, 1.0);
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_examples(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = DeviceProfile::sample(&mut rng);
+        let lat = LatencyModel::default();
+        let t1 = lat.round_seconds(&p, n);
+        let t2 = lat.round_seconds(&p, n + 100);
+        prop_assert!(t2 > t1, "more data must take longer: {t1} vs {t2}");
+        prop_assert!(t1 > 0.0 && t1.is_finite());
+    }
+
+    #[test]
+    fn latency_monotone_in_bandwidth(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = DeviceProfile::sample(&mut rng);
+        let lat = LatencyModel::default();
+        p.bandwidth_mbps = 10.0;
+        let slow = lat.transfer_seconds(&p);
+        p.bandwidth_mbps = 100.0;
+        let fast = lat.transfer_seconds(&p);
+        prop_assert!(fast < slow);
+    }
+
+    #[test]
+    fn epoch_dropout_exact_and_within_range(
+        n in 2usize..100,
+        rate_pct in 0usize..100,
+        seed in any::<u64>(),
+        epoch in 0usize..50,
+    ) {
+        let rate = rate_pct as f64 / 100.0;
+        let a = Availability::epoch_dropout(rate, n, seed);
+        let dropped = a.dropped_set(epoch);
+        prop_assert_eq!(dropped.len(), (rate * n as f64).floor() as usize);
+        prop_assert!(dropped.iter().all(|&c| c < n));
+        // consistency between is_available and dropped_set
+        for c in 0..n {
+            prop_assert_eq!(a.is_available(c, epoch), !dropped.contains(&c));
+        }
+    }
+
+    #[test]
+    fn clock_accumulates_exactly(dts in proptest::collection::vec(0.0f64..100.0, 0..50)) {
+        let mut clock = SimClock::new();
+        let mut expect = 0.0;
+        for dt in dts {
+            clock.advance(dt);
+            expect += dt;
+            prop_assert!(clock.now() >= 0.0);
+        }
+        prop_assert!((clock.now() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permanent_drop_is_permanent(
+        dropped in proptest::collection::hash_set(0usize..20, 0..10),
+        epoch in 0usize..100,
+    ) {
+        let a = Availability::permanent(dropped.clone());
+        for c in 0..20 {
+            prop_assert_eq!(a.is_available(c, epoch), !dropped.contains(&c));
+        }
+    }
+}

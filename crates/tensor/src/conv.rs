@@ -1,0 +1,442 @@
+//! 2-D convolution (via im2col + matmul) and max pooling, with backward
+//! passes. Layout is NCHW throughout.
+
+use crate::ops;
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Shape bookkeeping for a conv layer application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvDims {
+    pub batch: usize,
+    pub in_ch: usize,
+    pub in_h: usize,
+    pub in_w: usize,
+    pub out_ch: usize,
+    pub k: usize,
+    pub stride: usize,
+    pub pad: usize,
+    pub out_h: usize,
+    pub out_w: usize,
+}
+
+impl ConvDims {
+    /// Computes output dims for input `[n, c, h, w]`, square kernel `k`.
+    pub fn infer(input_shape: &[usize], out_ch: usize, k: usize, stride: usize, pad: usize) -> Self {
+        assert_eq!(input_shape.len(), 4, "conv input must be NCHW");
+        let (batch, in_ch, in_h, in_w) =
+            (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+        assert!(in_h + 2 * pad >= k && in_w + 2 * pad >= k, "kernel larger than padded input");
+        let out_h = (in_h + 2 * pad - k) / stride + 1;
+        let out_w = (in_w + 2 * pad - k) / stride + 1;
+        ConvDims { batch, in_ch, in_h, in_w, out_ch, k, stride, pad, out_h, out_w }
+    }
+}
+
+/// Unfolds one image `[c, h, w]` into columns `[c*k*k, out_h*out_w]`,
+/// writing into `cols` (which must be pre-sized).
+fn im2col_single(img: &[f32], d: &ConvDims, cols: &mut [f32]) {
+    let (c, h, w, k) = (d.in_ch, d.in_h, d.in_w, d.k);
+    let (oh, ow) = (d.out_h, d.out_w);
+    let n_spatial = oh * ow;
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let out_row = &mut cols[row * n_spatial..(row + 1) * n_spatial];
+                for oi in 0..oh {
+                    let ii = (oi * d.stride + ki) as isize - d.pad as isize;
+                    for oj in 0..ow {
+                        let jj = (oj * d.stride + kj) as isize - d.pad as isize;
+                        out_row[oi * ow + oj] = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                            img[(ci * h + ii as usize) * w + jj as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds columns `[c*k*k, out_h*out_w]` back into an image gradient
+/// `[c, h, w]` (the adjoint of im2col; overlapping patches accumulate).
+fn col2im_single(cols: &[f32], d: &ConvDims, img: &mut [f32]) {
+    let (c, h, w, k) = (d.in_ch, d.in_h, d.in_w, d.k);
+    let (oh, ow) = (d.out_h, d.out_w);
+    let n_spatial = oh * ow;
+    img.fill(0.0);
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let col_row = &cols[row * n_spatial..(row + 1) * n_spatial];
+                for oi in 0..oh {
+                    let ii = (oi * d.stride + ki) as isize - d.pad as isize;
+                    if ii < 0 || ii as usize >= h {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * d.stride + kj) as isize - d.pad as isize;
+                        if jj < 0 || jj as usize >= w {
+                            continue;
+                        }
+                        img[(ci * h + ii as usize) * w + jj as usize] += col_row[oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`: `[n, in_ch, h, w]`
+/// * `weight`: `[out_ch, in_ch, k, k]`
+/// * `bias`: `[out_ch]`
+///
+/// Returns `(output [n, out_ch, out_h, out_w], cols)` where `cols` holds the
+/// per-image im2col buffers needed by [`conv2d_backward`].
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Vec<Tensor>) {
+    let out_ch = weight.shape()[0];
+    let d = ConvDims::infer(input.shape(), out_ch, weight.shape()[2], stride, pad);
+    assert_eq!(weight.shape()[1], d.in_ch, "weight in_ch mismatch");
+    assert_eq!(bias.len(), out_ch, "bias length mismatch");
+
+    let col_rows = d.in_ch * d.k * d.k;
+    let n_spatial = d.out_h * d.out_w;
+    let w_mat = weight.clone().reshape(&[out_ch, col_rows]);
+    let img_len = d.in_ch * d.in_h * d.in_w;
+
+    let per_image: Vec<(Vec<f32>, Tensor)> = (0..d.batch)
+        .into_par_iter()
+        .map(|n| {
+            let img = &input.data()[n * img_len..(n + 1) * img_len];
+            let mut cols = vec![0.0f32; col_rows * n_spatial];
+            im2col_single(img, &d, &mut cols);
+            let cols_t = Tensor::from_vec(cols, &[col_rows, n_spatial]);
+            // [out_ch, col_rows] x [col_rows, n_spatial] = [out_ch, n_spatial]
+            let mut out = ops::matmul(&w_mat, &cols_t);
+            for (oc, row) in out.data_mut().chunks_mut(n_spatial).enumerate() {
+                let b = bias[oc];
+                for x in row.iter_mut() {
+                    *x += b;
+                }
+            }
+            (out.into_vec(), cols_t)
+        })
+        .collect();
+
+    let mut out_data = Vec::with_capacity(d.batch * out_ch * n_spatial);
+    let mut cols_all = Vec::with_capacity(d.batch);
+    for (o, c) in per_image {
+        out_data.extend_from_slice(&o);
+        cols_all.push(c);
+    }
+    (
+        Tensor::from_vec(out_data, &[d.batch, out_ch, d.out_h, d.out_w]),
+        cols_all,
+    )
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Returns `(d_input, d_weight, d_bias)`.
+pub fn conv2d_backward(
+    input_shape: &[usize],
+    weight: &Tensor,
+    cols: &[Tensor],
+    d_out: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let out_ch = weight.shape()[0];
+    let d = ConvDims::infer(input_shape, out_ch, weight.shape()[2], stride, pad);
+    let col_rows = d.in_ch * d.k * d.k;
+    let n_spatial = d.out_h * d.out_w;
+    let w_mat = weight.clone().reshape(&[out_ch, col_rows]);
+    let img_len = d.in_ch * d.in_h * d.in_w;
+
+    let results: Vec<(Vec<f32>, Tensor, Vec<f32>)> = (0..d.batch)
+        .into_par_iter()
+        .map(|n| {
+            let dy =
+                &d_out.data()[n * out_ch * n_spatial..(n + 1) * out_ch * n_spatial];
+            let dy_t = Tensor::from_vec(dy.to_vec(), &[out_ch, n_spatial]);
+            // dW contribution: dy [out_ch, S] x colsᵀ [S, col_rows]
+            let dw = ops::matmul_bt(&dy_t, &cols[n]);
+            // dCols: Wᵀ [col_rows, out_ch] x dy [out_ch, S]
+            let dcols = ops::matmul_at(&w_mat, &dy_t);
+            let mut dimg = vec![0.0f32; img_len];
+            col2im_single(dcols.data(), &d, &mut dimg);
+            let db: Vec<f32> = dy
+                .chunks(n_spatial)
+                .map(|row| row.iter().sum::<f32>())
+                .collect();
+            (dimg, dw, db)
+        })
+        .collect();
+
+    let mut d_input = Vec::with_capacity(d.batch * img_len);
+    let mut d_weight = Tensor::zeros(&[out_ch, col_rows]);
+    let mut d_bias = vec![0.0f32; out_ch];
+    for (dimg, dw, db) in results {
+        d_input.extend_from_slice(&dimg);
+        ops::axpy(&mut d_weight, 1.0, &dw);
+        for (acc, x) in d_bias.iter_mut().zip(db) {
+            *acc += x;
+        }
+    }
+    (
+        Tensor::from_vec(d_input, input_shape),
+        d_weight.reshape(weight.shape()),
+        d_bias,
+    )
+}
+
+/// Forward max pooling with square window `k` and stride `k` (non-overlapping).
+///
+/// Returns `(output, argmax_indices)`; indices address the flattened input
+/// and are consumed by [`maxpool_backward`].
+pub fn maxpool_forward(input: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.rank(), 4, "maxpool input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oh, ow) = (h / k, w / k);
+    assert!(oh > 0 && ow > 0, "pool window larger than input");
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0u32; n * c * oh * ow];
+    let data = input.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_at = 0usize;
+                    for di in 0..k {
+                        for dj in 0..k {
+                            let at = base + (oi * k + di) * w + (oj * k + dj);
+                            if data[at] > best {
+                                best = data[at];
+                                best_at = at;
+                            }
+                        }
+                    }
+                    let o = ((ni * c + ci) * oh + oi) * ow + oj;
+                    out[o] = best;
+                    idx[o] = best_at as u32;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, c, oh, ow]), idx)
+}
+
+/// Backward max pooling: routes each output gradient to the argmax position.
+pub fn maxpool_backward(input_shape: &[usize], idx: &[u32], d_out: &Tensor) -> Tensor {
+    let numel: usize = input_shape.iter().product();
+    let mut dx = vec![0.0f32; numel];
+    for (i, &g) in d_out.data().iter().enumerate() {
+        dx[idx[i] as usize] += g;
+    }
+    Tensor::from_vec(dx, input_shape)
+}
+
+/// Direct (definition-level) convolution used by tests to validate the
+/// im2col path. O(n·c·k²·h·w); not for production use.
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let out_ch = weight.shape()[0];
+    let d = ConvDims::infer(input.shape(), out_ch, weight.shape()[2], stride, pad);
+    let mut out = Tensor::zeros(&[d.batch, out_ch, d.out_h, d.out_w]);
+    for n in 0..d.batch {
+        for oc in 0..out_ch {
+            for oi in 0..d.out_h {
+                for oj in 0..d.out_w {
+                    let mut acc = bias[oc];
+                    for ic in 0..d.in_ch {
+                        for ki in 0..d.k {
+                            for kj in 0..d.k {
+                                let ii = (oi * d.stride + ki) as isize - d.pad as isize;
+                                let jj = (oj * d.stride + kj) as isize - d.pad as isize;
+                                if ii >= 0
+                                    && jj >= 0
+                                    && (ii as usize) < d.in_h
+                                    && (jj as usize) < d.in_w
+                                {
+                                    acc += input.at4(n, ic, ii as usize, jj as usize)
+                                        * weight.at4(oc, ic, ki, kj);
+                                }
+                            }
+                        }
+                    }
+                    let o = ((n * out_ch + oc) * d.out_h + oi) * d.out_w + oj;
+                    out.data_mut()[o] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, init, TEST_EPS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+        init::uniform(shape, -1.0, 1.0, rng)
+    }
+
+    #[test]
+    fn conv_matches_direct_no_pad() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = rand_tensor(&[2, 3, 8, 8], &mut rng);
+        let w = rand_tensor(&[4, 3, 3, 3], &mut rng);
+        let b = vec![0.1, -0.2, 0.3, 0.0];
+        let (y, _) = conv2d_forward(&x, &w, &b, 1, 0);
+        let y_ref = conv2d_direct(&x, &w, &b, 1, 0);
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+        assert_close(y.data(), y_ref.data(), 1e-3);
+    }
+
+    #[test]
+    fn conv_matches_direct_with_pad_stride() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = rand_tensor(&[1, 2, 7, 7], &mut rng);
+        let w = rand_tensor(&[3, 2, 3, 3], &mut rng);
+        let b = vec![0.0; 3];
+        let (y, _) = conv2d_forward(&x, &w, &b, 2, 1);
+        let y_ref = conv2d_direct(&x, &w, &b, 2, 1);
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+        assert_close(y.data(), y_ref.data(), 1e-3);
+    }
+
+    /// Central finite differences against analytic gradients for conv.
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = rand_tensor(&[1, 2, 5, 5], &mut rng);
+        let w = rand_tensor(&[2, 2, 3, 3], &mut rng);
+        let b = vec![0.05, -0.05];
+
+        // Loss = sum of outputs, so d_out = ones.
+        let loss = |x: &Tensor, w: &Tensor, b: &[f32]| -> f32 {
+            conv2d_direct(x, w, b, 1, 0).data().iter().sum()
+        };
+
+        let (y, cols) = conv2d_forward(&x, &w, &b, 1, 0);
+        let d_out = Tensor::full(y.shape(), 1.0);
+        let (dx, dw, db) = conv2d_backward(x.shape(), &w, &cols, &d_out, 1, 0);
+
+        let h = 1e-2f32;
+        // spot-check several coordinates of each gradient
+        for &i in &[0usize, 7, 19, 33, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * h);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: fd {fd} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+        for &i in &[0usize, 5, 17, 35] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += h;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= h;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * h);
+            assert!(
+                (fd - dw.data()[i]).abs() < 2e-2,
+                "dw[{i}]: fd {fd} vs analytic {}",
+                dw.data()[i]
+            );
+        }
+        for i in 0..2 {
+            let mut bp = b.clone();
+            bp[i] += h;
+            let mut bm = b.clone();
+            bm[i] -= h;
+            let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * h);
+            assert!((fd - db[i]).abs() < 2e-2, "db[{i}]: fd {fd} vs analytic {}", db[i]);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_picks_max() {
+        let x = Tensor::from_vec(
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, idx) = maxpool_forward(&x, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_close(y.data(), &[4., 8., 12., 16.], TEST_EPS);
+        assert_eq!(idx, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, idx) = maxpool_forward(&x, 2);
+        let dy = Tensor::full(y.shape(), 2.0);
+        let dx = maxpool_backward(x.shape(), &idx, &dy);
+        // gradient lands only on the max of each window (indices 5,7,13,15)
+        let expect: Vec<f32> = (0..16)
+            .map(|i| if [5, 7, 13, 15].contains(&i) { 2.0 } else { 0.0 })
+            .collect();
+        assert_close(dx.data(), &expect, TEST_EPS);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // <im2col(x), c> == <x, col2im(c)> for all x, c (adjointness).
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = ConvDims::infer(&[1, 2, 5, 5], 1, 3, 1, 1);
+        let x = rand_tensor(&[1, 2, 5, 5], &mut rng);
+        let col_rows = d.in_ch * d.k * d.k;
+        let n_spatial = d.out_h * d.out_w;
+        let c = rand_tensor(&[col_rows, n_spatial], &mut rng);
+
+        let mut cols = vec![0.0f32; col_rows * n_spatial];
+        im2col_single(x.data(), &d, &mut cols);
+        let lhs: f32 = cols.iter().zip(c.data()).map(|(a, b)| a * b).sum();
+
+        let mut img = vec![0.0f32; 2 * 5 * 5];
+        col2im_single(c.data(), &d, &mut img);
+        let rhs: f32 = x.data().iter().zip(&img).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than padded input")]
+    fn conv_panics_on_tiny_input() {
+        ConvDims::infer(&[1, 1, 2, 2], 1, 5, 1, 0);
+    }
+}

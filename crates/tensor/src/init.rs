@@ -1,0 +1,108 @@
+//! Weight initializers. All take an explicit RNG so experiments are
+//! reproducible end-to-end from a single seed.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Uniform initialization over `[lo, hi)`.
+pub fn uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Normal initialization via Box–Muller (avoids a rand_distr dependency).
+pub fn normal<R: Rng>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    assert!(std >= 0.0, "std must be non-negative");
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let (z0, z1) = box_muller(rng);
+        data.push(mean + std * z0);
+        if data.len() < n {
+            data.push(mean + std * z1);
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// One Box–Muller draw: two independent standard normals.
+#[inline]
+pub fn box_muller<R: Rng>(rng: &mut R) -> (f32, f32) {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// Kaiming/He normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU networks.
+pub fn kaiming_normal<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    normal(shape, 0.0, (2.0 / fan_in as f32).sqrt(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&[20000], 3.0, 2.0, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / t.numel() as f32;
+        let var: f32 =
+            t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.numel() as f32;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_odd_element_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = normal(&[7], 0.0, 1.0, &mut rng);
+        assert_eq!(t.numel(), 7);
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xavier_uniform(&[100, 50], 100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn kaiming_std_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kaiming_normal(&[50000], 8, &mut rng);
+        let var: f32 = t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32;
+        assert!((var - 0.25).abs() < 0.02, "var {var} expected 0.25");
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = uniform(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = uniform(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

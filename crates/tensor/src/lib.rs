@@ -1,0 +1,39 @@
+//! # haccs-tensor
+//!
+//! A small, dependency-light dense tensor library used as the numeric
+//! substrate for the HACCS reproduction. It provides exactly what the
+//! LeNet-style models in `haccs-nn` need:
+//!
+//! * row-major `f32` tensors of arbitrary rank ([`Tensor`]),
+//! * rayon-parallel blocked matrix multiplication ([`ops::matmul`]),
+//! * 2-D convolution via im2col and max pooling ([`conv`]),
+//! * element-wise kernels, reductions and softmax ([`ops`]),
+//! * standard initializers (Xavier/Kaiming/uniform/normal) ([`init`]).
+//!
+//! The library favours clarity over peak FLOPs but is careful about the
+//! things the Rust Performance Book calls out: no allocation inside hot
+//! loops, contiguous row-major layout, iterator-based kernels that vectorize,
+//! and rayon parallelism across the batch/row dimension.
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod tensor;
+
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by the test-suite when comparing float tensors.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts that two slices are element-wise equal within `tol`.
+///
+/// Panics with a useful message identifying the first offending index.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "mismatch at index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}

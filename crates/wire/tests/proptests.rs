@@ -1,0 +1,76 @@
+//! Property-based tests: every message round-trips, and decode never
+//! panics on arbitrary bytes.
+
+use bytes::Bytes;
+use haccs_wire::{Message, ResourceEstimate, WireSummary};
+use proptest::prelude::*;
+
+fn arb_summary() -> impl Strategy<Value = WireSummary> {
+    (
+        proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, 0..20), 0..6),
+        proptest::collection::vec(0.0f32..1.0, 0..12),
+    )
+        .prop_map(|(histograms, prevalence)| WireSummary { histograms, prevalence })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), arb_summary(), 0.1f32..5.0, 0.1f32..200.0, 0.1f32..500.0, any::<u32>())
+            .prop_map(|(n, s, c, b, r, t)| Message::Join {
+                client_nonce: n,
+                summary: s,
+                resources: ResourceEstimate {
+                    compute_multiplier: c,
+                    bandwidth_mbps: b,
+                    rtt_ms: r,
+                    n_train: t,
+                },
+            }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(r, n)| Message::Schedule { round: r, client_nonce: n }),
+        (any::<u64>(), proptest::collection::vec(-100.0f32..100.0, 0..64))
+            .prop_map(|(r, p)| Message::ModelPush { round: r, params: p }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(-100.0f32..100.0, 0..64),
+            -10.0f32..10.0,
+            any::<u32>()
+        )
+            .prop_map(|(r, p, l, n)| Message::ModelUpdate {
+                round: r,
+                params: p,
+                loss: l,
+                n_train: n,
+            }),
+        (any::<u64>(), arb_summary())
+            .prop_map(|(n, s)| Message::SummaryUpdate { client_nonce: n, summary: s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip(m in arb_message()) {
+        let frame = m.encode();
+        prop_assert_eq!(frame.len(), m.wire_size());
+        let back = Message::decode(frame).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // any result is fine; panicking or huge allocation is not
+        let _ = Message::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn truncation_always_detected(m in arb_message(), frac in 0.0f64..1.0) {
+        let frame = m.encode();
+        let cut = ((frame.len() as f64) * frac) as usize;
+        if cut < frame.len() {
+            let out = Message::decode(frame.slice(0..cut));
+            prop_assert!(out.is_err(), "decoding a prefix must fail, got {:?}", out);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Privacy trade-off: how the Laplace mechanism's ε budget affects what
+//! the server can learn — and therefore how well it can cluster (§IV-B,
+//! Fig. 3 / Fig. 8a).
+//!
+//! Prints a noisy histogram at several ε levels, then sweeps ε against
+//! clustering accuracy on the two-clients-per-label layout.
+//!
+//! ```text
+//! cargo run --release --example privacy_tradeoff
+//! ```
+
+use haccs::cluster::quality::cluster_identification_accuracy;
+use haccs::prelude::*;
+use haccs::scheduler::{build_clusters, summarize_federation, ExtractionMethod};
+use haccs::summary::privatize_counts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bar(mass: f32) -> String {
+    "#".repeat((mass * 120.0).round() as usize)
+}
+
+fn main() {
+    let seed = 5;
+
+    // --- 1. Fig. 3: a histogram of 1000 points per label under noise
+    println!("label histogram of 1000 points x 10 labels, privatized:\n");
+    let counts = vec![1000.0f32; 10];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for eps in [f64::INFINITY, 0.1, 0.005] {
+        let noisy = if eps.is_finite() {
+            privatize_counts(&counts, eps, &mut rng)
+        } else {
+            counts.clone()
+        };
+        let total: f32 = noisy.iter().sum();
+        let name = if eps.is_finite() { format!("eps={eps}") } else { "true".into() };
+        println!("{name}:");
+        for (label, &c) in noisy.iter().enumerate() {
+            println!("  {label} |{}", bar(c / total));
+        }
+        println!();
+    }
+
+    // --- 2. Fig. 8a: ε vs cluster recovery
+    println!("clustering accuracy vs epsilon (20 clients, 2 per label, 500 points each):");
+    let classes = 10;
+    let gen = SynthVision::cifar_like(classes, 8, seed);
+    for eps in [1.0, 0.1, 0.05, 0.01, 0.005, 0.001] {
+        let mut acc_sum = 0.0f32;
+        let trials = 5;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t * 31 + 1));
+            let specs = partition::two_clients_per_label(classes, 500, &mut rng);
+            let fed = FederatedDataset::materialize(&gen, &specs, seed ^ t);
+            let summarizer = Summarizer::label_dist().with_epsilon(eps);
+            let summaries = summarize_federation(&fed, &summarizer, seed ^ (t << 8));
+            let (clustering, _) =
+                build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+            let truth: Vec<Vec<usize>> = (0..classes).map(|g| fed.group_members(g)).collect();
+            acc_sum += cluster_identification_accuracy(&clustering, &truth);
+        }
+        let acc = acc_sum / trials as f32;
+        println!("  eps={eps:<6} -> {acc:.2}  |{}|", "=".repeat((acc * 40.0) as usize));
+    }
+    println!("\nsmaller epsilon = stronger privacy = noisier summaries = worse clustering");
+}

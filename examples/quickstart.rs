@@ -1,0 +1,96 @@
+//! Quickstart: build a 50-client skewed federation, cluster it with HACCS,
+//! and compare a short training run against random selection.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use haccs::scheduler::telemetry::InclusionTelemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 42;
+    let n_clients = 50;
+    let classes = 10;
+    let rounds = 50;
+
+    // --- 1. the federation: 50 clients, one majority label + 3 noise labels
+    println!("building {n_clients} clients with 75/12/7/6 label skew ...");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = partition::majority_noise(
+        n_clients,
+        classes,
+        &partition::MAJORITY_NOISE_75,
+        (80, 160),
+        20,
+        &mut rng,
+    );
+    let gen = SynthVision::cifar_like(classes, 8, seed);
+    let fed = FederatedDataset::materialize(&gen, &specs, seed);
+    let profiles = DeviceProfile::sample_many(n_clients, &mut rng);
+
+    // --- 2. client summaries -> clusters (what the HACCS server does once)
+    let summarizer = Summarizer::label_dist();
+    let summaries = summarize_federation(&fed, &summarizer, seed);
+    let (clustering, groups) =
+        build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+    println!(
+        "OPTICS found {} clusters (+{} noise devices kept as singletons)",
+        clustering.n_clusters(),
+        clustering.noise().len()
+    );
+    for (i, g) in groups.iter().enumerate().take(5) {
+        let majors: Vec<usize> =
+            g.iter().map(|&c| fed.clients[c].spec.majority_label()).collect();
+        println!("  cluster {i}: {} devices, majority labels {majors:?}", g.len());
+    }
+
+    // --- 3. run HACCS vs random in identical simulations
+    let factory = || -> ModelFactory {
+        Box::new(move || ModelKind::Mlp.build(3, 8, 10, &mut StdRng::seed_from_u64(7)))
+    };
+    let sim_cfg = SimConfig { k: 10, seed, ..Default::default() };
+    let run = |name: &str, selector: &mut dyn Selector| -> RunResult {
+        let mut sim = FedSim::new(
+            factory(),
+            fed.clone(),
+            profiles.clone(),
+            LatencyModel::for_params(10_000, 2e-3, 1),
+            Availability::AlwaysOn,
+            sim_cfg,
+        );
+        let r = sim.run(selector, rounds);
+        println!(
+            "{name:>12}: best accuracy {:.3} after {:.0} simulated seconds",
+            r.best_accuracy(),
+            r.total_time()
+        );
+        r
+    };
+
+    let mut haccs = HaccsSelector::new(groups, 0.5, "P(y)");
+    let haccs_run = run("haccs-P(y)", &mut haccs);
+    let mut random = RandomSelector::new();
+    let random_run = run("random", &mut random);
+
+    let target = 0.35;
+    match (haccs_run.time_to_accuracy(target), random_run.time_to_accuracy(target)) {
+        (Some(h), Some(r)) => println!(
+            "time to {:.0}%: haccs {h:.0}s vs random {r:.0}s ({:.0}% reduction)",
+            target * 100.0,
+            100.0 * (r - h) / r
+        ),
+        _ => println!("(short demo run did not reach {:.0}% for both)", target * 100.0),
+    }
+
+    // --- 4. inclusion telemetry (the Table III readout)
+    let telemetry: &InclusionTelemetry = haccs.telemetry();
+    let hist = telemetry.table_iii_histogram();
+    println!(
+        "cluster inclusion after {rounds} rounds: {} clusters <50%, {} in 50-75%, {} ≥75%",
+        hist[0], hist[1], hist[2]
+    );
+}

@@ -1,0 +1,88 @@
+//! Skewed training: the Fig. 5a workload in miniature. Runs all five
+//! selection strategies (Random, TiFL, Oort, HACCS-P(y), HACCS-P(X|y)) on a
+//! CIFAR-10-like federation with the paper's 75/12/7/6 label skew and
+//! Table II system heterogeneity, then prints the time-to-accuracy table.
+//!
+//! ```text
+//! cargo run --release --example skewed_training [rounds]
+//! ```
+
+use haccs::experiments::common::{
+    accuracy_series, run_strategy, tta_table, Env, Scale, StrategyKind,
+};
+use haccs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let seed = 7;
+    let classes = 10;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = partition::majority_noise(
+        50,
+        classes,
+        &partition::MAJORITY_NOISE_75,
+        (80, 160),
+        20,
+        &mut rng,
+    );
+    let env = Env::new(
+        haccs::data::DatasetKind::CifarLike,
+        classes,
+        &specs,
+        Scale::Fast,
+        seed,
+    );
+
+    println!("running {} strategies for {rounds} rounds each ...", StrategyKind::ALL.len());
+    let mut runs = Vec::new();
+    for s in StrategyKind::ALL {
+        let t0 = std::time::Instant::now();
+        let run = run_strategy(&env, s, 10, 0.5, None, Availability::AlwaysOn, rounds);
+        println!(
+            "  {:>12}: best acc {:.3}, {:.0} sim-seconds ({:.1}s wall)",
+            run.strategy,
+            run.best_accuracy(),
+            run.total_time(),
+            t0.elapsed().as_secs_f64()
+        );
+        runs.push(run);
+    }
+
+    println!("\n{}", tta_table(&runs, 0.5).render());
+
+    // a crude terminal plot of the strategy curves
+    println!("accuracy over simulated time (x = 25 buckets of the slowest run):");
+    let t_max = runs.iter().map(|r| r.total_time()).fold(0.0f64, f64::max);
+    for r in &runs {
+        let series = accuracy_series(r);
+        let mut row = String::new();
+        for b in 0..25 {
+            let t = t_max * (b as f64 + 1.0) / 25.0;
+            let acc = series
+                .points
+                .iter()
+                .take_while(|p| p.0 <= t)
+                .map(|p| p.1)
+                .fold(0.0f64, f64::max);
+            row.push(match (acc * 10.0) as usize {
+                0 => '.',
+                1 => '1',
+                2 => '2',
+                3 => '3',
+                4 => '4',
+                5 => '5',
+                6 => '6',
+                7 => '7',
+                8 => '8',
+                _ => '9',
+            });
+        }
+        println!("  {:>12} |{row}|", r.strategy);
+    }
+}

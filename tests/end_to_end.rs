@@ -1,0 +1,275 @@
+//! Cross-crate integration tests: the full HACCS pipeline
+//! (data → summaries → clusters → scheduling → federated training)
+//! exercised end-to-end on small instances.
+
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use haccs::scheduler::{build_clusters, summarize_federation, ExtractionMethod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small, clearly-separable federation: `pairs` clusters of two clients
+/// each (identical label distributions within a pair).
+fn pairs_setup(classes: usize, m: usize, seed: u64) -> (FederatedDataset, Vec<DeviceProfile>) {
+    let gen = SynthVision::mnist_like(classes, 8, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = partition::two_clients_per_label(classes, m, &mut rng);
+    for s in &mut specs {
+        s.n_test = 15; // the Fig. 8a layout is train-only; tests need eval data
+    }
+    let fed = FederatedDataset::materialize(&gen, &specs, seed);
+    let profiles = DeviceProfile::sample_many(fed.n_clients(), &mut rng);
+    (fed, profiles)
+}
+
+fn mlp_factory(classes: usize) -> ModelFactory {
+    Box::new(move || {
+        haccs::nn::mlp(64, &[32], classes, &mut StdRng::seed_from_u64(7))
+    })
+}
+
+#[test]
+fn summaries_cluster_and_schedule_end_to_end() {
+    let classes = 4;
+    let (fed, profiles) = pairs_setup(classes, 60, 3);
+
+    // 1. client-side summaries
+    let summarizer = Summarizer::label_dist();
+    let summaries = summarize_federation(&fed, &summarizer, 3);
+    assert_eq!(summaries.len(), 8);
+
+    // 2. server-side clustering recovers the 4 pairs
+    let (clustering, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+    assert_eq!(clustering.n_clusters(), 4, "labels: {:?}", clustering.labels());
+
+    // 3. scheduling + training improves global accuracy
+    let mut selector = HaccsSelector::new(groups, 0.5, "P(y)");
+    let mut sim = FedSim::new(
+        mlp_factory(classes),
+        fed,
+        profiles,
+        LatencyModel::default(),
+        Availability::AlwaysOn,
+        SimConfig { k: 4, seed: 3, ..Default::default() },
+    );
+    let before = sim.evaluate_global().accuracy;
+    let result = sim.run(&mut selector, 10);
+    let after = result.curve.last().unwrap().accuracy;
+    assert!(
+        after > before + 0.2,
+        "training should clearly improve accuracy: {before} -> {after}"
+    );
+    assert_eq!(result.strategy, "haccs-P(y)");
+    // the clock advanced monotonically
+    for w in result.rounds.windows(2) {
+        assert!(w[1].time_s > w[0].time_s);
+    }
+}
+
+#[test]
+fn haccs_is_robust_to_dropout_of_cluster_members() {
+    let classes = 4;
+    let (fed, profiles) = pairs_setup(classes, 50, 5);
+    let summarizer = Summarizer::label_dist();
+    let summaries = summarize_federation(&fed, &summarizer, 5);
+    let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+
+    // permanently drop one member of every pair: HACCS must still select
+    // the surviving sibling from each cluster
+    let dropped: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+    let mut selector = HaccsSelector::new(groups.clone(), 0.5, "P(y)");
+    let mut sim = FedSim::new(
+        mlp_factory(classes),
+        fed,
+        profiles,
+        LatencyModel::default(),
+        Availability::permanent(dropped.clone()),
+        SimConfig { k: 4, seed: 5, ..Default::default() },
+    );
+    let rec = sim.run_round(&mut selector);
+    assert_eq!(rec.participants.len(), 4);
+    for p in &rec.participants {
+        assert!(!dropped.contains(p), "dropped device {p} was selected");
+    }
+    // every selected device is the sibling from a distinct cluster
+    let mut cluster_of = std::collections::HashMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in g {
+            cluster_of.insert(m, gi);
+        }
+    }
+    let mut seen: Vec<usize> = rec.participants.iter().map(|p| cluster_of[p]).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 4, "selections should span all clusters");
+}
+
+#[test]
+fn group_dropout_hurts_uncovered_labels() {
+    // the Fig. 1 phenomenon, miniaturized: 3 groups × 2 labels; dropping
+    // two whole groups should depress their labels' accuracy relative to
+    // the surviving group's labels
+    let classes = 6;
+    let gen = SynthVision::mnist_like(classes, 8, 11);
+    let mut specs = Vec::new();
+    for g in 0..3 {
+        for _ in 0..3 {
+            let mut w = vec![0.0f32; classes];
+            w[2 * g] = 0.5;
+            w[2 * g + 1] = 0.5;
+            specs.push(haccs::data::ClientSpec {
+                label_weights: w,
+                n_train: 80,
+                n_test: 30,
+                rotation_deg: 0.0,
+                brightness: 0.0,
+                contrast: 1.0,
+                group: Some(g),
+            });
+        }
+    }
+    let fed = FederatedDataset::materialize(&gen, &specs, 11);
+    let mut rng = StdRng::seed_from_u64(11);
+    let profiles = DeviceProfile::sample_many(9, &mut rng);
+    // drop groups 1 and 2 entirely (clients 3..9)
+    let mut sim = FedSim::new(
+        mlp_factory(classes),
+        fed,
+        profiles,
+        LatencyModel::default(),
+        Availability::permanent(3..9),
+        SimConfig { k: 3, seed: 11, ..Default::default() },
+    );
+    let mut selector = RandomSelector::new();
+    sim.run(&mut selector, 25);
+    let per_client = sim.evaluate_per_client();
+    let surviving = (per_client[0] + per_client[1] + per_client[2]) / 3.0;
+    let dropped = per_client[3..].iter().sum::<f32>() / 6.0;
+    assert!(
+        surviving > dropped + 0.2,
+        "surviving group should be much more accurate: {surviving} vs {dropped}"
+    );
+}
+
+#[test]
+fn baselines_and_haccs_share_identical_environments() {
+    // identical seeds → identical client data, profiles and initial params
+    // regardless of strategy
+    let classes = 4;
+    let (fed_a, prof_a) = pairs_setup(classes, 30, 9);
+    let (fed_b, prof_b) = pairs_setup(classes, 30, 9);
+    assert_eq!(fed_a.clients[3].train, fed_b.clients[3].train);
+    assert_eq!(prof_a, prof_b);
+
+    let sim_a = FedSim::new(
+        mlp_factory(classes),
+        fed_a,
+        prof_a,
+        LatencyModel::default(),
+        Availability::AlwaysOn,
+        SimConfig { k: 2, seed: 9, ..Default::default() },
+    );
+    let sim_b = FedSim::new(
+        mlp_factory(classes),
+        fed_b,
+        prof_b,
+        LatencyModel::default(),
+        Availability::AlwaysOn,
+        SimConfig { k: 2, seed: 9, ..Default::default() },
+    );
+    assert_eq!(sim_a.global_params(), sim_b.global_params());
+}
+
+#[test]
+fn oort_and_tifl_complete_runs_with_dropout() {
+    let classes = 4;
+    let (fed, profiles) = pairs_setup(classes, 30, 13);
+    let availability = Availability::epoch_dropout(0.25, fed.n_clients(), 13);
+    for selector in [
+        Box::new(OortSelector::new()) as Box<dyn Selector>,
+        Box::new(TiflSelector::new(4)),
+        Box::new(RandomSelector::new()),
+    ] {
+        let mut selector = selector;
+        let mut sim = FedSim::new(
+            mlp_factory(classes),
+            fed.clone(),
+            profiles.clone(),
+            LatencyModel::default(),
+            availability.clone(),
+            SimConfig { k: 3, seed: 13, ..Default::default() },
+        );
+        let result = sim.run(selector.as_mut(), 6);
+        assert_eq!(result.rounds.len(), 6);
+        for r in &result.rounds {
+            assert!(!r.participants.is_empty(), "round {} trained nobody", r.epoch);
+            // nobody unavailable was selected
+            for p in &r.participants {
+                assert!(availability.is_available(*p, r.epoch));
+            }
+        }
+    }
+}
+
+#[test]
+fn joining_client_is_reclustered_and_scheduled() {
+    // §IV-C: a device joins mid-training; the server re-clusters with the
+    // newcomer's summary, and the newcomer becomes schedulable within its
+    // distribution's cluster.
+    let classes = 4;
+    let (fed, profiles) = pairs_setup(classes, 50, 23);
+    let summarizer = Summarizer::label_dist();
+    let summaries = summarize_federation(&fed, &summarizer, 23);
+    let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+    let mut selector = HaccsSelector::new(groups, 0.5, "P(y)");
+    let mut sim = FedSim::new(
+        mlp_factory(classes),
+        fed.clone(),
+        profiles,
+        LatencyModel::default(),
+        Availability::AlwaysOn,
+        SimConfig { k: 2, seed: 23, ..Default::default() },
+    );
+    sim.run(&mut selector, 2);
+
+    // a newcomer with the same distribution as pair group 0
+    let gen = SynthVision::mnist_like(classes, 8, 23);
+    let mut spec = fed.clients[0].spec.clone();
+    spec.n_test = 10;
+    let new_fed = FederatedDataset::materialize(&gen, &[spec], 777);
+    let new_id = sim.add_client(new_fed.clients[0].clone(), DeviceProfile::uniform_fast());
+
+    // server-side: recompute summaries including the newcomer, re-cluster
+    let mut all_summaries = summaries.clone();
+    let mut rng = StdRng::seed_from_u64(777);
+    all_summaries.push(summarizer.summarize(&sim.clients[new_id].data.train, &mut rng));
+    let (clustering, new_groups) =
+        build_clusters(&summarizer, &all_summaries, 2, ExtractionMethod::Auto);
+    // the newcomer lands in the same cluster as its distribution twins
+    assert_eq!(
+        clustering.labels()[new_id],
+        clustering.labels()[0],
+        "newcomer should join client 0's cluster: {:?}",
+        clustering.labels()
+    );
+    selector.recluster(new_groups);
+    // it is immediately schedulable (uniform_fast = lowest latency around)
+    let run = sim.run(&mut selector, 8);
+    assert!(
+        run.participation_counts(sim.clients.len())[new_id] > 0,
+        "newcomer never selected"
+    );
+}
+
+#[test]
+fn dp_noise_degrades_clustering_but_keeps_everyone_schedulable() {
+    let classes = 4;
+    let (fed, _) = pairs_setup(classes, 40, 17);
+    for eps in [10.0, 0.001] {
+        let summarizer = Summarizer::label_dist().with_epsilon(eps);
+        let summaries = summarize_federation(&fed, &summarizer, 17);
+        let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+        let covered: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(covered, fed.n_clients(), "eps={eps}: every client must stay schedulable");
+    }
+}
