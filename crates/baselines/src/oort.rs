@@ -86,12 +86,8 @@ impl Selector for OortSelector {
         let t_pref = lats[qi];
 
         let n_explore = ((ctx.k as f64) * self.epsilon).round() as usize;
-        let mut unexplored: Vec<usize> = ctx
-            .available
-            .iter()
-            .filter(|c| !self.explored.contains(&c.id))
-            .map(|c| c.id)
-            .collect();
+        let mut unexplored: Vec<usize> =
+            ctx.available.iter().filter(|c| !self.explored.contains(&c.id)).map(|c| c.id).collect();
         unexplored.shuffle(rng);
         let explore: Vec<usize> = unexplored.into_iter().take(n_explore).collect();
 

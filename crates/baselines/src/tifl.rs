@@ -107,12 +107,8 @@ impl Selector for TiflSelector {
 
         // draw k clients from the tier; top up from other tiers, fastest
         // first, if the tier is short
-        let mut in_tier: Vec<usize> = ctx
-            .available
-            .iter()
-            .filter(|c| self.tier_of[&c.id] == tier)
-            .map(|c| c.id)
-            .collect();
+        let mut in_tier: Vec<usize> =
+            ctx.available.iter().filter(|c| self.tier_of[&c.id] == tier).map(|c| c.id).collect();
         in_tier.shuffle(rng);
         let mut selection: Vec<usize> = in_tier.into_iter().take(ctx.k).collect();
         if selection.len() < ctx.k {
@@ -180,9 +176,8 @@ mod tests {
     fn high_loss_tier_gets_selected_more() {
         // tier of clients 6,7 (slowest) has 10× the loss; over many rounds
         // it should be sampled most often
-        let avail: Vec<ClientInfo> = (0..8)
-            .map(|i| info(i, (i + 1) as f64, if i >= 6 { 10.0 } else { 1.0 }))
-            .collect();
+        let avail: Vec<ClientInfo> =
+            (0..8).map(|i| info(i, (i + 1) as f64, if i >= 6 { 10.0 } else { 1.0 })).collect();
         let mut t = TiflSelector::new(4);
         let mut rng = StdRng::seed_from_u64(2);
         let mut tier3_hits = 0;

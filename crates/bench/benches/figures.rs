@@ -17,14 +17,8 @@ use std::hint::black_box;
 /// A small shared environment: 16 clients, 4 classes, majority/noise skew.
 fn tiny_env(kind: DatasetKind, seed: u64) -> Env {
     let mut rng = StdRng::seed_from_u64(seed);
-    let specs = partition::majority_noise(
-        16,
-        4,
-        &partition::MAJORITY_NOISE_75,
-        (40, 60),
-        8,
-        &mut rng,
-    );
+    let specs =
+        partition::majority_noise(16, 4, &partition::MAJORITY_NOISE_75, (40, 60), 8, &mut rng);
     Env::new(kind, 4, &specs, Scale::Fast, seed)
 }
 
@@ -52,9 +46,7 @@ fn fig5_tta(c: &mut Criterion) {
     let env = tiny_env(DatasetKind::CifarLike, 5);
     let mut group = c.benchmark_group("fig5_tta_round");
     for s in StrategyKind::ALL {
-        group.bench_function(s.name(), |b| {
-            b.iter(|| one_round(&env, s, Availability::AlwaysOn))
-        });
+        group.bench_function(s.name(), |b| b.iter(|| one_round(&env, s, Availability::AlwaysOn)));
     }
     group.finish();
 }
@@ -62,13 +54,7 @@ fn fig5_tta(c: &mut Criterion) {
 fn fig6_dropout(c: &mut Criterion) {
     let env = tiny_env(DatasetKind::FemnistLike, 6);
     c.bench_function("fig6_dropout_round", |b| {
-        b.iter(|| {
-            one_round(
-                &env,
-                StrategyKind::HaccsPxy,
-                Availability::epoch_dropout(0.10, 16, 9),
-            )
-        })
+        b.iter(|| one_round(&env, StrategyKind::HaccsPxy, Availability::epoch_dropout(0.10, 16, 9)))
     });
 }
 
@@ -91,15 +77,7 @@ fn fig8a_dp_clustering(c: &mut Criterion) {
 fn fig8b_dp_tta(c: &mut Criterion) {
     let env = tiny_env(DatasetKind::CifarLike, 8);
     c.bench_function("fig8b_dp_clustered_selector_build", |b| {
-        b.iter(|| {
-            black_box(build_haccs(
-                &env,
-                Summarizer::label_dist(),
-                Some(0.1),
-                0.5,
-                "P(y)",
-            ))
-        })
+        b.iter(|| black_box(build_haccs(&env, Summarizer::label_dist(), Some(0.1), 0.5, "P(y)")))
     });
 }
 
@@ -121,14 +99,8 @@ fn fig9_rho(c: &mut Criterion) {
 
 fn fig10_feature_skew(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(10);
-    let mut specs = partition::majority_noise(
-        16,
-        4,
-        &partition::MAJORITY_NOISE_75,
-        (40, 60),
-        8,
-        &mut rng,
-    );
+    let mut specs =
+        partition::majority_noise(16, 4, &partition::MAJORITY_NOISE_75, (40, 60), 8, &mut rng);
     partition::assign_rotations(&mut specs, 45.0, &mut rng);
     let env = Env::new(DatasetKind::MnistLike, 4, &specs, Scale::Fast, 10);
     c.bench_function("fig10_feature_skew_round", |b| {
@@ -170,9 +142,7 @@ fn tab3_inclusion(c: &mut Criterion) {
 fn fig11_bias(c: &mut Criterion) {
     let env = tiny_env(DatasetKind::MnistLike, 14);
     let sim = env.build_sim(4, Availability::AlwaysOn);
-    c.bench_function("fig11_per_client_eval", |b| {
-        b.iter(|| black_box(sim.evaluate_per_client()))
-    });
+    c.bench_function("fig11_per_client_eval", |b| b.iter(|| black_box(sim.evaluate_per_client())));
 }
 
 criterion_group! {

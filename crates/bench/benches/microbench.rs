@@ -58,14 +58,8 @@ fn bench_local_training(c: &mut Criterion) {
 fn client_summaries(n: usize) -> (Summarizer, Vec<ClientSummary>) {
     let gen = SynthVision::cifar_like(10, 8, 0);
     let mut rng = StdRng::seed_from_u64(5);
-    let specs = partition::majority_noise(
-        n,
-        10,
-        &partition::MAJORITY_NOISE_75,
-        (100, 100),
-        0,
-        &mut rng,
-    );
+    let specs =
+        partition::majority_noise(n, 10, &partition::MAJORITY_NOISE_75, (100, 100), 0, &mut rng);
     let fed = FederatedDataset::materialize(&gen, &specs, 0);
     let s = Summarizer::label_dist();
     let sums = haccs_core::summarize_federation(&fed, &s, 0);
@@ -81,9 +75,7 @@ fn bench_summary_pipeline(c: &mut Criterion) {
     c.bench_function("optics_50", |bench| {
         bench.iter(|| optics(black_box(&dist), f32::INFINITY, 2))
     });
-    c.bench_function("dbscan_50", |bench| {
-        bench.iter(|| dbscan(black_box(&dist), 0.5, 2))
-    });
+    c.bench_function("dbscan_50", |bench| bench.iter(|| dbscan(black_box(&dist), 0.5, 2)));
 }
 
 fn bench_dp(c: &mut Criterion) {

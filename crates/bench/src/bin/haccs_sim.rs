@@ -11,10 +11,8 @@
 //! readout. The downstream-user entry point: everything the experiment
 //! harness can do, but with your own parameters.
 
-use haccs_experiments::common::{
-    accuracy_series, build_haccs, Env, Scale, StrategyKind,
-};
 use haccs_data::{partition, DatasetKind};
+use haccs_experiments::common::{accuracy_series, build_haccs, Env, Scale, StrategyKind};
 use haccs_summary::Summarizer;
 use haccs_sysmodel::Availability;
 use rand::rngs::StdRng;
@@ -60,9 +58,8 @@ fn parse_args() -> Args {
     let mut a = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| panic!("{name} needs a value"))
-        };
+        let mut val =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
         match flag.as_str() {
             "--clients" => a.clients = val("--clients").parse().expect("integer"),
             "--select" => a.select = val("--select").parse().expect("integer"),
@@ -119,12 +116,7 @@ fn main() {
             a.scale.test_n(),
             &mut rng,
         ),
-        "iid" => partition::iid(
-            a.clients,
-            a.classes,
-            a.scale.samples_range().0,
-            a.scale.test_n(),
-        ),
+        "iid" => partition::iid(a.clients, a.classes, a.scale.samples_range().0, a.scale.test_n()),
         other => panic!("unknown skew {other} (majority|klabels|iid)"),
     };
     let env = Env::new(a.dataset, a.classes, &specs, a.scale, a.seed);
@@ -158,10 +150,7 @@ fn main() {
         }
         "pxy" => {
             let h = build_haccs(&env, Summarizer::cond_dist(16), a.epsilon, a.rho, "P(X|y)");
-            println!(
-                "P(X|y) clustering: {} schedulable groups",
-                h.groups().len()
-            );
+            println!("P(X|y) clustering: {} schedulable groups", h.groups().len());
             Box::new(h)
         }
         other => panic!("unknown strategy {other} (random|tifl|oort|py|pxy)"),

@@ -20,9 +20,7 @@ impl Linkage {
         match self {
             Linkage::Single => a.min(b),
             Linkage::Complete => a.max(b),
-            Linkage::Average => {
-                (a * na as f32 + b * nb as f32) / (na + nb) as f32
-            }
+            Linkage::Average => (a * na as f32 + b * nb as f32) / (na + nb) as f32,
         }
     }
 }
@@ -77,23 +75,17 @@ pub fn agglomerative(dist: &[Vec<f32>], k: usize, linkage: Linkage) -> Clusterin
 
     // densify labels
     let mut labels = vec![None; n];
-    let mut next = 0usize;
-    for m in members.iter().flatten() {
+    for (next, m) in members.iter().flatten().enumerate() {
         for &p in m {
             labels[p] = Some(next);
         }
-        next += 1;
     }
     Clustering::new(labels)
 }
 
 /// Bottom-up merge while the closest pair is within `threshold` (the
 /// cluster count is discovered rather than specified).
-pub fn agglomerative_threshold(
-    dist: &[Vec<f32>],
-    threshold: f32,
-    linkage: Linkage,
-) -> Clustering {
+pub fn agglomerative_threshold(dist: &[Vec<f32>], threshold: f32, linkage: Linkage) -> Clustering {
     let n = dist.len();
     assert!(threshold >= 0.0);
     if n == 0 {
@@ -137,12 +129,10 @@ pub fn agglomerative_threshold(
     }
 
     let mut labels = vec![None; n];
-    let mut next = 0usize;
-    for m in members.iter().flatten() {
+    for (next, m) in members.iter().flatten().enumerate() {
         for &p in m {
             labels[p] = Some(next);
         }
-        next += 1;
     }
     Clustering::new(labels)
 }
@@ -152,9 +142,7 @@ mod tests {
     use super::*;
 
     fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
-        xs.iter()
-            .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
-            .collect()
+        xs.iter().map(|&a| xs.iter().map(|&b| (a - b).abs()).collect()).collect()
     }
 
     #[test]

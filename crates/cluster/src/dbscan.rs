@@ -18,9 +18,8 @@ pub fn dbscan(dist: &[Vec<f32>], eps: f32, min_pts: usize) -> Clustering {
     assert!(eps >= 0.0, "eps must be non-negative");
     assert!(min_pts >= 1, "min_pts must be at least 1");
 
-    let neighbors: Vec<Vec<usize>> = (0..n)
-        .map(|i| (0..n).filter(|&j| dist[i][j] <= eps).collect())
-        .collect();
+    let neighbors: Vec<Vec<usize>> =
+        (0..n).map(|i| (0..n).filter(|&j| dist[i][j] <= eps).collect()).collect();
     let core: Vec<bool> = neighbors.iter().map(|nb| nb.len() >= min_pts).collect();
 
     let mut labels: Vec<Option<usize>> = vec![None; n];
@@ -62,10 +61,7 @@ pub fn validate_matrix(dist: &[Vec<f32>]) {
         assert!(row[i].abs() < 1e-6, "diagonal must be zero");
         for (j, &d) in row.iter().enumerate() {
             assert!(d >= 0.0 && d.is_finite(), "distances must be finite and ≥ 0");
-            assert!(
-                (d - dist[j][i]).abs() < 1e-5,
-                "matrix must be symmetric at ({i},{j})"
-            );
+            assert!((d - dist[j][i]).abs() < 1e-5, "matrix must be symmetric at ({i},{j})");
         }
     }
 }
@@ -76,9 +72,7 @@ mod tests {
 
     /// Distance matrix for points on a line.
     fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
-        xs.iter()
-            .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
-            .collect()
+        xs.iter().map(|&a| xs.iter().map(|&b| (a - b).abs()).collect()).collect()
     }
 
     #[test]

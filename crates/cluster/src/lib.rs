@@ -41,10 +41,7 @@ impl Clustering {
         let n_clusters = labels.iter().flatten().map(|&c| c + 1).max().unwrap_or(0);
         // verify density: every id below the max must occur
         for c in 0..n_clusters {
-            assert!(
-                labels.iter().any(|l| *l == Some(c)),
-                "cluster ids must be dense: missing {c}"
-            );
+            assert!(labels.contains(&Some(c)), "cluster ids must be dense: missing {c}");
         }
         Clustering { labels, n_clusters }
     }
@@ -71,22 +68,12 @@ impl Clustering {
 
     /// Point indices in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| **l == Some(c))
-            .map(|(i, _)| i)
-            .collect()
+        self.labels.iter().enumerate().filter(|(_, l)| **l == Some(c)).map(|(i, _)| i).collect()
     }
 
     /// Indices labelled as noise.
     pub fn noise(&self) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.is_none())
-            .map(|(i, _)| i)
-            .collect()
+        self.labels.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect()
     }
 
     /// Converts to a flat list of clusters where each noise point becomes
@@ -94,8 +81,7 @@ impl Clustering {
     /// client must remain schedulable, so noise devices act as clusters of
     /// one (their distribution is, as far as we can tell, unique).
     pub fn to_schedulable_groups(&self) -> Vec<Vec<usize>> {
-        let mut groups: Vec<Vec<usize>> =
-            (0..self.n_clusters).map(|c| self.members(c)).collect();
+        let mut groups: Vec<Vec<usize>> = (0..self.n_clusters).map(|c| self.members(c)).collect();
         for i in self.noise() {
             groups.push(vec![i]);
         }

@@ -70,13 +70,9 @@ pub fn optics(dist: &[Vec<f32>], eps: f32, min_pts: usize) -> Optics {
         // expand: repeatedly take the unprocessed point with min pending
         // reachability among those touched so far
         loop {
-            let next = (0..n)
-                .filter(|&j| !processed[j] && reach[j].is_finite())
-                .min_by(|&a, &b| {
-                    reach[a]
-                        .partial_cmp(&reach[b])
-                        .unwrap()
-                        .then(a.cmp(&b)) // deterministic tie-break
+            let next =
+                (0..n).filter(|&j| !processed[j] && reach[j].is_finite()).min_by(|&a, &b| {
+                    reach[a].partial_cmp(&reach[b]).unwrap().then(a.cmp(&b)) // deterministic tie-break
                 });
             let Some(q) = next else { break };
             processed[q] = true;
@@ -154,12 +150,8 @@ impl Optics {
     /// is homogeneous (the paper's IID case, where "the clustering for
     /// P(y) groups all of the clients into a single cluster").
     pub fn auto_eps(&self) -> f32 {
-        let mut rs: Vec<f32> = self
-            .reachability
-            .iter()
-            .copied()
-            .filter(|r| r.is_finite())
-            .collect();
+        let mut rs: Vec<f32> =
+            self.reachability.iter().copied().filter(|r| r.is_finite()).collect();
         if rs.len() < 2 {
             return f32::MAX;
         }
@@ -192,11 +184,7 @@ impl Optics {
         // density structure at all → keep only the tightest neighborhoods
         // as clusters and leave the rest as noise/singletons). Measured by
         // robust dispersion: IQR relative to the median.
-        let (q25, q50, q75) = (
-            rs[rs.len() / 4],
-            rs[rs.len() / 2],
-            rs[3 * rs.len() / 4],
-        );
+        let (q25, q50, q75) = (rs[rs.len() / 4], rs[rs.len() / 2], rs[3 * rs.len() / 4]);
         // the dispersion estimate needs enough points to be trustworthy;
         // small federations default to the conservative single cluster
         if rs.len() >= 16 && q50 > 0.0 && (q75 - q25) / q50 > 0.3 {
@@ -266,9 +254,7 @@ mod tests {
     use crate::dbscan::dbscan;
 
     fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
-        xs.iter()
-            .map(|&a| xs.iter().map(|&b| (a - b).abs()).collect())
-            .collect()
+        xs.iter().map(|&a| xs.iter().map(|&b| (a - b).abs()).collect()).collect()
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn cluster_identification_accuracy(predicted: &Clustering, truth: &[Vec<usiz
     for group in truth {
         let mut g = group.clone();
         g.sort_unstable();
-        if predicted_sets.iter().any(|p| *p == g) {
+        if predicted_sets.contains(&g) {
             correct += 1;
         }
     }

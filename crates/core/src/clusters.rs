@@ -8,21 +8,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// How clusters are extracted from the OPTICS ordering.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ExtractionMethod {
     /// Threshold chosen automatically from the reachability plot (default —
     /// this is what keeps HACCS free of a radius hyperparameter).
+    #[default]
     Auto,
     /// Fixed ε′ DBSCAN-equivalent extraction.
     Eps(f32),
     /// ξ-steep extraction (ablation).
     Xi(f32),
-}
-
-impl Default for ExtractionMethod {
-    fn default() -> Self {
-        ExtractionMethod::Auto
-    }
 }
 
 impl ExtractionMethod {
@@ -206,8 +201,7 @@ mod tests {
         // exact recovery with clean summaries, degraded with ε=0.002
         assert_eq!(c_clean.n_clusters(), 3);
         let truth: Vec<Vec<usize>> = (0..3).map(|g| (g * 4..(g + 1) * 4).collect()).collect();
-        let acc_noisy =
-            haccs_cluster::quality::cluster_identification_accuracy(&c_noisy, &truth);
+        let acc_noisy = haccs_cluster::quality::cluster_identification_accuracy(&c_noisy, &truth);
         assert!(acc_noisy < 1.0, "extreme noise should break at least one cluster");
     }
 
@@ -235,8 +229,7 @@ mod tests {
         for s in [1.0f32, 3.0, 0.7] {
             sketches.push(vec![0.0, 0.0, s, -0.01 * s]);
         }
-        let (clustering, groups) =
-            build_gradient_clusters(&sketches, 2, ExtractionMethod::Auto);
+        let (clustering, groups) = build_gradient_clusters(&sketches, 2, ExtractionMethod::Auto);
         assert_eq!(clustering.n_clusters(), 2, "labels: {:?}", clustering.labels());
         let total: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(total, 6);

@@ -115,8 +115,7 @@ impl Selector for HaccsSelector {
         let stats: Vec<ClusterStats> = live
             .iter()
             .map(|(_, infos)| ClusterStats {
-                avg_latency: infos.iter().map(|c| c.est_latency).sum::<f64>()
-                    / infos.len() as f64,
+                avg_latency: infos.iter().map(|c| c.est_latency).sum::<f64>() / infos.len() as f64,
                 avg_loss: infos.iter().map(|c| c.last_loss).sum::<f32>() / infos.len() as f32,
             })
             .collect();
@@ -238,12 +237,8 @@ mod tests {
     fn rho_zero_prefers_high_loss_cluster() {
         // cluster B has 9× the loss; at ρ=0 it should be sampled first far
         // more often
-        let avail = vec![
-            info(0, 1.0, 0.5),
-            info(1, 1.0, 0.5),
-            info(2, 1.0, 4.5),
-            info(3, 1.0, 4.5),
-        ];
+        let avail =
+            vec![info(0, 1.0, 0.5), info(1, 1.0, 0.5), info(2, 1.0, 4.5), info(3, 1.0, 4.5)];
         let mut hits_b = 0;
         for seed in 0..200 {
             let mut s = HaccsSelector::new(vec![vec![0, 1], vec![2, 3]], 0.0, "P(y)");
@@ -259,12 +254,8 @@ mod tests {
 
     #[test]
     fn rho_one_prefers_fast_cluster() {
-        let avail = vec![
-            info(0, 1.0, 1.0),
-            info(1, 1.0, 1.0),
-            info(2, 10.0, 1.0),
-            info(3, 10.0, 1.0),
-        ];
+        let avail =
+            vec![info(0, 1.0, 1.0), info(1, 1.0, 1.0), info(2, 10.0, 1.0), info(3, 10.0, 1.0)];
         let mut hits_fast = 0;
         for seed in 0..200 {
             let mut s = HaccsSelector::new(vec![vec![0, 1], vec![2, 3]], 1.0, "P(y)");

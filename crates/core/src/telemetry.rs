@@ -38,13 +38,7 @@ impl InclusionTelemetry {
         self.members
             .iter()
             .zip(&self.included)
-            .map(|(m, inc)| {
-                if m.is_empty() {
-                    0.0
-                } else {
-                    inc.len() as f32 / m.len() as f32
-                }
-            })
+            .map(|(m, inc)| if m.is_empty() { 0.0 } else { inc.len() as f32 / m.len() as f32 })
             .collect()
     }
 

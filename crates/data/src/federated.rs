@@ -48,13 +48,13 @@ impl FederatedDataset {
             .par_iter()
             .enumerate()
             .map(|(i, spec)| {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x517C_C1B7_2722_0A95));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (i as u64 + 1).wrapping_mul(0x517C_C1B7_2722_0A95),
+                );
                 let t = spec.transform();
                 let train =
                     gen.generate_transformed(spec.n_train, &spec.label_weights, &t, &mut rng);
-                let test =
-                    gen.generate_transformed(spec.n_test, &spec.label_weights, &t, &mut rng);
+                let test = gen.generate_transformed(spec.n_test, &spec.label_weights, &t, &mut rng);
                 ClientData { train, test, spec: spec.clone() }
             })
             .collect();

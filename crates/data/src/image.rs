@@ -98,10 +98,7 @@ impl ImageSet {
 
     /// All images as an NCHW tensor.
     pub fn tensor_nchw(&self) -> Tensor {
-        Tensor::from_vec(
-            self.pixels.clone(),
-            &[self.len(), self.channels, self.side, self.side],
-        )
+        Tensor::from_vec(self.pixels.clone(), &[self.len(), self.channels, self.side, self.side])
     }
 
     /// All images flattened to `[n, c*side*side]`.
@@ -118,10 +115,7 @@ impl ImageSet {
             buf.extend_from_slice(self.image(i));
             lab.push(self.labels[i]);
         }
-        (
-            Tensor::from_vec(buf, &[idx.len(), self.channels, self.side, self.side]),
-            lab,
-        )
+        (Tensor::from_vec(buf, &[idx.len(), self.channels, self.side, self.side]), lab)
     }
 
     /// A batch of the given indices flattened to rows plus labels.

@@ -9,18 +9,8 @@ use rand::Rng;
 
 /// Table I of the paper: 10 device groups and the two MNIST labels each
 /// group's devices hold.
-pub const TABLE_I_GROUPS: [[usize; 2]; 10] = [
-    [6, 7],
-    [1, 4],
-    [5, 9],
-    [2, 3],
-    [0, 4],
-    [2, 5],
-    [6, 8],
-    [0, 9],
-    [7, 8],
-    [1, 3],
-];
+pub const TABLE_I_GROUPS: [[usize; 2]; 10] =
+    [[6, 7], [1, 4], [5, 9], [2, 3], [0, 4], [2, 5], [6, 8], [0, 9], [7, 8], [1, 3]];
 
 /// The §V-A majority/noise label proportions: one majority label (75%) and
 /// three noise labels (12% / 7% / 6%).
@@ -71,12 +61,7 @@ impl ClientSpec {
 
     /// Labels with non-zero weight.
     pub fn support(&self) -> Vec<usize> {
-        self.label_weights
-            .iter()
-            .enumerate()
-            .filter(|(_, &w)| w > 0.0)
-            .map(|(i, _)| i)
-            .collect()
+        self.label_weights.iter().enumerate().filter(|(_, &w)| w > 0.0).map(|(i, _)| i).collect()
     }
 }
 

@@ -51,9 +51,7 @@ mod tests {
     use super::*;
 
     fn checkerboard(side: usize) -> Vec<f32> {
-        (0..side * side)
-            .map(|i| ((i / side + i % side) % 2) as f32)
-            .collect()
+        (0..side * side).map(|i| ((i / side + i % side) % 2) as f32).collect()
     }
 
     #[test]
@@ -81,7 +79,7 @@ mod tests {
         // near (0, 0) ... verify via two 45° hops equal one 90°-ish result
         let side = 9;
         let mut img = vec![0.0f32; side * side];
-        img[0 * side + (side - 1)] = 1.0;
+        img[side - 1] = 1.0; // row 0, column side-1
         let out = rotate_image(&img, 1, side, 90.0);
         // mass should concentrate in the first column region
         let top_left = out[0];

@@ -149,9 +149,8 @@ impl SynthVision {
         side: usize,
         separation: f32,
     ) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1));
         let mut img = vec![0.0f32; channels * side * side];
         for ch in 0..channels {
             // three random plane waves per channel
@@ -212,11 +211,7 @@ impl SynthVision {
     /// Draws one sample of `class`: prototype + N(0, noise_std²) per pixel,
     /// optionally rotated by `rotation_deg`, clipped to `[0, 1]`.
     pub fn sample<R: Rng>(&self, class: usize, rotation_deg: f32, rng: &mut R) -> Vec<f32> {
-        self.sample_transformed(
-            class,
-            &ImageTransform { rotation_deg, ..Default::default() },
-            rng,
-        )
+        self.sample_transformed(class, &ImageTransform { rotation_deg, ..Default::default() }, rng)
     }
 
     /// Draws one sample of `class` under a full per-client transform.
@@ -320,13 +315,9 @@ mod tests {
         let b = SynthVision::mnist_like(10, 8, 42);
         assert_eq!(a.prototype(3), b.prototype(3));
         // different classes differ substantially
-        let d: f32 = a
-            .prototype(0)
-            .iter()
-            .zip(a.prototype(1))
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f32>()
-            / a.sample_dim() as f32;
+        let d: f32 =
+            a.prototype(0).iter().zip(a.prototype(1)).map(|(x, y)| (x - y).abs()).sum::<f32>()
+                / a.sample_dim() as f32;
         assert!(d > 0.05, "class prototypes too similar: {d}");
     }
 
@@ -343,12 +334,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let s = g.sample(2, 0.0, &mut rng);
         assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
-        let mean_dev: f32 = s
-            .iter()
-            .zip(g.prototype(2))
-            .map(|(x, p)| (x - p).abs())
-            .sum::<f32>()
-            / s.len() as f32;
+        let mean_dev: f32 =
+            s.iter().zip(g.prototype(2)).map(|(x, p)| (x - p).abs()).sum::<f32>() / s.len() as f32;
         // noise_std = 0.25 → E|dev| ≈ 0.2
         assert!(mean_dev < 0.4, "sample too far from prototype: {mean_dev}");
         assert!(mean_dev > 0.05, "sample suspiciously equal to prototype: {mean_dev}");

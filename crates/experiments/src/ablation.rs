@@ -16,6 +16,9 @@ use haccs_sysmodel::Availability;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A named clustering-extraction variant's callable.
+type ExtractorFn = Box<dyn Fn(&[Vec<f32>]) -> haccs_cluster::Clustering>;
+
 /// Builds the two-clients-per-label federation used by the clustering
 /// ablations (same layout as Fig. 8a, noise-free).
 fn pairs_federation(m: usize, scale: Scale, seed: u64) -> (FederatedDataset, Vec<Vec<usize>>) {
@@ -49,8 +52,7 @@ pub fn run_extraction(scale: Scale, seed: u64) -> ExperimentReport {
     for (noise_name, eps) in noise_levels {
         // extraction methods on OPTICS, plus agglomerative as the
         // related-work comparator (Briggs et al.; given the true k = 10)
-        let mut variants: Vec<(String, Box<dyn Fn(&[Vec<f32>]) -> haccs_cluster::Clustering>)> =
-            Vec::new();
+        let mut variants: Vec<(String, ExtractorFn)> = Vec::new();
         for (name, m) in methods {
             variants.push((
                 name.to_string(),
@@ -164,7 +166,9 @@ pub fn run_distance(scale: Scale, seed: u64) -> ExperimentReport {
         headers: vec!["summary noise".into(), "distance".into(), "identification acc".into()],
         rows,
     });
-    report.notes.push("the paper selects Hellinger (Eq. 3) for its boundedness and zero-bin tolerance".into());
+    report.notes.push(
+        "the paper selects Hellinger (Eq. 3) for its boundedness and zero-bin tolerance".into(),
+    );
     report
 }
 
@@ -262,17 +266,13 @@ pub fn run_gradient(scale: Scale, seed: u64) -> ExperimentReport {
     let mut selector = haccs_core::HaccsSelector::new(groups, 0.5, "grad");
     // per-epoch summary-upload overhead: every client ships a sketch the
     // size of the model; the server waits for the slowest uplink
-    let overhead_per_epoch: f64 = env
-        .profiles
-        .iter()
-        .map(|p| latency.transfer_seconds(p) / 2.0)
-        .fold(0.0, f64::max);
+    let overhead_per_epoch: f64 =
+        env.profiles.iter().map(|p| latency.transfer_seconds(p) / 2.0).fold(0.0, f64::max);
     let mut cluster_counts = Vec::new();
     for _ in 0..rounds {
         sim.run_round(&mut selector);
         let sketches = sim.gradient_sketches(64);
-        let (clustering, groups) =
-            build_gradient_clusters(&sketches, 2, ExtractionMethod::Auto);
+        let (clustering, groups) = build_gradient_clusters(&sketches, 2, ExtractionMethod::Auto);
         cluster_counts.push(clustering.n_clusters());
         selector.recluster(groups);
     }
@@ -318,12 +318,7 @@ pub fn run_gradient(scale: Scale, seed: u64) -> ExperimentReport {
     let runs = [&grad_run, &py, &random];
     report.tables.push(TableBlock {
         title: "TTA@50% including summary-communication overhead".into(),
-        headers: vec![
-            "strategy".into(),
-            "tta_s".into(),
-            "best_acc".into(),
-            "total_time_s".into(),
-        ],
+        headers: vec!["strategy".into(), "tta_s".into(), "best_acc".into(), "total_time_s".into()],
         rows: runs
             .iter()
             .map(|r| {
@@ -333,10 +328,7 @@ pub fn run_gradient(scale: Scale, seed: u64) -> ExperimentReport {
                         .map(|t| format!("{t:.1}"))
                         .unwrap_or_else(|| "not reached".into()),
                     format!("{:.3}", r.best_accuracy()),
-                    format!(
-                        "{:.1}",
-                        r.curve.last().map(|p| p.time_s).unwrap_or(0.0)
-                    ),
+                    format!("{:.1}", r.curve.last().map(|p| p.time_s).unwrap_or(0.0)),
                 ]
             })
             .collect(),
@@ -417,8 +409,7 @@ pub fn run_drift(scale: Scale, seed: u64) -> ExperimentReport {
                 .iter()
                 .map(|c| summarizer.summarize(&c.data.train, &mut srng))
                 .collect();
-            let (_, new_groups) =
-                build_clusters(&summarizer, &fresh, 2, ExtractionMethod::Auto);
+            let (_, new_groups) = build_clusters(&summarizer, &fresh, 2, ExtractionMethod::Auto);
             selector.recluster(new_groups);
         }
         let mut run = sim.run(&mut selector, half);

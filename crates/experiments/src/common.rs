@@ -217,12 +217,7 @@ impl StrategyKind {
     /// Instantiates the selector for `env`. HACCS variants compute client
     /// summaries (with optional DP budget `epsilon`) and cluster them here,
     /// exactly as the real system would at training start.
-    pub fn build(
-        self,
-        env: &Env,
-        rho: f32,
-        epsilon: Option<f64>,
-    ) -> Box<dyn Selector> {
+    pub fn build(self, env: &Env, rho: f32, epsilon: Option<f64>) -> Box<dyn Selector> {
         match self {
             StrategyKind::Random => Box::new(RandomSelector::new()),
             StrategyKind::Tifl => Box::new(TiflSelector::new(4)),
@@ -274,11 +269,7 @@ pub fn accuracy_series(run: &RunResult) -> Series {
         name: run.strategy.clone(),
         x_label: "time_s".into(),
         y_label: "accuracy".into(),
-        points: run
-            .curve
-            .iter()
-            .map(|p| (p.time_s, p.accuracy as f64))
-            .collect(),
+        points: run.curve.iter().map(|p| (p.time_s, p.accuracy as f64)).collect(),
     }
 }
 
@@ -301,6 +292,7 @@ pub fn trials_for(scale: Scale) -> usize {
 /// identical *across strategies* within a trial.
 ///
 /// Returns `[trial][strategy]` run results.
+#[allow(clippy::too_many_arguments)]
 pub fn run_trials(
     strategies: &[StrategyKind],
     trials: usize,
@@ -345,16 +337,12 @@ pub fn tta_trials_table(all: &[Vec<RunResult>], target: f32) -> TableBlock {
         let runs: Vec<&RunResult> = all.iter().map(|trial| &trial[s]).collect();
         let ttas: Vec<Option<f64>> = runs.iter().map(|r| smoothed_tta(r, target)).collect();
         let reached = ttas.iter().filter(|t| t.is_some()).count();
-        let mean_best: f32 = runs
-            .iter()
-            .map(|r| r.smoothed(SMOOTH_WINDOW).best_accuracy())
-            .sum::<f32>()
-            / trials as f32;
+        let mean_best: f32 =
+            runs.iter().map(|r| r.smoothed(SMOOTH_WINDOW).best_accuracy()).sum::<f32>()
+                / trials as f32;
         rows.push(vec![
             runs[0].strategy.clone(),
-            median_tta(&ttas)
-                .map(|t| format!("{t:.1}"))
-                .unwrap_or_else(|| "not reached".into()),
+            median_tta(&ttas).map(|t| format!("{t:.1}")).unwrap_or_else(|| "not reached".into()),
             format!("{reached}/{trials}"),
             format!("{mean_best:.3}"),
         ]);
@@ -415,12 +403,7 @@ pub fn tta_table(runs: &[RunResult], target: f32) -> TableBlock {
             "time to {:.0}% accuracy (simulated seconds, smoothed curve)",
             target * 100.0
         ),
-        headers: vec![
-            "strategy".into(),
-            "tta_s".into(),
-            "best_acc".into(),
-            "total_time_s".into(),
-        ],
+        headers: vec!["strategy".into(), "tta_s".into(), "best_acc".into(), "total_time_s".into()],
         rows,
     }
 }
@@ -440,14 +423,7 @@ mod tests {
 
     fn tiny_env() -> Env {
         let mut rng = StdRng::seed_from_u64(0);
-        let specs = partition::majority_noise(
-            8,
-            4,
-            &[0.75, 0.25],
-            (40, 60),
-            10,
-            &mut rng,
-        );
+        let specs = partition::majority_noise(8, 4, &[0.75, 0.25], (40, 60), 10, &mut rng);
         Env::new(DatasetKind::MnistLike, 4, &specs, Scale::Fast, 1)
     }
 

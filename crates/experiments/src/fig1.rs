@@ -27,11 +27,8 @@ fn group_accuracies(env: &Env, per_client: &[f32], clients_per_group: usize) -> 
         .map(|g| {
             let members: Vec<usize> =
                 (g * clients_per_group..(g + 1) * clients_per_group).collect();
-            let accs: Vec<f32> = members
-                .iter()
-                .map(|&i| per_client[i])
-                .filter(|a| a.is_finite())
-                .collect();
+            let accs: Vec<f32> =
+                members.iter().map(|&i| per_client[i]).filter(|a| a.is_finite()).collect();
             let _ = env;
             if accs.is_empty() {
                 f32::NAN
@@ -43,7 +40,12 @@ fn group_accuracies(env: &Env, per_client: &[f32], clients_per_group: usize) -> 
 }
 
 /// Runs one dropping policy and returns per-group accuracy.
-fn run_policy(env: &Env, dropped: HashSet<usize>, rounds: usize, clients_per_group: usize) -> Vec<f32> {
+fn run_policy(
+    env: &Env,
+    dropped: HashSet<usize>,
+    rounds: usize,
+    clients_per_group: usize,
+) -> Vec<f32> {
     let availability = Availability::permanent(dropped);
     let mut selector = StrategyKind::Random.build(env, 0.5, None);
     let mut sim = env.build_sim(20.min(env.fed.n_clients()), availability);
@@ -76,20 +78,16 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentReport {
     let mut groups: Vec<usize> = (0..10).collect();
     groups.shuffle(&mut rng);
     let dropped_groups: HashSet<usize> = groups.iter().copied().take(8).collect();
-    let surviving_groups: Vec<usize> =
-        (0..10).filter(|g| !dropped_groups.contains(g)).collect();
-    let group_dropped: HashSet<usize> = (0..n)
-        .filter(|i| dropped_groups.contains(&(i / clients_per_group)))
-        .collect();
+    let surviving_groups: Vec<usize> = (0..10).filter(|g| !dropped_groups.contains(g)).collect();
+    let group_dropped: HashSet<usize> =
+        (0..n).filter(|i| dropped_groups.contains(&(i / clients_per_group))).collect();
 
     let acc_a = run_policy(&env, random_dropped, rounds, clients_per_group);
     let acc_b = run_policy(&env, group_dropped, rounds, clients_per_group);
 
     // which labels survive under policy (b)?
-    let surviving_labels: HashSet<usize> = surviving_groups
-        .iter()
-        .flat_map(|&g| TABLE_I_GROUPS[g].iter().copied())
-        .collect();
+    let surviving_labels: HashSet<usize> =
+        surviving_groups.iter().flat_map(|&g| TABLE_I_GROUPS[g].iter().copied()).collect();
 
     let mut report = ExperimentReport::new(
         "fig1",

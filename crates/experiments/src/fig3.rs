@@ -26,12 +26,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         name: name.into(),
         x_label: "label".into(),
         y_label: "mass".into(),
-        points: h
-            .bins()
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (i as f64, b as f64))
-            .collect(),
+        points: h.bins().iter().enumerate().map(|(i, &b)| (i as f64, b as f64)).collect(),
     };
     report.series.push(as_series("true", &true_hist));
 
@@ -39,17 +34,9 @@ pub fn run(seed: u64) -> ExperimentReport {
     for &eps in &eps_levels {
         let noisy = Histogram::from_counts(&privatize_counts(&counts, eps, &mut rng));
         // max deviation from the uniform 0.1 mass
-        let max_dev = noisy
-            .bins()
-            .iter()
-            .map(|&b| (b - 0.1).abs())
-            .fold(0.0f32, f32::max);
+        let max_dev = noisy.bins().iter().map(|&b| (b - 0.1).abs()).fold(0.0f32, f32::max);
         let noise_std = (2.0f64).sqrt() / eps;
-        rows.push(vec![
-            format!("{eps}"),
-            format!("{noise_std:.0}"),
-            format!("{max_dev:.3}"),
-        ]);
+        rows.push(vec![format!("{eps}"), format!("{noise_std:.0}"), format!("{max_dev:.3}")]);
         report.series.push(as_series(&format!("epsilon={eps}"), &noisy));
     }
     report.tables.push(TableBlock {
@@ -61,9 +48,9 @@ pub fn run(seed: u64) -> ExperimentReport {
         ],
         rows,
     });
-    report.notes.push(
-        "Eq. 5: Var[λ] = 2/ε²; ε=0.005 noise std ≈ 283 counts ≈ 28% of each bin".into(),
-    );
+    report
+        .notes
+        .push("Eq. 5: Var[λ] = 2/ε²; ε=0.005 noise std ≈ 283 counts ≈ 28% of each bin".into());
     report
 }
 

@@ -16,7 +16,7 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentReport {
     let n_clients = 50;
     let classes = 20;
     let target = 0.5; // §V-C reports time to 50% accuracy
-    // 20 classes converge more slowly: double horizon
+                      // 20 classes converge more slowly: double horizon
     let rounds = 2 * scale.rounds();
     let trials = trials_for(scale);
 

@@ -42,7 +42,13 @@ impl SkewLevel {
     }
 
     /// Builds the client specs for this level.
-    pub fn specs(self, n_clients: usize, classes: usize, scale: Scale, rng: &mut StdRng) -> Vec<ClientSpec> {
+    pub fn specs(
+        self,
+        n_clients: usize,
+        classes: usize,
+        scale: Scale,
+        rng: &mut StdRng,
+    ) -> Vec<ClientSpec> {
         let range = scale.samples_range();
         match self {
             // "we ensure that the same number of training samples exist on
@@ -98,15 +104,10 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentReport {
             |_| Availability::AlwaysOn,
         );
         for (si, s) in StrategyKind::ALL.iter().enumerate() {
-            let ttas: Vec<Option<f64>> = all
-                .iter()
-                .map(|t| crate::common::smoothed_tta(&t[si], target))
-                .collect();
-            let mean_best: f32 = all
-                .iter()
-                .map(|t| t[si].best_accuracy())
-                .sum::<f32>()
-                / trials as f32;
+            let ttas: Vec<Option<f64>> =
+                all.iter().map(|t| crate::common::smoothed_tta(&t[si], target)).collect();
+            let mean_best: f32 =
+                all.iter().map(|t| t[si].best_accuracy()).sum::<f32>() / trials as f32;
             rows.push(vec![
                 level.name().into(),
                 s.name().into(),

@@ -8,7 +8,9 @@
 //! * **8b**: training TTA vs ε. The §V-A skewed CIFAR-like workload run
 //!   with HACCS-P(y) at ε ∈ {0.1, 0.01, 0.001} plus the random baseline.
 
-use crate::common::{accuracy_series, build_haccs, reduction_pct, run_strategy, Scale, StrategyKind};
+use crate::common::{
+    accuracy_series, build_haccs, reduction_pct, run_strategy, Scale, StrategyKind,
+};
 use crate::report::{ExperimentReport, Series, TableBlock};
 use haccs_cluster::quality::cluster_identification_accuracy;
 use haccs_core::{build_clusters, summarize_federation, ExtractionMethod};
@@ -80,9 +82,9 @@ pub fn run_clustering(scale: Scale, seed: u64) -> ExperimentReport {
         headers: vec!["data points / client".into(), "epsilon".into(), "accuracy".into()],
         rows,
     });
-    report
-        .notes
-        .push("paper: accuracy stays high for ε ≥ 0.05 when m ≥ 500; m = 100 degrades smoothly".into());
+    report.notes.push(
+        "paper: accuracy stays high for ε ≥ 0.05 when m ≥ 500; m = 100 degrades smoothly".into(),
+    );
     report
 }
 
@@ -113,8 +115,7 @@ pub fn run_tta(scale: Scale, seed: u64) -> ExperimentReport {
             rounds,
         ));
         for (ei, &eps) in epsilons.iter().enumerate() {
-            let mut selector =
-                build_haccs(&env, Summarizer::label_dist(), Some(eps), 0.5, "P(y)");
+            let mut selector = build_haccs(&env, Summarizer::label_dist(), Some(eps), 0.5, "P(y)");
             cluster_counts[ei].push(selector.groups().len());
             let mut sim = env.build_sim(k, Availability::AlwaysOn);
             let mut run = sim.run(&mut selector, rounds);
@@ -123,8 +124,7 @@ pub fn run_tta(scale: Scale, seed: u64) -> ExperimentReport {
         }
     }
 
-    let mut report =
-        ExperimentReport::new("fig8b", "impact of the privacy budget ε on TTA");
+    let mut report = ExperimentReport::new("fig8b", "impact of the privacy budget ε on TTA");
     for cfg in &runs {
         report.series.push(accuracy_series(&cfg[0]));
     }
@@ -196,9 +196,8 @@ mod tests {
 
     #[test]
     fn strong_noise_destroys_clusters_at_small_m() {
-        let accs: Vec<f32> = (0..5)
-            .map(|t| clustering_accuracy_once(100, 0.001, Scale::Fast, 100 + t))
-            .collect();
+        let accs: Vec<f32> =
+            (0..5).map(|t| clustering_accuracy_once(100, 0.001, Scale::Fast, 100 + t)).collect();
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
         assert!(mean < 0.5, "ε=0.001 at m=100 should break most clusters, got {mean}");
     }

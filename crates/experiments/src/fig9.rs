@@ -40,14 +40,10 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentReport {
     }
     let mut rows = Vec::new();
     for (ri, &rho) in RHOS.iter().enumerate() {
-        let ttas: Vec<Option<f64>> = all[ri]
-            .iter()
-            .map(|r| crate::common::smoothed_tta(r, target))
-            .collect();
-        let mean_best: f32 =
-            all[ri].iter().map(|r| r.best_accuracy()).sum::<f32>() / trials as f32;
-        let mean_time: f64 =
-            all[ri].iter().map(|r| r.total_time()).sum::<f64>() / trials as f64;
+        let ttas: Vec<Option<f64>> =
+            all[ri].iter().map(|r| crate::common::smoothed_tta(r, target)).collect();
+        let mean_best: f32 = all[ri].iter().map(|r| r.best_accuracy()).sum::<f32>() / trials as f32;
+        let mean_time: f64 = all[ri].iter().map(|r| r.total_time()).sum::<f64>() / trials as f64;
         rows.push(vec![
             format!("{rho}"),
             crate::common::median_tta(&ttas)
@@ -84,6 +80,7 @@ mod tests {
     fn rho_grid_matches_paper_shape() {
         assert_eq!(RHOS.len(), 5);
         assert!(RHOS.windows(2).all(|w| w[0] < w[1]));
-        assert!(RHOS[0] < 0.05 && RHOS[4] > 0.95);
+        let (first, last) = (RHOS[0], RHOS[4]);
+        assert!(first < 0.05 && last > 0.95);
     }
 }

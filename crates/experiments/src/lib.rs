@@ -34,6 +34,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod json;
 pub mod report;
 pub mod tab3;
 
@@ -42,9 +43,23 @@ pub use report::{ExperimentReport, Series, TableBlock};
 
 /// All experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "fig3", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "tab3",
-    "fig11", "ablation_extraction", "ablation_distance", "ablation_within_cluster",
-    "ablation_gradient", "ext_drift",
+    "fig1",
+    "fig3",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig9",
+    "fig10",
+    "tab3",
+    "fig11",
+    "ablation_extraction",
+    "ablation_distance",
+    "ablation_within_cluster",
+    "ablation_gradient",
+    "ext_drift",
 ];
 
 /// Runs one experiment by id. Panics on an unknown id (callers validate

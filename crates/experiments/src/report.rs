@@ -1,10 +1,10 @@
 //! Experiment output: printable tables + JSON-serializable series.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonError, JsonValue};
 use std::fmt::Write as _;
 
 /// A named (x, y) series, e.g. one strategy's accuracy-over-time curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. `"haccs-P(y)"`.
     pub name: String,
@@ -17,7 +17,7 @@ pub struct Series {
 }
 
 /// A printable table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableBlock {
     /// Caption.
     pub title: String,
@@ -62,7 +62,7 @@ impl TableBlock {
 }
 
 /// The full output of one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id (`"fig5a"`, `"tab3"`, ...).
     pub id: String,
@@ -113,7 +113,158 @@ impl ExperimentReport {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+        self.to_value().pretty()
+    }
+
+    /// Parses a report previously produced by [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = JsonValue::parse(text)?;
+        let missing = |reason| JsonError { offset: 0, reason };
+        let str_field = |key| -> Result<String, JsonError> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| missing("missing string field"))
+        };
+        let str_vec = |arr: &[JsonValue]| -> Result<Vec<String>, JsonError> {
+            arr.iter()
+                .map(|s| s.as_str().map(str::to_string).ok_or_else(|| missing("expected string")))
+                .collect()
+        };
+
+        let mut series = Vec::new();
+        for s in v
+            .get("series")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| missing("missing series array"))?
+        {
+            let points = s
+                .get("points")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| missing("missing points array"))?
+                .iter()
+                .map(|p| {
+                    let pair = p.as_arr().filter(|a| a.len() == 2);
+                    match pair {
+                        Some([x, y]) => {
+                            // Non-finite values serialize as null.
+                            let x = x.as_f64().unwrap_or(f64::NAN);
+                            let y = y.as_f64().unwrap_or(f64::NAN);
+                            Ok((x, y))
+                        }
+                        _ => Err(missing("point must be a 2-element array")),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            series.push(Series {
+                name: s
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| missing("missing series name"))?
+                    .to_string(),
+                x_label: s
+                    .get("x_label")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| missing("missing x_label"))?
+                    .to_string(),
+                y_label: s
+                    .get("y_label")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| missing("missing y_label"))?
+                    .to_string(),
+                points,
+            });
+        }
+
+        let mut tables = Vec::new();
+        for t in v
+            .get("tables")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| missing("missing tables array"))?
+        {
+            let headers = str_vec(
+                t.get("headers")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| missing("missing headers"))?,
+            )?;
+            let rows = t
+                .get("rows")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| missing("missing rows"))?
+                .iter()
+                .map(|r| str_vec(r.as_arr().ok_or_else(|| missing("row must be an array"))?))
+                .collect::<Result<Vec<_>, _>>()?;
+            tables.push(TableBlock {
+                title: t
+                    .get("title")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| missing("missing table title"))?
+                    .to_string(),
+                headers,
+                rows,
+            });
+        }
+
+        let notes = str_vec(
+            v.get("notes").and_then(JsonValue::as_arr).ok_or_else(|| missing("missing notes"))?,
+        )?;
+
+        Ok(ExperimentReport {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            series,
+            tables,
+            notes,
+        })
+    }
+
+    fn to_value(&self) -> JsonValue {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(s.name.clone())),
+                    ("x_label".into(), JsonValue::Str(s.x_label.clone())),
+                    ("y_label".into(), JsonValue::Str(s.y_label.clone())),
+                    (
+                        "points".into(),
+                        JsonValue::Arr(
+                            s.points
+                                .iter()
+                                .map(|&(x, y)| {
+                                    JsonValue::Arr(vec![JsonValue::Num(x), JsonValue::Num(y)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let strs = |v: &[String]| {
+                    JsonValue::Arr(v.iter().map(|s| JsonValue::Str(s.clone())).collect())
+                };
+                JsonValue::Obj(vec![
+                    ("title".into(), JsonValue::Str(t.title.clone())),
+                    ("headers".into(), strs(&t.headers)),
+                    ("rows".into(), JsonValue::Arr(t.rows.iter().map(|r| strs(r)).collect())),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("id".into(), JsonValue::Str(self.id.clone())),
+            ("title".into(), JsonValue::Str(self.title.clone())),
+            ("series".into(), JsonValue::Arr(series)),
+            ("tables".into(), JsonValue::Arr(tables)),
+            (
+                "notes".into(),
+                JsonValue::Arr(self.notes.iter().map(|n| JsonValue::Str(n.clone())).collect()),
+            ),
+        ])
     }
 
     /// Writes `<dir>/<id>.json`.
@@ -156,7 +307,7 @@ mod tests {
         });
         r.notes.push("hello".into());
         let json = r.to_json();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(back, r);
     }
 

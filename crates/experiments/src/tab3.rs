@@ -38,8 +38,7 @@ fn run_bias(env: &Env, summarizer: Summarizer, label: &str, rounds: usize) -> Bi
 
     // Fig. 11: accuracy difference fastest vs slowest per cluster
     let per_client = sim.evaluate_per_client();
-    let latency_of =
-        |id: usize| sim.expected_latency(id);
+    let latency_of = |id: usize| sim.expected_latency(id);
     let mut acc_gaps = Vec::new();
     let mut singletons = 0usize;
     for (ci, members) in selector.groups().iter().enumerate() {
@@ -83,10 +82,8 @@ pub fn run_table(scale: Scale, seed: u64) -> ExperimentReport {
         run_bias(&env, Summarizer::cond_dist(16), "P(X|y)", rounds),
     ];
 
-    let mut report = ExperimentReport::new(
-        "tab3",
-        format!("device inclusion over {rounds} epochs at rho=0.01"),
-    );
+    let mut report =
+        ExperimentReport::new("tab3", format!("device inclusion over {rounds} epochs at rho=0.01"));
     report.tables.push(TableBlock {
         title: "clusters by fraction of devices included".into(),
         headers: vec![
@@ -109,9 +106,10 @@ pub fn run_table(scale: Scale, seed: u64) -> ExperimentReport {
             })
             .collect(),
     });
-    report
-        .notes
-        .push("paper (200 epochs): P(y) 0/2/8, P(X|y) 0/1/30 — most clusters include ≥75% of devices".into());
+    report.notes.push(
+        "paper (200 epochs): P(y) 0/2/8, P(X|y) 0/1/30 — most clusters include ≥75% of devices"
+            .into(),
+    );
     report
 }
 
@@ -135,25 +133,18 @@ pub fn run_fig11(scale: Scale, seed: u64) -> ExperimentReport {
             y_label: "acc_fastest_minus_slowest".into(),
             points: r.acc_gaps.iter().map(|&(c, g)| (c as f64, g as f64)).collect(),
         });
-        let gaps: Vec<f32> = r
-            .acc_gaps
-            .iter()
-            .map(|&(_, g)| g)
-            .filter(|g| *g != 0.0)
-            .collect();
-        let mean_gap = if gaps.is_empty() {
-            0.0
-        } else {
-            gaps.iter().sum::<f32>() / gaps.len() as f32
-        };
+        let gaps: Vec<f32> = r.acc_gaps.iter().map(|&(_, g)| g).filter(|g| *g != 0.0).collect();
+        let mean_gap =
+            if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f32>() / gaps.len() as f32 };
         report.notes.push(format!(
             "{}: {} clusters ({} singletons), mean non-zero gap {:.3}",
             r.label, r.n_clusters, r.singletons, mean_gap
         ));
     }
-    report
-        .notes
-        .push("paper: gaps are near zero, sometimes negative (global model better on the slowest device)".into());
+    report.notes.push(
+        "paper: gaps are near zero, sometimes negative (global model better on the slowest device)"
+            .into(),
+    );
     report
 }
 

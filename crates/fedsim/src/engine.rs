@@ -234,10 +234,8 @@ impl FedSim {
                 .collect();
 
             // FedAvg: weight by local sample count
-            let total_weight: f64 = updates
-                .iter()
-                .map(|(id, _, _)| self.clients[*id].data.n_train() as f64)
-                .sum();
+            let total_weight: f64 =
+                updates.iter().map(|(id, _, _)| self.clients[*id].data.n_train() as f64).sum();
             let mut new_params = vec![0.0f64; self.global_params.len()];
             for (id, params, _) in &updates {
                 let w = self.clients[*id].data.n_train() as f64 / total_weight;
@@ -276,7 +274,7 @@ impl FedSim {
         self.result.rounds.push(record.clone());
         self.epoch += 1;
 
-        if self.epoch % self.cfg.eval_every == 0 {
+        if self.epoch.is_multiple_of(self.cfg.eval_every) {
             let tp = self.evaluate_global();
             self.result.curve.push(tp);
         }
@@ -363,11 +361,7 @@ impl FedSim {
     /// global model so selectors see a meaningful signal immediately.
     /// Returns the new client's id. Callers using HACCS should re-cluster
     /// (`HaccsSelector::recluster`) with the newcomer's summary included.
-    pub fn add_client(
-        &mut self,
-        data: haccs_data::ClientData,
-        profile: DeviceProfile,
-    ) -> usize {
+    pub fn add_client(&mut self, data: haccs_data::ClientData, profile: DeviceProfile) -> usize {
         let id = self.clients.len();
         let mut c = ClientState::new(id, data, profile);
         let mut m = (self.factory)();
@@ -445,8 +439,7 @@ mod tests {
         let fed = FederatedDataset::materialize(&gen, &specs, 0);
         let mut rng = StdRng::seed_from_u64(1);
         let profiles = DeviceProfile::sample_many(n_clients, &mut rng);
-        let factory: ModelFactory =
-            Box::new(|| mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
+        let factory: ModelFactory = Box::new(|| mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
         FedSim::new(
             factory,
             fed,
@@ -471,11 +464,8 @@ mod tests {
         let mut sim = build_sim(6, Availability::AlwaysOn);
         let rec = sim.run_round(&mut FirstK);
         assert_eq!(rec.participants.len(), 3);
-        let slowest = rec
-            .participants
-            .iter()
-            .map(|&id| sim.expected_latency(id))
-            .fold(0.0f64, f64::max);
+        let slowest =
+            rec.participants.iter().map(|&id| sim.expected_latency(id)).fold(0.0f64, f64::max);
         assert!((rec.round_seconds - slowest).abs() < 1e-9);
         assert!((sim.now() - rec.round_seconds).abs() < 1e-9);
     }

@@ -1,9 +1,7 @@
 //! Run records and time-to-accuracy curves.
 
-use serde::{Deserialize, Serialize};
-
 /// One evaluation point on the training curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimePoint {
     /// Simulated seconds since training started.
     pub time_s: f64,
@@ -16,7 +14,7 @@ pub struct TimePoint {
 }
 
 /// Bookkeeping for one round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Round index.
     pub epoch: usize,
@@ -31,7 +29,7 @@ pub struct RoundRecord {
 }
 
 /// The full result of a simulated run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunResult {
     /// Strategy name.
     pub strategy: String,
@@ -45,10 +43,7 @@ impl RunResult {
     /// Simulated seconds needed to *first* reach `target` accuracy, or
     /// `None` if the run never got there. This is the paper's TTA metric.
     pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
-        self.curve
-            .iter()
-            .find(|p| p.accuracy >= target)
-            .map(|p| p.time_s)
+        self.curve.iter().find(|p| p.accuracy >= target).map(|p| p.time_s)
     }
 
     /// A copy of this run with the accuracy/loss curve replaced by a

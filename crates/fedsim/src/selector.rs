@@ -33,8 +33,7 @@ pub trait Selector: Send {
 /// deduplicates preserving order, truncates to `k`.
 pub fn sanitize_selection(selection: Vec<usize>, ctx: &SelectionContext<'_>) -> Vec<usize> {
     let mut seen = std::collections::HashSet::new();
-    let available: std::collections::HashSet<usize> =
-        ctx.available.iter().map(|c| c.id).collect();
+    let available: std::collections::HashSet<usize> = ctx.available.iter().map(|c| c.id).collect();
     selection
         .into_iter()
         .filter(|id| available.contains(id) && seen.insert(*id))

@@ -84,18 +84,14 @@ pub fn train_local(model: &mut Sequential, data: &ImageSet, cfg: &TrainConfig, s
             // fixed step count: cycle the shuffled shard to fill the quota
             Some(cap) => {
                 let need = cap * cfg.batch_size;
-                let cycled: Vec<usize> =
-                    idx.iter().cycle().take(need).copied().collect();
+                let cycled: Vec<usize> = idx.iter().cycle().take(need).copied().collect();
                 cycled.chunks(cfg.batch_size).map(|c| c.to_vec()).collect()
             }
             None => idx.chunks(cfg.batch_size).map(|c| c.to_vec()).collect(),
         };
         for chunk in &chunks {
-            let (x, y) = if cfg.wants_images {
-                data.batch_nchw(chunk)
-            } else {
-                data.batch_flat(chunk)
-            };
+            let (x, y) =
+                if cfg.wants_images { data.batch_nchw(chunk) } else { data.batch_flat(chunk) };
             let logits = model.forward(x);
             let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
             model.zero_grad();
@@ -122,15 +118,16 @@ pub fn train_local(model: &mut Sequential, data: &ImageSet, cfg: &TrainConfig, s
 
 /// Computes the mean loss of `model` on (a sample of) `data` without
 /// updating parameters — the server's initial "probe" of client losses.
-pub fn probe_loss(model: &mut Sequential, data: &ImageSet, cfg: &TrainConfig, max_examples: usize) -> f32 {
+pub fn probe_loss(
+    model: &mut Sequential,
+    data: &ImageSet,
+    cfg: &TrainConfig,
+    max_examples: usize,
+) -> f32 {
     assert!(!data.is_empty());
     let n = data.len().min(max_examples.max(1));
     let idx: Vec<usize> = (0..n).collect();
-    let (x, y) = if cfg.wants_images {
-        data.batch_nchw(&idx)
-    } else {
-        data.batch_flat(&idx)
-    };
+    let (x, y) = if cfg.wants_images { data.batch_nchw(&idx) } else { data.batch_flat(&idx) };
     let logits = model.forward(x);
     let (loss, _) = softmax_cross_entropy(&logits, &y);
     loss
@@ -213,12 +210,7 @@ mod tests {
         train_local(&mut plain, &data, &plain_cfg, 0);
         train_local(&mut prox, &data, &prox_cfg, 0);
         let drift = |m: &Sequential| -> f32 {
-            m.get_params()
-                .iter()
-                .zip(&start)
-                .map(|(w, a)| (w - a) * (w - a))
-                .sum::<f32>()
-                .sqrt()
+            m.get_params().iter().zip(&start).map(|(w, a)| (w - a) * (w - a)).sum::<f32>().sqrt()
         };
         assert!(
             drift(&prox) < drift(&plain) * 0.9,

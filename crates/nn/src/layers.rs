@@ -83,10 +83,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Linear::backward called before forward");
+        let x = self.cached_input.take().expect("Linear::backward called before forward");
         // dW += xᵀ · dy ; db += column sums of dy ; dx = dy · Wᵀ
         let dw = ops::matmul_at(&x, &dy);
         ops::axpy(&mut self.d_weight, 1.0, &dw);
@@ -97,10 +94,7 @@ impl Layer for Linear {
     }
 
     fn params(&mut self) -> Vec<(&mut [f32], &[f32])> {
-        vec![
-            (self.weight.data_mut(), self.d_weight.data()),
-            (&mut self.bias, &self.d_bias),
-        ]
+        vec![(self.weight.data_mut(), self.d_weight.data()), (&mut self.bias, &self.d_bias)]
     }
 
     fn param_views(&self) -> Vec<&[f32]> {
@@ -166,10 +160,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let cols = self
-            .cached_cols
-            .take()
-            .expect("Conv2d::backward called before forward");
+        let cols = self.cached_cols.take().expect("Conv2d::backward called before forward");
         let (dx, dw, db) = conv::conv2d_backward(
             &self.cached_input_shape,
             &self.weight,
@@ -186,10 +177,7 @@ impl Layer for Conv2d {
     }
 
     fn params(&mut self) -> Vec<(&mut [f32], &[f32])> {
-        vec![
-            (self.weight.data_mut(), self.d_weight.data()),
-            (&mut self.bias, &self.d_bias),
-        ]
+        vec![(self.weight.data_mut(), self.d_weight.data()), (&mut self.bias, &self.d_bias)]
     }
 
     fn param_views(&self) -> Vec<&[f32]> {
@@ -230,10 +218,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, dy: Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Relu::backward called before forward");
+        let x = self.cached_input.take().expect("Relu::backward called before forward");
         ops::relu_backward(&x, &dy)
     }
 
@@ -408,7 +393,7 @@ mod tests {
         assert_eq!(y.shape(), &[2, 4, 8, 8]);
         let dx = c.backward(Tensor::zeros(&[2, 4, 8, 8]));
         assert_eq!(dx.shape(), &[2, 1, 8, 8]);
-        assert_eq!(c.param_count(), 4 * 1 * 3 * 3 + 4);
+        assert_eq!(c.param_count(), 4 * 3 * 3 + 4);
     }
 
     #[test]

@@ -82,11 +82,7 @@ mod tests {
             let (fp, _) = softmax_cross_entropy(&lp, &targets);
             let (fm, _) = softmax_cross_entropy(&lm, &targets);
             let fd = (fp - fm) / (2.0 * h);
-            assert!(
-                (fd - grad.data()[i]).abs() < 1e-3,
-                "grad[{i}] fd={fd} an={}",
-                grad.data()[i]
-            );
+            assert!((fd - grad.data()[i]).abs() < 1e-3, "grad[{i}] fd={fd} an={}", grad.data()[i]);
         }
     }
 

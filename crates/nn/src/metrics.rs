@@ -34,11 +34,7 @@ pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f32 {
     if targets.is_empty() {
         return 0.0;
     }
-    let correct = predictions
-        .iter()
-        .zip(targets)
-        .filter(|(p, t)| p == t)
-        .count();
+    let correct = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
     correct as f32 / targets.len() as f32
 }
 
@@ -61,10 +57,7 @@ pub fn evaluate(model: &mut Sequential, x: &Tensor, y: &[usize], batch: usize) -
         let take = batch.min(n - at);
         let mut shape = x.shape().to_vec();
         shape[0] = take;
-        let xb = Tensor::from_vec(
-            x.data()[at * row_len..(at + take) * row_len].to_vec(),
-            &shape,
-        );
+        let xb = Tensor::from_vec(x.data()[at * row_len..(at + take) * row_len].to_vec(), &shape);
         let yb = &y[at..at + take];
         let logits = model.forward(xb);
         let (loss, _) = softmax_cross_entropy(&logits, yb);
@@ -73,11 +66,7 @@ pub fn evaluate(model: &mut Sequential, x: &Tensor, y: &[usize], batch: usize) -
         correct += preds.iter().zip(yb).filter(|(p, t)| p == t).count();
         at += take;
     }
-    EvalResult {
-        loss: total_loss / n as f32,
-        accuracy: correct as f32 / n as f32,
-        n,
-    }
+    EvalResult { loss: total_loss / n as f32, accuracy: correct as f32 / n as f32, n }
 }
 
 #[cfg(test)]

@@ -19,7 +19,13 @@ pub enum ModelKind {
 impl ModelKind {
     /// Builds a model for images of `channels × side × side` pixels with
     /// `classes` output labels.
-    pub fn build<R: Rng>(self, channels: usize, side: usize, classes: usize, rng: &mut R) -> Sequential {
+    pub fn build<R: Rng>(
+        self,
+        channels: usize,
+        side: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Sequential {
         match self {
             ModelKind::LeNet => lenet(channels, side, classes, rng),
             ModelKind::Mlp => mlp(channels * side * side, &[64, 32], classes, rng),
@@ -36,7 +42,7 @@ impl ModelKind {
 ///
 /// `side` must be divisible by 4 (two 2×2 poolings).
 pub fn lenet<R: Rng>(channels: usize, side: usize, classes: usize, rng: &mut R) -> Sequential {
-    assert!(side % 4 == 0, "image side {side} must be divisible by 4");
+    assert!(side.is_multiple_of(4), "image side {side} must be divisible by 4");
     assert!(side >= 8, "image side {side} too small for LeNet");
     let c1 = 6;
     let c2 = 16;

@@ -18,6 +18,7 @@ impl Sequential {
     }
 
     /// Appends a layer (builder style).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, layer: Box<dyn Layer>) -> Self {
         self.layers.push(layer);
         self
@@ -41,10 +42,7 @@ impl Sequential {
     /// Backward pass; `d_out` is the loss gradient w.r.t. the model output.
     /// Returns the gradient w.r.t. the input (rarely needed).
     pub fn backward(&mut self, d_out: Tensor) -> Tensor {
-        self.layers
-            .iter_mut()
-            .rev()
-            .fold(d_out, |acc, l| l.backward(acc))
+        self.layers.iter_mut().rev().fold(d_out, |acc, l| l.backward(acc))
     }
 
     /// Clears all accumulated gradients.

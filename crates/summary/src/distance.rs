@@ -82,23 +82,13 @@ pub fn avg_hellinger(a: &[Histogram], b: &[Histogram]) -> f32 {
 /// Total-variation distance `½·Σ|p−q| ∈ [0, 1]`.
 pub fn total_variation(a: &Histogram, b: &Histogram) -> f32 {
     assert_eq!(a.len(), b.len());
-    0.5 * a
-        .bins()
-        .iter()
-        .zip(b.bins())
-        .map(|(p, q)| (p - q).abs())
-        .sum::<f32>()
+    0.5 * a.bins().iter().zip(b.bins()).map(|(p, q)| (p - q).abs()).sum::<f32>()
 }
 
 /// Euclidean distance between bin vectors.
 pub fn euclidean(a: &Histogram, b: &Histogram) -> f32 {
     assert_eq!(a.len(), b.len());
-    a.bins()
-        .iter()
-        .zip(b.bins())
-        .map(|(p, q)| (p - q) * (p - q))
-        .sum::<f32>()
-        .sqrt()
+    a.bins().iter().zip(b.bins()).map(|(p, q)| (p - q) * (p - q)).sum::<f32>().sqrt()
 }
 
 #[cfg(test)]
@@ -183,12 +173,8 @@ mod tests {
     #[test]
     fn triangle_inequality_hellinger() {
         // Hellinger is a proper metric; spot-check the triangle inequality.
-        let ps = [
-            vec![0.5, 0.3, 0.2],
-            vec![0.1, 0.8, 0.1],
-            vec![0.33, 0.33, 0.34],
-            vec![1.0, 0.0, 0.0],
-        ];
+        let ps =
+            [vec![0.5, 0.3, 0.2], vec![0.1, 0.8, 0.1], vec![0.33, 0.33, 0.34], vec![1.0, 0.0, 0.0]];
         for x in &ps {
             for y in &ps {
                 for z in &ps {

@@ -45,10 +45,7 @@ impl LaplaceMechanism {
     /// bin. The result may contain negative bins; [`privatize_counts`]
     /// documents the clamp-and-release convention used downstream.
     pub fn privatize<R: Rng>(&self, counts: &[f32], rng: &mut R) -> Vec<f32> {
-        counts
-            .iter()
-            .map(|&c| (c as f64 + self.sample(rng)) as f32)
-            .collect()
+        counts.iter().map(|&c| (c as f64 + self.sample(rng)) as f32).collect()
     }
 }
 
@@ -67,10 +64,7 @@ pub fn laplace_noise<R: Rng>(b: f64, rng: &mut R) -> f64 {
 /// does not consume additional privacy budget.
 pub fn privatize_counts<R: Rng>(counts: &[f32], epsilon: f64, rng: &mut R) -> Vec<f32> {
     let mech = LaplaceMechanism::new(epsilon);
-    mech.privatize(counts, rng)
-        .into_iter()
-        .map(|c| c.max(0.0))
-        .collect()
+    mech.privatize(counts, rng).into_iter().map(|c| c.max(0.0)).collect()
 }
 
 #[cfg(test)]

@@ -26,4 +26,4 @@ pub mod summarizer;
 pub use distance::{avg_hellinger, euclidean, hellinger, total_variation, DistanceKind};
 pub use dp::{laplace_noise, privatize_counts, LaplaceMechanism};
 pub use hist::Histogram;
-pub use summarizer::{pairwise_distances, ClientSummary, SummaryKind, Summarizer};
+pub use summarizer::{pairwise_distances, ClientSummary, Summarizer, SummaryKind};

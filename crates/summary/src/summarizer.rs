@@ -103,8 +103,7 @@ impl Summarizer {
     pub fn summarize<R: Rng>(&self, data: &ImageSet, rng: &mut R) -> ClientSummary {
         match self.kind {
             SummaryKind::LabelDistribution => {
-                let counts: Vec<f32> =
-                    data.label_counts().iter().map(|&c| c as f32).collect();
+                let counts: Vec<f32> = data.label_counts().iter().map(|&c| c as f32).collect();
                 let counts = match self.epsilon {
                     Some(eps) => privatize_counts(&counts, eps, rng),
                     None => counts,
@@ -256,8 +255,7 @@ mod tests {
         let s = Summarizer::cond_dist(8);
         let data = client_set(&[0.5, 0.5, 0.0, 0.0], 100, 4);
         let mut rng = StdRng::seed_from_u64(0);
-        let ClientSummary::CondDist { hists: hs, prevalence } = s.summarize(&data, &mut rng)
-        else {
+        let ClientSummary::CondDist { hists: hs, prevalence } = s.summarize(&data, &mut rng) else {
             panic!("wrong summary kind")
         };
         assert_eq!(hs.len(), 4);
@@ -306,9 +304,7 @@ mod tests {
         let s = Summarizer::label_dist().with_epsilon(0.01);
         let data = client_set(&[1.0, 0.0, 0.0, 0.0], 100, 6);
         let mut rng = StdRng::seed_from_u64(0);
-        let ClientSummary::LabelDist(h) = s.summarize(&data, &mut rng) else {
-            panic!()
-        };
+        let ClientSummary::LabelDist(h) = s.summarize(&data, &mut rng) else { panic!() };
         // with ε=0.01 (b=100) and only 100 points, other bins gain mass
         assert!(h.bins()[0] < 0.99, "noise had no effect: {:?}", h.bins());
         assert!((h.total() - 1.0).abs() < 1e-5, "still a distribution");
@@ -326,10 +322,10 @@ mod tests {
             })
             .collect();
         let m = pairwise_distances(&s, &sums);
-        for i in 0..5 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..5 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-6);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &d) in row.iter().enumerate() {
+                assert!((d - m[j][i]).abs() < 1e-6);
             }
         }
     }

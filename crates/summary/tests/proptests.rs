@@ -15,10 +15,7 @@ fn counts() -> impl Strategy<Value = Vec<f32>> {
 /// Two equal-length count vectors.
 fn count_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
     (1usize..20).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0.0f32..100.0, n),
-            proptest::collection::vec(0.0f32..100.0, n),
-        )
+        (proptest::collection::vec(0.0f32..100.0, n), proptest::collection::vec(0.0f32..100.0, n))
     })
 }
 

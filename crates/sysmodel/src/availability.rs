@@ -69,8 +69,9 @@ impl Availability {
             Availability::EpochDropout { rate, n_clients, seed } => {
                 let k = (*rate * *n_clients as f64).floor() as usize;
                 let mut ids: Vec<usize> = (0..*n_clients).collect();
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 ids.shuffle(&mut rng);
                 ids.into_iter().take(k).collect()
             }

@@ -21,7 +21,10 @@ impl SimClock {
     /// Advances by `dt` seconds. Panics on negative or non-finite `dt` —
     /// the round loop must never move time backwards.
     pub fn advance(&mut self, dt: f64) {
-        assert!(dt.is_finite() && dt >= 0.0, "clock must advance by a finite, non-negative dt (got {dt})");
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "clock must advance by a finite, non-negative dt (got {dt})"
+        );
         self.now += dt;
     }
 }

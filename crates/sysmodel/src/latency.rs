@@ -2,10 +2,9 @@
 //! directions) plus the local training time for one epoch.
 
 use crate::profile::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Converts a device profile plus workload parameters into seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// Seconds of compute per training example per local epoch on a `Fast`
     /// (multiplier 1.0) device. The experiment harness calibrates this to
@@ -22,11 +21,7 @@ impl LatencyModel {
     pub fn for_params(n_params: usize, base_seconds_per_example: f64, local_epochs: usize) -> Self {
         assert!(base_seconds_per_example > 0.0);
         assert!(local_epochs >= 1);
-        LatencyModel {
-            base_seconds_per_example,
-            model_bits: (n_params * 32) as f64,
-            local_epochs,
-        }
+        LatencyModel { base_seconds_per_example, model_bits: (n_params * 32) as f64, local_epochs }
     }
 
     /// Compute time for one round on `device` with `n_examples` local

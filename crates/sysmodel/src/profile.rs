@@ -9,10 +9,9 @@
 //! Categories are assigned per attribute with probability 60/20/15/5%.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The four Table II performance categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PerfCategory {
     Fast,
     Medium,
@@ -25,12 +24,8 @@ impl PerfCategory {
     pub const PROBS: [f64; 4] = [0.60, 0.20, 0.15, 0.05];
 
     /// All categories, in Table II order.
-    pub const ALL: [PerfCategory; 4] = [
-        PerfCategory::Fast,
-        PerfCategory::Medium,
-        PerfCategory::Slow,
-        PerfCategory::VerySlow,
-    ];
+    pub const ALL: [PerfCategory; 4] =
+        [PerfCategory::Fast, PerfCategory::Medium, PerfCategory::Slow, PerfCategory::VerySlow];
 
     /// Draws a category with the §V-A probabilities.
     pub fn sample<R: Rng>(rng: &mut R) -> Self {
@@ -74,7 +69,7 @@ impl PerfCategory {
 }
 
 /// One device's sampled system parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Category drawn for the compute attribute.
     pub compute_category: PerfCategory,
@@ -192,8 +187,6 @@ mod tests {
         // with independent draws, some devices must have mismatched cats
         let mut rng = StdRng::seed_from_u64(4);
         let profiles = DeviceProfile::sample_many(500, &mut rng);
-        assert!(profiles
-            .iter()
-            .any(|p| p.compute_category != p.bandwidth_category));
+        assert!(profiles.iter().any(|p| p.compute_category != p.bandwidth_category));
     }
 }

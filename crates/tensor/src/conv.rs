@@ -22,7 +22,13 @@ pub struct ConvDims {
 
 impl ConvDims {
     /// Computes output dims for input `[n, c, h, w]`, square kernel `k`.
-    pub fn infer(input_shape: &[usize], out_ch: usize, k: usize, stride: usize, pad: usize) -> Self {
+    pub fn infer(
+        input_shape: &[usize],
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         assert_eq!(input_shape.len(), 4, "conv input must be NCHW");
         let (batch, in_ch, in_h, in_w) =
             (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
@@ -48,11 +54,12 @@ fn im2col_single(img: &[f32], d: &ConvDims, cols: &mut [f32]) {
                     let ii = (oi * d.stride + ki) as isize - d.pad as isize;
                     for oj in 0..ow {
                         let jj = (oj * d.stride + kj) as isize - d.pad as isize;
-                        out_row[oi * ow + oj] = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
-                            img[(ci * h + ii as usize) * w + jj as usize]
-                        } else {
-                            0.0
-                        };
+                        out_row[oi * ow + oj] =
+                            if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                                img[(ci * h + ii as usize) * w + jj as usize]
+                            } else {
+                                0.0
+                            };
                     }
                 }
             }
@@ -140,10 +147,7 @@ pub fn conv2d_forward(
         out_data.extend_from_slice(&o);
         cols_all.push(c);
     }
-    (
-        Tensor::from_vec(out_data, &[d.batch, out_ch, d.out_h, d.out_w]),
-        cols_all,
-    )
+    (Tensor::from_vec(out_data, &[d.batch, out_ch, d.out_h, d.out_w]), cols_all)
 }
 
 /// Gradients of a 2-D convolution.
@@ -167,8 +171,7 @@ pub fn conv2d_backward(
     let results: Vec<(Vec<f32>, Tensor, Vec<f32>)> = (0..d.batch)
         .into_par_iter()
         .map(|n| {
-            let dy =
-                &d_out.data()[n * out_ch * n_spatial..(n + 1) * out_ch * n_spatial];
+            let dy = &d_out.data()[n * out_ch * n_spatial..(n + 1) * out_ch * n_spatial];
             let dy_t = Tensor::from_vec(dy.to_vec(), &[out_ch, n_spatial]);
             // dW contribution: dy [out_ch, S] x colsᵀ [S, col_rows]
             let dw = ops::matmul_bt(&dy_t, &cols[n]);
@@ -176,10 +179,7 @@ pub fn conv2d_backward(
             let dcols = ops::matmul_at(&w_mat, &dy_t);
             let mut dimg = vec![0.0f32; img_len];
             col2im_single(dcols.data(), &d, &mut dimg);
-            let db: Vec<f32> = dy
-                .chunks(n_spatial)
-                .map(|row| row.iter().sum::<f32>())
-                .collect();
+            let db: Vec<f32> = dy.chunks(n_spatial).map(|row| row.iter().sum::<f32>()).collect();
             (dimg, dw, db)
         })
         .collect();
@@ -194,11 +194,7 @@ pub fn conv2d_backward(
             *acc += x;
         }
     }
-    (
-        Tensor::from_vec(d_input, input_shape),
-        d_weight.reshape(weight.shape()),
-        d_bias,
-    )
+    (Tensor::from_vec(d_input, input_shape), d_weight.reshape(weight.shape()), d_bias)
 }
 
 /// Forward max pooling with square window `k` and stride `k` (non-overlapping).
@@ -207,12 +203,7 @@ pub fn conv2d_backward(
 /// and are consumed by [`maxpool_backward`].
 pub fn maxpool_forward(input: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
     assert_eq!(input.rank(), 4, "maxpool input must be NCHW");
-    let (n, c, h, w) = (
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    );
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
     let (oh, ow) = (h / k, w / k);
     assert!(oh > 0 && ow > 0, "pool window larger than input");
     let mut out = vec![0.0f32; n * c * oh * ow];
@@ -267,10 +258,10 @@ pub fn conv2d_direct(
     let d = ConvDims::infer(input.shape(), out_ch, weight.shape()[2], stride, pad);
     let mut out = Tensor::zeros(&[d.batch, out_ch, d.out_h, d.out_w]);
     for n in 0..d.batch {
-        for oc in 0..out_ch {
+        for (oc, &bias_oc) in bias.iter().enumerate().take(out_ch) {
             for oi in 0..d.out_h {
                 for oj in 0..d.out_w {
-                    let mut acc = bias[oc];
+                    let mut acc = bias_oc;
                     for ic in 0..d.in_ch {
                         for ki in 0..d.k {
                             for kj in 0..d.k {
@@ -408,9 +399,8 @@ mod tests {
         let dy = Tensor::full(y.shape(), 2.0);
         let dx = maxpool_backward(x.shape(), &idx, &dy);
         // gradient lands only on the max of each window (indices 5,7,13,15)
-        let expect: Vec<f32> = (0..16)
-            .map(|i| if [5, 7, 13, 15].contains(&i) { 2.0 } else { 0.0 })
-            .collect();
+        let expect: Vec<f32> =
+            (0..16).map(|i| if [5, 7, 13, 15].contains(&i) { 2.0 } else { 0.0 }).collect();
         assert_close(dx.data(), &expect, TEST_EPS);
     }
 

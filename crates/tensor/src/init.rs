@@ -39,7 +39,12 @@ pub fn box_muller<R: Rng>(rng: &mut R) -> (f32, f32) {
 }
 
 /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform<R: Rng>(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(shape, -a, a, rng)

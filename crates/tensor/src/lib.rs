@@ -31,9 +31,6 @@ pub const TEST_EPS: f32 = 1e-4;
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!(
-            (x - y).abs() <= tol,
-            "mismatch at index {i}: {x} vs {y} (tol {tol})"
-        );
+        assert!((x - y).abs() <= tol, "mismatch at index {i}: {x} vs {y} (tol {tol})");
     }
 }

@@ -176,12 +176,8 @@ pub fn relu(a: &Tensor) -> Tensor {
 /// Backward pass for ReLU: `dx = dy ⊙ 1[x > 0]`.
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape());
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 })
-        .collect();
+    let data =
+        x.data().iter().zip(dy.data()).map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 }).collect();
     Tensor::from_vec(data, x.shape())
 }
 

@@ -297,13 +297,9 @@ impl Message {
 /// up per participant, plus `Schedule` frames.
 pub fn round_bytes(k: usize, n_params: usize) -> usize {
     let push = Message::ModelPush { round: 0, params: vec![0.0; n_params] }.wire_size();
-    let update = Message::ModelUpdate {
-        round: 0,
-        params: vec![0.0; n_params],
-        loss: 0.0,
-        n_train: 0,
-    }
-    .wire_size();
+    let update =
+        Message::ModelUpdate { round: 0, params: vec![0.0; n_params], loss: 0.0, n_train: 0 }
+            .wire_size();
     let schedule = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
     k * (push + update + schedule)
 }
@@ -356,10 +352,7 @@ mod tests {
         let frame = m.encode();
         for cut in [0usize, 1, 5, frame.len() - 1] {
             let out = Message::decode(frame.slice(0..cut));
-            assert!(
-                matches!(out, Err(DecodeError::Truncated)),
-                "cut at {cut} gave {out:?}"
-            );
+            assert!(matches!(out, Err(DecodeError::Truncated)), "cut at {cut} gave {out:?}");
         }
     }
 
@@ -396,10 +389,7 @@ mod tests {
         };
         let pxy = Message::Join {
             client_nonce: 0,
-            summary: WireSummary {
-                histograms: vec![vec![0.1; 16]; 10],
-                prevalence: vec![0.1; 10],
-            },
+            summary: WireSummary { histograms: vec![vec![0.1; 16]; 10], prevalence: vec![0.1; 10] },
             resources: ResourceEstimate {
                 compute_multiplier: 1.0,
                 bandwidth_mbps: 100.0,

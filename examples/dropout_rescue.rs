@@ -38,19 +38,15 @@ fn main() {
 
     // seeded dropout: every strategy sees the *same* failure trace
     let availability = Availability::epoch_dropout(dropout_rate, n_clients, seed ^ 0xD0);
-    println!(
-        "10% of {n_clients} devices drop each epoch; e.g. epoch 0 drops {:?}",
-        {
-            let mut v: Vec<usize> = availability.dropped_set(0).into_iter().collect();
-            v.sort_unstable();
-            v
-        }
-    );
+    println!("10% of {n_clients} devices drop each epoch; e.g. epoch 0 drops {:?}", {
+        let mut v: Vec<usize> = availability.dropped_set(0).into_iter().collect();
+        v.sort_unstable();
+        v
+    });
 
     let summarizer = Summarizer::cond_dist(16); // P(X|y): best under dropout in the paper
     let summaries = summarize_federation(&fed, &summarizer, seed);
-    let (clustering, groups) =
-        build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+    let (clustering, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
     println!("P(X|y) clustering: {} clusters", clustering.n_clusters());
 
     let factory = || -> ModelFactory {

@@ -28,11 +28,8 @@ fn main() {
     let counts = vec![1000.0f32; 10];
     let mut rng = StdRng::seed_from_u64(seed);
     for eps in [f64::INFINITY, 0.1, 0.005] {
-        let noisy = if eps.is_finite() {
-            privatize_counts(&counts, eps, &mut rng)
-        } else {
-            counts.clone()
-        };
+        let noisy =
+            if eps.is_finite() { privatize_counts(&counts, eps, &mut rng) } else { counts.clone() };
         let total: f32 = noisy.iter().sum();
         let name = if eps.is_finite() { format!("eps={eps}") } else { "true".into() };
         println!("{name}:");

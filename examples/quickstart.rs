@@ -35,16 +35,14 @@ fn main() {
     // --- 2. client summaries -> clusters (what the HACCS server does once)
     let summarizer = Summarizer::label_dist();
     let summaries = summarize_federation(&fed, &summarizer, seed);
-    let (clustering, groups) =
-        build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+    let (clustering, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
     println!(
         "OPTICS found {} clusters (+{} noise devices kept as singletons)",
         clustering.n_clusters(),
         clustering.noise().len()
     );
     for (i, g) in groups.iter().enumerate().take(5) {
-        let majors: Vec<usize> =
-            g.iter().map(|&c| fed.clients[c].spec.majority_label()).collect();
+        let majors: Vec<usize> = g.iter().map(|&c| fed.clients[c].spec.majority_label()).collect();
         println!("  cluster {i}: {} devices, majority labels {majors:?}", g.len());
     }
 

@@ -15,10 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let rounds: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let rounds: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
     let seed = 7;
     let classes = 10;
 
@@ -31,13 +28,7 @@ fn main() {
         20,
         &mut rng,
     );
-    let env = Env::new(
-        haccs::data::DatasetKind::CifarLike,
-        classes,
-        &specs,
-        Scale::Fast,
-        seed,
-    );
+    let env = Env::new(haccs::data::DatasetKind::CifarLike, classes, &specs, Scale::Fast, seed);
 
     println!("running {} strategies for {rounds} rounds each ...", StrategyKind::ALL.len());
     let mut runs = Vec::new();
@@ -64,12 +55,8 @@ fn main() {
         let mut row = String::new();
         for b in 0..25 {
             let t = t_max * (b as f64 + 1.0) / 25.0;
-            let acc = series
-                .points
-                .iter()
-                .take_while(|p| p.0 <= t)
-                .map(|p| p.1)
-                .fold(0.0f64, f64::max);
+            let acc =
+                series.points.iter().take_while(|p| p.0 <= t).map(|p| p.1).fold(0.0f64, f64::max);
             row.push(match (acc * 10.0) as usize {
                 0 => '.',
                 1 => '1',

@@ -1,0 +1,115 @@
+//! Offline stand-in for `rayon`. The `par_iter`/`into_par_iter`/
+//! `par_chunks_mut` entry points this workspace uses are provided as plain
+//! sequential iterators: the returned types are the corresponding `std`
+//! iterators, so every downstream adapter (`map`, `enumerate`, `collect`,
+//! `for_each`, ...) works unchanged.
+//!
+//! Sequential execution makes "identical results across thread counts"
+//! hold by construction; `RAYON_NUM_THREADS` is accepted and ignored.
+
+pub mod prelude {
+    /// `par_iter` / `par_iter_mut` on slices and anything deref-able to one.
+    pub trait ParallelSliceExt<T> {
+        /// Sequential stand-in for `rayon`'s parallel shared iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s parallel mutable iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> ParallelSliceExt<T> for Vec<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// `par_chunks` / `par_chunks_mut` on slices.
+    pub trait ParallelChunksExt<T> {
+        /// Sequential stand-in for `rayon`'s parallel chunk iterator.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `rayon`'s parallel mutable chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelChunksExt<T> for [T] {
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Sequential stand-in for `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// The number of "worker threads": always 1 in the sequential stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let s: usize = (0..5usize).into_par_iter().sum();
+        assert_eq!(s, 10);
+        let v: Vec<usize> = vec![5, 6].into_par_iter().collect();
+        assert_eq!(v, vec![5, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0u32; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

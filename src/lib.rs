@@ -78,8 +78,7 @@ pub mod prelude {
     pub use haccs_baselines::{OortSelector, RandomSelector, TiflSelector};
     pub use haccs_cluster::Clustering;
     pub use haccs_core::{
-        build_clusters, summarize_federation, ExtractionMethod, HaccsSelector,
-        WithinClusterPolicy,
+        build_clusters, summarize_federation, ExtractionMethod, HaccsSelector, WithinClusterPolicy,
     };
     pub use haccs_data::{partition, ClientData, FederatedDataset, ImageSet, SynthVision};
     pub use haccs_fedsim::{FedSim, RunResult, SelectionContext, Selector, SimConfig};

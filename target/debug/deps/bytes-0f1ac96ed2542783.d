@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-0f1ac96ed2542783.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0f1ac96ed2542783.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0f1ac96ed2542783.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-aa6ff95e88af24ee.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-aa6ff95e88af24ee: tests/end_to_end.rs
+
+tests/end_to_end.rs:

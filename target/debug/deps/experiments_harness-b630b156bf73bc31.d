@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_harness-b630b156bf73bc31.d: tests/experiments_harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_harness-b630b156bf73bc31.rmeta: tests/experiments_harness.rs Cargo.toml
+
+tests/experiments_harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

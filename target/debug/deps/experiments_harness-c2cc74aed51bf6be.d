@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_harness-c2cc74aed51bf6be.d: tests/experiments_harness.rs
+
+/root/repo/target/debug/deps/experiments_harness-c2cc74aed51bf6be: tests/experiments_harness.rs
+
+tests/experiments_harness.rs:

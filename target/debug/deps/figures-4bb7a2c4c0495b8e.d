@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4bb7a2c4c0495b8e.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-4bb7a2c4c0495b8e: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-a2169c1ae8531df6.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-a2169c1ae8531df6.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

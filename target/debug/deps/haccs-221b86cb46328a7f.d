@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/haccs-221b86cb46328a7f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccs-221b86cb46328a7f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhaccs-221b86cb46328a7f.rmeta: src/lib.rs
+
+src/lib.rs:

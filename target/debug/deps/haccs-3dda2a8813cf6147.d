@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccs-3dda2a8813cf6147.d: src/lib.rs
+
+/root/repo/target/debug/deps/haccs-3dda2a8813cf6147: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs-cb7fb3a090b0f7b2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs-cb7fb3a090b0f7b2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs-d6b42bf687268101.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs-d6b42bf687268101.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

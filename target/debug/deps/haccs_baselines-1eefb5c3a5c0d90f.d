@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/haccs_baselines-1eefb5c3a5c0d90f.d: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_baselines-1eefb5c3a5c0d90f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/oort.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/tifl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/haccs_baselines-2be27a67a6201260.d: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+/root/repo/target/debug/deps/haccs_baselines-2be27a67a6201260: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/oort.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/tifl.rs:

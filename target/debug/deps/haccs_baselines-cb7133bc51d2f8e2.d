@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/haccs_baselines-cb7133bc51d2f8e2.d: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_baselines-cb7133bc51d2f8e2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/oort.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/tifl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

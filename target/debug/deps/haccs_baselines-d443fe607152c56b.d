@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/haccs_baselines-d443fe607152c56b.d: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+/root/repo/target/debug/deps/libhaccs_baselines-d443fe607152c56b.rlib: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+/root/repo/target/debug/deps/libhaccs_baselines-d443fe607152c56b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/oort.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/tifl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_bench-79abbb033490232d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_bench-79abbb033490232d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

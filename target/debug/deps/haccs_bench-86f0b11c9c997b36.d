@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccs_bench-86f0b11c9c997b36.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/haccs_bench-86f0b11c9c997b36: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/haccs_bench-d4f516dce7b75fe0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccs_bench-d4f516dce7b75fe0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccs_bench-d4f516dce7b75fe0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

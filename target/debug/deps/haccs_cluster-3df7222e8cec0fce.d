@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccs_cluster-3df7222e8cec0fce.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+/root/repo/target/debug/deps/libhaccs_cluster-3df7222e8cec0fce.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+/root/repo/target/debug/deps/libhaccs_cluster-3df7222e8cec0fce.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/dbscan.rs:
+crates/cluster/src/optics.rs:
+crates/cluster/src/quality.rs:

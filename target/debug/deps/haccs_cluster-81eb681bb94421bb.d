@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/haccs_cluster-81eb681bb94421bb.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_cluster-81eb681bb94421bb.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/dbscan.rs:
+crates/cluster/src/optics.rs:
+crates/cluster/src/quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

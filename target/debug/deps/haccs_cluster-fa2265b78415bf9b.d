@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_cluster-fa2265b78415bf9b.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+/root/repo/target/debug/deps/haccs_cluster-fa2265b78415bf9b: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/dbscan.rs:
+crates/cluster/src/optics.rs:
+crates/cluster/src/quality.rs:

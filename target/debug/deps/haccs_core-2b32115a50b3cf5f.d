@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_core-2b32115a50b3cf5f.d: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+/root/repo/target/debug/deps/haccs_core-2b32115a50b3cf5f: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clusters.rs:
+crates/core/src/selector.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/weights.rs:

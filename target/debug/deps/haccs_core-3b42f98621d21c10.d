@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccs_core-3b42f98621d21c10.d: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+/root/repo/target/debug/deps/libhaccs_core-3b42f98621d21c10.rlib: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+/root/repo/target/debug/deps/libhaccs_core-3b42f98621d21c10.rmeta: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clusters.rs:
+crates/core/src/selector.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/weights.rs:

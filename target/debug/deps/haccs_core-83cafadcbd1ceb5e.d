@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/haccs_core-83cafadcbd1ceb5e.d: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_core-83cafadcbd1ceb5e.rmeta: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/clusters.rs:
+crates/core/src/selector.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

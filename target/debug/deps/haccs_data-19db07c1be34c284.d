@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/haccs_data-19db07c1be34c284.d: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_data-19db07c1be34c284.rmeta: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/federated.rs:
+crates/data/src/image.rs:
+crates/data/src/partition.rs:
+crates/data/src/rotate.rs:
+crates/data/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

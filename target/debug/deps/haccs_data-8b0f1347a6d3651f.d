@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/haccs_data-8b0f1347a6d3651f.d: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libhaccs_data-8b0f1347a6d3651f.rlib: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libhaccs_data-8b0f1347a6d3651f.rmeta: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/federated.rs:
+crates/data/src/image.rs:
+crates/data/src/partition.rs:
+crates/data/src/rotate.rs:
+crates/data/src/synth.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/haccs_data-f9220cdd0340d70b.d: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/haccs_data-f9220cdd0340d70b: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/federated.rs:
+crates/data/src/image.rs:
+crates/data/src/partition.rs:
+crates/data/src/rotate.rs:
+crates/data/src/synth.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/haccs_experiments-4095a8c7c086746d.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+/root/repo/target/debug/deps/libhaccs_experiments-4095a8c7c086746d.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+/root/repo/target/debug/deps/libhaccs_experiments-4095a8c7c086746d.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig1.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/json.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/tab3.rs:

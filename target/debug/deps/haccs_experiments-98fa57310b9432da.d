@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/haccs_experiments-98fa57310b9432da.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_experiments-98fa57310b9432da.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig1.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/json.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/tab3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/haccs_experiments-e6ac201e35b1d2c9.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+/root/repo/target/debug/deps/haccs_experiments-e6ac201e35b1d2c9: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig1.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/json.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/tab3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/haccs_fedsim-028dfdb2ead27552.d: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+/root/repo/target/debug/deps/haccs_fedsim-028dfdb2ead27552: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+crates/fedsim/src/lib.rs:
+crates/fedsim/src/client.rs:
+crates/fedsim/src/engine.rs:
+crates/fedsim/src/metrics.rs:
+crates/fedsim/src/selector.rs:
+crates/fedsim/src/trainer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/haccs_fedsim-34fcd49b23b0575e.d: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+/root/repo/target/debug/deps/libhaccs_fedsim-34fcd49b23b0575e.rlib: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+/root/repo/target/debug/deps/libhaccs_fedsim-34fcd49b23b0575e.rmeta: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+crates/fedsim/src/lib.rs:
+crates/fedsim/src/client.rs:
+crates/fedsim/src/engine.rs:
+crates/fedsim/src/metrics.rs:
+crates/fedsim/src/selector.rs:
+crates/fedsim/src/trainer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/haccs_fedsim-3934bd214e3c14c6.d: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_fedsim-3934bd214e3c14c6.rmeta: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs Cargo.toml
+
+crates/fedsim/src/lib.rs:
+crates/fedsim/src/client.rs:
+crates/fedsim/src/engine.rs:
+crates/fedsim/src/metrics.rs:
+crates/fedsim/src/selector.rs:
+crates/fedsim/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

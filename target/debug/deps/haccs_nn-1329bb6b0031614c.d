@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccs_nn-1329bb6b0031614c.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+/root/repo/target/debug/deps/haccs_nn-1329bb6b0031614c: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/sgd.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/haccs_nn-5f0ae51e92ba3faa.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_nn-5f0ae51e92ba3faa.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/sgd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/haccs_nn-b94a0002562cb12a.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+/root/repo/target/debug/deps/libhaccs_nn-b94a0002562cb12a.rlib: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+/root/repo/target/debug/deps/libhaccs_nn-b94a0002562cb12a.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/sgd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccs_sim-35c2b5721162e26d.d: crates/bench/src/bin/haccs_sim.rs
+
+/root/repo/target/debug/deps/haccs_sim-35c2b5721162e26d: crates/bench/src/bin/haccs_sim.rs
+
+crates/bench/src/bin/haccs_sim.rs:

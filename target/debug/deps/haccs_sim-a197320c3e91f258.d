@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_sim-a197320c3e91f258.d: crates/bench/src/bin/haccs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_sim-a197320c3e91f258.rmeta: crates/bench/src/bin/haccs_sim.rs Cargo.toml
+
+crates/bench/src/bin/haccs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

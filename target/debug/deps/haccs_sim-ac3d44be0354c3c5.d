@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_sim-ac3d44be0354c3c5.d: crates/bench/src/bin/haccs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_sim-ac3d44be0354c3c5.rmeta: crates/bench/src/bin/haccs_sim.rs Cargo.toml
+
+crates/bench/src/bin/haccs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccs_sim-c3c9ab51040dd140.d: crates/bench/src/bin/haccs_sim.rs
+
+/root/repo/target/debug/deps/haccs_sim-c3c9ab51040dd140: crates/bench/src/bin/haccs_sim.rs
+
+crates/bench/src/bin/haccs_sim.rs:

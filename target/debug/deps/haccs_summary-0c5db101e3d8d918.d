@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_summary-0c5db101e3d8d918.d: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+/root/repo/target/debug/deps/haccs_summary-0c5db101e3d8d918: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+crates/summary/src/lib.rs:
+crates/summary/src/distance.rs:
+crates/summary/src/dp.rs:
+crates/summary/src/hist.rs:
+crates/summary/src/summarizer.rs:

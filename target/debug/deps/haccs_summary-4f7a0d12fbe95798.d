@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/haccs_summary-4f7a0d12fbe95798.d: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_summary-4f7a0d12fbe95798.rmeta: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs Cargo.toml
+
+crates/summary/src/lib.rs:
+crates/summary/src/distance.rs:
+crates/summary/src/dp.rs:
+crates/summary/src/hist.rs:
+crates/summary/src/summarizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

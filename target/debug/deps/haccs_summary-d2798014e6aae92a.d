@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccs_summary-d2798014e6aae92a.d: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+/root/repo/target/debug/deps/libhaccs_summary-d2798014e6aae92a.rlib: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+/root/repo/target/debug/deps/libhaccs_summary-d2798014e6aae92a.rmeta: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+crates/summary/src/lib.rs:
+crates/summary/src/distance.rs:
+crates/summary/src/dp.rs:
+crates/summary/src/hist.rs:
+crates/summary/src/summarizer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccs_sysmodel-13e1b2d773b94de5.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+/root/repo/target/debug/deps/libhaccs_sysmodel-13e1b2d773b94de5.rlib: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+/root/repo/target/debug/deps/libhaccs_sysmodel-13e1b2d773b94de5.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/availability.rs:
+crates/sysmodel/src/clock.rs:
+crates/sysmodel/src/latency.rs:
+crates/sysmodel/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_sysmodel-6a2e0ca6d4e572c6.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+/root/repo/target/debug/deps/haccs_sysmodel-6a2e0ca6d4e572c6: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/availability.rs:
+crates/sysmodel/src/clock.rs:
+crates/sysmodel/src/latency.rs:
+crates/sysmodel/src/profile.rs:

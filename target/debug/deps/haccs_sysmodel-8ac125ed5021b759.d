@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/haccs_sysmodel-8ac125ed5021b759.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_sysmodel-8ac125ed5021b759.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs Cargo.toml
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/availability.rs:
+crates/sysmodel/src/clock.rs:
+crates/sysmodel/src/latency.rs:
+crates/sysmodel/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/haccs_tensor-3b6002955c4419db.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_tensor-3b6002955c4419db.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_tensor-7ff61b32e277828b.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/haccs_tensor-7ff61b32e277828b: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:

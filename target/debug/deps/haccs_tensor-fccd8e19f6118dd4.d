@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/haccs_tensor-fccd8e19f6118dd4.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libhaccs_tensor-fccd8e19f6118dd4.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libhaccs_tensor-fccd8e19f6118dd4.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:

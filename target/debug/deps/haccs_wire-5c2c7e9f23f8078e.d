@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_wire-5c2c7e9f23f8078e.d: crates/wire/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_wire-5c2c7e9f23f8078e.rmeta: crates/wire/src/lib.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/haccs_wire-74f49b7d9fddbf5a.d: crates/wire/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaccs_wire-74f49b7d9fddbf5a.rmeta: crates/wire/src/lib.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/haccs_wire-9c1769b37d33665b.d: crates/wire/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccs_wire-9c1769b37d33665b.rlib: crates/wire/src/lib.rs
+
+/root/repo/target/debug/deps/libhaccs_wire-9c1769b37d33665b.rmeta: crates/wire/src/lib.rs
+
+crates/wire/src/lib.rs:

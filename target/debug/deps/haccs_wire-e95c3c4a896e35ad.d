@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/haccs_wire-e95c3c4a896e35ad.d: crates/wire/src/lib.rs
+
+/root/repo/target/debug/deps/haccs_wire-e95c3c4a896e35ad: crates/wire/src/lib.rs
+
+crates/wire/src/lib.rs:

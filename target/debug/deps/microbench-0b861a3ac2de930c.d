@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-0b861a3ac2de930c.d: crates/bench/benches/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-0b861a3ac2de930c.rmeta: crates/bench/benches/microbench.rs Cargo.toml
+
+crates/bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

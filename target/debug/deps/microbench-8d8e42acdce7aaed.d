@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-8d8e42acdce7aaed.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-8d8e42acdce7aaed: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

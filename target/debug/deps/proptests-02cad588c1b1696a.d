@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-02cad588c1b1696a.d: crates/cluster/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-02cad588c1b1696a.rmeta: crates/cluster/tests/proptests.rs Cargo.toml
+
+crates/cluster/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-28d26d2f09cd34ea.d: crates/data/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-28d26d2f09cd34ea: crates/data/tests/proptests.rs
+
+crates/data/tests/proptests.rs:

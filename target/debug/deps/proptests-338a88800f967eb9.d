@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-338a88800f967eb9.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-338a88800f967eb9: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

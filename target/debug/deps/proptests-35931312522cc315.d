@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-35931312522cc315.d: crates/wire/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-35931312522cc315.rmeta: crates/wire/tests/proptests.rs Cargo.toml
+
+crates/wire/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

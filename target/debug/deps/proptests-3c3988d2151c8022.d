@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3c3988d2151c8022.d: crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3c3988d2151c8022.rmeta: crates/nn/tests/proptests.rs Cargo.toml
+
+crates/nn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

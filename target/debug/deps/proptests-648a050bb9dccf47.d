@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-648a050bb9dccf47.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-648a050bb9dccf47.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-73b334207c024a90.d: crates/data/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-73b334207c024a90.rmeta: crates/data/tests/proptests.rs Cargo.toml
+
+crates/data/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

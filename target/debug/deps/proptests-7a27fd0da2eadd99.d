@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7a27fd0da2eadd99.d: crates/summary/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7a27fd0da2eadd99: crates/summary/tests/proptests.rs
+
+crates/summary/tests/proptests.rs:

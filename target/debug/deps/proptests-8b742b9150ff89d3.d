@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8b742b9150ff89d3.d: crates/sysmodel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8b742b9150ff89d3.rmeta: crates/sysmodel/tests/proptests.rs Cargo.toml
+
+crates/sysmodel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b7bfb1c96959a33d.d: crates/wire/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b7bfb1c96959a33d: crates/wire/tests/proptests.rs
+
+crates/wire/tests/proptests.rs:

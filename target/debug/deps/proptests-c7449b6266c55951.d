@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c7449b6266c55951.d: crates/summary/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c7449b6266c55951.rmeta: crates/summary/tests/proptests.rs Cargo.toml
+
+crates/summary/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

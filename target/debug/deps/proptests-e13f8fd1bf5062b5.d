@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e13f8fd1bf5062b5.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e13f8fd1bf5062b5: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e738359ca13567a4.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e738359ca13567a4: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e869ed2eee38cca8.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e869ed2eee38cca8: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

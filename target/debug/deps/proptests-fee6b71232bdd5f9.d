@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fee6b71232bdd5f9.d: crates/sysmodel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fee6b71232bdd5f9: crates/sysmodel/tests/proptests.rs
+
+crates/sysmodel/tests/proptests.rs:

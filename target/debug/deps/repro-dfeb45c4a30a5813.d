@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-dfeb45c4a30a5813.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-dfeb45c4a30a5813: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fdd1a6335909ce42.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-fdd1a6335909ce42: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dropout_rescue-778f172876d5d02f.d: examples/dropout_rescue.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdropout_rescue-778f172876d5d02f.rmeta: examples/dropout_rescue.rs Cargo.toml
+
+examples/dropout_rescue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

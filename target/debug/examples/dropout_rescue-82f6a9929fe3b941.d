@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dropout_rescue-82f6a9929fe3b941.d: examples/dropout_rescue.rs
+
+/root/repo/target/debug/examples/dropout_rescue-82f6a9929fe3b941: examples/dropout_rescue.rs
+
+examples/dropout_rescue.rs:

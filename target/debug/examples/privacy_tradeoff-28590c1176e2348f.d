@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/privacy_tradeoff-28590c1176e2348f.d: examples/privacy_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprivacy_tradeoff-28590c1176e2348f.rmeta: examples/privacy_tradeoff.rs Cargo.toml
+
+examples/privacy_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_tradeoff-f73c5706f9086c5e.d: examples/privacy_tradeoff.rs
+
+/root/repo/target/debug/examples/privacy_tradeoff-f73c5706f9086c5e: examples/privacy_tradeoff.rs
+
+examples/privacy_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-09c01356b38e158c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-09c01356b38e158c: examples/quickstart.rs
+
+examples/quickstart.rs:

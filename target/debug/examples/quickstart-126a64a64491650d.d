@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-126a64a64491650d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-126a64a64491650d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

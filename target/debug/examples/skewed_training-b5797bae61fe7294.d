@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/skewed_training-b5797bae61fe7294.d: examples/skewed_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libskewed_training-b5797bae61fe7294.rmeta: examples/skewed_training.rs Cargo.toml
+
+examples/skewed_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skewed_training-ca1765efd44d9d69.d: examples/skewed_training.rs
+
+/root/repo/target/debug/examples/skewed_training-ca1765efd44d9d69: examples/skewed_training.rs
+
+examples/skewed_training.rs:

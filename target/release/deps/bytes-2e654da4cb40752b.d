@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-2e654da4cb40752b.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2e654da4cb40752b.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2e654da4cb40752b.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

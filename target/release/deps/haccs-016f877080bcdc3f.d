@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/haccs-016f877080bcdc3f.d: src/lib.rs
+
+/root/repo/target/release/deps/libhaccs-016f877080bcdc3f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhaccs-016f877080bcdc3f.rmeta: src/lib.rs
+
+src/lib.rs:

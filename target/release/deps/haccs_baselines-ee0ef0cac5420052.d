@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/haccs_baselines-ee0ef0cac5420052.d: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+/root/repo/target/release/deps/libhaccs_baselines-ee0ef0cac5420052.rlib: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+/root/repo/target/release/deps/libhaccs_baselines-ee0ef0cac5420052.rmeta: crates/baselines/src/lib.rs crates/baselines/src/oort.rs crates/baselines/src/random.rs crates/baselines/src/tifl.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/oort.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/tifl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/haccs_bench-9d44538c00a07307.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhaccs_bench-9d44538c00a07307.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhaccs_bench-9d44538c00a07307.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

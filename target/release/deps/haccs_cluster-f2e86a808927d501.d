@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/haccs_cluster-f2e86a808927d501.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+/root/repo/target/release/deps/libhaccs_cluster-f2e86a808927d501.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+/root/repo/target/release/deps/libhaccs_cluster-f2e86a808927d501.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/dbscan.rs crates/cluster/src/optics.rs crates/cluster/src/quality.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/dbscan.rs:
+crates/cluster/src/optics.rs:
+crates/cluster/src/quality.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/haccs_core-0172b9a96dfbae78.d: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+/root/repo/target/release/deps/libhaccs_core-0172b9a96dfbae78.rlib: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+/root/repo/target/release/deps/libhaccs_core-0172b9a96dfbae78.rmeta: crates/core/src/lib.rs crates/core/src/clusters.rs crates/core/src/selector.rs crates/core/src/telemetry.rs crates/core/src/weights.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clusters.rs:
+crates/core/src/selector.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/weights.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/haccs_data-c58a46cc17bba0c8.d: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libhaccs_data-c58a46cc17bba0c8.rlib: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libhaccs_data-c58a46cc17bba0c8.rmeta: crates/data/src/lib.rs crates/data/src/federated.rs crates/data/src/image.rs crates/data/src/partition.rs crates/data/src/rotate.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/federated.rs:
+crates/data/src/image.rs:
+crates/data/src/partition.rs:
+crates/data/src/rotate.rs:
+crates/data/src/synth.rs:

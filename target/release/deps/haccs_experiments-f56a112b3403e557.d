@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/haccs_experiments-f56a112b3403e557.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+/root/repo/target/release/deps/libhaccs_experiments-f56a112b3403e557.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+/root/repo/target/release/deps/libhaccs_experiments-f56a112b3403e557.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig1.rs crates/experiments/src/fig10.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/json.rs crates/experiments/src/report.rs crates/experiments/src/tab3.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig1.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/json.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/tab3.rs:

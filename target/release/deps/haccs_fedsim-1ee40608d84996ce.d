@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/haccs_fedsim-1ee40608d84996ce.d: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+/root/repo/target/release/deps/libhaccs_fedsim-1ee40608d84996ce.rlib: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+/root/repo/target/release/deps/libhaccs_fedsim-1ee40608d84996ce.rmeta: crates/fedsim/src/lib.rs crates/fedsim/src/client.rs crates/fedsim/src/engine.rs crates/fedsim/src/metrics.rs crates/fedsim/src/selector.rs crates/fedsim/src/trainer.rs
+
+crates/fedsim/src/lib.rs:
+crates/fedsim/src/client.rs:
+crates/fedsim/src/engine.rs:
+crates/fedsim/src/metrics.rs:
+crates/fedsim/src/selector.rs:
+crates/fedsim/src/trainer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/haccs_nn-be5c3c034137c181.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+/root/repo/target/release/deps/libhaccs_nn-be5c3c034137c181.rlib: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+/root/repo/target/release/deps/libhaccs_nn-be5c3c034137c181.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/sequential.rs crates/nn/src/sgd.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/sgd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/haccs_sim-66fdfbf0d6667c49.d: crates/bench/src/bin/haccs_sim.rs
+
+/root/repo/target/release/deps/haccs_sim-66fdfbf0d6667c49: crates/bench/src/bin/haccs_sim.rs
+
+crates/bench/src/bin/haccs_sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/haccs_summary-dc675da30c72d1a3.d: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+/root/repo/target/release/deps/libhaccs_summary-dc675da30c72d1a3.rlib: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+/root/repo/target/release/deps/libhaccs_summary-dc675da30c72d1a3.rmeta: crates/summary/src/lib.rs crates/summary/src/distance.rs crates/summary/src/dp.rs crates/summary/src/hist.rs crates/summary/src/summarizer.rs
+
+crates/summary/src/lib.rs:
+crates/summary/src/distance.rs:
+crates/summary/src/dp.rs:
+crates/summary/src/hist.rs:
+crates/summary/src/summarizer.rs:

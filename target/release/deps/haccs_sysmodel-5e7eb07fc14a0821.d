@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/haccs_sysmodel-5e7eb07fc14a0821.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+/root/repo/target/release/deps/libhaccs_sysmodel-5e7eb07fc14a0821.rlib: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+/root/repo/target/release/deps/libhaccs_sysmodel-5e7eb07fc14a0821.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/availability.rs crates/sysmodel/src/clock.rs crates/sysmodel/src/latency.rs crates/sysmodel/src/profile.rs
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/availability.rs:
+crates/sysmodel/src/clock.rs:
+crates/sysmodel/src/latency.rs:
+crates/sysmodel/src/profile.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/haccs_tensor-e8c0dbd34c92985c.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libhaccs_tensor-e8c0dbd34c92985c.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libhaccs_tensor-e8c0dbd34c92985c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/haccs_wire-aa9aa09010cb4f7a.d: crates/wire/src/lib.rs
+
+/root/repo/target/release/deps/libhaccs_wire-aa9aa09010cb4f7a.rlib: crates/wire/src/lib.rs
+
+/root/repo/target/release/deps/libhaccs_wire-aa9aa09010cb4f7a.rmeta: crates/wire/src/lib.rs
+
+crates/wire/src/lib.rs:

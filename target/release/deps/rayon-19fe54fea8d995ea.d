@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-19fe54fea8d995ea.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-19fe54fea8d995ea.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-19fe54fea8d995ea.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

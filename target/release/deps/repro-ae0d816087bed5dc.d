@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ae0d816087bed5dc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ae0d816087bed5dc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -23,9 +23,7 @@ fn pairs_setup(classes: usize, m: usize, seed: u64) -> (FederatedDataset, Vec<De
 }
 
 fn mlp_factory(classes: usize) -> ModelFactory {
-    Box::new(move || {
-        haccs::nn::mlp(64, &[32], classes, &mut StdRng::seed_from_u64(7))
-    })
+    Box::new(move || haccs::nn::mlp(64, &[32], classes, &mut StdRng::seed_from_u64(7)))
 }
 
 #[test]
@@ -55,10 +53,7 @@ fn summaries_cluster_and_schedule_end_to_end() {
     let before = sim.evaluate_global().accuracy;
     let result = sim.run(&mut selector, 10);
     let after = result.curve.last().unwrap().accuracy;
-    assert!(
-        after > before + 0.2,
-        "training should clearly improve accuracy: {before} -> {after}"
-    );
+    assert!(after > before + 0.2, "training should clearly improve accuracy: {before} -> {after}");
     assert_eq!(result.strategy, "haccs-P(y)");
     // the clock advanced monotonically
     for w in result.rounds.windows(2) {
@@ -255,10 +250,7 @@ fn joining_client_is_reclustered_and_scheduled() {
     selector.recluster(new_groups);
     // it is immediately schedulable (uniform_fast = lowest latency around)
     let run = sim.run(&mut selector, 8);
-    assert!(
-        run.participation_counts(sim.clients.len())[new_id] > 0,
-        "newcomer never selected"
-    );
+    assert!(run.participation_counts(sim.clients.len())[new_id] > 0, "newcomer never selected");
 }
 
 #[test]

@@ -11,7 +11,10 @@ fn all_experiment_ids_are_unique_and_known() {
     let before = ids.len();
     ids.dedup();
     assert_eq!(ids.len(), before, "duplicate experiment ids");
-    for required in ["fig1", "fig3", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "tab3", "fig11"] {
+    for required in [
+        "fig1", "fig3", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10",
+        "tab3", "fig11",
+    ] {
         assert!(ALL_EXPERIMENTS.contains(&required), "{required} missing");
     }
 }
@@ -22,7 +25,7 @@ fn fig3_report_roundtrips_through_json() {
     assert_eq!(report.id, "fig3");
     assert_eq!(report.series.len(), 3);
     let json = report.to_json();
-    let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+    let back = ExperimentReport::from_json(&json).unwrap();
     assert_eq!(back.id, report.id);
     assert_eq!(back.tables, report.tables);
     assert_eq!(back.notes, report.notes);
@@ -31,7 +34,7 @@ fn fig3_report_roundtrips_through_json() {
         assert_eq!(a.name, b.name);
         assert_eq!(a.points.len(), b.points.len());
         for (pa, pb) in a.points.iter().zip(&b.points) {
-            // serde_json may drift the last ulp of f64 values
+            // JSON float formatting may drift the last ulp of f64 values
             assert!((pa.0 - pb.0).abs() < 1e-12 && (pa.1 - pb.1).abs() < 1e-12);
         }
     }
@@ -45,9 +48,8 @@ fn fig3_report_roundtrips_through_json() {
 fn fig8a_cell_shows_privacy_tradeoff() {
     // one cheap cell each at weak and strong privacy
     let weak = fig8::clustering_accuracy_once(400, 5.0, Scale::Fast, 21);
-    let strong_runs: Vec<f32> = (0..3)
-        .map(|t| fig8::clustering_accuracy_once(400, 0.001, Scale::Fast, 100 + t))
-        .collect();
+    let strong_runs: Vec<f32> =
+        (0..3).map(|t| fig8::clustering_accuracy_once(400, 0.001, Scale::Fast, 100 + t)).collect();
     let strong = strong_runs.iter().sum::<f32>() / 3.0;
     assert!(weak > 0.8, "weak privacy should cluster well: {weak}");
     assert!(strong < weak, "strong privacy should hurt: {strong} vs {weak}");
