@@ -32,6 +32,10 @@ pub struct OortSelector {
     /// Lower bound on ε.
     epsilon_min: f64,
     explored: std::collections::HashSet<usize>,
+    /// Observed mid-round failures per client (crash/deadline/wire). Each
+    /// failure halves the client's utility — Oort's blacklisting idea,
+    /// softened to a reliability penalty.
+    failures: std::collections::HashMap<usize, u32>,
 }
 
 impl Default for OortSelector {
@@ -44,6 +48,7 @@ impl Default for OortSelector {
             epsilon_decay: 0.98,
             epsilon_min: 0.2,
             explored: std::collections::HashSet::new(),
+            failures: std::collections::HashMap::new(),
         }
     }
 }
@@ -59,14 +64,21 @@ impl OortSelector {
         self.epsilon
     }
 
+    /// Recorded mid-round failures of `client`.
+    pub fn failure_count(&self, client: usize) -> u32 {
+        self.failures.get(&client).copied().unwrap_or(0)
+    }
+
     /// The utility of one client given preferred duration `t_pref`.
-    fn utility(&self, loss: f32, n_train: usize, latency: f64, t_pref: f64) -> f64 {
+    fn utility(&self, id: usize, loss: f32, n_train: usize, latency: f64, t_pref: f64) -> f64 {
         let stat = n_train as f64 * loss as f64;
-        if latency > t_pref && latency > 0.0 {
-            stat * (t_pref / latency).powf(self.alpha)
+        let sys = if latency > t_pref && latency > 0.0 {
+            (t_pref / latency).powf(self.alpha)
         } else {
-            stat
-        }
+            1.0
+        };
+        let reliability = 0.5f64.powi(self.failure_count(id) as i32);
+        stat * sys * reliability
     }
 }
 
@@ -96,7 +108,7 @@ impl Selector for OortSelector {
             .available
             .iter()
             .filter(|c| !explore.contains(&c.id))
-            .map(|c| (c.id, self.utility(c.last_loss, c.n_train, c.est_latency, t_pref)))
+            .map(|c| (c.id, self.utility(c.id, c.last_loss, c.n_train, c.est_latency, t_pref)))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
 
@@ -114,6 +126,15 @@ impl Selector for OortSelector {
     fn observe_round(&mut self, _epoch: usize, participants: &[usize], _losses: &[f32]) {
         self.explored.extend(participants.iter().copied());
     }
+
+    fn observe_faults(&mut self, _epoch: usize, failed: &[usize]) {
+        for &id in failed {
+            *self.failures.entry(id).or_insert(0) += 1;
+            // A failed attempt still counts as tried: don't burn exploration
+            // budget re-discovering a device we already know is flaky.
+            self.explored.insert(id);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,18 +150,58 @@ mod tests {
     #[test]
     fn utility_prefers_high_loss() {
         let o = OortSelector::new();
-        let hi = o.utility(5.0, 100, 1.0, 2.0);
-        let lo = o.utility(1.0, 100, 1.0, 2.0);
+        let hi = o.utility(0, 5.0, 100, 1.0, 2.0);
+        let lo = o.utility(0, 1.0, 100, 1.0, 2.0);
         assert!(hi > lo);
     }
 
     #[test]
     fn utility_penalizes_slow_clients() {
         let o = OortSelector::new();
-        let fast = o.utility(1.0, 100, 1.0, 2.0); // under T: no penalty
-        let slow = o.utility(1.0, 100, 8.0, 2.0); // 4× over T: (1/4)² penalty
+        let fast = o.utility(0, 1.0, 100, 1.0, 2.0); // under T: no penalty
+        let slow = o.utility(0, 1.0, 100, 8.0, 2.0); // 4× over T: (1/4)² penalty
         assert_eq!(fast, 100.0);
         assert!((slow - 100.0 * (2.0f64 / 8.0).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_halves_per_observed_failure() {
+        let mut o = OortSelector::new();
+        let clean = o.utility(7, 1.0, 100, 1.0, 2.0);
+        o.observe_faults(0, &[7]);
+        o.observe_faults(1, &[7]);
+        assert_eq!(o.failure_count(7), 2);
+        assert!((o.utility(7, 1.0, 100, 1.0, 2.0) - clean / 4.0).abs() < 1e-9);
+        // other clients unaffected
+        assert_eq!(o.failure_count(3), 0);
+        assert!((o.utility(3, 1.0, 100, 1.0, 2.0) - clean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_failures_depress_selection() {
+        // zero exploration; client 1 has the best raw utility but keeps
+        // failing — after feedback Oort should stop drafting it.
+        let mut o = OortSelector { epsilon: 0.0, epsilon_min: 0.0, ..Default::default() };
+        let avail = vec![
+            info(0, 1.0, 3.0, 100),
+            info(1, 1.0, 5.0, 100), // flaky top scorer
+            info(2, 1.0, 4.0, 100),
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 1 };
+        assert_eq!(o.select(&ctx, &mut rng), vec![1]);
+        o.observe_faults(0, &[1]);
+        let ctx = SelectionContext { epoch: 1, available: &avail, k: 1 };
+        // 5.0 / 2 = 2.5 < 4.0: client 2 now wins
+        assert_eq!(o.select(&ctx, &mut rng), vec![2]);
+    }
+
+    #[test]
+    fn failed_clients_count_as_explored() {
+        let mut o = OortSelector::new();
+        assert!(o.explored.is_empty());
+        o.observe_faults(0, &[4, 5]);
+        assert!(o.explored.contains(&4) && o.explored.contains(&5));
     }
 
     #[test]

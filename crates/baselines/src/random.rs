@@ -27,6 +27,12 @@ impl Selector for RandomSelector {
         ids.truncate(ctx.k);
         ids
     }
+
+    fn observe_faults(&mut self, _epoch: usize, _failed: &[usize]) {
+        // Deliberately a no-op: uniform sampling is memoryless, which makes
+        // Random the control arm in fault-rate sweeps — it pays the full
+        // price of unreliable clients every round.
+    }
 }
 
 #[cfg(test)]

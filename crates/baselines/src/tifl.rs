@@ -128,6 +128,20 @@ impl Selector for TiflSelector {
         }
         selection
     }
+
+    fn observe_faults(&mut self, _epoch: usize, failed: &[usize]) {
+        // A client that crashed or missed the deadline behaved slower than
+        // its profile promised: demote it one tier (toward the slow end).
+        // TiFL's tiers are a latency *estimate*; failures are evidence the
+        // estimate was optimistic.
+        for &id in failed {
+            if let Some(t) = self.tier_of.get_mut(&id) {
+                *t = (*t + 1).min(self.n_tiers - 1);
+            } else {
+                self.tier_of.insert(id, self.n_tiers - 1);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +238,24 @@ mod tests {
         let mut t = TiflSelector::new(4);
         let mut rng = StdRng::seed_from_u64(5);
         assert!(t.select(&ctx, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn failures_demote_one_tier_and_saturate() {
+        let avail = pool();
+        let ctx = SelectionContext { epoch: 0, available: &avail, k: 2 };
+        let mut t = TiflSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        t.select(&ctx, &mut rng); // builds tiers: client 0 is in tier 0
+        assert_eq!(t.tier_of(0), Some(0));
+        t.observe_faults(1, &[0]);
+        assert_eq!(t.tier_of(0), Some(1));
+        for epoch in 2..10 {
+            t.observe_faults(epoch, &[0]);
+        }
+        assert_eq!(t.tier_of(0), Some(3), "demotion saturates at the slowest tier");
+        // an unprofiled client that fails lands straight in the slowest tier
+        t.observe_faults(10, &[99]);
+        assert_eq!(t.tier_of(99), Some(3));
     }
 }

@@ -10,6 +10,7 @@
 //! | [`fig3`]  | Fig. 3 — histograms under Laplace noise (ε=0.1 / 0.005) |
 //! | [`fig5`]  | Fig. 5 — TTA on CIFAR-like and FEMNIST-like, 5 strategies |
 //! | [`fig6`]  | Fig. 6 — 10% per-epoch dropout on FEMNIST-like, 20 classes |
+//! | [`fig6f`] | Fig. 6f — mid-round fault sweep (crash/straggler/lossy) |
 //! | [`fig7`]  | Fig. 7 — TTA@target across degrees of label skew |
 //! | [`fig8`]  | Fig. 8a/8b — privacy budget vs clustering accuracy / TTA |
 //! | [`fig9`]  | Fig. 9 — the ρ trade-off sweep |
@@ -31,6 +32,7 @@ pub mod fig10;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
+pub mod fig6f;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
@@ -48,6 +50,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig5a",
     "fig5b",
     "fig6",
+    "fig6f",
     "fig7",
     "fig8a",
     "fig8b",
@@ -71,6 +74,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> ExperimentReport {
         "fig5a" => fig5::run_cifar(scale, seed),
         "fig5b" => fig5::run_femnist(scale, seed),
         "fig6" => fig6::run(scale, seed),
+        "fig6f" => fig6f::run(scale, seed),
         "fig7" => fig7::run(scale, seed),
         "fig8a" => fig8::run_clustering(scale, seed),
         "fig8b" => fig8::run_tta(scale, seed),

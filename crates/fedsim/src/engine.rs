@@ -1,12 +1,41 @@
-//! [`FedSim`]: the synchronous federated-averaging round loop.
+//! [`FedSim`]: the synchronous federated-averaging round loop, with
+//! optional mid-round fault injection and deadline-driven aggregation.
+//!
+//! ## Fault taxonomy and round policies
+//!
+//! A [`haccs_sysmodel::FaultModel`] attached via [`FedSim::with_faults`]
+//! injects three fault classes per `(client, epoch)`: **crashes** (the
+//! update never arrives), **stragglers** (latency multiplied by a
+//! slowdown) and **lossy transport** (wire frames dropped/corrupted and
+//! retransmitted through [`haccs_wire::FaultyChannel`] with exponential
+//! backoff). A [`RoundPolicy`] attached via [`FedSim::with_policy`]
+//! decides what the server does about them:
+//!
+//! * [`AggregationPolicy::WaitForAll`] — the seed behavior and default:
+//!   the round lasts as long as its slowest selected client (faulted
+//!   clients charge their timeout), and whatever arrived is averaged.
+//! * [`AggregationPolicy::DeadlineDrop`] — the server sets a deadline at a
+//!   latency quantile of the available pool, aggregates what arrived by
+//!   then, and advances the clock exactly to the deadline.
+//! * [`AggregationPolicy::Replace`] — like `DeadlineDrop`, but at the
+//!   deadline the selector is re-invoked to draft replacements for the
+//!   failed slots from the not-yet-selected available pool. For HACCS this
+//!   re-runs Algorithm 1's within-cluster rule, so a failed device is
+//!   replaced by its lowest-latency available cluster sibling.
+//!
+//! With no fault model (or one with every rate at zero) and the default
+//! policy, the round loop is *bit-identical* to the fault-free engine:
+//! fault draws are pure hashes that never touch the engine RNG, and no
+//! wire code runs unless `lossy_prob > 0`.
 
 use crate::client::{ClientInfo, ClientState};
-use crate::metrics::{RoundRecord, RunResult, TimePoint};
+use crate::metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
 use crate::selector::{sanitize_selection, SelectionContext, Selector};
 use crate::trainer::{probe_loss, train_local, TrainConfig};
 use haccs_data::{FederatedDataset, ImageSet};
 use haccs_nn::{evaluate, Sequential};
-use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel, SimClock};
+use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel, SimClock};
+use haccs_wire::{FaultyChannel, Message};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -51,6 +80,57 @@ impl Default for SimConfig {
     }
 }
 
+/// What the server does with updates that miss the round deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationPolicy {
+    /// Synchronous FedAvg: wait for every selected client (faulted clients
+    /// charge their timeout). The seed engine's behavior and the default.
+    #[default]
+    WaitForAll,
+    /// Aggregate whatever arrived by the deadline; discard the rest and
+    /// advance the clock exactly to the deadline.
+    DeadlineDrop,
+    /// At the deadline, re-invoke the selector to draft replacements for
+    /// the failed slots (Algorithm 1's lowest-latency-available rule picks
+    /// cluster siblings under HACCS), then wait for the replacements.
+    Replace,
+}
+
+/// Round-execution policy: aggregation mode, deadline placement and the
+/// wire-retry knobs handed to [`haccs_wire::FaultyChannel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundPolicy {
+    /// Aggregation mode.
+    pub aggregation: AggregationPolicy,
+    /// Deadline = this quantile of expected latencies over the *available*
+    /// pool (deadline policies only). `0.9` means the server budgets for
+    /// the 90th-percentile client.
+    pub deadline_quantile: f64,
+    /// Wire retransmissions allowed per message.
+    pub max_retries: u32,
+    /// First wire backoff interval (doubles per retry).
+    pub backoff_base_s: f64,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        RoundPolicy {
+            aggregation: AggregationPolicy::WaitForAll,
+            deadline_quantile: 0.9,
+            max_retries: 3,
+            backoff_base_s: 0.5,
+        }
+    }
+}
+
+impl RoundPolicy {
+    /// A deadline policy at the given quantile.
+    pub fn deadline(aggregation: AggregationPolicy, deadline_quantile: f64) -> Self {
+        assert!((0.0..=1.0).contains(&deadline_quantile), "quantile must be in [0, 1]");
+        RoundPolicy { aggregation, deadline_quantile, ..Default::default() }
+    }
+}
+
 /// The federated simulation: global model, clients, clock and history.
 pub struct FedSim {
     factory: ModelFactory,
@@ -68,6 +148,8 @@ pub struct FedSim {
     rng: StdRng,
     epoch: usize,
     result: RunResult,
+    faults: FaultModel,
+    policy: RoundPolicy,
 }
 
 impl FedSim {
@@ -145,7 +227,36 @@ impl FedSim {
             rng: StdRng::seed_from_u64(cfg.seed),
             epoch: 0,
             result: RunResult::default(),
+            faults: FaultModel::none(cfg.seed),
+            policy: RoundPolicy::default(),
         }
+    }
+
+    /// Attaches a fault schedule (builder style). A schedule with every
+    /// rate at zero leaves the simulation bit-identical to no schedule.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the round-execution policy (builder style).
+    pub fn with_policy(mut self, policy: RoundPolicy) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&policy.deadline_quantile),
+            "deadline quantile must be in [0, 1]"
+        );
+        self.policy = policy;
+        self
+    }
+
+    /// The active fault schedule.
+    pub fn faults(&self) -> &FaultModel {
+        &self.faults
+    }
+
+    /// The active round policy.
+    pub fn policy(&self) -> &RoundPolicy {
+        &self.policy
     }
 
     /// Current epoch (rounds completed).
@@ -192,6 +303,83 @@ impl FedSim {
             .collect()
     }
 
+    /// The round deadline the server would set this epoch: the configured
+    /// quantile of expected latencies over the available pool.
+    pub fn round_deadline(&self, available_ids: &[usize]) -> f64 {
+        let mut lats: Vec<f64> =
+            available_ids.iter().map(|&id| self.expected_latency(id)).collect();
+        if lats.is_empty() {
+            return 1.0;
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qi = ((lats.len() as f64 - 1.0) * self.policy.deadline_quantile).round() as usize;
+        lats[qi]
+    }
+
+    /// Effective latency of `id` this epoch: the §IV-D expectation,
+    /// multiplied by the straggler slowdown when the fault schedule says so.
+    fn effective_latency(&self, id: usize, epoch: usize) -> f64 {
+        let base = self.expected_latency(id);
+        if self.faults.straggles(id, epoch) {
+            base * self.faults.straggler_slowdown
+        } else {
+            base
+        }
+    }
+
+    /// Trains `ids` in parallel against the current global model. Local
+    /// seeds depend only on `(cfg.seed, epoch, id)`, so the same id trains
+    /// identically whether it was selected up front or drafted as a
+    /// replacement.
+    fn train_clients(&self, ids: &[usize]) -> Vec<(usize, Vec<f32>, f32)> {
+        let cfg_train = self.cfg.train;
+        let seed = self.cfg.seed;
+        let epoch = self.epoch;
+        let gp = &self.global_params;
+        let f = &self.factory;
+        let clients = &self.clients;
+        ids.par_iter()
+            .map(|&id| {
+                let mut m = f();
+                m.set_params(gp);
+                let local_seed = seed
+                    ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9)
+                    ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B);
+                let loss = train_local(&mut m, &clients[id].data.train, &cfg_train, local_seed);
+                (id, m.get_params(), loss)
+            })
+            .collect()
+    }
+
+    /// Sends one trained update through the lossy wire (only called when
+    /// `lossy_prob > 0`). Returns `Ok((retries, backoff_s))` on delivery.
+    fn transmit_update(
+        &self,
+        id: usize,
+        update: &(usize, Vec<f32>, f32),
+    ) -> Result<(usize, f64), (usize, f64)> {
+        let channel = FaultyChannel::lossy(
+            self.faults.lossy_prob,
+            self.faults.seed ^ 0x1055_11A7_0000_0003,
+            self.policy.max_retries,
+            self.policy.backoff_base_s,
+        );
+        let msg = Message::ModelUpdate {
+            round: self.epoch as u64,
+            params: update.1.clone(),
+            loss: update.2,
+            n_train: self.clients[id].data.n_train() as u32,
+        };
+        let stream_id = (self.epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B_C2B2_AE63);
+        match channel.transmit(&msg, stream_id) {
+            Ok(d) => Ok((d.retries as usize, d.backoff_s)),
+            Err(haccs_wire::ChannelError::RetryBudgetExhausted { attempts, backoff_s }) => {
+                Err((attempts as usize - 1, backoff_s))
+            }
+        }
+    }
+
     /// Runs one synchronous round with `selector`. Returns the round record.
     pub fn run_round(&mut self, selector: &mut dyn Selector) -> RoundRecord {
         let n = self.clients.len();
@@ -211,64 +399,10 @@ impl FedSim {
                 round_seconds: 1.0,
                 participants: Vec::new(),
                 mean_local_loss: f32::NAN,
+                faults: FaultStats::default(),
             }
         } else {
-            // parallel local training (real SGD; simulated time)
-            let cfg_train = self.cfg.train;
-            let seed = self.cfg.seed;
-            let epoch = self.epoch;
-            let gp = &self.global_params;
-            let f = &self.factory;
-            let clients = &self.clients;
-            let updates: Vec<(usize, Vec<f32>, f32)> = selected
-                .par_iter()
-                .map(|&id| {
-                    let mut m = f();
-                    m.set_params(gp);
-                    let local_seed = seed
-                        ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9)
-                        ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B);
-                    let loss = train_local(&mut m, &clients[id].data.train, &cfg_train, local_seed);
-                    (id, m.get_params(), loss)
-                })
-                .collect();
-
-            // FedAvg: weight by local sample count
-            let total_weight: f64 =
-                updates.iter().map(|(id, _, _)| self.clients[*id].data.n_train() as f64).sum();
-            let mut new_params = vec![0.0f64; self.global_params.len()];
-            for (id, params, _) in &updates {
-                let w = self.clients[*id].data.n_train() as f64 / total_weight;
-                for (acc, &p) in new_params.iter_mut().zip(params) {
-                    *acc += w * p as f64;
-                }
-            }
-            self.global_params = new_params.into_iter().map(|x| x as f32).collect();
-
-            // bookkeeping + clock: the round takes as long as its slowest
-            // participant (synchronous FedAvg)
-            let mut round_seconds = 0.0f64;
-            let mut loss_sum = 0.0f32;
-            for (id, _, loss) in &updates {
-                round_seconds = round_seconds.max(self.expected_latency(*id));
-                let c = &mut self.clients[*id];
-                c.last_loss = Some(*loss);
-                c.participation_count += 1;
-                loss_sum += loss;
-            }
-            self.clock.advance(round_seconds);
-
-            let losses: Vec<f32> = updates.iter().map(|(_, _, l)| *l).collect();
-            let ids: Vec<usize> = updates.iter().map(|(id, _, _)| *id).collect();
-            selector.observe_round(self.epoch, &ids, &losses);
-
-            RoundRecord {
-                epoch: self.epoch,
-                time_s: self.clock.now(),
-                round_seconds,
-                participants: ids,
-                mean_local_loss: loss_sum / updates.len() as f32,
-            }
+            self.execute_round(selector, selected, &available_ids)
         };
 
         self.result.rounds.push(record.clone());
@@ -279,6 +413,198 @@ impl FedSim {
             self.result.curve.push(tp);
         }
         record
+    }
+
+    /// The body of a non-empty round: fault draws → training → (lossy)
+    /// wire → deadline policy → FedAvg → clock.
+    fn execute_round(
+        &mut self,
+        selector: &mut dyn Selector,
+        selected: Vec<usize>,
+        available_ids: &[usize],
+    ) -> RoundRecord {
+        let epoch = self.epoch;
+        let mut stats = FaultStats::default();
+
+        // 1. fault draws + effective latencies for the selected set
+        let draws: Vec<(usize, bool, f64)> = selected
+            .iter()
+            .map(|&id| {
+                let d = self.faults.draw(id, epoch);
+                (id, d.crashed, self.effective_latency(id, epoch))
+            })
+            .collect();
+        stats.crashed = draws.iter().filter(|(_, crashed, _)| *crashed).count();
+        stats.stragglers = selected
+            .iter()
+            .filter(|&&id| self.faults.straggles(id, epoch) && !self.faults.crashes(id, epoch))
+            .count();
+
+        // 2. the deadline, if a deadline policy is active
+        let deadline = match self.policy.aggregation {
+            AggregationPolicy::WaitForAll => None,
+            _ => Some(self.round_deadline(available_ids)),
+        };
+        stats.deadline_s = deadline;
+
+        // 3. who actually trains: crashed clients never deliver, and under
+        // a deadline policy a client whose compute alone overruns the
+        // deadline is discarded unseen — no point simulating its SGD
+        let mut trainees: Vec<usize> = Vec::with_capacity(selected.len());
+        for &(id, crashed, lat) in &draws {
+            if crashed {
+                stats.wasted_client_seconds += lat;
+            } else if deadline.is_some_and(|d| lat > d) {
+                stats.dropped_by_deadline += 1;
+                stats.wasted_client_seconds += lat;
+            } else {
+                trainees.push(id);
+            }
+        }
+        let mut updates = self.train_clients(&trainees);
+
+        // 4. lossy wire: every trained update is transmitted; retries add
+        // backoff to its arrival time, budget exhaustion loses it
+        let mut arrival: Vec<f64> = Vec::with_capacity(updates.len());
+        if self.faults.lossy_prob > 0.0 {
+            let mut delivered = Vec::with_capacity(updates.len());
+            for u in updates {
+                let id = u.0;
+                let lat = draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap();
+                match self.transmit_update(id, &u) {
+                    Ok((retries, backoff_s)) => {
+                        stats.retries += retries;
+                        let t = lat + backoff_s;
+                        if deadline.is_some_and(|d| t > d) {
+                            stats.dropped_by_deadline += 1;
+                            stats.wasted_client_seconds += lat;
+                        } else {
+                            delivered.push(u);
+                            arrival.push(t);
+                        }
+                    }
+                    Err((retries, backoff_s)) => {
+                        stats.retries += retries;
+                        stats.lossy_failures += 1;
+                        stats.wasted_client_seconds += lat + backoff_s;
+                    }
+                }
+            }
+            updates = delivered;
+        } else {
+            for u in &updates {
+                let id = u.0;
+                arrival.push(draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap());
+            }
+        }
+
+        // 5. Replace policy: draft substitutes for the failed slots from
+        // the available-but-unselected pool. The server pings candidates
+        // before drafting, so a device that is crashed this epoch never
+        // makes the list (the e2e suite asserts exactly this).
+        let n_failed = selected.len() - updates.len();
+        let mut replacement_arrivals: Vec<f64> = Vec::new();
+        if self.policy.aggregation == AggregationPolicy::Replace && n_failed > 0 {
+            let taken: std::collections::HashSet<usize> = selected.iter().copied().collect();
+            let pool: Vec<usize> = available_ids
+                .iter()
+                .copied()
+                .filter(|&id| !taken.contains(&id) && !self.faults.crashes(id, epoch))
+                .collect();
+            if !pool.is_empty() {
+                let pool_infos = self.client_infos(&pool);
+                let rctx = SelectionContext { epoch, available: &pool_infos, k: n_failed };
+                let raw = selector.select(&rctx, &mut self.rng);
+                let replacements = sanitize_selection(raw, &rctx);
+                let trained = self.train_clients(&replacements);
+                for u in trained {
+                    let id = u.0;
+                    let lat = self.effective_latency(id, epoch);
+                    if self.faults.lossy_prob > 0.0 {
+                        match self.transmit_update(id, &u) {
+                            Ok((retries, backoff_s)) => {
+                                stats.retries += retries;
+                                stats.replacements.push(id);
+                                replacement_arrivals.push(lat + backoff_s);
+                                updates.push(u);
+                            }
+                            Err((retries, backoff_s)) => {
+                                stats.retries += retries;
+                                stats.lossy_failures += 1;
+                                stats.wasted_client_seconds += lat + backoff_s;
+                            }
+                        }
+                    } else {
+                        stats.replacements.push(id);
+                        replacement_arrivals.push(lat);
+                        updates.push(u);
+                    }
+                }
+            }
+        }
+
+        // 6. FedAvg over everything that arrived, weighted by sample count
+        let mut loss_sum = 0.0f32;
+        if !updates.is_empty() {
+            let total_weight: f64 =
+                updates.iter().map(|(id, _, _)| self.clients[*id].data.n_train() as f64).sum();
+            let mut new_params = vec![0.0f64; self.global_params.len()];
+            for (id, params, _) in &updates {
+                let w = self.clients[*id].data.n_train() as f64 / total_weight;
+                for (acc, &p) in new_params.iter_mut().zip(params) {
+                    *acc += w * p as f64;
+                }
+            }
+            self.global_params = new_params.into_iter().map(|x| x as f32).collect();
+        }
+        for (id, _, loss) in &updates {
+            let c = &mut self.clients[*id];
+            c.last_loss = Some(*loss);
+            c.participation_count += 1;
+            loss_sum += loss;
+        }
+
+        // 7. clock: policy decides how long the round lasted
+        let round_seconds = match self.policy.aggregation {
+            AggregationPolicy::WaitForAll => {
+                // slowest selected client, counting wire backoff for
+                // arrivals and the server's timeout for casualties
+                let mut t = arrival.iter().copied().fold(0.0f64, f64::max);
+                for &(_, _, lat) in &draws {
+                    t = t.max(lat);
+                }
+                t
+            }
+            AggregationPolicy::DeadlineDrop => deadline.unwrap(),
+            AggregationPolicy::Replace => {
+                deadline.unwrap() + replacement_arrivals.iter().copied().fold(0.0f64, f64::max)
+            }
+        };
+        self.clock.advance(round_seconds);
+
+        // 8. selector feedback: arrivals with losses, plus the failed set
+        let losses: Vec<f32> = updates.iter().map(|(_, _, l)| *l).collect();
+        let ids: Vec<usize> = updates.iter().map(|(id, _, _)| *id).collect();
+        selector.observe_round(epoch, &ids, &losses);
+        let aggregated: std::collections::HashSet<usize> = ids.iter().copied().collect();
+        let failed: Vec<usize> =
+            selected.iter().copied().filter(|id| !aggregated.contains(id)).collect();
+        if !failed.is_empty() {
+            selector.observe_faults(epoch, &failed);
+        }
+
+        RoundRecord {
+            epoch,
+            time_s: self.clock.now(),
+            round_seconds,
+            participants: ids,
+            mean_local_loss: if updates.is_empty() {
+                f32::NAN
+            } else {
+                loss_sum / updates.len() as f32
+            },
+            faults: stats,
+        }
     }
 
     /// Evaluates the current global model on the (sampled) pooled test set.
@@ -582,5 +908,105 @@ mod tests {
         assert_eq!(counts[0], 4); // FirstK always picks client 0
         assert_eq!(counts[5], 0);
         assert_eq!(sim.clients[0].participation_count, 4);
+    }
+
+    #[test]
+    fn zero_rate_fault_schedule_is_identical_to_none() {
+        let plain = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 5);
+        let zeroed = build_sim(6, Availability::AlwaysOn)
+            .with_faults(FaultModel::none(5))
+            .with_policy(RoundPolicy::default())
+            .run(&mut FirstK, 5);
+        assert_eq!(plain, zeroed, "zero-rate faults must not perturb the run");
+    }
+
+    #[test]
+    fn crashed_clients_are_excluded_from_aggregation() {
+        use haccs_sysmodel::FaultSpec;
+        let mut sim = build_sim(6, Availability::AlwaysOn)
+            .with_faults(FaultModel::none(5).with(FaultSpec::Crash { prob: 1.0 }));
+        let before = sim.global_params().to_vec();
+        let rec = sim.run_round(&mut FirstK);
+        assert!(rec.participants.is_empty());
+        assert_eq!(rec.faults.crashed, 3);
+        assert!(rec.mean_local_loss.is_nan());
+        assert!(rec.faults.wasted_client_seconds > 0.0);
+        assert_eq!(sim.global_params(), &before[..], "no update may land");
+        assert!(rec.round_seconds > 0.0, "the server still waited out the timeouts");
+    }
+
+    #[test]
+    fn stragglers_stretch_the_round() {
+        use haccs_sysmodel::FaultSpec;
+        let normal = build_sim(6, Availability::AlwaysOn).run_round(&mut FirstK);
+        let slowed = build_sim(6, Availability::AlwaysOn)
+            .with_faults(
+                FaultModel::none(5).with(FaultSpec::Straggler { prob: 1.0, slowdown: 4.0 }),
+            )
+            .run_round(&mut FirstK);
+        assert_eq!(slowed.faults.stragglers, 3);
+        assert!(
+            (slowed.round_seconds - 4.0 * normal.round_seconds).abs() < 1e-9,
+            "{} vs 4x{}",
+            slowed.round_seconds,
+            normal.round_seconds
+        );
+        // stragglers still arrive under WaitForAll
+        assert_eq!(slowed.participants.len(), 3);
+    }
+
+    #[test]
+    fn deadline_drop_advances_exactly_to_deadline() {
+        let mut sim = build_sim(6, Availability::AlwaysOn)
+            .with_policy(RoundPolicy::deadline(AggregationPolicy::DeadlineDrop, 0.5));
+        let deadline = sim.round_deadline(&[0, 1, 2, 3, 4, 5]);
+        let rec = sim.run_round(&mut FirstK);
+        assert_eq!(rec.faults.deadline_s, Some(deadline));
+        assert!((rec.round_seconds - deadline).abs() < 1e-9);
+        // everyone who made the deadline was aggregated, the rest dropped
+        assert_eq!(rec.participants.len() + rec.faults.dropped_by_deadline, 3);
+        for &id in &rec.participants {
+            assert!(sim.expected_latency(id) <= deadline);
+        }
+    }
+
+    #[test]
+    fn replace_drafts_live_substitutes_for_crashes() {
+        use haccs_sysmodel::FaultSpec;
+        let faults = FaultModel::none(5).with(FaultSpec::Crash { prob: 0.5 });
+        let mut sim = build_sim(12, Availability::AlwaysOn)
+            .with_faults(faults)
+            .with_policy(RoundPolicy::deadline(AggregationPolicy::Replace, 1.0));
+        let mut saw_replacement = false;
+        for _ in 0..6 {
+            let epoch = sim.epoch();
+            let rec = sim.run_round(&mut FirstK);
+            for &r in &rec.faults.replacements {
+                saw_replacement = true;
+                assert!(!faults.crashes(r, epoch), "drafted a crashed client {r}");
+                assert!(rec.participants.contains(&r), "replacement {r} must be aggregated");
+            }
+            // a round with crashes under Replace lasts deadline + catch-up
+            if rec.faults.crashed > 0 && !rec.faults.replacements.is_empty() {
+                assert!(rec.round_seconds > rec.faults.deadline_s.unwrap());
+            }
+        }
+        assert!(saw_replacement, "at 50% crash some round must draft a replacement");
+    }
+
+    #[test]
+    fn lossy_wire_is_accounted_and_deterministic() {
+        use haccs_sysmodel::FaultSpec;
+        let build = || {
+            build_sim(6, Availability::AlwaysOn)
+                .with_faults(FaultModel::none(5).with(FaultSpec::Lossy { prob: 0.5 }))
+        };
+        let r1 = build().run(&mut FirstK, 6);
+        let r2 = build().run(&mut FirstK, 6);
+        assert_eq!(r1, r2, "lossy runs must be seed-deterministic");
+        assert!(
+            r1.total_retries() > 0 || r1.rounds.iter().any(|r| r.faults.lossy_failures > 0),
+            "at 50% per-attempt loss the wire must visibly act up"
+        );
     }
 }

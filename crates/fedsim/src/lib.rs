@@ -16,9 +16,14 @@
 //!   *for real*; only time is simulated), parallelized across clients with
 //!   rayon,
 //! * [`engine::FedSim`] — the synchronous round loop: select → train →
-//!   FedAvg → advance clock by the slowest participant → evaluate,
-//! * [`metrics`] — time-to-accuracy curves and the TTA(target) readout the
-//!   paper's evaluation reports.
+//!   FedAvg → advance clock by the slowest participant → evaluate. Faults
+//!   (crash / straggler / lossy wire, from `haccs_sysmodel::faults`) can be
+//!   injected mid-round, and an [`engine::RoundPolicy`] chooses between
+//!   waiting for everyone, dropping late updates at a deadline, or drafting
+//!   replacements for failed slots (see the [`engine`] module docs for the
+//!   full taxonomy),
+//! * [`metrics`] — time-to-accuracy curves, the TTA(target) readout the
+//!   paper's evaluation reports, and per-round [`metrics::FaultStats`].
 
 pub mod client;
 pub mod engine;
@@ -27,6 +32,6 @@ pub mod selector;
 pub mod trainer;
 
 pub use client::{ClientInfo, ClientState};
-pub use engine::{FedSim, SimConfig};
-pub use metrics::{RoundRecord, RunResult, TimePoint};
+pub use engine::{AggregationPolicy, FedSim, RoundPolicy, SimConfig};
+pub use metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
 pub use selector::{SelectionContext, Selector};

@@ -13,8 +13,44 @@ pub struct TimePoint {
     pub loss: f32,
 }
 
+/// Per-round fault accounting: what went wrong between selection and
+/// aggregation, and what it cost.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultStats {
+    /// Selected clients whose update never arrived (crash schedule).
+    pub crashed: usize,
+    /// Selected clients that ran at a straggler slowdown this round.
+    pub stragglers: usize,
+    /// Arrivals discarded because they missed the round deadline.
+    pub dropped_by_deadline: usize,
+    /// Updates lost on the wire after exhausting the retry budget.
+    pub lossy_failures: usize,
+    /// Total wire retransmissions across all participants.
+    pub retries: usize,
+    /// Clients drafted as mid-round replacements (Replace policy). Each was
+    /// available and un-faulted at selection time.
+    pub replacements: Vec<usize>,
+    /// Client-seconds of local work whose result was never aggregated.
+    pub wasted_client_seconds: f64,
+    /// The round deadline, when a deadline policy was active.
+    pub deadline_s: Option<f64>,
+}
+
+impl FaultStats {
+    /// Selected-but-not-aggregated count (crashes + deadline drops + wire
+    /// losses).
+    pub fn failures(&self) -> usize {
+        self.crashed + self.dropped_by_deadline + self.lossy_failures
+    }
+}
+
 /// Bookkeeping for one round.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `PartialEq` compares `mean_local_loss` *bitwise* (`f32::to_bits`): a
+/// round where nothing arrived records `NaN`, and IEEE `NaN != NaN` would
+/// make two byte-identical runs compare unequal — exactly the comparison
+/// the determinism suite relies on.
+#[derive(Debug, Clone)]
 pub struct RoundRecord {
     /// Round index.
     pub epoch: usize,
@@ -22,14 +58,27 @@ pub struct RoundRecord {
     pub time_s: f64,
     /// Duration of this round (slowest selected client).
     pub round_seconds: f64,
-    /// Ids that trained this round.
+    /// Ids whose updates were aggregated this round.
     pub participants: Vec<usize>,
     /// Mean local training loss across participants.
     pub mean_local_loss: f32,
+    /// Fault accounting (all-zero under a fault-free run).
+    pub faults: FaultStats,
+}
+
+impl PartialEq for RoundRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.time_s == other.time_s
+            && self.round_seconds == other.round_seconds
+            && self.participants == other.participants
+            && self.mean_local_loss.to_bits() == other.mean_local_loss.to_bits()
+            && self.faults == other.faults
+    }
 }
 
 /// The full result of a simulated run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     /// Strategy name.
     pub strategy: String,
@@ -91,6 +140,26 @@ impl RunResult {
         }
         counts
     }
+
+    /// Total crashed selections across the run.
+    pub fn total_crashed(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.crashed).sum()
+    }
+
+    /// Total wire retransmissions across the run.
+    pub fn total_retries(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.retries).sum()
+    }
+
+    /// Total mid-round replacements across the run.
+    pub fn total_replacements(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.replacements.len()).sum()
+    }
+
+    /// Total client-seconds of wasted (never-aggregated) local work.
+    pub fn total_wasted_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.faults.wasted_client_seconds).sum()
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +182,7 @@ mod tests {
                     round_seconds: 10.0,
                     participants: vec![0, 1],
                     mean_local_loss: 2.0,
+                    faults: FaultStats::default(),
                 },
                 RoundRecord {
                     epoch: 1,
@@ -120,6 +190,7 @@ mod tests {
                     round_seconds: 10.0,
                     participants: vec![1, 2],
                     mean_local_loss: 1.5,
+                    faults: FaultStats { crashed: 1, retries: 2, ..Default::default() },
                 },
             ],
         }
@@ -144,5 +215,23 @@ mod tests {
     fn participation_counts() {
         let r = run();
         assert_eq!(r.participation_counts(4), vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn fault_totals_aggregate_over_rounds() {
+        let r = run();
+        assert_eq!(r.total_crashed(), 1);
+        assert_eq!(r.total_retries(), 2);
+        assert_eq!(r.total_replacements(), 0);
+        assert_eq!(r.total_wasted_seconds(), 0.0);
+        assert_eq!(r.rounds[1].faults.failures(), 1);
+    }
+
+    #[test]
+    fn run_results_compare_exactly() {
+        assert_eq!(run(), run());
+        let mut other = run();
+        other.rounds[0].faults.crashed = 9;
+        assert_ne!(run(), other);
     }
 }

@@ -27,6 +27,12 @@ pub trait Selector: Send {
     /// Feedback after the round: the ids that participated and their fresh
     /// local losses. Default: ignore.
     fn observe_round(&mut self, _epoch: usize, _participants: &[usize], _losses: &[f32]) {}
+
+    /// Feedback after the round: ids that were selected but whose update
+    /// was never aggregated (crashed, missed the deadline, or lost on the
+    /// wire). Fault-aware selectors use this to steer away from unreliable
+    /// devices; the default ignores it.
+    fn observe_faults(&mut self, _epoch: usize, _failed: &[usize]) {}
 }
 
 /// Validates and normalizes a selector's output: drops ids not available,

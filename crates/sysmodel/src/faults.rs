@@ -1,0 +1,244 @@
+//! Mid-round fault injection: seeded, per-`(client, epoch)` deterministic
+//! fault outcomes.
+//!
+//! Three fault classes, mirroring what a real deployment sees between
+//! `Schedule` and `ModelUpdate` (Fig. 2 of the paper):
+//!
+//! * **Crash** — the client accepts the round but its update never arrives
+//!   (process killed, battery died, user closed the app),
+//! * **Straggler** — the update arrives, but the client runs slower than
+//!   its profile predicted (thermal throttling, background load): its
+//!   round latency is multiplied by `slowdown`,
+//! * **Lossy** — the transport drops or corrupts frames; surfaced at the
+//!   wire layer (`haccs_wire::FaultyChannel`) with retry + exponential
+//!   backoff, parameterized by [`FaultModel::lossy_prob`].
+//!
+//! Like [`crate::Availability::EpochDropout`], outcomes are derived
+//! **purely by hashing** `(seed, client, epoch)` — the fault schedule never
+//! touches the engine's RNG stream. Two consequences the test suite relies
+//! on:
+//!
+//! 1. the same seed yields a bit-identical fault schedule across runs,
+//!    strategies and thread counts, and
+//! 2. a model with every probability at zero is *indistinguishable* from
+//!    no fault model at all: the simulation's RNG consumption, and hence
+//!    every downstream random draw, is unchanged.
+
+/// One fault class with its parameters, for building a [`FaultModel`]
+/// incrementally via [`FaultModel::with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// The update never arrives with probability `prob` per (client, epoch).
+    Crash {
+        /// Per-round crash probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Latency is multiplied by `slowdown` with probability `prob`.
+    Straggler {
+        /// Per-round straggle probability in `[0, 1]`.
+        prob: f64,
+        /// Latency multiplier when straggling (≥ 1).
+        slowdown: f64,
+    },
+    /// Each wire transmission attempt fails with probability `prob`.
+    Lossy {
+        /// Per-attempt drop/corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// What the fault schedule says about one `(client, epoch)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDraw {
+    /// The client's update never arrives this round.
+    pub crashed: bool,
+    /// The client's latency is multiplied this round.
+    pub straggler: bool,
+}
+
+/// A seeded fault schedule. `Copy` and cheap: outcomes are recomputed by
+/// hashing on every query, never stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Seed the whole schedule derives from.
+    pub seed: u64,
+    /// Per-round crash probability.
+    pub crash_prob: f64,
+    /// Per-round straggle probability.
+    pub straggler_prob: f64,
+    /// Latency multiplier applied when straggling.
+    pub straggler_slowdown: f64,
+    /// Per-attempt wire loss probability (consumed by
+    /// `haccs_wire::FaultyChannel`).
+    pub lossy_prob: f64,
+}
+
+const CRASH_SALT: u64 = 0xC4A5_11ED_0000_0001;
+const STRAGGLER_SALT: u64 = 0x57A6_61E4_0000_0002;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, the standard choice
+/// for turning structured keys into uniform bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 hashed bits.
+fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultModel {
+    /// The empty schedule: nothing ever faults.
+    pub fn none(seed: u64) -> Self {
+        FaultModel {
+            seed,
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            lossy_prob: 0.0,
+        }
+    }
+
+    /// Adds one fault class (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        match spec {
+            FaultSpec::Crash { prob } => {
+                assert!((0.0..=1.0).contains(&prob), "crash prob must be in [0, 1]");
+                self.crash_prob = prob;
+            }
+            FaultSpec::Straggler { prob, slowdown } => {
+                assert!((0.0..=1.0).contains(&prob), "straggler prob must be in [0, 1]");
+                assert!(slowdown >= 1.0, "slowdown must be >= 1");
+                self.straggler_prob = prob;
+                self.straggler_slowdown = slowdown;
+            }
+            FaultSpec::Lossy { prob } => {
+                assert!((0.0..=1.0).contains(&prob), "lossy prob must be in [0, 1]");
+                self.lossy_prob = prob;
+            }
+        }
+        self
+    }
+
+    /// Whether every fault class is disabled.
+    pub fn is_none(&self) -> bool {
+        self.crash_prob == 0.0 && self.straggler_prob == 0.0 && self.lossy_prob == 0.0
+    }
+
+    /// The hash key for one `(client, epoch, class)` query.
+    fn key(&self, client: usize, epoch: usize, salt: u64) -> u64 {
+        self.seed
+            ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (client as u64 + 1).wrapping_mul(0x85EB_CA6B_C2B2_AE63)
+            ^ salt
+    }
+
+    /// Whether `client` crashes in `epoch`.
+    pub fn crashes(&self, client: usize, epoch: usize) -> bool {
+        self.crash_prob > 0.0
+            && unit(splitmix64(self.key(client, epoch, CRASH_SALT))) < self.crash_prob
+    }
+
+    /// Whether `client` straggles in `epoch`.
+    pub fn straggles(&self, client: usize, epoch: usize) -> bool {
+        self.straggler_prob > 0.0
+            && unit(splitmix64(self.key(client, epoch, STRAGGLER_SALT))) < self.straggler_prob
+    }
+
+    /// The full draw for one `(client, epoch)` pair. Crash and straggle are
+    /// independent draws; a crashed straggler is simply a crash (the update
+    /// never arrives either way).
+    pub fn draw(&self, client: usize, epoch: usize) -> FaultDraw {
+        FaultDraw { crashed: self.crashes(client, epoch), straggler: self.straggles(client, epoch) }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_faults() {
+        let m = FaultModel::none(7);
+        for client in 0..50 {
+            for epoch in 0..50 {
+                assert_eq!(m.draw(client, epoch), FaultDraw::default());
+            }
+        }
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultModel::none(42).with(FaultSpec::Crash { prob: 0.3 });
+        let b = FaultModel::none(42).with(FaultSpec::Crash { prob: 0.3 });
+        for client in 0..30 {
+            for epoch in 0..30 {
+                assert_eq!(a.draw(client, epoch), b.draw(client, epoch));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultModel::none(1).with(FaultSpec::Crash { prob: 0.5 });
+        let b = FaultModel::none(2).with(FaultSpec::Crash { prob: 0.5 });
+        let diff = (0..100).filter(|&c| a.crashes(c, 0) != b.crashes(c, 0)).count();
+        assert!(diff > 10, "schedules should decorrelate across seeds: {diff}");
+    }
+
+    #[test]
+    fn crash_rate_tracks_probability() {
+        let m = FaultModel::none(9).with(FaultSpec::Crash { prob: 0.3 });
+        let n = 10_000;
+        let crashes = (0..n).filter(|&i| m.crashes(i % 100, i / 100)).count();
+        let rate = crashes as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "empirical crash rate {rate}");
+    }
+
+    #[test]
+    fn crash_and_straggle_are_independent_draws() {
+        let m = FaultModel::none(5)
+            .with(FaultSpec::Crash { prob: 0.5 })
+            .with(FaultSpec::Straggler { prob: 0.5, slowdown: 4.0 });
+        // over many pairs, all four outcome combinations must occur
+        let mut seen = std::collections::HashSet::new();
+        for client in 0..20 {
+            for epoch in 0..20 {
+                let d = m.draw(client, epoch);
+                seen.insert((d.crashed, d.straggler));
+            }
+        }
+        assert_eq!(seen.len(), 4, "outcomes: {seen:?}");
+    }
+
+    #[test]
+    fn draws_vary_across_epochs_and_clients() {
+        let m = FaultModel::none(3).with(FaultSpec::Crash { prob: 0.5 });
+        let by_epoch: Vec<bool> = (0..50).map(|e| m.crashes(0, e)).collect();
+        let by_client: Vec<bool> = (0..50).map(|c| m.crashes(c, 0)).collect();
+        assert!(by_epoch.iter().any(|&x| x) && by_epoch.iter().any(|&x| !x));
+        assert!(by_client.iter().any(|&x| x) && by_client.iter().any(|&x| !x));
+    }
+
+    #[test]
+    #[should_panic(expected = "crash prob must be in")]
+    fn bad_probability_rejected() {
+        FaultModel::none(0).with(FaultSpec::Crash { prob: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be >= 1")]
+    fn bad_slowdown_rejected() {
+        FaultModel::none(0).with(FaultSpec::Straggler { prob: 0.1, slowdown: 0.5 });
+    }
+}

@@ -13,15 +13,21 @@
 //! * [`availability`] — dropout models: always-on, seeded per-epoch random
 //!   unavailability (Fig. 6), and permanent drop of chosen devices or whole
 //!   groups (Fig. 1),
+//! * [`faults`] — mid-round fault injection: seeded per-`(client, epoch)`
+//!   crash / straggler / lossy-transport schedules that never touch the
+//!   engine's RNG stream (so a zero-rate schedule is behaviorally
+//!   indistinguishable from no schedule at all),
 //! * [`clock`] — the simulated wall clock that time-to-accuracy curves are
 //!   plotted against.
 
 pub mod availability;
 pub mod clock;
+pub mod faults;
 pub mod latency;
 pub mod profile;
 
 pub use availability::Availability;
 pub use clock::SimClock;
+pub use faults::{FaultDraw, FaultModel, FaultSpec};
 pub use latency::LatencyModel;
 pub use profile::{DeviceProfile, PerfCategory};

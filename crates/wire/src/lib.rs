@@ -24,8 +24,17 @@
 //! length-prefixed (`u32` count). No self-description — both ends share
 //! this crate — which keeps the encoding within a few bytes of the raw
 //! payload.
+//!
+//! The [`channel`] module wraps the codec in a seeded lossy transport
+//! ([`FaultyChannel`]) with retransmission, exponential backoff and a
+//! per-message retry budget — the wire half of the fault-injection story
+//! (`haccs_sysmodel::faults` holds the client half).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+pub mod channel;
+
+pub use channel::{ChannelError, Delivery, FaultyChannel};
 
 /// A data summary on the wire: one or more histograms plus an optional
 /// prevalence vector (P(y) sends one histogram; P(X|y) sends one per

@@ -1,8 +1,9 @@
-//! Property-based tests: every message round-trips, and decode never
-//! panics on arbitrary bytes.
+//! Property-based tests: every message round-trips, decode never panics
+//! on arbitrary bytes, and the lossy channel is a pure function of
+//! (seed, stream, message).
 
 use bytes::Bytes;
-use haccs_wire::{Message, ResourceEstimate, WireSummary};
+use haccs_wire::{ChannelError, FaultyChannel, Message, ResourceEstimate, WireSummary};
 use proptest::prelude::*;
 
 fn arb_summary() -> impl Strategy<Value = WireSummary> {
@@ -71,6 +72,50 @@ proptest! {
         if cut < frame.len() {
             let out = Message::decode(frame.slice(0..cut));
             prop_assert!(out.is_err(), "decoding a prefix must fail, got {:?}", out);
+        }
+    }
+
+    #[test]
+    fn reliable_channel_delivers_first_try(m in arb_message(), stream in any::<u64>()) {
+        let ch = FaultyChannel::reliable(0);
+        let d = ch.transmit(&m, stream).expect("reliable channel never fails");
+        prop_assert_eq!(d.attempts, 1);
+        prop_assert_eq!(d.retries, 0);
+        prop_assert_eq!(d.backoff_s, 0.0);
+        prop_assert_eq!(d.bytes_sent, m.wire_size());
+        prop_assert_eq!(d.message, m);
+    }
+
+    #[test]
+    fn lossy_channel_is_seed_deterministic(
+        m in arb_message(),
+        stream in any::<u64>(),
+        seed in any::<u64>(),
+        loss in 0.0f64..1.0,
+    ) {
+        let ch = FaultyChannel::lossy(loss, seed, 3, 0.5);
+        let a = ch.transmit(&m, stream);
+        let b = ch.transmit(&m, stream);
+        match (a, b) {
+            (Ok(da), Ok(db)) => {
+                prop_assert_eq!(da.attempts, db.attempts);
+                prop_assert_eq!(da.retries, db.retries);
+                prop_assert_eq!(da.backoff_s, db.backoff_s);
+                prop_assert_eq!(da.message, db.message);
+                // the delivered message is the one we sent, and every
+                // attempt re-sent the full frame
+                prop_assert_eq!(&da.message, &m);
+                prop_assert_eq!(da.bytes_sent, da.attempts as usize * m.wire_size());
+            }
+            (
+                Err(ChannelError::RetryBudgetExhausted { attempts: aa, backoff_s: ba }),
+                Err(ChannelError::RetryBudgetExhausted { attempts: ab, backoff_s: bb }),
+            ) => {
+                prop_assert_eq!(aa, ab);
+                prop_assert_eq!(ba, bb);
+                prop_assert_eq!(aa, 4, "budget of 3 retries = 4 attempts");
+            }
+            (a, b) => prop_assert!(false, "same inputs diverged: {:?} vs {:?}", a, b),
         }
     }
 }

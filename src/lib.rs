@@ -81,8 +81,13 @@ pub mod prelude {
         build_clusters, summarize_federation, ExtractionMethod, HaccsSelector, WithinClusterPolicy,
     };
     pub use haccs_data::{partition, ClientData, FederatedDataset, ImageSet, SynthVision};
-    pub use haccs_fedsim::{FedSim, RunResult, SelectionContext, Selector, SimConfig};
+    pub use haccs_fedsim::{
+        AggregationPolicy, FaultStats, FedSim, RoundPolicy, RunResult, SelectionContext, Selector,
+        SimConfig,
+    };
     pub use haccs_nn::{ModelKind, Sequential, Sgd};
     pub use haccs_summary::{ClientSummary, Summarizer};
-    pub use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel, PerfCategory};
+    pub use haccs_sysmodel::{
+        Availability, DeviceProfile, FaultModel, FaultSpec, LatencyModel, PerfCategory,
+    };
 }

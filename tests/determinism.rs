@@ -1,0 +1,119 @@
+//! Determinism regression suite: the whole simulation — training, fault
+//! schedules, wire retries, replacement drafting — must be a pure function
+//! of its seeds. `RunResult` derives `PartialEq`, so "same seed, same
+//! everything" is one `assert_eq!` over the full run (every round record,
+//! fault counter and curve point, bit for bit).
+//!
+//! These tests are run by CI twice: once with the default rayon pool and
+//! once under `RAYON_NUM_THREADS=1`. Identical results across both prove
+//! that parallel client training does not leak scheduling order into the
+//! model (aggregation happens in selection order, not completion order).
+
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (FederatedDataset, Vec<DeviceProfile>) {
+    let gen = SynthVision::mnist_like(4, 8, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = partition::majority_noise(10, 4, &[0.75, 0.25], (40, 60), 12, &mut rng);
+    let fed = FederatedDataset::materialize(&gen, &specs, seed);
+    let profiles = DeviceProfile::sample_many(fed.n_clients(), &mut rng);
+    (fed, profiles)
+}
+
+fn factory(classes: usize) -> ModelFactory {
+    Box::new(move || haccs::nn::mlp(64, &[32], classes, &mut StdRng::seed_from_u64(7)))
+}
+
+fn build_sim(seed: u64) -> FedSim {
+    let (fed, profiles) = setup(seed);
+    FedSim::new(
+        factory(4),
+        fed,
+        profiles,
+        LatencyModel::default(),
+        Availability::epoch_dropout(0.1, 10, seed),
+        SimConfig { k: 4, seed, ..Default::default() },
+    )
+}
+
+/// Runs `rounds` rounds of the given strategy on a freshly built sim.
+fn run_once(seed: u64, faults: Option<FaultModel>, policy: Option<RoundPolicy>) -> RunResult {
+    let mut sim = build_sim(seed);
+    if let Some(f) = faults {
+        sim = sim.with_faults(f);
+    }
+    if let Some(p) = policy {
+        sim = sim.with_policy(p);
+    }
+    let mut selector = RandomSelector::new();
+    sim.run(&mut selector, 8)
+}
+
+#[test]
+fn same_seed_same_run_fault_free() {
+    let a = run_once(42, None, None);
+    let b = run_once(42, None, None);
+    assert_eq!(a, b, "fault-free runs with identical seeds must be identical");
+}
+
+#[test]
+fn same_seed_same_run_with_faults() {
+    let faults = FaultModel::none(42)
+        .with(FaultSpec::Crash { prob: 0.2 })
+        .with(FaultSpec::Straggler { prob: 0.2, slowdown: 3.0 })
+        .with(FaultSpec::Lossy { prob: 0.1 });
+    for policy in [
+        RoundPolicy::default(),
+        RoundPolicy::deadline(AggregationPolicy::DeadlineDrop, 0.9),
+        RoundPolicy::deadline(AggregationPolicy::Replace, 0.9),
+    ] {
+        let a = run_once(42, Some(faults), Some(policy));
+        let b = run_once(42, Some(faults), Some(policy));
+        assert_eq!(a, b, "faulty runs with identical seeds must be identical ({policy:?})");
+        assert!(
+            a.total_crashed() > 0,
+            "20% crash schedule over 8 rounds of k=4 should crash someone"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = run_once(42, None, None);
+    let b = run_once(43, None, None);
+    assert_ne!(a, b, "different seeds should not collide");
+}
+
+#[test]
+fn zero_fault_model_is_byte_identical_to_no_model() {
+    // An explicitly attached all-zero-probability fault model must not
+    // perturb anything: fault draws are pure hashes (no engine RNG), and
+    // the wire path is gated on lossy_prob > 0.
+    let plain = run_once(42, None, None);
+    let zeroed = run_once(42, Some(FaultModel::none(42)), Some(RoundPolicy::default()));
+    assert_eq!(plain, zeroed, "zero-rate fault model must be a no-op");
+}
+
+#[test]
+fn all_strategies_are_deterministic_under_faults() {
+    let faults = FaultModel::none(7).with(FaultSpec::Crash { prob: 0.3 });
+    let policy = RoundPolicy::deadline(AggregationPolicy::Replace, 0.9);
+    let selectors: [fn() -> Box<dyn Selector>; 3] = [
+        || Box::new(RandomSelector::new()),
+        || Box::new(TiflSelector::new(4)),
+        || Box::new(OortSelector::new()),
+    ];
+    for make in selectors {
+        let run_pair: Vec<RunResult> = (0..2)
+            .map(|_| {
+                let mut sim = build_sim(7).with_faults(faults).with_policy(policy);
+                let mut sel = make();
+                sim.run(sel.as_mut(), 8)
+            })
+            .collect();
+        assert_eq!(run_pair[0], run_pair[1], "{} must be deterministic", run_pair[0].strategy);
+    }
+}

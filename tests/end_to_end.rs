@@ -254,6 +254,98 @@ fn joining_client_is_reclustered_and_scheduled() {
 }
 
 #[test]
+fn haccs_trains_through_dropout_and_crashes() {
+    // the fig6-style stress: 10% of clients visibly unavailable each epoch
+    // AND 15% of the *selected* ones crashing mid-round, under the Replace
+    // policy. Both HACCS and Random must finish; HACCS must still learn.
+    let classes = 4;
+    let (fed, profiles) = pairs_setup(classes, 60, 31);
+    let n = fed.n_clients();
+    let availability = Availability::epoch_dropout(0.10, n, 31);
+    let faults = FaultModel::none(31).with(FaultSpec::Crash { prob: 0.15 });
+    let policy = RoundPolicy::deadline(AggregationPolicy::Replace, 0.9);
+
+    let summarizer = Summarizer::label_dist();
+    let summaries = summarize_federation(&fed, &summarizer, 31);
+    let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+
+    let mut results = Vec::new();
+    for mut selector in [
+        Box::new(HaccsSelector::new(groups, 0.5, "P(y)")) as Box<dyn Selector>,
+        Box::new(RandomSelector::new()),
+    ] {
+        let mut sim = FedSim::new(
+            mlp_factory(classes),
+            fed.clone(),
+            profiles.clone(),
+            LatencyModel::default(),
+            availability.clone(),
+            SimConfig { k: 4, seed: 31, ..Default::default() },
+        )
+        .with_faults(faults)
+        .with_policy(policy);
+        let before = sim.evaluate_global().accuracy;
+        let result = sim.run(selector.as_mut(), 15);
+        assert_eq!(result.rounds.len(), 15);
+        results.push((before, result));
+    }
+    let (before, haccs) = &results[0];
+    let after = haccs.curve.last().unwrap().accuracy;
+    assert!(
+        after > before + 0.2,
+        "HACCS must still learn under dropout + crashes: {before} -> {after}"
+    );
+    // the crash schedule actually fired on somebody, for both strategies
+    for (_, r) in &results {
+        assert!(r.total_crashed() > 0, "{}: 15% crash rate never fired in 15 rounds", r.strategy);
+    }
+}
+
+#[test]
+fn replace_policy_never_drafts_unavailable_or_crashed_clients() {
+    let classes = 4;
+    let (fed, profiles) = pairs_setup(classes, 40, 37);
+    let n = fed.n_clients();
+    let availability = Availability::epoch_dropout(0.20, n, 37);
+    let faults = FaultModel::none(37).with(FaultSpec::Crash { prob: 0.35 });
+
+    let mut selector = RandomSelector::new();
+    let mut sim = FedSim::new(
+        mlp_factory(classes),
+        fed,
+        profiles,
+        LatencyModel::default(),
+        availability.clone(),
+        SimConfig { k: 4, seed: 37, ..Default::default() },
+    )
+    .with_faults(faults)
+    .with_policy(RoundPolicy::deadline(AggregationPolicy::Replace, 0.9));
+    let result = sim.run(&mut selector, 20);
+
+    let mut drafted = 0;
+    for rec in &result.rounds {
+        for &r in &rec.faults.replacements {
+            drafted += 1;
+            assert!(
+                availability.is_available(r, rec.epoch),
+                "round {}: replacement {r} was unavailable",
+                rec.epoch
+            );
+            assert!(
+                !faults.crashes(r, rec.epoch),
+                "round {}: replacement {r} was crashed this epoch",
+                rec.epoch
+            );
+        }
+        // every aggregated participant was also visible to the scheduler
+        for &p in &rec.participants {
+            assert!(availability.is_available(p, rec.epoch));
+        }
+    }
+    assert!(drafted > 0, "35% crash rate over 20 rounds must draft at least one replacement");
+}
+
+#[test]
 fn dp_noise_degrades_clustering_but_keeps_everyone_schedulable() {
     let classes = 4;
     let (fed, _) = pairs_setup(classes, 40, 17);
