@@ -1,0 +1,220 @@
+//! Client agents: one OS thread per device, speaking only the wire
+//! protocol. An agent owns its local shard and model replica; the
+//! coordinator never touches either. Everything the server learns about a
+//! client arrives as an encoded [`Message`] inside an [`Envelope`].
+//!
+//! Transport split:
+//!
+//! * `Join`, `Leave` and enrollment-probe acks travel the *reliable* path
+//!   (membership changes ride a connection-oriented transport in a real
+//!   deployment; simulating their loss would orphan the registry),
+//! * `ModelUpdate` and heartbeat acks travel the configured
+//!   [`FaultyChannel`], whose per-attempt outcomes are pure hashes of
+//!   `(seed, stream_id, attempt)` — so the coordinator's loss/retry/byte
+//!   accounting is bit-identical to the loop engine's
+//!   [`haccs_fedsim::round::simulate_heartbeats`] even though frames here
+//!   are really produced by racing threads.
+
+use bytes::Bytes;
+use haccs_data::ClientData;
+use haccs_fedsim::round;
+use haccs_fedsim::trainer::{probe_loss, train_local, TrainConfig};
+use haccs_nn::Sequential;
+use haccs_summary::Summarizer;
+use haccs_sysmodel::{Availability, DeviceProfile};
+use haccs_wire::{ChannelError, FaultyChannel, Message, ResourceEstimate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What one agent transmission looked like from the wire's point of view.
+#[derive(Debug, Clone)]
+pub enum TransmitOutcome {
+    /// The frame (re-)transmitted its way through.
+    Delivered {
+        /// The encoded frame, ready for [`Message::decode`].
+        frame: Bytes,
+        /// Retransmissions before success.
+        retries: usize,
+        /// Total backoff the retries cost, in seconds.
+        backoff_s: f64,
+        /// Bytes put on the wire across every attempt.
+        bytes_sent: usize,
+    },
+    /// The retry budget ran out; the frame never arrived.
+    Lost {
+        /// Retransmissions attempted (= max_retries).
+        retries: usize,
+        /// Total backoff spent before giving up.
+        backoff_s: f64,
+    },
+}
+
+/// One uplink item. Agents emit exactly one envelope per downlink frame
+/// that demands a response — even for a lost frame — so the coordinator
+/// can always collect a deterministic count without timing heuristics.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Registry id of the sender.
+    pub from: usize,
+    /// Sender-side monotone sequence number (the event-queue tiebreaker).
+    pub seq: u64,
+    pub outcome: TransmitOutcome,
+}
+
+/// Everything an agent needs at spawn time.
+pub struct AgentConfig {
+    /// Registry id (also the index into availability/fault hashes).
+    pub id: usize,
+    /// Session nonce carried in `Join` and heartbeat acks.
+    pub nonce: u64,
+    /// The run's master seed (local training seeds derive from it).
+    pub seed: u64,
+    /// Seed for the privacy summary's sampling rng.
+    pub summary_seed: u64,
+    /// Local-training hyperparameters.
+    pub train: TrainConfig,
+    /// Examples used by the enrollment loss probe.
+    pub probe_max: usize,
+    /// The shared availability model (the agent goes silent on heartbeat
+    /// probes for epochs where it is unavailable).
+    pub availability: Availability,
+    /// Lossy channel for updates and heartbeat acks.
+    pub channel: FaultyChannel,
+    /// Scripted graceful departure: send `Leave` at the first heartbeat
+    /// probe of a round `>= leave_after` where the device is available.
+    pub leave_after: Option<u64>,
+}
+
+/// Builds a model instance shared across agent threads.
+pub type SharedModelFactory = Arc<dyn Fn() -> Sequential + Send + Sync>;
+
+fn reliable(msg: &Message) -> TransmitOutcome {
+    TransmitOutcome::Delivered {
+        frame: msg.encode(),
+        retries: 0,
+        backoff_s: 0.0,
+        bytes_sent: msg.wire_size(),
+    }
+}
+
+fn lossy(channel: &FaultyChannel, msg: &Message, stream_id: u64) -> TransmitOutcome {
+    match channel.transmit(msg, stream_id) {
+        Ok(d) => TransmitOutcome::Delivered {
+            frame: msg.encode(),
+            retries: d.retries as usize,
+            backoff_s: d.backoff_s,
+            bytes_sent: d.bytes_sent,
+        },
+        Err(ChannelError::RetryBudgetExhausted { attempts, backoff_s }) => {
+            TransmitOutcome::Lost { retries: attempts as usize - 1, backoff_s }
+        }
+    }
+}
+
+/// Spawns the agent thread. It immediately sends `Join` (summary +
+/// resource estimate), then serves downlink frames until the coordinator
+/// drops the downlink sender or the agent departs via `Leave`.
+pub fn spawn(
+    cfg: AgentConfig,
+    data: ClientData,
+    profile: DeviceProfile,
+    factory: SharedModelFactory,
+    summarizer: Summarizer,
+    downlink: Receiver<Bytes>,
+    uplink: Sender<Envelope>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("haccs-agent-{}", cfg.id))
+        .spawn(move || agent_main(cfg, data, profile, factory, summarizer, downlink, uplink))
+        .expect("spawn agent thread")
+}
+
+fn agent_main(
+    cfg: AgentConfig,
+    data: ClientData,
+    profile: DeviceProfile,
+    factory: SharedModelFactory,
+    summarizer: Summarizer,
+    downlink: Receiver<Bytes>,
+    uplink: Sender<Envelope>,
+) {
+    let mut seq: u64 = 0;
+    let send = |outcome: TransmitOutcome, seq: &mut u64| {
+        // a send error means the coordinator is gone; the agent just exits
+        let _ = uplink.send(Envelope { from: cfg.id, seq: *seq, outcome });
+        *seq += 1;
+    };
+
+    // 1. enroll: privacy summary + resource estimate, reliable path
+    let mut srng = StdRng::seed_from_u64(cfg.summary_seed);
+    let summary = haccs_core::summary_to_wire(&summarizer.summarize(&data.train, &mut srng));
+    let join = Message::Join {
+        client_nonce: cfg.nonce,
+        summary,
+        resources: ResourceEstimate {
+            compute_multiplier: profile.compute_multiplier as f32,
+            bandwidth_mbps: profile.bandwidth_mbps as f32,
+            rtt_ms: profile.rtt_ms as f32,
+            n_train: data.train.len() as u32,
+        },
+    };
+    send(reliable(&join), &mut seq);
+
+    let mut model = factory();
+    let mut scheduled: Option<u64> = None;
+    let mut last_loss: f32 = 0.0;
+
+    // 2. serve the coordinator until the downlink closes
+    while let Ok(frame) = downlink.recv() {
+        let msg = Message::decode(frame).expect("coordinator sent an undecodable frame");
+        match msg {
+            Message::Schedule { round, client_nonce } => {
+                debug_assert_eq!(client_nonce, cfg.nonce, "schedule for someone else");
+                scheduled = Some(round);
+            }
+            Message::ModelPush { round, params } => {
+                model.set_params(&params);
+                if scheduled == Some(round) {
+                    // selected this round: real local SGD, update over the
+                    // lossy wire. The seed matches the loop engine's.
+                    scheduled = None;
+                    let local_seed = round::local_train_seed(cfg.seed, round as usize, cfg.id);
+                    last_loss = train_local(&mut model, &data.train, &cfg.train, local_seed);
+                    let update = Message::ModelUpdate {
+                        round,
+                        params: model.get_params(),
+                        loss: last_loss,
+                        n_train: data.train.len() as u32,
+                    };
+                    let sid = round::update_stream_id(round as usize, cfg.id);
+                    send(lossy(&cfg.channel, &update, sid), &mut seq);
+                } else {
+                    // unscheduled push = enrollment sync: probe the loss and
+                    // ack reliably so the registry gets a round-0 signal
+                    last_loss = probe_loss(&mut model, &data.train, &cfg.train, cfg.probe_max);
+                    let ack = Message::Heartbeat { client_nonce: cfg.nonce, round, last_loss };
+                    send(reliable(&ack), &mut seq);
+                }
+            }
+            Message::Heartbeat { round, .. } => {
+                // server probe. Unavailable devices stay silent — exactly
+                // the clients the coordinator does not wait for.
+                if !cfg.availability.is_available(cfg.id, round as usize) {
+                    continue;
+                }
+                if cfg.leave_after.is_some_and(|r| round >= r) {
+                    let leave = Message::Leave { client_nonce: cfg.nonce, round };
+                    send(reliable(&leave), &mut seq);
+                    return; // orderly departure: the thread winds down
+                }
+                let ack = Message::Heartbeat { client_nonce: cfg.nonce, round, last_loss };
+                let sid = round::hb_stream_id(round as usize, cfg.id);
+                send(lossy(&cfg.channel, &ack, sid), &mut seq);
+            }
+            other => panic!("agent {} received unexpected frame {other:?}", cfg.id),
+        }
+    }
+}

@@ -1,0 +1,1000 @@
+//! The message-driven coordinator: federated rounds executed entirely
+//! through the wire protocol against agent threads.
+//!
+//! Structure of one round (the state machine mirrors DESIGN.md §8):
+//!
+//! ```text
+//! Enrolling --Joins processed--> Clustering --hook fired--> Selecting
+//!    Selecting --Schedule/ModelPush sent--> Dispatched
+//!    Dispatched --updates collected--> Aggregating
+//!    Aggregating --FedAvg + clock + heartbeat sweep--> Committed
+//! ```
+//!
+//! ## Determinism
+//!
+//! Agents race on OS threads, yet two same-seed runs are bit-identical:
+//!
+//! 1. every batch of uplink envelopes is drained through an
+//!    [`EventQueue`] ordered by `(time, client, seq)`, where `time` is a
+//!    *simulated* arrival (latency draw + wire backoff) and `seq` a
+//!    sender-side counter — nothing in the key depends on thread timing;
+//! 2. all registry and liveness mutations happen in drained order;
+//! 3. FedAvg admission iterates in *selection order* (itself a pure
+//!    function of the seed), the same float-summation order as
+//!    [`haccs_fedsim::FedSim`] — which is what makes the coordinator's
+//!    global model bit-identical to the loop engine's on fault-free runs,
+//!    not merely close.
+//!
+//! Wire fault outcomes are content-independent hashes of
+//! `(seed, stream_id, attempt)` shared with the loop engine's analytic
+//! accounting, so retries/losses/bytes also match the engine exactly.
+
+use crate::agent::{self, AgentConfig, Envelope, SharedModelFactory, TransmitOutcome};
+use crate::events::EventQueue;
+use crate::registry::{ClientEntry, ClientRegistry, Liveness};
+use haccs_data::{ClientData, FederatedDataset, ImageSet};
+use haccs_fedsim::engine::{AggregationPolicy, ModelFactory, RoundPolicy, SimConfig};
+use haccs_fedsim::metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
+use haccs_fedsim::round::{self, PendingUpdate, RoundAccumulator};
+use haccs_fedsim::selector::{sanitize_selection, SelectionContext, Selector};
+use haccs_fedsim::ClientInfo;
+use haccs_nn::{evaluate, Sequential};
+use haccs_summary::Summarizer;
+use haccs_sysmodel::{
+    Availability, DeviceProfile, FaultModel, HeartbeatPolicy, LatencyModel, SimClock,
+};
+use haccs_wire::{Message, WireSummary};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where the coordinator's round state machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Processing `Join` frames from newly spawned agents.
+    Enrolling,
+    /// Membership changed: the §IV-C re-clustering hook is running.
+    Clustering,
+    /// Building the pool and invoking the selector.
+    Selecting,
+    /// `Schedule`/`ModelPush` frames are out; clients are training.
+    Dispatched,
+    /// Collecting `ModelUpdate`s and applying the deadline policy.
+    Aggregating,
+    /// Round committed: model averaged, clock advanced, record written.
+    Committed,
+}
+
+/// A queued mid-training join, spawned at the next round boundary.
+struct PendingJoin {
+    data: ClientData,
+    profile: DeviceProfile,
+    leave_after: Option<u64>,
+}
+
+struct AgentHandle {
+    downlink: Option<Sender<bytes::Bytes>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Session nonce for a client id: a seed-derived hash, never the reserved
+/// probe value `0`.
+fn nonce_for(seed: u64, id: usize) -> u64 {
+    splitmix64(seed ^ (id as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)).max(1)
+}
+
+/// The §IV-C re-clustering hook for [`HaccsSelector`]: cluster the
+/// registry's wire summaries and swap the selector's groups in place.
+pub fn haccs_recluster_hook(
+    summarizer: Summarizer,
+    min_pts: usize,
+    extraction: haccs_core::ExtractionMethod,
+) -> impl FnMut(&mut haccs_core::HaccsSelector, &[(usize, WireSummary)]) {
+    move |sel, entries| {
+        let groups = haccs_core::cluster_wire_summaries(&summarizer, entries, min_pts, extraction);
+        if !groups.is_empty() {
+            sel.recluster(groups);
+        }
+    }
+}
+
+use haccs_core::HaccsSelector;
+
+/// The coordinator runtime. Generic over the selector so the §IV-C
+/// re-clustering hook can address the concrete type (see
+/// [`Coordinator::with_recluster_hook`]); any [`Selector`] plugs in
+/// unchanged.
+pub struct Coordinator<S: Selector> {
+    factory: SharedModelFactory,
+    global_params: Vec<f32>,
+    latency: LatencyModel,
+    availability: Availability,
+    cfg: SimConfig,
+    clock: SimClock,
+    eval_model: Sequential,
+    eval_set: ImageSet,
+    rng: StdRng,
+    epoch: usize,
+    result: RunResult,
+    faults: FaultModel,
+    policy: RoundPolicy,
+    hb_policy: HeartbeatPolicy,
+    summarizer: Summarizer,
+    summary_seed: u64,
+    selector: S,
+    registry: ClientRegistry,
+    agents: Vec<AgentHandle>,
+    pending: Vec<PendingJoin>,
+    uplink_tx: Sender<Envelope>,
+    uplink_rx: Receiver<Envelope>,
+    phase: RoundPhase,
+    membership_dirty: bool,
+    #[allow(clippy::type_complexity)]
+    recluster_hook: Option<Box<dyn FnMut(&mut S, &[(usize, WireSummary)])>>,
+}
+
+struct SweepOutcome {
+    missed: usize,
+    retries: usize,
+    bytes: usize,
+}
+
+impl<S: Selector> Coordinator<S> {
+    /// Assembles a coordinator over the same inputs as
+    /// [`haccs_fedsim::FedSim::new`], plus the selector it owns. Agents
+    /// are spawned lazily at the first round so builder methods can still
+    /// shape the wire before any channel exists.
+    pub fn new(
+        factory: ModelFactory,
+        fed: FederatedDataset,
+        profiles: Vec<DeviceProfile>,
+        latency: LatencyModel,
+        availability: Availability,
+        cfg: SimConfig,
+        selector: S,
+    ) -> Self {
+        assert_eq!(fed.clients.len(), profiles.len(), "one profile per client");
+        assert!(cfg.k >= 1, "k must be at least 1");
+        assert!(cfg.eval_every >= 1);
+        let global_model = factory();
+        let global_params = global_model.get_params();
+
+        // identical eval-set sampling to the loop engine (same seed salt)
+        let mut eval_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE7A1_77F0);
+        let eval_set = if fed.global_test.len() > cfg.eval_max {
+            let mut idx: Vec<usize> = (0..fed.global_test.len()).collect();
+            idx.shuffle(&mut eval_rng);
+            idx.truncate(cfg.eval_max);
+            let mut s = ImageSet::empty(
+                fed.global_test.channels(),
+                fed.global_test.side(),
+                fed.global_test.classes(),
+            );
+            for i in idx {
+                s.push(fed.global_test.image(i), fed.global_test.labels()[i]);
+            }
+            s
+        } else {
+            fed.global_test.clone()
+        };
+
+        let pending: Vec<PendingJoin> = fed
+            .clients
+            .into_iter()
+            .zip(profiles)
+            .map(|(data, profile)| PendingJoin { data, profile, leave_after: None })
+            .collect();
+        let (uplink_tx, uplink_rx) = mpsc::channel();
+
+        Coordinator {
+            factory: Arc::from(factory),
+            global_params,
+            latency,
+            availability,
+            cfg,
+            clock: SimClock::new(),
+            eval_model: global_model,
+            eval_set,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            epoch: 0,
+            result: RunResult::default(),
+            faults: FaultModel::none(cfg.seed),
+            policy: RoundPolicy::default(),
+            hb_policy: HeartbeatPolicy::default(),
+            summarizer: Summarizer::label_dist(),
+            summary_seed: cfg.seed ^ 0xD9,
+            selector,
+            registry: ClientRegistry::new(),
+            agents: Vec::new(),
+            pending,
+            uplink_tx,
+            uplink_rx,
+            phase: RoundPhase::Enrolling,
+            membership_dirty: false,
+            recluster_hook: None,
+        }
+    }
+
+    fn assert_unspawned(&self, what: &str) {
+        assert!(self.agents.is_empty(), "{what} must be configured before the first round");
+    }
+
+    /// Attaches a fault schedule (builder style; before the first round).
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.assert_unspawned("fault schedule");
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the round-execution policy (builder style).
+    pub fn with_policy(mut self, policy: RoundPolicy) -> Self {
+        self.assert_unspawned("round policy");
+        assert!(
+            (0.0..=1.0).contains(&policy.deadline_quantile),
+            "deadline quantile must be in [0, 1]"
+        );
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the heartbeat/liveness policy (builder style).
+    pub fn with_heartbeat(mut self, hb: HeartbeatPolicy) -> Self {
+        self.hb_policy = hb;
+        self
+    }
+
+    /// Sets the summarizer agents use at join time (builder style).
+    pub fn with_summarizer(mut self, summarizer: Summarizer) -> Self {
+        self.assert_unspawned("summarizer");
+        self.summarizer = summarizer;
+        self
+    }
+
+    /// Overrides the base seed client summaries derive from, so agent-side
+    /// summaries reproduce an engine-side `summarize_federation` call.
+    pub fn with_summary_seed(mut self, seed: u64) -> Self {
+        self.assert_unspawned("summary seed");
+        self.summary_seed = seed;
+        self
+    }
+
+    /// Installs the §IV-C re-clustering hook, invoked (in the
+    /// `Clustering` phase) whenever membership changed since the previous
+    /// round: after mid-training joins, departures and evictions. For
+    /// HACCS use [`haccs_recluster_hook`].
+    pub fn with_recluster_hook(
+        mut self,
+        hook: impl FnMut(&mut S, &[(usize, WireSummary)]) + 'static,
+    ) -> Self {
+        self.recluster_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Scripts a graceful departure for a not-yet-spawned client: at the
+    /// first heartbeat probe of a round `>= round` where the device is
+    /// available, its agent sends `Leave` and winds down.
+    pub fn with_leave_after(mut self, id: usize, round: u64) -> Self {
+        let base = self.agents.len();
+        let slot = id
+            .checked_sub(base)
+            .and_then(|i| self.pending.get_mut(i))
+            .unwrap_or_else(|| panic!("client {id} is not pending (already spawned or unknown)"));
+        slot.leave_after = Some(round);
+        self
+    }
+
+    /// Queues a mid-training join (§IV-C). The agent spawns — and the
+    /// re-clustering hook fires — at the next round boundary. Returns the
+    /// id the client will enroll under.
+    pub fn add_client(&mut self, data: ClientData, profile: DeviceProfile) -> usize {
+        let id = self.agents.len() + self.pending.len();
+        self.pending.push(PendingJoin { data, profile, leave_after: None });
+        id
+    }
+
+    /// [`Self::add_client`] with a scripted departure round.
+    pub fn add_client_leaving_after(
+        &mut self,
+        data: ClientData,
+        profile: DeviceProfile,
+        round: u64,
+    ) -> usize {
+        let id = self.add_client(data, profile);
+        self.pending.last_mut().unwrap().leave_after = Some(round);
+        id
+    }
+
+    /// Current phase of the round state machine.
+    pub fn phase(&self) -> RoundPhase {
+        self.phase
+    }
+
+    /// The membership/liveness registry.
+    pub fn registry(&self) -> &ClientRegistry {
+        &self.registry
+    }
+
+    pub fn selector(&self) -> &S {
+        &self.selector
+    }
+
+    pub fn selector_mut(&mut self) -> &mut S {
+        &mut self.selector
+    }
+
+    /// Current epoch (rounds completed).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The current global parameter vector.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global_params
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // transport plumbing
+    // ------------------------------------------------------------------
+
+    fn send_to(&self, id: usize, msg: &Message) {
+        if let Some(tx) = &self.agents[id].downlink {
+            // a send error means the agent already wound down (departed)
+            let _ = tx.send(msg.encode());
+        }
+    }
+
+    fn recv_envelope(&self) -> Envelope {
+        match self.uplink_rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(e) => e,
+            Err(e) => panic!(
+                "coordinator starved waiting for agent traffic in phase {:?}, epoch {}: {e:?}",
+                self.phase, self.epoch
+            ),
+        }
+    }
+
+    /// Collects exactly `n` envelopes and returns them in deterministic
+    /// `(time, client, seq)` order, timing each at its simulated arrival:
+    /// effective latency plus wire backoff.
+    fn collect_timed(&self, n: usize, epoch: usize) -> Vec<(usize, TransmitOutcome)> {
+        let mut q = EventQueue::new();
+        for _ in 0..n {
+            let env = self.recv_envelope();
+            let backoff = match &env.outcome {
+                TransmitOutcome::Delivered { backoff_s, .. } => *backoff_s,
+                TransmitOutcome::Lost { backoff_s, .. } => *backoff_s,
+            };
+            let t = self.effective_latency(env.from, epoch) + backoff;
+            q.push(t, env.from, env.seq, env.outcome);
+        }
+        q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect()
+    }
+
+    /// Collects exactly `n` envelopes from clients that may not be in the
+    /// registry yet (enrollment), ordered by `(client, seq)`.
+    fn collect_uniform(&self, n: usize) -> Vec<(usize, TransmitOutcome)> {
+        let mut q = EventQueue::new();
+        for _ in 0..n {
+            let env = self.recv_envelope();
+            q.push(0.0, env.from, env.seq, env.outcome);
+        }
+        q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect()
+    }
+
+    fn decode_delivered(outcome: TransmitOutcome) -> Message {
+        match outcome {
+            TransmitOutcome::Delivered { frame, .. } => {
+                Message::decode(frame).expect("agent sent an undecodable frame")
+            }
+            TransmitOutcome::Lost { .. } => panic!("reliable-path frame reported lost"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // enrollment / membership
+    // ------------------------------------------------------------------
+
+    /// Spawns pending agents, processes their `Join`s, probes their
+    /// initial losses and — when membership changed mid-training — runs
+    /// the §IV-C re-clustering hook.
+    fn ensure_enrolled(&mut self) {
+        if !self.pending.is_empty() {
+            let first_enrollment = self.registry.is_empty();
+            self.phase = RoundPhase::Enrolling;
+            let batch = std::mem::take(&mut self.pending);
+            let n_new = batch.len();
+            let mut spawn_meta: HashMap<usize, (DeviceProfile, usize)> = HashMap::new();
+
+            for p in batch {
+                let id = self.agents.len();
+                spawn_meta.insert(id, (p.profile, p.data.train.len()));
+                let (down_tx, down_rx) = mpsc::channel();
+                let acfg = AgentConfig {
+                    id,
+                    nonce: nonce_for(self.cfg.seed, id),
+                    seed: self.cfg.seed,
+                    summary_seed: haccs_core::client_summary_seed(self.summary_seed, id),
+                    train: self.cfg.train,
+                    probe_max: self.cfg.probe_max,
+                    availability: self.availability.clone(),
+                    channel: round::wire_channel(&self.faults, &self.policy),
+                    leave_after: p.leave_after,
+                };
+                let thread = agent::spawn(
+                    acfg,
+                    p.data,
+                    p.profile,
+                    Arc::clone(&self.factory),
+                    self.summarizer,
+                    down_rx,
+                    self.uplink_tx.clone(),
+                );
+                self.agents.push(AgentHandle { downlink: Some(down_tx), thread: Some(thread) });
+            }
+
+            // Joins arrive in racing order; the queue restores id order
+            let mut new_ids = Vec::with_capacity(n_new);
+            for (id, outcome) in self.collect_uniform(n_new) {
+                let (profile, n_train) = spawn_meta[&id];
+                match Self::decode_delivered(outcome) {
+                    Message::Join { client_nonce, summary, resources } => {
+                        self.registry.enroll(ClientEntry {
+                            id,
+                            nonce: client_nonce,
+                            profile,
+                            resources,
+                            summary,
+                            n_train,
+                            last_loss: None,
+                            participation_count: 0,
+                            liveness: Liveness::Joined,
+                            missed_heartbeats: 0,
+                        });
+                        new_ids.push(id);
+                    }
+                    other => panic!("expected Join from client {id}, got {other:?}"),
+                }
+            }
+
+            // enrollment sync: push the current global model (unscheduled),
+            // agents probe their loss and ack — the round-0 loss signal the
+            // loop engine gets from its construction-time probe pass
+            for &id in &new_ids {
+                let push = Message::ModelPush {
+                    round: self.epoch as u64,
+                    params: self.global_params.clone(),
+                };
+                self.send_to(id, &push);
+            }
+            for (id, outcome) in self.collect_uniform(new_ids.len()) {
+                match Self::decode_delivered(outcome) {
+                    Message::Heartbeat { last_loss, .. } => {
+                        self.registry.get_mut(id).last_loss = Some(last_loss);
+                    }
+                    other => panic!("expected enrollment ack from client {id}, got {other:?}"),
+                }
+            }
+
+            // the initial federation is clustered by whoever built the
+            // selector; only *changes* to membership re-cluster
+            if !first_enrollment {
+                self.membership_dirty = true;
+            }
+        }
+
+        if self.membership_dirty {
+            self.phase = RoundPhase::Clustering;
+            if let Some(hook) = self.recluster_hook.as_mut() {
+                hook(&mut self.selector, &self.registry.member_summaries());
+            }
+            self.membership_dirty = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // latency views (identical math to the loop engine, fed from the
+    // registry's spawn-time profiles)
+    // ------------------------------------------------------------------
+
+    /// Expected §IV-D round latency of client `id`.
+    pub fn expected_latency(&self, id: usize) -> f64 {
+        let e = self.registry.get(id);
+        round::expected_round_latency(&self.latency, &e.profile, &self.cfg.train, e.n_train)
+    }
+
+    fn effective_latency(&self, id: usize, epoch: usize) -> f64 {
+        let base = self.expected_latency(id);
+        if self.faults.straggles(id, epoch) {
+            base * self.faults.straggler_slowdown
+        } else {
+            base
+        }
+    }
+
+    /// Scheduling view ([`ClientInfo`]) of the given client ids.
+    pub fn client_infos(&self, ids: &[usize]) -> Vec<ClientInfo> {
+        ids.iter()
+            .map(|&id| {
+                let e = self.registry.get(id);
+                ClientInfo {
+                    id,
+                    est_latency: self.expected_latency(id),
+                    last_loss: e.last_loss.unwrap_or(f32::MAX),
+                    n_train: e.n_train,
+                    participation_count: e.participation_count,
+                }
+            })
+            .collect()
+    }
+
+    fn round_deadline(&self, pool: &[usize]) -> f64 {
+        let lats: Vec<f64> = pool.iter().map(|&id| self.expected_latency(id)).collect();
+        round::deadline_quantile(lats, self.policy.deadline_quantile)
+    }
+
+    // ------------------------------------------------------------------
+    // the round itself
+    // ------------------------------------------------------------------
+
+    /// Runs one round through the wire. Returns the round record.
+    pub fn run_round(&mut self) -> RoundRecord {
+        self.ensure_enrolled();
+        self.phase = RoundPhase::Selecting;
+        let pool = self.registry.selectable(self.epoch, &self.availability);
+        let infos = self.client_infos(&pool);
+        let ctx = SelectionContext { epoch: self.epoch, available: &infos, k: self.cfg.k };
+        let raw = self.selector.select(&ctx, &mut self.rng);
+        let selected = sanitize_selection(raw, &ctx);
+
+        let record = if selected.is_empty() {
+            // idle tick, mirroring the loop engine exactly
+            self.clock.advance(1.0);
+            RoundRecord {
+                epoch: self.epoch,
+                time_s: self.clock.now(),
+                round_seconds: 1.0,
+                participants: Vec::new(),
+                mean_local_loss: f32::NAN,
+                faults: FaultStats::default(),
+            }
+        } else {
+            self.execute_round(selected, &pool)
+        };
+        self.phase = RoundPhase::Committed;
+
+        self.result.rounds.push(record.clone());
+        self.epoch += 1;
+        if self.epoch.is_multiple_of(self.cfg.eval_every) {
+            let tp = self.evaluate_global();
+            self.result.curve.push(tp);
+        }
+        record
+    }
+
+    fn execute_round(&mut self, selected: Vec<usize>, pool: &[usize]) -> RoundRecord {
+        let epoch = self.epoch;
+
+        // fault draws + effective latencies for the selected set
+        let draws: Vec<(usize, bool, f64)> = selected
+            .iter()
+            .map(|&id| {
+                let d = self.faults.draw(id, epoch);
+                (id, d.crashed, self.effective_latency(id, epoch))
+            })
+            .collect();
+
+        let deadline = match self.policy.aggregation {
+            AggregationPolicy::WaitForAll => None,
+            _ => Some(self.round_deadline(pool)),
+        };
+        let mut acc = RoundAccumulator::new(deadline);
+        acc.stats.crashed = draws.iter().filter(|(_, crashed, _)| *crashed).count();
+        acc.stats.stragglers = selected
+            .iter()
+            .filter(|&&id| self.faults.straggles(id, epoch) && !self.faults.crashes(id, epoch))
+            .count();
+
+        // crashed clients never deliver; deadline-precut clients are
+        // discarded unseen — neither gets a ModelPush
+        let mut trainees: Vec<usize> = Vec::with_capacity(selected.len());
+        for &(id, crashed, lat) in &draws {
+            if crashed {
+                acc.record_crash(lat);
+            } else if deadline.is_some_and(|d| lat > d) {
+                acc.record_deadline_precut(lat);
+            } else {
+                trainees.push(id);
+            }
+        }
+
+        // dispatch: schedule everyone selected, push the model to trainees
+        self.phase = RoundPhase::Dispatched;
+        for &id in &selected {
+            let nonce = self.registry.get(id).nonce;
+            self.send_to(id, &Message::Schedule { round: epoch as u64, client_nonce: nonce });
+        }
+        let push = Message::ModelPush { round: epoch as u64, params: self.global_params.clone() };
+        for &id in &trainees {
+            self.send_to(id, &push);
+        }
+
+        // collect exactly one envelope per trainee; admit in selection
+        // order (see the module docs' determinism argument)
+        self.phase = RoundPhase::Aggregating;
+        let mut outcomes: HashMap<usize, TransmitOutcome> =
+            self.collect_timed(trainees.len(), epoch).into_iter().collect();
+        for &id in &trainees {
+            let lat = draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap();
+            self.admit(&mut acc, id, lat, outcomes.remove(&id), epoch, false);
+        }
+
+        // Replace policy: draft live substitutes from the unselected pool
+        let n_failed = selected.len() - acc.updates.len();
+        if self.policy.aggregation == AggregationPolicy::Replace && n_failed > 0 {
+            let taken: std::collections::HashSet<usize> = selected.iter().copied().collect();
+            let pool2: Vec<usize> = pool
+                .iter()
+                .copied()
+                .filter(|&id| !taken.contains(&id) && !self.faults.crashes(id, epoch))
+                .collect();
+            if !pool2.is_empty() {
+                let pool_infos = self.client_infos(&pool2);
+                let rctx = SelectionContext { epoch, available: &pool_infos, k: n_failed };
+                let raw = self.selector.select(&rctx, &mut self.rng);
+                let replacements = sanitize_selection(raw, &rctx);
+                for &id in &replacements {
+                    let nonce = self.registry.get(id).nonce;
+                    self.send_to(
+                        id,
+                        &Message::Schedule { round: epoch as u64, client_nonce: nonce },
+                    );
+                    self.send_to(id, &push);
+                }
+                let mut routs: HashMap<usize, TransmitOutcome> =
+                    self.collect_timed(replacements.len(), epoch).into_iter().collect();
+                for &id in &replacements {
+                    let lat = self.effective_latency(id, epoch);
+                    self.admit(&mut acc, id, lat, routs.remove(&id), epoch, true);
+                }
+            }
+        }
+
+        // FedAvg + server-side telemetry
+        acc.fedavg(&mut self.global_params);
+        for u in &acc.updates {
+            let e = self.registry.get_mut(u.id);
+            e.last_loss = Some(u.loss);
+            e.participation_count += 1;
+        }
+
+        let draw_lats: Vec<f64> = draws.iter().map(|&(_, _, lat)| lat).collect();
+        let round_seconds = round::round_duration(
+            self.policy.aggregation,
+            deadline,
+            &acc.arrivals,
+            &draw_lats,
+            &acc.replacement_arrivals,
+        );
+        self.clock.advance(round_seconds);
+
+        // heartbeat sweep over real agent acks
+        let hb = self.heartbeat_sweep(epoch);
+        acc.stats.retries += hb.retries;
+        acc.stats.hb_missed = hb.missed;
+        let schedule_size = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
+        acc.stats.control_bytes =
+            (selected.len() + acc.stats.replacements.len()) * schedule_size + hb.bytes;
+
+        // selector feedback
+        let losses: Vec<f32> = acc.updates.iter().map(|u| u.loss).collect();
+        let ids = acc.participant_ids();
+        self.selector.observe_round(epoch, &ids, &losses);
+        let aggregated: std::collections::HashSet<usize> = ids.iter().copied().collect();
+        let failed: Vec<usize> =
+            selected.iter().copied().filter(|id| !aggregated.contains(id)).collect();
+        if !failed.is_empty() {
+            self.selector.observe_faults(epoch, &failed);
+        }
+
+        RoundRecord {
+            epoch,
+            time_s: self.clock.now(),
+            round_seconds,
+            participants: ids,
+            mean_local_loss: acc.mean_local_loss(),
+            faults: acc.stats,
+        }
+    }
+
+    /// Feeds one trainee's wire outcome into the accumulator, mirroring
+    /// the loop engine's delivery/loss bookkeeping exactly.
+    fn admit(
+        &self,
+        acc: &mut RoundAccumulator,
+        id: usize,
+        lat: f64,
+        outcome: Option<TransmitOutcome>,
+        epoch: usize,
+        replacement: bool,
+    ) {
+        match outcome.unwrap_or_else(|| panic!("no envelope from trainee {id}")) {
+            TransmitOutcome::Delivered { frame, retries, backoff_s, .. } => {
+                match Message::decode(frame).expect("agent sent an undecodable update") {
+                    Message::ModelUpdate { round, params, loss, n_train } => {
+                        debug_assert_eq!(round as usize, epoch, "update for the wrong round");
+                        let pending = PendingUpdate { id, params, loss, n_train: n_train as usize };
+                        acc.record_delivery(pending, lat, backoff_s, retries, replacement);
+                    }
+                    other => panic!("expected ModelUpdate from {id}, got {other:?}"),
+                }
+            }
+            TransmitOutcome::Lost { retries, backoff_s } => {
+                acc.record_wire_loss(retries, lat, backoff_s);
+            }
+        }
+    }
+
+    /// Probes every non-departed client, collects acks/`Leave`s from the
+    /// available ones, and applies liveness transitions in deterministic
+    /// order. Silent (unavailable) clients accrue a miss. Pure byte and
+    /// liveness accounting — never stretches the round.
+    fn heartbeat_sweep(&mut self, epoch: usize) -> SweepOutcome {
+        if !self.hb_policy.probes_in_round(epoch as u64) {
+            return SweepOutcome { missed: 0, retries: 0, bytes: 0 };
+        }
+        let hb_size = Message::Heartbeat { client_nonce: 0, round: 0, last_loss: 0.0 }.wire_size();
+        let probed = self.registry.probed_ids();
+        let responders: Vec<usize> = probed
+            .iter()
+            .copied()
+            .filter(|&id| self.availability.is_available(id, epoch))
+            .collect();
+
+        let probe = Message::Heartbeat { client_nonce: 0, round: epoch as u64, last_loss: 0.0 };
+        for &id in &probed {
+            self.send_to(id, &probe);
+        }
+        let mut out = SweepOutcome {
+            missed: probed.len() - responders.len(),
+            retries: 0,
+            bytes: probed.len() * hb_size,
+        };
+
+        let mut acked: Vec<(usize, f32)> = Vec::new();
+        let mut lost: Vec<usize> = Vec::new();
+        let mut leaves: Vec<usize> = Vec::new();
+        for (id, outcome) in self.collect_timed(responders.len(), epoch) {
+            match outcome {
+                TransmitOutcome::Delivered { frame, retries, bytes_sent, .. } => {
+                    out.retries += retries;
+                    out.bytes += bytes_sent;
+                    match Message::decode(frame).expect("agent sent an undecodable ack") {
+                        Message::Heartbeat { client_nonce, last_loss, .. } => {
+                            debug_assert_eq!(self.registry.nonce_to_id(client_nonce), Some(id));
+                            acked.push((id, last_loss));
+                        }
+                        Message::Leave { .. } => leaves.push(id),
+                        other => panic!("expected ack/Leave from {id}, got {other:?}"),
+                    }
+                }
+                TransmitOutcome::Lost { retries, .. } => {
+                    out.retries += retries;
+                    out.bytes += (retries + 1) * hb_size;
+                    out.missed += 1;
+                    lost.push(id);
+                }
+            }
+        }
+
+        // liveness transitions, in deterministic id order per class
+        for (id, loss) in acked {
+            self.registry.observe_heartbeat(id, loss);
+        }
+        for id in leaves {
+            self.registry.observe_leave(id);
+            self.agents[id].downlink = None; // the thread already returned
+            self.membership_dirty = true;
+        }
+        let silent: Vec<usize> =
+            probed.iter().copied().filter(|id| !responders.contains(id)).collect();
+        for id in silent.into_iter().chain(lost) {
+            use haccs_sysmodel::LivenessVerdict;
+            if self.registry.observe_miss(id, &self.hb_policy) == LivenessVerdict::Evicted {
+                self.agents[id].downlink = None;
+                self.membership_dirty = true;
+            }
+        }
+        out
+    }
+
+    /// Evaluates the current global model on the (sampled) pooled test
+    /// set — identical readout to the loop engine's.
+    pub fn evaluate_global(&mut self) -> TimePoint {
+        self.eval_model.set_params(&self.global_params);
+        let (x, y) = if self.cfg.train.wants_images {
+            (self.eval_set.tensor_nchw(), self.eval_set.labels().to_vec())
+        } else {
+            (self.eval_set.tensor_flat(), self.eval_set.labels().to_vec())
+        };
+        let r = evaluate(&mut self.eval_model, &x, &y, self.cfg.eval_batch);
+        TimePoint {
+            time_s: self.clock.now(),
+            epoch: self.epoch,
+            accuracy: r.accuracy,
+            loss: r.loss,
+        }
+    }
+
+    /// Runs `rounds` rounds and returns the accumulated result.
+    pub fn run(&mut self, rounds: usize) -> RunResult {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+        let mut out = self.result.clone();
+        out.strategy = self.selector.name();
+        out
+    }
+}
+
+impl<S: Selector> Drop for Coordinator<S> {
+    fn drop(&mut self) {
+        // closing every downlink unblocks the agent loops; join so no
+        // thread outlives the runtime
+        for a in &mut self.agents {
+            a.downlink = None;
+        }
+        for a in &mut self.agents {
+            if let Some(t) = a.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+// HaccsSelector-specific convenience so callers don't need to thread the
+// concrete type through `with_recluster_hook` themselves.
+impl Coordinator<HaccsSelector> {
+    /// Installs [`haccs_recluster_hook`] with the coordinator's own
+    /// summarizer.
+    pub fn with_haccs_reclustering(
+        self,
+        min_pts: usize,
+        extraction: haccs_core::ExtractionMethod,
+    ) -> Self {
+        let summarizer = self.summarizer;
+        self.with_recluster_hook(haccs_recluster_hook(summarizer, min_pts, extraction))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::{partition, SynthVision};
+    use haccs_nn::mlp;
+
+    struct FirstK;
+    impl Selector for FirstK {
+        fn name(&self) -> String {
+            "first-k".into()
+        }
+        fn select(&mut self, ctx: &SelectionContext<'_>, _rng: &mut StdRng) -> Vec<usize> {
+            ctx.available.iter().take(ctx.k).map(|c| c.id).collect()
+        }
+    }
+
+    fn build_coord(n_clients: usize, availability: Availability) -> Coordinator<FirstK> {
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(n_clients, 4, 60, 16);
+        let fed = FederatedDataset::materialize(&gen, &specs, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let profiles = DeviceProfile::sample_many(n_clients, &mut rng);
+        let factory: ModelFactory = Box::new(|| mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
+        Coordinator::new(
+            factory,
+            fed,
+            profiles,
+            LatencyModel::default(),
+            availability,
+            SimConfig { k: 3, seed: 5, ..Default::default() },
+            FirstK,
+        )
+    }
+
+    #[test]
+    fn enrollment_fills_registry_via_wire() {
+        let mut c = build_coord(5, Availability::AlwaysOn);
+        assert_eq!(c.phase(), RoundPhase::Enrolling);
+        c.run_round();
+        assert_eq!(c.phase(), RoundPhase::Committed);
+        assert_eq!(c.registry().len(), 5);
+        for e in c.registry().entries() {
+            assert_eq!(e.liveness, Liveness::Alive);
+            assert!(e.last_loss.unwrap().is_finite());
+            assert!(!e.summary.histograms.is_empty(), "Join must carry the summary");
+            assert_eq!(e.resources.n_train, 60);
+        }
+    }
+
+    #[test]
+    fn coordinator_round_matches_engine_shape() {
+        let mut c = build_coord(6, Availability::AlwaysOn);
+        let rec = c.run_round();
+        assert_eq!(rec.participants.len(), 3);
+        assert!(rec.round_seconds > 0.0);
+        assert!(rec.faults.control_bytes > 0, "control traffic must be charged");
+        assert_eq!(rec.faults.hb_missed, 0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical() {
+        let r1 = build_coord(6, Availability::AlwaysOn).run(4);
+        let r2 = build_coord(6, Availability::AlwaysOn).run(4);
+        assert_eq!(r1.rounds, r2.rounds);
+        assert_eq!(r1.curve.len(), r2.curve.len());
+        for (a, b) in r1.curve.iter().zip(&r2.curve) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn unavailable_clients_accrue_misses_and_get_suspected() {
+        // client 0 permanently unavailable: silent on every probe
+        let mut c = build_coord(4, Availability::permanent([0]))
+            .with_heartbeat(HeartbeatPolicy::new(1, 2, 4));
+        c.run_round();
+        assert_eq!(c.registry().get(0).missed_heartbeats, 1);
+        c.run_round();
+        assert_eq!(c.registry().get(0).liveness, Liveness::Suspected);
+        c.run_round();
+        c.run_round();
+        assert_eq!(c.registry().get(0).liveness, Liveness::Left);
+    }
+
+    #[test]
+    fn scripted_leave_marks_left_and_stops_selection() {
+        let mut c = build_coord(4, Availability::AlwaysOn).with_leave_after(0, 1);
+        c.run_round(); // round 0: client 0 still acks
+        assert_eq!(c.registry().get(0).liveness, Liveness::Alive);
+        c.run_round(); // round 1: probe triggers Leave
+        assert_eq!(c.registry().get(0).liveness, Liveness::Left);
+        let rec = c.run_round();
+        assert!(!rec.participants.contains(&0), "departed client selected");
+    }
+
+    #[test]
+    fn mid_training_join_is_schedulable_next_round() {
+        let mut c = build_coord(3, Availability::AlwaysOn);
+        c.run_round();
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(1, 4, 30, 8);
+        let fed = FederatedDataset::materialize(&gen, &specs, 99);
+        let id = c.add_client(fed.clients[0].clone(), DeviceProfile::uniform_fast());
+        assert_eq!(id, 3);
+        assert_eq!(c.registry().len(), 3, "join is queued, not yet enrolled");
+        c.run_round();
+        assert_eq!(c.registry().len(), 4);
+        assert!(c.registry().get(3).last_loss.unwrap().is_finite());
+    }
+}

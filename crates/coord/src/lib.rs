@@ -1,0 +1,35 @@
+//! # haccs-coord
+//!
+//! A message-driven coordinator runtime for the HACCS federation: the
+//! same federated rounds [`haccs_fedsim::FedSim`] executes as a loop, run
+//! instead as a distributed system in miniature. Client agents live on
+//! their own OS threads, own their data and model replicas, and talk to
+//! the server exclusively in encoded [`haccs_wire::Message`] frames;
+//! the coordinator drives an explicit round state machine, a liveness
+//! registry fed by heartbeats on the simulated clock, and the §IV-C
+//! dynamic-membership path (mid-training joins, graceful leaves,
+//! suspicion and eviction) — with any [`haccs_fedsim::Selector`]
+//! plugged in unchanged.
+//!
+//! Pieces:
+//!
+//! * [`events::EventQueue`] — total order `(time, client, seq)` over
+//!   racing agent traffic; the determinism backbone,
+//! * [`registry::ClientRegistry`] — per-client membership, telemetry and
+//!   the `Joined → Alive ⇄ Suspected → Left` liveness machine,
+//! * [`agent`] — the client side: enroll, train on `ModelPush`, ack
+//!   heartbeats, depart gracefully,
+//! * [`coordinator::Coordinator`] — the server side: enroll → cluster →
+//!   select → dispatch → aggregate → commit, bit-identical to the loop
+//!   engine on fault-free same-seed runs (`tests/coordinator_parity.rs`
+//!   pins this).
+
+pub mod agent;
+pub mod coordinator;
+pub mod events;
+pub mod registry;
+
+pub use agent::{AgentConfig, Envelope, TransmitOutcome};
+pub use coordinator::{haccs_recluster_hook, Coordinator, RoundPhase};
+pub use events::{Event, EventQueue};
+pub use registry::{ClientEntry, ClientRegistry, Liveness};

@@ -1,0 +1,251 @@
+//! The coordinator's client registry: everything the server knows about an
+//! enrolled client, including the liveness state machine driven by
+//! heartbeat probes on the simulated clock.
+//!
+//! Liveness transitions (policy thresholds from
+//! [`haccs_sysmodel::HeartbeatPolicy`]):
+//!
+//! ```text
+//! Joined --Join processed--> Alive
+//! Alive --misses >= suspect_after--> Suspected   (leaves the schedulable pool)
+//! Suspected --ack--> Alive                        (miss streak resets)
+//! Suspected --misses >= evict_after--> Left       (permanent)
+//! any --Leave frame--> Left                       (graceful departure)
+//! ```
+
+use haccs_sysmodel::{Availability, DeviceProfile, HeartbeatPolicy, LivenessVerdict};
+use haccs_wire::{ResourceEstimate, WireSummary};
+use std::collections::HashMap;
+
+/// Where a client sits in the membership lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Spawned but its `Join` has not been processed yet.
+    Joined,
+    /// Enrolled and responding; eligible for selection.
+    Alive,
+    /// Missed enough consecutive heartbeats to be excluded from selection,
+    /// but still probed — an ack restores `Alive`.
+    Suspected,
+    /// Departed (graceful `Leave` or eviction). Never probed or selected
+    /// again.
+    Left,
+}
+
+/// Server-side record for one enrolled client.
+#[derive(Debug, Clone)]
+pub struct ClientEntry {
+    /// Registry id — doubles as the client index in the shared
+    /// [`Availability`] model and fault hashes.
+    pub id: usize,
+    /// Session nonce from the client's `Join` frame.
+    pub nonce: u64,
+    /// Spawn-time device profile. Latency math uses these f64 fields
+    /// directly; the f32 [`ResourceEstimate`] that crossed the wire is
+    /// informational (an f32 round-trip would perturb simulated latencies).
+    pub profile: DeviceProfile,
+    /// The resource estimate exactly as received off the wire.
+    pub resources: ResourceEstimate,
+    /// Data summary from the `Join` frame, kept for §IV-C re-clustering.
+    pub summary: WireSummary,
+    /// Training-set size (from the wire resource estimate, exact in u32).
+    pub n_train: usize,
+    /// Most recent local loss (enrollment probe, round update, or
+    /// heartbeat ack).
+    pub last_loss: Option<f32>,
+    /// Rounds this client's update was admitted to the global model.
+    pub participation_count: usize,
+    pub liveness: Liveness,
+    /// Consecutive missed heartbeat probes.
+    pub missed_heartbeats: u32,
+}
+
+/// Registry of every client that ever joined. Ids are dense and never
+/// reused; departed clients stay as `Left` tombstones.
+#[derive(Debug, Default)]
+pub struct ClientRegistry {
+    entries: Vec<ClientEntry>,
+    by_nonce: HashMap<u64, usize>,
+}
+
+impl ClientRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients ever enrolled (including `Left` tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reserves the next registry id for a spawning agent.
+    pub fn next_id(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records a processed `Join`. The entry starts `Alive`: the frame
+    /// itself is evidence of liveness.
+    pub fn enroll(&mut self, mut entry: ClientEntry) -> usize {
+        assert_eq!(entry.id, self.entries.len(), "registry ids must be dense");
+        entry.liveness = Liveness::Alive;
+        entry.missed_heartbeats = 0;
+        self.by_nonce.insert(entry.nonce, entry.id);
+        let id = entry.id;
+        self.entries.push(entry);
+        id
+    }
+
+    pub fn get(&self, id: usize) -> &ClientEntry {
+        &self.entries[id]
+    }
+
+    pub fn get_mut(&mut self, id: usize) -> &mut ClientEntry {
+        &mut self.entries[id]
+    }
+
+    pub fn nonce_to_id(&self, nonce: u64) -> Option<usize> {
+        self.by_nonce.get(&nonce).copied()
+    }
+
+    pub fn entries(&self) -> &[ClientEntry] {
+        &self.entries
+    }
+
+    /// Ids the coordinator still probes: everyone not `Left`, ascending.
+    pub fn probed_ids(&self) -> Vec<usize> {
+        self.entries.iter().filter(|e| e.liveness != Liveness::Left).map(|e| e.id).collect()
+    }
+
+    /// The schedulable pool for `epoch`: `Alive` ∧ available, ascending —
+    /// the coordinator's analogue of
+    /// [`Availability::available_clients`](haccs_sysmodel::Availability).
+    pub fn selectable(&self, epoch: usize, availability: &Availability) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter(|e| e.liveness == Liveness::Alive && availability.is_available(e.id, epoch))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// `(id, summary)` pairs for every non-departed client — the input to
+    /// the §IV-C re-clustering hook. `Suspected` clients are included:
+    /// they may ack their way back into the pool and must stay clustered.
+    pub fn member_summaries(&self) -> Vec<(usize, WireSummary)> {
+        self.entries
+            .iter()
+            .filter(|e| e.liveness != Liveness::Left)
+            .map(|e| (e.id, e.summary.clone()))
+            .collect()
+    }
+
+    /// A heartbeat ack arrived: the miss streak resets and a `Suspected`
+    /// client is restored to `Alive`.
+    pub fn observe_heartbeat(&mut self, id: usize, last_loss: f32) {
+        let e = &mut self.entries[id];
+        if e.liveness == Liveness::Left {
+            return;
+        }
+        e.missed_heartbeats = 0;
+        e.liveness = Liveness::Alive;
+        e.last_loss = Some(last_loss);
+    }
+
+    /// A probe went unanswered (silent client or ack lost on the wire).
+    /// Returns the verdict the policy assigns to the new miss streak.
+    pub fn observe_miss(&mut self, id: usize, policy: &HeartbeatPolicy) -> LivenessVerdict {
+        let e = &mut self.entries[id];
+        if e.liveness == Liveness::Left {
+            return LivenessVerdict::Evicted;
+        }
+        e.missed_heartbeats += 1;
+        let verdict = policy.classify(e.missed_heartbeats);
+        e.liveness = match verdict {
+            LivenessVerdict::Alive => e.liveness,
+            LivenessVerdict::Suspected => Liveness::Suspected,
+            LivenessVerdict::Evicted => Liveness::Left,
+        };
+        verdict
+    }
+
+    /// A graceful `Leave` frame was processed.
+    pub fn observe_leave(&mut self, id: usize) {
+        self.entries[id].liveness = Liveness::Left;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize) -> ClientEntry {
+        ClientEntry {
+            id,
+            nonce: 0xABC0 + id as u64,
+            profile: DeviceProfile::uniform_fast(),
+            resources: ResourceEstimate {
+                compute_multiplier: 1.0,
+                bandwidth_mbps: 100.0,
+                rtt_ms: 20.0,
+                n_train: 100,
+            },
+            summary: WireSummary { histograms: vec![vec![1.0]], prevalence: vec![] },
+            n_train: 100,
+            last_loss: None,
+            participation_count: 0,
+            liveness: Liveness::Joined,
+            missed_heartbeats: 0,
+        }
+    }
+
+    #[test]
+    fn enroll_marks_alive_and_indexes_nonce() {
+        let mut r = ClientRegistry::new();
+        let id = r.enroll(entry(0));
+        assert_eq!(id, 0);
+        assert_eq!(r.get(0).liveness, Liveness::Alive);
+        assert_eq!(r.nonce_to_id(0xABC0), Some(0));
+        assert_eq!(r.nonce_to_id(0xDEAD), None);
+    }
+
+    #[test]
+    fn miss_streak_walks_suspected_then_left_and_ack_recovers() {
+        let mut r = ClientRegistry::new();
+        r.enroll(entry(0));
+        let p = HeartbeatPolicy::new(1, 2, 4);
+        assert_eq!(r.observe_miss(0, &p), LivenessVerdict::Alive);
+        assert_eq!(r.observe_miss(0, &p), LivenessVerdict::Suspected);
+        assert_eq!(r.get(0).liveness, Liveness::Suspected);
+        // ack restores Alive and resets the streak
+        r.observe_heartbeat(0, 0.5);
+        assert_eq!(r.get(0).liveness, Liveness::Alive);
+        assert_eq!(r.get(0).missed_heartbeats, 0);
+        assert_eq!(r.get(0).last_loss, Some(0.5));
+        for _ in 0..4 {
+            r.observe_miss(0, &p);
+        }
+        assert_eq!(r.get(0).liveness, Liveness::Left);
+        // Left is permanent: a late ack no longer resurrects the client
+        r.observe_heartbeat(0, 0.1);
+        assert_eq!(r.get(0).liveness, Liveness::Left);
+    }
+
+    #[test]
+    fn selectable_excludes_suspected_and_left_but_probes_suspected() {
+        let mut r = ClientRegistry::new();
+        for id in 0..3 {
+            r.enroll(entry(id));
+        }
+        let p = HeartbeatPolicy::new(1, 1, 3);
+        r.observe_miss(1, &p); // -> Suspected
+        r.observe_leave(2);
+        let avail = Availability::AlwaysOn;
+        assert_eq!(r.selectable(0, &avail), [0]);
+        assert_eq!(r.probed_ids(), [0, 1]);
+        let members: Vec<usize> = r.member_summaries().iter().map(|(id, _)| *id).collect();
+        assert_eq!(members, [0, 1]);
+    }
+}

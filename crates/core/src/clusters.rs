@@ -31,6 +31,14 @@ impl ExtractionMethod {
     }
 }
 
+/// The per-client RNG seed for DP summary noise: client `i` derives its
+/// own stream from the federation seed. Exposed so the message-driven
+/// coordinator's agents produce the exact summaries the in-process path
+/// does.
+pub fn client_summary_seed(seed: u64, client: usize) -> u64 {
+    seed ^ (client as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
 /// Computes every client's summary **client-side**: each client uses its
 /// own seeded RNG for the DP noise, and only the (noised) summary would
 /// cross the network in a deployment.
@@ -43,8 +51,7 @@ pub fn summarize_federation(
         .iter()
         .enumerate()
         .map(|(i, c)| {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let mut rng = StdRng::seed_from_u64(client_summary_seed(seed, i));
             summarizer.summarize(&c.train, &mut rng)
         })
         .collect()

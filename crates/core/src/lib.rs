@@ -24,11 +24,13 @@ pub mod clusters;
 pub mod selector;
 pub mod telemetry;
 pub mod weights;
+pub mod wire_bridge;
 
 pub use clusters::{
-    build_clusters, build_gradient_clusters, cosine_distance, summarize_federation,
-    ExtractionMethod,
+    build_clusters, build_gradient_clusters, client_summary_seed, cosine_distance,
+    summarize_federation, ExtractionMethod,
 };
 pub use selector::{HaccsSelector, WithinClusterPolicy};
 pub use telemetry::InclusionTelemetry;
 pub use weights::{cluster_weights, ClusterStats};
+pub use wire_bridge::{cluster_wire_summaries, summary_from_wire, summary_to_wire};

@@ -17,6 +17,7 @@
 //! | [`fig10`] | Fig. 10 — feature skew (45° rotated images) |
 //! | [`tab3`]  | Table III + Fig. 11 — inclusion & straggler bias at ρ=0.01 |
 //! | [`ablation`] | extra ablations called out in DESIGN.md |
+//! | [`ext_coord`] | extension — coordinator runtime parity + dynamic membership (DESIGN.md §8) |
 //!
 //! Table I is a constant in [`haccs_data::partition`]; Table II is the
 //! [`haccs_sysmodel::profile`] sampler; both are property-tested there.
@@ -27,6 +28,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod ext_coord;
 pub mod fig1;
 pub mod fig10;
 pub mod fig3;
@@ -63,6 +65,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation_within_cluster",
     "ablation_gradient",
     "ext_drift",
+    "ext_coord",
 ];
 
 /// Runs one experiment by id. Panics on an unknown id (callers validate
@@ -87,6 +90,7 @@ pub fn run_experiment(id: &str, scale: Scale, seed: u64) -> ExperimentReport {
         "ablation_within_cluster" => ablation::run_within_cluster(scale, seed),
         "ablation_gradient" => ablation::run_gradient(scale, seed),
         "ext_drift" => ablation::run_drift(scale, seed),
+        "ext_coord" => ext_coord::run(scale, seed),
         other => panic!("unknown experiment id: {other}"),
     }
 }

@@ -30,12 +30,13 @@
 
 use crate::client::{ClientInfo, ClientState};
 use crate::metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
+use crate::round::{self, PendingUpdate, RoundAccumulator};
 use crate::selector::{sanitize_selection, SelectionContext, Selector};
 use crate::trainer::{probe_loss, train_local, TrainConfig};
 use haccs_data::{FederatedDataset, ImageSet};
 use haccs_nn::{evaluate, Sequential};
 use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel, SimClock};
-use haccs_wire::{FaultyChannel, Message};
+use haccs_wire::Message;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -280,11 +281,11 @@ impl FedSim {
     }
 
     /// Expected §IV-D round latency of client `id`, accounting for the
-    /// per-round local-work cap.
+    /// per-round local-work cap and the client's share of coordinator
+    /// control traffic (see [`round::expected_round_latency`]).
     pub fn expected_latency(&self, id: usize) -> f64 {
         let c = &self.clients[id];
-        let effective = self.cfg.train.effective_examples(c.data.n_train());
-        self.latency.round_seconds(&c.profile, effective)
+        round::expected_round_latency(&self.latency, &c.profile, &self.cfg.train, c.data.n_train())
     }
 
     /// Scheduling view ([`ClientInfo`]) of the given client ids.
@@ -306,14 +307,8 @@ impl FedSim {
     /// The round deadline the server would set this epoch: the configured
     /// quantile of expected latencies over the available pool.
     pub fn round_deadline(&self, available_ids: &[usize]) -> f64 {
-        let mut lats: Vec<f64> =
-            available_ids.iter().map(|&id| self.expected_latency(id)).collect();
-        if lats.is_empty() {
-            return 1.0;
-        }
-        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let qi = ((lats.len() as f64 - 1.0) * self.policy.deadline_quantile).round() as usize;
-        lats[qi]
+        let lats: Vec<f64> = available_ids.iter().map(|&id| self.expected_latency(id)).collect();
+        round::deadline_quantile(lats, self.policy.deadline_quantile)
     }
 
     /// Effective latency of `id` this epoch: the §IV-D expectation,
@@ -342,9 +337,7 @@ impl FedSim {
             .map(|&id| {
                 let mut m = f();
                 m.set_params(gp);
-                let local_seed = seed
-                    ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9)
-                    ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B);
+                let local_seed = round::local_train_seed(seed, epoch, id);
                 let loss = train_local(&mut m, &clients[id].data.train, &cfg_train, local_seed);
                 (id, m.get_params(), loss)
             })
@@ -358,20 +351,14 @@ impl FedSim {
         id: usize,
         update: &(usize, Vec<f32>, f32),
     ) -> Result<(usize, f64), (usize, f64)> {
-        let channel = FaultyChannel::lossy(
-            self.faults.lossy_prob,
-            self.faults.seed ^ 0x1055_11A7_0000_0003,
-            self.policy.max_retries,
-            self.policy.backoff_base_s,
-        );
+        let channel = round::wire_channel(&self.faults, &self.policy);
         let msg = Message::ModelUpdate {
             round: self.epoch as u64,
             params: update.1.clone(),
             loss: update.2,
             n_train: self.clients[id].data.n_train() as u32,
         };
-        let stream_id = (self.epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B_C2B2_AE63);
+        let stream_id = round::update_stream_id(self.epoch, id);
         match channel.transmit(&msg, stream_id) {
             Ok(d) => Ok((d.retries as usize, d.backoff_s)),
             Err(haccs_wire::ChannelError::RetryBudgetExhausted { attempts, backoff_s }) => {
@@ -424,7 +411,6 @@ impl FedSim {
         available_ids: &[usize],
     ) -> RoundRecord {
         let epoch = self.epoch;
-        let mut stats = FaultStats::default();
 
         // 1. fault draws + effective latencies for the selected set
         let draws: Vec<(usize, bool, f64)> = selected
@@ -434,18 +420,18 @@ impl FedSim {
                 (id, d.crashed, self.effective_latency(id, epoch))
             })
             .collect();
-        stats.crashed = draws.iter().filter(|(_, crashed, _)| *crashed).count();
-        stats.stragglers = selected
-            .iter()
-            .filter(|&&id| self.faults.straggles(id, epoch) && !self.faults.crashes(id, epoch))
-            .count();
 
         // 2. the deadline, if a deadline policy is active
         let deadline = match self.policy.aggregation {
             AggregationPolicy::WaitForAll => None,
             _ => Some(self.round_deadline(available_ids)),
         };
-        stats.deadline_s = deadline;
+        let mut acc = RoundAccumulator::new(deadline);
+        acc.stats.crashed = draws.iter().filter(|(_, crashed, _)| *crashed).count();
+        acc.stats.stragglers = selected
+            .iter()
+            .filter(|&&id| self.faults.straggles(id, epoch) && !self.faults.crashes(id, epoch))
+            .count();
 
         // 3. who actually trains: crashed clients never deliver, and under
         // a deadline policy a client whose compute alone overruns the
@@ -453,48 +439,37 @@ impl FedSim {
         let mut trainees: Vec<usize> = Vec::with_capacity(selected.len());
         for &(id, crashed, lat) in &draws {
             if crashed {
-                stats.wasted_client_seconds += lat;
+                acc.record_crash(lat);
             } else if deadline.is_some_and(|d| lat > d) {
-                stats.dropped_by_deadline += 1;
-                stats.wasted_client_seconds += lat;
+                acc.record_deadline_precut(lat);
             } else {
                 trainees.push(id);
             }
         }
-        let mut updates = self.train_clients(&trainees);
+        let updates = self.train_clients(&trainees);
 
         // 4. lossy wire: every trained update is transmitted; retries add
         // backoff to its arrival time, budget exhaustion loses it
-        let mut arrival: Vec<f64> = Vec::with_capacity(updates.len());
-        if self.faults.lossy_prob > 0.0 {
-            let mut delivered = Vec::with_capacity(updates.len());
-            for u in updates {
-                let id = u.0;
-                let lat = draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap();
+        for u in updates {
+            let id = u.0;
+            let lat = draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap();
+            let pending = PendingUpdate {
+                id,
+                params: u.1.clone(),
+                loss: u.2,
+                n_train: self.clients[id].data.n_train(),
+            };
+            if self.faults.lossy_prob > 0.0 {
                 match self.transmit_update(id, &u) {
                     Ok((retries, backoff_s)) => {
-                        stats.retries += retries;
-                        let t = lat + backoff_s;
-                        if deadline.is_some_and(|d| t > d) {
-                            stats.dropped_by_deadline += 1;
-                            stats.wasted_client_seconds += lat;
-                        } else {
-                            delivered.push(u);
-                            arrival.push(t);
-                        }
+                        acc.record_delivery(pending, lat, backoff_s, retries, false);
                     }
                     Err((retries, backoff_s)) => {
-                        stats.retries += retries;
-                        stats.lossy_failures += 1;
-                        stats.wasted_client_seconds += lat + backoff_s;
+                        acc.record_wire_loss(retries, lat, backoff_s);
                     }
                 }
-            }
-            updates = delivered;
-        } else {
-            for u in &updates {
-                let id = u.0;
-                arrival.push(draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap());
+            } else {
+                acc.record_delivery(pending, lat, 0.0, 0, false);
             }
         }
 
@@ -502,8 +477,7 @@ impl FedSim {
         // the available-but-unselected pool. The server pings candidates
         // before drafting, so a device that is crashed this epoch never
         // makes the list (the e2e suite asserts exactly this).
-        let n_failed = selected.len() - updates.len();
-        let mut replacement_arrivals: Vec<f64> = Vec::new();
+        let n_failed = selected.len() - acc.updates.len();
         if self.policy.aggregation == AggregationPolicy::Replace && n_failed > 0 {
             let taken: std::collections::HashSet<usize> = selected.iter().copied().collect();
             let pool: Vec<usize> = available_ids
@@ -520,71 +494,66 @@ impl FedSim {
                 for u in trained {
                     let id = u.0;
                     let lat = self.effective_latency(id, epoch);
+                    let pending = PendingUpdate {
+                        id,
+                        params: u.1.clone(),
+                        loss: u.2,
+                        n_train: self.clients[id].data.n_train(),
+                    };
                     if self.faults.lossy_prob > 0.0 {
                         match self.transmit_update(id, &u) {
                             Ok((retries, backoff_s)) => {
-                                stats.retries += retries;
-                                stats.replacements.push(id);
-                                replacement_arrivals.push(lat + backoff_s);
-                                updates.push(u);
+                                acc.record_delivery(pending, lat, backoff_s, retries, true);
                             }
                             Err((retries, backoff_s)) => {
-                                stats.retries += retries;
-                                stats.lossy_failures += 1;
-                                stats.wasted_client_seconds += lat + backoff_s;
+                                acc.record_wire_loss(retries, lat, backoff_s);
                             }
                         }
                     } else {
-                        stats.replacements.push(id);
-                        replacement_arrivals.push(lat);
-                        updates.push(u);
+                        acc.record_delivery(pending, lat, 0.0, 0, true);
                     }
                 }
             }
         }
 
         // 6. FedAvg over everything that arrived, weighted by sample count
-        let mut loss_sum = 0.0f32;
-        if !updates.is_empty() {
-            let total_weight: f64 =
-                updates.iter().map(|(id, _, _)| self.clients[*id].data.n_train() as f64).sum();
-            let mut new_params = vec![0.0f64; self.global_params.len()];
-            for (id, params, _) in &updates {
-                let w = self.clients[*id].data.n_train() as f64 / total_weight;
-                for (acc, &p) in new_params.iter_mut().zip(params) {
-                    *acc += w * p as f64;
-                }
-            }
-            self.global_params = new_params.into_iter().map(|x| x as f32).collect();
-        }
-        for (id, _, loss) in &updates {
-            let c = &mut self.clients[*id];
-            c.last_loss = Some(*loss);
+        acc.fedavg(&mut self.global_params);
+        for u in &acc.updates {
+            let c = &mut self.clients[u.id];
+            c.last_loss = Some(u.loss);
             c.participation_count += 1;
-            loss_sum += loss;
         }
 
         // 7. clock: policy decides how long the round lasted
-        let round_seconds = match self.policy.aggregation {
-            AggregationPolicy::WaitForAll => {
-                // slowest selected client, counting wire backoff for
-                // arrivals and the server's timeout for casualties
-                let mut t = arrival.iter().copied().fold(0.0f64, f64::max);
-                for &(_, _, lat) in &draws {
-                    t = t.max(lat);
-                }
-                t
-            }
-            AggregationPolicy::DeadlineDrop => deadline.unwrap(),
-            AggregationPolicy::Replace => {
-                deadline.unwrap() + replacement_arrivals.iter().copied().fold(0.0f64, f64::max)
-            }
-        };
+        let draw_lats: Vec<f64> = draws.iter().map(|&(_, _, lat)| lat).collect();
+        let round_seconds = crate::round::round_duration(
+            self.policy.aggregation,
+            deadline,
+            &acc.arrivals,
+            &draw_lats,
+            &acc.replacement_arrivals,
+        );
         self.clock.advance(round_seconds);
 
-        // 8. selector feedback: arrivals with losses, plus the failed set
-        let losses: Vec<f32> = updates.iter().map(|(_, _, l)| *l).collect();
-        let ids: Vec<usize> = updates.iter().map(|(id, _, _)| *id).collect();
+        // 8. heartbeat sweep: every client is probed, the available ones
+        // ack (through the lossy wire if one is configured). Pure byte and
+        // liveness accounting — heartbeats never stretch the round.
+        let hb = crate::round::simulate_heartbeats(
+            &self.faults,
+            &self.policy,
+            epoch,
+            self.clients.len(),
+            available_ids,
+        );
+        acc.stats.retries += hb.retries;
+        acc.stats.hb_missed = hb.missed;
+        let schedule_size = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
+        acc.stats.control_bytes =
+            (selected.len() + acc.stats.replacements.len()) * schedule_size + hb.bytes;
+
+        // 9. selector feedback: arrivals with losses, plus the failed set
+        let losses: Vec<f32> = acc.updates.iter().map(|u| u.loss).collect();
+        let ids = acc.participant_ids();
         selector.observe_round(epoch, &ids, &losses);
         let aggregated: std::collections::HashSet<usize> = ids.iter().copied().collect();
         let failed: Vec<usize> =
@@ -598,12 +567,8 @@ impl FedSim {
             time_s: self.clock.now(),
             round_seconds,
             participants: ids,
-            mean_local_loss: if updates.is_empty() {
-                f32::NAN
-            } else {
-                loss_sum / updates.len() as f32
-            },
-            faults: stats,
+            mean_local_loss: acc.mean_local_loss(),
+            faults: acc.stats,
         }
     }
 

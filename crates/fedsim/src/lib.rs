@@ -28,10 +28,12 @@
 pub mod client;
 pub mod engine;
 pub mod metrics;
+pub mod round;
 pub mod selector;
 pub mod trainer;
 
 pub use client::{ClientInfo, ClientState};
 pub use engine::{AggregationPolicy, FedSim, RoundPolicy, SimConfig};
 pub use metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
+pub use round::{HeartbeatOutcome, PendingUpdate, RoundAccumulator};
 pub use selector::{SelectionContext, Selector};

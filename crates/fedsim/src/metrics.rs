@@ -34,6 +34,12 @@ pub struct FaultStats {
     pub wasted_client_seconds: f64,
     /// The round deadline, when a deadline policy was active.
     pub deadline_s: Option<f64>,
+    /// Bytes of coordinator control traffic this round (`Schedule` frames
+    /// plus the heartbeat sweep, retransmissions included).
+    pub control_bytes: usize,
+    /// Heartbeat probes that went unanswered this round (unavailable or
+    /// departed clients, plus acks lost on the wire).
+    pub hb_missed: usize,
 }
 
 impl FaultStats {

@@ -1,0 +1,398 @@
+//! Shared round accounting: the arithmetic of one synchronous round,
+//! factored out of [`crate::engine::FedSim`] so the in-process loop engine
+//! and the message-driven coordinator (`haccs-coord`) run **the same
+//! numbers** — seeds, stream ids, deadline placement, admission checks,
+//! FedAvg summation order and round-duration formulas all live here once.
+//! The coordinator-vs-engine parity test is only possible because neither
+//! driver owns a private copy of this logic.
+//!
+//! Everything here is pure: no clock, no channels, no threads. The
+//! drivers decide *when* things happen; this module decides *what they
+//! cost and what they produce*.
+
+use crate::engine::{AggregationPolicy, RoundPolicy};
+use crate::metrics::FaultStats;
+use crate::trainer::TrainConfig;
+use haccs_sysmodel::{DeviceProfile, FaultModel, LatencyModel};
+use haccs_wire::{control_bytes_per_client, FaultyChannel, Message};
+
+/// Salt separating heartbeat-ack wire streams from model-update streams
+/// for the same `(epoch, client)`.
+pub const HB_STREAM_SALT: u64 = 0x48EA_87BE_A700_0001;
+
+/// The local-training seed for `(seed, epoch, id)`: the same id trains
+/// identically whether the loop engine calls `train_local` in-process or
+/// a `ClientAgent` thread does it after a `ModelPush`.
+pub fn local_train_seed(seed: u64, epoch: usize, id: usize) -> u64 {
+    seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9) ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B)
+}
+
+/// The wire stream id for `(epoch, id)`'s `ModelUpdate` transmission.
+pub fn update_stream_id(epoch: usize, id: usize) -> u64 {
+    (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (id as u64 + 1).wrapping_mul(0x85EB_CA6B_C2B2_AE63)
+}
+
+/// The wire stream id for `(epoch, id)`'s heartbeat ack.
+pub fn hb_stream_id(epoch: usize, id: usize) -> u64 {
+    update_stream_id(epoch, id) ^ HB_STREAM_SALT
+}
+
+/// The lossy channel a round's client → server traffic goes through,
+/// derived from the fault schedule's seed and the policy's retry knobs.
+pub fn wire_channel(faults: &FaultModel, policy: &RoundPolicy) -> FaultyChannel {
+    FaultyChannel::lossy(
+        faults.lossy_prob,
+        faults.seed ^ 0x1055_11A7_0000_0003,
+        policy.max_retries,
+        policy.backoff_base_s,
+    )
+}
+
+/// Expected §IV-D round latency of one client, *including* its share of
+/// coordinator control traffic (`Schedule` + heartbeat probe/ack) charged
+/// at the client's link speed — simulated comm time covers protocol
+/// overhead, not just the model push/pull.
+pub fn expected_round_latency(
+    latency: &LatencyModel,
+    profile: &DeviceProfile,
+    train: &TrainConfig,
+    n_train: usize,
+) -> f64 {
+    let effective = train.effective_examples(n_train);
+    latency.round_seconds(profile, effective)
+        + latency.bytes_seconds(profile, control_bytes_per_client())
+}
+
+/// Deadline placement: the `q`-quantile (nearest-rank) of the expected
+/// latencies over the available pool. An empty pool gets the idle-tick
+/// duration of 1 second.
+pub fn deadline_quantile(mut lats: Vec<f64>, q: f64) -> f64 {
+    if lats.is_empty() {
+        return 1.0;
+    }
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let qi = ((lats.len() as f64 - 1.0) * q).round() as usize;
+    lats[qi]
+}
+
+/// How long the round lasted under `aggregation`.
+///
+/// * `WaitForAll` — the slowest selected client: every fault draw's
+///   effective latency (casualties charge their timeout) and every
+///   arrival (which includes wire backoff).
+/// * `DeadlineDrop` — exactly the deadline.
+/// * `Replace` — the deadline plus the slowest replacement arrival.
+pub fn round_duration(
+    aggregation: AggregationPolicy,
+    deadline: Option<f64>,
+    arrivals: &[f64],
+    draw_latencies: &[f64],
+    replacement_arrivals: &[f64],
+) -> f64 {
+    match aggregation {
+        AggregationPolicy::WaitForAll => {
+            let mut t = arrivals.iter().copied().fold(0.0f64, f64::max);
+            for &lat in draw_latencies {
+                t = t.max(lat);
+            }
+            t
+        }
+        AggregationPolicy::DeadlineDrop => deadline.expect("deadline policy requires a deadline"),
+        AggregationPolicy::Replace => {
+            deadline.expect("deadline policy requires a deadline")
+                + replacement_arrivals.iter().copied().fold(0.0f64, f64::max)
+        }
+    }
+}
+
+/// One client's trained update, waiting for admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingUpdate {
+    /// Client id.
+    pub id: usize,
+    /// Locally-trained parameters.
+    pub params: Vec<f32>,
+    /// Mean local training loss.
+    pub loss: f32,
+    /// Local sample count (the FedAvg weight).
+    pub n_train: usize,
+}
+
+/// Accumulates one round's admissions and fault accounting in a fixed
+/// order, so both drivers produce bit-identical [`FaultStats`], arrival
+/// sets and FedAvg sums.
+#[derive(Debug, Clone, Default)]
+pub struct RoundAccumulator {
+    /// Fault accounting so far.
+    pub stats: FaultStats,
+    /// Admitted updates, in admission order (selection order in both
+    /// drivers — FedAvg float summation order depends on it).
+    pub updates: Vec<PendingUpdate>,
+    /// Arrival times of admitted non-replacement updates.
+    pub arrivals: Vec<f64>,
+    /// Arrival times of admitted replacement updates.
+    pub replacement_arrivals: Vec<f64>,
+}
+
+impl RoundAccumulator {
+    /// A fresh accumulator with the round deadline (if any) recorded.
+    pub fn new(deadline: Option<f64>) -> Self {
+        RoundAccumulator {
+            stats: FaultStats { deadline_s: deadline, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// A crashed selection: its timeout is wasted work.
+    pub fn record_crash(&mut self, latency: f64) {
+        self.stats.wasted_client_seconds += latency;
+    }
+
+    /// A selection whose compute alone overruns the deadline — discarded
+    /// before training is even simulated.
+    pub fn record_deadline_precut(&mut self, latency: f64) {
+        self.stats.dropped_by_deadline += 1;
+        self.stats.wasted_client_seconds += latency;
+    }
+
+    /// An update lost on the wire after exhausting its retry budget.
+    pub fn record_wire_loss(&mut self, retries: usize, latency: f64, backoff_s: f64) {
+        self.stats.retries += retries;
+        self.stats.lossy_failures += 1;
+        self.stats.wasted_client_seconds += latency + backoff_s;
+    }
+
+    /// A delivered update. Non-replacements are admitted only if their
+    /// arrival (`latency + backoff_s`) makes the deadline; replacements
+    /// skip the check (the server explicitly waits for them). Returns
+    /// whether the update was admitted.
+    pub fn record_delivery(
+        &mut self,
+        update: PendingUpdate,
+        latency: f64,
+        backoff_s: f64,
+        retries: usize,
+        replacement: bool,
+    ) -> bool {
+        self.stats.retries += retries;
+        let t = latency + backoff_s;
+        if replacement {
+            self.stats.replacements.push(update.id);
+            self.replacement_arrivals.push(t);
+            self.updates.push(update);
+            return true;
+        }
+        let deadline = self.stats.deadline_s;
+        if deadline.is_some_and(|d| t > d) {
+            self.stats.dropped_by_deadline += 1;
+            self.stats.wasted_client_seconds += latency;
+            false
+        } else {
+            self.arrivals.push(t);
+            self.updates.push(update);
+            true
+        }
+    }
+
+    /// Ids of admitted updates, in admission order.
+    pub fn participant_ids(&self) -> Vec<usize> {
+        self.updates.iter().map(|u| u.id).collect()
+    }
+
+    /// FedAvg over the admitted updates, weighted by sample count, with
+    /// `f64` accumulation in admission order. Leaves `global` untouched
+    /// when nothing arrived.
+    pub fn fedavg(&self, global: &mut Vec<f32>) {
+        if self.updates.is_empty() {
+            return;
+        }
+        let total_weight: f64 = self.updates.iter().map(|u| u.n_train as f64).sum();
+        let mut new_params = vec![0.0f64; global.len()];
+        for u in &self.updates {
+            let w = u.n_train as f64 / total_weight;
+            for (acc, &p) in new_params.iter_mut().zip(&u.params) {
+                *acc += w * p as f64;
+            }
+        }
+        *global = new_params.into_iter().map(|x| x as f32).collect();
+    }
+
+    /// Mean local loss across admitted updates (`NaN` when none arrived),
+    /// summed in admission order.
+    pub fn mean_local_loss(&self) -> f32 {
+        if self.updates.is_empty() {
+            return f32::NAN;
+        }
+        let sum: f32 = self.updates.iter().map(|u| u.loss).sum();
+        sum / self.updates.len() as f32
+    }
+}
+
+/// What one round's heartbeat sweep cost and revealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeartbeatOutcome {
+    /// Probed clients whose ack arrived.
+    pub acked: usize,
+    /// Probed clients that never acked: unavailable/departed ones plus
+    /// acks lost on the wire.
+    pub missed: usize,
+    /// Wire retransmissions spent on acks.
+    pub retries: usize,
+    /// Bytes of probe + ack frames put on the wire (retransmissions
+    /// included).
+    pub bytes: usize,
+}
+
+/// Simulates one round's heartbeat sweep: the server probes `probed`
+/// clients, each id in `responders` attempts an ack through the lossy
+/// channel on its [`hb_stream_id`]. Wire outcomes are pure hashes of
+/// `(seed, stream, attempt)` and the `Heartbeat` frame has a fixed size,
+/// so this function and a real agent transmitting its ack produce
+/// identical retry/byte traces — which is what keeps the loop engine and
+/// the coordinator's heartbeat accounting in lockstep. Heartbeats ride
+/// alongside the round off the critical path: they cost bytes, never
+/// round time.
+pub fn simulate_heartbeats(
+    faults: &FaultModel,
+    policy: &RoundPolicy,
+    epoch: usize,
+    probed: usize,
+    responders: &[usize],
+) -> HeartbeatOutcome {
+    let hb = Message::Heartbeat { client_nonce: 0, round: epoch as u64, last_loss: 0.0 };
+    let hb_size = hb.wire_size();
+    let mut out = HeartbeatOutcome {
+        bytes: probed * hb_size,
+        missed: probed - responders.len(),
+        ..Default::default()
+    };
+    if faults.lossy_prob > 0.0 {
+        let channel = wire_channel(faults, policy);
+        for &id in responders {
+            match channel.transmit(&hb, hb_stream_id(epoch, id)) {
+                Ok(d) => {
+                    out.acked += 1;
+                    out.retries += d.retries as usize;
+                    out.bytes += d.bytes_sent;
+                }
+                Err(haccs_wire::ChannelError::RetryBudgetExhausted { attempts, .. }) => {
+                    out.missed += 1;
+                    out.retries += attempts as usize - 1;
+                    out.bytes += attempts as usize * hb_size;
+                }
+            }
+        }
+    } else {
+        out.acked = responders.len();
+        out.bytes += responders.len() * hb_size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize, loss: f32, n: usize) -> PendingUpdate {
+        PendingUpdate { id, params: vec![id as f32; 3], loss, n_train: n }
+    }
+
+    #[test]
+    fn seeds_and_streams_are_stable() {
+        // pinned: the coordinator replays these exact values, so they must
+        // never drift
+        assert_eq!(local_train_seed(5, 0, 3), 5 ^ 0x9E37_79B9 ^ 4u64.wrapping_mul(0x85EB_CA6B));
+        assert_ne!(update_stream_id(0, 1), update_stream_id(1, 0));
+        assert_eq!(hb_stream_id(2, 7), update_stream_id(2, 7) ^ HB_STREAM_SALT);
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let lats = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(deadline_quantile(lats.clone(), 0.0), 1.0);
+        assert_eq!(deadline_quantile(lats.clone(), 1.0), 4.0);
+        assert_eq!(deadline_quantile(lats, 0.5), 3.0); // round(1.5) = 2
+        assert_eq!(deadline_quantile(vec![], 0.5), 1.0);
+    }
+
+    #[test]
+    fn wait_for_all_takes_the_slowest() {
+        let d = round_duration(AggregationPolicy::WaitForAll, None, &[1.0, 5.0], &[2.0, 7.0], &[]);
+        assert_eq!(d, 7.0);
+        let d = round_duration(AggregationPolicy::DeadlineDrop, Some(3.0), &[1.0], &[9.0], &[]);
+        assert_eq!(d, 3.0);
+        let d = round_duration(AggregationPolicy::Replace, Some(3.0), &[1.0], &[9.0], &[2.0, 4.0]);
+        assert_eq!(d, 7.0);
+    }
+
+    #[test]
+    fn deadline_admission_drops_late_arrivals() {
+        let mut acc = RoundAccumulator::new(Some(2.0));
+        assert!(acc.record_delivery(update(0, 1.0, 10), 1.5, 0.0, 0, false));
+        assert!(!acc.record_delivery(update(1, 1.0, 10), 1.5, 1.0, 2, false));
+        // replacements bypass the deadline check
+        assert!(acc.record_delivery(update(2, 1.0, 10), 5.0, 0.0, 0, true));
+        assert_eq!(acc.stats.dropped_by_deadline, 1);
+        assert_eq!(acc.stats.retries, 2);
+        assert_eq!(acc.stats.replacements, vec![2]);
+        assert_eq!(acc.participant_ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn fedavg_weights_by_sample_count() {
+        let mut acc = RoundAccumulator::new(None);
+        acc.record_delivery(
+            PendingUpdate { id: 0, params: vec![1.0, 1.0], loss: 1.0, n_train: 30 },
+            1.0,
+            0.0,
+            0,
+            false,
+        );
+        acc.record_delivery(
+            PendingUpdate { id: 1, params: vec![4.0, 4.0], loss: 3.0, n_train: 10 },
+            1.0,
+            0.0,
+            0,
+            false,
+        );
+        let mut global = vec![0.0f32; 2];
+        acc.fedavg(&mut global);
+        // (30*1 + 10*4) / 40 = 1.75
+        assert_eq!(global, vec![1.75, 1.75]);
+        assert_eq!(acc.mean_local_loss(), 2.0);
+    }
+
+    #[test]
+    fn empty_round_leaves_globals_and_reports_nan() {
+        let acc = RoundAccumulator::new(None);
+        let mut global = vec![0.5f32; 2];
+        acc.fedavg(&mut global);
+        assert_eq!(global, vec![0.5, 0.5]);
+        assert!(acc.mean_local_loss().is_nan());
+    }
+
+    #[test]
+    fn heartbeat_sweep_counts_silent_clients() {
+        let faults = FaultModel::none(3);
+        let policy = RoundPolicy::default();
+        let out = simulate_heartbeats(&faults, &policy, 0, 5, &[0, 2, 4]);
+        assert_eq!(out.acked, 3);
+        assert_eq!(out.missed, 2);
+        assert_eq!(out.retries, 0);
+        let hb_size = Message::Heartbeat { client_nonce: 0, round: 0, last_loss: 0.0 }.wire_size();
+        assert_eq!(out.bytes, 5 * hb_size + 3 * hb_size);
+    }
+
+    #[test]
+    fn lossy_heartbeats_are_deterministic() {
+        use haccs_sysmodel::FaultSpec;
+        let faults = FaultModel::none(9).with(FaultSpec::Lossy { prob: 0.6 });
+        let policy = RoundPolicy::default();
+        let responders: Vec<usize> = (0..20).collect();
+        let a = simulate_heartbeats(&faults, &policy, 3, 20, &responders);
+        let b = simulate_heartbeats(&faults, &policy, 3, 20, &responders);
+        assert_eq!(a, b);
+        assert!(a.retries > 0, "60% loss must force retransmissions");
+    }
+}

@@ -29,6 +29,16 @@ impl Histogram {
         Self::from_counts(&f)
     }
 
+    /// Rehydrates a histogram from bins that are *already* normalized —
+    /// the wire path (`haccs_wire::WireSummary` carries normalized bins).
+    /// Unlike [`Histogram::from_counts`], the bins are stored verbatim, so
+    /// a summary survives an encode/decode round trip bit-for-bit.
+    pub fn from_normalized(bins: Vec<f32>) -> Self {
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        assert!(bins.iter().all(|&b| b >= 0.0 && b.is_finite()), "bins must be finite and ≥ 0");
+        Histogram { bins }
+    }
+
     /// Builds the label histogram (the **P(y)** summary) from class labels.
     pub fn from_labels(labels: &[usize], classes: usize) -> Self {
         let mut counts = vec![0.0f32; classes];
@@ -128,5 +138,21 @@ mod tests {
     fn from_int_counts() {
         let h = Histogram::from_int_counts(&[2, 2]);
         assert_eq!(h.bins(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn from_normalized_stores_verbatim() {
+        // from_counts would re-normalize these (lossy in f32); the wire
+        // path must not
+        let bins = vec![0.2f32, 0.6, 0.2, 0.0];
+        let h = Histogram::from_normalized(bins.clone());
+        assert_eq!(h.bins(), &bins[..]);
+        assert!(Histogram::from_normalized(vec![0.0, 0.0]).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and ≥ 0")]
+    fn from_normalized_rejects_nan() {
+        Histogram::from_normalized(vec![0.5, f32::NAN]);
     }
 }

@@ -43,6 +43,13 @@ impl LatencyModel {
     pub fn round_seconds(&self, device: &DeviceProfile, n_examples: usize) -> f64 {
         self.compute_seconds(device, n_examples) + self.transfer_seconds(device)
     }
+
+    /// Transfer time for `bytes` of arbitrary payload (control frames,
+    /// heartbeats) over `device`'s link. Pure serialization delay — RTT is
+    /// already charged once per round by [`LatencyModel::transfer_seconds`].
+    pub fn bytes_seconds(&self, device: &DeviceProfile, bytes: usize) -> f64 {
+        (bytes as f64 * 8.0) / (device.bandwidth_mbps * 1e6)
+    }
 }
 
 impl Default for LatencyModel {
@@ -105,5 +112,16 @@ mod tests {
     fn for_params_sets_bits() {
         let m = LatencyModel::for_params(1000, 1e-4, 1);
         assert_eq!(m.model_bits, 32_000.0);
+    }
+
+    #[test]
+    fn control_bytes_cost_scales_with_bandwidth() {
+        let m = LatencyModel::default();
+        let fast = device(1.0, 100.0, 20.0);
+        let slow = device(1.0, 10.0, 20.0);
+        // 1000 bytes at 100 Mbps = 80 µs; at 10 Mbps = 800 µs
+        assert!((m.bytes_seconds(&fast, 1000) - 8e-5).abs() < 1e-12);
+        assert!((m.bytes_seconds(&slow, 1000) - 8e-4).abs() < 1e-12);
+        assert_eq!(m.bytes_seconds(&fast, 0), 0.0);
     }
 }

@@ -17,17 +17,22 @@
 //!   crash / straggler / lossy-transport schedules that never touch the
 //!   engine's RNG stream (so a zero-rate schedule is behaviorally
 //!   indistinguishable from no schedule at all),
+//! * [`heartbeat`] — the liveness policy (miss thresholds for suspicion
+//!   and eviction) the message-driven coordinator applies to silent
+//!   clients,
 //! * [`clock`] — the simulated wall clock that time-to-accuracy curves are
 //!   plotted against.
 
 pub mod availability;
 pub mod clock;
 pub mod faults;
+pub mod heartbeat;
 pub mod latency;
 pub mod profile;
 
 pub use availability::Availability;
 pub use clock::SimClock;
 pub use faults::{FaultDraw, FaultModel, FaultSpec};
+pub use heartbeat::{HeartbeatPolicy, LivenessVerdict};
 pub use latency::LatencyModel;
 pub use profile::{DeviceProfile, PerfCategory};

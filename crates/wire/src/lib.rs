@@ -104,6 +104,26 @@ pub enum Message {
         /// The new summary.
         summary: WireSummary,
     },
+    /// Liveness probe/ack. The server probes with `client_nonce == 0` and
+    /// `last_loss == 0.0`; a client acks with its nonce and most recent
+    /// local loss (a free telemetry refresh for loss-driven selectors).
+    Heartbeat {
+        /// Client nonce (0 in server → client probes).
+        client_nonce: u64,
+        /// Round the probe/ack belongs to.
+        round: u64,
+        /// Most recent local training loss (0.0 in probes / before the
+        /// first round).
+        last_loss: f32,
+    },
+    /// Client → server: orderly departure. The registry marks the client
+    /// `Left` immediately instead of waiting out the suspicion window.
+    Leave {
+        /// Client nonce.
+        client_nonce: u64,
+        /// Round during which the client departed.
+        round: u64,
+    },
 }
 
 /// Errors produced by [`Message::decode`].
@@ -138,6 +158,8 @@ const TAG_SCHEDULE: u8 = 0x02;
 const TAG_MODEL_PUSH: u8 = 0x03;
 const TAG_MODEL_UPDATE: u8 = 0x04;
 const TAG_SUMMARY_UPDATE: u8 = 0x05;
+const TAG_HEARTBEAT: u8 = 0x06;
+const TAG_LEAVE: u8 = 0x07;
 
 fn put_f32s(buf: &mut BytesMut, v: &[f32]) {
     buf.put_u32_le(v.len() as u32);
@@ -217,6 +239,17 @@ impl Message {
                 buf.put_u64_le(*client_nonce);
                 put_summary(&mut buf, summary);
             }
+            Message::Heartbeat { client_nonce, round, last_loss } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u64_le(*client_nonce);
+                buf.put_u64_le(*round);
+                buf.put_f32_le(*last_loss);
+            }
+            Message::Leave { client_nonce, round } => {
+                buf.put_u8(TAG_LEAVE);
+                buf.put_u64_le(*client_nonce);
+                buf.put_u64_le(*round);
+            }
         }
         buf.freeze()
     }
@@ -280,6 +313,18 @@ impl Message {
                 let summary = get_summary(&mut buf)?;
                 Ok(Message::SummaryUpdate { client_nonce, summary })
             }
+            TAG_HEARTBEAT => {
+                need(&buf, 20)?;
+                Ok(Message::Heartbeat {
+                    client_nonce: buf.get_u64_le(),
+                    round: buf.get_u64_le(),
+                    last_loss: buf.get_f32_le(),
+                })
+            }
+            TAG_LEAVE => {
+                need(&buf, 16)?;
+                Ok(Message::Leave { client_nonce: buf.get_u64_le(), round: buf.get_u64_le() })
+            }
             other => Err(DecodeError::UnknownTag(other)),
         }
     }
@@ -297,20 +342,32 @@ impl Message {
             Message::ModelPush { params, .. } => 1 + 8 + 4 + 4 * params.len(),
             Message::ModelUpdate { params, .. } => 1 + 8 + 4 + 4 * params.len() + 8,
             Message::SummaryUpdate { summary, .. } => 1 + 8 + summary_size(summary),
+            Message::Heartbeat { .. } => 1 + 8 + 8 + 4,
+            Message::Leave { .. } => 1 + 8 + 8,
         }
     }
 }
 
+/// Bytes of coordinator control traffic charged to **one** scheduled
+/// participant per round: its `Schedule` frame plus one heartbeat
+/// probe/ack exchange. Model payloads are excluded — they are covered by
+/// [`round_bytes`]'s push/update terms.
+pub fn control_bytes_per_client() -> usize {
+    let schedule = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
+    let hb = Message::Heartbeat { client_nonce: 0, round: 0, last_loss: 0.0 }.wire_size();
+    schedule + 2 * hb
+}
+
 /// Total bytes a synchronous round moves for `k` participants with a
 /// `n_params`-parameter model: one `ModelPush` down and one `ModelUpdate`
-/// up per participant, plus `Schedule` frames.
+/// up per participant, plus per-participant control traffic (`Schedule`
+/// and a heartbeat probe/ack pair).
 pub fn round_bytes(k: usize, n_params: usize) -> usize {
     let push = Message::ModelPush { round: 0, params: vec![0.0; n_params] }.wire_size();
     let update =
         Message::ModelUpdate { round: 0, params: vec![0.0; n_params], loss: 0.0, n_train: 0 }
             .wire_size();
-    let schedule = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
-    k * (push + update + schedule)
+    k * (push + update + control_bytes_per_client())
 }
 
 #[cfg(test)]
@@ -346,6 +403,8 @@ mod tests {
                 n_train: 230,
             },
             Message::SummaryUpdate { client_nonce: 42, summary: sample_summary() },
+            Message::Heartbeat { client_nonce: 42, round: 7, last_loss: 0.88 },
+            Message::Leave { client_nonce: 42, round: 7 },
         ];
         for m in messages {
             let frame = m.encode();
@@ -415,5 +474,21 @@ mod tests {
         let big = round_bytes(10, 100_000);
         assert!(big > 90 * small / 10 * 9 / 10, "bytes ∝ params");
         assert_eq!(round_bytes(20, 1000), 2 * small);
+    }
+
+    #[test]
+    fn round_bytes_includes_control_traffic() {
+        // a zero-parameter model still moves the control frames
+        assert_eq!(
+            round_bytes(3, 0),
+            3 * (control_bytes_per_client()
+                + Message::ModelPush { round: 0, params: vec![] }.wire_size()
+                + Message::ModelUpdate { round: 0, params: vec![], loss: 0.0, n_train: 0 }
+                    .wire_size())
+        );
+        // control = Schedule + heartbeat probe + heartbeat ack
+        let schedule = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
+        let hb = Message::Heartbeat { client_nonce: 0, round: 0, last_loss: 0.0 }.wire_size();
+        assert_eq!(control_bytes_per_client(), schedule + 2 * hb);
     }
 }

@@ -45,6 +45,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         (any::<u64>(), arb_summary())
             .prop_map(|(n, s)| Message::SummaryUpdate { client_nonce: n, summary: s }),
+        (any::<u64>(), any::<u64>(), -10.0f32..10.0).prop_map(|(n, r, l)| Message::Heartbeat {
+            client_nonce: n,
+            round: r,
+            last_loss: l,
+        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(n, r)| Message::Leave { client_nonce: n, round: r }),
     ]
 }
 
@@ -57,6 +64,13 @@ proptest! {
         prop_assert_eq!(frame.len(), m.wire_size());
         let back = Message::decode(frame).unwrap();
         prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding_for_every_variant(m in arb_message()) {
+        // wire_size is the byte-accounting primitive for fig5/fig6f; it
+        // must never drift from what encode() actually emits
+        prop_assert_eq!(m.encode().len(), m.wire_size());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`scheduler`] | the HACCS selector itself (Algorithm 1) |
 //! | [`experiments`] | one module per paper table/figure |
 //! | [`wire`] | the client↔server message codec with exact size accounting |
+//! | [`coord`] | the message-driven coordinator runtime: agent threads, liveness, dynamic membership |
 //!
 //! ## Quickstart
 //!
@@ -63,6 +64,7 @@
 
 pub use haccs_baselines as baselines;
 pub use haccs_cluster as cluster;
+pub use haccs_coord as coord;
 pub use haccs_core as scheduler;
 pub use haccs_data as data;
 pub use haccs_experiments as experiments;
@@ -77,6 +79,7 @@ pub use haccs_wire as wire;
 pub mod prelude {
     pub use haccs_baselines::{OortSelector, RandomSelector, TiflSelector};
     pub use haccs_cluster::Clustering;
+    pub use haccs_coord::{Coordinator, Liveness, RoundPhase};
     pub use haccs_core::{
         build_clusters, summarize_federation, ExtractionMethod, HaccsSelector, WithinClusterPolicy,
     };

@@ -1,0 +1,182 @@
+//! Dynamic membership end-to-end (§IV-C): clients join and leave a live
+//! training run purely through wire messages, the HACCS selector is
+//! re-clustered from the registry's summaries, and two invariants hold
+//! throughout:
+//!
+//! 1. every alive client is schedulable — covered by some cluster after
+//!    each re-clustering (OPTICS noise points become singletons), and
+//! 2. a departed client is never selected again.
+
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use haccs::scheduler::{build_clusters, summarize_federation};
+use haccs::sysmodel::HeartbeatPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+const CLASSES: usize = 4;
+const SEED: u64 = 29;
+
+/// Materializes `n_total` skewed clients; the coordinator starts with the
+/// first `n_start` and the rest are held back for mid-training joins.
+fn build_world(
+    n_total: usize,
+    n_start: usize,
+    availability: Availability,
+) -> (FederatedDataset, Coordinator<HaccsSelector>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let specs = partition::majority_noise(
+        n_total,
+        CLASSES,
+        &partition::MAJORITY_NOISE_75,
+        (50, 100),
+        12,
+        &mut rng,
+    );
+    let gen = SynthVision::mnist_like(CLASSES, 8, SEED);
+    let full = FederatedDataset::materialize(&gen, &specs, SEED);
+    let profiles = DeviceProfile::sample_many(n_total, &mut rng);
+
+    let mut fed = full.clone();
+    fed.clients.truncate(n_start);
+    let summarizer = Summarizer::label_dist();
+    let summaries = summarize_federation(&fed, &summarizer, SEED ^ 0xD9);
+    let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+
+    let factory: ModelFactory =
+        Box::new(|| ModelKind::Mlp.build(1, 8, CLASSES, &mut StdRng::seed_from_u64(7)));
+    let coord = Coordinator::new(
+        factory,
+        fed,
+        profiles[..n_start].to_vec(),
+        LatencyModel::for_params(10_000, 2e-3, 1),
+        availability,
+        SimConfig { k: 4, seed: SEED, ..Default::default() },
+        HaccsSelector::new(groups, 0.5, "P(y)"),
+    )
+    .with_summary_seed(SEED ^ 0xD9)
+    .with_haccs_reclustering(2, ExtractionMethod::Auto);
+    (full, coord)
+}
+
+fn alive_ids(coord: &Coordinator<HaccsSelector>) -> Vec<usize> {
+    coord
+        .registry()
+        .entries()
+        .iter()
+        .filter(|e| e.liveness == Liveness::Alive)
+        .map(|e| e.id)
+        .collect()
+}
+
+fn cluster_cover(coord: &Coordinator<HaccsSelector>) -> HashSet<usize> {
+    coord.selector().groups().iter().flatten().copied().collect()
+}
+
+#[test]
+fn mid_training_join_reclusters_and_newcomer_gets_selected() {
+    let (full, mut coord) = build_world(12, 10, Availability::AlwaysOn);
+    let profiles = {
+        // replay build_world's rng stream so ids 10/11 get the profiles they
+        // would have had as founding members
+        let mut r = StdRng::seed_from_u64(SEED);
+        let _ = partition::majority_noise(
+            12,
+            CLASSES,
+            &partition::MAJORITY_NOISE_75,
+            (50, 100),
+            12,
+            &mut r,
+        );
+        DeviceProfile::sample_many(12, &mut r)
+    };
+
+    for _ in 0..2 {
+        coord.run_round();
+    }
+    let groups_before = coord.selector().groups().to_vec();
+    assert_eq!(coord.registry().len(), 10);
+
+    // two newcomers announce themselves mid-training
+    let a = coord.add_client(full.clients[10].clone(), profiles[10]);
+    let b = coord.add_client(full.clients[11].clone(), profiles[11]);
+    assert_eq!((a, b), (10, 11));
+
+    let mut newcomer_participated = false;
+    for _ in 2..10 {
+        let rec = coord.run_round();
+        newcomer_participated |= rec.participants.iter().any(|&id| id >= 10);
+        // invariant 1: every alive client sits in some cluster
+        let cover = cluster_cover(&coord);
+        for id in alive_ids(&coord) {
+            assert!(cover.contains(&id), "alive client {id} missing from cluster cover");
+        }
+    }
+    assert_eq!(coord.registry().len(), 12, "joins must enroll");
+    assert_ne!(coord.selector().groups(), &groups_before[..], "join must trigger re-clustering");
+    assert!(newcomer_participated, "a newcomer should be selected within 8 rounds");
+}
+
+#[test]
+fn scripted_leave_is_never_selected_again_and_drops_out_of_clusters() {
+    let (_, mut coord) = build_world(12, 12, Availability::AlwaysOn);
+    let leave_round = 3u64;
+    coord = coord.with_leave_after(0, leave_round).with_leave_after(5, leave_round);
+
+    for r in 0..10 {
+        let departed_before: HashSet<usize> = coord
+            .registry()
+            .entries()
+            .iter()
+            .filter(|e| e.liveness == Liveness::Left)
+            .map(|e| e.id)
+            .collect();
+        let rec = coord.run_round();
+        // invariant 2: no one selected after their Leave was processed
+        for id in &rec.participants {
+            assert!(!departed_before.contains(id), "departed client {id} selected in round {r}");
+        }
+    }
+
+    let reg = coord.registry();
+    assert_eq!(reg.get(0).liveness, Liveness::Left);
+    assert_eq!(reg.get(5).liveness, Liveness::Left);
+    let cover = cluster_cover(&coord);
+    assert!(!cover.contains(&0) && !cover.contains(&5), "clusters must shed departed clients");
+    // everyone else is still alive and covered
+    for id in alive_ids(&coord) {
+        assert!(cover.contains(&id));
+    }
+    assert_eq!(alive_ids(&coord).len(), 10);
+}
+
+#[test]
+fn silent_client_walks_suspected_then_left_and_faults_reach_selector() {
+    // client 2 never answers heartbeat probes; with suspect=2 / evict=4 it
+    // must be Suspected after round 1 (2 misses) and Left after round 3.
+    let (_, coord) = build_world(10, 10, Availability::permanent([2]));
+    let mut coord = coord.with_heartbeat(HeartbeatPolicy::new(1, 2, 4));
+
+    let mut states = Vec::new();
+    for _ in 0..6 {
+        // (registry is empty before round 0: enrollment happens in-round)
+        let was_probed =
+            coord.registry().entries().get(2).is_none_or(|e| e.liveness != Liveness::Left);
+        let rec = coord.run_round();
+        assert!(!rec.participants.contains(&2), "silent client must not be schedulable");
+        if was_probed {
+            assert!(rec.faults.hb_missed >= 1, "the silent probe must be accounted");
+        } else {
+            assert_eq!(rec.faults.hb_missed, 0, "evicted clients are no longer probed");
+        }
+        states.push(coord.registry().get(2).liveness);
+    }
+    assert_eq!(states[0], Liveness::Alive, "one miss is not yet suspicion");
+    assert_eq!(states[1], Liveness::Suspected);
+    assert_eq!(states[3], Liveness::Left);
+    assert_eq!(*states.last().unwrap(), Liveness::Left, "eviction is terminal");
+
+    // the evicted client disappears from the cluster cover too
+    assert!(!cluster_cover(&coord).contains(&2));
+}
