@@ -1,0 +1,193 @@
+//! `recluster-bench`: full-rebuild vs incremental §IV-C re-clustering
+//! under single-client churn.
+//!
+//! ```text
+//! recluster-bench [--clients N] [--events M] [--out FILE]
+//! ```
+//!
+//! Seeds an `N`-client federation (default 256), then applies `M`
+//! single-client churn events (joins, leaves, summary updates in
+//! rotation; default 30). After every event both paths re-cluster:
+//!
+//! * **full** — recompute the whole pairwise Hellinger matrix and run
+//!   OPTICS from scratch (`build_clusters`, the pre-cache behaviour),
+//! * **incremental** — `ClusterCache`: recompute one distance row,
+//!   maintain the sorted rows, warm-start OPTICS.
+//!
+//! The two group lists are asserted bit-identical at every step — the
+//! bench doubles as a soak — and the timings land in
+//! `results/recluster_bench.json` (the first BENCH trajectory point).
+
+use haccs_core::{build_clusters, summarize_federation, ClusterCache, ExtractionMethod};
+use haccs_data::{partition, FederatedDataset, SynthVision};
+use haccs_summary::{ClientSummary, Summarizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CLASSES: usize = 10;
+const SEED: u64 = 42;
+const MIN_PTS: usize = 2;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+struct Timings {
+    ms: Vec<f64>,
+}
+
+impl Timings {
+    fn new() -> Self {
+        Timings { ms: Vec::new() }
+    }
+    fn stats(&self) -> (f64, f64, f64, f64) {
+        let mut s = self.ms.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let total: f64 = s.iter().sum();
+        (total / s.len() as f64, percentile(&s, 0.5), percentile(&s, 0.95), total)
+    }
+}
+
+fn main() {
+    let mut n_clients = 256usize;
+    let mut n_events = 30usize;
+    let mut out = PathBuf::from("results/recluster_bench.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => n_clients = args.next().expect("--clients N").parse().expect("integer"),
+            "--events" => n_events = args.next().expect("--events M").parse().expect("integer"),
+            "--out" => out = PathBuf::from(args.next().expect("--out FILE")),
+            "--help" | "-h" => {
+                println!("usage: recluster-bench [--clients N] [--events M] [--out FILE]");
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    // materialize enough skewed clients for the seed federation plus
+    // every join event
+    let total = n_clients + n_events;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let specs = partition::majority_noise(
+        total,
+        CLASSES,
+        &partition::MAJORITY_NOISE_75,
+        (30, 60),
+        8,
+        &mut rng,
+    );
+    let gen = SynthVision::mnist_like(CLASSES, 8, SEED);
+    let fed = FederatedDataset::materialize(&gen, &specs, SEED);
+    let summarizer = Summarizer::label_dist().with_epsilon(1.0);
+    let pool = summarize_federation(&fed, &summarizer, SEED ^ 0xD9);
+    eprintln!("federation: {n_clients} clients, {n_events} churn events, P(y)/Hellinger");
+
+    // membership state: mirror (for the full path) + cache (incremental)
+    let mut cache = ClusterCache::new(summarizer, MIN_PTS, ExtractionMethod::Auto);
+    let mut mirror: Vec<(usize, ClientSummary)> = Vec::new();
+    for (id, s) in pool.iter().take(n_clients).enumerate() {
+        cache.add_client(id, s.clone());
+        mirror.push((id, s.clone()));
+    }
+    let mut next_id = n_clients;
+    cache.recluster(); // warm state matches the steady-state server
+
+    let full_groups = move |mirror: &[(usize, ClientSummary)]| -> Vec<Vec<usize>> {
+        let summaries: Vec<ClientSummary> = mirror.iter().map(|(_, s)| s.clone()).collect();
+        let (_, groups) = build_clusters(&summarizer, &summaries, MIN_PTS, ExtractionMethod::Auto);
+        groups.into_iter().map(|g| g.into_iter().map(|l| mirror[l].0).collect()).collect()
+    };
+
+    let mut t_full = Timings::new();
+    let mut t_incr = Timings::new();
+    for ev in 0..n_events {
+        // rotate join / leave / update, all single-client
+        match ev % 3 {
+            0 => {
+                let s = pool[next_id].clone();
+                mirror.push((next_id, s.clone()));
+                let t = Instant::now();
+                cache.add_client(next_id, s);
+                let incr = cache.recluster();
+                t_incr.ms.push(t.elapsed().as_secs_f64() * 1e3);
+                next_id += 1;
+                time_full(&mut t_full, &full_groups, &mirror, &incr, ev);
+            }
+            1 => {
+                let victim = mirror.remove(ev % mirror.len()).0;
+                let t = Instant::now();
+                cache.remove_client(victim);
+                let incr = cache.recluster();
+                t_incr.ms.push(t.elapsed().as_secs_f64() * 1e3);
+                time_full(&mut t_full, &full_groups, &mirror, &incr, ev);
+            }
+            _ => {
+                let pos = (ev * 7) % mirror.len();
+                let donor = pool[(ev * 13) % pool.len()].clone();
+                mirror[pos].1 = donor.clone();
+                let id = mirror[pos].0;
+                let t = Instant::now();
+                cache.update_summary(id, donor);
+                let incr = cache.recluster();
+                t_incr.ms.push(t.elapsed().as_secs_f64() * 1e3);
+                time_full(&mut t_full, &full_groups, &mirror, &incr, ev);
+            }
+        }
+    }
+
+    let (f_mean, f_p50, f_p95, f_total) = t_full.stats();
+    let (i_mean, i_p50, i_p95, i_total) = t_incr.stats();
+    let speedup = f_mean / i_mean;
+    println!(
+        "full rebuild : mean {f_mean:.3} ms  p50 {f_p50:.3}  p95 {f_p95:.3}  total {f_total:.1} ms"
+    );
+    println!(
+        "incremental  : mean {i_mean:.3} ms  p50 {i_p50:.3}  p95 {i_p95:.3}  total {i_total:.1} ms"
+    );
+    println!("speedup      : {speedup:.1}x (bit-identical groups at every event)");
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"recluster\",\n  \"n_clients\": {n_clients},\n  \"events\": {n_events},\n  \
+         \"churn\": \"single-client join/leave/update rotation\",\n  \
+         \"full_ms\": {{\"mean\": {f_mean:.4}, \"p50\": {f_p50:.4}, \"p95\": {f_p95:.4}, \"total\": {f_total:.4}}},\n  \
+         \"incremental_ms\": {{\"mean\": {i_mean:.4}, \"p50\": {i_p50:.4}, \"p95\": {i_p95:.4}, \"total\": {i_total:.4}}},\n  \
+         \"speedup\": {speedup:.2},\n  \"parity\": \"bit-identical\"\n}}\n"
+    );
+    let mut f = std::fs::File::create(&out).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("saved {}", out.display());
+
+    assert!(
+        speedup > 1.0,
+        "incremental re-clustering must beat the full rebuild (got {speedup:.2}x)"
+    );
+}
+
+/// The from-scratch re-clustering path over a `(id, summary)` membership
+/// mirror, yielding id-mapped schedulable groups.
+type GroupsFn = dyn Fn(&[(usize, ClientSummary)]) -> Vec<Vec<usize>>;
+
+/// Times the from-scratch path over the *same* post-event membership and
+/// asserts it produced the exact groups the incremental path did.
+fn time_full(
+    t_full: &mut Timings,
+    full_groups: &GroupsFn,
+    mirror: &[(usize, ClientSummary)],
+    incremental: &[Vec<usize>],
+    ev: usize,
+) {
+    let t = Instant::now();
+    let full = full_groups(mirror);
+    t_full.ms.push(t.elapsed().as_secs_f64() * 1e3);
+    assert_eq!(full, incremental, "parity broke at event {ev}");
+}

@@ -23,6 +23,9 @@ pub mod agglomerative;
 pub mod dbscan;
 pub mod optics;
 pub mod quality;
+pub mod warm;
+
+pub use warm::WarmOptics;
 
 /// A clustering result: per-point cluster label, `None` = noise.
 ///
@@ -76,6 +79,27 @@ impl Clustering {
         self.labels.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect()
     }
 
+    /// Relabels clusters into the **canonical id assignment**: clusters
+    /// are numbered by ascending lowest member index. Extraction methods
+    /// assign ids in visit order, which is deterministic for one matrix
+    /// but permutes freely between equal re-cluster runs (the OPTICS
+    /// ordering may walk the same partition differently after an
+    /// unrelated join). Canonical ids make "same partition" imply "same
+    /// labels", which the churn parity suite relies on.
+    pub fn canonical(self) -> Clustering {
+        let mut remap: Vec<Option<usize>> = vec![None; self.n_clusters];
+        let mut next = 0usize;
+        // first occurrence in index order = lowest member index
+        for label in self.labels.iter().flatten() {
+            if remap[*label].is_none() {
+                remap[*label] = Some(next);
+                next += 1;
+            }
+        }
+        let labels = self.labels.iter().map(|l| l.map(|c| remap[c].expect("dense ids"))).collect();
+        Clustering { labels, n_clusters: self.n_clusters }
+    }
+
     /// Converts to a flat list of clusters where each noise point becomes
     /// its own singleton cluster. HACCS schedules *clusters*, and every
     /// client must remain schedulable, so noise devices act as clusters of
@@ -121,5 +145,23 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn sparse_ids_rejected() {
         Clustering::new(vec![Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn canonical_orders_clusters_by_lowest_member() {
+        // visit order assigned cluster 0 to the *later* points
+        let c = Clustering::new(vec![Some(1), None, Some(0), Some(1)]);
+        let canon = c.canonical();
+        assert_eq!(canon.labels(), &[Some(0), None, Some(1), Some(0)]);
+        assert_eq!(canon.n_clusters(), 2);
+        assert_eq!(canon.members(0), vec![0, 3]);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let c = Clustering::new(vec![Some(2), Some(0), Some(1), Some(2)]);
+        let once = c.canonical();
+        let twice = once.clone().canonical();
+        assert_eq!(once, twice);
     }
 }

@@ -36,21 +36,36 @@ pub fn optics(dist: &[Vec<f32>], eps: f32, min_pts: usize) -> Optics {
     assert!(min_pts >= 1, "min_pts must be at least 1");
     assert!(eps >= 0.0, "eps must be non-negative");
     let n = dist.len();
-
-    // core distance: distance to the min_pts-th nearest neighbor (self
-    // included), undefined if that exceeds eps
     let core_dist: Vec<f32> = (0..n)
         .map(|i| {
             let mut ds: Vec<f32> = dist[i].clone();
             ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            if ds.len() >= min_pts && ds[min_pts - 1] <= eps {
-                ds[min_pts - 1]
-            } else {
-                f32::INFINITY
-            }
+            core_from_sorted(&ds, eps, min_pts)
         })
         .collect();
+    expand(dist, eps, min_pts, core_dist)
+}
 
+/// Core distance from a point's *sorted* distance row (self included):
+/// distance to the `min_pts`-th nearest neighbor, undefined (`INFINITY`)
+/// if that exceeds `eps`. The warm-start path maintains sorted rows
+/// incrementally and feeds them through this exact function, so its core
+/// distances are bit-identical to the cold path's.
+pub(crate) fn core_from_sorted(sorted_row: &[f32], eps: f32, min_pts: usize) -> f32 {
+    if sorted_row.len() >= min_pts && sorted_row[min_pts - 1] <= eps {
+        sorted_row[min_pts - 1]
+    } else {
+        f32::INFINITY
+    }
+}
+
+/// The OPTICS expansion loop over precomputed core distances. Shared
+/// between [`optics`] and the warm-start path
+/// ([`crate::warm::WarmOptics`]): given the same matrix and core
+/// distances, the ordering is a deterministic function — no RNG, ties
+/// broken by index.
+pub(crate) fn expand(dist: &[Vec<f32>], eps: f32, min_pts: usize, core_dist: Vec<f32>) -> Optics {
+    let n = dist.len();
     let mut processed = vec![false; n];
     let mut order = Vec::with_capacity(n);
     let mut reachability = Vec::with_capacity(n);

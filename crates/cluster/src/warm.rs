@@ -1,0 +1,261 @@
+//! Warm-start OPTICS for dynamic membership (§IV-C re-clustering under
+//! churn).
+//!
+//! A cold [`crate::optics::optics`] run sorts every row of the distance
+//! matrix to find core distances — `O(n² log n)` comparisons — even when a
+//! single client joined or left. [`WarmOptics`] keeps one **sorted
+//! distance row per point** and maintains them incrementally: a join
+//! inserts one value into each surviving row (`O(log n)` search + shift),
+//! a leave removes one, an updated summary swaps one. The expansion loop
+//! then runs over the cached rows' core distances, and when *nothing*
+//! changed since the last run the prior ordering is returned outright.
+//!
+//! The headline guarantee — pinned by the churn property suite — is that
+//! every result is **bit-identical** to a cold run on the same matrix:
+//! each maintained row holds exactly the multiset of the matrix row, so
+//! the `min_pts`-th smallest element (the core distance) is the same f32,
+//! and the expansion is a deterministic function of matrix + core
+//! distances with index tie-breaks.
+
+use crate::optics::{core_from_sorted, expand, Optics};
+
+/// Incrementally maintained OPTICS state: per-point sorted distance rows
+/// plus the last computed ordering.
+#[derive(Debug, Clone)]
+pub struct WarmOptics {
+    eps: f32,
+    min_pts: usize,
+    /// `rows[i]` = sorted multiset of `dist[i][..]` (self distance 0.0
+    /// included), mirroring the cold path's per-row sort.
+    rows: Vec<Vec<f32>>,
+    /// The last expansion result, valid while no edit has arrived since.
+    cached: Option<Optics>,
+}
+
+impl WarmOptics {
+    /// Empty state with the generating radius and density threshold every
+    /// run will use (`eps = f32::INFINITY` is HACCS's default).
+    pub fn new(eps: f32, min_pts: usize) -> Self {
+        assert!(eps >= 0.0, "eps must be non-negative");
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        WarmOptics { eps, min_pts, rows: Vec::new(), cached: None }
+    }
+
+    /// Number of points currently tracked.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no points are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The density threshold runs use.
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    /// A point was inserted at matrix position `pos`. `row` is the new
+    /// point's full distance row in the **post-insert** indexing (length
+    /// `len() + 1`, `row[pos] == 0.0`).
+    pub fn insert(&mut self, pos: usize, row: &[f32]) {
+        assert_eq!(row.len(), self.rows.len() + 1, "row must cover every point post-insert");
+        assert!(pos < row.len(), "insert position out of bounds");
+        assert_eq!(row[pos], 0.0, "self distance must be zero");
+        for (i, existing) in self.rows.iter_mut().enumerate() {
+            let j = if i < pos { i } else { i + 1 };
+            sorted_insert(existing, row[j]);
+        }
+        let mut own = row.to_vec();
+        own.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.rows.insert(pos, own);
+        self.cached = None;
+    }
+
+    /// The point at matrix position `pos` was removed. `row` is that
+    /// point's distance row in the **pre-remove** indexing (length
+    /// `len()`), used to delete its contribution from every surviving row.
+    pub fn remove(&mut self, pos: usize, row: &[f32]) {
+        assert_eq!(row.len(), self.rows.len(), "row must cover every point pre-remove");
+        assert!(pos < self.rows.len(), "remove position out of bounds");
+        self.rows.remove(pos);
+        let mut i = 0;
+        for (old_idx, d) in row.iter().enumerate() {
+            if old_idx == pos {
+                continue;
+            }
+            sorted_remove(&mut self.rows[i], *d);
+            i += 1;
+        }
+        self.cached = None;
+    }
+
+    /// The point at matrix position `pos` changed its distances (an
+    /// updated summary). `old_row`/`new_row` are its rows before and
+    /// after, both in the unchanged indexing (`[pos] == 0.0`).
+    pub fn update(&mut self, pos: usize, old_row: &[f32], new_row: &[f32]) {
+        assert_eq!(old_row.len(), self.rows.len());
+        assert_eq!(new_row.len(), self.rows.len());
+        assert!(pos < self.rows.len(), "update position out of bounds");
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == pos {
+                continue;
+            }
+            sorted_remove(row, old_row[i]);
+            sorted_insert(row, new_row[i]);
+        }
+        let mut own = new_row.to_vec();
+        own.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.rows[pos] = own;
+        self.cached = None;
+    }
+
+    /// Runs OPTICS over `dist`, reusing the maintained sorted rows for
+    /// core distances and the prior ordering when no edit arrived since
+    /// the last run. `dist` must be the matrix the edit stream described.
+    pub fn run(&mut self, dist: &[Vec<f32>]) -> &Optics {
+        assert_eq!(dist.len(), self.rows.len(), "matrix/edit-stream mismatch");
+        if self.cached.is_none() {
+            let core: Vec<f32> =
+                self.rows.iter().map(|row| core_from_sorted(row, self.eps, self.min_pts)).collect();
+            self.cached = Some(expand(dist, self.eps, self.min_pts, core));
+        }
+        self.cached.as_ref().expect("just computed")
+    }
+
+    /// The last computed ordering, if no edit invalidated it.
+    pub fn cached(&self) -> Option<&Optics> {
+        self.cached.as_ref()
+    }
+}
+
+/// Inserts `value` into a sorted vector, keeping it sorted.
+fn sorted_insert(row: &mut Vec<f32>, value: f32) {
+    assert!(!value.is_nan(), "distance must not be NaN");
+    let pos = row.partition_point(|&x| x < value);
+    row.insert(pos, value);
+}
+
+/// Removes one occurrence of `value` from a sorted vector. The value is
+/// always present bit-for-bit: it was inserted from the same distance
+/// computation that now asks for its removal.
+fn sorted_remove(row: &mut Vec<f32>, value: f32) {
+    let start = row.partition_point(|&x| x < value);
+    assert!(
+        start < row.len() && row[start] == value,
+        "removing a distance that was never inserted: {value}"
+    );
+    row.remove(start);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optics::optics;
+
+    fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
+        xs.iter().map(|&a| xs.iter().map(|&b| (a - b).abs()).collect()).collect()
+    }
+
+    /// Full row of point `pos` within `xs`.
+    fn row_of(xs: &[f32], pos: usize) -> Vec<f32> {
+        xs.iter().map(|&b| (xs[pos] - b).abs()).collect()
+    }
+
+    #[test]
+    fn incremental_build_matches_cold_run() {
+        let xs = [0.0f32, 0.1, 5.0, 5.1, 10.0, 0.2];
+        let mut warm = WarmOptics::new(f32::INFINITY, 2);
+        let mut present: Vec<f32> = Vec::new();
+        for &x in &xs {
+            let pos = present.partition_point(|&p| p < x);
+            present.insert(pos, x);
+            warm.insert(pos, &row_of(&present, pos));
+        }
+        let dist = line_dist(&present);
+        let w = warm.run(&dist).clone();
+        let c = optics(&dist, f32::INFINITY, 2);
+        assert_eq!(w.order, c.order);
+        assert_eq!(w.reachability, c.reachability);
+        assert_eq!(w.core_dist, c.core_dist);
+    }
+
+    #[test]
+    fn remove_matches_cold_run() {
+        let xs = [0.0f32, 0.1, 0.2, 5.0, 5.1, 5.2];
+        let mut warm = WarmOptics::new(f32::INFINITY, 2);
+        let mut present: Vec<f32> = Vec::new();
+        for &x in &xs {
+            let pos = present.len();
+            present.push(x);
+            warm.insert(pos, &row_of(&present, pos));
+        }
+        // drop the middle of the first blob
+        warm.remove(1, &row_of(&present, 1));
+        present.remove(1);
+        let dist = line_dist(&present);
+        let w = warm.run(&dist).clone();
+        let c = optics(&dist, f32::INFINITY, 2);
+        assert_eq!(w.order, c.order);
+        assert_eq!(w.reachability, c.reachability);
+    }
+
+    #[test]
+    fn update_matches_cold_run() {
+        let xs = [0.0f32, 0.1, 5.0, 5.1];
+        let mut warm = WarmOptics::new(f32::INFINITY, 2);
+        let mut present: Vec<f32> = Vec::new();
+        for &x in &xs {
+            let pos = present.len();
+            present.push(x);
+            warm.insert(pos, &row_of(&present, pos));
+        }
+        // point 0 drifts to the second blob
+        let old_row = row_of(&present, 0);
+        present[0] = 5.2;
+        let new_row = row_of(&present, 0);
+        warm.update(0, &old_row, &new_row);
+        let dist = line_dist(&present);
+        let w = warm.run(&dist).clone();
+        let c = optics(&dist, f32::INFINITY, 2);
+        assert_eq!(w.order, c.order);
+        assert_eq!(w.reachability, c.reachability);
+    }
+
+    #[test]
+    fn clean_state_returns_cached_ordering_without_rerun() {
+        let xs = [0.0f32, 0.1, 5.0];
+        let mut warm = WarmOptics::new(f32::INFINITY, 2);
+        let mut present: Vec<f32> = Vec::new();
+        for &x in &xs {
+            let pos = present.len();
+            present.push(x);
+            warm.insert(pos, &row_of(&present, pos));
+        }
+        let dist = line_dist(&present);
+        assert!(warm.cached().is_none());
+        warm.run(&dist);
+        assert!(warm.cached().is_some(), "run must populate the cache");
+        let first = warm.run(&dist) as *const Optics;
+        let second = warm.run(&dist) as *const Optics;
+        assert_eq!(first, second, "clean reruns must reuse the prior ordering");
+    }
+
+    #[test]
+    #[should_panic(expected = "never inserted")]
+    fn removing_unknown_distance_panics() {
+        let mut warm = WarmOptics::new(f32::INFINITY, 2);
+        warm.insert(0, &[0.0]);
+        warm.insert(1, &[1.0, 0.0]);
+        warm.remove(0, &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_state_runs() {
+        let mut warm = WarmOptics::new(f32::INFINITY, 2);
+        assert!(warm.is_empty());
+        let o = warm.run(&[]);
+        assert!(o.is_empty());
+    }
+}

@@ -1,9 +1,12 @@
-//! Property-based tests for DBSCAN/OPTICS over random 1-D point sets.
+//! Property-based tests for DBSCAN/OPTICS over random 1-D point sets,
+//! including the warm-start churn invariant: [`WarmOptics`] over any
+//! join/leave/update sequence is **bit-identical** to a cold
+//! [`optics`] run on the same matrix.
 
 use haccs_cluster::dbscan::dbscan;
 use haccs_cluster::optics::optics;
 use haccs_cluster::quality::{cluster_identification_accuracy, rand_index};
-use haccs_cluster::Clustering;
+use haccs_cluster::{Clustering, WarmOptics};
 use proptest::prelude::*;
 
 fn line_dist(xs: &[f32]) -> Vec<Vec<f32>> {
@@ -132,6 +135,82 @@ proptest! {
         // self-agreement when noise treated as its own class in truth too
         let ri_self = rand_index(&pred, &raw.to_vec());
         prop_assert!((0.0..=1.0).contains(&ri_self), "rand index {}", ri_self); // bounded-only sanity
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold_optics_under_churn(
+        init in proptest::collection::vec(0.0f32..100.0, 2..10),
+        ops in proptest::collection::vec((0u8..3, 0.0f32..100.0, any::<usize>()), 1..24),
+        min_pts in 1usize..4,
+    ) {
+        // the live point set; matrix index = position in this vector
+        let mut points: Vec<f32> = Vec::new();
+        let mut warm = WarmOptics::new(f32::INFINITY, min_pts);
+        let row_of = |pts: &[f32], pos: usize| -> Vec<f32> {
+            pts.iter().map(|&b| (pts[pos] - b).abs()).collect()
+        };
+
+        for &x in &init {
+            let pos = points.len();
+            points.push(x);
+            warm.insert(pos, &row_of(&points, pos));
+        }
+
+        for (op, val, pick) in ops {
+            match op {
+                0 => {
+                    // join at an arbitrary matrix position
+                    let pos = pick % (points.len() + 1);
+                    points.insert(pos, val);
+                    warm.insert(pos, &row_of(&points, pos));
+                }
+                1 if points.len() > 1 => {
+                    let pos = pick % points.len();
+                    warm.remove(pos, &row_of(&points, pos));
+                    points.remove(pos);
+                }
+                _ if !points.is_empty() => {
+                    let pos = pick % points.len();
+                    let old_row = row_of(&points, pos);
+                    points[pos] = val;
+                    warm.update(pos, &old_row, &row_of(&points, pos));
+                }
+                _ => {}
+            }
+
+            // every churn step: warm == cold, bit for bit
+            let dist = line_dist(&points);
+            let cold = optics(&dist, f32::INFINITY, min_pts);
+            let w = warm.run(&dist);
+            prop_assert_eq!(&w.order, &cold.order, "orders diverged at n={}", points.len());
+            prop_assert_eq!(&w.reachability, &cold.reachability, "reachability diverged");
+            prop_assert_eq!(&w.core_dist, &cold.core_dist, "core distances diverged");
+            // and the extracted partitions coincide (same Optics in = same out)
+            prop_assert_eq!(w.extract_auto(), cold.extract_auto());
+        }
+    }
+
+    #[test]
+    fn canonical_labels_are_stable_and_equivalent(xs in points(), min_pts in 2usize..4) {
+        let o = optics(&line_dist(&xs), f32::INFINITY, min_pts);
+        let raw = o.extract_auto();
+        let canon = raw.clone().canonical();
+        // same partition: pairwise co-membership must be preserved
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                let same_raw = raw.labels()[i].is_some() && raw.labels()[i] == raw.labels()[j];
+                let same_canon =
+                    canon.labels()[i].is_some() && canon.labels()[i] == canon.labels()[j];
+                prop_assert_eq!(same_raw, same_canon, "pair ({},{}) regrouped", i, j);
+            }
+        }
+        // canonical ids ascend with the lowest member index
+        let firsts: Vec<usize> = (0..canon.n_clusters())
+            .map(|c| *canon.members(c).first().expect("dense ids"))
+            .collect();
+        prop_assert!(firsts.windows(2).all(|w| w[0] < w[1]), "ids not ordered: {:?}", firsts);
+        // idempotent
+        prop_assert_eq!(canon.clone().canonical(), canon);
     }
 
     #[test]

@@ -94,8 +94,13 @@ fn nonce_for(seed: u64, id: usize) -> u64 {
     splitmix64(seed ^ (id as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)).max(1)
 }
 
-/// The §IV-C re-clustering hook for [`HaccsSelector`]: cluster the
-/// registry's wire summaries and swap the selector's groups in place.
+/// The §IV-C re-clustering hook for [`HaccsSelector`], **full-rebuild
+/// edition**: recompute the entire O(n²) Hellinger matrix and rerun
+/// OPTICS from scratch on every membership change. Kept as the reference
+/// implementation the incremental hook is tested bit-identical against
+/// (and the baseline the recluster bench times); production callers get
+/// [`haccs_cached_recluster_hook`] via
+/// [`Coordinator::with_haccs_reclustering`].
 pub fn haccs_recluster_hook(
     summarizer: Summarizer,
     min_pts: usize,
@@ -103,6 +108,27 @@ pub fn haccs_recluster_hook(
 ) -> impl FnMut(&mut haccs_core::HaccsSelector, &[(usize, WireSummary)]) {
     move |sel, entries| {
         let groups = haccs_core::cluster_wire_summaries(&summarizer, entries, min_pts, extraction);
+        if !groups.is_empty() {
+            sel.recluster(groups);
+        }
+    }
+}
+
+/// The §IV-C re-clustering hook for [`HaccsSelector`], **incremental
+/// edition**: a [`haccs_core::ClusterCache`] lives inside the closure and
+/// diffs the registry's membership view on every invocation, so a churn
+/// event costs one recomputed distance row plus a warm-start OPTICS pass
+/// instead of the full O(n²) rebuild. Produces bit-identical groups to
+/// [`haccs_recluster_hook`] — pinned by the churn parity suite.
+pub fn haccs_cached_recluster_hook(
+    summarizer: Summarizer,
+    min_pts: usize,
+    extraction: haccs_core::ExtractionMethod,
+) -> impl FnMut(&mut haccs_core::HaccsSelector, &[(usize, WireSummary)]) {
+    let mut cache = haccs_core::ClusterCache::new(summarizer, min_pts, extraction);
+    move |sel, entries| {
+        cache.sync_wire(entries);
+        let groups = cache.recluster();
         if !groups.is_empty() {
             sel.recluster(groups);
         }
@@ -301,6 +327,19 @@ impl<S: Selector> Coordinator<S> {
         let id = self.agents.len() + self.pending.len();
         self.pending.push(PendingJoin { data, profile, leave_after: None });
         id
+    }
+
+    /// Processes a `SummaryUpdate` frame's payload (§IV-C drift): the
+    /// registry re-caches the client's summary and the re-clustering hook
+    /// fires at the next round boundary, exactly as after a join or
+    /// departure. Frames for departed clients are dropped (a late update
+    /// can race a `Leave`).
+    pub fn observe_summary_update(&mut self, id: usize, summary: WireSummary) {
+        if self.registry.get(id).liveness == Liveness::Left {
+            return;
+        }
+        self.registry.observe_summary_update(id, summary);
+        self.membership_dirty = true;
     }
 
     /// [`Self::add_client`] with a scripted departure round.
@@ -875,9 +914,24 @@ impl<S: Selector> Drop for Coordinator<S> {
 // HaccsSelector-specific convenience so callers don't need to thread the
 // concrete type through `with_recluster_hook` themselves.
 impl Coordinator<HaccsSelector> {
-    /// Installs [`haccs_recluster_hook`] with the coordinator's own
-    /// summarizer.
+    /// Installs [`haccs_cached_recluster_hook`] — the incremental
+    /// distance-cache path — with the coordinator's own summarizer. This
+    /// is the default §IV-C wiring; it is bit-identical to the
+    /// full-rebuild [`Self::with_haccs_full_reclustering`] (the churn
+    /// parity suite pins this) but each membership change costs one
+    /// recomputed distance row instead of the whole matrix.
     pub fn with_haccs_reclustering(
+        self,
+        min_pts: usize,
+        extraction: haccs_core::ExtractionMethod,
+    ) -> Self {
+        let summarizer = self.summarizer;
+        self.with_recluster_hook(haccs_cached_recluster_hook(summarizer, min_pts, extraction))
+    }
+
+    /// Installs the from-scratch [`haccs_recluster_hook`] — the reference
+    /// implementation the incremental path is verified against.
+    pub fn with_haccs_full_reclustering(
         self,
         min_pts: usize,
         extraction: haccs_core::ExtractionMethod,

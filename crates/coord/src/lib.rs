@@ -30,6 +30,6 @@ pub mod events;
 pub mod registry;
 
 pub use agent::{AgentConfig, Envelope, TransmitOutcome};
-pub use coordinator::{haccs_recluster_hook, Coordinator, RoundPhase};
+pub use coordinator::{haccs_cached_recluster_hook, haccs_recluster_hook, Coordinator, RoundPhase};
 pub use events::{Event, EventQueue};
 pub use registry::{ClientEntry, ClientRegistry, Liveness};

@@ -175,6 +175,17 @@ impl ClientRegistry {
     pub fn observe_leave(&mut self, id: usize) {
         self.entries[id].liveness = Liveness::Left;
     }
+
+    /// A `SummaryUpdate` frame was processed: the client's local data
+    /// drifted (§IV-C) and it shipped a fresh summary. Departed clients
+    /// are ignored (a late frame can race a `Leave`).
+    pub fn observe_summary_update(&mut self, id: usize, summary: WireSummary) {
+        let e = &mut self.entries[id];
+        if e.liveness == Liveness::Left {
+            return;
+        }
+        e.summary = summary;
+    }
 }
 
 #[cfg(test)]

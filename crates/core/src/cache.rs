@@ -1,0 +1,309 @@
+//! [`ClusterCache`]: the incremental §IV-C re-clustering state shared by
+//! both runtimes.
+//!
+//! It pairs a [`DistanceCache`] (condensed pairwise-distance matrix, one
+//! recomputed row per churn event) with a [`WarmOptics`] (incrementally
+//! maintained sorted rows + prior ordering) and applies the configured
+//! [`ExtractionMethod`] on top, producing the same schedulable id groups
+//! as the from-scratch [`crate::clusters::build_clusters`] path —
+//! **bit-identically**, at every churn step. The full-rebuild path stays
+//! in the tree as the reference the parity suite (and the recluster
+//! bench) compares against.
+//!
+//! Entry points per runtime:
+//!
+//! * the message-driven coordinator diffs its registry's wire summaries
+//!   through [`ClusterCache::sync_wire`] (Join/Leave/eviction/drift all
+//!   reduce to add/remove/update),
+//! * the in-process loop engine uses [`engine_add_client`] /
+//!   [`engine_replace_client_data`], which keep the cache and the
+//!   [`FedSim`] membership in lockstep.
+
+use crate::clusters::{client_summary_seed, summarize_federation, ExtractionMethod};
+use crate::wire_bridge::summary_from_wire;
+use haccs_cluster::WarmOptics;
+use haccs_data::{ClientData, FederatedDataset};
+use haccs_fedsim::FedSim;
+use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
+use haccs_sysmodel::DeviceProfile;
+use haccs_wire::WireSummary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Incremental clustering state: distance cache + warm-start OPTICS +
+/// extraction. One instance serves a whole training run across arbitrary
+/// membership churn.
+#[derive(Debug)]
+pub struct ClusterCache {
+    dist: DistanceCache,
+    warm: WarmOptics,
+    extraction: ExtractionMethod,
+}
+
+impl ClusterCache {
+    /// Empty cache. `min_pts` and `extraction` match the arguments the
+    /// from-scratch [`crate::clusters::build_clusters`] call would take;
+    /// the OPTICS generating radius is `f32::INFINITY`, HACCS's default.
+    pub fn new(summarizer: Summarizer, min_pts: usize, extraction: ExtractionMethod) -> Self {
+        ClusterCache {
+            dist: DistanceCache::new(summarizer),
+            warm: WarmOptics::new(f32::INFINITY, min_pts),
+            extraction,
+        }
+    }
+
+    /// Number of cached clients.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// True when no clients are cached.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Cached client ids, ascending.
+    pub fn ids(&self) -> &[usize] {
+        self.dist.ids()
+    }
+
+    /// True if `id` is cached.
+    pub fn contains(&self, id: usize) -> bool {
+        self.dist.contains(id)
+    }
+
+    /// The summarizer distances are computed with.
+    pub fn summarizer(&self) -> &Summarizer {
+        self.dist.summarizer()
+    }
+
+    /// The underlying distance cache (read-only; edits must flow through
+    /// this type so the warm OPTICS state stays consistent).
+    pub fn distances(&self) -> &DistanceCache {
+        &self.dist
+    }
+
+    /// A client joined: computes its distance row (the only `n` summary
+    /// distances evaluated) and splices it into the warm OPTICS state.
+    pub fn add_client(&mut self, id: usize, summary: ClientSummary) {
+        let (pos, row) = self.dist.add_client(id, summary);
+        self.warm.insert(pos, &row);
+    }
+
+    /// A client left (graceful `Leave` or eviction). No distances are
+    /// recomputed.
+    pub fn remove_client(&mut self, id: usize) {
+        let (pos, row) = self.dist.remove_client(id);
+        self.warm.remove(pos, &row);
+    }
+
+    /// A client's data drifted (§IV-C): recomputes its row only.
+    pub fn update_summary(&mut self, id: usize, summary: ClientSummary) {
+        let (pos, old_row, new_row) = self.dist.update_summary(id, summary);
+        self.warm.update(pos, &old_row, &new_row);
+    }
+
+    /// Seeds the cache with every client of a federation, using the same
+    /// per-client DP noise streams as
+    /// [`summarize_federation`] — so engine-side
+    /// construction and cache construction agree bit-for-bit.
+    pub fn insert_federation(&mut self, fed: &FederatedDataset, summary_seed: u64) {
+        let summarizer = *self.dist.summarizer();
+        for (i, s) in summarize_federation(fed, &summarizer, summary_seed).into_iter().enumerate() {
+            self.add_client(i, s);
+        }
+    }
+
+    /// Diffs the registry's current `(id, summary)` membership view
+    /// against the cache and applies the minimal add/remove/update set.
+    /// This is the coordinator-facing entry point: the §IV-C hook hands
+    /// it `member_summaries()` and every kind of churn — mid-training
+    /// joins, graceful leaves, evictions, drift — reduces to row edits.
+    pub fn sync_wire(&mut self, entries: &[(usize, WireSummary)]) {
+        let departed: Vec<usize> = {
+            let mut present = entries.iter().map(|(id, _)| *id).collect::<Vec<_>>();
+            present.sort_unstable();
+            self.dist
+                .ids()
+                .iter()
+                .copied()
+                .filter(|id| present.binary_search(id).is_err())
+                .collect()
+        };
+        for id in departed {
+            self.remove_client(id);
+        }
+        for (id, wire) in entries {
+            let summary = summary_from_wire(wire);
+            match self.dist.summary(*id) {
+                None => self.add_client(*id, summary),
+                Some(cached) if *cached != summary => self.update_summary(*id, summary),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Re-clusters over the cached state: warm-start OPTICS (cold only on
+    /// the edited rows' core distances; the prior ordering is reused
+    /// outright when nothing changed) → extraction → schedulable groups
+    /// of **client ids**. Bit-identical to
+    /// `build_clusters(...).1` over the id-sorted summaries.
+    pub fn recluster(&mut self) -> Vec<Vec<usize>> {
+        if self.dist.is_empty() {
+            return Vec::new();
+        }
+        let dense = self.dist.dense();
+        let o = self.warm.run(&dense);
+        let clustering = self.extraction.extract(o);
+        clustering
+            .to_schedulable_groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(|local| self.dist.ids()[local]).collect())
+            .collect()
+    }
+}
+
+/// Adds a client to a running [`FedSim`] **and** the shared cluster
+/// cache, computing its DP-noised summary with the same per-client seed
+/// derivation ([`client_summary_seed`]) the initial
+/// [`summarize_federation`] pass used. Returns the new client's id; call
+/// [`ClusterCache::recluster`] next to refresh the selector's groups.
+pub fn engine_add_client(
+    sim: &mut FedSim,
+    cache: &mut ClusterCache,
+    data: ClientData,
+    profile: DeviceProfile,
+    summary_seed: u64,
+) -> usize {
+    let id = sim.n_clients();
+    let mut rng = StdRng::seed_from_u64(client_summary_seed(summary_seed, id));
+    let summary = cache.summarizer().summarize(&data.train, &mut rng);
+    let assigned = sim.add_client(data, profile);
+    debug_assert_eq!(assigned, id, "FedSim must assign dense ids");
+    cache.add_client(id, summary);
+    id
+}
+
+/// Replaces a client's local data in a running [`FedSim`] **and**
+/// refreshes its cached summary row (§IV-C drift). The client re-noises
+/// its summary with its own seed stream, exactly as a real device
+/// shipping a `SummaryUpdate` frame would.
+pub fn engine_replace_client_data(
+    sim: &mut FedSim,
+    cache: &mut ClusterCache,
+    id: usize,
+    data: ClientData,
+    summary_seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(client_summary_seed(summary_seed, id));
+    let summary = cache.summarizer().summarize(&data.train, &mut rng);
+    sim.replace_client_data(id, data);
+    cache.update_summary(id, summary);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::build_clusters;
+    use crate::wire_bridge::summary_to_wire;
+    use haccs_data::{partition, SynthVision};
+
+    fn grouped_federation(groups: usize, per: usize) -> FederatedDataset {
+        let gen = SynthVision::mnist_like(2 * groups, 8, 0);
+        let mut specs = Vec::new();
+        for g in 0..groups {
+            for _ in 0..per {
+                let mut w = vec![0.0f32; 2 * groups];
+                w[2 * g] = 0.5;
+                w[2 * g + 1] = 0.5;
+                specs.push(partition::ClientSpec {
+                    label_weights: w,
+                    n_train: 100,
+                    n_test: 0,
+                    rotation_deg: 0.0,
+                    brightness: 0.0,
+                    contrast: 1.0,
+                    group: Some(g),
+                });
+            }
+        }
+        FederatedDataset::materialize(&gen, &specs, 0)
+    }
+
+    /// From-scratch groups over the cache's own id-sorted summaries —
+    /// the reference the incremental result must equal bit-for-bit.
+    fn full_rebuild(cache: &ClusterCache, min_pts: usize) -> Vec<Vec<usize>> {
+        let summaries: Vec<ClientSummary> =
+            cache.ids().iter().map(|&id| cache.distances().summary(id).unwrap().clone()).collect();
+        let (_, groups) =
+            build_clusters(cache.summarizer(), &summaries, min_pts, ExtractionMethod::Auto);
+        groups
+            .into_iter()
+            .map(|g| g.into_iter().map(|local| cache.ids()[local]).collect())
+            .collect()
+    }
+
+    #[test]
+    fn federation_insert_matches_full_build() {
+        let fed = grouped_federation(3, 4);
+        let mut cache = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        cache.insert_federation(&fed, 7);
+        let groups = cache.recluster();
+        assert_eq!(groups, full_rebuild(&cache, 2));
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn churn_stays_identical_to_rebuild() {
+        let fed = grouped_federation(3, 4);
+        let mut cache = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        cache.insert_federation(&fed, 7);
+
+        cache.remove_client(5);
+        assert_eq!(cache.recluster(), full_rebuild(&cache, 2));
+
+        let extra = grouped_federation(3, 5); // a 13th client for group 0
+        let mut rng = StdRng::seed_from_u64(client_summary_seed(7, 12));
+        let s = cache.summarizer().summarize(&extra.clients[4].train, &mut rng);
+        cache.add_client(12, s);
+        assert_eq!(cache.recluster(), full_rebuild(&cache, 2));
+
+        // client 0 drifts to group 1's distribution
+        let mut rng = StdRng::seed_from_u64(client_summary_seed(7, 0));
+        let drifted = cache.summarizer().summarize(&fed.clients[4].train, &mut rng);
+        cache.update_summary(0, drifted);
+        assert_eq!(cache.recluster(), full_rebuild(&cache, 2));
+    }
+
+    #[test]
+    fn sync_wire_diffs_membership() {
+        let fed = grouped_federation(2, 3);
+        let summarizer = Summarizer::label_dist();
+        let sums = summarize_federation(&fed, &summarizer, 3);
+        let mut cache = ClusterCache::new(summarizer, 2, ExtractionMethod::Auto);
+
+        let entries: Vec<(usize, WireSummary)> =
+            sums.iter().enumerate().map(|(id, s)| (id, summary_to_wire(s))).collect();
+        cache.sync_wire(&entries);
+        assert_eq!(cache.ids(), &[0, 1, 2, 3, 4, 5]);
+
+        // client 2 leaves, client 0 drifts to client 3's summary
+        let mut next = entries.clone();
+        next.remove(2);
+        next[0].1 = summary_to_wire(&sums[3]);
+        cache.sync_wire(&next);
+        assert_eq!(cache.ids(), &[0, 1, 3, 4, 5]);
+        assert_eq!(
+            cache.distances().summary(0),
+            cache.distances().summary(3),
+            "drifted summary must be re-cached"
+        );
+        assert_eq!(cache.recluster(), full_rebuild(&cache, 2));
+    }
+
+    #[test]
+    fn empty_cache_reclusters_to_nothing() {
+        let mut cache = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        assert!(cache.recluster().is_empty());
+    }
+}

@@ -21,13 +21,20 @@ pub enum ExtractionMethod {
 }
 
 impl ExtractionMethod {
-    /// Applies the extraction to an OPTICS result.
+    /// Applies the extraction to an OPTICS result. Labels are always
+    /// relabelled into the canonical assignment (clusters numbered by
+    /// ascending lowest member index): extraction visits points in
+    /// reachability order, so raw ids could silently permute between two
+    /// runs that found the *same partition* via different orderings —
+    /// e.g. a re-cluster after an unrelated join. Canonical ids make
+    /// cluster identity stable across equal re-cluster runs.
     pub fn extract(self, o: &Optics) -> Clustering {
-        match self {
+        let raw = match self {
             ExtractionMethod::Auto => o.extract_auto(),
             ExtractionMethod::Eps(e) => o.extract_dbscan(e),
             ExtractionMethod::Xi(x) => o.extract_xi(x),
-        }
+        };
+        raw.canonical()
     }
 }
 

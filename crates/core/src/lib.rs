@@ -20,12 +20,14 @@
 //! distribution) replaces it. Inclusion telemetry for the paper's bias
 //! analysis (Table III, Fig. 11) is collected by [`telemetry`].
 
+pub mod cache;
 pub mod clusters;
 pub mod selector;
 pub mod telemetry;
 pub mod weights;
 pub mod wire_bridge;
 
+pub use cache::{engine_add_client, engine_replace_client_data, ClusterCache};
 pub use clusters::{
     build_clusters, build_gradient_clusters, client_summary_seed, cosine_distance,
     summarize_federation, ExtractionMethod,

@@ -647,6 +647,12 @@ impl FedSim {
             .collect()
     }
 
+    /// Number of clients currently in the federation (ids are dense, so
+    /// this is also the id the next [`Self::add_client`] will assign).
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
     /// Adds a client mid-training (§IV-C: devices may join while training
     /// is in progress). The new client's loss is probed against the current
     /// global model so selectors see a meaningful signal immediately.

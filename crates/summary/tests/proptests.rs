@@ -1,8 +1,14 @@
 //! Property-based tests for histograms, distances and the Laplace
-//! mechanism.
+//! mechanism — including metric invariants on **DP-noised** histograms
+//! for every [`DistanceKind`] (the §IV-B deployment regime, where noise
+//! could in principle break what holds for clean distributions), and the
+//! [`DistanceCache`] churn invariant: the incrementally maintained
+//! matrix equals a freshly computed [`pairwise_distances`] bit-for-bit.
 
+use haccs_summary::summarizer::ClientSummary;
 use haccs_summary::{
-    euclidean, hellinger, laplace_noise, privatize_counts, total_variation, Histogram,
+    euclidean, hellinger, laplace_noise, pairwise_distances, privatize_counts, total_variation,
+    DistanceCache, DistanceKind, Histogram, Summarizer,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -104,4 +110,91 @@ proptest! {
             prop_assert!(x.is_finite());
         }
     }
+
+    #[test]
+    fn metric_invariants_survive_dp_noise(
+        (ca, cb, cc) in (2usize..12).prop_flat_map(|n| (
+            proptest::collection::vec(0.0f32..100.0, n),
+            proptest::collection::vec(0.0f32..100.0, n),
+            proptest::collection::vec(0.0f32..100.0, n),
+        )),
+        eps in 0.01f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        // every DistanceKind, on histograms that went through the Laplace
+        // mechanism — the regime deployed clients actually ship
+        for kind in [DistanceKind::Hellinger, DistanceKind::TotalVariation, DistanceKind::Euclidean] {
+            let a = dp_hist(&ca, eps, seed);
+            let b = dp_hist(&cb, eps, seed ^ 1);
+            let c = dp_hist(&cc, eps, seed ^ 2);
+            // symmetry must hold *bit-for-bit*: the distance-cache
+            // bit-identity argument rests on d(i,j) == d(j,i) exactly
+            let (dab, dba) = (kind.apply(&a, &b), kind.apply(&b, &a));
+            prop_assert_eq!(dab.to_bits(), dba.to_bits(), "{:?} fp-asymmetric: {} vs {}", kind, dab, dba);
+            // identity of indiscernibles (the cheap half)
+            prop_assert_eq!(kind.apply(&a, &a), 0.0, "{:?} d(x,x) != 0", kind);
+            // bounds: 1 for the probability metrics, √2 for L2 on simplices
+            let bound = match kind {
+                DistanceKind::Euclidean => std::f32::consts::SQRT_2,
+                _ => 1.0,
+            };
+            prop_assert!((0.0..=bound + 1e-5).contains(&dab), "{:?} out of [0, {}]: {}", kind, bound, dab);
+            // triangle inequality
+            let (dbc, dac) = (kind.apply(&b, &c), kind.apply(&a, &c));
+            prop_assert!(dac <= dab + dbc + 1e-5, "{:?} triangle violated: {} > {} + {}", kind, dac, dab, dbc);
+        }
+    }
+
+    #[test]
+    fn distance_cache_equals_fresh_matrix_under_churn(
+        ops in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec(0.0f32..100.0, 4), any::<u64>()),
+            1..20,
+        ),
+        eps in 0.05f64..10.0,
+        kind_sel in 0usize..3,
+    ) {
+        let kind = [DistanceKind::Hellinger, DistanceKind::TotalVariation, DistanceKind::Euclidean][kind_sel];
+        let summarizer = Summarizer::label_dist().with_distance(kind);
+        let mut cache = DistanceCache::new(summarizer);
+        // the reference membership view: (id, summary), ascending ids
+        let mut mirror: Vec<(usize, ClientSummary)> = Vec::new();
+        let mut next_id = 0usize;
+
+        for (op, counts, seed) in ops {
+            match op {
+                0 => {
+                    let s = ClientSummary::LabelDist(dp_hist(&counts, eps, seed));
+                    cache.add_client(next_id, s.clone());
+                    mirror.push((next_id, s)); // ids increase, stays sorted
+                    next_id += 1;
+                }
+                1 if !mirror.is_empty() => {
+                    let pick = seed as usize % mirror.len();
+                    let (id, _) = mirror.remove(pick);
+                    cache.remove_client(id);
+                }
+                _ if !mirror.is_empty() => {
+                    let pick = seed as usize % mirror.len();
+                    let s = ClientSummary::LabelDist(dp_hist(&counts, eps, seed ^ 0xA5));
+                    cache.update_summary(mirror[pick].0, s.clone());
+                    mirror[pick].1 = s;
+                }
+                _ => {}
+            }
+
+            // every churn step: cached matrix == fresh matrix, bit for bit
+            let summaries: Vec<ClientSummary> = mirror.iter().map(|(_, s)| s.clone()).collect();
+            let fresh = pairwise_distances(&summarizer, &summaries);
+            let ids: Vec<usize> = mirror.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(cache.ids(), &ids[..], "id order diverged");
+            prop_assert_eq!(cache.dense(), fresh, "cached matrix diverged from fresh rebuild");
+        }
+    }
+}
+
+/// A histogram that went through the §IV-B Laplace mechanism.
+fn dp_hist(counts: &[f32], eps: f64, seed: u64) -> Histogram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Histogram::from_counts(&privatize_counts(counts, eps, &mut rng))
 }

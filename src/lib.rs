@@ -79,9 +79,11 @@ pub use haccs_wire as wire;
 pub mod prelude {
     pub use haccs_baselines::{OortSelector, RandomSelector, TiflSelector};
     pub use haccs_cluster::Clustering;
+    pub use haccs_cluster::WarmOptics;
     pub use haccs_coord::{Coordinator, Liveness, RoundPhase};
     pub use haccs_core::{
-        build_clusters, summarize_federation, ExtractionMethod, HaccsSelector, WithinClusterPolicy,
+        build_clusters, engine_add_client, engine_replace_client_data, summarize_federation,
+        ClusterCache, ExtractionMethod, HaccsSelector, WithinClusterPolicy,
     };
     pub use haccs_data::{partition, ClientData, FederatedDataset, ImageSet, SynthVision};
     pub use haccs_fedsim::{
@@ -89,7 +91,7 @@ pub mod prelude {
         SimConfig,
     };
     pub use haccs_nn::{ModelKind, Sequential, Sgd};
-    pub use haccs_summary::{ClientSummary, Summarizer};
+    pub use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
     pub use haccs_sysmodel::{
         Availability, DeviceProfile, FaultModel, FaultSpec, LatencyModel, PerfCategory,
     };

@@ -9,10 +9,10 @@
 
 use haccs::fedsim::engine::ModelFactory;
 use haccs::prelude::*;
-use haccs::scheduler::{build_clusters, summarize_federation};
+use haccs::scheduler::{build_clusters, cluster_wire_summaries, summarize_federation};
 use haccs::sysmodel::HeartbeatPolicy;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 const CLASSES: usize = 4;
@@ -179,4 +179,126 @@ fn silent_client_walks_suspected_then_left_and_faults_reach_selector() {
 
     // the evicted client disappears from the cluster cover too
     assert!(!cluster_cover(&coord).contains(&2));
+}
+
+// ---------------------------------------------------------------------
+// randomized churn soak: ≥50 Join/Leave/SummaryUpdate events against the
+// incremental (distance-cache) re-clustering path
+// ---------------------------------------------------------------------
+
+/// One full soak run. Returns everything downstream assertions (and the
+/// same-seed determinism check) need: per-round participants, per-round
+/// cluster groups, the churn-event tally, and the final global model.
+#[allow(clippy::type_complexity)]
+fn churn_soak(rounds: usize) -> (Vec<Vec<usize>>, Vec<Vec<Vec<usize>>>, [usize; 3], Vec<f32>) {
+    const POOL: usize = 40;
+    let (full, mut coord) = build_world(POOL, 10, Availability::AlwaysOn);
+    let summarizer = Summarizer::label_dist();
+    // donor summaries for drift events, wire-encoded once
+    let donors: Vec<_> = summarize_federation(&full, &summarizer, SEED ^ 0xD9)
+        .iter()
+        .map(haccs::scheduler::summary_to_wire)
+        .collect();
+
+    let mut script_rng = StdRng::seed_from_u64(SEED ^ 0x50AC);
+    let mut next_join = 10usize;
+    let mut events = [0usize; 3]; // joins, scripted leaves, summary updates
+    let mut participants = Vec::with_capacity(rounds);
+    let mut group_history = Vec::with_capacity(rounds);
+
+    for round in 0..rounds {
+        // joins: up to 2 per round while the data pool lasts, some with a
+        // scripted departure a few rounds out. (Round 0 is the founding
+        // enrollment — its clustering came with the selector, and clients
+        // queued now would ride along without triggering the hook — so
+        // churn starts at round 1.)
+        for _ in 0..if round == 0 { 0 } else { script_rng.gen_range(0..3u32) } {
+            if next_join >= POOL {
+                break;
+            }
+            let data = full.clients[next_join].clone();
+            let profile = DeviceProfile::uniform_fast();
+            if script_rng.gen_bool(0.4) {
+                let leave = round as u64 + script_rng.gen_range(2..5u64);
+                coord.add_client_leaving_after(data, profile, leave);
+                events[1] += 1;
+            } else {
+                coord.add_client(data, profile);
+            }
+            events[0] += 1;
+            next_join += 1;
+        }
+        // drift: a random enrolled, non-departed client ships a fresh
+        // summary (any deterministic donor summary will do)
+        if !coord.registry().is_empty() && script_rng.gen_bool(0.6) {
+            let id = script_rng.gen_range(0..coord.registry().len());
+            if coord.registry().get(id).liveness != Liveness::Left {
+                let donor = script_rng.gen_range(0..donors.len());
+                coord.observe_summary_update(id, donors[donor].clone());
+                events[2] += 1;
+            }
+        }
+
+        let left_before: HashSet<usize> = coord
+            .registry()
+            .entries()
+            .iter()
+            .filter(|e| e.liveness == Liveness::Left)
+            .map(|e| e.id)
+            .collect();
+        let rec = coord.run_round();
+        let left_after: HashSet<usize> = coord
+            .registry()
+            .entries()
+            .iter()
+            .filter(|e| e.liveness == Liveness::Left)
+            .map(|e| e.id)
+            .collect();
+
+        // invariant: every alive client is covered by some cluster
+        let cover = cluster_cover(&coord);
+        for id in alive_ids(&coord) {
+            assert!(cover.contains(&id), "alive client {id} missing from cover in round {round}");
+        }
+        // parity: the incremental hook's groups equal a from-scratch
+        // rebuild over the registry's current membership view. (When a
+        // Leave landed in this round's heartbeat sweep the registry has
+        // already moved past the hook's input, so parity is checked at
+        // the next re-cluster instead.)
+        if left_before == left_after {
+            let reference = cluster_wire_summaries(
+                &summarizer,
+                &coord.registry().member_summaries(),
+                2,
+                ExtractionMethod::Auto,
+            );
+            assert_eq!(
+                coord.selector().groups(),
+                &reference[..],
+                "incremental clustering diverged from full rebuild in round {round}"
+            );
+        }
+        participants.push(rec.participants);
+        group_history.push(coord.selector().groups().to_vec());
+    }
+    (participants, group_history, events, coord.global_params().to_vec())
+}
+
+#[test]
+fn randomized_churn_soak_matches_full_rebuild_and_stays_deterministic() {
+    let (participants, groups, events, params) = churn_soak(30);
+    let total: usize = events.iter().sum();
+    assert!(total >= 50, "soak too quiet: {events:?} = {total} events");
+    assert!(events.iter().all(|&e| e >= 5), "all event kinds must occur: {events:?}");
+    assert!(
+        participants.iter().any(|p| p.iter().any(|&id| id >= 10)),
+        "mid-training joiners must get selected"
+    );
+
+    // same-seed determinism survives the full churn script
+    let (participants2, groups2, events2, params2) = churn_soak(30);
+    assert_eq!(events, events2, "churn script must be deterministic");
+    assert_eq!(participants, participants2, "selection history diverged between identical runs");
+    assert_eq!(groups, groups2, "cluster history diverged between identical runs");
+    assert_eq!(params, params2, "global models diverged between identical runs");
 }
