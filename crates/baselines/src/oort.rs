@@ -14,6 +14,7 @@
 //! each client available for training and select k clients with the
 //! highest utility", §V-A).
 
+use haccs_fedsim::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use haccs_fedsim::{SelectionContext, Selector};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -71,7 +72,10 @@ impl OortSelector {
 
     /// The utility of one client given preferred duration `t_pref`.
     fn utility(&self, id: usize, loss: f32, n_train: usize, latency: f64, t_pref: f64) -> f64 {
-        let stat = n_train as f64 * loss as f64;
+        // A diverged client (NaN/inf loss) carries no usable statistical
+        // signal; rank it below every healthy client instead of letting a
+        // single NaN poison the utility ordering.
+        let stat = if loss.is_finite() { n_train as f64 * loss as f64 } else { 0.0 };
         let sys = if latency > t_pref && latency > 0.0 {
             (t_pref / latency).powf(self.alpha)
         } else {
@@ -93,7 +97,7 @@ impl Selector for OortSelector {
         }
         // preferred duration: latency quantile over available clients
         let mut lats: Vec<f64> = ctx.available.iter().map(|c| c.est_latency).collect();
-        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lats.sort_by(f64::total_cmp);
         let qi = ((lats.len() as f64 - 1.0) * self.duration_quantile).round() as usize;
         let t_pref = lats[qi];
 
@@ -110,7 +114,7 @@ impl Selector for OortSelector {
             .filter(|c| !explore.contains(&c.id))
             .map(|c| (c.id, self.utility(c.id, c.last_loss, c.n_train, c.est_latency, t_pref)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
         let mut selection = explore;
         for (id, _) in scored {
@@ -134,6 +138,33 @@ impl Selector for OortSelector {
             // budget re-discovering a device we already know is flaky.
             self.explored.insert(id);
         }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.epsilon);
+        let mut explored: Vec<usize> = self.explored.iter().copied().collect();
+        explored.sort_unstable();
+        w.put_usizes(&explored);
+        let mut failures: Vec<(usize, u32)> = self.failures.iter().map(|(&k, &v)| (k, v)).collect();
+        failures.sort_unstable();
+        w.put_usize(failures.len());
+        for (id, n) in failures {
+            w.put_usize(id);
+            w.put_u32(n);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+        self.epsilon = r.get_f64()?;
+        self.explored = r.get_usizes()?.into_iter().collect();
+        let n = r.get_usize()?;
+        self.failures.clear();
+        for _ in 0..n {
+            let id = r.get_usize()?;
+            let count = r.get_u32()?;
+            self.failures.insert(id, count);
+        }
+        Ok(())
     }
 }
 

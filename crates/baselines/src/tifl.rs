@@ -7,6 +7,7 @@
 //! uniformly from within the tier, topping up from the next-fastest tiers
 //! if the tier is too small.
 
+use haccs_fedsim::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use haccs_fedsim::{SelectionContext, Selector};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -47,7 +48,7 @@ impl TiflSelector {
     fn build_tiers(&mut self, ctx: &SelectionContext<'_>) {
         let mut by_lat: Vec<(usize, f64)> =
             ctx.available.iter().map(|c| (c.id, c.est_latency)).collect();
-        by_lat.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        by_lat.sort_by(|a, b| a.1.total_cmp(&b.1));
         let n = by_lat.len();
         for (rank, (id, _)) in by_lat.into_iter().enumerate() {
             let tier = (rank * self.n_tiers / n.max(1)).min(self.n_tiers - 1);
@@ -76,7 +77,12 @@ impl Selector for TiflSelector {
         let mut count = vec![0usize; self.n_tiers];
         for c in ctx.available {
             let t = self.tier_of[&c.id];
-            loss_sum[t] += c.last_loss as f64;
+            // a diverged client's NaN/inf loss would poison its whole
+            // tier's weight (and the gen_range draw below); count the
+            // client but contribute no statistical signal
+            if c.last_loss.is_finite() {
+                loss_sum[t] += c.last_loss as f64;
+            }
             count[t] += 1;
         }
         // selection weight: avg loss, discounted by prior selections
@@ -118,7 +124,7 @@ impl Selector for TiflSelector {
                 .filter(|c| self.tier_of[&c.id] != tier)
                 .map(|c| (c.id, c.est_latency))
                 .collect();
-            rest.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            rest.sort_by(|a, b| a.1.total_cmp(&b.1));
             for (id, _) in rest {
                 if selection.len() >= ctx.k {
                     break;
@@ -141,6 +147,42 @@ impl Selector for TiflSelector {
                 self.tier_of.insert(id, self.n_tiers - 1);
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.n_tiers);
+        let mut tiers: Vec<(usize, usize)> = self.tier_of.iter().map(|(&c, &t)| (c, t)).collect();
+        tiers.sort_unstable();
+        w.put_usize(tiers.len());
+        for (client, tier) in tiers {
+            w.put_usize(client);
+            w.put_usize(tier);
+        }
+        w.put_usizes(&self.times_selected);
+        w.put_bool(self.tiers_built);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+        let n_tiers = r.get_usize()?;
+        if n_tiers != self.n_tiers {
+            return Err(PersistError::Malformed(format!(
+                "snapshot has {n_tiers} tiers, this selector {}",
+                self.n_tiers
+            )));
+        }
+        let n = r.get_usize()?;
+        self.tier_of.clear();
+        for _ in 0..n {
+            let client = r.get_usize()?;
+            let tier = r.get_usize()?;
+            self.tier_of.insert(client, tier);
+        }
+        self.times_selected = r.get_usizes()?;
+        if self.times_selected.len() != self.n_tiers {
+            return Err(PersistError::Malformed("times_selected length mismatch".into()));
+        }
+        self.tiers_built = r.get_bool()?;
+        Ok(())
     }
 }
 

@@ -5,11 +5,18 @@
 //!           [--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]
 //!           [--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]
 //!           [--full] [--seed N] [--target F]
+//!           [--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]
 //! ```
 //!
 //! Prints the clustering summary, the accuracy-over-time curve and the TTA
 //! readout. The downstream-user entry point: everything the experiment
 //! harness can do, but with your own parameters.
+//!
+//! `--snapshot-every N` writes a versioned snapshot of the full training
+//! state to `--snapshot-dir` (default `snapshots/`) after every N-th round.
+//! `--resume PATH` rebuilds the run from the *same* CLI parameters, then
+//! restores the snapshot and finishes the remaining rounds — bit-identical
+//! to the run that was interrupted.
 
 use haccs_data::{partition, DatasetKind};
 use haccs_experiments::common::{accuracy_series, build_haccs, Env, Scale, StrategyKind};
@@ -32,6 +39,9 @@ struct Args {
     scale: Scale,
     seed: u64,
     target: f32,
+    snapshot_every: Option<usize>,
+    snapshot_dir: String,
+    resume: Option<String>,
 }
 
 impl Default for Args {
@@ -50,6 +60,9 @@ impl Default for Args {
             scale: Scale::Fast,
             seed: 42,
             target: 0.5,
+            snapshot_every: None,
+            snapshot_dir: "snapshots".into(),
+            resume: None,
         }
     }
 }
@@ -81,12 +94,18 @@ fn parse_args() -> Args {
             "--full" => a.scale = Scale::Full,
             "--seed" => a.seed = val("--seed").parse().expect("integer"),
             "--target" => a.target = val("--target").parse().expect("float"),
+            "--snapshot-every" => {
+                a.snapshot_every = Some(val("--snapshot-every").parse().expect("integer"))
+            }
+            "--snapshot-dir" => a.snapshot_dir = val("--snapshot-dir"),
+            "--resume" => a.resume = Some(val("--resume")),
             "--help" | "-h" => {
                 println!(
                     "usage: haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]\n\
                      \t[--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]\n\
                      \t[--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]\n\
-                     \t[--full] [--seed N] [--target F]"
+                     \t[--full] [--seed N] [--target F]\n\
+                     \t[--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]"
                 );
                 std::process::exit(0);
             }
@@ -157,8 +176,21 @@ fn main() {
     };
 
     let mut sim = env.build_sim(a.select, availability);
+    if let Some(every) = a.snapshot_every {
+        std::fs::create_dir_all(&a.snapshot_dir).expect("create snapshot dir");
+        sim = sim.with_snapshots(haccs_fedsim::SnapshotPolicy::every(every, &a.snapshot_dir));
+        println!("snapshots: every {every} rounds into {}/", a.snapshot_dir);
+    }
+    let mut remaining = a.rounds;
+    if let Some(path) = &a.resume {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        sim.restore(&bytes, selector.as_mut())
+            .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
+        remaining = a.rounds.saturating_sub(sim.epoch());
+        println!("resumed from {path} at round {} ({remaining} rounds remaining)", sim.epoch());
+    }
     let t0 = std::time::Instant::now();
-    let run = sim.run(selector.as_mut(), a.rounds);
+    let run = sim.run(selector.as_mut(), remaining);
     let series = accuracy_series(&run);
     println!(
         "\n{} rounds in {:.1}s wall, {:.1}s simulated",

@@ -86,6 +86,12 @@ pub struct AgentConfig {
     /// Scripted graceful departure: send `Leave` at the first heartbeat
     /// probe of a round `>= leave_after` where the device is available.
     pub leave_after: Option<u64>,
+    /// Crash-resume support: the loss this agent last reported before the
+    /// coordinator snapshot it is being restored from. When set, the
+    /// coordinator skips the enrollment loss probe and the agent echoes
+    /// this value in heartbeat acks until it next trains — exactly what
+    /// the uninterrupted agent would have reported.
+    pub resume_last_loss: Option<f32>,
 }
 
 /// Builds a model instance shared across agent threads.
@@ -165,7 +171,7 @@ fn agent_main(
 
     let mut model = factory();
     let mut scheduled: Option<u64> = None;
-    let mut last_loss: f32 = 0.0;
+    let mut last_loss: f32 = cfg.resume_last_loss.unwrap_or(0.0);
 
     // 2. serve the coordinator until the downlink closes
     while let Ok(frame) = downlink.recv() {

@@ -33,17 +33,20 @@ use crate::agent::{self, AgentConfig, Envelope, SharedModelFactory, TransmitOutc
 use crate::events::EventQueue;
 use crate::registry::{ClientEntry, ClientRegistry, Liveness};
 use haccs_data::{ClientData, FederatedDataset, ImageSet};
-use haccs_fedsim::engine::{AggregationPolicy, ModelFactory, RoundPolicy, SimConfig};
+use haccs_fedsim::engine::{
+    AggregationPolicy, ModelFactory, RoundPolicy, SimConfig, SnapshotPolicy,
+};
 use haccs_fedsim::metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
+use haccs_fedsim::persist::{self as persist, PersistError, SnapshotReader, SnapshotWriter};
 use haccs_fedsim::round::{self, PendingUpdate, RoundAccumulator};
 use haccs_fedsim::selector::{sanitize_selection, SelectionContext, Selector};
-use haccs_fedsim::ClientInfo;
+use haccs_fedsim::{neutral_loss, ClientInfo};
 use haccs_nn::{evaluate, Sequential};
 use haccs_summary::Summarizer;
 use haccs_sysmodel::{
     Availability, DeviceProfile, FaultModel, HeartbeatPolicy, LatencyModel, SimClock,
 };
-use haccs_wire::{Message, WireSummary};
+use haccs_wire::{Message, ResourceEstimate, WireSummary};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -166,6 +169,7 @@ pub struct Coordinator<S: Selector> {
     uplink_rx: Receiver<Envelope>,
     phase: RoundPhase,
     membership_dirty: bool,
+    snapshots: Option<SnapshotPolicy>,
     #[allow(clippy::type_complexity)]
     recluster_hook: Option<Box<dyn FnMut(&mut S, &[(usize, WireSummary)])>>,
 }
@@ -248,6 +252,7 @@ impl<S: Selector> Coordinator<S> {
             uplink_rx,
             phase: RoundPhase::Enrolling,
             membership_dirty: false,
+            snapshots: None,
             recluster_hook: None,
         }
     }
@@ -278,6 +283,22 @@ impl<S: Selector> Coordinator<S> {
     pub fn with_heartbeat(mut self, hb: HeartbeatPolicy) -> Self {
         self.hb_policy = hb;
         self
+    }
+
+    /// Enables periodic snapshots (builder style): after every
+    /// `policy.every_rounds`-th committed round the full coordinator state
+    /// is written to `policy.dir` via [`Coordinator::snapshot`].
+    /// `run_round` panics if a scheduled snapshot cannot be written — a
+    /// checkpointing run that silently stops checkpointing is worse than
+    /// a loud stop.
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = Some(policy);
+        self
+    }
+
+    /// The periodic snapshot policy, if enabled.
+    pub fn snapshot_policy(&self) -> Option<&SnapshotPolicy> {
+        self.snapshots.as_ref()
     }
 
     /// Sets the summarizer agents use at join time (builder style).
@@ -479,6 +500,7 @@ impl<S: Selector> Coordinator<S> {
                     availability: self.availability.clone(),
                     channel: round::wire_channel(&self.faults, &self.policy),
                     leave_after: p.leave_after,
+                    resume_last_loss: None,
                 };
                 let thread = agent::spawn(
                     acfg,
@@ -571,15 +593,21 @@ impl<S: Selector> Coordinator<S> {
         }
     }
 
-    /// Scheduling view ([`ClientInfo`]) of the given client ids.
+    /// Scheduling view ([`ClientInfo`]) of the given client ids. Clients
+    /// never probed report the pool's mean observed loss
+    /// ([`neutral_loss`]) rather than a runaway sentinel — same fallback
+    /// as the loop engine, preserving engine/coordinator parity.
     pub fn client_infos(&self, ids: &[usize]) -> Vec<ClientInfo> {
+        let observed: Vec<Option<f32>> =
+            ids.iter().map(|&id| self.registry.get(id).last_loss).collect();
+        let fallback = neutral_loss(&observed);
         ids.iter()
             .map(|&id| {
                 let e = self.registry.get(id);
                 ClientInfo {
                     id,
                     est_latency: self.expected_latency(id),
-                    last_loss: e.last_loss.unwrap_or(f32::MAX),
+                    last_loss: e.last_loss.unwrap_or(fallback),
                     n_train: e.n_train,
                     participation_count: e.participation_count,
                 }
@@ -627,6 +655,14 @@ impl<S: Selector> Coordinator<S> {
         if self.epoch.is_multiple_of(self.cfg.eval_every) {
             let tp = self.evaluate_global();
             self.result.curve.push(tp);
+        }
+        if let Some(p) = &self.snapshots {
+            if self.epoch.is_multiple_of(p.every_rounds) {
+                let path = p.path_for(self.epoch);
+                let bytes = self.snapshot();
+                persist::write_atomic(&path, &bytes)
+                    .unwrap_or_else(|e| panic!("scheduled snapshot failed: {e}"));
+            }
         }
         record
     }
@@ -894,6 +930,253 @@ impl<S: Selector> Coordinator<S> {
         out.strategy = self.selector.name();
         out
     }
+
+    // ------------------------------------------------------------------
+    // crash/resume (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Serializes the full coordinator state at a round boundary: config
+    /// fingerprints, epoch, clock, RNG stream, global model, round
+    /// history, per-client registry state (summary, loss, participation,
+    /// liveness) and the selector's own state. Restoring the bytes with
+    /// [`Coordinator::restore`] on a freshly constructed identical
+    /// coordinator continues the run **bit-identically** to never having
+    /// stopped.
+    ///
+    /// Panics if joins are queued — snapshot after the round that enrolls
+    /// them instead, so the snapshot captures a committed membership view.
+    pub fn snapshot(&self) -> Vec<u8> {
+        assert!(
+            self.pending.is_empty(),
+            "snapshot with queued joins is not supported; run the round that enrolls them first"
+        );
+        let mut w = SnapshotWriter::new();
+        // construction fingerprints, validated on restore
+        w.put_u64(self.cfg.seed);
+        w.put_usize(self.cfg.k);
+        w.put_usize(self.cfg.eval_every);
+        w.put_u64(self.summary_seed);
+        w.put_usize(self.registry.len());
+        // mutable core state
+        w.put_usize(self.epoch);
+        w.put_f64(self.clock.now());
+        w.put_u64s(&self.rng.state());
+        w.put_f32s(&self.global_params);
+        self.result.save(&mut w);
+        w.put_bool(self.membership_dirty);
+        // per-client registry state
+        for e in self.registry.entries() {
+            w.put_usize(e.summary.histograms.len());
+            for h in &e.summary.histograms {
+                w.put_f32s(h);
+            }
+            w.put_f32s(&e.summary.prevalence);
+            w.put_opt_f32(e.last_loss);
+            w.put_usize(e.participation_count);
+            w.put_u8(match e.liveness {
+                Liveness::Joined => 0,
+                Liveness::Alive => 1,
+                Liveness::Suspected => 2,
+                Liveness::Left => 3,
+            });
+            w.put_u32(e.missed_heartbeats);
+            w.put_usize(e.n_train);
+        }
+        // selector, guarded by its strategy name
+        w.put_str(&self.selector.name());
+        self.selector.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a [`Coordinator::snapshot`] onto this coordinator, which
+    /// must be freshly constructed from the **same** inputs (federation,
+    /// profiles, seed, policies, selector construction) and must not have
+    /// run a round yet. Live clients' agents are spawned seeded with
+    /// their snapshot-time losses; departed clients become registry
+    /// tombstones with no agent thread, exactly as the uninterrupted
+    /// coordinator would hold them.
+    ///
+    /// On any [`PersistError`] the coordinator should be discarded — the
+    /// restore is not transactional.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        assert!(
+            self.agents.is_empty() && self.registry.is_empty(),
+            "restore requires a freshly constructed coordinator"
+        );
+        let mut r = SnapshotReader::open(bytes)?;
+        let check = |name: &str, stored: u64, actual: u64| -> Result<(), PersistError> {
+            if stored != actual {
+                return Err(PersistError::Malformed(format!(
+                    "snapshot {name} = {stored}, this coordinator has {actual}"
+                )));
+            }
+            Ok(())
+        };
+        check("seed", r.get_u64()?, self.cfg.seed)?;
+        check("k", r.get_usize()? as u64, self.cfg.k as u64)?;
+        check("eval_every", r.get_usize()? as u64, self.cfg.eval_every as u64)?;
+        check("summary_seed", r.get_u64()?, self.summary_seed)?;
+        let n = r.get_usize()?;
+        check("client count", n as u64, self.pending.len() as u64)?;
+
+        let epoch = r.get_usize()?;
+        let now = r.get_f64()?;
+        if !(now.is_finite() && now >= 0.0) {
+            return Err(PersistError::Malformed(format!("clock {now} not finite and ≥ 0")));
+        }
+        let rng_state: [u64; 4] = r
+            .get_u64s()?
+            .try_into()
+            .map_err(|_| PersistError::Malformed("rng state must be 4 words".into()))?;
+        let global_params = r.get_f32s()?;
+        if global_params.len() != self.global_params.len() {
+            return Err(PersistError::Malformed("global parameter count mismatch".into()));
+        }
+        let result = RunResult::load(&mut r)?;
+        let membership_dirty = r.get_bool()?;
+
+        struct Restored {
+            summary: WireSummary,
+            last_loss: Option<f32>,
+            participation_count: usize,
+            liveness: Liveness,
+            missed_heartbeats: u32,
+            n_train: usize,
+        }
+        let mut restored: Vec<Restored> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let n_hists = r.get_usize()?;
+            let mut histograms = Vec::with_capacity(n_hists);
+            for _ in 0..n_hists {
+                histograms.push(r.get_f32s()?);
+            }
+            let prevalence = r.get_f32s()?;
+            restored.push(Restored {
+                summary: WireSummary { histograms, prevalence },
+                last_loss: r.get_opt_f32()?,
+                participation_count: r.get_usize()?,
+                liveness: match r.get_u8()? {
+                    0 => Liveness::Joined,
+                    1 => Liveness::Alive,
+                    2 => Liveness::Suspected,
+                    3 => Liveness::Left,
+                    t => return Err(PersistError::Malformed(format!("unknown liveness tag {t}"))),
+                },
+                missed_heartbeats: r.get_u32()?,
+                n_train: r.get_usize()?,
+            });
+        }
+        let strategy = r.get_str()?;
+        if strategy != self.selector.name() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot strategy {strategy:?} differs from this selector's {:?}",
+                self.selector.name()
+            )));
+        }
+        self.selector.load_state(&mut r)?;
+        r.expect_end()?;
+
+        // everything parsed — validate shard sizes before spawning threads
+        for (id, p) in self.pending.iter().enumerate() {
+            if p.data.train.len() != restored[id].n_train {
+                return Err(PersistError::Malformed(format!(
+                    "client {id} has {} training examples, snapshot says {}",
+                    p.data.train.len(),
+                    restored[id].n_train
+                )));
+            }
+        }
+
+        // commit: spawn agents for non-departed clients, seeded with
+        // their snapshot-time losses (no enrollment probe — the snapshot
+        // *is* the loss signal); departed clients get a tombstone handle
+        self.phase = RoundPhase::Enrolling;
+        let batch = std::mem::take(&mut self.pending);
+        let mut spawn_meta: HashMap<usize, (DeviceProfile, usize)> = HashMap::new();
+        let mut n_live = 0usize;
+        for (id, p) in batch.into_iter().enumerate() {
+            spawn_meta.insert(id, (p.profile, p.data.train.len()));
+            if restored[id].liveness == Liveness::Left {
+                self.agents.push(AgentHandle { downlink: None, thread: None });
+                continue;
+            }
+            n_live += 1;
+            let (down_tx, down_rx) = mpsc::channel();
+            let acfg = AgentConfig {
+                id,
+                nonce: nonce_for(self.cfg.seed, id),
+                seed: self.cfg.seed,
+                summary_seed: haccs_core::client_summary_seed(self.summary_seed, id),
+                train: self.cfg.train,
+                probe_max: self.cfg.probe_max,
+                availability: self.availability.clone(),
+                channel: round::wire_channel(&self.faults, &self.policy),
+                leave_after: p.leave_after,
+                resume_last_loss: restored[id].last_loss,
+            };
+            let thread = agent::spawn(
+                acfg,
+                p.data,
+                p.profile,
+                Arc::clone(&self.factory),
+                self.summarizer,
+                down_rx,
+                self.uplink_tx.clone(),
+            );
+            self.agents.push(AgentHandle { downlink: Some(down_tx), thread: Some(thread) });
+        }
+
+        let mut joins: HashMap<usize, (u64, ResourceEstimate)> = HashMap::new();
+        for (id, outcome) in self.collect_uniform(n_live) {
+            match Self::decode_delivered(outcome) {
+                Message::Join { client_nonce, resources, .. } => {
+                    joins.insert(id, (client_nonce, resources));
+                }
+                other => panic!("expected Join from resumed client {id}, got {other:?}"),
+            }
+        }
+        for (id, re) in restored.into_iter().enumerate() {
+            let (profile, n_train) = spawn_meta[&id];
+            let (nonce, resources) = joins.remove(&id).unwrap_or_else(|| {
+                // departed client: reconstruct what its Join carried
+                (
+                    nonce_for(self.cfg.seed, id),
+                    ResourceEstimate {
+                        compute_multiplier: profile.compute_multiplier as f32,
+                        bandwidth_mbps: profile.bandwidth_mbps as f32,
+                        rtt_ms: profile.rtt_ms as f32,
+                        n_train: n_train as u32,
+                    },
+                )
+            });
+            self.registry.enroll(ClientEntry {
+                id,
+                nonce,
+                profile,
+                resources,
+                summary: re.summary,
+                n_train,
+                last_loss: re.last_loss,
+                participation_count: re.participation_count,
+                liveness: Liveness::Joined,
+                missed_heartbeats: 0,
+            });
+            // enroll() forces Alive; restore the snapshot's truth
+            let e = self.registry.get_mut(id);
+            e.liveness = re.liveness;
+            e.missed_heartbeats = re.missed_heartbeats;
+        }
+
+        self.epoch = epoch;
+        self.clock = SimClock::new();
+        self.clock.advance(now);
+        self.rng = StdRng::from_state(rng_state);
+        self.global_params = global_params;
+        self.result = result;
+        self.membership_dirty = membership_dirty;
+        self.phase = RoundPhase::Committed;
+        Ok(())
+    }
 }
 
 impl<S: Selector> Drop for Coordinator<S> {
@@ -1035,6 +1318,57 @@ mod tests {
         assert_eq!(c.registry().get(0).liveness, Liveness::Left);
         let rec = c.run_round();
         assert!(!rec.participants.contains(&0), "departed client selected");
+    }
+
+    #[test]
+    fn crash_and_restore_is_bit_identical() {
+        let full = build_coord(6, Availability::AlwaysOn).run(8);
+
+        let mut first = build_coord(6, Availability::AlwaysOn);
+        first.run(3);
+        let snap = first.snapshot();
+        drop(first); // simulated crash: agents die with the process
+
+        let mut resumed = build_coord(6, Availability::AlwaysOn);
+        resumed.restore(&snap).unwrap();
+        let out = resumed.run(5);
+        assert_eq!(out.rounds, full.rounds, "resumed history must be bit-identical");
+        assert_eq!(out.curve.len(), full.curve.len());
+        for (a, b) in out.curve.iter().zip(&full.curve) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_preserves_eviction_tombstones() {
+        // client 0 is evicted (Left) before the snapshot; the resumed
+        // coordinator must hold the tombstone without an agent thread and
+        // still match the uninterrupted run
+        let hb = HeartbeatPolicy::new(1, 2, 3);
+        let build = || build_coord(4, Availability::permanent([0])).with_heartbeat(hb);
+        let full = build().run(7);
+
+        let mut first = build();
+        first.run(4);
+        assert_eq!(first.registry().get(0).liveness, Liveness::Left);
+        let snap = first.snapshot();
+        drop(first);
+
+        let mut resumed = build();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.registry().get(0).liveness, Liveness::Left);
+        let out = resumed.run(3);
+        assert_eq!(out.rounds, full.rounds);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_construction() {
+        let mut c = build_coord(5, Availability::AlwaysOn);
+        c.run(2);
+        let snap = c.snapshot();
+        let mut wrong = build_coord(6, Availability::AlwaysOn);
+        assert!(matches!(wrong.restore(&snap), Err(PersistError::Malformed(_))));
     }
 
     #[test]

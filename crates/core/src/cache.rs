@@ -23,6 +23,7 @@ use crate::clusters::{client_summary_seed, summarize_federation, ExtractionMetho
 use crate::wire_bridge::summary_from_wire;
 use haccs_cluster::WarmOptics;
 use haccs_data::{ClientData, FederatedDataset};
+use haccs_fedsim::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use haccs_fedsim::FedSim;
 use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
 use haccs_sysmodel::DeviceProfile;
@@ -160,6 +161,42 @@ impl ClusterCache {
             .into_iter()
             .map(|g| g.into_iter().map(|local| self.dist.ids()[local]).collect())
             .collect()
+    }
+
+    /// Appends the cache state to a snapshot payload: `min_pts` as a
+    /// fingerprint, then the full [`DistanceCache`] (ids, summaries,
+    /// condensed matrix — all verbatim). The [`WarmOptics`] accelerator
+    /// state is *not* serialized: it is a pure performance cache whose
+    /// [`ClusterCache::recluster`] output is pinned bit-identical to the
+    /// cold full-rebuild path, so it can be rebuilt on load by replaying
+    /// the id-ascending insertion order over the restored distances.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.warm.min_pts());
+        self.dist.save_state(w);
+    }
+
+    /// Restores what [`ClusterCache::save_state`] wrote. The snapshot's
+    /// `min_pts` and summarizer fingerprints must match this cache's
+    /// construction parameters. The warm OPTICS state is reconstructed by
+    /// replaying inserts over the restored distance rows — no summary
+    /// distance is recomputed.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+        let min_pts = r.get_usize()?;
+        if min_pts != self.warm.min_pts() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot min_pts {min_pts} differs from this cache's {}",
+                self.warm.min_pts()
+            )));
+        }
+        self.dist.load_state(r)?;
+        self.warm = WarmOptics::new(f32::INFINITY, min_pts);
+        for pos in 0..self.dist.len() {
+            // the row the original `add_client(pos)` handed WarmOptics:
+            // distances to the already-inserted prefix, self entry last
+            let row: Vec<f32> = self.dist.row(pos)[..=pos].to_vec();
+            self.warm.insert(pos, &row);
+        }
+        Ok(())
     }
 }
 
@@ -305,5 +342,49 @@ mod tests {
     fn empty_cache_reclusters_to_nothing() {
         let mut cache = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
         assert!(cache.recluster().is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trips_and_stays_bit_identical_under_churn() {
+        let fed = grouped_federation(3, 4);
+        let mut cache = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        cache.insert_federation(&fed, 7);
+        cache.remove_client(5); // churn before the snapshot, so the warm
+                                // state diverges from plain insertion order
+        let groups_before = cache.recluster();
+
+        let mut w = SnapshotWriter::new();
+        cache.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut back = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        back.load_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(back.ids(), cache.ids());
+        assert_eq!(back.distances().condensed(), cache.distances().condensed());
+        assert_eq!(back.recluster(), groups_before, "restored clustering must match");
+
+        // churn after restore: still bit-identical to the cold rebuild
+        let extra = grouped_federation(3, 5);
+        let mut rng = StdRng::seed_from_u64(client_summary_seed(7, 12));
+        let s = back.summarizer().summarize(&extra.clients[4].train, &mut rng);
+        back.add_client(12, s);
+        assert_eq!(back.recluster(), full_rebuild(&back, 2));
+    }
+
+    #[test]
+    fn load_rejects_mismatched_min_pts() {
+        let fed = grouped_federation(2, 3);
+        let mut cache = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        cache.insert_federation(&fed, 7);
+        let mut w = SnapshotWriter::new();
+        cache.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut other = ClusterCache::new(Summarizer::label_dist(), 3, ExtractionMethod::Auto);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(other.load_state(&mut r), Err(PersistError::Malformed(_))));
     }
 }

@@ -4,6 +4,7 @@
 //! included in training at least once over 200 epochs; Fig. 11 compares
 //! the accuracy of each cluster's fastest and slowest devices.
 
+use haccs_fedsim::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use std::collections::HashSet;
 
 /// Tracks which members of each cluster have ever been selected.
@@ -13,6 +14,9 @@ pub struct InclusionTelemetry {
     included: Vec<HashSet<usize>>,
     /// cluster → full membership
     members: Vec<Vec<usize>>,
+    /// records dropped because the (cluster, client) pair was stale —
+    /// e.g. an id recorded against a pre-`recluster` membership view
+    dropped: usize,
 }
 
 impl InclusionTelemetry {
@@ -21,16 +25,30 @@ impl InclusionTelemetry {
         InclusionTelemetry {
             included: vec![HashSet::new(); groups.len()],
             members: groups.to_vec(),
+            dropped: 0,
         }
     }
 
     /// Records that `client` (a member of cluster `cluster`) trained.
+    ///
+    /// The membership check is unconditional: a stale pair — out-of-range
+    /// cluster id or a client that is no longer (or never was) a member,
+    /// both of which arise when a caller races a `recluster` — is ignored
+    /// and counted in [`InclusionTelemetry::dropped_records`] instead of
+    /// panicking with a bare index error mid-run.
     pub fn record(&mut self, cluster: usize, client: usize) {
-        debug_assert!(
-            self.members[cluster].contains(&client),
-            "client {client} is not a member of cluster {cluster}"
-        );
-        self.included[cluster].insert(client);
+        match self.members.get(cluster) {
+            Some(members) if members.contains(&client) => {
+                self.included[cluster].insert(client);
+            }
+            _ => self.dropped += 1,
+        }
+    }
+
+    /// Records ignored by [`InclusionTelemetry::record`] because the
+    /// cluster id was out of range or the client was not a member.
+    pub fn dropped_records(&self) -> usize {
+        self.dropped
     }
 
     /// Fraction of each cluster's members included at least once.
@@ -61,6 +79,37 @@ impl InclusionTelemetry {
     /// Number of clusters tracked.
     pub fn n_clusters(&self) -> usize {
         self.members.len()
+    }
+
+    /// Appends the full telemetry state to a snapshot payload (inclusion
+    /// sets are written id-sorted, so equal states serialize to equal
+    /// bytes).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.members.len());
+        for m in &self.members {
+            w.put_usizes(m);
+        }
+        for inc in &self.included {
+            let mut ids: Vec<usize> = inc.iter().copied().collect();
+            ids.sort_unstable();
+            w.put_usizes(&ids);
+        }
+        w.put_usize(self.dropped);
+    }
+
+    /// Reads back what [`InclusionTelemetry::save_state`] wrote.
+    pub fn load_state(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        let n = r.get_usize()?;
+        let mut members = Vec::with_capacity(n);
+        for _ in 0..n {
+            members.push(r.get_usizes()?);
+        }
+        let mut included = Vec::with_capacity(n);
+        for _ in 0..n {
+            included.push(r.get_usizes()?.into_iter().collect::<HashSet<usize>>());
+        }
+        let dropped = r.get_usize()?;
+        Ok(InclusionTelemetry { included, members, dropped })
     }
 }
 
@@ -96,5 +145,18 @@ mod tests {
             t.record(0, c);
         }
         assert_eq!(t.table_iii_histogram(), [0, 0, 1]); // 75% → top bucket
+    }
+
+    #[test]
+    fn stale_records_are_dropped_not_panicked() {
+        let mut t = InclusionTelemetry::new(&[vec![0, 1], vec![2]]);
+        t.record(5, 0); // out-of-range cluster (stale id after recluster)
+        t.record(0, 2); // client belongs to another cluster
+        t.record(1, 99); // unknown client
+        assert_eq!(t.dropped_records(), 3);
+        assert_eq!(t.inclusion_fractions(), vec![0.0, 0.0]);
+        t.record(0, 1);
+        assert_eq!(t.inclusion_fractions(), vec![0.5, 0.0]);
+        assert_eq!(t.dropped_records(), 3);
     }
 }

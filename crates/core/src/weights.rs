@@ -21,19 +21,34 @@ pub struct ClusterStats {
 /// optimization (ρ→0). If every weight degenerates to zero (e.g. ρ=1 with
 /// all-equal latencies), the weights fall back to uniform so sampling stays
 /// well-defined.
+///
+/// Non-finite inputs are sanitized before normalization: a cluster whose
+/// `avg_loss` diverged to NaN/∞ contributes nothing to `Σ_j ACL_j` and
+/// draws zero loss weight itself (rather than turning *every* θ_i NaN and
+/// silently degenerating the SRSWR draw), and a non-finite `avg_latency`
+/// is treated as slowest (τ = 0).
 pub fn cluster_weights(stats: &[ClusterStats], rho: f32) -> Vec<f64> {
     assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
     if stats.is_empty() {
         return Vec::new();
     }
-    let lat_max = stats.iter().map(|s| s.avg_latency).fold(0.0f64, f64::max);
-    let loss_sum: f64 = stats.iter().map(|s| s.avg_loss as f64).sum();
+    let lat_max =
+        stats.iter().map(|s| s.avg_latency).filter(|l| l.is_finite()).fold(0.0f64, f64::max);
+    let loss_sum: f64 = stats.iter().map(|s| s.avg_loss as f64).filter(|l| l.is_finite()).sum();
     let rho = rho as f64;
     let mut theta: Vec<f64> = stats
         .iter()
         .map(|s| {
-            let tau = if lat_max > 0.0 { 1.0 - s.avg_latency / lat_max } else { 0.0 };
-            let norm_loss = if loss_sum > 0.0 { s.avg_loss as f64 / loss_sum } else { 0.0 };
+            let tau = if lat_max > 0.0 && s.avg_latency.is_finite() {
+                1.0 - s.avg_latency / lat_max
+            } else {
+                0.0
+            };
+            let norm_loss = if loss_sum > 0.0 && (s.avg_loss as f64).is_finite() {
+                s.avg_loss as f64 / loss_sum
+            } else {
+                0.0
+            };
             rho * tau + (1.0 - rho) * norm_loss
         })
         .collect();
@@ -103,6 +118,38 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(cluster_weights(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn one_diverged_cluster_cannot_zero_out_the_others() {
+        // cluster 1 diverged: without sanitization loss_sum (and thus
+        // every θ_i) would be NaN and SRSWR would silently degenerate
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let s = [stats(1.0, 3.0), stats(2.0, bad), stats(4.0, 1.0)];
+            for rho in [0.0, 0.5, 1.0] {
+                let w = cluster_weights(&s, rho);
+                assert!(w.iter().all(|t| t.is_finite()), "rho={rho} bad={bad}: {w:?}");
+                assert!(w.iter().any(|&t| t > 0.0), "rho={rho} bad={bad}: {w:?}");
+            }
+            // at ρ=0 the healthy clusters keep their relative loss shares
+            let w = cluster_weights(&s, 0.0);
+            assert!((w[0] - 0.75).abs() < 1e-9, "{w:?}");
+            assert_eq!(w[1], 0.0, "diverged cluster draws no loss weight");
+            assert!((w[2] - 0.25).abs() < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_latency_counts_as_slowest() {
+        let s = [stats(1.0, 1.0), stats(f64::NAN, 1.0), stats(f64::INFINITY, 1.0)];
+        let w = cluster_weights(&s, 1.0);
+        assert!(w.iter().all(|t| t.is_finite()), "{w:?}");
+        // lat_max over the finite latencies is 1.0 → uniform fallback
+        // (all τ = 0); the point is no NaN escapes
+        let s2 = [stats(1.0, 1.0), stats(4.0, 1.0), stats(f64::NAN, 1.0)];
+        let w2 = cluster_weights(&s2, 1.0);
+        assert!((w2[0] - 0.75).abs() < 1e-9, "{w2:?}");
+        assert_eq!(w2[2], 0.0, "NaN latency ranks slowest (τ = 0)");
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl ClientSpec {
         self.label_weights
             .iter()
             .enumerate()
-            .max_by(|(i, a), (j, b)| a.partial_cmp(b).unwrap().then(j.cmp(i)))
+            .max_by(|(i, a), (j, b)| a.total_cmp(b).then(j.cmp(i)))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }

@@ -321,7 +321,7 @@ pub fn run_trials(
 /// median is `None` when most trials never reached the target.
 pub fn median_tta(ttas: &[Option<f64>]) -> Option<f64> {
     let mut vals: Vec<f64> = ttas.iter().map(|t| t.unwrap_or(f64::INFINITY)).collect();
-    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.sort_by(f64::total_cmp);
     let m = vals[vals.len() / 2];
     m.is_finite().then_some(m)
 }

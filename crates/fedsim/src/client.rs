@@ -32,6 +32,23 @@ impl ClientState {
     }
 }
 
+/// A finite, neutral stand-in loss for clients the server has never
+/// probed: the mean of the finite observed losses in the scheduling pool
+/// (1.0 when nothing has been observed yet).
+///
+/// The previous `f32::MAX` sentinel let a single unprobed client absorb
+/// essentially all of Oort's utility mass and Eq. 7's loss
+/// normalization; a pool-mean fallback keeps an unknown client ordinary
+/// rather than infinitely attractive.
+pub fn neutral_loss(observed: &[Option<f32>]) -> f32 {
+    let finite: Vec<f32> = observed.iter().flatten().copied().filter(|l| l.is_finite()).collect();
+    if finite.is_empty() {
+        1.0
+    } else {
+        finite.iter().sum::<f32>() / finite.len() as f32
+    }
+}
+
 /// The server's immutable scheduling view of one client for one epoch.
 /// This is all a [`crate::Selector`] gets to see — mirroring what a real
 /// central server would know (no raw data!).
@@ -77,5 +94,29 @@ mod tests {
         assert!(fast > 0.0);
         c.profile.compute_multiplier = 3.0;
         assert!(c.expected_latency(&lat) > fast);
+    }
+
+    #[test]
+    fn neutral_loss_is_pool_mean_of_finite_observations() {
+        let pool = [Some(1.0), None, Some(3.0), Some(f32::NAN), Some(f32::INFINITY)];
+        assert_eq!(neutral_loss(&pool), 2.0);
+    }
+
+    #[test]
+    fn neutral_loss_defaults_to_one_when_nothing_observed() {
+        assert_eq!(neutral_loss(&[]), 1.0);
+        assert_eq!(neutral_loss(&[None, Some(f32::NAN)]), 1.0);
+    }
+
+    #[test]
+    fn neutral_loss_keeps_unprobed_clients_ordinary() {
+        // With the old f32::MAX sentinel a single unprobed client dominated
+        // any loss-proportional weighting; the pool-mean fallback keeps it
+        // comparable to its probed peers.
+        let pool = [Some(0.9), Some(1.1), None];
+        let fallback = neutral_loss(&pool);
+        assert!(fallback.is_finite());
+        let max_observed = 1.1f32;
+        assert!(fallback <= max_observed, "fallback {fallback} must not dominate the pool");
     }
 }

@@ -35,6 +35,7 @@ use crate::selector::{sanitize_selection, SelectionContext, Selector};
 use crate::trainer::{probe_loss, train_local, TrainConfig};
 use haccs_data::{FederatedDataset, ImageSet};
 use haccs_nn::{evaluate, Sequential};
+use haccs_persist::{self as persist, PersistError, SnapshotReader, SnapshotWriter};
 use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel, SimClock};
 use haccs_wire::Message;
 use rand::rngs::StdRng;
@@ -132,6 +133,31 @@ impl RoundPolicy {
     }
 }
 
+/// Periodic snapshot schedule for a simulation run: every
+/// `every_rounds` completed rounds, [`FedSim::run_round`] serializes the
+/// full training state ([`FedSim::snapshot`]) and writes it atomically
+/// under `dir`.
+#[derive(Debug, Clone)]
+pub struct SnapshotPolicy {
+    /// Snapshot after every this many completed rounds.
+    pub every_rounds: usize,
+    /// Directory snapshot files are written into (created on demand).
+    pub dir: std::path::PathBuf,
+}
+
+impl SnapshotPolicy {
+    /// Snapshot every `every_rounds` rounds into `dir`.
+    pub fn every(every_rounds: usize, dir: impl Into<std::path::PathBuf>) -> Self {
+        assert!(every_rounds >= 1, "snapshot interval must be at least 1 round");
+        SnapshotPolicy { every_rounds, dir: dir.into() }
+    }
+
+    /// The file a snapshot taken after `epoch` completed rounds lands in.
+    pub fn path_for(&self, epoch: usize) -> std::path::PathBuf {
+        self.dir.join(format!("round_{epoch:06}.snap"))
+    }
+}
+
 /// The federated simulation: global model, clients, clock and history.
 pub struct FedSim {
     factory: ModelFactory,
@@ -151,6 +177,7 @@ pub struct FedSim {
     result: RunResult,
     faults: FaultModel,
     policy: RoundPolicy,
+    snapshots: Option<SnapshotPolicy>,
 }
 
 impl FedSim {
@@ -230,6 +257,7 @@ impl FedSim {
             result: RunResult::default(),
             faults: FaultModel::none(cfg.seed),
             policy: RoundPolicy::default(),
+            snapshots: None,
         }
     }
 
@@ -248,6 +276,25 @@ impl FedSim {
         );
         self.policy = policy;
         self
+    }
+
+    /// Attaches a periodic snapshot schedule (builder style). Each
+    /// matching round end serializes the full state and writes it
+    /// atomically under the policy's directory; a crash between
+    /// snapshots loses at most `every_rounds - 1` rounds.
+    ///
+    /// # Panics
+    /// [`FedSim::run_round`] panics if a scheduled snapshot cannot be
+    /// written — silently continuing would defeat the durability the
+    /// policy exists to provide.
+    pub fn with_snapshots(mut self, snapshots: SnapshotPolicy) -> Self {
+        self.snapshots = Some(snapshots);
+        self
+    }
+
+    /// The active snapshot schedule, if any.
+    pub fn snapshot_policy(&self) -> Option<&SnapshotPolicy> {
+        self.snapshots.as_ref()
     }
 
     /// The active fault schedule.
@@ -288,15 +335,19 @@ impl FedSim {
         round::expected_round_latency(&self.latency, &c.profile, &self.cfg.train, c.data.n_train())
     }
 
-    /// Scheduling view ([`ClientInfo`]) of the given client ids.
+    /// Scheduling view ([`ClientInfo`]) of the given client ids. Clients
+    /// never probed report the pool's mean observed loss
+    /// ([`crate::client::neutral_loss`]) rather than a runaway sentinel.
     pub fn client_infos(&self, ids: &[usize]) -> Vec<ClientInfo> {
+        let observed: Vec<Option<f32>> = ids.iter().map(|&id| self.clients[id].last_loss).collect();
+        let fallback = crate::client::neutral_loss(&observed);
         ids.iter()
             .map(|&id| {
                 let c = &self.clients[id];
                 ClientInfo {
                     id,
                     est_latency: self.expected_latency(id),
-                    last_loss: c.last_loss.unwrap_or(f32::MAX),
+                    last_loss: c.last_loss.unwrap_or(fallback),
                     n_train: c.data.n_train(),
                     participation_count: c.participation_count,
                 }
@@ -398,6 +449,15 @@ impl FedSim {
         if self.epoch.is_multiple_of(self.cfg.eval_every) {
             let tp = self.evaluate_global();
             self.result.curve.push(tp);
+        }
+
+        if let Some(p) = &self.snapshots {
+            if self.epoch.is_multiple_of(p.every_rounds) {
+                let path = p.path_for(self.epoch);
+                let bytes = self.snapshot(&*selector);
+                persist::write_atomic(&path, &bytes)
+                    .unwrap_or_else(|e| panic!("scheduled snapshot failed: {e}"));
+            }
         }
         record
     }
@@ -679,6 +739,115 @@ impl FedSim {
         let c = &mut self.clients[id];
         c.data = data;
         c.last_loss = Some(loss);
+    }
+
+    /// Serializes the complete training state — config guards, epoch,
+    /// clock, RNG stream, global parameters, per-client bookkeeping, the
+    /// full round history and the selector's own state — into a framed
+    /// [`haccs_persist`] snapshot.
+    ///
+    /// Restoring the bytes into a freshly constructed, identically
+    /// configured simulation (see [`FedSim::restore`]) resumes the run
+    /// **bit-identically**: every subsequent [`RoundRecord`] equals the
+    /// record the uninterrupted run would have produced, under
+    /// `RoundRecord`'s bitwise `PartialEq`. This holds because all other
+    /// round inputs — fault draws, local train seeds, availability,
+    /// latency — are pure functions of `(cfg.seed, epoch, id)` and never
+    /// consume mutable state beyond what is captured here.
+    pub fn snapshot(&self, selector: &dyn Selector) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        // config guards: restore refuses a snapshot from a differently
+        // configured run, where bit-identity could not hold
+        w.put_u64(self.cfg.seed);
+        w.put_usize(self.cfg.k);
+        w.put_usize(self.cfg.eval_every);
+        w.put_usize(self.clients.len());
+        // mutable engine state
+        w.put_usize(self.epoch);
+        w.put_f64(self.clock.now());
+        w.put_u64s(&self.rng.state());
+        w.put_f32s(&self.global_params);
+        for c in &self.clients {
+            w.put_opt_f32(c.last_loss);
+            w.put_usize(c.participation_count);
+        }
+        self.result.save(&mut w);
+        // selector state, guarded by its strategy name
+        w.put_str(&selector.name());
+        selector.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a [`FedSim::snapshot`] into this simulation, which must
+    /// have been freshly constructed from the **same** dataset, profiles,
+    /// latency/availability models and [`SimConfig`] as the snapshotted
+    /// run (the stored guards reject obvious mismatches). `selector` must
+    /// be a freshly constructed selector of the same strategy; its state
+    /// is restored alongside the engine's.
+    pub fn restore(
+        &mut self,
+        bytes: &[u8],
+        selector: &mut dyn Selector,
+    ) -> Result<(), PersistError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        let guard = |name: &str, got: u64, want: u64| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(PersistError::Malformed(format!(
+                    "snapshot {name} {got} does not match this simulation's {want}"
+                )))
+            }
+        };
+        guard("seed", r.get_u64()?, self.cfg.seed)?;
+        guard("k", r.get_usize()? as u64, self.cfg.k as u64)?;
+        guard("eval_every", r.get_usize()? as u64, self.cfg.eval_every as u64)?;
+        guard("client count", r.get_usize()? as u64, self.clients.len() as u64)?;
+
+        let epoch = r.get_usize()?;
+        let now = r.get_f64()?;
+        if !(now.is_finite() && now >= 0.0) {
+            return Err(PersistError::Malformed(format!("clock {now} out of range")));
+        }
+        let rng_state = r.get_u64s()?;
+        let rng_state: [u64; 4] = rng_state
+            .try_into()
+            .map_err(|_| PersistError::Malformed("rng state must be 4 words".into()))?;
+        let global_params = r.get_f32s()?;
+        if global_params.len() != self.global_params.len() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot has {} model parameters, this simulation {}",
+                global_params.len(),
+                self.global_params.len()
+            )));
+        }
+        let mut per_client = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            per_client.push((r.get_opt_f32()?, r.get_usize()?));
+        }
+        let result = RunResult::load(&mut r)?;
+        let strategy = r.get_str()?;
+        if strategy != selector.name() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot was taken with selector {strategy:?}, restore got {:?}",
+                selector.name()
+            )));
+        }
+        selector.load_state(&mut r)?;
+        r.expect_end()?;
+
+        // everything validated: commit
+        self.epoch = epoch;
+        self.clock = SimClock::new();
+        self.clock.advance(now);
+        self.rng = StdRng::from_state(rng_state);
+        self.global_params = global_params;
+        for (c, (last_loss, participation_count)) in self.clients.iter_mut().zip(per_client) {
+            c.last_loss = last_loss;
+            c.participation_count = participation_count;
+        }
+        self.result = result;
+        Ok(())
     }
 
     /// Runs `rounds` rounds and returns the accumulated result.
@@ -963,6 +1132,61 @@ mod tests {
             }
         }
         assert!(saw_replacement, "at 50% crash some round must draft a replacement");
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let full = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 8);
+
+        let mut sim = build_sim(6, Availability::AlwaysOn);
+        let mut sel = FirstK;
+        for _ in 0..3 {
+            sim.run_round(&mut sel);
+        }
+        let bytes = sim.snapshot(&sel);
+        drop(sim); // "crash"
+
+        let mut resumed = build_sim(6, Availability::AlwaysOn);
+        let mut sel2 = FirstK;
+        resumed.restore(&bytes, &mut sel2).unwrap();
+        assert_eq!(resumed.epoch(), 3);
+        let rest = resumed.run(&mut sel2, 5);
+        assert_eq!(rest.rounds, full.rounds, "resumed history must match uninterrupted run");
+        assert_eq!(rest.curve, full.curve);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let mut sim = build_sim(6, Availability::AlwaysOn);
+        let mut sel = FirstK;
+        sim.run_round(&mut sel);
+        let bytes = sim.snapshot(&sel);
+        let mut other = build_sim(5, Availability::AlwaysOn); // wrong client count
+        assert!(matches!(other.restore(&bytes, &mut FirstK), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn periodic_snapshots_land_on_schedule() {
+        let dir = std::env::temp_dir().join(format!("haccs-snap-policy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = SnapshotPolicy::every(2, &dir);
+        let mut sim = build_sim(6, Availability::AlwaysOn).with_snapshots(policy.clone());
+        let mut sel = FirstK;
+        for _ in 0..5 {
+            sim.run_round(&mut sel);
+        }
+        assert!(policy.path_for(2).exists());
+        assert!(policy.path_for(4).exists());
+        assert!(!policy.path_for(5).exists());
+
+        // the on-disk snapshot resumes to the same history
+        let bytes = haccs_persist::read_snapshot(&policy.path_for(4)).unwrap();
+        let mut resumed = build_sim(6, Availability::AlwaysOn);
+        let mut sel2 = FirstK;
+        resumed.restore(&bytes, &mut sel2).unwrap();
+        let full = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 5);
+        assert_eq!(resumed.run(&mut sel2, 1).rounds, full.rounds);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

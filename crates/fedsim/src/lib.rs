@@ -32,8 +32,12 @@ pub mod round;
 pub mod selector;
 pub mod trainer;
 
-pub use client::{ClientInfo, ClientState};
-pub use engine::{AggregationPolicy, FedSim, RoundPolicy, SimConfig};
+pub use client::{neutral_loss, ClientInfo, ClientState};
+pub use engine::{AggregationPolicy, FedSim, RoundPolicy, SimConfig, SnapshotPolicy};
+/// Re-export of the snapshot codec, so selector implementors can reach
+/// the [`Selector::save_state`]/[`Selector::load_state`] types without a
+/// direct `haccs-persist` dependency.
+pub use haccs_persist as persist;
 pub use metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
 pub use round::{HeartbeatOutcome, PendingUpdate, RoundAccumulator};
 pub use selector::{SelectionContext, Selector};

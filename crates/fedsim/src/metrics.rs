@@ -1,5 +1,7 @@
 //! Run records and time-to-accuracy curves.
 
+use haccs_persist::{PersistError, SnapshotReader, SnapshotWriter};
+
 /// One evaluation point on the training curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimePoint {
@@ -48,6 +50,46 @@ impl FaultStats {
     pub fn failures(&self) -> usize {
         self.crashed + self.dropped_by_deadline + self.lossy_failures
     }
+
+    /// Appends this record to a snapshot payload.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.crashed);
+        w.put_usize(self.stragglers);
+        w.put_usize(self.dropped_by_deadline);
+        w.put_usize(self.lossy_failures);
+        w.put_usize(self.retries);
+        w.put_usizes(&self.replacements);
+        w.put_f64(self.wasted_client_seconds);
+        match self.deadline_s {
+            None => w.put_u8(0),
+            Some(d) => {
+                w.put_u8(1);
+                w.put_f64(d);
+            }
+        }
+        w.put_usize(self.control_bytes);
+        w.put_usize(self.hb_missed);
+    }
+
+    /// Reads back what [`FaultStats::save`] wrote.
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(FaultStats {
+            crashed: r.get_usize()?,
+            stragglers: r.get_usize()?,
+            dropped_by_deadline: r.get_usize()?,
+            lossy_failures: r.get_usize()?,
+            retries: r.get_usize()?,
+            replacements: r.get_usizes()?,
+            wasted_client_seconds: r.get_f64()?,
+            deadline_s: match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_f64()?),
+                t => return Err(PersistError::Malformed(format!("deadline tag {t}"))),
+            },
+            control_bytes: r.get_usize()?,
+            hb_missed: r.get_usize()?,
+        })
+    }
 }
 
 /// Bookkeeping for one round.
@@ -80,6 +122,32 @@ impl PartialEq for RoundRecord {
             && self.participants == other.participants
             && self.mean_local_loss.to_bits() == other.mean_local_loss.to_bits()
             && self.faults == other.faults
+    }
+}
+
+impl RoundRecord {
+    /// Appends this record to a snapshot payload. Floats are stored as
+    /// bit patterns, so an idle round's `NaN` loss survives the round
+    /// trip and the restored record stays `==` (bitwise) to the original.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.epoch);
+        w.put_f64(self.time_s);
+        w.put_f64(self.round_seconds);
+        w.put_usizes(&self.participants);
+        w.put_f32(self.mean_local_loss);
+        self.faults.save(w);
+    }
+
+    /// Reads back what [`RoundRecord::save`] wrote.
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        Ok(RoundRecord {
+            epoch: r.get_usize()?,
+            time_s: r.get_f64()?,
+            round_seconds: r.get_f64()?,
+            participants: r.get_usizes()?,
+            mean_local_loss: r.get_f32()?,
+            faults: FaultStats::load(r)?,
+        })
     }
 }
 
@@ -166,6 +234,43 @@ impl RunResult {
     pub fn total_wasted_seconds(&self) -> f64 {
         self.rounds.iter().map(|r| r.faults.wasted_client_seconds).sum()
     }
+
+    /// Appends the full run history to a snapshot payload.
+    pub fn save(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.strategy);
+        w.put_usize(self.curve.len());
+        for p in &self.curve {
+            w.put_f64(p.time_s);
+            w.put_usize(p.epoch);
+            w.put_f32(p.accuracy);
+            w.put_f32(p.loss);
+        }
+        w.put_usize(self.rounds.len());
+        for rec in &self.rounds {
+            rec.save(w);
+        }
+    }
+
+    /// Reads back what [`RunResult::save`] wrote.
+    pub fn load(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+        let strategy = r.get_str()?;
+        let n_curve = r.get_usize()?;
+        let mut curve = Vec::with_capacity(n_curve);
+        for _ in 0..n_curve {
+            curve.push(TimePoint {
+                time_s: r.get_f64()?,
+                epoch: r.get_usize()?,
+                accuracy: r.get_f32()?,
+                loss: r.get_f32()?,
+            });
+        }
+        let n_rounds = r.get_usize()?;
+        let mut rounds = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            rounds.push(RoundRecord::load(r)?);
+        }
+        Ok(RunResult { strategy, curve, rounds })
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +344,31 @@ mod tests {
         let mut other = run();
         other.rounds[0].faults.crashed = 9;
         assert_ne!(run(), other);
+    }
+
+    #[test]
+    fn run_result_snapshot_round_trip_is_bit_identical() {
+        let mut r = run();
+        // exercise the NaN-loss idle round and a deadline record
+        r.rounds.push(RoundRecord {
+            epoch: 2,
+            time_s: 21.0,
+            round_seconds: 1.0,
+            participants: Vec::new(),
+            mean_local_loss: f32::NAN,
+            faults: FaultStats {
+                replacements: vec![3, 4],
+                deadline_s: Some(7.25),
+                wasted_client_seconds: 1.5,
+                ..Default::default()
+            },
+        });
+        let mut w = SnapshotWriter::new();
+        r.save(&mut w);
+        let bytes = w.finish();
+        let mut reader = SnapshotReader::open(&bytes).unwrap();
+        let back = RunResult::load(&mut reader).unwrap();
+        reader.expect_end().unwrap();
+        assert_eq!(back, r, "RoundRecord's bitwise PartialEq must hold through persistence");
     }
 }

@@ -71,7 +71,7 @@ pub fn deadline_quantile(mut lats: Vec<f64>, q: f64) -> f64 {
     if lats.is_empty() {
         return 1.0;
     }
-    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lats.sort_by(f64::total_cmp);
     let qi = ((lats.len() as f64 - 1.0) * q).round() as usize;
     lats[qi]
 }

@@ -1,6 +1,7 @@
 //! The client-selection strategy interface.
 
 use crate::client::ClientInfo;
+use haccs_persist::{PersistError, SnapshotReader, SnapshotWriter};
 use rand::rngs::StdRng;
 
 /// Everything a selector sees when choosing participants for one epoch.
@@ -33,6 +34,20 @@ pub trait Selector: Send {
     /// wire). Fault-aware selectors use this to steer away from unreliable
     /// devices; the default ignores it.
     fn observe_faults(&mut self, _epoch: usize, _failed: &[usize]) {}
+
+    /// Appends this selector's mutable state to a snapshot
+    /// ([`crate::FedSim::snapshot`] / `Coordinator::snapshot`). Stateless
+    /// selectors (the default) write nothing; stateful ones must write
+    /// everything [`Selector::load_state`] needs to resume selection
+    /// bit-identically.
+    fn save_state(&self, _w: &mut SnapshotWriter) {}
+
+    /// Restores the state written by [`Selector::save_state`], reading
+    /// exactly the bytes it wrote. Called on a freshly constructed
+    /// selector of the same strategy during snapshot restore.
+    fn load_state(&mut self, _r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+        Ok(())
+    }
 }
 
 /// Validates and normalizes a selector's output: drops ids not available,

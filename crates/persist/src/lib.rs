@@ -1,0 +1,495 @@
+//! `haccs-persist`: a versioned, checksummed snapshot codec for
+//! bit-identical training resume.
+//!
+//! The paper's evaluation is long time-to-accuracy sweeps; the ROADMAP
+//! north-star is a coordinator that survives crashes mid-run. This crate
+//! provides the byte format both runtimes serialize their full training
+//! state through: global model parameters, per-client state, RNG stream
+//! position, clock, round history, registry liveness and the incremental
+//! clustering caches.
+//!
+//! The format follows the `wire` codec conventions — little-endian
+//! fixed-width integers, IEEE-754 bit patterns for floats,
+//! length-prefixed sequences with a sanity bound — wrapped in a framed
+//! envelope:
+//!
+//! ```text
+//! magic "HACCSNAP" | version u32 | payload_len u64 | payload | fnv1a64(payload)
+//! ```
+//!
+//! Floats are stored as their exact bit patterns ([`f32::to_bits`] /
+//! [`f64::to_bits`]), so a decode→encode round trip is the identity even
+//! for NaN payloads — the foundation of the resume subsystem's
+//! bit-identity guarantee (see DESIGN.md §10).
+
+use std::fmt;
+use std::path::Path;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"HACCSNAP";
+
+/// Current snapshot format version. Bump on any layout change; readers
+/// reject versions they do not understand rather than misparse.
+pub const VERSION: u32 = 1;
+
+/// Sanity bound on length-prefixed sequence sizes, mirroring the wire
+/// codec's `MAX_LEN`: a corrupt length cannot trigger a huge allocation.
+pub const MAX_LEN: u64 = 1 << 28;
+
+/// FNV-1a 64-bit hash — the payload checksum. Deterministic, dependency
+/// free and byte-order independent.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Everything that can go wrong reading a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Fewer bytes than the envelope or a field requires.
+    Truncated,
+    /// The leading magic bytes are not `HACCSNAP`.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// The payload does not match its recorded checksum.
+    ChecksumMismatch,
+    /// A length prefix exceeds [`MAX_LEN`] or the remaining payload.
+    LengthOutOfBounds(u64),
+    /// Structurally valid bytes that contradict the expected state shape
+    /// (wrong client count, mismatched config guard, bad tag, ...).
+    Malformed(String),
+    /// Filesystem failure while reading or writing a snapshot file.
+    Io(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::BadMagic => write!(f, "not a HACCS snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {VERSION})")
+            }
+            PersistError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            PersistError::LengthOutOfBounds(n) => {
+                write!(f, "snapshot length prefix {n} out of bounds")
+            }
+            PersistError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+            PersistError::Io(why) => write!(f, "snapshot io error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Builds a snapshot payload field by field; [`SnapshotWriter::finish`]
+/// frames it with magic, version, length and checksum.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// An empty payload builder.
+    pub fn new() -> Self {
+        SnapshotWriter { buf: Vec::new() }
+    }
+
+    /// Bytes of payload written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (platform-independent width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` as its exact bit pattern (NaN-preserving).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` as its exact bit pattern (NaN-preserving).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as a 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends an `Option<f32>` as a presence tag plus the bit pattern.
+    pub fn put_opt_f32(&mut self, v: Option<f32>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f32(x);
+            }
+        }
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` sequence (bit patterns).
+    pub fn put_f32s(&mut self, v: &[f32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` sequence.
+    pub fn put_u64s(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` sequence (as `u64`s).
+    pub fn put_usizes(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+
+    /// Frames the payload: magic, version, payload length, payload,
+    /// FNV-1a checksum. The result is what [`SnapshotReader::open`]
+    /// expects and what [`write_atomic`] persists.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buf.len() + 28);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        let checksum = fnv1a64(&self.buf);
+        out.extend_from_slice(&self.buf);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+}
+
+/// A validating cursor over a framed snapshot's payload.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SnapshotReader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the envelope (magic, version, length, checksum) and
+    /// positions a cursor at the start of the payload.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, PersistError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(PersistError::Truncated);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        if payload_len > MAX_LEN {
+            return Err(PersistError::LengthOutOfBounds(payload_len));
+        }
+        let payload_len = payload_len as usize;
+        let body_end = 20usize.checked_add(payload_len).ok_or(PersistError::Truncated)?;
+        if bytes.len() < body_end + 8 {
+            return Err(PersistError::Truncated);
+        }
+        let payload = &bytes[20..body_end];
+        let recorded = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().unwrap());
+        if fnv1a64(payload) != recorded {
+            return Err(PersistError::ChecksumMismatch);
+        }
+        Ok(SnapshotReader { payload, pos: 0 })
+    }
+
+    /// Bytes of payload not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated);
+        }
+        let s = &self.payload[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values over [`MAX_LEN`].
+    pub fn get_usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.get_u64()?;
+        if v > MAX_LEN {
+            return Err(PersistError::LengthOutOfBounds(v));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a 0/1 bool byte.
+    pub fn get_bool(&mut self) -> Result<bool, PersistError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(PersistError::Malformed(format!("bool tag {t}"))),
+        }
+    }
+
+    /// Reads an `Option<f32>` (presence tag + bit pattern).
+    pub fn get_opt_f32(&mut self) -> Result<Option<f32>, PersistError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_f32()?)),
+            t => Err(PersistError::Malformed(format!("option tag {t}"))),
+        }
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], PersistError> {
+        let n = self.get_usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, PersistError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| PersistError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed `f32` sequence.
+    pub fn get_f32s(&mut self) -> Result<Vec<f32>, PersistError> {
+        let n = self.get_usize()?;
+        if self.remaining() < n.saturating_mul(4) {
+            return Err(PersistError::Truncated);
+        }
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    /// Reads a length-prefixed `u64` sequence.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, PersistError> {
+        let n = self.get_usize()?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::Truncated);
+        }
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` sequence.
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>, PersistError> {
+        let n = self.get_usize()?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::Truncated);
+        }
+        (0..n).map(|_| self.get_usize()).collect()
+    }
+
+    /// Asserts the whole payload was consumed — catches layout drift
+    /// between writer and reader.
+    pub fn expect_end(&self) -> Result<(), PersistError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(PersistError::Malformed(format!("{} trailing payload bytes", self.remaining())))
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, then a rename over the target — a crash mid-write never
+/// leaves a torn snapshot behind.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io(format!("{}: {e}", path.display()));
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let stem = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Reads a snapshot file written by [`write_atomic`].
+pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, PersistError> {
+    std::fs::read(path).map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_usize(12345);
+        w.put_f32(f32::NAN);
+        w.put_f64(-0.0);
+        w.put_bool(true);
+        w.put_opt_f32(None);
+        w.put_opt_f32(Some(2.5));
+        w.put_str("haccs");
+        w.put_f32s(&[1.0, f32::INFINITY, -3.5]);
+        w.put_u64s(&[1, 2, 3]);
+        w.put_usizes(&[9, 8]);
+        w.put_bytes(b"blob");
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_bit() {
+        let bytes = sample();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_usize().unwrap(), 12345);
+        assert_eq!(r.get_f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_opt_f32().unwrap(), None);
+        assert_eq!(r.get_opt_f32().unwrap(), Some(2.5));
+        assert_eq!(r.get_str().unwrap(), "haccs");
+        let f = r.get_f32s().unwrap();
+        assert_eq!(
+            f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            vec![1.0f32.to_bits(), f32::INFINITY.to_bits(), (-3.5f32).to_bits()]
+        );
+        assert_eq!(r.get_u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_usizes().unwrap(), vec![9, 8]);
+        assert_eq!(r.get_bytes().unwrap(), b"blob");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(SnapshotReader::open(&bytes), Err(PersistError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        assert_eq!(SnapshotReader::open(&bytes), Err(PersistError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(SnapshotReader::open(&bytes), Err(PersistError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = sample();
+        assert_eq!(SnapshotReader::open(&bytes[..bytes.len() - 3]), Err(PersistError::Truncated));
+        assert_eq!(SnapshotReader::open(&bytes[..10]), Err(PersistError::Truncated));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(MAX_LEN + 1); // masquerading as a sequence length
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert_eq!(r.get_usize(), Err(PersistError::LengthOutOfBounds(MAX_LEN + 1)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_flagged() {
+        let mut w = SnapshotWriter::new();
+        w.put_u32(5);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        let _ = r.get_u8().unwrap();
+        assert!(matches!(r.expect_end(), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn atomic_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("haccs-persist-test-{}", std::process::id()));
+        let path = dir.join("snap.bin");
+        let bytes = sample();
+        write_atomic(&path, &bytes).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), bytes);
+        // overwrite is atomic too
+        write_atomic(&path, b"HACCSNAP").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_snapshot(Path::new("/nonexistent/haccs/snap.bin")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

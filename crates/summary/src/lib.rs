@@ -25,6 +25,7 @@ pub mod cache;
 pub mod distance;
 pub mod dp;
 pub mod hist;
+pub mod persist;
 pub mod summarizer;
 
 pub use cache::DistanceCache;

@@ -52,9 +52,16 @@ pub mod rngs {
     }
 
     impl StdRng {
-        /// Directly constructs from a full 256-bit state (internal use).
-        fn from_state(s: [u64; 4]) -> Self {
+        /// Directly constructs from a full 256-bit state — the counterpart
+        /// of [`StdRng::state`], for restoring a saved stream position.
+        pub fn from_state(s: [u64; 4]) -> Self {
             StdRng { s }
+        }
+
+        /// The full 256-bit internal state. Saving this and later feeding
+        /// it to [`StdRng::from_state`] resumes the stream bit-exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
         }
     }
 
@@ -262,6 +269,18 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "shuffle of 50 elements should move something");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.gen_range(0u64..u64::MAX);
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | [`experiments`] | one module per paper table/figure |
 //! | [`wire`] | the client↔server message codec with exact size accounting |
 //! | [`coord`] | the message-driven coordinator runtime: agent threads, liveness, dynamic membership |
+//! | [`persist`] | versioned snapshot codec + bit-identical crash/resume |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use haccs_data as data;
 pub use haccs_experiments as experiments;
 pub use haccs_fedsim as fedsim;
 pub use haccs_nn as nn;
+pub use haccs_persist as persist;
 pub use haccs_summary as summary;
 pub use haccs_sysmodel as sysmodel;
 pub use haccs_tensor as tensor;
@@ -87,10 +89,11 @@ pub mod prelude {
     };
     pub use haccs_data::{partition, ClientData, FederatedDataset, ImageSet, SynthVision};
     pub use haccs_fedsim::{
-        AggregationPolicy, FaultStats, FedSim, RoundPolicy, RunResult, SelectionContext, Selector,
-        SimConfig,
+        neutral_loss, AggregationPolicy, FaultStats, FedSim, RoundPolicy, RunResult,
+        SelectionContext, Selector, SimConfig, SnapshotPolicy,
     };
     pub use haccs_nn::{ModelKind, Sequential, Sgd};
+    pub use haccs_persist::{PersistError, SnapshotReader, SnapshotWriter};
     pub use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
     pub use haccs_sysmodel::{
         Availability, DeviceProfile, FaultModel, FaultSpec, LatencyModel, PerfCategory,

@@ -1,0 +1,148 @@
+//! Coordinator crash/restart soak: kill the message-driven coordinator
+//! mid-training (dropping every agent thread with it), rebuild the whole
+//! process from configuration, restore the last committed snapshot, and
+//! require the finished history to be **bit-identical** to the
+//! uninterrupted run — under fault schedules, deadline policies, HACCS
+//! re-clustering, and dynamic membership (a scripted mid-training leave).
+
+use haccs::coord::{haccs_cached_recluster_hook, Coordinator};
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use haccs::sysmodel::HeartbeatPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 7;
+
+fn federation(n: usize) -> (FederatedDataset, Vec<DeviceProfile>) {
+    let gen = SynthVision::mnist_like(4, 8, 0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let specs = partition::majority_noise(n, 4, &[0.75, 0.25], (40, 60), 12, &mut rng);
+    let fed = FederatedDataset::materialize(&gen, &specs, 0);
+    let mut prng = StdRng::seed_from_u64(1);
+    let profiles = DeviceProfile::sample_many(n, &mut prng);
+    (fed, profiles)
+}
+
+fn build_haccs_coord(
+    n: usize,
+    faults: Option<FaultModel>,
+    policy: RoundPolicy,
+    leaver: Option<(usize, u64)>,
+) -> Coordinator<HaccsSelector> {
+    let (fed, profiles) = federation(n);
+    let factory: ModelFactory =
+        Box::new(|| haccs::nn::mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
+    // seed the selector with a provisional clustering; the recluster hook
+    // replaces it from wire summaries at the first enrollment
+    let provisional = vec![(0..n).collect::<Vec<usize>>()];
+    let selector = HaccsSelector::new(provisional, 0.5, "P(y)");
+    let mut c = Coordinator::new(
+        factory,
+        fed,
+        profiles,
+        LatencyModel::default(),
+        Availability::epoch_dropout(0.1, n, 3),
+        SimConfig { k: 3, seed: 5, ..Default::default() },
+        selector,
+    )
+    .with_policy(policy)
+    .with_heartbeat(HeartbeatPolicy::new(1, 3, 6))
+    .with_summarizer(Summarizer::label_dist())
+    .with_recluster_hook(haccs_cached_recluster_hook(
+        Summarizer::label_dist(),
+        2,
+        ExtractionMethod::Auto,
+    ));
+    if let Some(f) = faults {
+        c = c.with_faults(f);
+    }
+    if let Some((id, round)) = leaver {
+        c = c.with_leave_after(id, round);
+    }
+    c
+}
+
+fn active_faults() -> FaultModel {
+    FaultModel::none(42)
+        .with(FaultSpec::Crash { prob: 0.2 })
+        .with(FaultSpec::Straggler { prob: 0.2, slowdown: 3.0 })
+        .with(FaultSpec::Lossy { prob: 0.1 })
+}
+
+fn soak(
+    faults: Option<FaultModel>,
+    policy: RoundPolicy,
+    leaver: Option<(usize, u64)>,
+    snap_epoch: usize,
+    label: &str,
+) {
+    let n = 8;
+    let full = build_haccs_coord(n, faults, policy, leaver).run(ROUNDS);
+
+    let mut first = build_haccs_coord(n, faults, policy, leaver);
+    first.run(snap_epoch);
+    let snap = first.snapshot();
+    drop(first); // crash: every agent thread dies with the coordinator
+
+    let mut resumed = build_haccs_coord(n, faults, policy, leaver);
+    resumed.restore(&snap).expect("snapshot must restore");
+    let out = resumed.run(ROUNDS - snap_epoch);
+
+    assert_eq!(out.rounds, full.rounds, "{label}: resumed history must be bit-identical");
+    assert_eq!(out.curve.len(), full.curve.len(), "{label}");
+    for (a, b) in out.curve.iter().zip(&full.curve) {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "{label}: eval curve diverged");
+    }
+}
+
+#[test]
+fn haccs_coordinator_resumes_bit_identically_fault_free() {
+    soak(None, RoundPolicy::default(), None, 3, "fault-free");
+}
+
+#[test]
+fn haccs_coordinator_resumes_bit_identically_under_faults_and_deadlines() {
+    for (pi, policy) in [
+        RoundPolicy::default(),
+        RoundPolicy::deadline(AggregationPolicy::DeadlineDrop, 0.9),
+        RoundPolicy::deadline(AggregationPolicy::Replace, 0.9),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let snap_epoch = 2 + pi; // vary the kill point across the matrix
+        soak(Some(active_faults()), policy, None, snap_epoch, "faulty");
+    }
+}
+
+#[test]
+fn haccs_coordinator_resumes_across_membership_change() {
+    // client 6 departs gracefully at round 2, before the round-4 snapshot:
+    // the restored coordinator must hold its tombstone (no agent thread)
+    // and keep re-clustering the survivors identically
+    soak(Some(active_faults()), RoundPolicy::default(), Some((6, 2)), 4, "leaver");
+}
+
+#[test]
+fn coordinator_periodic_snapshots_land_on_disk_and_restore() {
+    let dir = std::env::temp_dir().join(format!("haccs-coord-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy = SnapshotPolicy::every(2, &dir);
+    let snap_path = policy.path_for(4);
+
+    let full = {
+        let mut c = build_haccs_coord(8, Some(active_faults()), RoundPolicy::default(), None)
+            .with_snapshots(policy);
+        c.run(ROUNDS)
+    };
+    assert!(snap_path.exists(), "scheduled snapshot {snap_path:?} was never written");
+
+    let bytes = std::fs::read(&snap_path).unwrap();
+    let mut resumed = build_haccs_coord(8, Some(active_faults()), RoundPolicy::default(), None);
+    resumed.restore(&bytes).expect("on-disk coordinator snapshot must restore");
+    let out = resumed.run(ROUNDS - 4);
+
+    assert_eq!(out.rounds, full.rounds, "disk round trip must be bit-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}

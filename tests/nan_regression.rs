@@ -1,0 +1,135 @@
+//! NaN-poisoning regression suite (tier-1).
+//!
+//! A diverged client reports `last_loss = NaN`. Before the `total_cmp`
+//! fixes, a single NaN silently broke every `sort_by(partial_cmp.unwrap)`
+//! path (panic) or poisoned utility normalization (every weight NaN). This
+//! suite pins the contract: with one NaN client in the pool, every
+//! selector still returns a valid, non-empty selection and HACCS cluster
+//! weights stay finite.
+
+use haccs::prelude::*;
+use haccs::scheduler::{cluster_weights, ClusterStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn info(id: usize, last_loss: f32) -> haccs::fedsim::ClientInfo {
+    haccs::fedsim::ClientInfo {
+        id,
+        est_latency: 1.0 + id as f64 * 0.5,
+        last_loss,
+        n_train: 40 + id,
+        participation_count: id % 3,
+    }
+}
+
+/// A six-client pool where client 2 has diverged to NaN.
+fn nan_pool() -> Vec<haccs::fedsim::ClientInfo> {
+    (0..6).map(|id| info(id, if id == 2 { f32::NAN } else { 0.5 + id as f32 * 0.2 })).collect()
+}
+
+fn check_selector(mut s: impl Selector, label: &str) {
+    let pool = nan_pool();
+    let mut rng = StdRng::seed_from_u64(7);
+    for epoch in 0..5 {
+        let ctx = SelectionContext { epoch, available: &pool, k: 3 };
+        let picked = s.select(&ctx, &mut rng);
+        let picked = haccs::fedsim::selector::sanitize_selection(picked, &ctx);
+        assert!(!picked.is_empty(), "{label}: empty selection at epoch {epoch}");
+        assert!(picked.len() <= 3, "{label}: overlong selection {picked:?}");
+        for id in &picked {
+            assert!(*id < 6, "{label}: invalid id {id}");
+        }
+        // feed the NaN loss back, the way the engine would after a round
+        let losses: Vec<f32> =
+            picked.iter().map(|&id| if id == 2 { f32::NAN } else { 0.4 }).collect();
+        s.observe_round(epoch, &picked, &losses);
+    }
+}
+
+#[test]
+fn random_selector_survives_nan_client() {
+    check_selector(RandomSelector::new(), "random");
+}
+
+#[test]
+fn tifl_selector_survives_nan_client() {
+    check_selector(TiflSelector::new(4), "tifl");
+}
+
+#[test]
+fn oort_selector_survives_nan_client() {
+    check_selector(OortSelector::new(), "oort");
+}
+
+#[test]
+fn haccs_selector_survives_nan_client() {
+    let groups = vec![vec![0, 1, 2], vec![3, 4, 5]];
+    check_selector(HaccsSelector::new(groups, 0.5, "P(y)"), "haccs");
+}
+
+#[test]
+fn haccs_selector_survives_whole_nan_cluster() {
+    // every member of cluster 0 diverged: its ACL is NaN, which must not
+    // zero out cluster 1's sampling weight
+    let pool: Vec<_> = (0..6).map(|id| info(id, if id < 3 { f32::NAN } else { 1.0 })).collect();
+    let mut s = HaccsSelector::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 0.3, "P(y)");
+    let mut rng = StdRng::seed_from_u64(11);
+    for epoch in 0..5 {
+        let ctx = SelectionContext { epoch, available: &pool, k: 2 };
+        let picked = s.select(&ctx, &mut rng);
+        assert!(!picked.is_empty(), "epoch {epoch}: selection collapsed");
+    }
+}
+
+#[test]
+fn cluster_weights_stay_finite_with_diverged_cluster() {
+    let stats = [
+        ClusterStats { avg_latency: 1.0, avg_loss: 2.0 },
+        ClusterStats { avg_latency: 3.0, avg_loss: f32::NAN },
+        ClusterStats { avg_latency: f64::INFINITY, avg_loss: 0.5 },
+    ];
+    for rho in [0.0, 0.5, 1.0] {
+        let w = cluster_weights(&stats, rho);
+        assert!(w.iter().all(|t| t.is_finite()), "rho={rho}: {w:?}");
+        assert!(w.iter().any(|&t| t > 0.0), "rho={rho}: {w:?}");
+    }
+}
+
+#[test]
+fn full_sim_run_survives_nan_probe_losses() {
+    // End-to-end: run each selector inside the engine where client losses
+    // flow through neutral_loss and the Eq. 7 path. No selector panics and
+    // every round record stays populated.
+    let gen = SynthVision::mnist_like(4, 8, 0);
+    let mut rng = StdRng::seed_from_u64(12);
+    let specs = partition::majority_noise(6, 4, &[0.75, 0.25], (40, 60), 12, &mut rng);
+    let fed = FederatedDataset::materialize(&gen, &specs, 0);
+    let mut profiles_rng = StdRng::seed_from_u64(1);
+    let profiles = DeviceProfile::sample_many(6, &mut profiles_rng);
+
+    let selectors: Vec<Box<dyn Selector>> = vec![
+        Box::new(RandomSelector::new()),
+        Box::new(TiflSelector::new(4)),
+        Box::new(OortSelector::new()),
+        Box::new(HaccsSelector::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 0.5, "P(y)")),
+    ];
+    for mut selector in selectors {
+        let factory: haccs::fedsim::engine::ModelFactory =
+            Box::new(|| haccs::nn::mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
+        let mut sim = FedSim::new(
+            factory,
+            fed.clone(),
+            profiles.clone(),
+            LatencyModel::default(),
+            Availability::AlwaysOn,
+            SimConfig { k: 3, seed: 5, ..Default::default() },
+        );
+        // poison one client's loss the way a diverged round would
+        sim.clients[2].last_loss = Some(f32::NAN);
+        let result = sim.run(&mut *selector, 4);
+        assert_eq!(result.rounds.len(), 4, "{}", selector.name());
+        for r in &result.rounds {
+            assert!(!r.participants.is_empty(), "{}: no participants", selector.name());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Kill-and-resume soak: an arbitrary-round snapshot restored into a fresh
+//! engine must reproduce the uninterrupted run's `RoundRecord` history
+//! **bit-identically** (`RunResult`'s `PartialEq` compares floats via
+//! `to_bits`). The matrix sweeps snapshot epoch × round policy × active
+//! fault schedules × stateful selectors, plus the on-disk `SnapshotPolicy`
+//! path the CLI `--resume` flag uses.
+
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 8;
+
+fn setup(seed: u64) -> (FederatedDataset, Vec<DeviceProfile>) {
+    let gen = SynthVision::mnist_like(4, 8, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = partition::majority_noise(10, 4, &[0.75, 0.25], (40, 60), 12, &mut rng);
+    let fed = FederatedDataset::materialize(&gen, &specs, seed);
+    let profiles = DeviceProfile::sample_many(fed.n_clients(), &mut rng);
+    (fed, profiles)
+}
+
+fn factory(classes: usize) -> ModelFactory {
+    Box::new(move || haccs::nn::mlp(64, &[32], classes, &mut StdRng::seed_from_u64(7)))
+}
+
+fn build_sim(seed: u64) -> FedSim {
+    let (fed, profiles) = setup(seed);
+    FedSim::new(
+        factory(4),
+        fed,
+        profiles,
+        LatencyModel::default(),
+        Availability::epoch_dropout(0.1, 10, seed),
+        SimConfig { k: 4, seed, ..Default::default() },
+    )
+}
+
+fn active_faults(seed: u64) -> FaultModel {
+    FaultModel::none(seed)
+        .with(FaultSpec::Crash { prob: 0.2 })
+        .with(FaultSpec::Straggler { prob: 0.2, slowdown: 3.0 })
+        .with(FaultSpec::Lossy { prob: 0.1 })
+}
+
+fn make_selector(kind: &str) -> Box<dyn Selector> {
+    match kind {
+        "random" => Box::new(RandomSelector::new()),
+        "tifl" => Box::new(TiflSelector::new(4)),
+        "oort" => Box::new(OortSelector::new()),
+        "haccs" => Box::new(HaccsSelector::new(
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]],
+            0.5,
+            "P(y)",
+        )),
+        other => panic!("unknown selector {other}"),
+    }
+}
+
+/// The uninterrupted reference run.
+fn run_uninterrupted(
+    seed: u64,
+    kind: &str,
+    faults: Option<FaultModel>,
+    policy: RoundPolicy,
+) -> RunResult {
+    let mut sim = build_sim(seed).with_policy(policy);
+    if let Some(f) = faults {
+        sim = sim.with_faults(f);
+    }
+    let mut selector = make_selector(kind);
+    sim.run(&mut *selector, ROUNDS)
+}
+
+/// Run to `snap_epoch`, snapshot, drop everything, rebuild from scratch
+/// (fresh process semantics), restore, finish the remaining rounds.
+fn run_killed_and_resumed(
+    seed: u64,
+    kind: &str,
+    faults: Option<FaultModel>,
+    policy: RoundPolicy,
+    snap_epoch: usize,
+) -> RunResult {
+    let bytes = {
+        let mut sim = build_sim(seed).with_policy(policy);
+        if let Some(f) = faults {
+            sim = sim.with_faults(f);
+        }
+        let mut selector = make_selector(kind);
+        for _ in 0..snap_epoch {
+            sim.run_round(&mut *selector);
+        }
+        sim.snapshot(&*selector)
+    }; // sim + selector dropped: the "crash"
+
+    let mut sim = build_sim(seed).with_policy(policy);
+    if let Some(f) = faults {
+        sim = sim.with_faults(f);
+    }
+    let mut selector = make_selector(kind);
+    sim.restore(&bytes, &mut *selector).expect("snapshot must restore");
+    sim.run(&mut *selector, ROUNDS - snap_epoch)
+}
+
+#[test]
+fn resume_is_bit_identical_across_policies_faults_and_selectors() {
+    let seed = 42;
+    let policies = [
+        RoundPolicy::default(),
+        RoundPolicy::deadline(AggregationPolicy::DeadlineDrop, 0.9),
+        RoundPolicy::deadline(AggregationPolicy::Replace, 0.9),
+    ];
+    for (pi, policy) in policies.iter().enumerate() {
+        for (si, kind) in ["random", "oort", "haccs"].iter().enumerate() {
+            // pseudo-randomized snapshot epoch, deterministic per cell so
+            // failures reproduce: anywhere in 1..ROUNDS-1
+            let snap_epoch = 1 + (seed as usize * 7 + pi * 3 + si * 5) % (ROUNDS - 2);
+            let faults = Some(active_faults(seed));
+            let a = run_uninterrupted(seed, kind, faults, *policy);
+            let b = run_killed_and_resumed(seed, kind, faults, *policy, snap_epoch);
+            assert_eq!(
+                a, b,
+                "{kind} under {policy:?} resumed at round {snap_epoch} must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_fault_free_and_tifl() {
+    for kind in ["tifl", "haccs"] {
+        for snap_epoch in [1, 4, ROUNDS - 1] {
+            let a = run_uninterrupted(3, kind, None, RoundPolicy::default());
+            let b = run_killed_and_resumed(3, kind, None, RoundPolicy::default(), snap_epoch);
+            assert_eq!(a, b, "{kind} resumed at round {snap_epoch}");
+        }
+    }
+}
+
+#[test]
+fn on_disk_snapshot_policy_round_trips() {
+    let dir = std::env::temp_dir().join(format!("haccs-snap-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy = SnapshotPolicy::every(2, &dir);
+    let snap_path = policy.path_for(4);
+
+    let a = {
+        let mut sim = build_sim(9).with_faults(active_faults(9)).with_snapshots(policy);
+        let mut selector = make_selector("oort");
+        sim.run(&mut *selector, ROUNDS)
+    };
+    assert!(snap_path.exists(), "scheduled snapshot {snap_path:?} was never written");
+
+    // "fresh process": rebuild everything from config, restore from disk
+    let bytes = std::fs::read(&snap_path).unwrap();
+    let mut sim = build_sim(9).with_faults(active_faults(9));
+    let mut selector = make_selector("oort");
+    sim.restore(&bytes, &mut *selector).expect("on-disk snapshot must restore");
+    let b = sim.run(&mut *selector, ROUNDS - 4);
+
+    assert_eq!(a, b, "disk round trip must be bit-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restore_rejects_corrupt_and_mismatched_snapshots() {
+    let mut sim = build_sim(5);
+    let mut selector = make_selector("random");
+    for _ in 0..2 {
+        sim.run_round(&mut *selector);
+    }
+    let bytes = sim.snapshot(&*selector);
+
+    // flipped payload byte → checksum failure, not a panic
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    let mut fresh = build_sim(5);
+    let mut s = make_selector("random");
+    assert!(fresh.restore(&corrupt, &mut *s).is_err(), "corrupt snapshot must be rejected");
+
+    // different seed → config-guard failure
+    let mut other = build_sim(6);
+    let mut s = make_selector("random");
+    assert!(other.restore(&bytes, &mut *s).is_err(), "mismatched config must be rejected");
+
+    // wrong selector strategy → strategy-guard failure
+    let mut fresh = build_sim(5);
+    let mut s = make_selector("oort");
+    assert!(fresh.restore(&bytes, &mut *s).is_err(), "wrong strategy must be rejected");
+}
