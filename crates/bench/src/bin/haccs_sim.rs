@@ -17,6 +17,12 @@
 //! `--resume PATH` rebuilds the run from the *same* CLI parameters, then
 //! restores the snapshot and finishes the remaining rounds — bit-identical
 //! to the run that was interrupted.
+//!
+//! `--trace PATH` streams every engine event and span as JSON Lines to
+//! `PATH` (`/dev/stdout` works, and pipes straight into `jq`);
+//! `--metrics PATH` writes the final counter/histogram registry in
+//! Prometheus text exposition format. Tracing never perturbs the run:
+//! the round history is bit-identical with either flag on or off.
 
 use haccs_data::{partition, DatasetKind};
 use haccs_experiments::common::{accuracy_series, build_haccs, Env, Scale, StrategyKind};
@@ -42,6 +48,8 @@ struct Args {
     snapshot_every: Option<usize>,
     snapshot_dir: String,
     resume: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 impl Default for Args {
@@ -63,6 +71,8 @@ impl Default for Args {
             snapshot_every: None,
             snapshot_dir: "snapshots".into(),
             resume: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -99,13 +109,16 @@ fn parse_args() -> Args {
             }
             "--snapshot-dir" => a.snapshot_dir = val("--snapshot-dir"),
             "--resume" => a.resume = Some(val("--resume")),
+            "--trace" => a.trace = Some(val("--trace")),
+            "--metrics" => a.metrics = Some(val("--metrics")),
             "--help" | "-h" => {
                 println!(
                     "usage: haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]\n\
                      \t[--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]\n\
                      \t[--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]\n\
                      \t[--full] [--seed N] [--target F]\n\
-                     \t[--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]"
+                     \t[--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]\n\
+                     \t[--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -176,6 +189,19 @@ fn main() {
     };
 
     let mut sim = env.build_sim(a.select, availability);
+    let obs = if a.trace.is_some() || a.metrics.is_some() {
+        let mut rec = haccs_obs::Recorder::enabled();
+        if let Some(path) = &a.trace {
+            let sink = haccs_obs::JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("create trace file {path}: {e}"));
+            rec = rec.with_sink(sink);
+            println!("tracing: JSONL events into {path}");
+        }
+        sim = sim.with_recorder(rec.clone());
+        rec
+    } else {
+        haccs_obs::Recorder::disabled()
+    };
     if let Some(every) = a.snapshot_every {
         std::fs::create_dir_all(&a.snapshot_dir).expect("create snapshot dir");
         sim = sim.with_snapshots(haccs_fedsim::SnapshotPolicy::every(every, &a.snapshot_dir));
@@ -183,7 +209,8 @@ fn main() {
     }
     let mut remaining = a.rounds;
     if let Some(path) = &a.resume {
-        let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let bytes = haccs_fedsim::persist::read_snapshot_obs(std::path::Path::new(path), &obs)
+            .unwrap_or_else(|e| panic!("read {path}: {e}"));
         sim.restore(&bytes, selector.as_mut())
             .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
         remaining = a.rounds.saturating_sub(sim.epoch());
@@ -211,5 +238,11 @@ fn main() {
             a.target * 100.0,
             run.best_accuracy()
         ),
+    }
+    obs.flush();
+    if let Some(path) = &a.metrics {
+        std::fs::write(path, obs.prometheus())
+            .unwrap_or_else(|e| panic!("write metrics file {path}: {e}"));
+        println!("metrics: Prometheus exposition written to {path}");
     }
 }

@@ -20,6 +20,7 @@
 
 use haccs_core::{build_clusters, summarize_federation, ClusterCache, ExtractionMethod};
 use haccs_data::{partition, FederatedDataset, SynthVision};
+use haccs_obs::{JsonlSink, Recorder};
 use haccs_summary::{ClientSummary, Summarizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,7 +88,12 @@ fn main() {
     let fed = FederatedDataset::materialize(&gen, &specs, SEED);
     let summarizer = Summarizer::label_dist().with_epsilon(1.0);
     let pool = summarize_federation(&fed, &summarizer, SEED ^ 0xD9);
-    eprintln!("federation: {n_clients} clients, {n_events} churn events, P(y)/Hellinger");
+    let obs = Recorder::enabled().with_sink(JsonlSink::stderr());
+    obs.event("recluster_bench.start")
+        .u("n_clients", n_clients as u64)
+        .u("n_events", n_events as u64)
+        .u("seed", SEED)
+        .s("summary", "P(y)/Hellinger");
 
     // membership state: mirror (for the full path) + cache (incremental)
     let mut cache = ClusterCache::new(summarizer, MIN_PTS, ExtractionMethod::Auto);
@@ -145,6 +151,11 @@ fn main() {
     let (f_mean, f_p50, f_p95, f_total) = t_full.stats();
     let (i_mean, i_p50, i_p95, i_total) = t_incr.stats();
     let speedup = f_mean / i_mean;
+    obs.event("recluster_bench.done")
+        .f("full_ms_mean", f_mean)
+        .f("incremental_ms_mean", i_mean)
+        .f("speedup", speedup);
+    obs.flush();
     println!(
         "full rebuild : mean {f_mean:.3} ms  p50 {f_p50:.3}  p95 {f_p95:.3}  total {f_total:.1} ms"
     );
@@ -157,7 +168,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }
     let json = format!(
-        "{{\n  \"bench\": \"recluster\",\n  \"n_clients\": {n_clients},\n  \"events\": {n_events},\n  \
+        "{{\n  \"bench\": \"recluster\",\n  \"n_clients\": {n_clients},\n  \"n_events\": {n_events},\n  \
+         \"seed\": {SEED},\n  \
          \"churn\": \"single-client join/leave/update rotation\",\n  \
          \"full_ms\": {{\"mean\": {f_mean:.4}, \"p50\": {f_p50:.4}, \"p95\": {f_p95:.4}, \"total\": {f_total:.4}}},\n  \
          \"incremental_ms\": {{\"mean\": {i_mean:.4}, \"p50\": {i_p50:.4}, \"p95\": {i_p95:.4}, \"total\": {i_total:.4}}},\n  \

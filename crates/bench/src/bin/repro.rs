@@ -11,9 +11,11 @@
 
 use haccs_bench::run_suite;
 use haccs_experiments::{Scale, ALL_EXPERIMENTS};
+use haccs_obs::{JsonlSink, Recorder};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let mut scale = Scale::Fast;
     let mut seed = 42u64;
     let mut out: Option<PathBuf> = Some(PathBuf::from("results"));
@@ -37,20 +39,27 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: repro [--full] [--seed N] [--out DIR | --no-save] [ids...]");
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
-                return;
+                return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
         }
     }
 
+    let obs = Recorder::enabled().with_sink(JsonlSink::stderr());
     let t0 = std::time::Instant::now();
     let reports = run_suite(&ids, scale, seed);
+    let mut save_failures = 0usize;
     for report in &reports {
         println!("{}", report.render());
         if let Some(dir) = &out {
             match report.save(dir) {
                 Ok(path) => println!("saved {}\n", path.display()),
-                Err(e) => eprintln!("failed to save {}: {e}", report.id),
+                Err(e) => {
+                    save_failures += 1;
+                    obs.event("repro.save_failed")
+                        .s("experiment", report.id.clone())
+                        .s("error", e.to_string());
+                }
             }
         }
     }
@@ -60,4 +69,10 @@ fn main() {
         scale,
         t0.elapsed().as_secs_f64()
     );
+    if save_failures > 0 {
+        obs.event("repro.failed").u("save_failures", save_failures as u64);
+        obs.flush();
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -25,7 +25,7 @@ pub mod optics;
 pub mod quality;
 pub mod warm;
 
-pub use warm::WarmOptics;
+pub use warm::{WarmOptics, WarmOpticsStats};
 
 /// A clustering result: per-point cluster label, `None` = noise.
 ///

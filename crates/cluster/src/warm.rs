@@ -19,6 +19,17 @@
 
 use crate::optics::{core_from_sorted, expand, Optics};
 
+/// Running counters for a [`WarmOptics`]: how often [`WarmOptics::run`]
+/// actually expanded versus returned the cached ordering. Observability
+/// only — never consulted by the clustering logic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmOpticsStats {
+    /// Runs that performed an expansion pass (the cache was dirty).
+    pub expansions: u64,
+    /// Runs answered from the cached ordering without recomputation.
+    pub cached_reuses: u64,
+}
+
 /// Incrementally maintained OPTICS state: per-point sorted distance rows
 /// plus the last computed ordering.
 #[derive(Debug, Clone)]
@@ -30,6 +41,7 @@ pub struct WarmOptics {
     rows: Vec<Vec<f32>>,
     /// The last expansion result, valid while no edit has arrived since.
     cached: Option<Optics>,
+    stats: WarmOpticsStats,
 }
 
 impl WarmOptics {
@@ -38,7 +50,18 @@ impl WarmOptics {
     pub fn new(eps: f32, min_pts: usize) -> Self {
         assert!(eps >= 0.0, "eps must be non-negative");
         assert!(min_pts >= 1, "min_pts must be at least 1");
-        WarmOptics { eps, min_pts, rows: Vec::new(), cached: None }
+        WarmOptics {
+            eps,
+            min_pts,
+            rows: Vec::new(),
+            cached: None,
+            stats: WarmOpticsStats::default(),
+        }
+    }
+
+    /// Expansion/reuse counters since construction.
+    pub fn stats(&self) -> WarmOpticsStats {
+        self.stats
     }
 
     /// Number of points currently tracked.
@@ -120,6 +143,9 @@ impl WarmOptics {
             let core: Vec<f32> =
                 self.rows.iter().map(|row| core_from_sorted(row, self.eps, self.min_pts)).collect();
             self.cached = Some(expand(dist, self.eps, self.min_pts, core));
+            self.stats.expansions += 1;
+        } else {
+            self.stats.cached_reuses += 1;
         }
         self.cached.as_ref().expect("just computed")
     }
@@ -240,6 +266,7 @@ mod tests {
         let first = warm.run(&dist) as *const Optics;
         let second = warm.run(&dist) as *const Optics;
         assert_eq!(first, second, "clean reruns must reuse the prior ordering");
+        assert_eq!(warm.stats(), WarmOpticsStats { expansions: 1, cached_reuses: 2 });
     }
 
     #[test]

@@ -42,6 +42,7 @@ use haccs_fedsim::round::{self, PendingUpdate, RoundAccumulator};
 use haccs_fedsim::selector::{sanitize_selection, SelectionContext, Selector};
 use haccs_fedsim::{neutral_loss, ClientInfo};
 use haccs_nn::{evaluate, Sequential};
+use haccs_obs::Recorder;
 use haccs_summary::Summarizer;
 use haccs_sysmodel::{
     Availability, DeviceProfile, FaultModel, HeartbeatPolicy, LatencyModel, SimClock,
@@ -170,6 +171,7 @@ pub struct Coordinator<S: Selector> {
     phase: RoundPhase,
     membership_dirty: bool,
     snapshots: Option<SnapshotPolicy>,
+    obs: Recorder,
     #[allow(clippy::type_complexity)]
     recluster_hook: Option<Box<dyn FnMut(&mut S, &[(usize, WireSummary)])>>,
 }
@@ -253,6 +255,7 @@ impl<S: Selector> Coordinator<S> {
             phase: RoundPhase::Enrolling,
             membership_dirty: false,
             snapshots: None,
+            obs: Recorder::disabled(),
             recluster_hook: None,
         }
     }
@@ -299,6 +302,20 @@ impl<S: Selector> Coordinator<S> {
     /// The periodic snapshot policy, if enabled.
     pub fn snapshot_policy(&self) -> Option<&SnapshotPolicy> {
         self.snapshots.as_ref()
+    }
+
+    /// Attaches a telemetry recorder (builder style). Coordinator
+    /// instrumentation only reads runtime state in drained-queue order —
+    /// never the RNG, the clock or the model — so enabling it keeps
+    /// every [`RoundRecord`] bit-identical (pinned by `obs_parity`).
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached telemetry recorder (disabled unless set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Sets the summarizer agents use at join time (builder style).
@@ -438,6 +455,7 @@ impl<S: Selector> Coordinator<S> {
     /// `(time, client, seq)` order, timing each at its simulated arrival:
     /// effective latency plus wire backoff.
     fn collect_timed(&self, n: usize, epoch: usize) -> Vec<(usize, TransmitOutcome)> {
+        self.obs.observe_with("coord_event_queue_depth", haccs_obs::metrics::QUEUE_DEPTH, n as f64);
         let mut q = EventQueue::new();
         for _ in 0..n {
             let env = self.recv_envelope();
@@ -446,6 +464,8 @@ impl<S: Selector> Coordinator<S> {
                 TransmitOutcome::Lost { backoff_s, .. } => *backoff_s,
             };
             let t = self.effective_latency(env.from, epoch) + backoff;
+            // simulated agent round-trip: compute latency plus wire backoff
+            self.obs.observe("coord_agent_rtt_seconds", t);
             q.push(t, env.from, env.seq, env.outcome);
         }
         q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect()
@@ -484,6 +504,12 @@ impl<S: Selector> Coordinator<S> {
             self.phase = RoundPhase::Enrolling;
             let batch = std::mem::take(&mut self.pending);
             let n_new = batch.len();
+            let enroll_span = self
+                .obs
+                .span("coord.enroll")
+                .u("epoch", self.epoch as u64)
+                .u("joined", n_new as u64)
+                .sim(self.clock.now());
             let mut spawn_meta: HashMap<usize, (DeviceProfile, usize)> = HashMap::new();
 
             for p in batch {
@@ -562,12 +588,22 @@ impl<S: Selector> Coordinator<S> {
             if !first_enrollment {
                 self.membership_dirty = true;
             }
+            enroll_span.finish();
+            self.obs.inc("coord_joins_total", n_new as u64);
         }
 
         if self.membership_dirty {
             self.phase = RoundPhase::Clustering;
             if let Some(hook) = self.recluster_hook.as_mut() {
-                hook(&mut self.selector, &self.registry.member_summaries());
+                let members = self.registry.member_summaries();
+                let span = self
+                    .obs
+                    .span("coord.recluster")
+                    .u("epoch", self.epoch as u64)
+                    .u("members", members.len() as u64);
+                hook(&mut self.selector, &members);
+                span.finish();
+                self.obs.inc("coord_reclusters_total", 1);
             }
             self.membership_dirty = false;
         }
@@ -626,13 +662,23 @@ impl<S: Selector> Coordinator<S> {
 
     /// Runs one round through the wire. Returns the round record.
     pub fn run_round(&mut self) -> RoundRecord {
+        let mut round_span = self.obs.span("coord.round").u("epoch", self.epoch as u64);
         self.ensure_enrolled();
         self.phase = RoundPhase::Selecting;
         let pool = self.registry.selectable(self.epoch, &self.availability);
         let infos = self.client_infos(&pool);
         let ctx = SelectionContext { epoch: self.epoch, available: &infos, k: self.cfg.k };
-        let raw = self.selector.select(&ctx, &mut self.rng);
-        let selected = sanitize_selection(raw, &ctx);
+        let selected = {
+            let sel_span = self
+                .obs
+                .span("coord.selection")
+                .u("epoch", self.epoch as u64)
+                .u("pool", pool.len() as u64);
+            let raw = self.selector.select(&ctx, &mut self.rng);
+            let selected = sanitize_selection(raw, &ctx);
+            sel_span.u("selected", selected.len() as u64).finish();
+            selected
+        };
 
         let record = if selected.is_empty() {
             // idle tick, mirroring the loop engine exactly
@@ -660,10 +706,21 @@ impl<S: Selector> Coordinator<S> {
             if self.epoch.is_multiple_of(p.every_rounds) {
                 let path = p.path_for(self.epoch);
                 let bytes = self.snapshot();
-                persist::write_atomic(&path, &bytes)
+                persist::write_atomic_obs(&path, &bytes, &self.obs)
                     .unwrap_or_else(|e| panic!("scheduled snapshot failed: {e}"));
             }
         }
+
+        self.obs.inc("coord_rounds_total", 1);
+        self.obs.inc("coord_updates_total", record.participants.len() as u64);
+        self.obs.inc("coord_control_bytes_total", record.faults.control_bytes as u64);
+        self.obs.inc("coord_wire_retries_total", record.faults.retries as u64);
+        self.obs.observe("coord_round_sim_seconds", record.round_seconds);
+        round_span.set_sim(record.time_s);
+        round_span.push_u("participants", record.participants.len() as u64);
+        round_span.push_f("round_seconds", record.round_seconds);
+        round_span.push_f("mean_local_loss", record.mean_local_loss as f64);
+        round_span.finish();
         record
     }
 
@@ -774,7 +831,12 @@ impl<S: Selector> Coordinator<S> {
         self.clock.advance(round_seconds);
 
         // heartbeat sweep over real agent acks
+        let mut hb_span = self.obs.span("coord.heartbeat").u("epoch", epoch as u64);
         let hb = self.heartbeat_sweep(epoch);
+        hb_span.push_u("missed", hb.missed as u64);
+        hb_span.push_u("retries", hb.retries as u64);
+        hb_span.push_u("bytes", hb.bytes as u64);
+        hb_span.finish();
         acc.stats.retries += hb.retries;
         acc.stats.hb_missed = hb.missed;
         let schedule_size = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();
@@ -890,14 +952,37 @@ impl<S: Selector> Coordinator<S> {
             self.registry.observe_leave(id);
             self.agents[id].downlink = None; // the thread already returned
             self.membership_dirty = true;
+            self.obs
+                .event("coord.liveness")
+                .u("epoch", epoch as u64)
+                .u("client", id as u64)
+                .s("to", "left")
+                .sim(self.clock.now());
         }
         let silent: Vec<usize> =
             probed.iter().copied().filter(|id| !responders.contains(id)).collect();
         for id in silent.into_iter().chain(lost) {
             use haccs_sysmodel::LivenessVerdict;
-            if self.registry.observe_miss(id, &self.hb_policy) == LivenessVerdict::Evicted {
-                self.agents[id].downlink = None;
-                self.membership_dirty = true;
+            match self.registry.observe_miss(id, &self.hb_policy) {
+                LivenessVerdict::Evicted => {
+                    self.agents[id].downlink = None;
+                    self.membership_dirty = true;
+                    self.obs
+                        .event("coord.liveness")
+                        .u("epoch", epoch as u64)
+                        .u("client", id as u64)
+                        .s("to", "evicted")
+                        .sim(self.clock.now());
+                }
+                LivenessVerdict::Suspected => {
+                    self.obs
+                        .event("coord.liveness")
+                        .u("epoch", epoch as u64)
+                        .u("client", id as u64)
+                        .s("to", "suspected")
+                        .sim(self.clock.now());
+                }
+                _ => {}
             }
         }
         out

@@ -25,6 +25,7 @@ use haccs_cluster::WarmOptics;
 use haccs_data::{ClientData, FederatedDataset};
 use haccs_fedsim::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use haccs_fedsim::FedSim;
+use haccs_obs::Recorder;
 use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
 use haccs_sysmodel::DeviceProfile;
 use haccs_wire::WireSummary;
@@ -39,6 +40,7 @@ pub struct ClusterCache {
     dist: DistanceCache,
     warm: WarmOptics,
     extraction: ExtractionMethod,
+    obs: Recorder,
 }
 
 impl ClusterCache {
@@ -50,7 +52,22 @@ impl ClusterCache {
             dist: DistanceCache::new(summarizer),
             warm: WarmOptics::new(f32::INFINITY, min_pts),
             extraction,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. Instrumentation only *reads*
+    /// cache state — [`ClusterCache::recluster`] output is bit-identical
+    /// with the recorder enabled or disabled.
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Replaces the recorder on an already-constructed cache (the
+    /// coordinator and engine hand theirs down after construction).
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// Number of cached clients.
@@ -153,14 +170,38 @@ impl ClusterCache {
         if self.dist.is_empty() {
             return Vec::new();
         }
+        let mut span = self.obs.span("cluster.recluster").u("members", self.dist.len() as u64);
+        let warm_before = self.warm.stats();
         let dense = self.dist.dense();
         let o = self.warm.run(&dense);
         let clustering = self.extraction.extract(o);
-        clustering
+        let warm_after = self.warm.stats();
+        let groups: Vec<Vec<usize>> = clustering
             .to_schedulable_groups()
             .into_iter()
             .map(|g| g.into_iter().map(|local| self.dist.ids()[local]).collect())
-            .collect()
+            .collect();
+        span.push_u("groups", groups.len() as u64);
+        span.push_u("warm_hit", (warm_after.cached_reuses > warm_before.cached_reuses) as u64);
+        span.finish();
+        let d = self.dist.stats();
+        self.obs.gauge("cluster_distances_computed", d.distances_computed as f64);
+        self.obs.gauge("cluster_distance_entries_reused", d.entries_reused as f64);
+        self.obs.gauge("cluster_cache_edits", d.edits as f64);
+        self.obs.gauge("cluster_optics_expansions", warm_after.expansions as f64);
+        self.obs.gauge("cluster_optics_cached_reuses", warm_after.cached_reuses as f64);
+        groups
+    }
+
+    /// Snapshot of the distance-cache reuse counters (observability only).
+    pub fn distance_stats(&self) -> haccs_summary::DistanceCacheStats {
+        self.dist.stats()
+    }
+
+    /// Snapshot of the warm-OPTICS expansion/reuse counters
+    /// (observability only).
+    pub fn warm_stats(&self) -> haccs_cluster::WarmOpticsStats {
+        self.warm.stats()
     }
 
     /// Appends the cache state to a snapshot payload: `min_pts` as a

@@ -35,6 +35,7 @@ use crate::selector::{sanitize_selection, SelectionContext, Selector};
 use crate::trainer::{probe_loss, train_local, TrainConfig};
 use haccs_data::{FederatedDataset, ImageSet};
 use haccs_nn::{evaluate, Sequential};
+use haccs_obs::Recorder;
 use haccs_persist::{self as persist, PersistError, SnapshotReader, SnapshotWriter};
 use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel, SimClock};
 use haccs_wire::Message;
@@ -178,6 +179,7 @@ pub struct FedSim {
     faults: FaultModel,
     policy: RoundPolicy,
     snapshots: Option<SnapshotPolicy>,
+    obs: Recorder,
 }
 
 impl FedSim {
@@ -258,6 +260,7 @@ impl FedSim {
             faults: FaultModel::none(cfg.seed),
             policy: RoundPolicy::default(),
             snapshots: None,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -290,6 +293,21 @@ impl FedSim {
     pub fn with_snapshots(mut self, snapshots: SnapshotPolicy) -> Self {
         self.snapshots = Some(snapshots);
         self
+    }
+
+    /// Attaches a telemetry recorder (builder style). Instrumentation
+    /// only *reads* simulation state — it never touches the RNG, the
+    /// clock, or any aggregated float — so an enabled recorder leaves
+    /// every [`RoundRecord`] bit-identical to a disabled one (pinned by
+    /// the workspace `obs_parity` suite).
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached telemetry recorder (disabled unless set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The active snapshot schedule, if any.
@@ -420,12 +438,22 @@ impl FedSim {
 
     /// Runs one synchronous round with `selector`. Returns the round record.
     pub fn run_round(&mut self, selector: &mut dyn Selector) -> RoundRecord {
+        let mut round_span = self.obs.span("engine.round").u("epoch", self.epoch as u64);
         let n = self.clients.len();
         let available_ids = self.availability.available_clients(n, self.epoch);
         let infos = self.client_infos(&available_ids);
         let ctx = SelectionContext { epoch: self.epoch, available: &infos, k: self.cfg.k };
-        let raw = selector.select(&ctx, &mut self.rng);
-        let selected = sanitize_selection(raw, &ctx);
+        let selected = {
+            let sel_span = self
+                .obs
+                .span("engine.selection")
+                .u("epoch", self.epoch as u64)
+                .u("pool", available_ids.len() as u64);
+            let raw = selector.select(&ctx, &mut self.rng);
+            let selected = sanitize_selection(raw, &ctx);
+            sel_span.u("selected", selected.len() as u64).finish();
+            selected
+        };
 
         let record = if selected.is_empty() {
             // nothing trainable this epoch: idle-tick the clock so callers
@@ -455,10 +483,21 @@ impl FedSim {
             if self.epoch.is_multiple_of(p.every_rounds) {
                 let path = p.path_for(self.epoch);
                 let bytes = self.snapshot(&*selector);
-                persist::write_atomic(&path, &bytes)
+                persist::write_atomic_obs(&path, &bytes, &self.obs)
                     .unwrap_or_else(|e| panic!("scheduled snapshot failed: {e}"));
             }
         }
+
+        self.obs.inc("engine_rounds_total", 1);
+        self.obs.inc("engine_updates_total", record.participants.len() as u64);
+        self.obs.inc("engine_control_bytes_total", record.faults.control_bytes as u64);
+        self.obs.inc("engine_wire_retries_total", record.faults.retries as u64);
+        self.obs.observe("engine_round_sim_seconds", record.round_seconds);
+        round_span.set_sim(record.time_s);
+        round_span.push_u("participants", record.participants.len() as u64);
+        round_span.push_f("round_seconds", record.round_seconds);
+        round_span.push_f("mean_local_loss", record.mean_local_loss as f64);
+        round_span.finish();
         record
     }
 
@@ -500,13 +539,29 @@ impl FedSim {
         for &(id, crashed, lat) in &draws {
             if crashed {
                 acc.record_crash(lat);
+                self.obs.event("engine.crash").u("epoch", epoch as u64).u("client", id as u64);
             } else if deadline.is_some_and(|d| lat > d) {
                 acc.record_deadline_precut(lat);
+                self.obs
+                    .event("engine.deadline_precut")
+                    .u("epoch", epoch as u64)
+                    .u("client", id as u64)
+                    .f("latency_s", lat)
+                    .f("deadline_s", deadline.unwrap_or(f64::NAN));
             } else {
                 trainees.push(id);
             }
         }
-        let updates = self.train_clients(&trainees);
+        let updates = {
+            let span = self
+                .obs
+                .span("engine.train")
+                .u("epoch", epoch as u64)
+                .u("clients", trainees.len() as u64);
+            let updates = self.train_clients(&trainees);
+            span.finish();
+            updates
+        };
 
         // 4. lossy wire: every trained update is transmitted; retries add
         // backoff to its arrival time, budget exhaustion loses it
@@ -526,6 +581,11 @@ impl FedSim {
                     }
                     Err((retries, backoff_s)) => {
                         acc.record_wire_loss(retries, lat, backoff_s);
+                        self.obs
+                            .event("engine.wire_loss")
+                            .u("epoch", epoch as u64)
+                            .u("client", id as u64)
+                            .u("retries", retries as u64);
                     }
                 }
             } else {
@@ -567,6 +627,12 @@ impl FedSim {
                             }
                             Err((retries, backoff_s)) => {
                                 acc.record_wire_loss(retries, lat, backoff_s);
+                                self.obs
+                                    .event("engine.wire_loss")
+                                    .u("epoch", epoch as u64)
+                                    .u("client", id as u64)
+                                    .u("retries", retries as u64)
+                                    .b("replacement", true);
                             }
                         }
                     } else {
@@ -577,12 +643,18 @@ impl FedSim {
         }
 
         // 6. FedAvg over everything that arrived, weighted by sample count
+        let agg_span = self
+            .obs
+            .span("engine.aggregate")
+            .u("epoch", epoch as u64)
+            .u("updates", acc.updates.len() as u64);
         acc.fedavg(&mut self.global_params);
         for u in &acc.updates {
             let c = &mut self.clients[u.id];
             c.last_loss = Some(u.loss);
             c.participation_count += 1;
         }
+        agg_span.finish();
 
         // 7. clock: policy decides how long the round lasted
         let draw_lats: Vec<f64> = draws.iter().map(|&(_, _, lat)| lat).collect();
@@ -634,6 +706,7 @@ impl FedSim {
 
     /// Evaluates the current global model on the (sampled) pooled test set.
     pub fn evaluate_global(&mut self) -> TimePoint {
+        let eval_span = self.obs.span("engine.evaluate").u("epoch", self.epoch as u64);
         self.eval_model.set_params(&self.global_params);
         let (x, y) = if self.cfg.train.wants_images {
             (self.eval_set.tensor_nchw(), self.eval_set.labels().to_vec())
@@ -641,6 +714,7 @@ impl FedSim {
             (self.eval_set.tensor_flat(), self.eval_set.labels().to_vec())
         };
         let r = evaluate(&mut self.eval_model, &x, &y, self.cfg.eval_batch);
+        eval_span.f("accuracy", r.accuracy as f64).sim(self.clock.now()).finish();
         TimePoint {
             time_s: self.clock.now(),
             epoch: self.epoch,

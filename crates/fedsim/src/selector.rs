@@ -50,6 +50,35 @@ pub trait Selector: Send {
     }
 }
 
+/// Boxed selectors forward every method, so a heterogeneous strategy
+/// matrix (`Vec<Box<dyn Selector>>`) plugs into engines that are generic
+/// over `S: Selector` — the coordinator runtime in particular.
+impl Selector for Box<dyn Selector> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> Vec<usize> {
+        (**self).select(ctx, rng)
+    }
+
+    fn observe_round(&mut self, epoch: usize, participants: &[usize], losses: &[f32]) {
+        (**self).observe_round(epoch, participants, losses)
+    }
+
+    fn observe_faults(&mut self, epoch: usize, failed: &[usize]) {
+        (**self).observe_faults(epoch, failed)
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        (**self).save_state(w)
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+        (**self).load_state(r)
+    }
+}
+
 /// Validates and normalizes a selector's output: drops ids not available,
 /// deduplicates preserving order, truncates to `k`.
 pub fn sanitize_selection(selection: Vec<usize>, ctx: &SelectionContext<'_>) -> Vec<usize> {

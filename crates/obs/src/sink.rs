@@ -1,0 +1,144 @@
+//! Telemetry sinks: where emitted [`EventRecord`]s go.
+//!
+//! A sink receives fully-rendered records synchronously on the emitting
+//! thread. Sinks must be cheap and non-blocking in spirit — the JSONL
+//! sink buffers through a `BufWriter` and swallows I/O errors rather
+//! than let telemetry take down a simulation.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::EventRecord;
+
+/// A destination for emitted telemetry records.
+pub trait Sink: Send + Sync {
+    /// Delivers one record. Implementations must not panic on I/O failure.
+    fn record(&self, rec: &EventRecord);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Buffered line-delimited-JSON writer: one flat JSON object per record,
+/// one record per line — ready for `jq`.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// A sink writing to the given stream.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink { out: Mutex::new(BufWriter::new(out)) }
+    }
+
+    /// A sink appending to a freshly-created (truncated) file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(File::create(path)?)))
+    }
+
+    /// A sink writing to stderr.
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, rec: &EventRecord) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{}", rec.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// In-memory sink for tests. Cloning shares the underlying buffer, so a
+/// clone handed to a recorder can be inspected afterwards.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<EventRecord>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every record received so far.
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Number of records received so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// Whether no records have been received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, rec: &EventRecord) {
+        self.records.lock().unwrap().push(rec.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, FieldValue};
+
+    fn rec(name: &'static str) -> EventRecord {
+        EventRecord {
+            t_s: 0.25,
+            unix_s: 1_700_000_000.5,
+            kind: EventKind::Event,
+            name,
+            sim_s: None,
+            dur_ms: None,
+            fields: vec![("k", FieldValue::U64(7))],
+        }
+    }
+
+    #[test]
+    fn memory_sink_clones_share_state() {
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        handle.record(&rec("a"));
+        handle.record(&rec("b"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.records()[1].name, "b");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join("haccs_obs_sink_test.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&rec("first"));
+            sink.record(&rec("second"));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"first\""));
+        assert!(lines[1].contains("\"name\":\"second\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -379,6 +379,36 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, PersistError> {
     std::fs::read(path).map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))
 }
 
+/// [`write_atomic`], wrapped in an obs `persist.write` span recording the
+/// snapshot size and write latency (no-op overhead when `obs` is disabled).
+pub fn write_atomic_obs(
+    path: &Path,
+    bytes: &[u8],
+    obs: &haccs_obs::Recorder,
+) -> Result<(), PersistError> {
+    let mut span = obs.span("persist.write").u("bytes", bytes.len() as u64);
+    span.push_s("path", || path.display().to_string());
+    let out = write_atomic(path, bytes);
+    span.push_u("ok", out.is_ok() as u64);
+    span.finish();
+    obs.inc("persist_writes_total", 1);
+    obs.observe_with("persist_snapshot_bytes", haccs_obs::metrics::SIZE_BYTES, bytes.len() as f64);
+    out
+}
+
+/// [`read_snapshot`], wrapped in an obs `persist.read` span recording the
+/// snapshot size and read latency.
+pub fn read_snapshot_obs(path: &Path, obs: &haccs_obs::Recorder) -> Result<Vec<u8>, PersistError> {
+    let mut span = obs.span("persist.read");
+    span.push_s("path", || path.display().to_string());
+    let out = read_snapshot(path);
+    span.push_u("bytes", out.as_ref().map(|b| b.len()).unwrap_or(0) as u64);
+    span.push_u("ok", out.is_ok() as u64);
+    span.finish();
+    obs.inc("persist_reads_total", 1);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,6 +29,20 @@ fn condensed_index(i: usize, j: usize, n: usize) -> usize {
     n * i - i * (i + 1) / 2 + (j - i - 1)
 }
 
+/// Running maintenance counters for a [`DistanceCache`] — how many
+/// summary distances were actually evaluated versus spliced from the
+/// existing store. Pure observability: never serialized, never consulted
+/// by the maintenance logic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistanceCacheStats {
+    /// Summary distances evaluated (the expensive Hellinger calls).
+    pub distances_computed: u64,
+    /// Condensed entries copied bit-for-bit instead of recomputed.
+    pub entries_reused: u64,
+    /// Churn edits applied (add/remove/update calls).
+    pub edits: u64,
+}
+
 /// A persistent condensed pairwise-distance matrix with incremental
 /// `add_client` / `remove_client` / `update_summary` maintenance.
 #[derive(Debug, Clone)]
@@ -40,12 +54,25 @@ pub struct DistanceCache {
     summaries: Vec<ClientSummary>,
     /// Upper-triangle distances, `len = n(n-1)/2`.
     condensed: Vec<f32>,
+    stats: DistanceCacheStats,
 }
 
 impl DistanceCache {
     /// Empty cache computing distances with `summarizer`.
     pub fn new(summarizer: Summarizer) -> Self {
-        DistanceCache { summarizer, ids: Vec::new(), summaries: Vec::new(), condensed: Vec::new() }
+        DistanceCache {
+            summarizer,
+            ids: Vec::new(),
+            summaries: Vec::new(),
+            condensed: Vec::new(),
+            stats: DistanceCacheStats::default(),
+        }
+    }
+
+    /// Maintenance counters since construction (not persisted by
+    /// [`DistanceCache::save_state`]).
+    pub fn stats(&self) -> DistanceCacheStats {
+        self.stats
     }
 
     /// Number of cached clients.
@@ -138,6 +165,9 @@ impl DistanceCache {
         let dists = self.distances_to_all(&summary); // old indexing
         let old_n = self.ids.len();
         let new_n = old_n + 1;
+        self.stats.edits += 1;
+        self.stats.distances_computed += old_n as u64;
+        self.stats.entries_reused += (old_n * old_n.saturating_sub(1) / 2) as u64;
         let mut condensed = Vec::with_capacity(new_n * (new_n - 1) / 2);
         // map a new matrix index back to the old one (None = the newcomer)
         let old_of = |k: usize| -> Option<usize> {
@@ -174,6 +204,8 @@ impl DistanceCache {
         let row = self.row(pos);
         let old_n = self.ids.len();
         let new_n = old_n - 1;
+        self.stats.edits += 1;
+        self.stats.entries_reused += (new_n * new_n.saturating_sub(1) / 2) as u64;
         let mut condensed = Vec::with_capacity(new_n * new_n.saturating_sub(1) / 2);
         for i in 0..old_n {
             if i == pos {
@@ -205,6 +237,10 @@ impl DistanceCache {
         let mut dists = self.distances_to_all(&summary);
         dists[pos] = 0.0;
         let n = self.ids.len();
+        self.stats.edits += 1;
+        self.stats.distances_computed += n.saturating_sub(1) as u64;
+        self.stats.entries_reused +=
+            (n * n.saturating_sub(1) / 2).saturating_sub(n.saturating_sub(1)) as u64;
         for (j, &d) in dists.iter().enumerate() {
             if j == pos {
                 continue;
@@ -412,6 +448,23 @@ mod tests {
         let mut other = DistanceCache::new(Summarizer::cond_dist(8));
         let mut r = SnapshotReader::open(&bytes).unwrap();
         assert!(matches!(other.load_state(&mut r), Err(super::PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn stats_count_computed_vs_reused() {
+        let mut c = cache_with(&[0, 1, 2, 3]);
+        // adds of sizes 0..=3: 0+1+2+3 distances computed, 0+0+1+3 reused
+        assert_eq!(
+            c.stats(),
+            DistanceCacheStats { distances_computed: 6, entries_reused: 4, edits: 4 }
+        );
+        c.update_summary(2, label_summary(&[9.0, 1.0, 1.0, 1.0]));
+        let s = c.stats();
+        assert_eq!(s.edits, 5);
+        assert_eq!(s.distances_computed, 9); // +3 recomputed row entries
+        assert_eq!(s.entries_reused, 7); // +3 untouched pairs of the other clients
+        c.remove_client(0);
+        assert_eq!(c.stats().distances_computed, 9, "removal computes nothing");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod hist;
 pub mod persist;
 pub mod summarizer;
 
-pub use cache::DistanceCache;
+pub use cache::{DistanceCache, DistanceCacheStats};
 pub use distance::{avg_hellinger, euclidean, hellinger, total_variation, DistanceKind};
 pub use dp::{laplace_noise, privatize_counts, LaplaceMechanism};
 pub use hist::Histogram;

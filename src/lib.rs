@@ -29,6 +29,7 @@
 //! | [`wire`] | the client↔server message codec with exact size accounting |
 //! | [`coord`] | the message-driven coordinator runtime: agent threads, liveness, dynamic membership |
 //! | [`persist`] | versioned snapshot codec + bit-identical crash/resume |
+//! | [`obs`] | structured tracing (events/spans), metrics registry, JSONL + Prometheus sinks |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@ pub use haccs_data as data;
 pub use haccs_experiments as experiments;
 pub use haccs_fedsim as fedsim;
 pub use haccs_nn as nn;
+pub use haccs_obs as obs;
 pub use haccs_persist as persist;
 pub use haccs_summary as summary;
 pub use haccs_sysmodel as sysmodel;
@@ -93,6 +95,7 @@ pub mod prelude {
         SelectionContext, Selector, SimConfig, SnapshotPolicy,
     };
     pub use haccs_nn::{ModelKind, Sequential, Sgd};
+    pub use haccs_obs::{JsonlSink, MemorySink, MetricsRegistry, Recorder, Sink};
     pub use haccs_persist::{PersistError, SnapshotReader, SnapshotWriter};
     pub use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
     pub use haccs_sysmodel::{
