@@ -1,0 +1,157 @@
+//! `haccs-client` — one federated client as its own OS process.
+//!
+//! Reconstructs its shard of the shared demo federation from
+//! `(--clients, --seed)` — the same derivation `haccs-coordd` uses — then
+//! dials the coordinator and serves the standard agent protocol over
+//! length-prefixed TCP frames until the coordinator half-closes the
+//! connection. Dialing retries with capped backoff, so clients may be
+//! started before the daemon.
+//!
+//! ```text
+//! $ haccs-client --id 0 --clients 4 --connect 127.0.0.1:7733
+//! ```
+
+use haccs_bench::demo;
+use haccs_coord::remote_agent_config;
+use haccs_wire::TcpConfig;
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str = "haccs-client — one HACCS federated client process
+
+USAGE:
+    haccs-client --id <I> [OPTIONS]
+
+OPTIONS:
+    --id <I>          this client's id in 0..clients (required)
+    --clients <N>     federation size [default: 4]
+    --k <K>           clients selected per round (must match coordd) [default: 3]
+    --seed <S>        run seed shared with the coordinator [default: 0]
+    --connect <ADDR>  coordinator address [default: 127.0.0.1:7733]
+    --help            print this help
+";
+
+#[derive(Debug, PartialEq)]
+struct Opts {
+    id: usize,
+    clients: usize,
+    k: usize,
+    seed: u64,
+    connect: String,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut id: Option<usize> = None;
+    let mut clients = 4usize;
+    let mut k = 3usize;
+    let mut seed = 0u64;
+    let mut connect = String::from("127.0.0.1:7733");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" {
+            return Err(String::new());
+        }
+        let value = it.next().ok_or_else(|| format!("flag {flag} expects a value"))?.to_string();
+        match flag.as_str() {
+            "--id" => id = Some(parse_num(&value, flag)?),
+            "--clients" => clients = parse_num(&value, flag)?,
+            "--k" => k = parse_num(&value, flag)?,
+            "--seed" => seed = parse_num(&value, flag)?,
+            "--connect" => connect = value,
+            other => return Err(format!("unknown flag {other}; see --help")),
+        }
+    }
+    let id = id.ok_or("--id is required")?;
+    if id >= clients {
+        return Err(format!("--id {id} out of range for --clients {clients}"));
+    }
+    Ok(Opts { id, clients, k, seed, connect })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag} expects a number, got {s:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                exit(0);
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            exit(2);
+        }
+    };
+
+    let fed = demo::federation(opts.clients, opts.seed);
+    let data = fed.clients[opts.id].clone();
+    let profile = demo::profiles(opts.clients, opts.seed)[opts.id];
+    let cfg = demo::sim_config(opts.k, opts.seed);
+    let acfg = remote_agent_config(
+        opts.id,
+        &cfg,
+        &demo::faults(opts.seed),
+        &demo::policy(),
+        haccs_sysmodel::Availability::AlwaysOn,
+    );
+
+    // patient dialing: a human starting two terminals should never race
+    let tcp = TcpConfig {
+        connect_retries: 40,
+        connect_backoff: Duration::from_millis(250),
+        ..TcpConfig::default()
+    };
+    println!("client {}: dialing {}", opts.id, opts.connect);
+    match haccs_coord::serve_agent_tcp(
+        opts.connect.as_str(),
+        &tcp,
+        acfg,
+        data,
+        profile,
+        demo::factory(opts.seed),
+        demo::summarizer(),
+    ) {
+        Ok(()) => println!("client {}: coordinator closed the session; done", opts.id),
+        Err(e) => {
+            eprintln!("client {}: transport failed: {e}", opts.id);
+            exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn id_is_required_and_range_checked() {
+        assert!(parse_opts(&[]).unwrap_err().contains("--id is required"));
+        let e = parse_opts(&args(&["--id", "4", "--clients", "4"])).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let o = parse_opts(&args(&[
+            "--id",
+            "2",
+            "--clients",
+            "20",
+            "--k",
+            "5",
+            "--seed",
+            "9",
+            "--connect",
+            "127.0.0.1:9000",
+        ]))
+        .unwrap();
+        assert_eq!(o, Opts { id: 2, clients: 20, k: 5, seed: 9, connect: "127.0.0.1:9000".into() });
+    }
+}

@@ -4,7 +4,7 @@
 //! haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]
 //!           [--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]
 //!           [--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]
-//!           [--full] [--seed N] [--target F]
+//!           [--full] [--seed N] [--target F] [--transport inproc|tcp]
 //!           [--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]
 //! ```
 //!
@@ -23,7 +23,17 @@
 //! `--metrics PATH` writes the final counter/histogram registry in
 //! Prometheus text exposition format. Tracing never perturbs the run:
 //! the round history is bit-identical with either flag on or off.
+//!
+//! `--transport tcp` runs the identical federation as a real localhost
+//! socket deployment: the coordinator binds an ephemeral port and one OS
+//! thread per client dials in, speaking length-prefixed frames. Round
+//! histories are bit-identical to `--transport inproc` (the default) —
+//! pinned by `tests/transport_e2e.rs`. The engine-side persistence and
+//! telemetry flags (`--snapshot-every`, `--resume`, `--trace`,
+//! `--metrics`) are rejected in this mode; the standalone `haccs-coordd`
+//! daemon owns those for socket deployments.
 
+use haccs_bench::TransportKind;
 use haccs_data::{partition, DatasetKind};
 use haccs_experiments::common::{accuracy_series, build_haccs, Env, Scale, StrategyKind};
 use haccs_summary::Summarizer;
@@ -32,6 +42,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 struct Args {
+    transport: TransportKind,
     clients: usize,
     select: usize,
     rounds: usize,
@@ -55,6 +66,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Args {
+            transport: TransportKind::Inproc,
             clients: 50,
             select: 10,
             rounds: 60,
@@ -78,8 +90,12 @@ impl Default for Args {
 }
 
 fn parse_args() -> Args {
+    parse_from(std::env::args().skip(1))
+}
+
+fn parse_from(it: impl Iterator<Item = String>) -> Args {
     let mut a = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = it;
     while let Some(flag) = it.next() {
         let mut val =
             |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
@@ -111,18 +127,34 @@ fn parse_args() -> Args {
             "--resume" => a.resume = Some(val("--resume")),
             "--trace" => a.trace = Some(val("--trace")),
             "--metrics" => a.metrics = Some(val("--metrics")),
+            "--transport" => {
+                a.transport = val("--transport").parse().unwrap_or_else(|e| panic!("{e}"))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]\n\
                      \t[--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]\n\
                      \t[--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]\n\
-                     \t[--full] [--seed N] [--target F]\n\
+                     \t[--full] [--seed N] [--target F] [--transport inproc|tcp]\n\
                      \t[--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]\n\
                      \t[--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    if a.transport == TransportKind::Tcp {
+        // the TCP runner is the coordinator runtime, which owns its own
+        // round loop — the engine-side persistence/telemetry flags don't
+        // reach it. Reject the combination instead of silently ignoring it.
+        for (flag, set) in [
+            ("--snapshot-every", a.snapshot_every.is_some()),
+            ("--resume", a.resume.is_some()),
+            ("--trace", a.trace.is_some()),
+            ("--metrics", a.metrics.is_some()),
+        ] {
+            assert!(!set, "{flag} is not supported with --transport tcp");
         }
     }
     a
@@ -188,6 +220,38 @@ fn main() {
         other => panic!("unknown strategy {other} (random|tifl|oort|py|pxy)"),
     };
 
+    if a.transport == TransportKind::Tcp {
+        // same federation, but run as a real socket deployment: the
+        // coordinator binds an ephemeral localhost port and one OS thread
+        // per client dials in — construction routes through the
+        // `Transport` trait instead of in-process mpsc channels.
+        let model = a.scale.model();
+        let channels = a.dataset.channels();
+        let side = a.scale.side();
+        let classes = a.classes;
+        let mseed = a.seed ^ 0x0DE1;
+        let shared: haccs_coord::agent::SharedModelFactory = std::sync::Arc::new(move || {
+            model.build(channels, side, classes, &mut StdRng::seed_from_u64(mseed))
+        });
+        println!("transport: tcp (localhost socket federation)");
+        let t0 = std::time::Instant::now();
+        let run = haccs_coord::run_tcp_federation(
+            shared,
+            env.fed.clone(),
+            env.profiles.clone(),
+            env.latency(),
+            availability,
+            env.sim_config(a.select),
+            haccs_sysmodel::FaultModel::none(a.seed),
+            haccs_fedsim::RoundPolicy::default(),
+            Summarizer::label_dist(),
+            selector,
+            a.rounds,
+        );
+        report(&a, t0, &run);
+        return;
+    }
+
     let mut sim = env.build_sim(a.select, availability);
     let obs = if a.trace.is_some() || a.metrics.is_some() {
         let mut rec = haccs_obs::Recorder::enabled();
@@ -218,7 +282,17 @@ fn main() {
     }
     let t0 = std::time::Instant::now();
     let run = sim.run(selector.as_mut(), remaining);
-    let series = accuracy_series(&run);
+    report(&a, t0, &run);
+    obs.flush();
+    if let Some(path) = &a.metrics {
+        std::fs::write(path, obs.prometheus())
+            .unwrap_or_else(|e| panic!("write metrics file {path}: {e}"));
+        println!("metrics: Prometheus exposition written to {path}");
+    }
+}
+
+fn report(a: &Args, t0: std::time::Instant, run: &haccs_fedsim::RunResult) {
+    let series = accuracy_series(run);
     println!(
         "\n{} rounds in {:.1}s wall, {:.1}s simulated",
         a.rounds,
@@ -231,7 +305,7 @@ fn main() {
         let bar = "#".repeat((acc * 50.0) as usize);
         println!("t={t:>7.1}s acc={acc:.3} |{bar}");
     }
-    match haccs_experiments::common::smoothed_tta(&run, a.target) {
+    match haccs_experiments::common::smoothed_tta(run, a.target) {
         Some(t) => println!("\nTTA@{:.0}%: {t:.1} simulated seconds", a.target * 100.0),
         None => println!(
             "\ntarget {:.0}% not reached (best {:.3})",
@@ -239,10 +313,35 @@ fn main() {
             run.best_accuracy()
         ),
     }
-    obs.flush();
-    if let Some(path) = &a.metrics {
-        std::fs::write(path, obs.prometheus())
-            .unwrap_or_else(|e| panic!("write metrics file {path}: {e}"));
-        println!("metrics: Prometheus exposition written to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn transport_defaults_to_inproc_and_parses_tcp() {
+        assert_eq!(parse(&[]).transport, TransportKind::Inproc);
+        assert_eq!(parse(&["--transport", "inproc"]).transport, TransportKind::Inproc);
+        let a = parse(&["--transport", "tcp", "--clients", "8", "--rounds", "3"]);
+        assert_eq!(a.transport, TransportKind::Tcp);
+        assert_eq!(a.clients, 8);
+        assert_eq!(a.rounds, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transport")]
+    fn bogus_transport_is_rejected() {
+        parse(&["--transport", "carrier-pigeon"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--resume is not supported with --transport tcp")]
+    fn tcp_rejects_engine_only_flags() {
+        parse(&["--transport", "tcp", "--resume", "snap.bin"]);
     }
 }

@@ -9,41 +9,80 @@
 //!   fast preset (MLP on 8×8 synthetic images, minutes total in release)
 //! * `--out DIR` → also write one JSON per experiment (default `results/`)
 
-use haccs_bench::run_suite;
+use haccs_bench::{run_suite, TransportKind};
 use haccs_experiments::{Scale, ALL_EXPERIMENTS};
 use haccs_obs::{JsonlSink, Recorder};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut scale = Scale::Fast;
-    let mut seed = 42u64;
-    let mut out: Option<PathBuf> = Some(PathBuf::from("results"));
-    let mut ids: Vec<String> = Vec::new();
+#[derive(Debug)]
+struct Cli {
+    scale: Scale,
+    seed: u64,
+    out: Option<PathBuf>,
+    ids: Vec<String>,
+    help: bool,
+}
 
-    let mut args = std::env::args().skip(1);
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Fast,
+        seed: 42,
+        out: Some(PathBuf::from("results")),
+        ids: Vec::new(),
+        help: false,
+    };
+    let mut args = args;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--full" => scale = Scale::Full,
+            "--full" => cli.scale = Scale::Full,
             "--seed" => {
-                seed = args
+                cli.seed = args
                     .next()
-                    .expect("--seed needs a value")
+                    .ok_or("--seed needs a value")?
                     .parse()
-                    .expect("--seed must be an integer");
+                    .map_err(|_| "--seed must be an integer".to_string())?;
             }
             "--out" => {
-                out = Some(PathBuf::from(args.next().expect("--out needs a directory")));
+                cli.out = Some(PathBuf::from(args.next().ok_or("--out needs a directory")?));
             }
-            "--no-save" => out = None,
-            "--help" | "-h" => {
-                println!("usage: repro [--full] [--seed N] [--out DIR | --no-save] [ids...]");
-                println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
-                return ExitCode::SUCCESS;
+            "--no-save" => cli.out = None,
+            "--transport" => {
+                // validated for parity with haccs-sim, but the experiment
+                // suite regenerates paper figures in-process only
+                let kind: TransportKind =
+                    args.next().ok_or("--transport needs a value")?.parse()?;
+                if kind != TransportKind::Inproc {
+                    return Err(format!(
+                        "--transport {kind} is not supported by repro: the experiment suite \
+                         runs in-process. Use `haccs-sim --transport tcp` for a socket \
+                         federation, or `haccs-coordd` + `haccs-client` for separate processes."
+                    ));
+                }
             }
-            other => ids.push(other.to_string()),
+            "--help" | "-h" => cli.help = true,
+            other => cli.ids.push(other.to_string()),
         }
     }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.help {
+        println!(
+            "usage: repro [--full] [--seed N] [--out DIR | --no-save] [--transport inproc] [ids...]"
+        );
+        println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+        return ExitCode::SUCCESS;
+    }
+    let Cli { scale, seed, out, ids, .. } = cli;
 
     let obs = Recorder::enabled().with_sink(JsonlSink::stderr());
     let t0 = std::time::Instant::now();
@@ -75,4 +114,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_cli(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn inproc_transport_is_accepted() {
+        let cli = parse(&["--transport", "inproc", "fig3"]).unwrap();
+        assert_eq!(cli.ids, vec!["fig3"]);
+    }
+
+    #[test]
+    fn tcp_transport_is_rejected_with_a_pointer_to_the_right_tool() {
+        let err = parse(&["--transport", "tcp"]).unwrap_err();
+        assert!(err.contains("not supported by repro"), "{err}");
+        assert!(err.contains("haccs-sim --transport tcp"), "{err}");
+        assert!(err.contains("haccs-coordd"), "{err}");
+    }
+
+    #[test]
+    fn unknown_transport_is_a_parse_error() {
+        let err = parse(&["--transport", "quic"]).unwrap_err();
+        assert!(err.contains("quic") && err.contains("inproc"), "{err}");
+    }
+
+    #[test]
+    fn seed_and_ids_still_parse() {
+        let cli = parse(&["--seed", "7", "--no-save", "fig3", "fig5"]).unwrap();
+        assert_eq!(cli.seed, 7);
+        assert!(cli.out.is_none());
+        assert_eq!(cli.ids, vec!["fig3", "fig5"]);
+    }
 }

@@ -11,6 +11,10 @@
 
 use haccs_experiments::{run_experiment, ExperimentReport, Scale, ALL_EXPERIMENTS};
 
+pub mod demo;
+
+pub use demo::TransportKind;
+
 /// Runs a set of experiment ids (or all when empty), returning the reports.
 pub fn run_suite(ids: &[String], scale: Scale, seed: u64) -> Vec<ExperimentReport> {
     let ids: Vec<&str> = if ids.is_empty() {

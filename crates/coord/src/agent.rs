@@ -29,40 +29,10 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// What one agent transmission looked like from the wire's point of view.
-#[derive(Debug, Clone)]
-pub enum TransmitOutcome {
-    /// The frame (re-)transmitted its way through.
-    Delivered {
-        /// The encoded frame, ready for [`Message::decode`].
-        frame: Bytes,
-        /// Retransmissions before success.
-        retries: usize,
-        /// Total backoff the retries cost, in seconds.
-        backoff_s: f64,
-        /// Bytes put on the wire across every attempt.
-        bytes_sent: usize,
-    },
-    /// The retry budget ran out; the frame never arrived.
-    Lost {
-        /// Retransmissions attempted (= max_retries).
-        retries: usize,
-        /// Total backoff spent before giving up.
-        backoff_s: f64,
-    },
-}
-
-/// One uplink item. Agents emit exactly one envelope per downlink frame
-/// that demands a response — even for a lost frame — so the coordinator
-/// can always collect a deterministic count without timing heuristics.
-#[derive(Debug, Clone)]
-pub struct Envelope {
-    /// Registry id of the sender.
-    pub from: usize,
-    /// Sender-side monotone sequence number (the event-queue tiebreaker).
-    pub seq: u64,
-    pub outcome: TransmitOutcome,
-}
+// The uplink types grew up here but now live in `haccs-wire` (they cross
+// process boundaries via `Envelope::encode`); re-exported so every
+// existing `coord::agent::{Envelope, TransmitOutcome}` path still works.
+pub use haccs_wire::{Envelope, TransmitOutcome};
 
 /// Everything an agent needs at spawn time.
 pub struct AgentConfig {
@@ -138,6 +108,21 @@ pub fn spawn(
         .expect("spawn agent thread")
 }
 
+/// Runs the agent loop on the calling thread. This is the same body
+/// [`spawn`] runs; exposed so socket clients (`haccs-client`) can drive
+/// the identical protocol over mpsc junctions bridged to a TCP stream.
+pub fn run_agent(
+    cfg: AgentConfig,
+    data: ClientData,
+    profile: DeviceProfile,
+    factory: SharedModelFactory,
+    summarizer: Summarizer,
+    downlink: Receiver<Bytes>,
+    uplink: Sender<Envelope>,
+) {
+    agent_main(cfg, data, profile, factory, summarizer, downlink, uplink)
+}
+
 fn agent_main(
     cfg: AgentConfig,
     data: ClientData,
@@ -204,6 +189,12 @@ fn agent_main(
                     let ack = Message::Heartbeat { client_nonce: cfg.nonce, round, last_loss };
                     send(reliable(&ack), &mut seq);
                 }
+            }
+            Message::ResumeSync { last_loss: snapshot_loss, .. } => {
+                // post-restore sync for a client that outlived a
+                // coordinator crash: echo the pre-snapshot loss until the
+                // next local training run, like a restored local agent
+                last_loss = snapshot_loss;
             }
             Message::Heartbeat { round, .. } => {
                 // server probe. Unavailable devices stay silent — exactly

@@ -85,6 +85,19 @@ struct AgentHandle {
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
+/// The server-side half of one connected remote client, produced by a
+/// transport bridge (see `crate::net`): the sender whose frames the
+/// bridge's writer pump carries to the client, plus the pump thread
+/// itself (joined when the coordinator drops, exactly like a local agent
+/// thread).
+pub struct RemoteLink {
+    /// Downlink frame sender; dropping it makes the pump half-close the
+    /// connection, which the remote agent observes as an orderly EOF.
+    pub downlink: Sender<bytes::Bytes>,
+    /// The bridge pump thread for this client.
+    pub pump: Option<std::thread::JoinHandle<()>>,
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -96,6 +109,42 @@ fn splitmix64(mut z: u64) -> u64 {
 /// probe value `0`.
 fn nonce_for(seed: u64, id: usize) -> u64 {
     splitmix64(seed ^ (id as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)).max(1)
+}
+
+/// The session nonce client `id` enrolls under for a run seeded with
+/// `seed`. Remote client processes must present exactly this nonce (the
+/// coordinator derives the same value on its side), so it is part of the
+/// public wire contract rather than an internal detail.
+pub fn session_nonce(seed: u64, id: usize) -> u64 {
+    nonce_for(seed, id)
+}
+
+/// The base summary seed a coordinator derives for a run seeded with
+/// `seed` unless overridden via [`Coordinator::with_summary_seed`].
+/// Remote clients need it to produce the same privacy summaries their
+/// in-process counterparts would.
+pub fn default_summary_seed(seed: u64) -> u64 {
+    seed ^ 0xD9
+}
+
+/// Eval-set sampling shared by every construction path — local, remote
+/// and the loop engine use the same seed salt, so all three read out the
+/// global model on the identical subset.
+fn sample_eval_set(global_test: &ImageSet, cfg: &SimConfig) -> ImageSet {
+    let mut eval_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE7A1_77F0);
+    if global_test.len() > cfg.eval_max {
+        let mut idx: Vec<usize> = (0..global_test.len()).collect();
+        idx.shuffle(&mut eval_rng);
+        idx.truncate(cfg.eval_max);
+        let mut s =
+            ImageSet::empty(global_test.channels(), global_test.side(), global_test.classes());
+        for i in idx {
+            s.push(global_test.image(i), global_test.labels()[i]);
+        }
+        s
+    } else {
+        global_test.clone()
+    }
 }
 
 /// The §IV-C re-clustering hook for [`HaccsSelector`], **full-rebuild
@@ -166,6 +215,11 @@ pub struct Coordinator<S: Selector> {
     registry: ClientRegistry,
     agents: Vec<AgentHandle>,
     pending: Vec<PendingJoin>,
+    /// `Some` iff built via [`Coordinator::remote`]: the spawn-time
+    /// profile for each expected remote client id.
+    remote_profiles: Option<Vec<DeviceProfile>>,
+    /// Remote clients attached but not yet enrolled.
+    pending_remote: Vec<(usize, RemoteLink)>,
     uplink_tx: Sender<Envelope>,
     uplink_rx: Receiver<Envelope>,
     phase: RoundPhase,
@@ -180,6 +234,29 @@ struct SweepOutcome {
     missed: usize,
     retries: usize,
     bytes: usize,
+}
+
+/// One client's state as read back from a snapshot.
+struct RestoredEntry {
+    summary: WireSummary,
+    last_loss: Option<f32>,
+    participation_count: usize,
+    liveness: Liveness,
+    missed_heartbeats: u32,
+    n_train: usize,
+}
+
+/// Everything a snapshot holds, parsed and validated but not yet
+/// committed (the selector's state *is* already loaded — on any error
+/// the coordinator must be discarded, restore is not transactional).
+struct ParsedSnapshot {
+    epoch: usize,
+    now: f64,
+    rng_state: [u64; 4],
+    global_params: Vec<f32>,
+    result: RunResult,
+    membership_dirty: bool,
+    restored: Vec<RestoredEntry>,
 }
 
 impl<S: Selector> Coordinator<S> {
@@ -203,23 +280,7 @@ impl<S: Selector> Coordinator<S> {
         let global_params = global_model.get_params();
 
         // identical eval-set sampling to the loop engine (same seed salt)
-        let mut eval_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE7A1_77F0);
-        let eval_set = if fed.global_test.len() > cfg.eval_max {
-            let mut idx: Vec<usize> = (0..fed.global_test.len()).collect();
-            idx.shuffle(&mut eval_rng);
-            idx.truncate(cfg.eval_max);
-            let mut s = ImageSet::empty(
-                fed.global_test.channels(),
-                fed.global_test.side(),
-                fed.global_test.classes(),
-            );
-            for i in idx {
-                s.push(fed.global_test.image(i), fed.global_test.labels()[i]);
-            }
-            s
-        } else {
-            fed.global_test.clone()
-        };
+        let eval_set = sample_eval_set(&fed.global_test, &cfg);
 
         let pending: Vec<PendingJoin> = fed
             .clients
@@ -250,6 +311,8 @@ impl<S: Selector> Coordinator<S> {
             registry: ClientRegistry::new(),
             agents: Vec::new(),
             pending,
+            remote_profiles: None,
+            pending_remote: Vec::new(),
             uplink_tx,
             uplink_rx,
             phase: RoundPhase::Enrolling,
@@ -258,6 +321,79 @@ impl<S: Selector> Coordinator<S> {
             obs: Recorder::disabled(),
             recluster_hook: None,
         }
+    }
+
+    /// Assembles a coordinator whose clients live in **other processes**,
+    /// reached over a transport bridge (see `crate::net`). No shards are
+    /// passed — each remote client owns its data — but spawn-time device
+    /// profiles still live server-side so the latency model is exact (a
+    /// `Join`'s `f32` resource estimate would round them). Clients
+    /// present ids `0..profiles.len()`; connect each via
+    /// [`Coordinator::attach_remote`] before the first round.
+    pub fn remote(
+        factory: ModelFactory,
+        global_test: ImageSet,
+        profiles: Vec<DeviceProfile>,
+        latency: LatencyModel,
+        availability: Availability,
+        cfg: SimConfig,
+        selector: S,
+    ) -> Self {
+        assert!(cfg.k >= 1, "k must be at least 1");
+        assert!(cfg.eval_every >= 1);
+        let global_model = factory();
+        let global_params = global_model.get_params();
+        let eval_set = sample_eval_set(&global_test, &cfg);
+        let (uplink_tx, uplink_rx) = mpsc::channel();
+        Coordinator {
+            factory: Arc::from(factory),
+            global_params,
+            latency,
+            availability,
+            cfg,
+            clock: SimClock::new(),
+            eval_model: global_model,
+            eval_set,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            epoch: 0,
+            result: RunResult::default(),
+            faults: FaultModel::none(cfg.seed),
+            policy: RoundPolicy::default(),
+            hb_policy: HeartbeatPolicy::default(),
+            summarizer: Summarizer::label_dist(),
+            summary_seed: default_summary_seed(cfg.seed),
+            selector,
+            registry: ClientRegistry::new(),
+            agents: Vec::new(),
+            pending: Vec::new(),
+            remote_profiles: Some(profiles),
+            pending_remote: Vec::new(),
+            uplink_tx,
+            uplink_rx,
+            phase: RoundPhase::Enrolling,
+            membership_dirty: false,
+            snapshots: None,
+            obs: Recorder::disabled(),
+            recluster_hook: None,
+        }
+    }
+
+    /// A clone of the uplink sender, for transport bridges that forward
+    /// remote clients' envelopes into the coordinator's event flow.
+    pub fn uplink(&self) -> Sender<Envelope> {
+        self.uplink_tx.clone()
+    }
+
+    /// Registers a connected remote client (its `Join` envelope must
+    /// already be in flight on the uplink). Enrollment — and therefore
+    /// the first `Schedule` this client can receive — happens at the next
+    /// round boundary, mirroring [`Coordinator::add_client`].
+    pub fn attach_remote(&mut self, id: usize, link: RemoteLink) {
+        let known = self.remote_profiles.as_ref().map(|p| p.len()).unwrap_or_else(|| {
+            panic!("attach_remote on a coordinator not built via Coordinator::remote")
+        });
+        assert!(id < known, "remote client id {id} out of range (expected < {known})");
+        self.pending_remote.push((id, link));
     }
 
     fn assert_unspawned(&self, what: &str) {
@@ -499,22 +635,26 @@ impl<S: Selector> Coordinator<S> {
     /// initial losses and — when membership changed mid-training — runs
     /// the §IV-C re-clustering hook.
     fn ensure_enrolled(&mut self) {
-        if !self.pending.is_empty() {
+        if !self.pending.is_empty() || !self.pending_remote.is_empty() {
             let first_enrollment = self.registry.is_empty();
             self.phase = RoundPhase::Enrolling;
             let batch = std::mem::take(&mut self.pending);
-            let n_new = batch.len();
+            let mut remote_batch = std::mem::take(&mut self.pending_remote);
+            remote_batch.sort_by_key(|(id, _)| *id);
+            let n_new = batch.len() + remote_batch.len();
             let enroll_span = self
                 .obs
                 .span("coord.enroll")
                 .u("epoch", self.epoch as u64)
                 .u("joined", n_new as u64)
                 .sim(self.clock.now());
-            let mut spawn_meta: HashMap<usize, (DeviceProfile, usize)> = HashMap::new();
+            // a local client's shard size is known at spawn; a remote
+            // one's arrives inside its Join (hence the Option)
+            let mut spawn_meta: HashMap<usize, (DeviceProfile, Option<usize>)> = HashMap::new();
 
             for p in batch {
                 let id = self.agents.len();
-                spawn_meta.insert(id, (p.profile, p.data.train.len()));
+                spawn_meta.insert(id, (p.profile, Some(p.data.train.len())));
                 let (down_tx, down_rx) = mpsc::channel();
                 let acfg = AgentConfig {
                     id,
@@ -540,12 +680,27 @@ impl<S: Selector> Coordinator<S> {
                 self.agents.push(AgentHandle { downlink: Some(down_tx), thread: Some(thread) });
             }
 
+            for (id, link) in remote_batch {
+                assert_eq!(
+                    id,
+                    self.agents.len(),
+                    "remote clients must cover a dense id range (missing attach_remote?)"
+                );
+                let profile = self
+                    .remote_profiles
+                    .as_ref()
+                    .expect("pending_remote implies remote construction")[id];
+                spawn_meta.insert(id, (profile, None));
+                self.agents.push(AgentHandle { downlink: Some(link.downlink), thread: link.pump });
+            }
+
             // Joins arrive in racing order; the queue restores id order
             let mut new_ids = Vec::with_capacity(n_new);
             for (id, outcome) in self.collect_uniform(n_new) {
-                let (profile, n_train) = spawn_meta[&id];
+                let (profile, local_n_train) = spawn_meta[&id];
                 match Self::decode_delivered(outcome) {
                     Message::Join { client_nonce, summary, resources } => {
+                        let n_train = local_n_train.unwrap_or(resources.n_train as usize);
                         self.registry.enroll(ClientEntry {
                             id,
                             nonce: client_nonce,
@@ -1073,21 +1228,14 @@ impl<S: Selector> Coordinator<S> {
         w.finish()
     }
 
-    /// Restores a [`Coordinator::snapshot`] onto this coordinator, which
-    /// must be freshly constructed from the **same** inputs (federation,
-    /// profiles, seed, policies, selector construction) and must not have
-    /// run a round yet. Live clients' agents are spawned seeded with
-    /// their snapshot-time losses; departed clients become registry
-    /// tombstones with no agent thread, exactly as the uninterrupted
-    /// coordinator would hold them.
-    ///
-    /// On any [`PersistError`] the coordinator should be discarded — the
-    /// restore is not transactional.
-    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
-        assert!(
-            self.agents.is_empty() && self.registry.is_empty(),
-            "restore requires a freshly constructed coordinator"
-        );
+    /// Parses and validates a snapshot against this coordinator's
+    /// construction fingerprints, loading the selector's state as a side
+    /// effect. Shared by the local and remote restore paths.
+    fn parse_snapshot(
+        &mut self,
+        bytes: &[u8],
+        expected_clients: usize,
+    ) -> Result<ParsedSnapshot, PersistError> {
         let mut r = SnapshotReader::open(bytes)?;
         let check = |name: &str, stored: u64, actual: u64| -> Result<(), PersistError> {
             if stored != actual {
@@ -1102,7 +1250,7 @@ impl<S: Selector> Coordinator<S> {
         check("eval_every", r.get_usize()? as u64, self.cfg.eval_every as u64)?;
         check("summary_seed", r.get_u64()?, self.summary_seed)?;
         let n = r.get_usize()?;
-        check("client count", n as u64, self.pending.len() as u64)?;
+        check("client count", n as u64, expected_clients as u64)?;
 
         let epoch = r.get_usize()?;
         let now = r.get_f64()?;
@@ -1120,15 +1268,7 @@ impl<S: Selector> Coordinator<S> {
         let result = RunResult::load(&mut r)?;
         let membership_dirty = r.get_bool()?;
 
-        struct Restored {
-            summary: WireSummary,
-            last_loss: Option<f32>,
-            participation_count: usize,
-            liveness: Liveness,
-            missed_heartbeats: u32,
-            n_train: usize,
-        }
-        let mut restored: Vec<Restored> = Vec::with_capacity(n);
+        let mut restored: Vec<RestoredEntry> = Vec::with_capacity(n);
         for _ in 0..n {
             let n_hists = r.get_usize()?;
             let mut histograms = Vec::with_capacity(n_hists);
@@ -1136,7 +1276,7 @@ impl<S: Selector> Coordinator<S> {
                 histograms.push(r.get_f32s()?);
             }
             let prevalence = r.get_f32s()?;
-            restored.push(Restored {
+            restored.push(RestoredEntry {
                 summary: WireSummary { histograms, prevalence },
                 last_loss: r.get_opt_f32()?,
                 participation_count: r.get_usize()?,
@@ -1160,6 +1300,42 @@ impl<S: Selector> Coordinator<S> {
         }
         self.selector.load_state(&mut r)?;
         r.expect_end()?;
+        Ok(ParsedSnapshot {
+            epoch,
+            now,
+            rng_state,
+            global_params,
+            result,
+            membership_dirty,
+            restored,
+        })
+    }
+
+    /// Restores a [`Coordinator::snapshot`] onto this coordinator, which
+    /// must be freshly constructed from the **same** inputs (federation,
+    /// profiles, seed, policies, selector construction) and must not have
+    /// run a round yet. Live clients' agents are spawned seeded with
+    /// their snapshot-time losses; departed clients become registry
+    /// tombstones with no agent thread, exactly as the uninterrupted
+    /// coordinator would hold them.
+    ///
+    /// On any [`PersistError`] the coordinator should be discarded — the
+    /// restore is not transactional.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        assert!(
+            self.agents.is_empty() && self.registry.is_empty(),
+            "restore requires a freshly constructed coordinator"
+        );
+        let snap = self.parse_snapshot(bytes, self.pending.len())?;
+        let ParsedSnapshot {
+            epoch,
+            now,
+            rng_state,
+            global_params,
+            result,
+            membership_dirty,
+            restored,
+        } = snap;
 
         // everything parsed — validate shard sizes before spawning threads
         for (id, p) in self.pending.iter().enumerate() {
@@ -1250,6 +1426,125 @@ impl<S: Selector> Coordinator<S> {
             let e = self.registry.get_mut(id);
             e.liveness = re.liveness;
             e.missed_heartbeats = re.missed_heartbeats;
+        }
+
+        self.epoch = epoch;
+        self.clock = SimClock::new();
+        self.clock.advance(now);
+        self.rng = StdRng::from_state(rng_state);
+        self.global_params = global_params;
+        self.result = result;
+        self.membership_dirty = membership_dirty;
+        self.phase = RoundPhase::Committed;
+        Ok(())
+    }
+
+    /// [`Coordinator::restore`] for a [`Coordinator::remote`]: every
+    /// client the snapshot holds as non-`Left` must have reconnected (via
+    /// [`Coordinator::attach_remote`]) before this call; departed clients
+    /// must *not* have. Each live client's re-sent `Join` is consumed and
+    /// answered with a [`Message::ResumeSync`] carrying the restored round
+    /// cursor and that client's pre-snapshot loss, so its heartbeat acks
+    /// echo exactly what an uninterrupted agent would have reported.
+    pub fn restore_remote(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        assert!(
+            self.agents.is_empty() && self.registry.is_empty(),
+            "restore requires a freshly constructed coordinator"
+        );
+        let profiles = self
+            .remote_profiles
+            .clone()
+            .expect("restore_remote on a coordinator not built via Coordinator::remote");
+        let snap = self.parse_snapshot(bytes, profiles.len())?;
+        let ParsedSnapshot {
+            epoch,
+            now,
+            rng_state,
+            global_params,
+            result,
+            membership_dirty,
+            restored,
+        } = snap;
+
+        // install the reconnected links: live ids get their bridge, Left
+        // ids a tombstone handle — same shape as the local restore
+        let mut links: HashMap<usize, RemoteLink> =
+            std::mem::take(&mut self.pending_remote).into_iter().collect();
+        let mut n_live = 0usize;
+        for (id, re) in restored.iter().enumerate() {
+            if re.liveness == Liveness::Left {
+                assert!(
+                    links.remove(&id).is_none(),
+                    "client {id} departed before the snapshot but reconnected"
+                );
+                self.agents.push(AgentHandle { downlink: None, thread: None });
+            } else {
+                let link = links.remove(&id).unwrap_or_else(|| {
+                    panic!("live client {id} must reconnect before restore_remote")
+                });
+                n_live += 1;
+                self.agents.push(AgentHandle { downlink: Some(link.downlink), thread: link.pump });
+            }
+        }
+        assert!(links.is_empty(), "attached ids beyond the snapshot's client range");
+
+        // consume the reconnection Joins (they carry fresh summaries; the
+        // snapshot's registry view wins, as in the local restore)
+        let mut joins: HashMap<usize, (u64, ResourceEstimate)> = HashMap::new();
+        for (id, outcome) in self.collect_uniform(n_live) {
+            match Self::decode_delivered(outcome) {
+                Message::Join { client_nonce, resources, .. } => {
+                    joins.insert(id, (client_nonce, resources));
+                }
+                other => panic!("expected Join from resumed client {id}, got {other:?}"),
+            }
+        }
+        let mut resume_sync: Vec<(usize, f32)> = Vec::with_capacity(n_live);
+        for (id, re) in restored.into_iter().enumerate() {
+            let profile = profiles[id];
+            let live = re.liveness != Liveness::Left;
+            let (nonce, resources) = joins.remove(&id).unwrap_or_else(|| {
+                // departed client: reconstruct what its Join carried
+                (
+                    nonce_for(self.cfg.seed, id),
+                    ResourceEstimate {
+                        compute_multiplier: profile.compute_multiplier as f32,
+                        bandwidth_mbps: profile.bandwidth_mbps as f32,
+                        rtt_ms: profile.rtt_ms as f32,
+                        n_train: re.n_train as u32,
+                    },
+                )
+            });
+            if live && resources.n_train as usize != re.n_train {
+                return Err(PersistError::Malformed(format!(
+                    "client {id} reconnected with {} training examples, snapshot says {}",
+                    resources.n_train, re.n_train
+                )));
+            }
+            if live {
+                resume_sync.push((id, re.last_loss.unwrap_or(0.0)));
+            }
+            self.registry.enroll(ClientEntry {
+                id,
+                nonce,
+                profile,
+                resources,
+                summary: re.summary,
+                n_train: re.n_train,
+                last_loss: re.last_loss,
+                participation_count: re.participation_count,
+                liveness: Liveness::Joined,
+                missed_heartbeats: 0,
+            });
+            let e = self.registry.get_mut(id);
+            e.liveness = re.liveness;
+            e.missed_heartbeats = re.missed_heartbeats;
+        }
+
+        // bring the survivors up to date before any probe can reach them
+        // (the downlink is FIFO, so ResumeSync lands first)
+        for (id, last_loss) in resume_sync {
+            self.send_to(id, &Message::ResumeSync { round: epoch as u64, last_loss });
         }
 
         self.epoch = epoch;

@@ -27,9 +27,14 @@
 pub mod agent;
 pub mod coordinator;
 pub mod events;
+pub mod net;
 pub mod registry;
 
 pub use agent::{AgentConfig, Envelope, TransmitOutcome};
-pub use coordinator::{haccs_cached_recluster_hook, haccs_recluster_hook, Coordinator, RoundPhase};
+pub use coordinator::{
+    default_summary_seed, haccs_cached_recluster_hook, haccs_recluster_hook, session_nonce,
+    Coordinator, RemoteLink, RoundPhase,
+};
 pub use events::{Event, EventQueue};
+pub use net::{accept_remote_clients, remote_agent_config, run_tcp_federation, serve_agent_tcp};
 pub use registry::{ClientEntry, ClientRegistry, Liveness};

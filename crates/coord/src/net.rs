@@ -1,0 +1,342 @@
+//! TCP bridging between a [`Coordinator`] and remote agents.
+//!
+//! The coordinator's internals never touch a socket: its universal
+//! junction is the mpsc pair (`Sender<Bytes>` downlink per client, one
+//! shared `Sender<Envelope>` uplink). This module bridges that junction
+//! onto real connections:
+//!
+//! * **server side** — [`accept_remote_clients`] accepts one connection
+//!   per expected client. Each connection's first frame is the client's
+//!   encoded `Join` [`Envelope`], which identifies it; a reader thread
+//!   then forwards every further envelope into the uplink while a writer
+//!   pump drains the downlink onto the socket. The pump half-closes the
+//!   stream (`shutdown(Write)`) when the coordinator drops the downlink,
+//!   so the remote agent observes the same orderly EOF a local agent
+//!   sees when its channel closes.
+//! * **client side** — [`serve_agent_tcp`] dials the coordinator (retry
+//!   with capped backoff), splits the stream, and runs the **unchanged**
+//!   agent loop between two pumps. The agent cannot tell it is remote.
+//!
+//! Determinism over real sockets: fault outcomes are content-independent
+//! hashes computed *client-side* by the [`FaultyChannel`] inside each
+//! agent, envelopes carry the sender's `(seq)` and the coordinator orders
+//! them by simulated `(time, client, seq)` — so TCP's physical racing
+//! cannot perturb a round history, which is what lets the e2e harness
+//! pin TCP runs bit-identical to in-process runs under the same seed.
+//!
+//! [`FaultyChannel`]: haccs_wire::FaultyChannel
+
+use crate::agent::{self, AgentConfig, Envelope, SharedModelFactory};
+use crate::coordinator::{default_summary_seed, session_nonce, Coordinator, RemoteLink};
+use bytes::Bytes;
+use haccs_data::{ClientData, FederatedDataset};
+use haccs_fedsim::engine::{ModelFactory, RoundPolicy, SimConfig};
+use haccs_fedsim::metrics::RunResult;
+use haccs_fedsim::round;
+use haccs_fedsim::selector::Selector;
+use haccs_summary::Summarizer;
+use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel};
+use haccs_wire::frame::{read_frame, write_frame, FrameError};
+use haccs_wire::{TcpConfig, TcpTransport, TransportError};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread;
+
+/// Bridges one accepted connection into the coordinator's junction.
+/// Blocks until the client's first envelope (its `Join`) arrives — that
+/// frame names the client — forwards it into `uplink`, then leaves a
+/// reader thread and a writer pump running. The pump thread is returned
+/// inside the [`RemoteLink`] so the coordinator joins it on drop.
+pub fn bridge_client(
+    stream: TcpStream,
+    uplink: Sender<Envelope>,
+    tcp: &TcpConfig,
+) -> Result<(usize, RemoteLink), TransportError> {
+    stream.set_read_timeout(tcp.read_timeout).map_err(FrameError::from)?;
+    stream.set_write_timeout(tcp.write_timeout).map_err(FrameError::from)?;
+    stream.set_nodelay(true).map_err(FrameError::from)?;
+    let mut read_half = stream.try_clone().map_err(FrameError::from)?;
+
+    let first = Envelope::decode(Bytes::from(read_frame(&mut read_half)?))?;
+    let id = first.from;
+    // a send failure means the coordinator is already gone; the bridge
+    // still comes up so teardown follows the normal EOF cascade
+    let _ = uplink.send(first);
+
+    let reader = thread::Builder::new()
+        .name(format!("haccs-net-rx-{id}"))
+        .spawn(move || {
+            // reads until Closed (orderly), Truncated or a timeout
+            while let Ok(payload) = read_frame(&mut read_half) {
+                match Envelope::decode(Bytes::from(payload)) {
+                    Ok(env) => {
+                        if uplink.send(env).is_err() {
+                            break;
+                        }
+                    }
+                    // an undecodable envelope poisons the stream —
+                    // drop the connection rather than resync blindly
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn net reader thread");
+
+    let (down_tx, down_rx) = mpsc::channel::<Bytes>();
+    let mut write_half = stream;
+    let pump = thread::Builder::new()
+        .name(format!("haccs-net-tx-{id}"))
+        .spawn(move || {
+            while let Ok(frame) = down_rx.recv() {
+                if write_frame(&mut write_half, &frame).is_err() {
+                    break;
+                }
+            }
+            // downlink closed (coordinator done with this client) or the
+            // peer vanished: half-close so the client reads a clean EOF,
+            // then reap the reader (it exits on the client's own close)
+            let _ = write_half.shutdown(Shutdown::Write);
+            let _ = reader.join();
+        })
+        .expect("spawn net writer thread");
+
+    Ok((id, RemoteLink { downlink: down_tx, pump: Some(pump) }))
+}
+
+/// Accepts exactly `n` client connections on `listener` and bridges each.
+/// Returns the links in **connection** order — callers pass them to
+/// [`Coordinator::attach_remote`], which re-sorts by id at enrollment.
+pub fn accept_remote_clients(
+    listener: &TcpListener,
+    n: usize,
+    uplink: Sender<Envelope>,
+    tcp: &TcpConfig,
+) -> Result<Vec<(usize, RemoteLink)>, TransportError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (stream, _) = listener.accept().map_err(FrameError::from)?;
+        out.push(bridge_client(stream, uplink.clone(), tcp)?);
+    }
+    Ok(out)
+}
+
+/// Builds the exact [`AgentConfig`] a coordinator-side spawn would use
+/// for client `id` — nonce, summary seed and wire channel all derive
+/// from the run seed the same way, so a remote process is
+/// indistinguishable from a local agent thread (and round histories stay
+/// bit-identical across the two transports).
+pub fn remote_agent_config(
+    id: usize,
+    cfg: &SimConfig,
+    faults: &FaultModel,
+    policy: &RoundPolicy,
+    availability: Availability,
+) -> AgentConfig {
+    AgentConfig {
+        id,
+        nonce: session_nonce(cfg.seed, id),
+        seed: cfg.seed,
+        summary_seed: haccs_core::client_summary_seed(default_summary_seed(cfg.seed), id),
+        train: cfg.train,
+        probe_max: cfg.probe_max,
+        availability,
+        channel: round::wire_channel(faults, policy),
+        leave_after: None,
+        resume_last_loss: None,
+    }
+}
+
+/// Dials the coordinator (connection retry with capped backoff per
+/// `tcp`) and serves the unchanged agent loop over the socket. Returns
+/// after a clean shutdown: the coordinator half-closed the connection,
+/// or the agent departed via `Leave`.
+pub fn serve_agent_tcp(
+    addr: impl ToSocketAddrs,
+    tcp: &TcpConfig,
+    cfg: AgentConfig,
+    data: ClientData,
+    profile: DeviceProfile,
+    factory: SharedModelFactory,
+    summarizer: Summarizer,
+) -> Result<(), TransportError> {
+    let transport = TcpTransport::connect(addr, tcp)?;
+    let mut read_half = transport.try_clone_stream()?;
+    let mut write_half = transport.try_clone_stream()?;
+    drop(transport); // the clones keep the connection alive
+
+    let (down_tx, down_rx) = mpsc::channel::<Bytes>();
+    let (up_tx, up_rx) = mpsc::channel::<Envelope>();
+
+    let reader = thread::Builder::new()
+        .name(format!("haccs-client-rx-{}", cfg.id))
+        .spawn(move || {
+            while let Ok(payload) = read_frame(&mut read_half) {
+                if down_tx.send(Bytes::from(payload)).is_err() {
+                    break;
+                }
+            }
+            // EOF/error: dropping down_tx ends the agent loop, exactly
+            // like a local coordinator dropping the downlink sender
+        })
+        .expect("spawn client reader thread");
+
+    let writer = thread::Builder::new()
+        .name(format!("haccs-client-tx-{}", cfg.id))
+        .spawn(move || {
+            while let Ok(env) = up_rx.recv() {
+                if write_frame(&mut write_half, &env.encode()).is_err() {
+                    break;
+                }
+            }
+            // agent returned (up_tx dropped) after draining every queued
+            // envelope — Leave included — so half-close is always clean
+            let _ = write_half.shutdown(Shutdown::Write);
+        })
+        .expect("spawn client writer thread");
+
+    agent::run_agent(cfg, data, profile, factory, summarizer, down_rx, up_tx);
+
+    writer.join().map_err(|_| TransportError::Frame(FrameError::Truncated))?;
+    reader.join().map_err(|_| TransportError::Frame(FrameError::Truncated))?;
+    Ok(())
+}
+
+/// Runs a complete federation over localhost TCP: the coordinator binds
+/// an ephemeral port, one OS thread per client dials it through a real
+/// socket, and `rounds` rounds execute through the identical protocol
+/// the in-process runtime speaks. One-call convenience for
+/// `haccs-sim --transport tcp`; harnesses needing custom control (obs,
+/// snapshots, per-round assertions) wire the pieces themselves.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tcp_federation<S: Selector>(
+    factory: SharedModelFactory,
+    fed: FederatedDataset,
+    profiles: Vec<DeviceProfile>,
+    latency: LatencyModel,
+    availability: Availability,
+    cfg: SimConfig,
+    faults: FaultModel,
+    policy: RoundPolicy,
+    summarizer: Summarizer,
+    selector: S,
+    rounds: usize,
+) -> RunResult {
+    let n = fed.clients.len();
+    assert_eq!(n, profiles.len(), "one profile per client");
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral localhost port");
+    let addr = listener.local_addr().expect("listener local addr");
+    let tcp = TcpConfig::default();
+
+    let mut clients = Vec::with_capacity(n);
+    for (id, data) in fed.clients.iter().cloned().enumerate() {
+        let acfg = remote_agent_config(id, &cfg, &faults, &policy, availability.clone());
+        let fac = Arc::clone(&factory);
+        let profile = profiles[id];
+        clients.push(
+            thread::Builder::new()
+                .name(format!("haccs-client-{id}"))
+                .spawn(move || serve_agent_tcp(addr, &tcp, acfg, data, profile, fac, summarizer))
+                .expect("spawn client thread"),
+        );
+    }
+
+    let coord_factory: ModelFactory = {
+        let f = Arc::clone(&factory);
+        Box::new(move || f())
+    };
+    let mut coord = Coordinator::remote(
+        coord_factory,
+        fed.global_test.clone(),
+        profiles,
+        latency,
+        availability,
+        cfg,
+        selector,
+    )
+    .with_faults(faults)
+    .with_policy(policy)
+    .with_summarizer(summarizer);
+    for (id, link) in
+        accept_remote_clients(&listener, n, coord.uplink(), &tcp).expect("accept remote clients")
+    {
+        coord.attach_remote(id, link);
+    }
+    let out = coord.run(rounds);
+    drop(coord); // closes every downlink; clients unwind on EOF
+    for h in clients {
+        h.join().expect("client thread panicked").expect("client transport failed");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haccs_data::{partition, SynthVision};
+    use haccs_nn::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct FirstK;
+    impl Selector for FirstK {
+        fn name(&self) -> String {
+            "first-k".into()
+        }
+        fn select(
+            &mut self,
+            ctx: &haccs_fedsim::selector::SelectionContext<'_>,
+            _rng: &mut StdRng,
+        ) -> Vec<usize> {
+            ctx.available.iter().take(ctx.k).map(|c| c.id).collect()
+        }
+    }
+
+    #[test]
+    fn tcp_federation_matches_local_history() {
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(4, 4, 40, 16);
+        let fed = FederatedDataset::materialize(&gen, &specs, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let profiles = DeviceProfile::sample_many(4, &mut rng);
+        let cfg = SimConfig { k: 2, seed: 5, ..Default::default() };
+
+        let local = {
+            let factory: ModelFactory =
+                Box::new(|| mlp(64, &[16], 4, &mut StdRng::seed_from_u64(7)));
+            Coordinator::new(
+                factory,
+                fed.clone(),
+                profiles.clone(),
+                LatencyModel::default(),
+                Availability::AlwaysOn,
+                cfg,
+                FirstK,
+            )
+            .run(3)
+        };
+
+        let shared: SharedModelFactory =
+            Arc::new(|| mlp(64, &[16], 4, &mut StdRng::seed_from_u64(7)));
+        let over_tcp = run_tcp_federation(
+            shared,
+            fed,
+            profiles,
+            LatencyModel::default(),
+            Availability::AlwaysOn,
+            cfg,
+            FaultModel::none(cfg.seed),
+            RoundPolicy::default(),
+            Summarizer::label_dist(),
+            FirstK,
+            3,
+        );
+
+        assert_eq!(local.rounds, over_tcp.rounds, "TCP history must be bit-identical");
+        assert_eq!(local.curve.len(), over_tcp.curve.len());
+        for (a, b) in local.curve.iter().zip(&over_tcp.curve) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
+    }
+}

@@ -38,7 +38,7 @@ use haccs_nn::{evaluate, Sequential};
 use haccs_obs::Recorder;
 use haccs_persist::{self as persist, PersistError, SnapshotReader, SnapshotWriter};
 use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel, SimClock};
-use haccs_wire::Message;
+use haccs_wire::{Message, Transport, TransportError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -180,6 +180,10 @@ pub struct FedSim {
     policy: RoundPolicy,
     snapshots: Option<SnapshotPolicy>,
     obs: Recorder,
+    /// Custom carrier for update/heartbeat traffic. `None` derives a
+    /// [`haccs_wire::FaultyChannel`] from the fault schedule per call
+    /// (the historical behavior, bit-identical to the seed runs).
+    transport: Option<Box<dyn Transport + Send>>,
 }
 
 impl FedSim {
@@ -261,6 +265,7 @@ impl FedSim {
             policy: RoundPolicy::default(),
             snapshots: None,
             obs: Recorder::disabled(),
+            transport: None,
         }
     }
 
@@ -268,6 +273,19 @@ impl FedSim {
     /// rate at zero leaves the simulation bit-identical to no schedule.
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Routes update transmissions and heartbeat acks through a custom
+    /// [`Transport`] (builder style) instead of the per-call
+    /// [`haccs_wire::FaultyChannel`] derived from the fault schedule. A
+    /// custom transport carries wire traffic whenever the schedule's
+    /// `lossy_prob > 0` — the same gate the derived channel uses — so a
+    /// transport whose outcomes match the derived channel's hashes keeps
+    /// every [`FaultStats`] field bit-identical (pinned by
+    /// `tests/transport_fault_parity.rs`).
+    pub fn with_transport(mut self, transport: Box<dyn Transport + Send>) -> Self {
+        self.transport = Some(transport);
         self
     }
 
@@ -420,7 +438,6 @@ impl FedSim {
         id: usize,
         update: &(usize, Vec<f32>, f32),
     ) -> Result<(usize, f64), (usize, f64)> {
-        let channel = round::wire_channel(&self.faults, &self.policy);
         let msg = Message::ModelUpdate {
             round: self.epoch as u64,
             params: update.1.clone(),
@@ -428,11 +445,23 @@ impl FedSim {
             n_train: self.clients[id].data.n_train() as u32,
         };
         let stream_id = round::update_stream_id(self.epoch, id);
-        match channel.transmit(&msg, stream_id) {
-            Ok(d) => Ok((d.retries as usize, d.backoff_s)),
-            Err(haccs_wire::ChannelError::RetryBudgetExhausted { attempts, backoff_s }) => {
-                Err((attempts as usize - 1, backoff_s))
+        let derived;
+        let transport: &dyn Transport = match &self.transport {
+            Some(t) => &**t,
+            None => {
+                derived = round::wire_channel(&self.faults, &self.policy);
+                &derived
             }
+        };
+        match transport.transmit(&msg, stream_id) {
+            Ok(d) => Ok((d.retries as usize, d.backoff_s)),
+            Err(TransportError::Channel(haccs_wire::ChannelError::RetryBudgetExhausted {
+                attempts,
+                backoff_s,
+            })) => Err((attempts as usize - 1, backoff_s)),
+            // a physical-transport failure: the update never arrived and
+            // there is no simulated retry schedule to account for
+            Err(_) => Err((0, 0.0)),
         }
     }
 
@@ -670,13 +699,21 @@ impl FedSim {
         // 8. heartbeat sweep: every client is probed, the available ones
         // ack (through the lossy wire if one is configured). Pure byte and
         // liveness accounting — heartbeats never stretch the round.
-        let hb = crate::round::simulate_heartbeats(
-            &self.faults,
-            &self.policy,
-            epoch,
-            self.clients.len(),
-            available_ids,
-        );
+        let hb = match &self.transport {
+            Some(t) if self.faults.lossy_prob > 0.0 => crate::round::simulate_heartbeats_with(
+                &**t,
+                epoch,
+                self.clients.len(),
+                available_ids,
+            ),
+            _ => crate::round::simulate_heartbeats(
+                &self.faults,
+                &self.policy,
+                epoch,
+                self.clients.len(),
+                available_ids,
+            ),
+        };
         acc.stats.retries += hb.retries;
         acc.stats.hb_missed = hb.missed;
         let schedule_size = Message::Schedule { round: 0, client_nonce: 0 }.wire_size();

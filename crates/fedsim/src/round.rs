@@ -14,7 +14,9 @@ use crate::engine::{AggregationPolicy, RoundPolicy};
 use crate::metrics::FaultStats;
 use crate::trainer::TrainConfig;
 use haccs_sysmodel::{DeviceProfile, FaultModel, LatencyModel};
-use haccs_wire::{control_bytes_per_client, FaultyChannel, Message};
+use haccs_wire::{
+    control_bytes_per_client, ChannelError, FaultyChannel, Message, Transport, TransportError,
+};
 
 /// Salt separating heartbeat-ack wire streams from model-update streams
 /// for the same `(epoch, client)`.
@@ -260,6 +262,35 @@ pub fn simulate_heartbeats(
     probed: usize,
     responders: &[usize],
 ) -> HeartbeatOutcome {
+    if faults.lossy_prob > 0.0 {
+        let channel = wire_channel(faults, policy);
+        simulate_heartbeats_with(&channel, epoch, probed, responders)
+    } else {
+        let hb_size =
+            Message::Heartbeat { client_nonce: 0, round: epoch as u64, last_loss: 0.0 }.wire_size();
+        HeartbeatOutcome {
+            acked: responders.len(),
+            missed: probed - responders.len(),
+            retries: 0,
+            bytes: (probed + responders.len()) * hb_size,
+        }
+    }
+}
+
+/// [`simulate_heartbeats`] with the wire abstracted behind a
+/// [`Transport`]: every responder's ack rides `transport` on its
+/// [`hb_stream_id`]. With the fault-schedule-derived [`FaultyChannel`]
+/// this is exactly the lossy branch of [`simulate_heartbeats`]; a custom
+/// transport (a mock, or a real socket) slots in with the same
+/// accounting. Transport failures that carry no channel accounting
+/// (frame/IO errors) count as a plain miss: the ack never arrived and no
+/// simulated retries were spent.
+pub fn simulate_heartbeats_with(
+    transport: &dyn Transport,
+    epoch: usize,
+    probed: usize,
+    responders: &[usize],
+) -> HeartbeatOutcome {
     let hb = Message::Heartbeat { client_nonce: 0, round: epoch as u64, last_loss: 0.0 };
     let hb_size = hb.wire_size();
     let mut out = HeartbeatOutcome {
@@ -267,25 +298,22 @@ pub fn simulate_heartbeats(
         missed: probed - responders.len(),
         ..Default::default()
     };
-    if faults.lossy_prob > 0.0 {
-        let channel = wire_channel(faults, policy);
-        for &id in responders {
-            match channel.transmit(&hb, hb_stream_id(epoch, id)) {
-                Ok(d) => {
-                    out.acked += 1;
-                    out.retries += d.retries as usize;
-                    out.bytes += d.bytes_sent;
-                }
-                Err(haccs_wire::ChannelError::RetryBudgetExhausted { attempts, .. }) => {
-                    out.missed += 1;
-                    out.retries += attempts as usize - 1;
-                    out.bytes += attempts as usize * hb_size;
-                }
+    for &id in responders {
+        match transport.transmit(&hb, hb_stream_id(epoch, id)) {
+            Ok(d) => {
+                out.acked += 1;
+                out.retries += d.retries as usize;
+                out.bytes += d.bytes_sent;
             }
+            Err(TransportError::Channel(ChannelError::RetryBudgetExhausted {
+                attempts, ..
+            })) => {
+                out.missed += 1;
+                out.retries += attempts as usize - 1;
+                out.bytes += attempts as usize * hb_size;
+            }
+            Err(_) => out.missed += 1,
         }
-    } else {
-        out.acked = responders.len();
-        out.bytes += responders.len() * hb_size;
     }
     out
 }

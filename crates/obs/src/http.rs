@@ -1,0 +1,192 @@
+//! A minimal Prometheus scrape endpoint over std's `TcpListener`.
+//!
+//! [`MetricsServer::serve`] binds an address and answers `GET /metrics`
+//! (and `GET /`) with the recorder's [text exposition
+//! format](crate::Recorder::prometheus) — enough for `curl` or an actual
+//! Prometheus scraper pointed at a running `haccs-coordd`. One accept
+//! thread, one connection at a time, connection-close semantics: scrape
+//! traffic is rare and tiny, so the simplest correct server wins over a
+//! pooled one. The listener runs nonblocking with a short poll so
+//! [`MetricsServer::stop`] (and `Drop`) can end the thread without a
+//! self-connect trick.
+
+use crate::Recorder;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one request may take to arrive before the connection is
+/// abandoned. Scrapes are one small GET; anything slower is a stuck peer.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A background HTTP server exposing a [`Recorder`]'s metrics registry.
+///
+/// The handle owns the accept thread: dropping it stops the server and
+/// joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `recorder`'s metrics. The recorder handle is cloned, so
+    /// the caller keeps incrementing the same registry the endpoint
+    /// renders.
+    pub fn serve(recorder: Recorder, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread =
+            std::thread::Builder::new().name("haccs-metrics-http".into()).spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // a broken scraper must not kill the endpoint
+                            let _ = handle_connection(stream, &recorder);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(MetricsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one request head, answers, closes. `GET /metrics` and `GET /`
+/// return the Prometheus text; any other path is a 404; any other method
+/// a 405.
+fn handle_connection(mut stream: TcpStream, recorder: &Recorder) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8 * 1024 {
+            return respond(&mut stream, "400 Bad Request", "request head too large\n");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(()); // peer hung up mid-request
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+
+    let request_line = match head.split(|&b| b == b'\r').next() {
+        Some(l) => String::from_utf8_lossy(l).into_owned(),
+        None => return respond(&mut stream, "400 Bad Request", "empty request\n"),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "only GET is served\n");
+    }
+    match path {
+        "/metrics" | "/" => {
+            let body = recorder.prometheus();
+            respond(&mut stream, "200 OK", &body)
+        }
+        _ => respond(&mut stream, "404 Not Found", "try /metrics\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_text() {
+        let obs = Recorder::enabled();
+        obs.inc("demo_rounds_total", 3);
+        let server = MetricsServer::serve(obs.clone(), "127.0.0.1:0").expect("bind");
+        let resp = get(server.addr(), "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "bad status: {resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"), "bad content type: {resp}");
+        assert!(resp.contains("demo_rounds_total 3"), "missing counter: {resp}");
+
+        // the registry is live: later increments show up on the next scrape
+        obs.inc("demo_rounds_total", 2);
+        assert!(get(server.addr(), "/").contains("demo_rounds_total 5"));
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let server = MetricsServer::serve(Recorder::enabled(), "127.0.0.1:0").expect("bind");
+        assert!(get(server.addr(), "/nope").starts_with("HTTP/1.1 404"));
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn stop_joins_and_port_closes() {
+        let mut server = MetricsServer::serve(Recorder::enabled(), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        server.stop();
+        server.stop(); // idempotent
+                       // after stop, new connections are refused or go unanswered
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut out = String::new();
+                let _ = s.read_to_string(&mut out);
+                assert!(out.is_empty(), "stopped server still answered: {out}");
+            }
+        }
+    }
+}

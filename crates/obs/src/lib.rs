@@ -52,10 +52,12 @@
 //! assert_eq!(obs.counter_value("engine_rounds_total"), 1);
 //! ```
 
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
+pub use http::MetricsServer;
 pub use metrics::{Histogram, Metric, MetricsRegistry};
 pub use sink::{JsonlSink, MemorySink, Sink};
 

@@ -1,0 +1,188 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! A [`Message`](crate::Message) frame is self-delimiting in memory (the
+//! codec knows where every field ends) but a TCP stream has no record
+//! boundaries, so socket transports wrap each encoded payload in the
+//! classic length-prefix envelope:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+---------------------+
+//! ```
+//!
+//! Rules, enforced by [`read_frame`]:
+//!
+//! * `len` may not exceed [`MAX_FRAME_BYTES`] — a corrupted or hostile
+//!   prefix must be rejected *before* any allocation is sized from it,
+//! * a clean EOF **between** frames is a normal closed connection
+//!   ([`FrameError::Closed`]), an EOF **inside** a frame is
+//!   [`FrameError::Truncated`] — the two are different failures and
+//!   callers treat them differently (orderly shutdown vs. torn
+//!   connection),
+//! * I/O errors surface as [`FrameError::Io`] with the error kind
+//!   preserved, so timeouts (`WouldBlock`/`TimedOut` from a socket read
+//!   deadline) stay distinguishable from hard resets.
+
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload. Matches the codec's own
+/// per-vector sanity bound ([`crate::Message::decode`] rejects anything
+/// claiming more): a 64 MiB frame comfortably holds the largest
+/// `ModelPush`/`ModelUpdate` this workspace produces, while a garbage
+/// length prefix (say `0xFFFF_FFFF`) is rejected without allocating.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per frame (the `u32` length prefix).
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Errors from [`read_frame`] / [`write_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the stream at a frame boundary — orderly shutdown.
+    Closed,
+    /// The stream ended mid-header or mid-payload — torn connection.
+    Truncated,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+    /// An I/O error from the underlying stream (timeouts included).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed at a frame boundary"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_BYTES}-byte bound")
+            }
+            FrameError::Io(kind) => write!(f, "frame i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.kind())
+    }
+}
+
+/// Writes one frame: 4-byte LE length prefix, then the payload, flushed.
+/// Payloads longer than [`MAX_FRAME_BYTES`] are rejected up front — the
+/// receiver would drop the connection anyway, so never put them on the
+/// wire.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(FrameError::TooLarge(payload.len().min(u32::MAX as usize) as u32));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes. `eof_at_start` distinguishes a clean
+/// close (no bytes of this read arrived) from a torn one.
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    eof_at_start: FrameError,
+) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 { eof_at_start } else { FrameError::Truncated });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning its payload. See the module docs for the
+/// EOF/size rules.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    read_exact_or(r, &mut header, FrameError::Closed)?;
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, FrameError::Truncated)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 300]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![7u8; 300]);
+        assert_eq!(read_frame(&mut r), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn eof_inside_header_is_truncated_not_closed() {
+        let mut r = Cursor::new(vec![5u8, 0]);
+        assert_eq!(read_frame(&mut r), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn eof_inside_payload_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"garbage");
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r), Err(FrameError::TooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn oversized_payload_never_written() {
+        struct NullSink;
+        impl Write for NullSink {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // don't materialize >64MiB: lie about the length via a zero-page vec
+        let huge = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        assert!(matches!(write_frame(&mut NullSink, &huge), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn exact_bound_is_accepted() {
+        let payload = vec![1u8; 1024];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), FRAME_HEADER_BYTES + payload.len());
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), payload);
+    }
+}

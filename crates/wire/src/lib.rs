@@ -33,8 +33,14 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 pub mod channel;
+pub mod frame;
+pub mod transport;
 
 pub use channel::{ChannelError, Delivery, FaultyChannel};
+pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES};
+pub use transport::{
+    Envelope, TcpConfig, TcpTransport, TransmitOutcome, Transport, TransportError,
+};
 
 /// A data summary on the wire: one or more histograms plus an optional
 /// prevalence vector (P(y) sends one histogram; P(X|y) sends one per
@@ -124,6 +130,17 @@ pub enum Message {
         /// Round during which the client departed.
         round: u64,
     },
+    /// Server → client, after a crash-resume: the restored round cursor
+    /// and the loss this client last reported before the snapshot. A
+    /// remote client that survived the coordinator outage echoes
+    /// `last_loss` in heartbeat acks until it next trains — exactly what
+    /// an uninterrupted agent would have reported.
+    ResumeSync {
+        /// First round the restored coordinator will run.
+        round: u64,
+        /// The client's pre-snapshot reported loss.
+        last_loss: f32,
+    },
 }
 
 /// Errors produced by [`Message::decode`].
@@ -160,6 +177,7 @@ const TAG_MODEL_UPDATE: u8 = 0x04;
 const TAG_SUMMARY_UPDATE: u8 = 0x05;
 const TAG_HEARTBEAT: u8 = 0x06;
 const TAG_LEAVE: u8 = 0x07;
+const TAG_RESUME_SYNC: u8 = 0x08;
 
 fn put_f32s(buf: &mut BytesMut, v: &[f32]) {
     buf.put_u32_le(v.len() as u32);
@@ -250,6 +268,11 @@ impl Message {
                 buf.put_u64_le(*client_nonce);
                 buf.put_u64_le(*round);
             }
+            Message::ResumeSync { round, last_loss } => {
+                buf.put_u8(TAG_RESUME_SYNC);
+                buf.put_u64_le(*round);
+                buf.put_f32_le(*last_loss);
+            }
         }
         buf.freeze()
     }
@@ -325,6 +348,10 @@ impl Message {
                 need(&buf, 16)?;
                 Ok(Message::Leave { client_nonce: buf.get_u64_le(), round: buf.get_u64_le() })
             }
+            TAG_RESUME_SYNC => {
+                need(&buf, 12)?;
+                Ok(Message::ResumeSync { round: buf.get_u64_le(), last_loss: buf.get_f32_le() })
+            }
             other => Err(DecodeError::UnknownTag(other)),
         }
     }
@@ -344,6 +371,7 @@ impl Message {
             Message::SummaryUpdate { summary, .. } => 1 + 8 + summary_size(summary),
             Message::Heartbeat { .. } => 1 + 8 + 8 + 4,
             Message::Leave { .. } => 1 + 8 + 8,
+            Message::ResumeSync { .. } => 1 + 8 + 4,
         }
     }
 }
@@ -405,6 +433,7 @@ mod tests {
             Message::SummaryUpdate { client_nonce: 42, summary: sample_summary() },
             Message::Heartbeat { client_nonce: 42, round: 7, last_loss: 0.88 },
             Message::Leave { client_nonce: 42, round: 7 },
+            Message::ResumeSync { round: 7, last_loss: 0.88 },
         ];
         for m in messages {
             let frame = m.encode();

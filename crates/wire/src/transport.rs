@@ -1,0 +1,452 @@
+//! The [`Transport`] abstraction: *how* a [`Message`] crosses from one
+//! party to the other, decoupled from *what* the protocol says.
+//!
+//! Two built-in implementations:
+//!
+//! * [`FaultyChannel`] — the deterministic in-process simulation
+//!   transport. Its behavior is byte-for-byte the inherent
+//!   [`FaultyChannel::transmit`] that every parity/resume test pins; the
+//!   trait impl is a zero-cost delegation.
+//! * [`TcpTransport`] — a real socket carrying length-prefixed frames
+//!   (see [`crate::frame`]), with connection retry under capped
+//!   exponential backoff and read/write deadlines. TCP already
+//!   retransmits below us, so a successful `transmit` reports one
+//!   attempt; fault *simulation* stays the `FaultyChannel`'s job even
+//!   when frames physically ride a socket.
+//!
+//! The module also owns the [`Envelope`] / [`TransmitOutcome`] uplink
+//! types (grown in `haccs-coord`, promoted here once envelopes needed to
+//! cross process boundaries) together with their wire codec: an envelope
+//! is what a coordinator drains from clients regardless of carrier.
+
+use crate::channel::{ChannelError, Delivery, FaultyChannel};
+use crate::frame::{read_frame, write_frame, FrameError, FRAME_HEADER_BYTES};
+use crate::{DecodeError, Message};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What one agent transmission looked like from the wire's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransmitOutcome {
+    /// The frame (re-)transmitted its way through.
+    Delivered {
+        /// The encoded frame, ready for [`Message::decode`].
+        frame: Bytes,
+        /// Retransmissions before success.
+        retries: usize,
+        /// Total backoff the retries cost, in seconds.
+        backoff_s: f64,
+        /// Bytes put on the wire across every attempt.
+        bytes_sent: usize,
+    },
+    /// The retry budget ran out; the frame never arrived.
+    Lost {
+        /// Retransmissions attempted (= max_retries).
+        retries: usize,
+        /// Total backoff spent before giving up.
+        backoff_s: f64,
+    },
+}
+
+/// One uplink item. Agents emit exactly one envelope per downlink frame
+/// that demands a response — even for a lost frame — so the coordinator
+/// can always collect a deterministic count without timing heuristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Registry id of the sender.
+    pub from: usize,
+    /// Sender-side monotone sequence number (the event-queue tiebreaker).
+    pub seq: u64,
+    pub outcome: TransmitOutcome,
+}
+
+const ENV_DELIVERED: u8 = 0x01;
+const ENV_LOST: u8 = 0x02;
+
+impl Envelope {
+    /// Encodes the envelope into a standalone frame (so it can itself be
+    /// carried over a stream transport).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_size());
+        buf.put_u64_le(self.from as u64);
+        buf.put_u64_le(self.seq);
+        match &self.outcome {
+            TransmitOutcome::Delivered { frame, retries, backoff_s, bytes_sent } => {
+                buf.put_u8(ENV_DELIVERED);
+                buf.put_u64_le(*retries as u64);
+                buf.put_u64_le(backoff_s.to_bits());
+                buf.put_u64_le(*bytes_sent as u64);
+                buf.put_u32_le(frame.len() as u32);
+                buf.put_slice(frame);
+            }
+            TransmitOutcome::Lost { retries, backoff_s } => {
+                buf.put_u8(ENV_LOST);
+                buf.put_u64_le(*retries as u64);
+                buf.put_u64_le(backoff_s.to_bits());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Exact encoded size in bytes (equals `encode().len()`).
+    pub fn encoded_size(&self) -> usize {
+        8 + 8
+            + match &self.outcome {
+                TransmitOutcome::Delivered { frame, .. } => 1 + 8 + 8 + 8 + 4 + frame.len(),
+                TransmitOutcome::Lost { .. } => 1 + 8 + 8,
+            }
+    }
+
+    /// Decodes one frame produced by [`Envelope::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Envelope, DecodeError> {
+        if buf.remaining() < 17 {
+            return Err(DecodeError::Truncated);
+        }
+        let from = buf.get_u64_le() as usize;
+        let seq = buf.get_u64_le();
+        let tag = buf.get_u8();
+        let outcome = match tag {
+            ENV_DELIVERED => {
+                if buf.remaining() < 28 {
+                    return Err(DecodeError::Truncated);
+                }
+                let retries = buf.get_u64_le() as usize;
+                let backoff_s = f64::from_bits(buf.get_u64_le());
+                let bytes_sent = buf.get_u64_le() as usize;
+                let len = buf.get_u32_le() as u64;
+                if len > crate::MAX_LEN {
+                    return Err(DecodeError::LengthOutOfBounds(len));
+                }
+                if (buf.remaining() as u64) < len {
+                    return Err(DecodeError::Truncated);
+                }
+                let frame = Bytes::from(buf.copy_bytes(len as usize).to_vec());
+                TransmitOutcome::Delivered { frame, retries, backoff_s, bytes_sent }
+            }
+            ENV_LOST => {
+                if buf.remaining() < 16 {
+                    return Err(DecodeError::Truncated);
+                }
+                let retries = buf.get_u64_le() as usize;
+                let backoff_s = f64::from_bits(buf.get_u64_le());
+                TransmitOutcome::Lost { retries, backoff_s }
+            }
+            other => return Err(DecodeError::UnknownTag(other)),
+        };
+        Ok(Envelope { from, seq, outcome })
+    }
+}
+
+/// Errors a [`Transport`] can produce. The simulation channel's
+/// [`ChannelError`] is deliberately embedded unchanged — code matching on
+/// it keeps compiling, and socket-specific failures get their own
+/// variants instead of overloading it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// The simulated channel exhausted its retry budget.
+    Channel(ChannelError),
+    /// Stream framing failed (torn connection, oversized frame, I/O).
+    Frame(FrameError),
+    /// A received frame did not decode as a [`Message`].
+    Decode(DecodeError),
+    /// Could not establish a connection within the retry budget.
+    ConnectFailed {
+        /// Connection attempts made.
+        attempts: u32,
+        /// Kind of the last connect error.
+        last: std::io::ErrorKind,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Channel(e) => write!(f, "channel: {e}"),
+            TransportError::Frame(e) => write!(f, "frame: {e}"),
+            TransportError::Decode(e) => write!(f, "decode: {e}"),
+            TransportError::ConnectFailed { attempts, last } => {
+                write!(f, "connect failed after {attempts} attempts (last: {last:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<ChannelError> for TransportError {
+    fn from(e: ChannelError) -> Self {
+        TransportError::Channel(e)
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for TransportError {
+    fn from(e: DecodeError) -> Self {
+        TransportError::Decode(e)
+    }
+}
+
+/// A pluggable message carrier. `stream_id` identifies the logical
+/// message stream (e.g. a hash of `(client, round)`); deterministic
+/// transports derive fault traces from it, physical transports may ignore
+/// it.
+pub trait Transport: Send {
+    /// Sends `msg`, reporting delivery statistics or a typed failure.
+    fn transmit(&self, msg: &Message, stream_id: u64) -> Result<Delivery, TransportError>;
+
+    /// A short label for logs/metrics (`"inproc"`, `"tcp"`, ...).
+    fn kind(&self) -> &'static str;
+}
+
+impl Transport for FaultyChannel {
+    fn transmit(&self, msg: &Message, stream_id: u64) -> Result<Delivery, TransportError> {
+        // the inherent method IS the behavior every parity test pins;
+        // the trait adds nothing but the error wrapper
+        FaultyChannel::transmit(self, msg, stream_id).map_err(TransportError::Channel)
+    }
+
+    fn kind(&self) -> &'static str {
+        "inproc"
+    }
+}
+
+/// Connection and deadline policy for [`TcpTransport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Re-dials allowed after the first connect attempt.
+    pub connect_retries: u32,
+    /// First inter-attempt backoff; doubles per retry.
+    pub connect_backoff: Duration,
+    /// Backoff ceiling — the doubling never exceeds this.
+    pub connect_backoff_cap: Duration,
+    /// Socket read deadline (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_retries: 5,
+            connect_backoff: Duration::from_millis(50),
+            connect_backoff_cap: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A framed, message-oriented wrapper over one [`TcpStream`]. Send and
+/// receive take `&self` (the stream sits behind a mutex) so a transport
+/// can be shared by reference; full-duplex pump loops should instead
+/// split via [`TcpTransport::try_clone_stream`] and run the frame
+/// functions directly on each half.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: Mutex<TcpStream>,
+    peer: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Dials `addr`, retrying with capped exponential backoff per `cfg`,
+    /// then applies the read/write deadlines.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: &TcpConfig) -> Result<Self, TransportError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| TransportError::ConnectFailed { attempts: 0, last: e.kind() })?
+            .collect();
+        let mut last = std::io::ErrorKind::AddrNotAvailable;
+        let mut backoff = cfg.connect_backoff;
+        for attempt in 0..=cfg.connect_retries {
+            for &a in &addrs {
+                match TcpStream::connect(a) {
+                    Ok(stream) => return Self::from_stream(stream, cfg),
+                    Err(e) => last = e.kind(),
+                }
+            }
+            if attempt < cfg.connect_retries {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.connect_backoff_cap);
+            }
+        }
+        Err(TransportError::ConnectFailed { attempts: cfg.connect_retries + 1, last })
+    }
+
+    /// Wraps an already-connected stream (e.g. from an acceptor), applying
+    /// `cfg`'s deadlines.
+    pub fn from_stream(stream: TcpStream, cfg: &TcpConfig) -> Result<Self, TransportError> {
+        stream.set_read_timeout(cfg.read_timeout).map_err(FrameError::from)?;
+        stream.set_write_timeout(cfg.write_timeout).map_err(FrameError::from)?;
+        stream.set_nodelay(true).map_err(FrameError::from)?;
+        let peer = stream.peer_addr().map_err(FrameError::from)?;
+        Ok(TcpTransport { stream: Mutex::new(stream), peer })
+    }
+
+    /// The remote endpoint.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// A second handle on the underlying stream, for split-duplex pumps.
+    pub fn try_clone_stream(&self) -> Result<TcpStream, TransportError> {
+        let guard = self.stream.lock().expect("tcp stream lock poisoned");
+        guard.try_clone().map_err(|e| TransportError::Frame(FrameError::from(e)))
+    }
+
+    /// Sends one framed message; returns bytes put on the wire (header
+    /// included).
+    pub fn send(&self, msg: &Message) -> Result<usize, TransportError> {
+        let frame = msg.encode();
+        let mut guard = self.stream.lock().expect("tcp stream lock poisoned");
+        write_frame(&mut *guard, &frame)?;
+        Ok(FRAME_HEADER_BYTES + frame.len())
+    }
+
+    /// Receives one framed message (blocking up to the read deadline).
+    pub fn recv(&self) -> Result<Message, TransportError> {
+        let mut guard = self.stream.lock().expect("tcp stream lock poisoned");
+        let payload = read_frame(&mut *guard)?;
+        Ok(Message::decode(Bytes::from(payload))?)
+    }
+
+    /// Half-closes the write side, letting the peer observe a clean
+    /// frame-boundary EOF while reads stay open.
+    pub fn shutdown_write(&self) -> Result<(), TransportError> {
+        let guard = self.stream.lock().expect("tcp stream lock poisoned");
+        match guard.shutdown(Shutdown::Write) {
+            Ok(()) => Ok(()),
+            // already gone — shutdown is about signalling, not liveness
+            Err(e) if e.kind() == std::io::ErrorKind::NotConnected => Ok(()),
+            Err(e) => Err(TransportError::Frame(FrameError::from(e))),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn transmit(&self, msg: &Message, _stream_id: u64) -> Result<Delivery, TransportError> {
+        // TCP retransmits below the frame layer, so a successful write is
+        // one attempt with zero simulated backoff by construction
+        let bytes_sent = self.send(msg)?;
+        Ok(Delivery { message: msg.clone(), attempts: 1, retries: 0, backoff_s: 0.0, bytes_sent })
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn update() -> Message {
+        Message::ModelUpdate { round: 4, params: vec![0.25, -1.5], loss: 0.42, n_train: 17 }
+    }
+
+    #[test]
+    fn envelope_roundtrips_both_outcomes() {
+        let delivered = Envelope {
+            from: 12,
+            seq: 99,
+            outcome: TransmitOutcome::Delivered {
+                frame: update().encode(),
+                retries: 2,
+                backoff_s: 1.5,
+                bytes_sent: 3 * update().wire_size(),
+            },
+        };
+        let lost = Envelope {
+            from: 3,
+            seq: 7,
+            outcome: TransmitOutcome::Lost { retries: 4, backoff_s: 7.75 },
+        };
+        for env in [delivered, lost] {
+            let frame = env.encode();
+            assert_eq!(frame.len(), env.encoded_size());
+            assert_eq!(Envelope::decode(frame).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn envelope_decode_rejects_garbage() {
+        assert_eq!(Envelope::decode(Bytes::from_static(&[1, 2, 3])), Err(DecodeError::Truncated));
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u8(0x77);
+        assert_eq!(Envelope::decode(buf.freeze()), Err(DecodeError::UnknownTag(0x77)));
+    }
+
+    #[test]
+    fn faulty_channel_trait_matches_inherent() {
+        let ch = FaultyChannel::lossy(0.6, 11, 8, 0.25);
+        for stream in 0..32u64 {
+            let via_trait = Transport::transmit(&ch, &update(), stream);
+            let inherent = FaultyChannel::transmit(&ch, &update(), stream);
+            match (via_trait, inherent) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(TransportError::Channel(a)), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("diverged on stream {stream}: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(Transport::kind(&ch), "inproc");
+    }
+
+    #[test]
+    fn tcp_transport_roundtrips_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let t = TcpTransport::from_stream(stream, &TcpConfig::default()).unwrap();
+            let msg = t.recv().unwrap();
+            t.send(&msg).unwrap();
+        });
+        let t = TcpTransport::connect(addr, &TcpConfig::default()).unwrap();
+        let d = Transport::transmit(&t, &update(), 0).unwrap();
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.bytes_sent, FRAME_HEADER_BYTES + update().wire_size());
+        assert_eq!(t.recv().unwrap(), update());
+        assert_eq!(Transport::kind(&t), "tcp");
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retries_then_fails_typed() {
+        // a port nothing listens on: bind, learn the addr, drop the socket
+        let addr = { TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap() };
+        let cfg = TcpConfig {
+            connect_retries: 2,
+            connect_backoff: Duration::from_millis(1),
+            connect_backoff_cap: Duration::from_millis(4),
+            ..TcpConfig::default()
+        };
+        match TcpTransport::connect(addr, &cfg) {
+            Err(TransportError::ConnectFailed { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_write_yields_closed_on_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let t = TcpTransport::from_stream(stream, &TcpConfig::default()).unwrap();
+            t.recv()
+        });
+        let t = TcpTransport::connect(addr, &TcpConfig::default()).unwrap();
+        t.shutdown_write().unwrap();
+        assert_eq!(peer.join().unwrap(), Err(TransportError::Frame(FrameError::Closed)));
+    }
+}

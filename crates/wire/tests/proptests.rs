@@ -3,7 +3,10 @@
 //! (seed, stream, message).
 
 use bytes::Bytes;
-use haccs_wire::{ChannelError, FaultyChannel, Message, ResourceEstimate, WireSummary};
+use haccs_wire::{
+    read_frame, write_frame, ChannelError, Envelope, FaultyChannel, FrameError, Message,
+    ResourceEstimate, TransmitOutcome, WireSummary, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
 use proptest::prelude::*;
 
 fn arb_summary() -> impl Strategy<Value = WireSummary> {
@@ -52,6 +55,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
         }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(n, r)| Message::Leave { client_nonce: n, round: r }),
+        (any::<u64>(), -10.0f32..10.0)
+            .prop_map(|(r, l)| Message::ResumeSync { round: r, last_loss: l }),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = TransmitOutcome> {
+    prop_oneof![
+        (arb_message(), 0usize..8, 0.0f64..60.0).prop_map(|(m, retries, backoff_s)| {
+            TransmitOutcome::Delivered {
+                bytes_sent: m.wire_size() * (retries + 1),
+                frame: m.encode(),
+                retries,
+                backoff_s,
+            }
+        }),
+        (0usize..8, 0.0f64..60.0)
+            .prop_map(|(retries, backoff_s)| TransmitOutcome::Lost { retries, backoff_s }),
     ]
 }
 
@@ -98,6 +118,109 @@ proptest! {
         prop_assert_eq!(d.backoff_s, 0.0);
         prop_assert_eq!(d.bytes_sent, m.wire_size());
         prop_assert_eq!(d.message, m);
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_codec(m in arb_message()) {
+        let payload = m.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, payload.as_ref()).expect("write frame");
+        prop_assert_eq!(wire.len(), FRAME_HEADER_BYTES + payload.len());
+        let back = read_frame(&mut wire.as_slice()).expect("read frame");
+        prop_assert_eq!(back.as_slice(), payload.as_ref());
+    }
+
+    #[test]
+    fn back_to_back_frames_preserve_boundaries(
+        msgs in proptest::collection::vec(arb_message(), 1..6)
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m.encode().as_ref()).expect("write frame");
+        }
+        let mut cursor = wire.as_slice();
+        for m in &msgs {
+            let payload = read_frame(&mut cursor).expect("read frame");
+            prop_assert_eq!(Message::decode(Bytes::from(payload)).unwrap(), m.clone());
+        }
+        prop_assert_eq!(
+            read_frame(&mut cursor).unwrap_err(),
+            FrameError::Closed,
+            "stream must end exactly at the last frame boundary"
+        );
+    }
+
+    #[test]
+    fn truncated_frames_yield_typed_errors_never_panic(
+        m in arb_message(),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, m.encode().as_ref()).expect("write frame");
+        let cut = ((wire.len() as f64) * frac) as usize;
+        if cut < wire.len() {
+            let out = read_frame(&mut wire[..cut].as_ref() as &mut &[u8]);
+            match out {
+                Err(FrameError::Closed) => prop_assert_eq!(cut, 0, "Closed only at a boundary"),
+                Err(FrameError::Truncated) => prop_assert!(cut > 0),
+                other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_prefixed_streams_never_panic(
+        garbage in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        // an arbitrary byte stream read as a frame must produce a typed
+        // result: a frame (whose decode may then fail), Closed, Truncated
+        // or TooLarge — anything but a panic or an absurd allocation
+        match read_frame(&mut garbage.as_slice()) {
+            Ok(payload) => { let _ = Message::decode(Bytes::from(payload)); }
+            Err(FrameError::Closed | FrameError::Truncated | FrameError::TooLarge(_)) => {}
+            Err(e) => prop_assert!(false, "in-memory read gave io error {:?}", e),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocation(
+        extra in 1u32..1024,
+        junk in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let len = MAX_FRAME_BYTES + extra;
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&junk);
+        prop_assert_eq!(
+            read_frame(&mut wire.as_slice()).unwrap_err(),
+            FrameError::TooLarge(len)
+        );
+    }
+
+    #[test]
+    fn envelopes_roundtrip(
+        from in 0usize..1024,
+        seq in any::<u64>(),
+        outcome in arb_outcome(),
+    ) {
+        let env = Envelope { from, seq, outcome };
+        let frame = env.encode();
+        prop_assert_eq!(frame.len(), env.encoded_size());
+        let back = Envelope::decode(frame).expect("envelope decode");
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn truncated_envelopes_yield_typed_errors(
+        from in 0usize..1024,
+        seq in any::<u64>(),
+        outcome in arb_outcome(),
+        frac in 0.0f64..1.0,
+    ) {
+        let frame = Envelope { from, seq, outcome }.encode();
+        let cut = ((frame.len() as f64) * frac) as usize;
+        if cut < frame.len() {
+            prop_assert!(Envelope::decode(frame.slice(0..cut)).is_err());
+        }
     }
 
     #[test]

@@ -146,3 +146,145 @@ fn coordinator_periodic_snapshots_land_on_disk_and_restore() {
     assert_eq!(out.rounds, full.rounds, "disk round trip must be bit-identical");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// socket-backed kill-and-resume: the same crash contract, but with every
+// client on a real localhost TCP connection
+// ---------------------------------------------------------------------
+
+mod socket {
+    use super::*;
+    use haccs::coord::net::{accept_remote_clients, remote_agent_config, serve_agent_tcp};
+    use haccs::wire::TcpConfig;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    const N: usize = 6;
+
+    fn shared_factory() -> haccs::coord::agent::SharedModelFactory {
+        Arc::new(|| haccs::nn::mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)))
+    }
+
+    /// A socket federation ready to run: coordinator on an ephemeral
+    /// port, `N` clients dialed in over TCP, HACCS reclustering from
+    /// wire summaries. Returns the coordinator plus the client joins.
+    fn dial_up(
+        snapshots: Option<SnapshotPolicy>,
+    ) -> (
+        Coordinator<HaccsSelector>,
+        Vec<std::thread::JoinHandle<Result<(), haccs::wire::TransportError>>>,
+    ) {
+        let (fed, profiles) = federation(N);
+        let cfg = SimConfig { k: 3, seed: 5, ..Default::default() };
+        let tcp = TcpConfig::default();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().unwrap();
+
+        let mut clients = Vec::with_capacity(N);
+        for (id, data) in fed.clients.iter().cloned().enumerate() {
+            let acfg = remote_agent_config(
+                id,
+                &cfg,
+                &FaultModel::none(cfg.seed),
+                &RoundPolicy::default(),
+                Availability::AlwaysOn,
+            );
+            let factory = shared_factory();
+            let profile = profiles[id];
+            clients.push(
+                std::thread::Builder::new()
+                    .name(format!("resume-client-{id}"))
+                    .spawn(move || {
+                        serve_agent_tcp(
+                            addr,
+                            &tcp,
+                            acfg,
+                            data,
+                            profile,
+                            factory,
+                            Summarizer::label_dist(),
+                        )
+                    })
+                    .expect("spawn client thread"),
+            );
+        }
+
+        let factory: ModelFactory = {
+            let f = shared_factory();
+            Box::new(move || f())
+        };
+        let provisional = vec![(0..N).collect::<Vec<usize>>()];
+        let mut coord = Coordinator::remote(
+            factory,
+            fed.global_test.clone(),
+            profiles,
+            LatencyModel::default(),
+            Availability::AlwaysOn,
+            cfg,
+            HaccsSelector::new(provisional, 0.5, "P(y)"),
+        )
+        .with_summarizer(Summarizer::label_dist())
+        .with_recluster_hook(haccs_cached_recluster_hook(
+            Summarizer::label_dist(),
+            2,
+            ExtractionMethod::Auto,
+        ));
+        if let Some(p) = snapshots {
+            coord = coord.with_snapshots(p);
+        }
+        for (id, link) in accept_remote_clients(&listener, N, coord.uplink(), &TcpConfig::default())
+            .expect("accept socket clients")
+        {
+            coord.attach_remote(id, link);
+        }
+        (coord, clients)
+    }
+
+    fn wind_down(
+        coord: Coordinator<HaccsSelector>,
+        clients: Vec<std::thread::JoinHandle<Result<(), haccs::wire::TransportError>>>,
+    ) {
+        drop(coord); // the "kill": every connection half-closes at once
+        for (id, h) in clients.into_iter().enumerate() {
+            h.join()
+                .unwrap_or_else(|_| panic!("client {id} panicked"))
+                .unwrap_or_else(|e| panic!("client {id} transport error: {e}"));
+        }
+    }
+
+    #[test]
+    fn socket_coordinator_killed_mid_training_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("haccs-tcp-snap-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let policy = SnapshotPolicy::every(2, &dir);
+        let snap_path = policy.path_for(4);
+
+        // the uninterrupted reference, itself over sockets
+        let (mut coord, clients) = dial_up(None);
+        let full = coord.run(ROUNDS);
+        wind_down(coord, clients);
+
+        // run 5 rounds, then die: the round-4 checkpoint is the newest
+        // committed state, round 5's work is lost with the process
+        let (mut coord, clients) = dial_up(Some(policy));
+        coord.run(5);
+        wind_down(coord, clients);
+        assert!(snap_path.exists(), "kill left no restorable snapshot at {snap_path:?}");
+
+        // restart: clients re-dial as fresh processes, the coordinator
+        // restores the on-disk snapshot and replays the lost tail
+        let bytes = std::fs::read(&snap_path).unwrap();
+        let (mut coord, clients) = dial_up(None);
+        coord.restore_remote(&bytes).expect("socket snapshot must restore");
+        assert_eq!(coord.epoch(), 4, "restore must land on the checkpoint round");
+        let out = coord.run(ROUNDS - 4);
+        wind_down(coord, clients);
+
+        assert_eq!(out.rounds, full.rounds, "socket resume must be bit-identical");
+        for (a, b) in out.curve.iter().zip(&full.curve) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "eval curve diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
