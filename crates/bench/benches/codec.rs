@@ -1,0 +1,66 @@
+//! Codec kernel benchmarks: encode/decode cost per codec at the model
+//! sizes the simulation actually ships (the demo MLP's ~2k params up to a
+//! LeNet-scale 64k vector).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use haccs_codec::CodecKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const SIZES: [usize; 2] = [2_212, 65_536];
+
+fn vectors(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reference: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let params: Vec<f32> = reference.iter().map(|&r| r + rng.gen_range(-0.05f32..0.05)).collect();
+    (params, reference)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    for n in SIZES {
+        let (params, reference) = vectors(n, 7);
+        for kind in [
+            CodecKind::Identity,
+            CodecKind::Int8,
+            CodecKind::TopK { keep_permille: CodecKind::DEFAULT_TOPK_PERMILLE },
+        ] {
+            let codec = kind.build();
+            let mut residual = vec![0.0f32; n];
+            c.bench_function(&format!("encode_{kind}_{n}"), |bench| {
+                bench.iter(|| {
+                    if codec.stateful() {
+                        codec.encode(black_box(&params), &reference, Some(&mut residual))
+                    } else {
+                        codec.encode(black_box(&params), &reference, None)
+                    }
+                })
+            });
+        }
+    }
+}
+
+fn bench_decode(c: &mut Criterion) {
+    for n in SIZES {
+        let (params, reference) = vectors(n, 11);
+        for kind in [
+            CodecKind::Identity,
+            CodecKind::Int8,
+            CodecKind::TopK { keep_permille: CodecKind::DEFAULT_TOPK_PERMILLE },
+        ] {
+            let codec = kind.build();
+            let mut residual = vec![0.0f32; n];
+            let payload = if codec.stateful() {
+                codec.encode(&params, &reference, Some(&mut residual))
+            } else {
+                codec.encode(&params, &reference, None)
+            };
+            c.bench_function(&format!("decode_{kind}_{n}"), |bench| {
+                bench.iter(|| codec.decode(black_box(&payload), &reference).unwrap())
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

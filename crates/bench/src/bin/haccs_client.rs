@@ -12,8 +12,9 @@
 //! ```
 
 use haccs_bench::demo;
+use haccs_codec::CodecKind;
 use haccs_coord::remote_agent_config;
-use haccs_wire::TcpConfig;
+use haccs_wire::{auth_token_digest, TcpConfig};
 use std::process::exit;
 use std::time::Duration;
 
@@ -28,6 +29,9 @@ OPTIONS:
     --k <K>           clients selected per round (must match coordd) [default: 3]
     --seed <S>        run seed shared with the coordinator [default: 0]
     --connect <ADDR>  coordinator address [default: 127.0.0.1:7733]
+    --codec <KIND>    model-update compression, must match the coordinator:
+                      identity | int8 | topk | topk:<permille>
+    --auth-token <T>  shared secret sent as the first frame (must match coordd)
     --help            print this help
 ";
 
@@ -38,6 +42,8 @@ struct Opts {
     k: usize,
     seed: u64,
     connect: String,
+    codec: Option<CodecKind>,
+    auth_token: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -46,6 +52,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut k = 3usize;
     let mut seed = 0u64;
     let mut connect = String::from("127.0.0.1:7733");
+    let mut codec: Option<CodecKind> = None;
+    let mut auth_token: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" {
@@ -58,6 +66,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--k" => k = parse_num(&value, flag)?,
             "--seed" => seed = parse_num(&value, flag)?,
             "--connect" => connect = value,
+            "--codec" => codec = Some(value.parse()?),
+            "--auth-token" => auth_token = Some(value),
             other => return Err(format!("unknown flag {other}; see --help")),
         }
     }
@@ -65,7 +75,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     if id >= clients {
         return Err(format!("--id {id} out of range for --clients {clients}"));
     }
-    Ok(Opts { id, clients, k, seed, connect })
+    Ok(Opts { id, clients, k, seed, connect, codec, auth_token })
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
@@ -90,18 +100,20 @@ fn main() {
     let data = fed.clients[opts.id].clone();
     let profile = demo::profiles(opts.clients, opts.seed)[opts.id];
     let cfg = demo::sim_config(opts.k, opts.seed);
-    let acfg = remote_agent_config(
+    let mut acfg = remote_agent_config(
         opts.id,
         &cfg,
         &demo::faults(opts.seed),
         &demo::policy(),
         haccs_sysmodel::Availability::AlwaysOn,
     );
+    acfg.codec = opts.codec;
 
     // patient dialing: a human starting two terminals should never race
     let tcp = TcpConfig {
         connect_retries: 40,
         connect_backoff: Duration::from_millis(250),
+        auth_token: opts.auth_token.as_deref().map(auth_token_digest),
         ..TcpConfig::default()
     };
     println!("client {}: dialing {}", opts.id, opts.connect);
@@ -150,8 +162,23 @@ mod tests {
             "9",
             "--connect",
             "127.0.0.1:9000",
+            "--codec",
+            "int8",
+            "--auth-token",
+            "hunter2",
         ]))
         .unwrap();
-        assert_eq!(o, Opts { id: 2, clients: 20, k: 5, seed: 9, connect: "127.0.0.1:9000".into() });
+        assert_eq!(
+            o,
+            Opts {
+                id: 2,
+                clients: 20,
+                k: 5,
+                seed: 9,
+                connect: "127.0.0.1:9000".into(),
+                codec: Some(CodecKind::Int8),
+                auth_token: Some("hunter2".into()),
+            }
+        );
     }
 }

@@ -17,11 +17,12 @@
 //! ```
 
 use haccs_bench::demo;
+use haccs_codec::CodecKind;
 use haccs_coord::{accept_remote_clients, haccs_cached_recluster_hook, Coordinator};
 use haccs_core::ExtractionMethod;
 use haccs_fedsim::engine::{ModelFactory, SnapshotPolicy};
 use haccs_obs::{MetricsServer, Recorder};
-use haccs_wire::TcpConfig;
+use haccs_wire::{auth_token_digest, TcpConfig};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::exit;
@@ -42,6 +43,11 @@ OPTIONS:
     --snapshot-dir <DIR>   checkpoint directory (enables snapshots)
     --snapshot-every <N>   rounds between checkpoints [default: 1]
     --resume <FILE>        restore this snapshot after the clients reconnect
+                           (stateless codecs only: identity / int8)
+    --codec <KIND>         model-update compression, must match the clients:
+                           identity | int8 | topk | topk:<permille>
+    --auth-token <TOKEN>   shared secret; connections whose first frame is
+                           not its digest are dropped (must match clients)
     --help                 print this help
 ";
 
@@ -56,6 +62,8 @@ struct Opts {
     snapshot_dir: Option<PathBuf>,
     snapshot_every: usize,
     resume: Option<PathBuf>,
+    codec: Option<CodecKind>,
+    auth_token: Option<String>,
 }
 
 impl Default for Opts {
@@ -70,6 +78,8 @@ impl Default for Opts {
             snapshot_dir: None,
             snapshot_every: 1,
             resume: None,
+            codec: None,
+            auth_token: None,
         }
     }
 }
@@ -92,6 +102,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--snapshot-dir" => opts.snapshot_dir = Some(PathBuf::from(value)),
             "--snapshot-every" => opts.snapshot_every = parse_num(&value, flag)?,
             "--resume" => opts.resume = Some(PathBuf::from(value)),
+            "--codec" => opts.codec = Some(value.parse()?),
+            "--auth-token" => opts.auth_token = Some(value),
             other => return Err(format!("unknown flag {other}; see --help")),
         }
     }
@@ -100,6 +112,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     if opts.snapshot_every == 0 {
         return Err("--snapshot-every must be at least 1".into());
+    }
+    if opts.resume.is_some() && opts.codec.is_some_and(|k| k.stateful()) {
+        return Err(format!(
+            "--resume is not supported with --codec {}: the error-feedback \
+             residuals live in the client processes, not the snapshot",
+            opts.codec.unwrap()
+        ));
     }
     Ok(opts)
 }
@@ -154,12 +173,23 @@ fn main() {
     if let Some(dir) = &opts.snapshot_dir {
         coord = coord.with_snapshots(SnapshotPolicy::every(opts.snapshot_every, dir));
     }
+    if let Some(kind) = opts.codec {
+        println!("codec: {kind} model-update compression");
+        coord = coord.with_codec(kind);
+    }
 
+    let tcp = TcpConfig {
+        auth_token: opts.auth_token.as_deref().map(auth_token_digest),
+        ..TcpConfig::default()
+    };
     let listener = TcpListener::bind(opts.listen.as_str())
         .unwrap_or_else(|e| panic!("bind {}: {e}", opts.listen));
     println!("listening on {} for {n} clients", listener.local_addr().unwrap());
-    let links = accept_remote_clients(&listener, n, coord.uplink(), &TcpConfig::default())
-        .expect("accept remote clients");
+    if tcp.auth_token.is_some() {
+        println!("auth: shared-token preamble required on every connection");
+    }
+    let links =
+        accept_remote_clients(&listener, n, coord.uplink(), &tcp).expect("accept remote clients");
     for (id, link) in links {
         coord.attach_remote(id, link);
     }
@@ -248,5 +278,24 @@ mod tests {
         assert!(e.contains("unknown flag"), "{e}");
         let e = parse_opts(&args(&["--k", "9", "--clients", "4"])).unwrap_err();
         assert!(e.contains("exceeds"), "{e}");
+        let e = parse_opts(&args(&["--codec", "gzip"])).unwrap_err();
+        assert!(e.contains("unknown codec"), "{e}");
+    }
+
+    #[test]
+    fn codec_and_auth_flags_parse() {
+        let o = parse_opts(&args(&["--codec", "int8", "--auth-token", "hunter2"])).unwrap();
+        assert_eq!(o.codec, Some(CodecKind::Int8));
+        assert_eq!(o.auth_token.as_deref(), Some("hunter2"));
+        let o = parse_opts(&args(&["--codec", "topk:50"])).unwrap();
+        assert_eq!(o.codec, Some(CodecKind::TopK { keep_permille: 50 }));
+    }
+
+    #[test]
+    fn resume_with_stateful_codec_is_rejected() {
+        let e = parse_opts(&args(&["--codec", "topk", "--resume", "snap.bin"])).unwrap_err();
+        assert!(e.contains("error-feedback"), "{e}");
+        // stateless codecs resume fine
+        parse_opts(&args(&["--codec", "int8", "--resume", "snap.bin"])).unwrap();
     }
 }

@@ -5,6 +5,7 @@
 //!           [--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]
 //!           [--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]
 //!           [--full] [--seed N] [--target F] [--transport inproc|tcp]
+//!           [--codec identity|int8|topk|topk:<permille>]
 //!           [--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]
 //! ```
 //!
@@ -32,8 +33,16 @@
 //! telemetry flags (`--snapshot-every`, `--resume`, `--trace`,
 //! `--metrics`) are rejected in this mode; the standalone `haccs-coordd`
 //! daemon owns those for socket deployments.
+//!
+//! `--codec` compresses model updates on the uplink: `int8` quantizes
+//! each block to a byte plus a shared scale (~3.9× fewer bytes), `topk`
+//! sends only the largest deltas with client-side error feedback, and
+//! `identity` is a framing-only passthrough pinned bit-identical to
+//! running with no codec at all. Works with both transports; the
+//! simulated latency model charges the *encoded* bytes.
 
 use haccs_bench::TransportKind;
+use haccs_codec::CodecKind;
 use haccs_data::{partition, DatasetKind};
 use haccs_experiments::common::{accuracy_series, build_haccs, Env, Scale, StrategyKind};
 use haccs_summary::Summarizer;
@@ -56,6 +65,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     target: f32,
+    codec: Option<CodecKind>,
     snapshot_every: Option<usize>,
     snapshot_dir: String,
     resume: Option<String>,
@@ -80,6 +90,7 @@ impl Default for Args {
             scale: Scale::Fast,
             seed: 42,
             target: 0.5,
+            codec: None,
             snapshot_every: None,
             snapshot_dir: "snapshots".into(),
             resume: None,
@@ -120,6 +131,9 @@ fn parse_from(it: impl Iterator<Item = String>) -> Args {
             "--full" => a.scale = Scale::Full,
             "--seed" => a.seed = val("--seed").parse().expect("integer"),
             "--target" => a.target = val("--target").parse().expect("float"),
+            "--codec" => {
+                a.codec = Some(val("--codec").parse().unwrap_or_else(|e: String| panic!("{e}")))
+            }
             "--snapshot-every" => {
                 a.snapshot_every = Some(val("--snapshot-every").parse().expect("integer"))
             }
@@ -136,6 +150,7 @@ fn parse_from(it: impl Iterator<Item = String>) -> Args {
                      \t[--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]\n\
                      \t[--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]\n\
                      \t[--full] [--seed N] [--target F] [--transport inproc|tcp]\n\
+                     \t[--codec identity|int8|topk|topk:<permille>]\n\
                      \t[--snapshot-every N] [--snapshot-dir PATH] [--resume PATH]\n\
                      \t[--trace PATH] [--metrics PATH]"
                 );
@@ -246,6 +261,7 @@ fn main() {
             haccs_fedsim::RoundPolicy::default(),
             Summarizer::label_dist(),
             selector,
+            a.codec,
             a.rounds,
         );
         report(&a, t0, &run);
@@ -253,6 +269,10 @@ fn main() {
     }
 
     let mut sim = env.build_sim(a.select, availability);
+    if let Some(kind) = a.codec {
+        println!("codec: {kind} model-update compression");
+        sim = sim.with_codec(kind);
+    }
     let obs = if a.trace.is_some() || a.metrics.is_some() {
         let mut rec = haccs_obs::Recorder::enabled();
         if let Some(path) = &a.trace {
@@ -337,6 +357,23 @@ mod tests {
     #[should_panic(expected = "unknown transport")]
     fn bogus_transport_is_rejected() {
         parse(&["--transport", "carrier-pigeon"]);
+    }
+
+    #[test]
+    fn codec_flag_parses_all_kinds() {
+        assert_eq!(parse(&[]).codec, None);
+        assert_eq!(parse(&["--codec", "identity"]).codec, Some(CodecKind::Identity));
+        assert_eq!(parse(&["--codec", "int8"]).codec, Some(CodecKind::Int8));
+        assert_eq!(
+            parse(&["--codec", "topk:250"]).codec,
+            Some(CodecKind::TopK { keep_permille: 250 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown codec")]
+    fn bogus_codec_is_rejected() {
+        parse(&["--codec", "gzip"]);
     }
 
     #[test]

@@ -1,0 +1,778 @@
+//! `haccs-codec`: model-update compression for the HACCS runtimes.
+//!
+//! HACCS's speedup claim rests on a latency model dominated by
+//! `model bits / bandwidth` for the slowest selected clients, so
+//! shrinking the uplink update is a direct multiplier on every
+//! selector's time-to-accuracy. This crate provides the
+//! [`UpdateCodec`] trait and three implementations:
+//!
+//! * [`Identity`] — the uncompressed baseline. Encode→decode is
+//!   bit-exact, and the runtimes treat it as "no codec": the wire
+//!   still carries a plain `ModelUpdate`, so an `Identity` run is
+//!   bit-identical to a run predating this crate.
+//! * [`Int8Quant`] — per-block symmetric int8 quantization with one
+//!   `f32` scale per block. The flat parameter vector carries no
+//!   layer metadata, so fixed [`Int8Quant::BLOCK`]-sized blocks stand
+//!   in for per-tensor scales; each block's scale is `max|x| / 127`.
+//!   Stateless: decode needs only the payload.
+//! * [`TopKDelta`] — top-k magnitude sparsification of the *delta*
+//!   against the client's last received global model, with
+//!   client-side error-feedback: coordinates dropped this round
+//!   accumulate into a residual that is added back before the next
+//!   selection, so no gradient signal is permanently lost. Stateful
+//!   on the encode side only; decode needs the shared reference
+//!   model and the payload.
+//!
+//! ## Byte format (version 1)
+//!
+//! Every payload is versioned and checksummed:
+//!
+//! ```text
+//! +---------+--------+---------------+--------~~--------+-------------+
+//! | version | kind   | n_params: u32 | body             | fnv1a64 LE  |
+//! | 1 byte  | 1 byte | LE            | (kind-specific)  | of the rest |
+//! +---------+--------+---------------+--------~~--------+-------------+
+//! ```
+//!
+//! Bodies:
+//!
+//! * `Identity` — `n_params` little-endian `f32` bit patterns.
+//! * `Int8Quant` — per 256-wide block: `scale: f32 LE`, then one `i8`
+//!   per parameter in the block (the last block may be short).
+//! * `TopKDelta` — `k` entries of `(index: u32 LE, delta: f32 LE)`,
+//!   indices strictly increasing. `k` is recovered from the payload
+//!   length, so decode does not need the keep ratio.
+//!
+//! Decoding validates version, kind, the exact body length implied by
+//! `n_params`, the checksum, and (for top-k) index bounds/ordering —
+//! truncated or corrupted payloads return a typed [`CodecError`],
+//! never panic. [`UpdateCodec::encoded_len`] is an exact pure function
+//! of `n_params`, so both ends of a lossy link account *lost* updates
+//! identically without ever materializing the frame.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Format version written as the first payload byte.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Fixed header bytes: version + kind + `n_params: u32`.
+const HEADER_BYTES: usize = 6;
+/// Trailing checksum bytes.
+const CHECKSUM_BYTES: usize = 8;
+/// Total framing overhead around the body.
+pub const OVERHEAD_BYTES: usize = HEADER_BYTES + CHECKSUM_BYTES;
+
+/// FNV-1a 64-bit — the same cheap integrity hash the snapshot format
+/// uses; catches truncation and bit-flips, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Which codec produced a payload. `Copy` so it travels through the
+/// `Copy` transport configs, and reconstructable on both ends of a TCP
+/// link from the same CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Uncompressed f32 passthrough (the pre-codec wire path).
+    Identity,
+    /// Per-block symmetric int8 quantization.
+    Int8,
+    /// Top-k delta sparsification with error feedback. `keep_permille`
+    /// is the kept fraction in thousandths (100 = keep 10%).
+    TopK {
+        /// Kept coordinates per thousand, clamped to `1..=1000`.
+        keep_permille: u32,
+    },
+}
+
+impl CodecKind {
+    /// Default keep ratio for `topk` parsed without an explicit rate.
+    pub const DEFAULT_TOPK_PERMILLE: u32 = 100;
+
+    /// The single-byte tag stored in payloads and wire messages.
+    pub fn tag(self) -> u8 {
+        match self {
+            CodecKind::Identity => 0,
+            CodecKind::Int8 => 1,
+            CodecKind::TopK { .. } => 2,
+        }
+    }
+
+    /// Builds the codec for this kind.
+    pub fn build(self) -> Box<dyn UpdateCodec> {
+        match self {
+            CodecKind::Identity => Box::new(Identity),
+            CodecKind::Int8 => Box::new(Int8Quant),
+            CodecKind::TopK { keep_permille } => Box::new(TopKDelta::new(keep_permille)),
+        }
+    }
+
+    /// Whether encoding carries client-side state (error feedback).
+    pub fn stateful(self) -> bool {
+        matches!(self, CodecKind::TopK { .. })
+    }
+
+    /// Exact payload length for `n_params` parameters, without building
+    /// the codec — the same pure function as
+    /// [`UpdateCodec::encoded_len`], usable from hot accounting paths.
+    pub fn encoded_len(self, n_params: usize) -> usize {
+        match self {
+            CodecKind::Identity => Identity.encoded_len(n_params),
+            CodecKind::Int8 => Int8Quant.encoded_len(n_params),
+            CodecKind::TopK { keep_permille } => {
+                TopKDelta::new(keep_permille).encoded_len(n_params)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecKind::Identity => write!(f, "identity"),
+            CodecKind::Int8 => write!(f, "int8"),
+            CodecKind::TopK { keep_permille } => {
+                if *keep_permille == Self::DEFAULT_TOPK_PERMILLE {
+                    write!(f, "topk")
+                } else {
+                    write!(f, "topk:{keep_permille}")
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for CodecKind {
+    type Err = String;
+
+    /// Parses `identity`, `int8`, `topk`, or `topk:<permille>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "identity" => Ok(CodecKind::Identity),
+            "int8" => Ok(CodecKind::Int8),
+            "topk" => Ok(CodecKind::TopK { keep_permille: Self::DEFAULT_TOPK_PERMILLE }),
+            other => {
+                if let Some(rate) = other.strip_prefix("topk:") {
+                    let p: u32 = rate
+                        .parse()
+                        .map_err(|_| format!("bad top-k permille {rate:?} in codec {other:?}"))?;
+                    if p == 0 || p > 1000 {
+                        return Err(format!("top-k permille {p} out of range 1..=1000"));
+                    }
+                    Ok(CodecKind::TopK { keep_permille: p })
+                } else {
+                    Err(format!("unknown codec {other:?} (expected identity, int8 or topk)"))
+                }
+            }
+        }
+    }
+}
+
+/// Typed decode failures. Every malformed input maps to one of these —
+/// the decoders never panic on wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Payload shorter than header + checksum.
+    Truncated,
+    /// First byte was not [`FORMAT_VERSION`].
+    BadVersion(u8),
+    /// Kind byte did not name a known codec.
+    BadKind(u8),
+    /// Kind byte named a different codec than the decoder expects.
+    KindMismatch {
+        /// Tag the decoder expected.
+        expected: u8,
+        /// Tag found in the payload.
+        got: u8,
+    },
+    /// Trailing FNV-1a checksum did not match the payload bytes.
+    ChecksumMismatch,
+    /// Body length does not match what `n_params` implies.
+    LengthMismatch {
+        /// Body bytes the header implies.
+        expected: usize,
+        /// Body bytes actually present.
+        got: usize,
+    },
+    /// The decoder's reference model has a different parameter count
+    /// than the payload claims.
+    ReferenceMismatch {
+        /// `n_params` from the payload header.
+        payload: usize,
+        /// Parameter count of the reference model.
+        reference: usize,
+    },
+    /// A sparse index was out of bounds or not strictly increasing.
+    BadIndex {
+        /// The offending index.
+        index: u32,
+        /// Parameter count it must stay below.
+        n_params: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "codec payload truncated"),
+            CodecError::BadVersion(v) => {
+                write!(f, "codec format version {v} (expected {FORMAT_VERSION})")
+            }
+            CodecError::BadKind(k) => write!(f, "unknown codec kind tag {k}"),
+            CodecError::KindMismatch { expected, got } => {
+                write!(f, "codec kind tag {got} where {expected} was expected")
+            }
+            CodecError::ChecksumMismatch => write!(f, "codec payload checksum mismatch"),
+            CodecError::LengthMismatch { expected, got } => {
+                write!(f, "codec body is {got} bytes where {expected} were implied")
+            }
+            CodecError::ReferenceMismatch { payload, reference } => {
+                write!(f, "payload encodes {payload} params but the reference has {reference}")
+            }
+            CodecError::BadIndex { index, n_params } => {
+                write!(f, "sparse index {index} invalid for {n_params} params")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A model-update codec: turns a trained parameter vector into bytes
+/// on the client and back into parameters on the coordinator.
+///
+/// `reference` is the global model the client trained from (the last
+/// `ModelPush` it received); both ends hold it, so delta codecs never
+/// ship it. `residual` is the client-side error-feedback accumulator
+/// for stateful codecs — stateless codecs ignore it. The residual is
+/// updated **at encode time**, before the transmission outcome is
+/// known, so a lost update perturbs the residual exactly like a
+/// delivered one and both simulation drivers stay bit-identical.
+pub trait UpdateCodec: Send + Sync {
+    /// Which [`CodecKind`] this codec implements.
+    fn kind(&self) -> CodecKind;
+
+    /// Exact payload length for a model of `n_params` parameters —
+    /// a pure function, identical on both ends of a lossy link.
+    fn encoded_len(&self, n_params: usize) -> usize;
+
+    /// Whether encoding mutates client-side state (error feedback).
+    fn stateful(&self) -> bool {
+        self.kind().stateful()
+    }
+
+    /// Encodes `params` against `reference`, updating `residual` when
+    /// stateful. Panics if `reference` (or a provided residual) does
+    /// not match `params` in length — that is a driver bug, not wire
+    /// data.
+    fn encode(&self, params: &[f32], reference: &[f32], residual: Option<&mut Vec<f32>>)
+        -> Vec<u8>;
+
+    /// Decodes a payload back into a full parameter vector using the
+    /// shared `reference`.
+    fn decode(&self, payload: &[u8], reference: &[f32]) -> Result<Vec<f32>, CodecError>;
+}
+
+/// Validates the common envelope and returns `(kind_tag, n_params, body)`.
+fn open_payload(payload: &[u8]) -> Result<(u8, usize, &[u8]), CodecError> {
+    if payload.len() < OVERHEAD_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    let (hashed, sum) = payload.split_at(payload.len() - CHECKSUM_BYTES);
+    let want = u64::from_le_bytes(sum.try_into().expect("checksum is 8 bytes"));
+    if fnv1a64(hashed) != want {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    if hashed[0] != FORMAT_VERSION {
+        return Err(CodecError::BadVersion(hashed[0]));
+    }
+    let kind = hashed[1];
+    if kind > 2 {
+        return Err(CodecError::BadKind(kind));
+    }
+    let n = u32::from_le_bytes(hashed[2..6].try_into().expect("n_params is 4 bytes")) as usize;
+    Ok((kind, n, &hashed[HEADER_BYTES..]))
+}
+
+/// Starts a payload buffer with header bytes filled in.
+fn start_payload(kind: CodecKind, n_params: usize, body_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + body_len + CHECKSUM_BYTES);
+    out.push(FORMAT_VERSION);
+    out.push(kind.tag());
+    out.extend_from_slice(&(n_params as u32).to_le_bytes());
+    out
+}
+
+/// Appends the checksum trailer.
+fn seal_payload(mut out: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn check_reference(payload_n: usize, reference: &[f32]) -> Result<(), CodecError> {
+    if payload_n != reference.len() {
+        return Err(CodecError::ReferenceMismatch {
+            payload: payload_n,
+            reference: reference.len(),
+        });
+    }
+    Ok(())
+}
+
+/// The uncompressed baseline: f32 bit patterns straight through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl UpdateCodec for Identity {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Identity
+    }
+
+    fn encoded_len(&self, n_params: usize) -> usize {
+        OVERHEAD_BYTES + 4 * n_params
+    }
+
+    fn encode(
+        &self,
+        params: &[f32],
+        reference: &[f32],
+        _residual: Option<&mut Vec<f32>>,
+    ) -> Vec<u8> {
+        assert_eq!(params.len(), reference.len(), "reference/params length mismatch");
+        let mut out = start_payload(CodecKind::Identity, params.len(), 4 * params.len());
+        for &p in params {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        seal_payload(out)
+    }
+
+    fn decode(&self, payload: &[u8], reference: &[f32]) -> Result<Vec<f32>, CodecError> {
+        let (kind, n, body) = open_payload(payload)?;
+        if kind != CodecKind::Identity.tag() {
+            return Err(CodecError::KindMismatch {
+                expected: CodecKind::Identity.tag(),
+                got: kind,
+            });
+        }
+        check_reference(n, reference)?;
+        if body.len() != 4 * n {
+            return Err(CodecError::LengthMismatch { expected: 4 * n, got: body.len() });
+        }
+        let mut out = Vec::with_capacity(n);
+        for chunk in body.chunks_exact(4) {
+            out.push(f32::from_bits(u32::from_le_bytes(chunk.try_into().expect("4 bytes"))));
+        }
+        Ok(out)
+    }
+}
+
+/// Per-block symmetric int8 quantization: one `f32` scale per
+/// 256-parameter block, values rounded to `[-127, 127]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Int8Quant;
+
+impl Int8Quant {
+    /// Parameters per scale block. The flat vector carries no layer
+    /// boundaries, so fixed blocks stand in for per-tensor scales.
+    pub const BLOCK: usize = 256;
+
+    /// Blocks needed for `n` parameters.
+    fn blocks(n: usize) -> usize {
+        n.div_ceil(Self::BLOCK)
+    }
+
+    /// Worst-case absolute quantization error for one block with the
+    /// given scale: half a quantization step.
+    pub fn max_abs_error(scale: f32) -> f32 {
+        0.5 * scale
+    }
+}
+
+impl UpdateCodec for Int8Quant {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Int8
+    }
+
+    fn encoded_len(&self, n_params: usize) -> usize {
+        OVERHEAD_BYTES + 4 * Self::blocks(n_params) + n_params
+    }
+
+    fn encode(
+        &self,
+        params: &[f32],
+        reference: &[f32],
+        _residual: Option<&mut Vec<f32>>,
+    ) -> Vec<u8> {
+        assert_eq!(params.len(), reference.len(), "reference/params length mismatch");
+        let body_len = 4 * Self::blocks(params.len()) + params.len();
+        let mut out = start_payload(CodecKind::Int8, params.len(), body_len);
+        for block in params.chunks(Self::BLOCK) {
+            let amax = block.iter().fold(0f32, |m, &x| if x.abs() > m { x.abs() } else { m });
+            // non-finite amax (a NaN/inf parameter) degrades to scale 0:
+            // the whole block quantizes to zero instead of poisoning it
+            let scale = if amax.is_finite() && amax > 0.0 { amax / 127.0 } else { 0.0 };
+            out.extend_from_slice(&scale.to_bits().to_le_bytes());
+            for &x in block {
+                let q = if scale > 0.0 && x.is_finite() {
+                    (x / scale).round().clamp(-127.0, 127.0) as i8
+                } else {
+                    0
+                };
+                out.push(q as u8);
+            }
+        }
+        seal_payload(out)
+    }
+
+    fn decode(&self, payload: &[u8], reference: &[f32]) -> Result<Vec<f32>, CodecError> {
+        let (kind, n, body) = open_payload(payload)?;
+        if kind != CodecKind::Int8.tag() {
+            return Err(CodecError::KindMismatch { expected: CodecKind::Int8.tag(), got: kind });
+        }
+        check_reference(n, reference)?;
+        let expected = 4 * Self::blocks(n) + n;
+        if body.len() != expected {
+            return Err(CodecError::LengthMismatch { expected, got: body.len() });
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut at = 0usize;
+        let mut remaining = n;
+        while remaining > 0 {
+            let len = remaining.min(Self::BLOCK);
+            let scale =
+                f32::from_bits(u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes")));
+            at += 4;
+            for &b in &body[at..at + len] {
+                out.push(b as i8 as f32 * scale);
+            }
+            at += len;
+            remaining -= len;
+        }
+        Ok(out)
+    }
+}
+
+/// Top-k magnitude sparsification of the delta against the shared
+/// reference model, with client-side error feedback.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKDelta {
+    keep_permille: u32,
+}
+
+impl TopKDelta {
+    /// Builds a top-k codec keeping `keep_permille`/1000 of the
+    /// coordinates (clamped to `1..=1000`).
+    pub fn new(keep_permille: u32) -> Self {
+        TopKDelta { keep_permille: keep_permille.clamp(1, 1000) }
+    }
+
+    /// Exact number of kept coordinates for `n` parameters: at least
+    /// one (while any exist), never more than all of them.
+    pub fn kept(&self, n_params: usize) -> usize {
+        if n_params == 0 {
+            return 0;
+        }
+        let k = (n_params * self.keep_permille as usize).div_ceil(1000);
+        k.clamp(1, n_params)
+    }
+}
+
+impl Default for TopKDelta {
+    fn default() -> Self {
+        TopKDelta::new(CodecKind::DEFAULT_TOPK_PERMILLE)
+    }
+}
+
+impl UpdateCodec for TopKDelta {
+    fn kind(&self) -> CodecKind {
+        CodecKind::TopK { keep_permille: self.keep_permille }
+    }
+
+    fn encoded_len(&self, n_params: usize) -> usize {
+        OVERHEAD_BYTES + 8 * self.kept(n_params)
+    }
+
+    fn encode(
+        &self,
+        params: &[f32],
+        reference: &[f32],
+        residual: Option<&mut Vec<f32>>,
+    ) -> Vec<u8> {
+        assert_eq!(params.len(), reference.len(), "reference/params length mismatch");
+        let n = params.len();
+        // error feedback: the compensated delta is (update + carried residual)
+        let mut delta: Vec<f32> = (0..n).map(|i| params[i] - reference[i]).collect();
+        if let Some(res) = residual.as_deref() {
+            assert_eq!(res.len(), n, "residual length mismatch");
+            for (d, &r) in delta.iter_mut().zip(res.iter()) {
+                *d += r;
+            }
+        }
+        let k = self.kept(n);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        // deterministic top-k: magnitude descending (total order, so
+        // NaN deltas sort without panicking), index ascending on ties
+        order.sort_by(|&a, &b| {
+            delta[b as usize].abs().total_cmp(&delta[a as usize].abs()).then(a.cmp(&b))
+        });
+        let mut keep: Vec<u32> = order[..k].to_vec();
+        keep.sort_unstable();
+        let mut out = start_payload(self.kind(), n, 8 * k);
+        for &i in &keep {
+            out.push_u32(i);
+            out.push_u32(delta[i as usize].to_bits());
+        }
+        // kept coordinates shipped their full compensated delta, so
+        // their residual clears; dropped ones carry theirs forward —
+        // updated here, at encode time, independent of delivery
+        if let Some(res) = residual {
+            res.clear();
+            res.extend_from_slice(&delta);
+            for &i in &keep {
+                res[i as usize] = 0.0;
+            }
+        }
+        seal_payload(out)
+    }
+
+    fn decode(&self, payload: &[u8], reference: &[f32]) -> Result<Vec<f32>, CodecError> {
+        let (kind, n, body) = open_payload(payload)?;
+        if kind != self.kind().tag() {
+            return Err(CodecError::KindMismatch { expected: self.kind().tag(), got: kind });
+        }
+        check_reference(n, reference)?;
+        if body.len() % 8 != 0 || body.len() / 8 > n {
+            return Err(CodecError::LengthMismatch { expected: 8 * self.kept(n), got: body.len() });
+        }
+        let mut out = reference.to_vec();
+        let mut prev: Option<u32> = None;
+        for entry in body.chunks_exact(8) {
+            let idx = u32::from_le_bytes(entry[..4].try_into().expect("4 bytes"));
+            let val = f32::from_bits(u32::from_le_bytes(entry[4..].try_into().expect("4 bytes")));
+            if idx as usize >= n || prev.is_some_and(|p| idx <= p) {
+                return Err(CodecError::BadIndex { index: idx, n_params: n });
+            }
+            out[idx as usize] += val;
+            prev = Some(idx);
+        }
+        Ok(out)
+    }
+}
+
+/// Tiny extension so the top-k body writer reads cleanly.
+trait PushU32 {
+    fn push_u32(&mut self, v: u32);
+}
+
+impl PushU32 for Vec<u8> {
+    fn push_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, seed: u64) -> Vec<f32> {
+        // cheap deterministic pseudo-params in roughly [-1, 1]
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kind_strings_roundtrip() {
+        for k in [
+            CodecKind::Identity,
+            CodecKind::Int8,
+            CodecKind::TopK { keep_permille: 100 },
+            CodecKind::TopK { keep_permille: 250 },
+        ] {
+            assert_eq!(k.to_string().parse::<CodecKind>().unwrap(), k);
+        }
+        assert!("gzip".parse::<CodecKind>().is_err());
+        assert!("topk:0".parse::<CodecKind>().is_err());
+        assert!("topk:1001".parse::<CodecKind>().is_err());
+    }
+
+    #[test]
+    fn identity_is_bit_exact_and_length_exact() {
+        let p = params(513, 1);
+        let r = params(513, 2);
+        let c = Identity;
+        let enc = c.encode(&p, &r, None);
+        assert_eq!(enc.len(), c.encoded_len(p.len()));
+        let dec = c.decode(&enc, &r).unwrap();
+        assert_eq!(dec.len(), p.len());
+        for (a, b) in dec.iter().zip(p.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_roundtrips_within_half_step_per_block() {
+        let p = params(1000, 3);
+        let r = vec![0.0; 1000];
+        let c = Int8Quant;
+        let enc = c.encode(&p, &r, None);
+        assert_eq!(enc.len(), c.encoded_len(p.len()));
+        let dec = c.decode(&enc, &r).unwrap();
+        for (block, out) in p.chunks(Int8Quant::BLOCK).zip(dec.chunks(Int8Quant::BLOCK)) {
+            let amax = block.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            let bound = Int8Quant::max_abs_error(amax / 127.0) + 1e-6;
+            for (a, b) in block.iter().zip(out.iter()) {
+                assert!((a - b).abs() <= bound, "{a} vs {b} exceeds {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_zero_and_nonfinite_blocks_decode_to_zero() {
+        let mut p = vec![0.0f32; 300];
+        p[270] = f32::NAN;
+        let r = vec![0.0; 300];
+        let c = Int8Quant;
+        let dec = c.decode(&c.encode(&p, &r, None), &r).unwrap();
+        assert!(dec.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn topk_without_residual_keeps_exactly_k_largest() {
+        let n = 100;
+        let r = vec![1.0f32; n];
+        let mut p = r.clone();
+        p[7] += 5.0;
+        p[42] -= 3.0;
+        p[99] += 0.5;
+        let c = TopKDelta::new(20); // 2% of 100 → k = 2
+        assert_eq!(c.kept(n), 2);
+        let enc = c.encode(&p, &r, None);
+        assert_eq!(enc.len(), c.encoded_len(n));
+        let dec = c.decode(&enc, &r).unwrap();
+        assert_eq!(dec[7], p[7]);
+        assert_eq!(dec[42], p[42]);
+        assert_eq!(dec[99], 1.0); // dropped: reference value survives
+    }
+
+    #[test]
+    fn topk_error_feedback_carries_dropped_mass_forward() {
+        let n = 10;
+        let r = vec![0.0f32; n];
+        let c = TopKDelta::new(100); // k = 1
+        let mut residual = vec![0.0f32; n];
+        let mut p = vec![0.0f32; n];
+        p[0] = 1.0;
+        p[1] = 0.6;
+        let enc = c.encode(&p, &r, Some(&mut residual));
+        let dec = c.decode(&enc, &r).unwrap();
+        assert_eq!(dec[0], 1.0);
+        assert_eq!(dec[1], 0.0);
+        assert_eq!(residual[0], 0.0);
+        assert_eq!(residual[1], 0.6);
+        // second round: same update; the carried residual now wins
+        let enc2 = c.encode(&p, &r, Some(&mut residual));
+        let dec2 = c.decode(&enc2, &r).unwrap();
+        assert_eq!(dec2[1], 1.2); // 0.6 update + 0.6 residual
+        assert_eq!(residual[0], 1.0); // round-2 delta at 0 was dropped
+        assert_eq!(residual[1], 0.0);
+    }
+
+    #[test]
+    fn kept_is_clamped_and_exact() {
+        let c = TopKDelta::new(100);
+        assert_eq!(c.kept(0), 0);
+        assert_eq!(c.kept(1), 1);
+        assert_eq!(c.kept(5), 1);
+        assert_eq!(c.kept(2212), 222);
+        assert_eq!(TopKDelta::new(1000).kept(7), 7);
+    }
+
+    #[test]
+    fn corrupted_payloads_return_typed_errors() {
+        let p = params(64, 4);
+        let r = vec![0.0f32; 64];
+        for kind in [CodecKind::Identity, CodecKind::Int8, CodecKind::TopK { keep_permille: 100 }] {
+            let c = kind.build();
+            let good = c.encode(&p, &r, None);
+            assert!(c.decode(&good, &r).is_ok());
+            // too short for even the envelope
+            assert_eq!(c.decode(&good[..5], &r), Err(CodecError::Truncated));
+            // flip a body byte → checksum catches it
+            let mut bad = good.clone();
+            bad[HEADER_BYTES] ^= 0xFF;
+            assert_eq!(c.decode(&bad, &r), Err(CodecError::ChecksumMismatch));
+            // truncating tears the checksum too
+            let cut = &good[..good.len() - 1];
+            assert!(matches!(
+                c.decode(cut, &r),
+                Err(CodecError::ChecksumMismatch) | Err(CodecError::Truncated)
+            ));
+            // wrong reference size
+            assert!(matches!(c.decode(&good, &r[..32]), Err(CodecError::ReferenceMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn reseal_with_bad_version_or_kind_is_rejected() {
+        let p = params(16, 5);
+        let r = vec![0.0f32; 16];
+        let good = Identity.encode(&p, &r, None);
+        let body = &good[..good.len() - CHECKSUM_BYTES];
+        let mut v = body.to_vec();
+        v[0] = 9;
+        assert_eq!(Identity.decode(&seal_payload(v), &r), Err(CodecError::BadVersion(9)));
+        let mut k = body.to_vec();
+        k[1] = 7;
+        assert_eq!(Identity.decode(&seal_payload(k), &r), Err(CodecError::BadKind(7)));
+        let mut m = body.to_vec();
+        m[1] = CodecKind::Int8.tag();
+        assert!(matches!(
+            Identity.decode(&seal_payload(m), &r),
+            Err(CodecError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn topk_rejects_out_of_bounds_and_unsorted_indices() {
+        let r = vec![0.0f32; 4];
+        let c = TopKDelta::new(1000);
+        // hand-build a payload with a bad index
+        let mut out = start_payload(c.kind(), 4, 8);
+        out.push_u32(9); // >= n_params
+        out.push_u32(1.0f32.to_bits());
+        let bad = seal_payload(out);
+        assert!(matches!(c.decode(&bad, &r), Err(CodecError::BadIndex { index: 9, .. })));
+        // duplicate / non-increasing indices
+        let mut out = start_payload(c.kind(), 4, 16);
+        for _ in 0..2 {
+            out.push_u32(2);
+            out.push_u32(1.0f32.to_bits());
+        }
+        let dup = seal_payload(out);
+        assert!(matches!(c.decode(&dup, &r), Err(CodecError::BadIndex { index: 2, .. })));
+    }
+
+    #[test]
+    fn encode_is_deterministic_across_calls() {
+        let p = params(333, 6);
+        let r = params(333, 7);
+        for kind in [CodecKind::Int8, CodecKind::TopK { keep_permille: 50 }] {
+            let c = kind.build();
+            assert_eq!(c.encode(&p, &r, None), c.encode(&p, &r, None));
+        }
+    }
+}

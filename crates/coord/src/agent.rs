@@ -16,6 +16,7 @@
 //!   are really produced by racing threads.
 
 use bytes::Bytes;
+use haccs_codec::CodecKind;
 use haccs_data::ClientData;
 use haccs_fedsim::round;
 use haccs_fedsim::trainer::{probe_loss, train_local, TrainConfig};
@@ -62,6 +63,12 @@ pub struct AgentConfig {
     /// this value in heartbeat acks until it next trains — exactly what
     /// the uninterrupted agent would have reported.
     pub resume_last_loss: Option<f32>,
+    /// Model-update codec, which must match the coordinator's. `None`
+    /// and `Identity` keep trained updates on the plain `ModelUpdate`
+    /// frame; `Int8`/`TopK` encode against the round's pushed global
+    /// model and send [`Message::ModelUpdateEnc`]. A stateful codec's
+    /// error-feedback residual lives here, on the client.
+    pub codec: Option<CodecKind>,
 }
 
 /// Builds a model instance shared across agent threads.
@@ -157,6 +164,10 @@ fn agent_main(
     let mut model = factory();
     let mut scheduled: Option<u64> = None;
     let mut last_loss: f32 = cfg.resume_last_loss.unwrap_or(0.0);
+    // compressing codec state: the codec itself plus the error-feedback
+    // residual (stateful kinds only), lazily sized at the first encode
+    let codec = cfg.codec.filter(|k| !matches!(k, CodecKind::Identity)).map(|k| k.build());
+    let mut residual: Vec<f32> = Vec::new();
 
     // 2. serve the coordinator until the downlink closes
     while let Ok(frame) = downlink.recv() {
@@ -174,11 +185,37 @@ fn agent_main(
                     scheduled = None;
                     let local_seed = round::local_train_seed(cfg.seed, round as usize, cfg.id);
                     last_loss = train_local(&mut model, &data.train, &cfg.train, local_seed);
-                    let update = Message::ModelUpdate {
-                        round,
-                        params: model.get_params(),
-                        loss: last_loss,
-                        n_train: data.train.len() as u32,
+                    let n_train = data.train.len() as u32;
+                    let update = match &codec {
+                        Some(c) => {
+                            // encode against the global model this round
+                            // pushed — the reference the coordinator still
+                            // holds while it collects updates. Error
+                            // feedback updates here whether or not the
+                            // lossy wire delivers the frame.
+                            let trained = model.get_params();
+                            if c.stateful() && residual.len() != trained.len() {
+                                residual = vec![0.0; trained.len()];
+                            }
+                            let payload = if c.stateful() {
+                                c.encode(&trained, &params, Some(&mut residual))
+                            } else {
+                                c.encode(&trained, &params, None)
+                            };
+                            Message::ModelUpdateEnc {
+                                round,
+                                codec: c.kind().tag(),
+                                payload,
+                                loss: last_loss,
+                                n_train,
+                            }
+                        }
+                        None => Message::ModelUpdate {
+                            round,
+                            params: model.get_params(),
+                            loss: last_loss,
+                            n_train,
+                        },
                     };
                     let sid = round::update_stream_id(round as usize, cfg.id);
                     send(lossy(&cfg.channel, &update, sid), &mut seq);

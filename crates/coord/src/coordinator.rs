@@ -32,6 +32,7 @@
 use crate::agent::{self, AgentConfig, Envelope, SharedModelFactory, TransmitOutcome};
 use crate::events::EventQueue;
 use crate::registry::{ClientEntry, ClientRegistry, Liveness};
+use haccs_codec::CodecKind;
 use haccs_data::{ClientData, FederatedDataset, ImageSet};
 use haccs_fedsim::engine::{
     AggregationPolicy, ModelFactory, RoundPolicy, SimConfig, SnapshotPolicy,
@@ -225,6 +226,10 @@ pub struct Coordinator<S: Selector> {
     phase: RoundPhase,
     membership_dirty: bool,
     snapshots: Option<SnapshotPolicy>,
+    /// Model-update codec agents encode with and the server decodes
+    /// with. `None`/`Identity` keep plain `ModelUpdate` frames and the
+    /// historical bit-identical path.
+    codec: Option<CodecKind>,
     obs: Recorder,
     #[allow(clippy::type_complexity)]
     recluster_hook: Option<Box<dyn FnMut(&mut S, &[(usize, WireSummary)])>>,
@@ -318,6 +323,7 @@ impl<S: Selector> Coordinator<S> {
             phase: RoundPhase::Enrolling,
             membership_dirty: false,
             snapshots: None,
+            codec: None,
             obs: Recorder::disabled(),
             recluster_hook: None,
         }
@@ -373,6 +379,7 @@ impl<S: Selector> Coordinator<S> {
             phase: RoundPhase::Enrolling,
             membership_dirty: false,
             snapshots: None,
+            codec: None,
             obs: Recorder::disabled(),
             recluster_hook: None,
         }
@@ -416,6 +423,34 @@ impl<S: Selector> Coordinator<S> {
         );
         self.policy = policy;
         self
+    }
+
+    /// Attaches a model-update codec (builder style; before the first
+    /// round, so every agent spawns with it). `Identity` keeps the wire
+    /// carrying plain `ModelUpdate` frames, bit-identical to the
+    /// codec-free coordinator; `Int8`/`TopK` have agents encode against
+    /// the round's pushed global model and the server decode before
+    /// FedAvg, with the *encoded* size charged to latency and byte
+    /// accounting. A stateful codec's error-feedback residuals live on
+    /// the clients, so kill-and-resume is refused for `TopK` (see
+    /// [`Coordinator::restore`]).
+    pub fn with_codec(mut self, kind: CodecKind) -> Self {
+        self.assert_unspawned("codec");
+        self.codec = Some(kind);
+        self
+    }
+
+    /// The attached codec's kind, if any.
+    pub fn codec_kind(&self) -> Option<CodecKind> {
+        self.codec
+    }
+
+    /// The codec guard label written into snapshots (`"none"` without one).
+    fn codec_label(&self) -> String {
+        match self.codec {
+            Some(kind) => kind.to_string(),
+            None => "none".to_string(),
+        }
     }
 
     /// Sets the heartbeat/liveness policy (builder style).
@@ -667,6 +702,7 @@ impl<S: Selector> Coordinator<S> {
                     channel: round::wire_channel(&self.faults, &self.policy),
                     leave_after: p.leave_after,
                     resume_last_loss: None,
+                    codec: self.codec,
                 };
                 let thread = agent::spawn(
                     acfg,
@@ -769,10 +805,19 @@ impl<S: Selector> Coordinator<S> {
     // registry's spawn-time profiles)
     // ------------------------------------------------------------------
 
-    /// Expected §IV-D round latency of client `id`.
+    /// Expected §IV-D round latency of client `id`, with the uplink leg
+    /// charged at the codec's encoded size (identical math to the loop
+    /// engine's [`haccs_fedsim::FedSim::expected_latency`]).
     pub fn expected_latency(&self, id: usize) -> f64 {
         let e = self.registry.get(id);
-        round::expected_round_latency(&self.latency, &e.profile, &self.cfg.train, e.n_train)
+        let up_bits = round::uplink_bits(&self.latency, self.codec, self.global_params.len());
+        round::expected_round_latency_coded(
+            &self.latency,
+            &e.profile,
+            &self.cfg.train,
+            e.n_train,
+            up_bits,
+        )
     }
 
     fn effective_latency(&self, id: usize, epoch: usize) -> f64 {
@@ -870,6 +915,14 @@ impl<S: Selector> Coordinator<S> {
         self.obs.inc("coord_updates_total", record.participants.len() as u64);
         self.obs.inc("coord_control_bytes_total", record.faults.control_bytes as u64);
         self.obs.inc("coord_wire_retries_total", record.faults.retries as u64);
+        self.obs.inc("codec.bytes_raw", record.faults.payload_bytes_raw as u64);
+        self.obs.inc("codec.bytes_encoded", record.faults.payload_bytes_encoded as u64);
+        if record.faults.payload_bytes_encoded > 0 {
+            self.obs.gauge(
+                "codec.compression_ratio",
+                record.faults.payload_bytes_raw as f64 / record.faults.payload_bytes_encoded as f64,
+            );
+        }
         self.obs.observe("coord_round_sim_seconds", record.round_seconds);
         round_span.set_sim(record.time_s);
         round_span.push_u("participants", record.participants.len() as u64);
@@ -1020,7 +1073,10 @@ impl<S: Selector> Coordinator<S> {
     }
 
     /// Feeds one trainee's wire outcome into the accumulator, mirroring
-    /// the loop engine's delivery/loss bookkeeping exactly.
+    /// the loop engine's delivery/loss bookkeeping exactly. Payload bytes
+    /// are charged per trainee envelope — delivered or lost — as a pure
+    /// function of the model size, so the counters match the engine's
+    /// even when the frame itself never arrived.
     fn admit(
         &self,
         acc: &mut RoundAccumulator,
@@ -1030,11 +1086,35 @@ impl<S: Selector> Coordinator<S> {
         epoch: usize,
         replacement: bool,
     ) {
+        let n_params = self.global_params.len();
+        acc.stats.payload_bytes_raw += 4 * n_params;
+        acc.stats.payload_bytes_encoded += round::payload_encoded_bytes(self.codec, n_params);
         match outcome.unwrap_or_else(|| panic!("no envelope from trainee {id}")) {
             TransmitOutcome::Delivered { frame, retries, backoff_s, .. } => {
                 match Message::decode(frame).expect("agent sent an undecodable update") {
                     Message::ModelUpdate { round, params, loss, n_train } => {
                         debug_assert_eq!(round as usize, epoch, "update for the wrong round");
+                        assert!(
+                            !self.codec.is_some_and(|k| !matches!(k, CodecKind::Identity)),
+                            "client {id} sent a plain update under a compressing codec"
+                        );
+                        let pending = PendingUpdate { id, params, loss, n_train: n_train as usize };
+                        acc.record_delivery(pending, lat, backoff_s, retries, replacement);
+                    }
+                    Message::ModelUpdateEnc { round, codec, payload, loss, n_train } => {
+                        debug_assert_eq!(round as usize, epoch, "update for the wrong round");
+                        let kind = self.codec.unwrap_or_else(|| {
+                            panic!("client {id} sent an encoded update, but no codec is configured")
+                        });
+                        assert_eq!(codec, kind.tag(), "client {id} used a different codec");
+                        // decode against the pre-aggregation global model —
+                        // exactly the reference the agent encoded against
+                        let dec_span = self.obs.span("codec.decode").u("client", id as u64);
+                        let params = kind
+                            .build()
+                            .decode(&payload, &self.global_params)
+                            .unwrap_or_else(|e| panic!("undecodable update from {id}: {e}"));
+                        dec_span.finish();
                         let pending = PendingUpdate { id, params, loss, n_train: n_train as usize };
                         acc.record_delivery(pending, lat, backoff_s, retries, replacement);
                     }
@@ -1204,6 +1284,8 @@ impl<S: Selector> Coordinator<S> {
         w.put_f32s(&self.global_params);
         self.result.save(&mut w);
         w.put_bool(self.membership_dirty);
+        // codec guard: a snapshot only restores under the same codec
+        w.put_str(&self.codec_label());
         // per-client registry state
         for e in self.registry.entries() {
             w.put_usize(e.summary.histograms.len());
@@ -1226,6 +1308,21 @@ impl<S: Selector> Coordinator<S> {
         w.put_str(&self.selector.name());
         self.selector.save_state(&mut w);
         w.finish()
+    }
+
+    /// Kill-and-resume needs every piece of training state server-side,
+    /// but a stateful codec's error-feedback residuals live only on the
+    /// clients — a resumed run would silently diverge from the
+    /// uninterrupted one. Refuse loudly instead.
+    fn refuse_stateful_codec_resume(&self) -> Result<(), PersistError> {
+        if self.codec.is_some_and(|k| k.stateful()) {
+            return Err(PersistError::Malformed(format!(
+                "codec {} keeps error-feedback residuals client-side; coordinator \
+                 kill-and-resume is only supported for stateless codecs",
+                self.codec_label()
+            )));
+        }
+        Ok(())
     }
 
     /// Parses and validates a snapshot against this coordinator's
@@ -1267,6 +1364,13 @@ impl<S: Selector> Coordinator<S> {
         }
         let result = RunResult::load(&mut r)?;
         let membership_dirty = r.get_bool()?;
+        let codec_label = r.get_str()?;
+        if codec_label != self.codec_label() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot was taken with codec {codec_label:?}, this coordinator uses {:?}",
+                self.codec_label()
+            )));
+        }
 
         let mut restored: Vec<RestoredEntry> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1326,6 +1430,7 @@ impl<S: Selector> Coordinator<S> {
             self.agents.is_empty() && self.registry.is_empty(),
             "restore requires a freshly constructed coordinator"
         );
+        self.refuse_stateful_codec_resume()?;
         let snap = self.parse_snapshot(bytes, self.pending.len())?;
         let ParsedSnapshot {
             epoch,
@@ -1374,6 +1479,7 @@ impl<S: Selector> Coordinator<S> {
                 channel: round::wire_channel(&self.faults, &self.policy),
                 leave_after: p.leave_after,
                 resume_last_loss: restored[id].last_loss,
+                codec: self.codec,
             };
             let thread = agent::spawn(
                 acfg,
@@ -1451,6 +1557,7 @@ impl<S: Selector> Coordinator<S> {
             self.agents.is_empty() && self.registry.is_empty(),
             "restore requires a freshly constructed coordinator"
         );
+        self.refuse_stateful_codec_resume()?;
         let profiles = self
             .remote_profiles
             .clone()
@@ -1764,5 +1871,51 @@ mod tests {
         c.run_round();
         assert_eq!(c.registry().len(), 4);
         assert!(c.registry().get(3).last_loss.unwrap().is_finite());
+    }
+
+    #[test]
+    fn identity_codec_coordinator_matches_codec_free_run() {
+        // the Identity codec must not perturb a single bit of the run:
+        // same frames on the wire, same latencies, same byte accounting
+        let plain = build_coord(6, Availability::AlwaysOn).run(4);
+        let coded = build_coord(6, Availability::AlwaysOn).with_codec(CodecKind::Identity).run(4);
+        assert_eq!(plain.rounds, coded.rounds);
+        assert_eq!(plain.curve.len(), coded.curve.len());
+        for (a, b) in plain.curve.iter().zip(&coded.curve) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn int8_codec_coordinator_shrinks_bytes_on_the_wire() {
+        let plain = build_coord(6, Availability::AlwaysOn).run(4);
+        let coded = build_coord(6, Availability::AlwaysOn).with_codec(CodecKind::Int8).run(4);
+        let raw = coded.total_payload_bytes_raw();
+        let enc = coded.total_payload_bytes_encoded();
+        assert!(raw > 0 && enc > 0);
+        assert!(enc as f64 * 3.0 <= raw as f64, "int8 should compress >=3x: raw={raw} enc={enc}");
+        // quantization is lossy but the run must still converge
+        let acc = coded.curve.last().unwrap().accuracy;
+        let base = plain.curve.last().unwrap().accuracy;
+        assert!(acc >= base - 0.1, "int8 accuracy {acc} vs plain {base}");
+    }
+
+    #[test]
+    fn stateful_codec_restore_is_refused() {
+        let topk = CodecKind::TopK { keep_permille: 100 };
+        let mut c = build_coord(4, Availability::AlwaysOn).with_codec(topk);
+        c.run(2);
+        let snap = c.snapshot();
+        drop(c);
+        // the TopK residuals live in the (now dead) agent threads, so a
+        // coordinator-side resume cannot reconstruct the codec state
+        let mut resumed = build_coord(4, Availability::AlwaysOn).with_codec(topk);
+        match resumed.restore(&snap) {
+            Err(PersistError::Malformed(msg)) => {
+                assert!(msg.contains("error-feedback"), "unexpected refusal: {msg}")
+            }
+            other => panic!("stateful codec restore must be refused, got {other:?}"),
+        }
     }
 }

@@ -29,6 +29,7 @@
 use crate::agent::{self, AgentConfig, Envelope, SharedModelFactory};
 use crate::coordinator::{default_summary_seed, session_nonce, Coordinator, RemoteLink};
 use bytes::Bytes;
+use haccs_codec::CodecKind;
 use haccs_data::{ClientData, FederatedDataset};
 use haccs_fedsim::engine::{ModelFactory, RoundPolicy, SimConfig};
 use haccs_fedsim::metrics::RunResult;
@@ -36,8 +37,8 @@ use haccs_fedsim::round;
 use haccs_fedsim::selector::Selector;
 use haccs_summary::Summarizer;
 use haccs_sysmodel::{Availability, DeviceProfile, FaultModel, LatencyModel};
-use haccs_wire::frame::{read_frame, write_frame, FrameError};
-use haccs_wire::{TcpConfig, TcpTransport, TransportError};
+use haccs_wire::frame::{read_frame_limited, write_frame_limited, FrameError};
+use haccs_wire::{constant_time_eq, TcpConfig, TcpTransport, TransportError};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -56,9 +57,10 @@ pub fn bridge_client(
     stream.set_read_timeout(tcp.read_timeout).map_err(FrameError::from)?;
     stream.set_write_timeout(tcp.write_timeout).map_err(FrameError::from)?;
     stream.set_nodelay(true).map_err(FrameError::from)?;
+    let max_frame = tcp.max_frame_bytes;
     let mut read_half = stream.try_clone().map_err(FrameError::from)?;
 
-    let first = Envelope::decode(Bytes::from(read_frame(&mut read_half)?))?;
+    let first = Envelope::decode(Bytes::from(read_frame_limited(&mut read_half, max_frame)?))?;
     let id = first.from;
     // a send failure means the coordinator is already gone; the bridge
     // still comes up so teardown follows the normal EOF cascade
@@ -68,7 +70,7 @@ pub fn bridge_client(
         .name(format!("haccs-net-rx-{id}"))
         .spawn(move || {
             // reads until Closed (orderly), Truncated or a timeout
-            while let Ok(payload) = read_frame(&mut read_half) {
+            while let Ok(payload) = read_frame_limited(&mut read_half, max_frame) {
                 match Envelope::decode(Bytes::from(payload)) {
                     Ok(env) => {
                         if uplink.send(env).is_err() {
@@ -89,7 +91,7 @@ pub fn bridge_client(
         .name(format!("haccs-net-tx-{id}"))
         .spawn(move || {
             while let Ok(frame) = down_rx.recv() {
-                if write_frame(&mut write_half, &frame).is_err() {
+                if write_frame_limited(&mut write_half, &frame, max_frame).is_err() {
                     break;
                 }
             }
@@ -107,6 +109,13 @@ pub fn bridge_client(
 /// Accepts exactly `n` client connections on `listener` and bridges each.
 /// Returns the links in **connection** order — callers pass them to
 /// [`Coordinator::attach_remote`], which re-sorts by id at enrollment.
+///
+/// When `tcp.auth_token` is set, every connection must open with an
+/// authentication preamble: a single frame carrying exactly the expected
+/// 32-byte token digest (see [`haccs_wire::auth_token_digest`]), sent
+/// before any envelope. A connection whose first frame is missing,
+/// malformed or mismatched (compared in constant time) is dropped and
+/// never counts toward `n` — the listener keeps accepting.
 pub fn accept_remote_clients(
     listener: &TcpListener,
     n: usize,
@@ -114,8 +123,19 @@ pub fn accept_remote_clients(
     tcp: &TcpConfig,
 ) -> Result<Vec<(usize, RemoteLink)>, TransportError> {
     let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (stream, _) = listener.accept().map_err(FrameError::from)?;
+    while out.len() < n {
+        let (mut stream, _) = listener.accept().map_err(FrameError::from)?;
+        if let Some(expected) = &tcp.auth_token {
+            stream.set_read_timeout(tcp.read_timeout).map_err(FrameError::from)?;
+            match read_frame_limited(&mut stream, tcp.max_frame_bytes) {
+                Ok(frame) if constant_time_eq(&frame, expected) => {}
+                _ => {
+                    // unauthenticated peer: drop it, keep listening
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+            }
+        }
         out.push(bridge_client(stream, uplink.clone(), tcp)?);
     }
     Ok(out)
@@ -144,6 +164,7 @@ pub fn remote_agent_config(
         channel: round::wire_channel(faults, policy),
         leave_after: None,
         resume_last_loss: None,
+        codec: None,
     }
 }
 
@@ -165,13 +186,20 @@ pub fn serve_agent_tcp(
     let mut write_half = transport.try_clone_stream()?;
     drop(transport); // the clones keep the connection alive
 
+    if let Some(token) = &tcp.auth_token {
+        // authentication preamble: the digest is the very first frame on
+        // the wire, before the Join envelope
+        write_frame_limited(&mut write_half, token, tcp.max_frame_bytes)?;
+    }
+
     let (down_tx, down_rx) = mpsc::channel::<Bytes>();
     let (up_tx, up_rx) = mpsc::channel::<Envelope>();
 
+    let max_frame = tcp.max_frame_bytes;
     let reader = thread::Builder::new()
         .name(format!("haccs-client-rx-{}", cfg.id))
         .spawn(move || {
-            while let Ok(payload) = read_frame(&mut read_half) {
+            while let Ok(payload) = read_frame_limited(&mut read_half, max_frame) {
                 if down_tx.send(Bytes::from(payload)).is_err() {
                     break;
                 }
@@ -185,7 +213,7 @@ pub fn serve_agent_tcp(
         .name(format!("haccs-client-tx-{}", cfg.id))
         .spawn(move || {
             while let Ok(env) = up_rx.recv() {
-                if write_frame(&mut write_half, &env.encode()).is_err() {
+                if write_frame_limited(&mut write_half, &env.encode(), max_frame).is_err() {
                     break;
                 }
             }
@@ -220,6 +248,7 @@ pub fn run_tcp_federation<S: Selector>(
     policy: RoundPolicy,
     summarizer: Summarizer,
     selector: S,
+    codec: Option<CodecKind>,
     rounds: usize,
 ) -> RunResult {
     let n = fed.clients.len();
@@ -230,7 +259,8 @@ pub fn run_tcp_federation<S: Selector>(
 
     let mut clients = Vec::with_capacity(n);
     for (id, data) in fed.clients.iter().cloned().enumerate() {
-        let acfg = remote_agent_config(id, &cfg, &faults, &policy, availability.clone());
+        let mut acfg = remote_agent_config(id, &cfg, &faults, &policy, availability.clone());
+        acfg.codec = codec;
         let fac = Arc::clone(&factory);
         let profile = profiles[id];
         clients.push(
@@ -257,6 +287,9 @@ pub fn run_tcp_federation<S: Selector>(
     .with_faults(faults)
     .with_policy(policy)
     .with_summarizer(summarizer);
+    if let Some(kind) = codec {
+        coord = coord.with_codec(kind);
+    }
     for (id, link) in
         accept_remote_clients(&listener, n, coord.uplink(), &tcp).expect("accept remote clients")
     {
@@ -329,6 +362,7 @@ mod tests {
             RoundPolicy::default(),
             Summarizer::label_dist(),
             FirstK,
+            None,
             3,
         );
 
@@ -338,5 +372,107 @@ mod tests {
             assert_eq!(a.accuracy, b.accuracy);
             assert_eq!(a.loss.to_bits(), b.loss.to_bits());
         }
+    }
+
+    #[test]
+    fn tcp_federation_with_int8_codec_matches_in_process_codec_run() {
+        let gen = SynthVision::mnist_like(4, 8, 0);
+        let specs = partition::iid(4, 4, 40, 16);
+        let fed = FederatedDataset::materialize(&gen, &specs, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let profiles = DeviceProfile::sample_many(4, &mut rng);
+        let cfg = SimConfig { k: 2, seed: 5, ..Default::default() };
+
+        let local = {
+            let factory: ModelFactory =
+                Box::new(|| mlp(64, &[16], 4, &mut StdRng::seed_from_u64(7)));
+            Coordinator::new(
+                factory,
+                fed.clone(),
+                profiles.clone(),
+                LatencyModel::default(),
+                Availability::AlwaysOn,
+                cfg,
+                FirstK,
+            )
+            .with_codec(CodecKind::Int8)
+            .run(3)
+        };
+
+        let shared: SharedModelFactory =
+            Arc::new(|| mlp(64, &[16], 4, &mut StdRng::seed_from_u64(7)));
+        let over_tcp = run_tcp_federation(
+            shared,
+            fed,
+            profiles,
+            LatencyModel::default(),
+            Availability::AlwaysOn,
+            cfg,
+            FaultModel::none(cfg.seed),
+            RoundPolicy::default(),
+            Summarizer::label_dist(),
+            FirstK,
+            Some(CodecKind::Int8),
+            3,
+        );
+
+        assert_eq!(local.rounds, over_tcp.rounds, "int8-coded TCP history must match");
+        // the codec visibly shrank the payload accounting
+        let raw = over_tcp.total_payload_bytes_raw();
+        let enc = over_tcp.total_payload_bytes_encoded();
+        assert!(raw as f64 / enc as f64 >= 3.0, "int8 on-wire reduction: {raw} vs {enc}");
+    }
+
+    #[test]
+    fn auth_preamble_rejects_unauthenticated_peers() {
+        use haccs_wire::auth_token_digest;
+        use std::io::Write;
+
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let tcp = TcpConfig {
+            auth_token: Some(auth_token_digest("round-table")),
+            ..TcpConfig::default()
+        };
+        let (uplink_tx, uplink_rx) = mpsc::channel::<Envelope>();
+
+        let accept = thread::spawn(move || {
+            accept_remote_clients(&listener, 1, uplink_tx, &tcp).expect("accept")
+        });
+
+        // 1) no preamble at all: the peer writes a raw envelope frame and
+        //    must be dropped without ever being bridged
+        let env = Envelope {
+            from: 0,
+            seq: 0,
+            outcome: crate::agent::TransmitOutcome::Lost { retries: 0, backoff_s: 0.0 },
+        };
+        let mut bare = TcpStream::connect(addr).expect("connect");
+        let frame = env.encode();
+        let mut framed = (frame.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&frame);
+        let _ = bare.write_all(&framed);
+        // 2) wrong token: also dropped
+        let mut liar = TcpStream::connect(addr).expect("connect");
+        let bad = auth_token_digest("square-table");
+        let mut framed = (bad.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&bad);
+        let _ = liar.write_all(&framed);
+        // 3) correct token then the envelope: bridged as client 0
+        let mut honest = TcpStream::connect(addr).expect("connect");
+        let good = auth_token_digest("round-table");
+        let mut framed = (good.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&good);
+        framed.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&frame);
+        honest.write_all(&framed).expect("write auth + envelope");
+
+        let links = accept.join().expect("accept thread");
+        assert_eq!(links.len(), 1, "exactly one authenticated peer");
+        assert_eq!(links[0].0, 0);
+        // the bridged envelope (the one after the token) reached the uplink
+        let got = uplink_rx.recv_timeout(std::time::Duration::from_secs(10)).expect("envelope");
+        assert_eq!(got.from, 0);
+        drop(links); // close downlinks; pumps wind down
     }
 }

@@ -33,6 +33,7 @@ use crate::metrics::{FaultStats, RoundRecord, RunResult, TimePoint};
 use crate::round::{self, PendingUpdate, RoundAccumulator};
 use crate::selector::{sanitize_selection, SelectionContext, Selector};
 use crate::trainer::{probe_loss, train_local, TrainConfig};
+use haccs_codec::{CodecKind, UpdateCodec};
 use haccs_data::{FederatedDataset, ImageSet};
 use haccs_nn::{evaluate, Sequential};
 use haccs_obs::Recorder;
@@ -184,6 +185,14 @@ pub struct FedSim {
     /// [`haccs_wire::FaultyChannel`] from the fault schedule per call
     /// (the historical behavior, bit-identical to the seed runs).
     transport: Option<Box<dyn Transport + Send>>,
+    /// Model-update codec. `None` and `Identity` both keep the wire
+    /// carrying plain [`Message::ModelUpdate`] frames — bit-identical to
+    /// the pre-codec engine.
+    codec: Option<Box<dyn UpdateCodec>>,
+    /// Per-client error-feedback residuals, allocated only when the
+    /// attached codec is stateful (`TopK`). Updated at encode time —
+    /// whether or not the frame survives the wire — like a real client.
+    codec_residuals: Vec<Vec<f32>>,
 }
 
 impl FedSim {
@@ -266,6 +275,8 @@ impl FedSim {
             snapshots: None,
             obs: Recorder::disabled(),
             transport: None,
+            codec: None,
+            codec_residuals: Vec::new(),
         }
     }
 
@@ -287,6 +298,38 @@ impl FedSim {
     pub fn with_transport(mut self, transport: Box<dyn Transport + Send>) -> Self {
         self.transport = Some(transport);
         self
+    }
+
+    /// Attaches a model-update codec (builder style). `Identity` keeps
+    /// the wire carrying plain `ModelUpdate` frames and every round
+    /// bit-identical to the codec-free engine; `Int8`/`TopK` encode each
+    /// trained update against the current global model, charge the
+    /// *encoded* size to the latency model and the byte accounting, and
+    /// aggregate the decoded reconstruction. A stateful codec (`TopK`)
+    /// keeps one error-feedback residual per client, zero-initialized
+    /// here and carried through snapshots.
+    pub fn with_codec(mut self, kind: CodecKind) -> Self {
+        let codec = kind.build();
+        self.codec_residuals = if codec.stateful() {
+            vec![vec![0.0; self.global_params.len()]; self.clients.len()]
+        } else {
+            Vec::new()
+        };
+        self.codec = Some(codec);
+        self
+    }
+
+    /// The attached codec's kind, if any.
+    pub fn codec_kind(&self) -> Option<CodecKind> {
+        self.codec.as_ref().map(|c| c.kind())
+    }
+
+    /// The codec guard label written into snapshots (`"none"` without one).
+    fn codec_label(&self) -> String {
+        match self.codec_kind() {
+            Some(kind) => kind.to_string(),
+            None => "none".to_string(),
+        }
     }
 
     /// Sets the round-execution policy (builder style).
@@ -368,7 +411,15 @@ impl FedSim {
     /// control traffic (see [`round::expected_round_latency`]).
     pub fn expected_latency(&self, id: usize) -> f64 {
         let c = &self.clients[id];
-        round::expected_round_latency(&self.latency, &c.profile, &self.cfg.train, c.data.n_train())
+        let up_bits =
+            round::uplink_bits(&self.latency, self.codec_kind(), self.global_params.len());
+        round::expected_round_latency_coded(
+            &self.latency,
+            &c.profile,
+            &self.cfg.train,
+            c.data.n_train(),
+            up_bits,
+        )
     }
 
     /// Scheduling view ([`ClientInfo`]) of the given client ids. Clients
@@ -431,18 +482,61 @@ impl FedSim {
             .collect()
     }
 
+    /// Runs one trained parameter vector through the attached codec:
+    /// encodes it against the current (pre-aggregation) global model,
+    /// updates the client's error-feedback residual at encode time —
+    /// whether or not the frame later survives the wire, exactly like a
+    /// real client — and returns the parameters the server aggregates
+    /// (the decoded reconstruction) plus the wire payload. Under no
+    /// codec or `Identity` the parameters pass through untouched and the
+    /// wire keeps carrying plain `ModelUpdate` frames.
+    fn encode_update(&mut self, id: usize, params: &[f32]) -> (Vec<f32>, Option<Vec<u8>>) {
+        let codec = match &self.codec {
+            Some(c) if !matches!(c.kind(), CodecKind::Identity) => c,
+            _ => return (params.to_vec(), None),
+        };
+        let enc_span = self.obs.span("codec.encode").u("client", id as u64);
+        let payload = if codec.stateful() {
+            codec.encode(params, &self.global_params, Some(&mut self.codec_residuals[id]))
+        } else {
+            codec.encode(params, &self.global_params, None)
+        };
+        enc_span.u("bytes", payload.len() as u64).finish();
+        let dec_span = self.obs.span("codec.decode").u("client", id as u64);
+        let decoded = codec
+            .decode(&payload, &self.global_params)
+            .expect("self-encoded update payload must decode");
+        dec_span.finish();
+        (decoded, Some(payload))
+    }
+
     /// Sends one trained update through the lossy wire (only called when
-    /// `lossy_prob > 0`). Returns `Ok((retries, backoff_s))` on delivery.
+    /// `lossy_prob > 0`). With an encoded `payload` the frame carries
+    /// [`Message::ModelUpdateEnc`]; otherwise the plain `ModelUpdate`.
+    /// Channel outcomes are pure hashes of `(seed, stream, attempt)`, so
+    /// the codec never perturbs the retry/loss trace. Returns
+    /// `Ok((retries, backoff_s))` on delivery.
     fn transmit_update(
         &self,
         id: usize,
         update: &(usize, Vec<f32>, f32),
+        payload: Option<&[u8]>,
     ) -> Result<(usize, f64), (usize, f64)> {
-        let msg = Message::ModelUpdate {
-            round: self.epoch as u64,
-            params: update.1.clone(),
-            loss: update.2,
-            n_train: self.clients[id].data.n_train() as u32,
+        let n_train = self.clients[id].data.n_train() as u32;
+        let msg = match payload {
+            Some(p) => Message::ModelUpdateEnc {
+                round: self.epoch as u64,
+                codec: self.codec_kind().map(|k| k.tag()).unwrap_or(0),
+                payload: p.to_vec(),
+                loss: update.2,
+                n_train,
+            },
+            None => Message::ModelUpdate {
+                round: self.epoch as u64,
+                params: update.1.clone(),
+                loss: update.2,
+                n_train,
+            },
         };
         let stream_id = round::update_stream_id(self.epoch, id);
         let derived;
@@ -521,6 +615,14 @@ impl FedSim {
         self.obs.inc("engine_updates_total", record.participants.len() as u64);
         self.obs.inc("engine_control_bytes_total", record.faults.control_bytes as u64);
         self.obs.inc("engine_wire_retries_total", record.faults.retries as u64);
+        self.obs.inc("codec.bytes_raw", record.faults.payload_bytes_raw as u64);
+        self.obs.inc("codec.bytes_encoded", record.faults.payload_bytes_encoded as u64);
+        if record.faults.payload_bytes_encoded > 0 {
+            self.obs.gauge(
+                "codec.compression_ratio",
+                record.faults.payload_bytes_raw as f64 / record.faults.payload_bytes_encoded as f64,
+            );
+        }
         self.obs.observe("engine_round_sim_seconds", record.round_seconds);
         round_span.set_sim(record.time_s);
         round_span.push_u("participants", record.participants.len() as u64);
@@ -593,18 +695,26 @@ impl FedSim {
         };
 
         // 4. lossy wire: every trained update is transmitted; retries add
-        // backoff to its arrival time, budget exhaustion loses it
+        // backoff to its arrival time, budget exhaustion loses it. The
+        // attached codec runs here: payload bytes are charged per trained
+        // transmission — delivered or wire-lost — and error feedback
+        // updates at encode time, exactly like a real client.
+        let n_params = self.global_params.len();
+        let enc_bytes = round::payload_encoded_bytes(self.codec_kind(), n_params);
         for u in updates {
             let id = u.0;
             let lat = draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap();
+            let (delivered, payload) = self.encode_update(id, &u.1);
+            acc.stats.payload_bytes_raw += 4 * n_params;
+            acc.stats.payload_bytes_encoded += enc_bytes;
             let pending = PendingUpdate {
                 id,
-                params: u.1.clone(),
+                params: delivered,
                 loss: u.2,
                 n_train: self.clients[id].data.n_train(),
             };
             if self.faults.lossy_prob > 0.0 {
-                match self.transmit_update(id, &u) {
+                match self.transmit_update(id, &u, payload.as_deref()) {
                     Ok((retries, backoff_s)) => {
                         acc.record_delivery(pending, lat, backoff_s, retries, false);
                     }
@@ -643,14 +753,17 @@ impl FedSim {
                 for u in trained {
                     let id = u.0;
                     let lat = self.effective_latency(id, epoch);
+                    let (delivered, payload) = self.encode_update(id, &u.1);
+                    acc.stats.payload_bytes_raw += 4 * n_params;
+                    acc.stats.payload_bytes_encoded += enc_bytes;
                     let pending = PendingUpdate {
                         id,
-                        params: u.1.clone(),
+                        params: delivered,
                         loss: u.2,
                         n_train: self.clients[id].data.n_train(),
                     };
                     if self.faults.lossy_prob > 0.0 {
-                        match self.transmit_update(id, &u) {
+                        match self.transmit_update(id, &u, payload.as_deref()) {
                             Ok((retries, backoff_s)) => {
                                 acc.record_delivery(pending, lat, backoff_s, retries, true);
                             }
@@ -836,6 +949,9 @@ impl FedSim {
         m.set_params(&self.global_params);
         c.last_loss = Some(probe_loss(&mut m, &c.data.train, &self.cfg.train, self.cfg.probe_max));
         self.clients.push(c);
+        if self.codec.as_ref().is_some_and(|codec| codec.stateful()) {
+            self.codec_residuals.push(vec![0.0; self.global_params.len()]);
+        }
         id
     }
 
@@ -883,6 +999,16 @@ impl FedSim {
             w.put_usize(c.participation_count);
         }
         self.result.save(&mut w);
+        // codec guard + client-side error-feedback residuals: a stateful
+        // codec's residuals are training state, so resuming a TopKDelta
+        // run stays bit-identical — and a snapshot only restores under
+        // the same codec configuration
+        w.put_str(&self.codec_label());
+        if self.codec.as_ref().is_some_and(|c| c.stateful()) {
+            for res in &self.codec_residuals {
+                w.put_f32s(res);
+            }
+        }
         // selector state, guarded by its strategy name
         w.put_str(&selector.name());
         selector.save_state(&mut w);
@@ -937,6 +1063,28 @@ impl FedSim {
             per_client.push((r.get_opt_f32()?, r.get_usize()?));
         }
         let result = RunResult::load(&mut r)?;
+        let codec_label = r.get_str()?;
+        if codec_label != self.codec_label() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot was taken with codec {codec_label:?}, this simulation uses {:?}",
+                self.codec_label()
+            )));
+        }
+        let stateful_codec = self.codec.as_ref().is_some_and(|c| c.stateful());
+        let mut residuals = Vec::new();
+        if stateful_codec {
+            for _ in 0..self.clients.len() {
+                let res = r.get_f32s()?;
+                if res.len() != self.global_params.len() {
+                    return Err(PersistError::Malformed(format!(
+                        "codec residual has {} entries, the model {}",
+                        res.len(),
+                        self.global_params.len()
+                    )));
+                }
+                residuals.push(res);
+            }
+        }
         let strategy = r.get_str()?;
         if strategy != selector.name() {
             return Err(PersistError::Malformed(format!(
@@ -958,6 +1106,9 @@ impl FedSim {
             c.participation_count = participation_count;
         }
         self.result = result;
+        if stateful_codec {
+            self.codec_residuals = residuals;
+        }
         Ok(())
     }
 
@@ -1298,6 +1449,87 @@ mod tests {
         let full = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 5);
         assert_eq!(resumed.run(&mut sel2, 1).rounds, full.rounds);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identity_codec_is_bit_identical_to_no_codec() {
+        let plain = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 6);
+        let coded = build_sim(6, Availability::AlwaysOn)
+            .with_codec(CodecKind::Identity)
+            .run(&mut FirstK, 6);
+        assert_eq!(plain, coded, "Identity must not perturb the run");
+    }
+
+    #[test]
+    fn int8_codec_shrinks_bytes_and_still_learns() {
+        let mut sim = build_sim(6, Availability::AlwaysOn).with_codec(CodecKind::Int8);
+        let before = sim.evaluate_global();
+        let res = sim.run(&mut FirstK, 15);
+        let after = res.curve.last().unwrap();
+        assert!(
+            after.accuracy > before.accuracy + 0.1,
+            "int8 must still learn: {} -> {}",
+            before.accuracy,
+            after.accuracy
+        );
+        let raw = res.total_payload_bytes_raw();
+        let enc = res.total_payload_bytes_encoded();
+        assert!(raw > 0 && enc > 0);
+        assert!(raw as f64 / enc as f64 >= 3.0, "int8 must be >=3x smaller: {raw} vs {enc}");
+        // the cheaper uplink makes the simulated round strictly faster
+        let plain = build_sim(6, Availability::AlwaysOn).run(&mut FirstK, 1);
+        assert!(res.rounds[0].round_seconds < plain.rounds[0].round_seconds);
+    }
+
+    #[test]
+    fn topk_error_feedback_resumes_bit_identically() {
+        let kind = CodecKind::TopK { keep_permille: 100 };
+        let full = build_sim(6, Availability::AlwaysOn).with_codec(kind).run(&mut FirstK, 8);
+
+        let mut sim = build_sim(6, Availability::AlwaysOn).with_codec(kind);
+        let mut sel = FirstK;
+        for _ in 0..3 {
+            sim.run_round(&mut sel);
+        }
+        let bytes = sim.snapshot(&sel);
+        drop(sim); // "crash"
+
+        let mut resumed = build_sim(6, Availability::AlwaysOn).with_codec(kind);
+        let mut sel2 = FirstK;
+        resumed.restore(&bytes, &mut sel2).unwrap();
+        let rest = resumed.run(&mut sel2, 5);
+        assert_eq!(rest.rounds, full.rounds, "residuals must ride the snapshot");
+        assert_eq!(rest.curve, full.curve);
+    }
+
+    #[test]
+    fn restore_rejects_codec_mismatch() {
+        let mut sim = build_sim(6, Availability::AlwaysOn).with_codec(CodecKind::Int8);
+        let mut sel = FirstK;
+        sim.run_round(&mut sel);
+        let bytes = sim.snapshot(&sel);
+        let mut plain = build_sim(6, Availability::AlwaysOn);
+        assert!(matches!(plain.restore(&bytes, &mut FirstK), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn lossy_runs_charge_codec_bytes_for_lost_updates() {
+        use haccs_sysmodel::FaultSpec;
+        let build = || {
+            build_sim(6, Availability::AlwaysOn)
+                .with_faults(FaultModel::none(5).with(FaultSpec::Lossy { prob: 0.5 }))
+                .with_codec(CodecKind::TopK { keep_permille: 100 })
+        };
+        let r1 = build().run(&mut FirstK, 6);
+        let r2 = build().run(&mut FirstK, 6);
+        assert_eq!(r1, r2, "coded lossy runs must be seed-deterministic");
+        let n_params = build_sim(6, Availability::AlwaysOn).global_params().len();
+        for rec in &r1.rounds {
+            // every trained transmission is charged, delivered or lost
+            let sent = rec.participants.len() + rec.faults.lossy_failures;
+            assert_eq!(rec.faults.payload_bytes_raw, 4 * n_params * sent);
+            assert!(rec.faults.payload_bytes_encoded < rec.faults.payload_bytes_raw / 3);
+        }
     }
 
     #[test]

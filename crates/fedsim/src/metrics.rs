@@ -42,6 +42,15 @@ pub struct FaultStats {
     /// Heartbeat probes that went unanswered this round (unavailable or
     /// departed clients, plus acks lost on the wire).
     pub hb_missed: usize,
+    /// Raw model-update payload bytes clients produced this round
+    /// (4 bytes per parameter per trained transmission, delivered or
+    /// lost on the wire — crashed and deadline-precut clients never
+    /// transmit). Counted whether or not a codec is attached, so a
+    /// codec-free run and an `Identity` run stay byte-identical.
+    pub payload_bytes_raw: usize,
+    /// The same transmissions as charged on the wire: the codec's
+    /// exact encoded size, or the raw size when no codec compresses.
+    pub payload_bytes_encoded: usize,
 }
 
 impl FaultStats {
@@ -69,6 +78,8 @@ impl FaultStats {
         }
         w.put_usize(self.control_bytes);
         w.put_usize(self.hb_missed);
+        w.put_usize(self.payload_bytes_raw);
+        w.put_usize(self.payload_bytes_encoded);
     }
 
     /// Reads back what [`FaultStats::save`] wrote.
@@ -88,6 +99,8 @@ impl FaultStats {
             },
             control_bytes: r.get_usize()?,
             hb_missed: r.get_usize()?,
+            payload_bytes_raw: r.get_usize()?,
+            payload_bytes_encoded: r.get_usize()?,
         })
     }
 }
@@ -235,6 +248,17 @@ impl RunResult {
         self.rounds.iter().map(|r| r.faults.wasted_client_seconds).sum()
     }
 
+    /// Total raw model-update payload bytes across the run.
+    pub fn total_payload_bytes_raw(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.payload_bytes_raw).sum()
+    }
+
+    /// Total encoded (as-charged-on-the-wire) model-update payload bytes
+    /// across the run.
+    pub fn total_payload_bytes_encoded(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.payload_bytes_encoded).sum()
+    }
+
     /// Appends the full run history to a snapshot payload.
     pub fn save(&self, w: &mut SnapshotWriter) {
         w.put_str(&self.strategy);
@@ -360,6 +384,8 @@ mod tests {
                 replacements: vec![3, 4],
                 deadline_s: Some(7.25),
                 wasted_client_seconds: 1.5,
+                payload_bytes_raw: 8848,
+                payload_bytes_encoded: 2262,
                 ..Default::default()
             },
         });

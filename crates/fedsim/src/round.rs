@@ -13,6 +13,7 @@
 use crate::engine::{AggregationPolicy, RoundPolicy};
 use crate::metrics::FaultStats;
 use crate::trainer::TrainConfig;
+use haccs_codec::CodecKind;
 use haccs_sysmodel::{DeviceProfile, FaultModel, LatencyModel};
 use haccs_wire::{
     control_bytes_per_client, ChannelError, FaultyChannel, Message, Transport, TransportError,
@@ -64,6 +65,51 @@ pub fn expected_round_latency(
     let effective = train.effective_examples(n_train);
     latency.round_seconds(profile, effective)
         + latency.bytes_seconds(profile, control_bytes_per_client())
+}
+
+/// [`expected_round_latency`] with a compressed uplink of `up_bits`
+/// model bits. The addition order `(compute + transfer) + control` is
+/// preserved, so with `up_bits == latency.model_bits` this is
+/// bit-identical to the symmetric formula — the `Identity` codec's
+/// latency trace never deviates from the uncompressed one.
+pub fn expected_round_latency_coded(
+    latency: &LatencyModel,
+    profile: &DeviceProfile,
+    train: &TrainConfig,
+    n_train: usize,
+    up_bits: f64,
+) -> f64 {
+    let effective = train.effective_examples(n_train);
+    latency.round_seconds_split(profile, effective, up_bits)
+        + latency.bytes_seconds(profile, control_bytes_per_client())
+}
+
+/// Uplink bits the latency model charges for one trained update under
+/// `codec`. `Identity` (and no codec at all) charges the model's own
+/// `model_bits` — *not* `8 × encoded_len` — because `LatencyModel` may
+/// be calibrated to a different nominal size than the concrete
+/// parameter vector (the default is sized for a 62k-param LeNet while
+/// the demo model has 2212 params); anything else would silently move
+/// every pre-codec latency trace. Compressing codecs charge the exact
+/// encoded payload size, a pure function of `n_params`, so both ends
+/// of a lossy link price even a *lost* update identically.
+pub fn uplink_bits(latency: &LatencyModel, codec: Option<CodecKind>, n_params: usize) -> f64 {
+    match codec {
+        None | Some(CodecKind::Identity) => latency.model_bits,
+        Some(kind) => 8.0 * kind.encoded_len(n_params) as f64,
+    }
+}
+
+/// Model-update payload bytes one trained transmission puts on the
+/// uplink under `codec` — the raw `f32` vector for `Identity`/no codec
+/// (that is what the plain `ModelUpdate` frame carries), the exact
+/// encoded payload otherwise. Pure in `n_params`, so drivers charge a
+/// *lost* update exactly like a delivered one.
+pub fn payload_encoded_bytes(codec: Option<CodecKind>, n_params: usize) -> usize {
+    match codec {
+        None | Some(CodecKind::Identity) => 4 * n_params,
+        Some(kind) => kind.encoded_len(n_params),
+    }
 }
 
 /// Deadline placement: the `q`-quantile (nearest-rank) of the expected
@@ -333,6 +379,27 @@ mod tests {
         assert_eq!(local_train_seed(5, 0, 3), 5 ^ 0x9E37_79B9 ^ 4u64.wrapping_mul(0x85EB_CA6B));
         assert_ne!(update_stream_id(0, 1), update_stream_id(1, 0));
         assert_eq!(hb_stream_id(2, 7), update_stream_id(2, 7) ^ HB_STREAM_SALT);
+    }
+
+    #[test]
+    fn coded_latency_matches_symmetric_for_identity() {
+        let latency = LatencyModel::default();
+        use rand::SeedableRng;
+        let profile = DeviceProfile::sample_many(3, &mut rand::rngs::StdRng::seed_from_u64(2))[1];
+        let train = TrainConfig::default();
+        let plain = expected_round_latency(&latency, &profile, &train, 87);
+        for codec in [None, Some(CodecKind::Identity)] {
+            let bits = uplink_bits(&latency, codec, 2212);
+            let coded = expected_round_latency_coded(&latency, &profile, &train, 87, bits);
+            assert_eq!(plain.to_bits(), coded.to_bits());
+        }
+        // compressing codecs charge strictly less
+        let int8 = uplink_bits(&latency, Some(CodecKind::Int8), 62_000);
+        assert!(int8 < latency.model_bits / 3.0);
+        assert!(
+            expected_round_latency_coded(&latency, &profile, &train, 87, int8) < plain,
+            "compressed uplink must shorten the round"
+        );
     }
 
     #[test]

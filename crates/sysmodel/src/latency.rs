@@ -39,9 +39,31 @@ impl LatencyModel {
         2.0 * self.model_bits / bits_per_second + device.rtt_ms / 1e3
     }
 
+    /// Transfer time with an asymmetric uplink: the full model still
+    /// comes down, but only `up_bits` go back (a compressed update).
+    /// With `up_bits == model_bits` this is bit-identical to
+    /// [`LatencyModel::transfer_seconds`] — IEEE f64 guarantees
+    /// `(m + m)/b == 2.0*m/b` — which is how the `Identity` codec
+    /// reproduces the uncompressed latency trace exactly.
+    pub fn transfer_seconds_split(&self, device: &DeviceProfile, up_bits: f64) -> f64 {
+        let bits_per_second = device.bandwidth_mbps * 1e6;
+        (self.model_bits + up_bits) / bits_per_second + device.rtt_ms / 1e3
+    }
+
     /// Total §IV-D latency: transfer + compute.
     pub fn round_seconds(&self, device: &DeviceProfile, n_examples: usize) -> f64 {
         self.compute_seconds(device, n_examples) + self.transfer_seconds(device)
+    }
+
+    /// [`LatencyModel::round_seconds`] with a compressed uplink — see
+    /// [`LatencyModel::transfer_seconds_split`].
+    pub fn round_seconds_split(
+        &self,
+        device: &DeviceProfile,
+        n_examples: usize,
+        up_bits: f64,
+    ) -> f64 {
+        self.compute_seconds(device, n_examples) + self.transfer_seconds_split(device, up_bits)
     }
 
     /// Transfer time for `bytes` of arbitrary payload (control frames,
@@ -106,6 +128,21 @@ mod tests {
         let m3 = LatencyModel { local_epochs: 3, ..m1 };
         let d = device(1.0, 100.0, 0.0);
         assert!((m3.compute_seconds(&d, 10) - 3.0 * m1.compute_seconds(&d, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_uplink_matches_symmetric_transfer_bitwise() {
+        let m = LatencyModel::default();
+        let d = device(1.7, 13.3, 47.0);
+        let sym = m.transfer_seconds(&d);
+        let split = m.transfer_seconds_split(&d, m.model_bits);
+        assert_eq!(sym.to_bits(), split.to_bits());
+        assert_eq!(
+            m.round_seconds(&d, 123).to_bits(),
+            m.round_seconds_split(&d, 123, m.model_bits).to_bits()
+        );
+        // a smaller uplink is strictly cheaper
+        assert!(m.transfer_seconds_split(&d, m.model_bits / 4.0) < sym);
     }
 
     #[test]

@@ -26,11 +26,14 @@
 
 use std::io::{Read, Write};
 
-/// Upper bound on one frame's payload. Matches the codec's own
+/// Default upper bound on one frame's payload. Matches the codec's own
 /// per-vector sanity bound ([`crate::Message::decode`] rejects anything
 /// claiming more): a 64 MiB frame comfortably holds the largest
 /// `ModelPush`/`ModelUpdate` this workspace produces, while a garbage
 /// length prefix (say `0xFFFF_FFFF`) is rejected without allocating.
+/// Transports can tighten or relax the bound per connection via
+/// [`read_frame_limited`] / [`write_frame_limited`] (the
+/// `TcpConfig::max_frame_bytes` builder field).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
 /// Bytes of framing overhead per frame (the `u32` length prefix).
@@ -43,7 +46,8 @@ pub enum FrameError {
     Closed,
     /// The stream ended mid-header or mid-payload — torn connection.
     Truncated,
-    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    /// The length prefix exceeded the connection's frame bound
+    /// ([`MAX_FRAME_BYTES`] unless a transport configured its own).
     TooLarge(u32),
     /// An I/O error from the underlying stream (timeouts included).
     Io(std::io::ErrorKind),
@@ -55,7 +59,7 @@ impl std::fmt::Display for FrameError {
             FrameError::Closed => write!(f, "stream closed at a frame boundary"),
             FrameError::Truncated => write!(f, "stream ended mid-frame"),
             FrameError::TooLarge(n) => {
-                write!(f, "frame length {n} exceeds the {MAX_FRAME_BYTES}-byte bound")
+                write!(f, "frame length {n} exceeds the configured frame bound")
             }
             FrameError::Io(kind) => write!(f, "frame i/o error: {kind:?}"),
         }
@@ -75,7 +79,17 @@ impl From<std::io::Error> for FrameError {
 /// receiver would drop the connection anyway, so never put them on the
 /// wire.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
-    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+    write_frame_limited(w, payload, MAX_FRAME_BYTES)
+}
+
+/// [`write_frame`] with a caller-chosen payload bound instead of the
+/// default 64 MiB.
+pub fn write_frame_limited<W: Write>(
+    w: &mut W,
+    payload: &[u8],
+    max_bytes: u32,
+) -> Result<(), FrameError> {
+    if payload.len() as u64 > max_bytes as u64 {
         return Err(FrameError::TooLarge(payload.len().min(u32::MAX as usize) as u32));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -108,10 +122,17 @@ fn read_exact_or(
 /// Reads one frame, returning its payload. See the module docs for the
 /// EOF/size rules.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    read_frame_limited(r, MAX_FRAME_BYTES)
+}
+
+/// [`read_frame`] with a caller-chosen payload bound instead of the
+/// default 64 MiB. A length prefix above `max_bytes` is rejected
+/// *before* any allocation is sized from it.
+pub fn read_frame_limited<R: Read>(r: &mut R, max_bytes: u32) -> Result<Vec<u8>, FrameError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     read_exact_or(r, &mut header, FrameError::Closed)?;
     let len = u32::from_le_bytes(header);
-    if len > MAX_FRAME_BYTES {
+    if len > max_bytes {
         return Err(FrameError::TooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
@@ -174,6 +195,24 @@ mod tests {
         // don't materialize >64MiB: lie about the length via a zero-page vec
         let huge = vec![0u8; MAX_FRAME_BYTES as usize + 1];
         assert!(matches!(write_frame(&mut NullSink, &huge), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn custom_limit_is_enforced_both_directions() {
+        // a frame legal at the default bound is rejected by a tighter one
+        let payload = vec![3u8; 100];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = Cursor::new(buf.clone());
+        assert_eq!(read_frame_limited(&mut r, 64), Err(FrameError::TooLarge(100)));
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame_limited(&mut r, 100).unwrap(), payload);
+        // and the writer refuses to put it on the wire at all
+        let mut out = Vec::new();
+        assert_eq!(write_frame_limited(&mut out, &payload, 64), Err(FrameError::TooLarge(100)));
+        assert!(out.is_empty(), "nothing written after a rejected frame");
+        write_frame_limited(&mut out, &payload, 100).unwrap();
+        assert_eq!(out.len(), FRAME_HEADER_BYTES + payload.len());
     }
 
     #[test]

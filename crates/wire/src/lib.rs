@@ -37,9 +37,13 @@ pub mod frame;
 pub mod transport;
 
 pub use channel::{ChannelError, Delivery, FaultyChannel};
-pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES};
+pub use frame::{
+    read_frame, read_frame_limited, write_frame, write_frame_limited, FrameError,
+    FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
 pub use transport::{
-    Envelope, TcpConfig, TcpTransport, TransmitOutcome, Transport, TransportError,
+    auth_token_digest, constant_time_eq, Envelope, TcpConfig, TcpTransport, TransmitOutcome,
+    Transport, TransportError,
 };
 
 /// A data summary on the wire: one or more histograms plus an optional
@@ -130,6 +134,24 @@ pub enum Message {
         /// Round during which the client departed.
         round: u64,
     },
+    /// Client → server: a *compressed* trained update. `codec` is the
+    /// `haccs_codec::CodecKind` tag that produced `payload`; the server
+    /// decodes it against the global model it pushed this round. The
+    /// uncompressed `Identity` path keeps sending plain
+    /// [`Message::ModelUpdate`] frames, so this tag only appears when a
+    /// codec is actually shrinking the uplink.
+    ModelUpdateEnc {
+        /// Round number.
+        round: u64,
+        /// Codec kind tag (see `haccs_codec::CodecKind::tag`).
+        codec: u8,
+        /// The codec's versioned, checksummed payload.
+        payload: Vec<u8>,
+        /// Mean local training loss (the scheduling signal).
+        loss: f32,
+        /// Local sample count (the FedAvg weight).
+        n_train: u32,
+    },
     /// Server → client, after a crash-resume: the restored round cursor
     /// and the loss this client last reported before the snapshot. A
     /// remote client that survived the coordinator outage echoes
@@ -178,6 +200,7 @@ const TAG_SUMMARY_UPDATE: u8 = 0x05;
 const TAG_HEARTBEAT: u8 = 0x06;
 const TAG_LEAVE: u8 = 0x07;
 const TAG_RESUME_SYNC: u8 = 0x08;
+const TAG_MODEL_UPDATE_ENC: u8 = 0x09;
 
 fn put_f32s(buf: &mut BytesMut, v: &[f32]) {
     buf.put_u32_le(v.len() as u32);
@@ -198,6 +221,25 @@ fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+fn put_bytes(buf: &mut BytesMut, v: &[u8]) {
+    buf.put_u32_le(v.len() as u32);
+    buf.put_slice(v);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32_le() as u64;
+    if n > MAX_LEN {
+        return Err(DecodeError::LengthOutOfBounds(n));
+    }
+    if (buf.remaining() as u64) < n {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.copy_bytes(n as usize).to_vec())
 }
 
 fn put_summary(buf: &mut BytesMut, s: &WireSummary) {
@@ -249,6 +291,14 @@ impl Message {
                 buf.put_u8(TAG_MODEL_UPDATE);
                 buf.put_u64_le(*round);
                 put_f32s(&mut buf, params);
+                buf.put_f32_le(*loss);
+                buf.put_u32_le(*n_train);
+            }
+            Message::ModelUpdateEnc { round, codec, payload, loss, n_train } => {
+                buf.put_u8(TAG_MODEL_UPDATE_ENC);
+                buf.put_u64_le(*round);
+                buf.put_u8(*codec);
+                put_bytes(&mut buf, payload);
                 buf.put_f32_le(*loss);
                 buf.put_u32_le(*n_train);
             }
@@ -330,6 +380,16 @@ impl Message {
                 let n_train = buf.get_u32_le();
                 Ok(Message::ModelUpdate { round, params, loss, n_train })
             }
+            TAG_MODEL_UPDATE_ENC => {
+                need(&buf, 9)?;
+                let round = buf.get_u64_le();
+                let codec = buf.get_u8();
+                let payload = get_bytes(&mut buf)?;
+                need(&buf, 8)?;
+                let loss = buf.get_f32_le();
+                let n_train = buf.get_u32_le();
+                Ok(Message::ModelUpdateEnc { round, codec, payload, loss, n_train })
+            }
             TAG_SUMMARY_UPDATE => {
                 need(&buf, 8)?;
                 let client_nonce = buf.get_u64_le();
@@ -368,6 +428,7 @@ impl Message {
             Message::Schedule { .. } => 1 + 16,
             Message::ModelPush { params, .. } => 1 + 8 + 4 + 4 * params.len(),
             Message::ModelUpdate { params, .. } => 1 + 8 + 4 + 4 * params.len() + 8,
+            Message::ModelUpdateEnc { payload, .. } => 1 + 8 + 1 + 4 + payload.len() + 8,
             Message::SummaryUpdate { summary, .. } => 1 + 8 + summary_size(summary),
             Message::Heartbeat { .. } => 1 + 8 + 8 + 4,
             Message::Leave { .. } => 1 + 8 + 8,
@@ -430,6 +491,13 @@ mod tests {
                 loss: 1.23,
                 n_train: 230,
             },
+            Message::ModelUpdateEnc {
+                round: 7,
+                codec: 1,
+                payload: vec![0xAB; 37],
+                loss: 1.23,
+                n_train: 230,
+            },
             Message::SummaryUpdate { client_nonce: 42, summary: sample_summary() },
             Message::Heartbeat { client_nonce: 42, round: 7, last_loss: 0.88 },
             Message::Leave { client_nonce: 42, round: 7 },
@@ -468,6 +536,30 @@ mod tests {
         buf.put_u32_le(u32::MAX);
         let out = Message::decode(buf.freeze());
         assert!(matches!(out, Err(DecodeError::LengthOutOfBounds(_))), "{out:?}");
+        // same for an encoded update claiming a 4 GiB payload
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_MODEL_UPDATE_ENC);
+        buf.put_u64_le(0);
+        buf.put_u8(1);
+        buf.put_u32_le(u32::MAX);
+        let out = Message::decode(buf.freeze());
+        assert!(matches!(out, Err(DecodeError::LengthOutOfBounds(_))), "{out:?}");
+    }
+
+    #[test]
+    fn truncated_encoded_update_errors_cleanly() {
+        let m = Message::ModelUpdateEnc {
+            round: 3,
+            codec: 2,
+            payload: vec![7u8; 24],
+            loss: 0.5,
+            n_train: 11,
+        };
+        let frame = m.encode();
+        for cut in [1usize, 9, 10, 14, frame.len() - 1] {
+            let out = Message::decode(frame.slice(0..cut));
+            assert!(matches!(out, Err(DecodeError::Truncated)), "cut at {cut} gave {out:?}");
+        }
     }
 
     #[test]

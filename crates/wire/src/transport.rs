@@ -20,7 +20,9 @@
 //! is what a coordinator drains from clients regardless of carrier.
 
 use crate::channel::{ChannelError, Delivery, FaultyChannel};
-use crate::frame::{read_frame, write_frame, FrameError, FRAME_HEADER_BYTES};
+use crate::frame::{
+    read_frame_limited, write_frame_limited, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
 use crate::{DecodeError, Message};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
@@ -230,6 +232,15 @@ pub struct TcpConfig {
     pub read_timeout: Option<Duration>,
     /// Socket write deadline (`None` = block forever).
     pub write_timeout: Option<Duration>,
+    /// Per-connection frame payload bound. Defaults to the crate-wide
+    /// [`MAX_FRAME_BYTES`]; deployments moving small compressed updates
+    /// can tighten it so a garbage length prefix is rejected earlier.
+    pub max_frame_bytes: u32,
+    /// Shared-secret peer authentication. When set, a dialing client
+    /// sends this digest as its very first frame and the listener
+    /// drops any connection whose preamble does not match (compared in
+    /// constant time). `None` disables the preamble entirely.
+    pub auth_token: Option<[u8; 32]>,
 }
 
 impl Default for TcpConfig {
@@ -240,8 +251,51 @@ impl Default for TcpConfig {
             connect_backoff_cap: Duration::from_secs(2),
             read_timeout: Some(Duration::from_secs(120)),
             write_timeout: Some(Duration::from_secs(30)),
+            max_frame_bytes: MAX_FRAME_BYTES,
+            auth_token: None,
         }
     }
+}
+
+/// Digests a shared-secret token string into the 32-byte preamble
+/// stored in [`TcpConfig::auth_token`]. Both ends derive it from the
+/// same `--auth-token` flag, so the cleartext secret never crosses the
+/// wire. This is a salted FNV construction — enough to keep strangers
+/// and misconfigured peers off a listener, **not** a cryptographic MAC;
+/// see the deployment notes in the README before leaving localhost.
+pub fn auth_token_digest(token: &str) -> [u8; 32] {
+    fn fnv1a64_salted(salt: u64, bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // one finalization round so related salts do not yield related
+        // lanes (splitmix64 mixer)
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+    let mut out = [0u8; 32];
+    for lane in 0..4 {
+        let h = fnv1a64_salted(0x48AC_C5AE_0000_0000 | lane as u64, token.as_bytes());
+        out[lane * 8..(lane + 1) * 8].copy_from_slice(&h.to_le_bytes());
+    }
+    out
+}
+
+/// Constant-time equality for authentication preambles: every byte is
+/// inspected regardless of where the first mismatch sits, so response
+/// timing leaks nothing about how much of a guess was right.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 /// A framed, message-oriented wrapper over one [`TcpStream`]. Send and
@@ -253,6 +307,7 @@ impl Default for TcpConfig {
 pub struct TcpTransport {
     stream: Mutex<TcpStream>,
     peer: SocketAddr,
+    max_frame_bytes: u32,
 }
 
 impl TcpTransport {
@@ -287,7 +342,7 @@ impl TcpTransport {
         stream.set_write_timeout(cfg.write_timeout).map_err(FrameError::from)?;
         stream.set_nodelay(true).map_err(FrameError::from)?;
         let peer = stream.peer_addr().map_err(FrameError::from)?;
-        Ok(TcpTransport { stream: Mutex::new(stream), peer })
+        Ok(TcpTransport { stream: Mutex::new(stream), peer, max_frame_bytes: cfg.max_frame_bytes })
     }
 
     /// The remote endpoint.
@@ -306,14 +361,14 @@ impl TcpTransport {
     pub fn send(&self, msg: &Message) -> Result<usize, TransportError> {
         let frame = msg.encode();
         let mut guard = self.stream.lock().expect("tcp stream lock poisoned");
-        write_frame(&mut *guard, &frame)?;
+        write_frame_limited(&mut *guard, &frame, self.max_frame_bytes)?;
         Ok(FRAME_HEADER_BYTES + frame.len())
     }
 
     /// Receives one framed message (blocking up to the read deadline).
     pub fn recv(&self) -> Result<Message, TransportError> {
         let mut guard = self.stream.lock().expect("tcp stream lock poisoned");
-        let payload = read_frame(&mut *guard)?;
+        let payload = read_frame_limited(&mut *guard, self.max_frame_bytes)?;
         Ok(Message::decode(Bytes::from(payload))?)
     }
 
@@ -418,6 +473,39 @@ mod tests {
         assert_eq!(t.recv().unwrap(), update());
         assert_eq!(Transport::kind(&t), "tcp");
         echo.join().unwrap();
+    }
+
+    #[test]
+    fn configured_frame_bound_rejects_big_messages() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tight = TcpConfig { max_frame_bytes: 32, ..TcpConfig::default() };
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let t = TcpTransport::from_stream(stream, &TcpConfig::default()).unwrap();
+            // the big frame never arrives; the small one does
+            t.recv()
+        });
+        let t = TcpTransport::connect(addr, &tight).unwrap();
+        let big = Message::ModelPush { round: 0, params: vec![0.0; 100] };
+        assert!(matches!(t.send(&big), Err(TransportError::Frame(FrameError::TooLarge(_)))));
+        let small = Message::Schedule { round: 1, client_nonce: 2 };
+        t.send(&small).unwrap();
+        assert_eq!(server.join().unwrap().unwrap(), small);
+    }
+
+    #[test]
+    fn auth_digest_is_stable_and_comparisons_are_exact() {
+        let a = auth_token_digest("concave-hull");
+        let b = auth_token_digest("concave-hull");
+        let c = auth_token_digest("concave-hulk");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(constant_time_eq(&a, &b));
+        assert!(!constant_time_eq(&a, &c));
+        assert!(!constant_time_eq(&a, &a[..16]));
+        // the four lanes must not repeat each other
+        assert_ne!(a[0..8], a[8..16]);
     }
 
     #[test]

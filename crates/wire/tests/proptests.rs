@@ -256,3 +256,138 @@ proptest! {
         }
     }
 }
+
+// --- model-update codec properties -------------------------------------
+//
+// The codecs live in `haccs-codec`, but their payloads travel inside
+// `Message::ModelUpdateEnc` frames, so the wire suite owns the adversarial
+// round-trip properties: lossless identity, bounded int8 error, and typed
+// errors (never panics) on truncated or corrupted payloads.
+
+use haccs_codec::{CodecKind, Identity as IdCodec, Int8Quant, UpdateCodec};
+
+fn arb_codec_kind() -> impl Strategy<Value = CodecKind> {
+    prop_oneof![
+        Just(CodecKind::Identity),
+        Just(CodecKind::Int8),
+        (1u32..=1000).prop_map(|p| CodecKind::TopK { keep_permille: p }),
+    ]
+}
+
+proptest! {
+    /// Identity is a bit-pattern passthrough: every `u32` bit pattern —
+    /// NaNs, infinities, subnormals — survives encode→decode exactly.
+    #[test]
+    fn identity_codec_roundtrip_is_bit_exact(
+        bits in proptest::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let params: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let reference = vec![0.0f32; params.len()];
+        let enc = IdCodec.encode(&params, &reference, None);
+        prop_assert_eq!(enc.len(), IdCodec.encoded_len(params.len()));
+        let dec = IdCodec.decode(&enc, &reference).unwrap();
+        prop_assert_eq!(dec.len(), params.len());
+        for (a, b) in dec.iter().zip(params.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Int8 round-trips every finite value to within half a quantization
+    /// step of its block (scale = blockwise max|x| / 127).
+    #[test]
+    fn int8_codec_error_is_within_the_quantization_bound(
+        params in proptest::collection::vec(-100.0f32..100.0, 1..600),
+    ) {
+        let reference = vec![0.0f32; params.len()];
+        let enc = Int8Quant.encode(&params, &reference, None);
+        prop_assert_eq!(enc.len(), Int8Quant.encoded_len(params.len()));
+        let dec = Int8Quant.decode(&enc, &reference).unwrap();
+        for (block, out) in params.chunks(Int8Quant::BLOCK).zip(dec.chunks(Int8Quant::BLOCK)) {
+            let amax = block.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            let bound = Int8Quant::max_abs_error(amax / 127.0) + 1e-5 * amax.max(1.0);
+            for (a, b) in block.iter().zip(out.iter()) {
+                prop_assert!((a - b).abs() <= bound, "{} vs {} exceeds {}", a, b, bound);
+            }
+        }
+    }
+
+    /// Top-k decode touches at most k coordinates; the rest are the
+    /// shared reference, bit for bit. The payload length is the exact
+    /// `encoded_len` the latency model charges.
+    #[test]
+    fn topk_codec_perturbs_at_most_k_coordinates(
+        params in proptest::collection::vec(-10.0f32..10.0, 1..300),
+        keep_permille in 1u32..=1000,
+    ) {
+        let kind = CodecKind::TopK { keep_permille };
+        let codec = kind.build();
+        let reference = vec![0.5f32; params.len()];
+        let enc = codec.encode(&params, &reference, None);
+        prop_assert_eq!(enc.len(), codec.encoded_len(params.len()));
+        let dec = codec.decode(&enc, &reference).unwrap();
+        let changed = dec
+            .iter()
+            .zip(reference.iter())
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        let k = kind.encoded_len(params.len()) - haccs_codec::OVERHEAD_BYTES;
+        prop_assert!(changed <= k / 8, "{} coords changed, k = {}", changed, k / 8);
+    }
+
+    /// Truncating a valid payload anywhere yields a typed error from
+    /// every decoder — never a panic, never silent garbage.
+    #[test]
+    fn truncated_codec_payloads_return_typed_errors(
+        kind in arb_codec_kind(),
+        params in proptest::collection::vec(-10.0f32..10.0, 1..128),
+        frac in 0.0f64..1.0,
+    ) {
+        let codec = kind.build();
+        let reference = vec![0.0f32; params.len()];
+        let mut residual = vec![0.0f32; params.len()];
+        let enc = if codec.stateful() {
+            codec.encode(&params, &reference, Some(&mut residual))
+        } else {
+            codec.encode(&params, &reference, None)
+        };
+        let cut = ((enc.len() as f64) * frac) as usize;
+        if cut < enc.len() {
+            prop_assert!(codec.decode(&enc[..cut], &reference).is_err());
+        }
+    }
+
+    /// Single-byte corruption anywhere in the payload is always caught
+    /// (the FNV-1a trailer covers header and body; flipping the trailer
+    /// itself breaks the comparison).
+    #[test]
+    fn corrupted_codec_payloads_return_typed_errors(
+        kind in arb_codec_kind(),
+        params in proptest::collection::vec(-10.0f32..10.0, 1..128),
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let codec = kind.build();
+        let reference = vec![0.0f32; params.len()];
+        let mut residual = vec![0.0f32; params.len()];
+        let mut enc = if codec.stateful() {
+            codec.encode(&params, &reference, Some(&mut residual))
+        } else {
+            codec.encode(&params, &reference, None)
+        };
+        let pos = ((enc.len() as f64) * pos_frac) as usize % enc.len();
+        enc[pos] ^= mask;
+        prop_assert!(codec.decode(&enc, &reference).is_err());
+    }
+
+    /// Arbitrary garbage bytes never panic a decoder.
+    #[test]
+    fn garbage_codec_payloads_never_panic(
+        kind in arb_codec_kind(),
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+        ref_len in 0usize..64,
+    ) {
+        let codec = kind.build();
+        let reference = vec![0.0f32; ref_len];
+        prop_assert!(codec.decode(&junk, &reference).is_err());
+    }
+}

@@ -66,6 +66,7 @@
 
 pub use haccs_baselines as baselines;
 pub use haccs_cluster as cluster;
+pub use haccs_codec as codec;
 pub use haccs_coord as coord;
 pub use haccs_core as scheduler;
 pub use haccs_data as data;
@@ -84,6 +85,7 @@ pub mod prelude {
     pub use haccs_baselines::{OortSelector, RandomSelector, TiflSelector};
     pub use haccs_cluster::Clustering;
     pub use haccs_cluster::WarmOptics;
+    pub use haccs_codec::{CodecKind, Identity, Int8Quant, TopKDelta, UpdateCodec};
     pub use haccs_coord::{Coordinator, Liveness, RoundPhase};
     pub use haccs_core::{
         build_clusters, engine_add_client, engine_replace_client_data, summarize_federation,

@@ -1,0 +1,89 @@
+//! TTA-neutrality: compressing the uplink must not cost model quality.
+//!
+//! * `Identity` is pinned **bit-identical** to the codec-free path — same
+//!   `RoundRecord` history, same curve, same byte accounting. An identity
+//!   run is indistinguishable from a run predating `haccs-codec`.
+//! * `Int8Quant` and `TopKDelta` are lossy, so exact equality is off the
+//!   table; instead the final accuracy must stay within a small tolerance
+//!   of the uncompressed run while the *simulated* wall-clock shrinks —
+//!   compression that slowed time-to-accuracy down would be pointless.
+
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 10;
+const SEED: u64 = 23;
+const ACC_TOLERANCE: f32 = 0.10;
+
+fn build_sim() -> FedSim {
+    let gen = SynthVision::mnist_like(4, 8, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let specs = partition::majority_noise(10, 4, &[0.75, 0.25], (40, 60), 12, &mut rng);
+    let fed = FederatedDataset::materialize(&gen, &specs, SEED);
+    let profiles = DeviceProfile::sample_many(fed.n_clients(), &mut rng);
+    let factory: ModelFactory =
+        Box::new(|| haccs::nn::mlp(64, &[32], 4, &mut StdRng::seed_from_u64(7)));
+    let n_params = factory().param_count();
+    FedSim::new(
+        factory,
+        fed,
+        profiles,
+        // transfer sized to the real model so uplink compression moves
+        // the latency needle instead of disappearing into a constant
+        LatencyModel::for_params(n_params, 2e-3, 1),
+        Availability::AlwaysOn,
+        SimConfig { k: 4, seed: SEED, ..Default::default() },
+    )
+}
+
+fn run_with(codec: Option<CodecKind>) -> RunResult {
+    let mut sim = build_sim();
+    if let Some(kind) = codec {
+        sim = sim.with_codec(kind);
+    }
+    let mut selector =
+        HaccsSelector::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]], 0.5, "P(y)");
+    sim.run(&mut selector, ROUNDS)
+}
+
+#[test]
+fn identity_codec_is_bit_identical_to_the_pre_codec_path() {
+    let plain = run_with(None);
+    let identity = run_with(Some(CodecKind::Identity));
+    assert_eq!(plain, identity, "identity framing must cost nothing, bit for bit");
+    assert_eq!(
+        plain.total_payload_bytes_encoded(),
+        plain.total_payload_bytes_raw(),
+        "the codec-free path charges raw bytes"
+    );
+}
+
+#[test]
+fn lossy_codecs_keep_final_accuracy_within_tolerance() {
+    let plain = run_with(None);
+    let base_acc = plain.curve.last().expect("eval points").accuracy;
+    // 4 balanced classes → chance is 0.25; the short run must clear it
+    assert!(base_acc > 0.4, "baseline must actually learn (got {base_acc})");
+
+    for kind in [CodecKind::Int8, CodecKind::TopK { keep_permille: 100 }] {
+        let coded = run_with(Some(kind));
+        let acc = coded.curve.last().expect("eval points").accuracy;
+        assert!(
+            (acc - base_acc).abs() <= ACC_TOLERANCE,
+            "{kind}: final accuracy {acc} drifted beyond {ACC_TOLERANCE} of baseline {base_acc}"
+        );
+        // the whole point: fewer bytes, faster simulated rounds
+        let raw = coded.total_payload_bytes_raw();
+        let enc = coded.total_payload_bytes_encoded();
+        assert!(enc * 3 <= raw, "{kind}: expected >=3x byte reduction, raw={raw} enc={enc}");
+        assert!(
+            coded.total_time() < plain.total_time(),
+            "{kind}: compressed run must finish sooner in simulated time \
+             ({} vs {})",
+            coded.total_time(),
+            plain.total_time()
+        );
+    }
+}

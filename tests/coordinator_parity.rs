@@ -99,6 +99,33 @@ fn same_seed_coordinator_runs_are_bit_identical_determinism() {
     assert_eq!(a, b);
 }
 
+/// Parity extends to compressed updates: the engine quantizes/dequantizes
+/// inline against its pre-FedAvg global, the coordinator's agents encode
+/// against the round's pushed global (the same vector) — so the decoded
+/// updates, the FedAvg result, the shrunken uplink latencies and the
+/// payload-byte counters must all agree bit for bit.
+#[test]
+fn int8_codec_parity_with_engine() {
+    let (fed, profiles, mut sel) = build_world();
+    let mut sim = FedSim::new(
+        factory(),
+        fed,
+        profiles,
+        LatencyModel::for_params(10_000, 2e-3, 1),
+        Availability::AlwaysOn,
+        cfg(),
+    )
+    .with_faults(FaultModel::none(SEED))
+    .with_codec(CodecKind::Int8);
+    let engine = sim.run(&mut sel, ROUNDS);
+    let coord = coordinator(FaultModel::none(SEED)).with_codec(CodecKind::Int8).run(ROUNDS);
+    assert_eq!(engine, coord);
+    // and the codec actually did something: encoded bytes well under raw
+    let raw = engine.total_payload_bytes_raw();
+    let enc = engine.total_payload_bytes_encoded();
+    assert!(enc * 3 <= raw, "int8 should compress >=3x: raw={raw} enc={enc}");
+}
+
 /// Parity also holds under wire loss and stragglers: the channel outcomes
 /// are content-independent hashes shared with the engine's analytic model.
 /// Liveness suspicion is disabled (thresholds pushed out of reach) because

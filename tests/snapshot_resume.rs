@@ -163,6 +163,59 @@ fn on_disk_snapshot_policy_round_trips() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Stateful-codec soak: `TopKDelta`'s per-client error-feedback residuals
+/// ride in the snapshot, so a killed engine resumes bit-identically even
+/// though every encode after the restore depends on the accumulated
+/// residual history — under active faults and a stateful selector.
+#[test]
+fn topk_error_feedback_survives_kill_and_resume() {
+    let seed = 11;
+    let kind = CodecKind::TopK { keep_permille: 100 };
+    let faults = active_faults(seed);
+    let a = {
+        let mut sim = build_sim(seed).with_faults(faults).with_codec(kind);
+        let mut selector = make_selector("haccs");
+        sim.run(&mut *selector, ROUNDS)
+    };
+    for snap_epoch in [1, 3, ROUNDS - 1] {
+        let bytes = {
+            let mut sim = build_sim(seed).with_faults(faults).with_codec(kind);
+            let mut selector = make_selector("haccs");
+            for _ in 0..snap_epoch {
+                sim.run_round(&mut *selector);
+            }
+            sim.snapshot(&*selector)
+        }; // the "crash": residuals now live only in the snapshot bytes
+        let mut sim = build_sim(seed).with_faults(faults).with_codec(kind);
+        let mut selector = make_selector("haccs");
+        sim.restore(&bytes, &mut *selector).expect("topk snapshot must restore");
+        let b = sim.run(&mut *selector, ROUNDS - snap_epoch);
+        assert_eq!(a, b, "topk resumed at round {snap_epoch} must be bit-identical");
+    }
+}
+
+/// Snapshots record which codec produced them; restoring into an engine
+/// configured with a different codec (or none) is a typed error — the
+/// residual state would be meaningless under another codec's framing.
+#[test]
+fn restore_rejects_codec_mismatch() {
+    let bytes = {
+        let mut sim = build_sim(5).with_codec(CodecKind::Int8);
+        let mut selector = make_selector("random");
+        sim.run_round(&mut *selector);
+        sim.snapshot(&*selector)
+    };
+    let mut plain = build_sim(5);
+    let mut s = make_selector("random");
+    assert!(plain.restore(&bytes, &mut *s).is_err(), "codec-free engine must reject int8 snapshot");
+    let mut topk = build_sim(5).with_codec(CodecKind::TopK { keep_permille: 100 });
+    let mut s = make_selector("random");
+    assert!(topk.restore(&bytes, &mut *s).is_err(), "topk engine must reject int8 snapshot");
+    let mut int8 = build_sim(5).with_codec(CodecKind::Int8);
+    let mut s = make_selector("random");
+    int8.restore(&bytes, &mut *s).expect("matching codec must restore");
+}
+
 #[test]
 fn restore_rejects_corrupt_and_mismatched_snapshots() {
     let mut sim = build_sim(5);
