@@ -1,0 +1,388 @@
+//! `scale-bench`: the sharded event-loop coordinator under a 1k → 10k →
+//! 100k client size sweep, emitted as schema'd JSON
+//! (`haccs-scale-bench/v1`) into `results/BENCH_SCALE.json`.
+//!
+//! ```text
+//! scale-bench [--tiers N,N,..] [--rounds R] [--k K] [--seed S] [--out FILE]
+//! scale-bench --check FILE
+//! ```
+//!
+//! Per tier the sweep reports:
+//!
+//! * **round latency** — wall-clock per `run_round` (p50/p90/p99/mean)
+//!   plus the enrollment-inclusive first round, and the simulated
+//!   round seconds for scale,
+//! * **events/sec** — envelopes drained through the deterministic event
+//!   queue per wall second (read back from the
+//!   `coord_shard_queue_depth` histogram the coordinator feeds, plus
+//!   the 2·n enrollment round-trips),
+//! * **peak RSS** — `VmHWM` from `/proc/self/status`,
+//! * **OS thread count** — `Threads:` sampled mid-run. The whole point
+//!   of the sharded core: the pool is sized by `ShardConfig::default()`
+//!   (≤ 8 workers), so this number must NOT grow with n. The validator
+//!   rejects reports where it does.
+//!
+//! `--check FILE` parses an existing report and validates the schema —
+//! CI's `scale-smoke` job runs the 1k tier and then this validator.
+
+use haccs_baselines::RandomSelector;
+use haccs_coord::{Coordinator, ShardConfig};
+use haccs_data::{partition, FederatedDataset, SynthVision};
+use haccs_fedsim::engine::ModelFactory;
+use haccs_fedsim::SimConfig;
+use haccs_nn::ModelKind;
+use haccs_obs::json::Json;
+use haccs_obs::Recorder;
+use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const CLASSES: usize = 4;
+const SIDE: usize = 6;
+
+/// One numeric field of `/proc/self/status` (`VmHWM`, `Threads`, ...).
+/// Returns `None` off Linux or when the field is absent — the report
+/// then carries NaN and the validator only enforces what was measurable.
+fn proc_status(key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with(key))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn peak_rss_bytes() -> Option<u64> {
+    proc_status("VmHWM:").map(|kb| kb * 1024)
+}
+
+fn os_threads() -> Option<u64> {
+    proc_status("Threads:")
+}
+
+fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut s = values.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s[rank - 1]
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// A tiny-data federation at size `n`: a couple of samples per client so
+/// the sweep measures the coordinator core, not SGD.
+fn build_world(n: usize, seed: u64) -> (FederatedDataset, Vec<DeviceProfile>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs =
+        partition::majority_noise(n, CLASSES, &partition::MAJORITY_NOISE_75, (2, 4), 8, &mut rng);
+    let gen = SynthVision::mnist_like(CLASSES, SIDE, seed);
+    let fed = FederatedDataset::materialize(&gen, &specs, seed);
+    let profiles = DeviceProfile::sample_many(n, &mut rng);
+    (fed, profiles)
+}
+
+/// One tier of the sweep: enroll n clients on the event backend, run the
+/// rounds, read the scaling counters back.
+fn run_tier(n: usize, rounds: usize, k: usize, seed: u64) -> Json {
+    eprintln!("tier n={n}: materializing dataset");
+    let (fed, profiles) = build_world(n, seed);
+    let factory: ModelFactory =
+        Box::new(move || ModelKind::Mlp.build(1, SIDE, CLASSES, &mut StdRng::seed_from_u64(7)));
+    let cfg = SimConfig { k, seed, eval_max: 256, probe_max: 8, ..Default::default() };
+    let rec = Recorder::enabled();
+    let layout = ShardConfig::default();
+    let mut coord = Coordinator::new(
+        factory,
+        fed,
+        profiles,
+        LatencyModel::for_params(2_000, 2e-3, 1),
+        Availability::AlwaysOn,
+        cfg,
+        RandomSelector::new(),
+    )
+    .with_recorder(rec.clone());
+
+    let mut wall_s = Vec::with_capacity(rounds);
+    let mut sim_s = Vec::with_capacity(rounds);
+    let mut threads_peak = 0u64;
+    let t_total = Instant::now();
+    for r in 0..rounds {
+        let t = Instant::now();
+        let record = coord.run_round();
+        wall_s.push(t.elapsed().as_secs_f64());
+        sim_s.push(record.round_seconds);
+        threads_peak = threads_peak.max(os_threads().unwrap_or(0));
+        eprintln!(
+            "tier n={n}: round {r} in {:.3}s wall ({} participants)",
+            wall_s[r],
+            record.participants.len()
+        );
+    }
+    let total_wall = t_total.elapsed().as_secs_f64();
+
+    // envelopes drained through timed collections, read back from the
+    // depth histogram the sharded coordinator feeds; enrollment adds one
+    // Join and one enrollment ack per client outside those collections
+    let timed_events =
+        rec.histogram("coord_shard_queue_depth").map(|h| h.sum()).unwrap_or(f64::NAN);
+    let total_events = timed_events + 2.0 * n as f64;
+    let steady: Vec<f64> = wall_s[1..].to_vec();
+    drop(coord); // workers join here; thread peak was sampled mid-run
+
+    Json::obj(vec![
+        ("n_clients", Json::Num(n as f64)),
+        ("rounds", Json::Num(rounds as f64)),
+        ("n_shards", Json::Num(layout.n_shards as f64)),
+        ("n_workers", Json::Num(layout.n_workers as f64)),
+        ("enroll_round_wall_s", Json::Num(wall_s[0])),
+        (
+            "round_wall_s",
+            Json::obj(vec![
+                ("mean", Json::Num(mean(&steady))),
+                ("p50", Json::Num(percentile(&steady, 0.50))),
+                ("p90", Json::Num(percentile(&steady, 0.90))),
+                ("p99", Json::Num(percentile(&steady, 0.99))),
+            ]),
+        ),
+        (
+            "round_sim_s",
+            Json::obj(vec![
+                ("mean", Json::Num(mean(&sim_s))),
+                ("p50", Json::Num(percentile(&sim_s, 0.50))),
+                ("p90", Json::Num(percentile(&sim_s, 0.90))),
+            ]),
+        ),
+        ("total_wall_s", Json::Num(total_wall)),
+        ("events_total", Json::Num(total_events)),
+        ("events_per_sec", Json::Num(total_events / total_wall)),
+        ("peak_rss_bytes", Json::Num(peak_rss_bytes().map(|b| b as f64).unwrap_or(f64::NAN))),
+        ("os_threads", Json::Num(if threads_peak > 0 { threads_peak as f64 } else { f64::NAN })),
+    ])
+}
+
+/// Validates a `haccs-scale-bench/v1` report. Returns every violation.
+fn check_report(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if json.get("schema").and_then(Json::as_str) != Some("haccs-scale-bench/v1") {
+        errs.push("schema must be \"haccs-scale-bench/v1\"".into());
+    }
+    let tiers = match json.get("tiers").and_then(Json::as_arr) {
+        Some(t) if !t.is_empty() => t,
+        _ => {
+            errs.push("tiers must be a non-empty array".into());
+            return errs;
+        }
+    };
+    let mut sizes = Vec::new();
+    let mut threads = Vec::new();
+    for (i, t) in tiers.iter().enumerate() {
+        for key in ["n_clients", "rounds", "n_shards", "n_workers", "enroll_round_wall_s"] {
+            if t.get(key).and_then(Json::as_f64).is_none() {
+                errs.push(format!("tiers[{i}].{key}: missing number"));
+            }
+        }
+        for key in ["p50", "p90", "p99", "mean"] {
+            if t.get("round_wall_s").and_then(|r| r.get(key)).and_then(Json::as_f64).is_none() {
+                errs.push(format!("tiers[{i}].round_wall_s.{key}: missing number"));
+            }
+        }
+        match t.get("events_per_sec").and_then(Json::as_f64) {
+            Some(e) if e > 0.0 => {}
+            _ => errs.push(format!("tiers[{i}].events_per_sec: must be a positive number")),
+        }
+        if let Some(n) = t.get("n_clients").and_then(Json::as_f64) {
+            sizes.push(n);
+        }
+        // NaN peak RSS / thread count is allowed (non-Linux hosts); a
+        // reported value must be sane
+        if let Some(rss) = t.get("peak_rss_bytes").and_then(Json::as_f64) {
+            if rss.is_finite() && rss <= 0.0 {
+                errs.push(format!("tiers[{i}].peak_rss_bytes: nonpositive"));
+            }
+        } else {
+            errs.push(format!("tiers[{i}].peak_rss_bytes: missing number"));
+        }
+        match t.get("os_threads").and_then(Json::as_f64) {
+            Some(th) => {
+                if th.is_finite() {
+                    threads.push(th);
+                }
+            }
+            None => errs.push(format!("tiers[{i}].os_threads: missing number")),
+        }
+    }
+    if sizes.windows(2).any(|w| w[0] >= w[1]) {
+        errs.push("tier sizes must be strictly ascending".into());
+    }
+    // the headline claim: the worker pool is fixed, so the OS thread
+    // count must not scale with n (a thread-per-client runtime would
+    // report ~n here). Allow a ±2 jitter for harness threads.
+    if threads.len() == sizes.len() && threads.len() >= 2 {
+        let first = threads[0];
+        for (i, &th) in threads.iter().enumerate() {
+            if th > first + 2.0 {
+                errs.push(format!(
+                    "tiers[{i}].os_threads {th} grows with n (tier 0 used {first}) — \
+                     the worker pool must be size-independent"
+                ));
+            }
+        }
+    }
+    for (i, &th) in threads.iter().enumerate() {
+        if th > 64.0 {
+            errs.push(format!("tiers[{i}].os_threads {th} exceeds any sane fixed pool"));
+        }
+    }
+    errs
+}
+
+fn main() -> ExitCode {
+    let mut tiers: Vec<usize> = vec![1_000, 10_000, 100_000];
+    let mut rounds = 3usize;
+    let mut k = 16usize;
+    let mut seed = 11u64;
+    let mut out = PathBuf::from("results/BENCH_SCALE.json");
+    let mut check: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tiers" => {
+                tiers = args
+                    .next()
+                    .expect("--tiers N,N,..")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("tier size"))
+                    .collect();
+                assert!(!tiers.is_empty(), "--tiers needs at least one size");
+            }
+            "--rounds" => rounds = args.next().expect("--rounds R").parse().expect("integer"),
+            "--k" => k = args.next().expect("--k K").parse().expect("integer"),
+            "--seed" => seed = args.next().expect("--seed S").parse().expect("integer"),
+            "--out" => out = PathBuf::from(args.next().expect("--out FILE")),
+            "--check" => check = Some(PathBuf::from(args.next().expect("--check FILE"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: scale-bench [--tiers N,N,..] [--rounds R] [--k K] [--seed S] [--out FILE]\n       scale-bench --check FILE"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(rounds >= 2, "need at least 2 rounds (round 0 is enrollment-inclusive)");
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let errs = check_report(&text);
+        if errs.is_empty() {
+            println!("{}: valid haccs-scale-bench/v1 report", path.display());
+            return ExitCode::SUCCESS;
+        }
+        for e in &errs {
+            eprintln!("schema violation: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // ascending so each tier's VmHWM reading reflects its own high-water
+    // mark, not a bigger predecessor's
+    assert!(tiers.windows(2).all(|w| w[0] < w[1]), "tiers must be ascending");
+    let tier_reports: Vec<Json> = tiers.iter().map(|&n| run_tier(n, rounds, k, seed)).collect();
+
+    let report = Json::obj(vec![
+        ("schema", Json::Str("haccs-scale-bench/v1".into())),
+        (
+            "config",
+            Json::obj(vec![
+                ("rounds", Json::Num(rounds as f64)),
+                ("k", Json::Num(k as f64)),
+                ("seed", Json::Num(seed as f64)),
+            ]),
+        ),
+        ("tiers", Json::Arr(tier_reports)),
+    ]);
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let rendered = report.render_pretty();
+    std::fs::write(&out, rendered.as_bytes()).expect("write bench output");
+    println!("saved {}", out.display());
+
+    let errs = check_report(&rendered);
+    assert!(errs.is_empty(), "self-check failed: {errs:?}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(n: f64, threads: f64) -> String {
+        format!(
+            r#"{{"n_clients": {n}, "rounds": 3, "n_shards": 16, "n_workers": 4,
+                "enroll_round_wall_s": 1.0,
+                "round_wall_s": {{"mean": 0.5, "p50": 0.5, "p90": 0.6, "p99": 0.7}},
+                "events_per_sec": 1000.0, "peak_rss_bytes": 1000000.0,
+                "os_threads": {threads}}}"#
+        )
+    }
+
+    #[test]
+    fn check_rejects_garbage_and_wrong_schema() {
+        assert!(!check_report("not json").is_empty());
+        let errs = check_report(r#"{"schema":"haccs-speed-bench/v1","tiers":[]}"#);
+        assert!(errs.iter().any(|e| e.contains("haccs-scale-bench/v1")), "{errs:?}");
+    }
+
+    #[test]
+    fn check_accepts_a_fixed_thread_pool() {
+        let text = format!(
+            r#"{{"schema": "haccs-scale-bench/v1", "tiers": [{}, {}]}}"#,
+            tier(1000.0, 12.0),
+            tier(100000.0, 12.0)
+        );
+        assert!(check_report(&text).is_empty(), "{:?}", check_report(&text));
+    }
+
+    #[test]
+    fn check_rejects_thread_counts_that_scale_with_n() {
+        let text = format!(
+            r#"{{"schema": "haccs-scale-bench/v1", "tiers": [{}, {}]}}"#,
+            tier(1000.0, 12.0),
+            tier(100000.0, 4000.0)
+        );
+        let errs = check_report(&text);
+        assert!(errs.iter().any(|e| e.contains("grows with n")), "{errs:?}");
+    }
+
+    #[test]
+    fn check_demands_ascending_tiers() {
+        let text = format!(
+            r#"{{"schema": "haccs-scale-bench/v1", "tiers": [{}, {}]}}"#,
+            tier(10000.0, 12.0),
+            tier(1000.0, 12.0)
+        );
+        let errs = check_report(&text);
+        assert!(errs.iter().any(|e| e.contains("ascending")), "{errs:?}");
+    }
+}

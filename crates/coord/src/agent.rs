@@ -1,7 +1,21 @@
-//! Client agents: one OS thread per device, speaking only the wire
-//! protocol. An agent owns its local shard and model replica; the
-//! coordinator never touches either. Everything the server learns about a
-//! client arrives as an encoded [`Message`] inside an [`Envelope`].
+//! Client agents speaking only the wire protocol. An agent owns its local
+//! shard; the coordinator never touches it. Everything the server learns
+//! about a client arrives as an encoded [`Message`] inside an
+//! [`Envelope`].
+//!
+//! The protocol body lives in [`AgentState`] — a frame-in/envelope-out
+//! state machine with **no thread of its own**. Two runtimes drive it:
+//!
+//! * [`spawn`] wraps it in a dedicated OS thread blocking on an mpsc
+//!   downlink (the legacy thread-per-agent runtime, kept as the parity
+//!   reference behind `Coordinator::threaded`, and the body TCP clients
+//!   run via [`run_agent`]);
+//! * the sharded event-loop core (`crate::shard`) multiplexes thousands
+//!   of `AgentState`s over a fixed worker pool.
+//!
+//! Because both runtimes execute the *same* state machine, their envelope
+//! streams are identical frame for frame — which is what lets the sharded
+//! core stay bit-identical to the threaded runtime.
 //!
 //! Transport split:
 //!
@@ -130,6 +144,187 @@ pub fn run_agent(
     agent_main(cfg, data, profile, factory, summarizer, downlink, uplink)
 }
 
+/// The agent protocol as a frame-in/envelope-out state machine: all the
+/// per-client state (`seq` counter, schedule cursor, last loss, codec
+/// residual) with no thread attached. The model replica is passed *into*
+/// each call — every model use starts with `set_params` from the incoming
+/// `ModelPush`, so a multiplexing runtime can lend one scratch model to
+/// thousands of agents.
+pub(crate) struct AgentState {
+    cfg: AgentConfig,
+    data: ClientData,
+    profile: DeviceProfile,
+    summarizer: Summarizer,
+    seq: u64,
+    scheduled: Option<u64>,
+    last_loss: f32,
+    // compressing codec state: the codec itself plus the error-feedback
+    // residual (stateful kinds only), lazily sized at the first encode
+    codec: Option<Box<dyn haccs_codec::UpdateCodec>>,
+    residual: Vec<f32>,
+    departed: bool,
+}
+
+impl AgentState {
+    pub(crate) fn new(
+        cfg: AgentConfig,
+        data: ClientData,
+        profile: DeviceProfile,
+        summarizer: Summarizer,
+    ) -> Self {
+        let last_loss = cfg.resume_last_loss.unwrap_or(0.0);
+        let codec = cfg.codec.filter(|k| !matches!(k, CodecKind::Identity)).map(|k| k.build());
+        AgentState {
+            cfg,
+            data,
+            profile,
+            summarizer,
+            seq: 0,
+            scheduled: None,
+            last_loss,
+            codec,
+            residual: Vec::new(),
+            departed: false,
+        }
+    }
+
+    pub(crate) fn id(&self) -> usize {
+        self.cfg.id
+    }
+
+    /// Whether the agent sent `Leave` and no longer processes frames.
+    pub(crate) fn departed(&self) -> bool {
+        self.departed
+    }
+
+    fn envelope(&mut self, outcome: TransmitOutcome) -> Envelope {
+        let env = Envelope { from: self.cfg.id, seq: self.seq, outcome };
+        self.seq += 1;
+        env
+    }
+
+    /// Enrollment: privacy summary + resource estimate on the reliable
+    /// path. Always the agent's first envelope (seq 0).
+    pub(crate) fn join(&mut self) -> Envelope {
+        let mut srng = StdRng::seed_from_u64(self.cfg.summary_seed);
+        let summary =
+            haccs_core::summary_to_wire(&self.summarizer.summarize(&self.data.train, &mut srng));
+        let join = Message::Join {
+            client_nonce: self.cfg.nonce,
+            summary,
+            resources: ResourceEstimate {
+                compute_multiplier: self.profile.compute_multiplier as f32,
+                bandwidth_mbps: self.profile.bandwidth_mbps as f32,
+                rtt_ms: self.profile.rtt_ms as f32,
+                n_train: self.data.train.len() as u32,
+            },
+        };
+        self.envelope(reliable(&join))
+    }
+
+    /// Processes one downlink frame, returning the uplink envelope it
+    /// produces (if any). `model` is scratch: its parameters are always
+    /// set before use and carry no state between calls.
+    pub(crate) fn on_frame(&mut self, frame: Bytes, model: &mut Sequential) -> Option<Envelope> {
+        if self.departed {
+            return None; // the threaded runtime's wound-down thread
+        }
+        let cfg = &self.cfg;
+        let msg = Message::decode(frame).expect("coordinator sent an undecodable frame");
+        match msg {
+            Message::Schedule { round, client_nonce } => {
+                debug_assert_eq!(client_nonce, cfg.nonce, "schedule for someone else");
+                self.scheduled = Some(round);
+                None
+            }
+            Message::ModelPush { round, params } => {
+                model.set_params(&params);
+                if self.scheduled == Some(round) {
+                    // selected this round: real local SGD, update over the
+                    // lossy wire. The seed matches the loop engine's.
+                    self.scheduled = None;
+                    let local_seed = round::local_train_seed(cfg.seed, round as usize, cfg.id);
+                    self.last_loss = train_local(model, &self.data.train, &cfg.train, local_seed);
+                    let n_train = self.data.train.len() as u32;
+                    let update = match &self.codec {
+                        Some(c) => {
+                            // encode against the global model this round
+                            // pushed — the reference the coordinator still
+                            // holds while it collects updates. Error
+                            // feedback updates here whether or not the
+                            // lossy wire delivers the frame.
+                            let trained = model.get_params();
+                            if c.stateful() && self.residual.len() != trained.len() {
+                                self.residual = vec![0.0; trained.len()];
+                            }
+                            let payload = if c.stateful() {
+                                c.encode(&trained, &params, Some(&mut self.residual))
+                            } else {
+                                c.encode(&trained, &params, None)
+                            };
+                            Message::ModelUpdateEnc {
+                                round,
+                                codec: c.kind().tag(),
+                                payload,
+                                loss: self.last_loss,
+                                n_train,
+                            }
+                        }
+                        None => Message::ModelUpdate {
+                            round,
+                            params: model.get_params(),
+                            loss: self.last_loss,
+                            n_train,
+                        },
+                    };
+                    let sid = round::update_stream_id(round as usize, cfg.id);
+                    let out = lossy(&cfg.channel, &update, sid);
+                    Some(self.envelope(out))
+                } else {
+                    // unscheduled push = enrollment sync: probe the loss and
+                    // ack reliably so the registry gets a round-0 signal
+                    self.last_loss = probe_loss(model, &self.data.train, &cfg.train, cfg.probe_max);
+                    let ack = Message::Heartbeat {
+                        client_nonce: cfg.nonce,
+                        round,
+                        last_loss: self.last_loss,
+                    };
+                    Some(self.envelope(reliable(&ack)))
+                }
+            }
+            Message::ResumeSync { last_loss: snapshot_loss, .. } => {
+                // post-restore sync for a client that outlived a
+                // coordinator crash: echo the pre-snapshot loss until the
+                // next local training run, like a restored local agent
+                self.last_loss = snapshot_loss;
+                None
+            }
+            Message::Heartbeat { round, .. } => {
+                // server probe. Unavailable devices stay silent — exactly
+                // the clients the coordinator does not wait for.
+                if !cfg.availability.is_available(cfg.id, round as usize) {
+                    return None;
+                }
+                if cfg.leave_after.is_some_and(|r| round >= r) {
+                    let leave = Message::Leave { client_nonce: cfg.nonce, round };
+                    self.departed = true; // orderly departure
+                    let out = reliable(&leave);
+                    return Some(self.envelope(out));
+                }
+                let ack = Message::Heartbeat {
+                    client_nonce: cfg.nonce,
+                    round,
+                    last_loss: self.last_loss,
+                };
+                let sid = round::hb_stream_id(round as usize, cfg.id);
+                let out = lossy(&cfg.channel, &ack, sid);
+                Some(self.envelope(out))
+            }
+            other => panic!("agent {} received unexpected frame {other:?}", cfg.id),
+        }
+    }
+}
+
 fn agent_main(
     cfg: AgentConfig,
     data: ClientData,
@@ -139,116 +334,18 @@ fn agent_main(
     downlink: Receiver<Bytes>,
     uplink: Sender<Envelope>,
 ) {
-    let mut seq: u64 = 0;
-    let send = |outcome: TransmitOutcome, seq: &mut u64| {
-        // a send error means the coordinator is gone; the agent just exits
-        let _ = uplink.send(Envelope { from: cfg.id, seq: *seq, outcome });
-        *seq += 1;
-    };
-
-    // 1. enroll: privacy summary + resource estimate, reliable path
-    let mut srng = StdRng::seed_from_u64(cfg.summary_seed);
-    let summary = haccs_core::summary_to_wire(&summarizer.summarize(&data.train, &mut srng));
-    let join = Message::Join {
-        client_nonce: cfg.nonce,
-        summary,
-        resources: ResourceEstimate {
-            compute_multiplier: profile.compute_multiplier as f32,
-            bandwidth_mbps: profile.bandwidth_mbps as f32,
-            rtt_ms: profile.rtt_ms as f32,
-            n_train: data.train.len() as u32,
-        },
-    };
-    send(reliable(&join), &mut seq);
-
+    let mut state = AgentState::new(cfg, data, profile, summarizer);
+    // a send error means the coordinator is gone; the agent just exits
+    let _ = uplink.send(state.join());
     let mut model = factory();
-    let mut scheduled: Option<u64> = None;
-    let mut last_loss: f32 = cfg.resume_last_loss.unwrap_or(0.0);
-    // compressing codec state: the codec itself plus the error-feedback
-    // residual (stateful kinds only), lazily sized at the first encode
-    let codec = cfg.codec.filter(|k| !matches!(k, CodecKind::Identity)).map(|k| k.build());
-    let mut residual: Vec<f32> = Vec::new();
 
-    // 2. serve the coordinator until the downlink closes
+    // serve the coordinator until the downlink closes or the agent leaves
     while let Ok(frame) = downlink.recv() {
-        let msg = Message::decode(frame).expect("coordinator sent an undecodable frame");
-        match msg {
-            Message::Schedule { round, client_nonce } => {
-                debug_assert_eq!(client_nonce, cfg.nonce, "schedule for someone else");
-                scheduled = Some(round);
-            }
-            Message::ModelPush { round, params } => {
-                model.set_params(&params);
-                if scheduled == Some(round) {
-                    // selected this round: real local SGD, update over the
-                    // lossy wire. The seed matches the loop engine's.
-                    scheduled = None;
-                    let local_seed = round::local_train_seed(cfg.seed, round as usize, cfg.id);
-                    last_loss = train_local(&mut model, &data.train, &cfg.train, local_seed);
-                    let n_train = data.train.len() as u32;
-                    let update = match &codec {
-                        Some(c) => {
-                            // encode against the global model this round
-                            // pushed — the reference the coordinator still
-                            // holds while it collects updates. Error
-                            // feedback updates here whether or not the
-                            // lossy wire delivers the frame.
-                            let trained = model.get_params();
-                            if c.stateful() && residual.len() != trained.len() {
-                                residual = vec![0.0; trained.len()];
-                            }
-                            let payload = if c.stateful() {
-                                c.encode(&trained, &params, Some(&mut residual))
-                            } else {
-                                c.encode(&trained, &params, None)
-                            };
-                            Message::ModelUpdateEnc {
-                                round,
-                                codec: c.kind().tag(),
-                                payload,
-                                loss: last_loss,
-                                n_train,
-                            }
-                        }
-                        None => Message::ModelUpdate {
-                            round,
-                            params: model.get_params(),
-                            loss: last_loss,
-                            n_train,
-                        },
-                    };
-                    let sid = round::update_stream_id(round as usize, cfg.id);
-                    send(lossy(&cfg.channel, &update, sid), &mut seq);
-                } else {
-                    // unscheduled push = enrollment sync: probe the loss and
-                    // ack reliably so the registry gets a round-0 signal
-                    last_loss = probe_loss(&mut model, &data.train, &cfg.train, cfg.probe_max);
-                    let ack = Message::Heartbeat { client_nonce: cfg.nonce, round, last_loss };
-                    send(reliable(&ack), &mut seq);
-                }
-            }
-            Message::ResumeSync { last_loss: snapshot_loss, .. } => {
-                // post-restore sync for a client that outlived a
-                // coordinator crash: echo the pre-snapshot loss until the
-                // next local training run, like a restored local agent
-                last_loss = snapshot_loss;
-            }
-            Message::Heartbeat { round, .. } => {
-                // server probe. Unavailable devices stay silent — exactly
-                // the clients the coordinator does not wait for.
-                if !cfg.availability.is_available(cfg.id, round as usize) {
-                    continue;
-                }
-                if cfg.leave_after.is_some_and(|r| round >= r) {
-                    let leave = Message::Leave { client_nonce: cfg.nonce, round };
-                    send(reliable(&leave), &mut seq);
-                    return; // orderly departure: the thread winds down
-                }
-                let ack = Message::Heartbeat { client_nonce: cfg.nonce, round, last_loss };
-                let sid = round::hb_stream_id(round as usize, cfg.id);
-                send(lossy(&cfg.channel, &ack, sid), &mut seq);
-            }
-            other => panic!("agent {} received unexpected frame {other:?}", cfg.id),
+        if let Some(env) = state.on_frame(frame, &mut model) {
+            let _ = uplink.send(env);
+        }
+        if state.departed() {
+            return; // the thread winds down after Leave
         }
     }
 }

@@ -29,9 +29,10 @@
 //! `(seed, stream_id, attempt)` shared with the loop engine's analytic
 //! accounting, so retries/losses/bytes also match the engine exactly.
 
-use crate::agent::{self, AgentConfig, Envelope, SharedModelFactory, TransmitOutcome};
-use crate::events::EventQueue;
-use crate::registry::{ClientEntry, ClientRegistry, Liveness};
+use crate::agent::{self, AgentConfig, AgentState, Envelope, SharedModelFactory, TransmitOutcome};
+use crate::events::{EventQueue, QueueFull};
+use crate::registry::{ClientEntry, ClientRegistry, Liveness, Registry, ShardedRegistry};
+use crate::shard::{EventCore, ShardConfig, ShardedAggregator};
 use haccs_codec::CodecKind;
 use haccs_data::{ClientData, FederatedDataset, ImageSet};
 use haccs_fedsim::engine::{
@@ -86,6 +87,65 @@ struct AgentHandle {
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
+/// How the coordinator runs its client agents.
+///
+/// The **event** backend is the default: thread-free [`AgentState`]
+/// machines multiplexed over a fixed worker pool (`crate::shard`), with a
+/// hash-[`ShardedRegistry`] and hierarchical per-shard aggregation. Its OS
+/// thread count is independent of federation size, which is what lets one
+/// process host 100k+ clients.
+///
+/// The **threaded** backend ([`Coordinator::threaded`]) is the legacy
+/// thread-per-agent runtime, kept as the parity reference: both backends
+/// drive the same `AgentState` protocol machine through the same
+/// [`EventQueue`], so their round histories are bit-identical (pinned by
+/// `tests/sharded_parity.rs`).
+enum AgentRuntime {
+    /// One OS thread + mpsc downlink per agent (legacy; parity reference).
+    Threaded { agents: Vec<AgentHandle> },
+    /// Worker-pool event loop. `core` spawns lazily at first enrollment so
+    /// builder methods can still shape the layout.
+    Event { core: Option<EventCore>, shard_cfg: ShardConfig },
+}
+
+impl AgentRuntime {
+    /// Agents ever registered (including departed/tombstoned slots).
+    fn spawned(&self) -> usize {
+        match self {
+            AgentRuntime::Threaded { agents } => agents.len(),
+            AgentRuntime::Event { core, .. } => core.as_ref().map_or(0, |c| c.spawned()),
+        }
+    }
+}
+
+/// A coordinator-level runtime failure surfaced to the caller instead of
+/// silently degrading the round. Returned by [`Coordinator::try_run_round`];
+/// [`Coordinator::run_round`] panics on it.
+#[derive(Debug)]
+pub enum CoordError {
+    /// The bounded event queue dropped an envelope (see
+    /// [`Coordinator::with_event_capacity`]). The drop is also counted in
+    /// the `coord_event_queue_dropped_total` obs counter. The round that
+    /// hit this is torn: the coordinator should be discarded.
+    EventQueueFull(QueueFull),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::EventQueueFull(e) => write!(f, "coordinator backpressure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordError::EventQueueFull(e) => Some(e),
+        }
+    }
+}
+
 /// The server-side half of one connected remote client, produced by a
 /// transport bridge (see `crate::net`): the sender whose frames the
 /// bridge's writer pump carries to the client, plus the pump thread
@@ -99,17 +159,10 @@ pub struct RemoteLink {
     pub pump: Option<std::thread::JoinHandle<()>>,
 }
 
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Session nonce for a client id: a seed-derived hash, never the reserved
 /// probe value `0`.
 fn nonce_for(seed: u64, id: usize) -> u64 {
-    splitmix64(seed ^ (id as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)).max(1)
+    crate::shard::splitmix64(seed ^ (id as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)).max(1)
 }
 
 /// The session nonce client `id` enrolls under for a run seeded with
@@ -213,8 +266,12 @@ pub struct Coordinator<S: Selector> {
     summarizer: Summarizer,
     summary_seed: u64,
     selector: S,
-    registry: ClientRegistry,
-    agents: Vec<AgentHandle>,
+    registry: Registry,
+    runtime: AgentRuntime,
+    /// Bound on each envelope-collection [`EventQueue`]; overflow is a
+    /// [`CoordError::EventQueueFull`], counted in
+    /// `coord_event_queue_dropped_total`.
+    event_capacity: usize,
     pending: Vec<PendingJoin>,
     /// `Some` iff built via [`Coordinator::remote`]: the spawn-time
     /// profile for each expected remote client id.
@@ -251,6 +308,11 @@ struct RestoredEntry {
     n_train: usize,
 }
 
+/// Default bound on the coordinator's envelope-collection queues: far
+/// above anything a well-behaved federation produces (one envelope per
+/// client per collection), so hitting it means a runaway producer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 20;
+
 /// Everything a snapshot holds, parsed and validated but not yet
 /// committed (the selector's state *is* already loaded — on any error
 /// the coordinator must be discarded, restore is not transactional).
@@ -269,6 +331,11 @@ impl<S: Selector> Coordinator<S> {
     /// [`haccs_fedsim::FedSim::new`], plus the selector it owns. Agents
     /// are spawned lazily at the first round so builder methods can still
     /// shape the wire before any channel exists.
+    ///
+    /// Runs on the sharded **event-loop backend** (fixed worker pool,
+    /// hash-sharded registry, hierarchical aggregation) — bit-identical
+    /// to the legacy [`Coordinator::threaded`] runtime but with an OS
+    /// thread count independent of federation size.
     pub fn new(
         factory: ModelFactory,
         fed: FederatedDataset,
@@ -313,8 +380,9 @@ impl<S: Selector> Coordinator<S> {
             summarizer: Summarizer::label_dist(),
             summary_seed: cfg.seed ^ 0xD9,
             selector,
-            registry: ClientRegistry::new(),
-            agents: Vec::new(),
+            registry: Registry::Sharded(ShardedRegistry::new(ShardConfig::default().n_shards)),
+            runtime: AgentRuntime::Event { core: None, shard_cfg: ShardConfig::default() },
+            event_capacity: DEFAULT_EVENT_CAPACITY,
             pending,
             remote_profiles: None,
             pending_remote: Vec::new(),
@@ -326,6 +394,68 @@ impl<S: Selector> Coordinator<S> {
             codec: None,
             obs: Recorder::disabled(),
             recluster_hook: None,
+        }
+    }
+
+    /// [`Coordinator::new`] on the legacy **thread-per-agent backend**:
+    /// one OS thread and one mpsc downlink per client, with the flat
+    /// [`ClientRegistry`]. Kept as the parity reference the sharded
+    /// event-loop core is pinned bit-identical against
+    /// (`tests/sharded_parity.rs`); prefer [`Coordinator::new`] everywhere
+    /// else — the threaded runtime cannot scale past a few thousand
+    /// clients.
+    pub fn threaded(
+        factory: ModelFactory,
+        fed: FederatedDataset,
+        profiles: Vec<DeviceProfile>,
+        latency: LatencyModel,
+        availability: Availability,
+        cfg: SimConfig,
+        selector: S,
+    ) -> Self {
+        let mut c = Self::new(factory, fed, profiles, latency, availability, cfg, selector);
+        c.runtime = AgentRuntime::Threaded { agents: Vec::new() };
+        c.registry = Registry::Flat(ClientRegistry::new());
+        c
+    }
+
+    /// Overrides the event backend's shard/worker layout (builder style;
+    /// before the first round). Layout never changes results — shard
+    /// routing only regroups commutative work and the aggregation merge is
+    /// admission-order pinned — so this is a performance knob only.
+    /// Panics on a [`Coordinator::threaded`] runtime, which has no shards.
+    pub fn with_shard_layout(mut self, layout: ShardConfig) -> Self {
+        self.assert_unspawned("shard layout");
+        match &mut self.runtime {
+            AgentRuntime::Event { core, shard_cfg } => {
+                debug_assert!(core.is_none(), "unspawned coordinator cannot have a core");
+                *shard_cfg = layout;
+                self.registry = Registry::Sharded(ShardedRegistry::new(layout.n_shards));
+            }
+            AgentRuntime::Threaded { .. } => {
+                panic!("shard layout applies to the event backend, not Coordinator::threaded")
+            }
+        }
+        self
+    }
+
+    /// Bounds every envelope-collection queue at `capacity` events
+    /// (builder style). Overflow surfaces as
+    /// [`CoordError::EventQueueFull`] from [`Coordinator::try_run_round`]
+    /// and bumps the `coord_event_queue_dropped_total` counter. Default:
+    /// [`DEFAULT_EVENT_CAPACITY`].
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "event capacity must be >= 1");
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// The event backend's shard/worker layout (`None` on the legacy
+    /// threaded runtime).
+    pub fn shard_layout(&self) -> Option<ShardConfig> {
+        match &self.runtime {
+            AgentRuntime::Event { shard_cfg, .. } => Some(*shard_cfg),
+            AgentRuntime::Threaded { .. } => None,
         }
     }
 
@@ -369,8 +499,9 @@ impl<S: Selector> Coordinator<S> {
             summarizer: Summarizer::label_dist(),
             summary_seed: default_summary_seed(cfg.seed),
             selector,
-            registry: ClientRegistry::new(),
-            agents: Vec::new(),
+            registry: Registry::Sharded(ShardedRegistry::new(ShardConfig::default().n_shards)),
+            runtime: AgentRuntime::Event { core: None, shard_cfg: ShardConfig::default() },
+            event_capacity: DEFAULT_EVENT_CAPACITY,
             pending: Vec::new(),
             remote_profiles: Some(profiles),
             pending_remote: Vec::new(),
@@ -404,7 +535,7 @@ impl<S: Selector> Coordinator<S> {
     }
 
     fn assert_unspawned(&self, what: &str) {
-        assert!(self.agents.is_empty(), "{what} must be configured before the first round");
+        assert!(self.runtime.spawned() == 0, "{what} must be configured before the first round");
     }
 
     /// Attaches a fault schedule (builder style; before the first round).
@@ -520,7 +651,7 @@ impl<S: Selector> Coordinator<S> {
     /// first heartbeat probe of a round `>= round` where the device is
     /// available, its agent sends `Leave` and winds down.
     pub fn with_leave_after(mut self, id: usize, round: u64) -> Self {
-        let base = self.agents.len();
+        let base = self.runtime.spawned();
         let slot = id
             .checked_sub(base)
             .and_then(|i| self.pending.get_mut(i))
@@ -533,7 +664,7 @@ impl<S: Selector> Coordinator<S> {
     /// re-clustering hook fires — at the next round boundary. Returns the
     /// id the client will enroll under.
     pub fn add_client(&mut self, data: ClientData, profile: DeviceProfile) -> usize {
-        let id = self.agents.len() + self.pending.len();
+        let id = self.runtime.spawned() + self.pending.len();
         self.pending.push(PendingJoin { data, profile, leave_after: None });
         id
     }
@@ -569,7 +700,7 @@ impl<S: Selector> Coordinator<S> {
     }
 
     /// The membership/liveness registry.
-    pub fn registry(&self) -> &ClientRegistry {
+    pub fn registry(&self) -> &Registry {
         &self.registry
     }
 
@@ -606,9 +737,108 @@ impl<S: Selector> Coordinator<S> {
     // ------------------------------------------------------------------
 
     fn send_to(&self, id: usize, msg: &Message) {
-        if let Some(tx) = &self.agents[id].downlink {
-            // a send error means the agent already wound down (departed)
-            let _ = tx.send(msg.encode());
+        match &self.runtime {
+            AgentRuntime::Threaded { agents } => {
+                if let Some(tx) = &agents[id].downlink {
+                    // a send error means the agent already wound down
+                    let _ = tx.send(msg.encode());
+                }
+            }
+            AgentRuntime::Event { core, .. } => {
+                core.as_ref().expect("no agents spawned yet").dispatch(id, msg.encode());
+            }
+        }
+    }
+
+    /// Fans one message out to `ids`. On the event backend the frame is
+    /// encoded **once** and cohort-dispatched (one channel send per pool
+    /// worker); the threaded backend degrades to per-agent sends. Same
+    /// bytes reach every recipient either way.
+    fn broadcast(&self, ids: &[usize], msg: &Message) {
+        if ids.is_empty() {
+            return;
+        }
+        match &self.runtime {
+            AgentRuntime::Threaded { .. } => {
+                for &id in ids {
+                    self.send_to(id, msg);
+                }
+            }
+            AgentRuntime::Event { core, .. } => {
+                core.as_ref().expect("no agents spawned yet").dispatch_cohort(ids, msg.encode());
+            }
+        }
+    }
+
+    /// Spawns a local agent on whichever backend this coordinator runs:
+    /// a dedicated thread, or a state machine handed to the worker pool.
+    /// Either way the agent's `Join` is in flight when this returns.
+    fn spawn_local_agent(&mut self, acfg: AgentConfig, data: ClientData, profile: DeviceProfile) {
+        let summarizer = self.summarizer;
+        match &mut self.runtime {
+            AgentRuntime::Threaded { agents } => {
+                let (down_tx, down_rx) = mpsc::channel();
+                let thread = agent::spawn(
+                    acfg,
+                    data,
+                    profile,
+                    Arc::clone(&self.factory),
+                    summarizer,
+                    down_rx,
+                    self.uplink_tx.clone(),
+                );
+                agents.push(AgentHandle { downlink: Some(down_tx), thread: Some(thread) });
+            }
+            AgentRuntime::Event { core, shard_cfg } => {
+                let core = core.get_or_insert_with(|| {
+                    EventCore::new(*shard_cfg, Arc::clone(&self.factory), self.uplink_tx.clone())
+                });
+                let id = acfg.id;
+                core.spawn_agent(id, AgentState::new(acfg, data, profile, summarizer));
+            }
+        }
+    }
+
+    /// Registers a connected remote client's bridge under `id` — on the
+    /// event backend this routes the TCP accept path onto the same event
+    /// loop the inline agents ride.
+    fn attach_remote_agent(&mut self, id: usize, link: RemoteLink) {
+        match &mut self.runtime {
+            AgentRuntime::Threaded { agents } => {
+                agents.push(AgentHandle { downlink: Some(link.downlink), thread: link.pump });
+            }
+            AgentRuntime::Event { core, shard_cfg } => {
+                let core = core.get_or_insert_with(|| {
+                    EventCore::new(*shard_cfg, Arc::clone(&self.factory), self.uplink_tx.clone())
+                });
+                core.attach_remote(id, link.downlink, link.pump);
+            }
+        }
+    }
+
+    /// Registers a restore-time tombstone slot for a client that departed
+    /// before the snapshot: no agent, frames to it are dropped.
+    fn push_tombstone_agent(&mut self) {
+        match &mut self.runtime {
+            AgentRuntime::Threaded { agents } => {
+                agents.push(AgentHandle { downlink: None, thread: None });
+            }
+            AgentRuntime::Event { core, shard_cfg } => {
+                let core = core.get_or_insert_with(|| {
+                    EventCore::new(*shard_cfg, Arc::clone(&self.factory), self.uplink_tx.clone())
+                });
+                core.push_tombstone();
+            }
+        }
+    }
+
+    /// Closes a departed/evicted client's downlink on either backend.
+    fn detach_agent(&mut self, id: usize) {
+        match &mut self.runtime {
+            AgentRuntime::Threaded { agents } => agents[id].downlink = None,
+            AgentRuntime::Event { core, .. } => {
+                core.as_mut().expect("no agents spawned yet").detach(id);
+            }
         }
     }
 
@@ -622,12 +852,47 @@ impl<S: Selector> Coordinator<S> {
         }
     }
 
+    /// Records a dropped envelope and converts the overflow into the
+    /// round-level backpressure error.
+    fn queue_overflow(&self, e: QueueFull) -> CoordError {
+        self.obs.inc("coord_event_queue_dropped_total", 1);
+        CoordError::EventQueueFull(e)
+    }
+
+    /// Per-shard queue-depth telemetry: how many of one collection's
+    /// envelopes each registry shard contributed. Event backend only (the
+    /// flat registry has a single shard, already covered by the global
+    /// depth histogram).
+    fn observe_shard_depths(&self, drained: &[(usize, TransmitOutcome)]) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        if let Registry::Sharded(reg) = &self.registry {
+            let mut depth = vec![0usize; reg.shard_count()];
+            for &(id, _) in drained {
+                depth[reg.shard_for(id)] += 1;
+            }
+            for (shard, &d) in depth.iter().enumerate() {
+                self.obs.observe_with(
+                    "coord_shard_queue_depth",
+                    haccs_obs::metrics::SHARD_QUEUE_DEPTH,
+                    d as f64,
+                );
+                self.obs.gauge(&format!("coord_shard_queue_depth{{shard=\"{shard}\"}}"), d as f64);
+            }
+        }
+    }
+
     /// Collects exactly `n` envelopes and returns them in deterministic
     /// `(time, client, seq)` order, timing each at its simulated arrival:
     /// effective latency plus wire backoff.
-    fn collect_timed(&self, n: usize, epoch: usize) -> Vec<(usize, TransmitOutcome)> {
+    fn collect_timed(
+        &self,
+        n: usize,
+        epoch: usize,
+    ) -> Result<Vec<(usize, TransmitOutcome)>, CoordError> {
         self.obs.observe_with("coord_event_queue_depth", haccs_obs::metrics::QUEUE_DEPTH, n as f64);
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::bounded(self.event_capacity);
         for _ in 0..n {
             let env = self.recv_envelope();
             let backoff = match &env.outcome {
@@ -637,20 +902,23 @@ impl<S: Selector> Coordinator<S> {
             let t = self.effective_latency(env.from, epoch) + backoff;
             // simulated agent round-trip: compute latency plus wire backoff
             self.obs.observe("coord_agent_rtt_seconds", t);
-            q.push(t, env.from, env.seq, env.outcome);
+            q.try_push(t, env.from, env.seq, env.outcome).map_err(|e| self.queue_overflow(e))?;
         }
-        q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect()
+        let drained: Vec<(usize, TransmitOutcome)> =
+            q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect();
+        self.observe_shard_depths(&drained);
+        Ok(drained)
     }
 
     /// Collects exactly `n` envelopes from clients that may not be in the
     /// registry yet (enrollment), ordered by `(client, seq)`.
-    fn collect_uniform(&self, n: usize) -> Vec<(usize, TransmitOutcome)> {
-        let mut q = EventQueue::new();
+    fn collect_uniform(&self, n: usize) -> Result<Vec<(usize, TransmitOutcome)>, CoordError> {
+        let mut q = EventQueue::bounded(self.event_capacity);
         for _ in 0..n {
             let env = self.recv_envelope();
-            q.push(0.0, env.from, env.seq, env.outcome);
+            q.try_push(0.0, env.from, env.seq, env.outcome).map_err(|e| self.queue_overflow(e))?;
         }
-        q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect()
+        Ok(q.drain_sorted().into_iter().map(|e| (e.client, e.payload)).collect())
     }
 
     fn decode_delivered(outcome: TransmitOutcome) -> Message {
@@ -669,7 +937,7 @@ impl<S: Selector> Coordinator<S> {
     /// Spawns pending agents, processes their `Join`s, probes their
     /// initial losses and — when membership changed mid-training — runs
     /// the §IV-C re-clustering hook.
-    fn ensure_enrolled(&mut self) {
+    fn ensure_enrolled(&mut self) -> Result<(), CoordError> {
         if !self.pending.is_empty() || !self.pending_remote.is_empty() {
             let first_enrollment = self.registry.is_empty();
             self.phase = RoundPhase::Enrolling;
@@ -688,9 +956,8 @@ impl<S: Selector> Coordinator<S> {
             let mut spawn_meta: HashMap<usize, (DeviceProfile, Option<usize>)> = HashMap::new();
 
             for p in batch {
-                let id = self.agents.len();
+                let id = self.runtime.spawned();
                 spawn_meta.insert(id, (p.profile, Some(p.data.train.len())));
-                let (down_tx, down_rx) = mpsc::channel();
                 let acfg = AgentConfig {
                     id,
                     nonce: nonce_for(self.cfg.seed, id),
@@ -704,22 +971,13 @@ impl<S: Selector> Coordinator<S> {
                     resume_last_loss: None,
                     codec: self.codec,
                 };
-                let thread = agent::spawn(
-                    acfg,
-                    p.data,
-                    p.profile,
-                    Arc::clone(&self.factory),
-                    self.summarizer,
-                    down_rx,
-                    self.uplink_tx.clone(),
-                );
-                self.agents.push(AgentHandle { downlink: Some(down_tx), thread: Some(thread) });
+                self.spawn_local_agent(acfg, p.data, p.profile);
             }
 
             for (id, link) in remote_batch {
                 assert_eq!(
                     id,
-                    self.agents.len(),
+                    self.runtime.spawned(),
                     "remote clients must cover a dense id range (missing attach_remote?)"
                 );
                 let profile = self
@@ -727,12 +985,12 @@ impl<S: Selector> Coordinator<S> {
                     .as_ref()
                     .expect("pending_remote implies remote construction")[id];
                 spawn_meta.insert(id, (profile, None));
-                self.agents.push(AgentHandle { downlink: Some(link.downlink), thread: link.pump });
+                self.attach_remote_agent(id, link);
             }
 
             // Joins arrive in racing order; the queue restores id order
             let mut new_ids = Vec::with_capacity(n_new);
-            for (id, outcome) in self.collect_uniform(n_new) {
+            for (id, outcome) in self.collect_uniform(n_new)? {
                 let (profile, local_n_train) = spawn_meta[&id];
                 match Self::decode_delivered(outcome) {
                     Message::Join { client_nonce, summary, resources } => {
@@ -755,17 +1013,14 @@ impl<S: Selector> Coordinator<S> {
                 }
             }
 
-            // enrollment sync: push the current global model (unscheduled),
-            // agents probe their loss and ack — the round-0 loss signal the
-            // loop engine gets from its construction-time probe pass
-            for &id in &new_ids {
-                let push = Message::ModelPush {
-                    round: self.epoch as u64,
-                    params: self.global_params.clone(),
-                };
-                self.send_to(id, &push);
-            }
-            for (id, outcome) in self.collect_uniform(new_ids.len()) {
+            // enrollment sync: push the current global model (unscheduled,
+            // one encode cohort-dispatched on the event backend), agents
+            // probe their loss and ack — the round-0 loss signal the loop
+            // engine gets from its construction-time probe pass
+            let push =
+                Message::ModelPush { round: self.epoch as u64, params: self.global_params.clone() };
+            self.broadcast(&new_ids, &push);
+            for (id, outcome) in self.collect_uniform(new_ids.len())? {
                 match Self::decode_delivered(outcome) {
                     Message::Heartbeat { last_loss, .. } => {
                         self.registry.get_mut(id).last_loss = Some(last_loss);
@@ -781,6 +1036,7 @@ impl<S: Selector> Coordinator<S> {
             }
             enroll_span.finish();
             self.obs.inc("coord_joins_total", n_new as u64);
+            self.observe_shard_membership();
         }
 
         if self.membership_dirty {
@@ -797,6 +1053,26 @@ impl<S: Selector> Coordinator<S> {
                 self.obs.inc("coord_reclusters_total", 1);
             }
             self.membership_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Per-shard membership gauges (event backend): how many live entries
+    /// each registry shard holds after an enrollment wave.
+    fn observe_shard_membership(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        if let Registry::Sharded(reg) = &self.registry {
+            for shard in 0..reg.shard_count() {
+                let members = reg
+                    .shard_entries(shard)
+                    .iter()
+                    .filter(|e| e.liveness != Liveness::Left)
+                    .count();
+                self.obs
+                    .gauge(&format!("coord_shard_members{{shard=\"{shard}\"}}"), members as f64);
+            }
         }
     }
 
@@ -861,9 +1137,19 @@ impl<S: Selector> Coordinator<S> {
     // ------------------------------------------------------------------
 
     /// Runs one round through the wire. Returns the round record.
+    /// Panics on a [`CoordError`] — use [`Coordinator::try_run_round`] to
+    /// handle backpressure as a value.
     pub fn run_round(&mut self) -> RoundRecord {
+        self.try_run_round().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Coordinator::run_round`], surfacing coordinator-level runtime
+    /// failures (bounded event-queue overflow) as a [`CoordError`]
+    /// instead of a panic. After an error the round is torn mid-flight;
+    /// the coordinator must be discarded.
+    pub fn try_run_round(&mut self) -> Result<RoundRecord, CoordError> {
         let mut round_span = self.obs.span("coord.round").u("epoch", self.epoch as u64);
-        self.ensure_enrolled();
+        self.ensure_enrolled()?;
         self.phase = RoundPhase::Selecting;
         let pool = self.registry.selectable(self.epoch, &self.availability);
         let infos = self.client_infos(&pool);
@@ -892,7 +1178,7 @@ impl<S: Selector> Coordinator<S> {
                 faults: FaultStats::default(),
             }
         } else {
-            self.execute_round(selected, &pool)
+            self.execute_round(selected, &pool)?
         };
         self.phase = RoundPhase::Committed;
 
@@ -929,10 +1215,14 @@ impl<S: Selector> Coordinator<S> {
         round_span.push_f("round_seconds", record.round_seconds);
         round_span.push_f("mean_local_loss", record.mean_local_loss as f64);
         round_span.finish();
-        record
+        Ok(record)
     }
 
-    fn execute_round(&mut self, selected: Vec<usize>, pool: &[usize]) -> RoundRecord {
+    fn execute_round(
+        &mut self,
+        selected: Vec<usize>,
+        pool: &[usize],
+    ) -> Result<RoundRecord, CoordError> {
         let epoch = self.epoch;
 
         // fault draws + effective latencies for the selected set
@@ -968,22 +1258,22 @@ impl<S: Selector> Coordinator<S> {
             }
         }
 
-        // dispatch: schedule everyone selected, push the model to trainees
+        // dispatch: schedule everyone selected (per-client frames — the
+        // nonce differs), then push the model to trainees as one cohort
+        // frame. Per-agent FIFO order guarantees Schedule lands first.
         self.phase = RoundPhase::Dispatched;
         for &id in &selected {
             let nonce = self.registry.get(id).nonce;
             self.send_to(id, &Message::Schedule { round: epoch as u64, client_nonce: nonce });
         }
         let push = Message::ModelPush { round: epoch as u64, params: self.global_params.clone() };
-        for &id in &trainees {
-            self.send_to(id, &push);
-        }
+        self.broadcast(&trainees, &push);
 
         // collect exactly one envelope per trainee; admit in selection
         // order (see the module docs' determinism argument)
         self.phase = RoundPhase::Aggregating;
         let mut outcomes: HashMap<usize, TransmitOutcome> =
-            self.collect_timed(trainees.len(), epoch).into_iter().collect();
+            self.collect_timed(trainees.len(), epoch)?.into_iter().collect();
         for &id in &trainees {
             let lat = draws.iter().find(|(i, _, _)| *i == id).map(|d| d.2).unwrap();
             self.admit(&mut acc, id, lat, outcomes.remove(&id), epoch, false);
@@ -1009,10 +1299,10 @@ impl<S: Selector> Coordinator<S> {
                         id,
                         &Message::Schedule { round: epoch as u64, client_nonce: nonce },
                     );
-                    self.send_to(id, &push);
                 }
+                self.broadcast(&replacements, &push);
                 let mut routs: HashMap<usize, TransmitOutcome> =
-                    self.collect_timed(replacements.len(), epoch).into_iter().collect();
+                    self.collect_timed(replacements.len(), epoch)?.into_iter().collect();
                 for &id in &replacements {
                     let lat = self.effective_latency(id, epoch);
                     self.admit(&mut acc, id, lat, routs.remove(&id), epoch, true);
@@ -1020,8 +1310,17 @@ impl<S: Selector> Coordinator<S> {
             }
         }
 
-        // FedAvg + server-side telemetry
-        acc.fedavg(&mut self.global_params);
+        // FedAvg + server-side telemetry. The event backend commits
+        // hierarchically: per-shard partial buffers merged by admission
+        // order — the same float sequence as the flat fedavg, bit for bit
+        // (see `ShardedAggregator::merge_into`).
+        match &self.runtime {
+            AgentRuntime::Threaded { .. } => acc.fedavg(&mut self.global_params),
+            AgentRuntime::Event { shard_cfg, .. } => {
+                ShardedAggregator::from_admissions(&acc.updates, shard_cfg.n_shards)
+                    .merge_into(&mut self.global_params);
+            }
+        }
         for u in &acc.updates {
             let e = self.registry.get_mut(u.id);
             e.last_loss = Some(u.loss);
@@ -1040,7 +1339,7 @@ impl<S: Selector> Coordinator<S> {
 
         // heartbeat sweep over real agent acks
         let mut hb_span = self.obs.span("coord.heartbeat").u("epoch", epoch as u64);
-        let hb = self.heartbeat_sweep(epoch);
+        let hb = self.heartbeat_sweep(epoch)?;
         hb_span.push_u("missed", hb.missed as u64);
         hb_span.push_u("retries", hb.retries as u64);
         hb_span.push_u("bytes", hb.bytes as u64);
@@ -1062,14 +1361,14 @@ impl<S: Selector> Coordinator<S> {
             self.selector.observe_faults(epoch, &failed);
         }
 
-        RoundRecord {
+        Ok(RoundRecord {
             epoch,
             time_s: self.clock.now(),
             round_seconds,
             participants: ids,
             mean_local_loss: acc.mean_local_loss(),
             faults: acc.stats,
-        }
+        })
     }
 
     /// Feeds one trainee's wire outcome into the accumulator, mirroring
@@ -1127,26 +1426,54 @@ impl<S: Selector> Coordinator<S> {
         }
     }
 
+    /// The ids probed by this round's heartbeat sweep. The flat (threaded)
+    /// backend probes every non-departed client; the event backend walks
+    /// the registry **per shard**, letting a shard-staggered
+    /// [`HeartbeatPolicy`] (see
+    /// [`HeartbeatPolicy::with_shard_stagger`]) rotate probe load across
+    /// shards. With staggering off (the default) every shard probes on the
+    /// flat cadence, so the two backends probe the identical id set — one
+    /// of the invariants the parity suite pins.
+    fn probe_targets(&self, epoch: usize) -> Vec<usize> {
+        match (&self.runtime, &self.registry) {
+            (AgentRuntime::Event { .. }, Registry::Sharded(reg)) => {
+                let n_shards = reg.shard_count();
+                let mut probed: Vec<usize> = Vec::new();
+                for shard in 0..n_shards {
+                    if self.hb_policy.probes_shard_in_round(epoch as u64, shard, n_shards) {
+                        probed.extend(reg.probed_ids_in_shard(shard));
+                    }
+                }
+                // per-shard walks come out shard-grouped; restore the flat
+                // sweep's ascending id order (transitions for distinct ids
+                // commute, but identical order keeps parity trivial)
+                probed.sort_unstable();
+                probed
+            }
+            _ => self.registry.probed_ids(),
+        }
+    }
+
     /// Probes every non-departed client, collects acks/`Leave`s from the
     /// available ones, and applies liveness transitions in deterministic
     /// order. Silent (unavailable) clients accrue a miss. Pure byte and
     /// liveness accounting — never stretches the round.
-    fn heartbeat_sweep(&mut self, epoch: usize) -> SweepOutcome {
+    fn heartbeat_sweep(&mut self, epoch: usize) -> Result<SweepOutcome, CoordError> {
         if !self.hb_policy.probes_in_round(epoch as u64) {
-            return SweepOutcome { missed: 0, retries: 0, bytes: 0 };
+            return Ok(SweepOutcome { missed: 0, retries: 0, bytes: 0 });
         }
         let hb_size = Message::Heartbeat { client_nonce: 0, round: 0, last_loss: 0.0 }.wire_size();
-        let probed = self.registry.probed_ids();
+        let probed = self.probe_targets(epoch);
         let responders: Vec<usize> = probed
             .iter()
             .copied()
             .filter(|&id| self.availability.is_available(id, epoch))
             .collect();
 
+        // one probe frame for everyone: cohort-dispatched on the event
+        // backend, per-agent sends on the threaded one
         let probe = Message::Heartbeat { client_nonce: 0, round: epoch as u64, last_loss: 0.0 };
-        for &id in &probed {
-            self.send_to(id, &probe);
-        }
+        self.broadcast(&probed, &probe);
         let mut out = SweepOutcome {
             missed: probed.len() - responders.len(),
             retries: 0,
@@ -1156,7 +1483,7 @@ impl<S: Selector> Coordinator<S> {
         let mut acked: Vec<(usize, f32)> = Vec::new();
         let mut lost: Vec<usize> = Vec::new();
         let mut leaves: Vec<usize> = Vec::new();
-        for (id, outcome) in self.collect_timed(responders.len(), epoch) {
+        for (id, outcome) in self.collect_timed(responders.len(), epoch)? {
             match outcome {
                 TransmitOutcome::Delivered { frame, retries, bytes_sent, .. } => {
                     out.retries += retries;
@@ -1185,7 +1512,7 @@ impl<S: Selector> Coordinator<S> {
         }
         for id in leaves {
             self.registry.observe_leave(id);
-            self.agents[id].downlink = None; // the thread already returned
+            self.detach_agent(id); // the agent already wound itself down
             self.membership_dirty = true;
             self.obs
                 .event("coord.liveness")
@@ -1200,7 +1527,7 @@ impl<S: Selector> Coordinator<S> {
             use haccs_sysmodel::LivenessVerdict;
             match self.registry.observe_miss(id, &self.hb_policy) {
                 LivenessVerdict::Evicted => {
-                    self.agents[id].downlink = None;
+                    self.detach_agent(id);
                     self.membership_dirty = true;
                     self.obs
                         .event("coord.liveness")
@@ -1220,7 +1547,7 @@ impl<S: Selector> Coordinator<S> {
                 _ => {}
             }
         }
-        out
+        Ok(out)
     }
 
     /// Evaluates the current global model on the (sampled) pooled test
@@ -1277,6 +1604,13 @@ impl<S: Selector> Coordinator<S> {
         w.put_usize(self.cfg.eval_every);
         w.put_u64(self.summary_seed);
         w.put_usize(self.registry.len());
+        // NOTE: deliberately no shard layout here. The layout is a pure
+        // performance knob, so snapshot bytes stay layout-free: a
+        // threaded coordinator and a sharded one in any configuration
+        // write identical snapshots and restore each other's
+        // (`tests/sharded_parity.rs` pins both directions). Pre-shard
+        // snapshots are rejected by the container version gate instead
+        // (`haccs_persist::VERSION`).
         // mutable core state
         w.put_usize(self.epoch);
         w.put_f64(self.clock.now());
@@ -1348,7 +1682,6 @@ impl<S: Selector> Coordinator<S> {
         check("summary_seed", r.get_u64()?, self.summary_seed)?;
         let n = r.get_usize()?;
         check("client count", n as u64, expected_clients as u64)?;
-
         let epoch = r.get_usize()?;
         let now = r.get_f64()?;
         if !(now.is_finite() && now >= 0.0) {
@@ -1427,7 +1760,7 @@ impl<S: Selector> Coordinator<S> {
     /// restore is not transactional.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
         assert!(
-            self.agents.is_empty() && self.registry.is_empty(),
+            self.runtime.spawned() == 0 && self.registry.is_empty(),
             "restore requires a freshly constructed coordinator"
         );
         self.refuse_stateful_codec_resume()?;
@@ -1463,11 +1796,10 @@ impl<S: Selector> Coordinator<S> {
         for (id, p) in batch.into_iter().enumerate() {
             spawn_meta.insert(id, (p.profile, p.data.train.len()));
             if restored[id].liveness == Liveness::Left {
-                self.agents.push(AgentHandle { downlink: None, thread: None });
+                self.push_tombstone_agent();
                 continue;
             }
             n_live += 1;
-            let (down_tx, down_rx) = mpsc::channel();
             let acfg = AgentConfig {
                 id,
                 nonce: nonce_for(self.cfg.seed, id),
@@ -1481,20 +1813,14 @@ impl<S: Selector> Coordinator<S> {
                 resume_last_loss: restored[id].last_loss,
                 codec: self.codec,
             };
-            let thread = agent::spawn(
-                acfg,
-                p.data,
-                p.profile,
-                Arc::clone(&self.factory),
-                self.summarizer,
-                down_rx,
-                self.uplink_tx.clone(),
-            );
-            self.agents.push(AgentHandle { downlink: Some(down_tx), thread: Some(thread) });
+            self.spawn_local_agent(acfg, p.data, p.profile);
         }
 
         let mut joins: HashMap<usize, (u64, ResourceEstimate)> = HashMap::new();
-        for (id, outcome) in self.collect_uniform(n_live) {
+        for (id, outcome) in self
+            .collect_uniform(n_live)
+            .unwrap_or_else(|e| panic!("event queue overflow during restore: {e}"))
+        {
             match Self::decode_delivered(outcome) {
                 Message::Join { client_nonce, resources, .. } => {
                     joins.insert(id, (client_nonce, resources));
@@ -1554,7 +1880,7 @@ impl<S: Selector> Coordinator<S> {
     /// echo exactly what an uninterrupted agent would have reported.
     pub fn restore_remote(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
         assert!(
-            self.agents.is_empty() && self.registry.is_empty(),
+            self.runtime.spawned() == 0 && self.registry.is_empty(),
             "restore requires a freshly constructed coordinator"
         );
         self.refuse_stateful_codec_resume()?;
@@ -1584,13 +1910,13 @@ impl<S: Selector> Coordinator<S> {
                     links.remove(&id).is_none(),
                     "client {id} departed before the snapshot but reconnected"
                 );
-                self.agents.push(AgentHandle { downlink: None, thread: None });
+                self.push_tombstone_agent();
             } else {
                 let link = links.remove(&id).unwrap_or_else(|| {
                     panic!("live client {id} must reconnect before restore_remote")
                 });
                 n_live += 1;
-                self.agents.push(AgentHandle { downlink: Some(link.downlink), thread: link.pump });
+                self.attach_remote_agent(id, link);
             }
         }
         assert!(links.is_empty(), "attached ids beyond the snapshot's client range");
@@ -1598,7 +1924,10 @@ impl<S: Selector> Coordinator<S> {
         // consume the reconnection Joins (they carry fresh summaries; the
         // snapshot's registry view wins, as in the local restore)
         let mut joins: HashMap<usize, (u64, ResourceEstimate)> = HashMap::new();
-        for (id, outcome) in self.collect_uniform(n_live) {
+        for (id, outcome) in self
+            .collect_uniform(n_live)
+            .unwrap_or_else(|e| panic!("event queue overflow during restore: {e}"))
+        {
             match Self::decode_delivered(outcome) {
                 Message::Join { client_nonce, resources, .. } => {
                     joins.insert(id, (client_nonce, resources));
@@ -1669,13 +1998,16 @@ impl<S: Selector> Coordinator<S> {
 impl<S: Selector> Drop for Coordinator<S> {
     fn drop(&mut self) {
         // closing every downlink unblocks the agent loops; join so no
-        // thread outlives the runtime
-        for a in &mut self.agents {
-            a.downlink = None;
-        }
-        for a in &mut self.agents {
-            if let Some(t) = a.thread.take() {
-                let _ = t.join();
+        // thread outlives the runtime. The event backend tears itself down
+        // in `EventCore::drop` (workers + remote pumps).
+        if let AgentRuntime::Threaded { agents } = &mut self.runtime {
+            for a in agents.iter_mut() {
+                a.downlink = None;
+            }
+            for a in agents.iter_mut() {
+                if let Some(t) = a.thread.take() {
+                    let _ = t.join();
+                }
             }
         }
     }

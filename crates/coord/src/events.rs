@@ -55,10 +55,39 @@ impl<T> Ord for Event<T> {
     }
 }
 
-/// Min-heap of [`Event`]s ordered by `(time, client, seq)`.
+/// The backpressure error [`EventQueue::try_push`] returns when the queue
+/// is at capacity: the event was **dropped**, and the caller must surface
+/// that (the coordinator counts drops in `coord_event_queue_dropped_total`
+/// and fails the round) rather than letting an unbounded queue absorb a
+/// runaway producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity that was exceeded.
+    pub capacity: usize,
+    /// The client whose event was dropped.
+    pub client: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event queue at capacity {} — dropped an event from client {}",
+            self.capacity, self.client
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Min-heap of [`Event`]s ordered by `(time, client, seq)`, with an
+/// explicit capacity bound ([`EventQueue::bounded`]) so a runaway producer
+/// turns into a [`QueueFull`] backpressure error instead of unbounded
+/// memory growth.
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<std::cmp::Reverse<Event<T>>>,
+    capacity: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -69,14 +98,45 @@ impl<T> Default for EventQueue<T> {
 
 impl<T> EventQueue<T> {
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new() }
+        Self { heap: BinaryHeap::new(), capacity: usize::MAX }
+    }
+
+    /// A queue that holds at most `capacity` events at once.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "event queue capacity must be >= 1");
+        Self { heap: BinaryHeap::new(), capacity }
+    }
+
+    /// The configured capacity (`usize::MAX` for [`EventQueue::new`]).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Inserts an event. Panics on non-finite timestamps — a NaN key would
-    /// silently scramble `total_cmp` ordering and break run determinism.
+    /// silently scramble `total_cmp` ordering and break run determinism —
+    /// and on overflow of a bounded queue (use [`EventQueue::try_push`] to
+    /// observe backpressure as an error instead).
     pub fn push(&mut self, time: f64, client: usize, seq: u64, payload: T) {
+        self.try_push(time, client, seq, payload)
+            .unwrap_or_else(|e| panic!("{e} (use try_push to handle backpressure)"));
+    }
+
+    /// Inserts an event, returning [`QueueFull`] — and dropping the event —
+    /// when a bounded queue is at capacity. Panics on non-finite
+    /// timestamps exactly like [`EventQueue::push`].
+    pub fn try_push(
+        &mut self,
+        time: f64,
+        client: usize,
+        seq: u64,
+        payload: T,
+    ) -> Result<(), QueueFull> {
         assert!(time.is_finite(), "event time must be finite, got {time} from client {client}");
+        if self.heap.len() >= self.capacity {
+            return Err(QueueFull { capacity: self.capacity, client });
+        }
         self.heap.push(std::cmp::Reverse(Event { time, client, seq, payload }));
+        Ok(())
     }
 
     /// Removes and returns the earliest event.
@@ -138,5 +198,26 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan_timestamps() {
         EventQueue::new().push(f64::NAN, 0, 0, ());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_and_keeps_contents() {
+        let mut q = EventQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1.0, 0, 0, "a").unwrap();
+        q.try_push(2.0, 1, 0, "b").unwrap();
+        let err = q.try_push(0.5, 7, 0, "dropped").unwrap_err();
+        assert_eq!(err, QueueFull { capacity: 2, client: 7 });
+        // the overflowing event was dropped; queued events are intact
+        let order: Vec<&str> = q.drain_sorted().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, ["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at capacity")]
+    fn push_panics_on_bounded_overflow() {
+        let mut q = EventQueue::bounded(1);
+        q.push(1.0, 0, 0, ());
+        q.push(1.0, 1, 0, ());
     }
 }

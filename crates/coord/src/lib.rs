@@ -15,8 +15,14 @@
 //!
 //! * [`events::EventQueue`] — total order `(time, client, seq)` over
 //!   racing agent traffic; the determinism backbone,
-//! * [`registry::ClientRegistry`] — per-client membership, telemetry and
-//!   the `Joined → Alive ⇄ Suspected → Left` liveness machine,
+//! * [`registry::ClientRegistry`] / [`registry::ShardedRegistry`] —
+//!   per-client membership, telemetry and the
+//!   `Joined → Alive ⇄ Suspected → Left` liveness machine, flat or
+//!   sharded by client-id hash,
+//! * [`shard`] — the thread-free event-loop core: a fixed worker pool
+//!   multiplexing cohort-batched client agents, plus the hierarchical
+//!   [`shard::ShardedAggregator`] whose per-shard merge is bit-identical
+//!   to the flat FedAvg reduction,
 //! * [`agent`] — the client side: enroll, train on `ModelPush`, ack
 //!   heartbeats, depart gracefully,
 //! * [`coordinator::Coordinator`] — the server side: enroll → cluster →
@@ -29,12 +35,14 @@ pub mod coordinator;
 pub mod events;
 pub mod net;
 pub mod registry;
+pub mod shard;
 
 pub use agent::{AgentConfig, Envelope, TransmitOutcome};
 pub use coordinator::{
     default_summary_seed, haccs_cached_recluster_hook, haccs_recluster_hook, session_nonce,
-    Coordinator, RemoteLink, RoundPhase,
+    CoordError, Coordinator, RemoteLink, RoundPhase, DEFAULT_EVENT_CAPACITY,
 };
-pub use events::{Event, EventQueue};
+pub use events::{Event, EventQueue, QueueFull};
 pub use net::{accept_remote_clients, remote_agent_config, run_tcp_federation, serve_agent_tcp};
-pub use registry::{ClientEntry, ClientRegistry, Liveness};
+pub use registry::{ClientEntry, ClientRegistry, Liveness, Registry, ShardedRegistry};
+pub use shard::{shard_of, ShardConfig, ShardedAggregator};

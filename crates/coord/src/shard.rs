@@ -1,0 +1,477 @@
+//! The sharded event-loop core: client-id hash sharding, hierarchical
+//! aggregation, and the fixed worker pool that multiplexes thread-free
+//! [`AgentState`](crate::agent) machines.
+//!
+//! ## Why shards
+//!
+//! The legacy runtime spends one OS thread and one mpsc pair per client —
+//! fine at the paper's n=256, fatal at the roadmap's 100k–1M. Here the
+//! coordinator owns **no per-client threads at all**: agents are plain
+//! state machines hash-partitioned into shards ([`shard_of`]), whole
+//! shards are assigned to a fixed pool of workers, and frames travel to
+//! workers in cohort batches ([`haccs_wire::CohortDispatch`]) so a
+//! broadcast costs `n_workers` channel sends, not `n_clients`.
+//!
+//! ## Why the merge is order-pinned
+//!
+//! Float addition is not associative, so summing per-shard partial sums
+//! in shard order would *not* reproduce the flat FedAvg bits. The
+//! [`ShardedAggregator`] therefore buffers updates per shard tagged with
+//! their **admission index** and commits via a k-way merge walk across
+//! shard cursors in admission order — executing literally the same float
+//! operation sequence as [`RoundAccumulator::fedavg`], for any shard
+//! count. That invariant (merge ≡ flat, bit for bit) is what the
+//! hierarchical-aggregation proptests pin.
+
+use crate::agent::{AgentState, Envelope, SharedModelFactory};
+use bytes::Bytes;
+use haccs_fedsim::round::PendingUpdate;
+use haccs_nn::Sequential;
+use haccs_wire::CohortDispatch;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard client `id` lives in: a splitmix64 hash of the id reduced
+/// mod `n_shards`. Pure in `(id, n_shards)` — ids are dense and never
+/// reused, so a client's shard is stable across join/leave churn for the
+/// lifetime of the run (pinned by the shard routing proptests).
+pub fn shard_of(id: usize, n_shards: usize) -> usize {
+    assert!(n_shards >= 1, "need at least one shard");
+    (splitmix64(id as u64) % n_shards as u64) as usize
+}
+
+/// Layout of the event-loop core: how many hash shards the registry is
+/// partitioned into and how many pool workers serve them. Neither number
+/// affects results — shard routing only regroups commutative per-client
+/// work and the aggregation merge is order-pinned — so both default to
+/// machine-friendly values rather than anything semantic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Hash shards (registry partitions, heartbeat sweep units,
+    /// aggregation buffers).
+    pub n_shards: usize,
+    /// Worker threads multiplexing the inline agents. Fixed at
+    /// construction: the coordinator's OS thread count is `n_workers`
+    /// regardless of federation size.
+    pub n_workers: usize,
+}
+
+impl ShardConfig {
+    /// `n_shards` shards served by a worker per available core (capped).
+    pub fn new(n_shards: usize, n_workers: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(n_workers >= 1, "need at least one worker");
+        ShardConfig { n_shards, n_workers }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ShardConfig { n_shards: 16, n_workers: cores.clamp(1, 8) }
+    }
+}
+
+// ---------------------------------------------------------------------
+// hierarchical aggregation
+// ---------------------------------------------------------------------
+
+#[allow(unused_imports)] // referenced by the doc links below and in tests
+use haccs_fedsim::round::RoundAccumulator;
+
+/// Per-shard aggregation buffers over one round's admitted updates.
+///
+/// Inserting is O(1) into the owning shard's buffer (the hot path while
+/// updates stream in); committing walks the shard cursors in admission
+/// order so the FedAvg float sequence — and therefore every bit of the
+/// global model — matches [`RoundAccumulator::fedavg`] exactly. See the
+/// module docs for why the walk, not a partial-sum reduction, is the
+/// merge step.
+#[derive(Debug)]
+pub struct ShardedAggregator<'a> {
+    /// Per shard: `(admission_index, update)` in admission order.
+    shards: Vec<Vec<(usize, &'a PendingUpdate)>>,
+}
+
+impl<'a> ShardedAggregator<'a> {
+    /// Partitions `updates` (already in admission order, as
+    /// [`RoundAccumulator`] holds them) into shard buffers.
+    pub fn from_admissions(updates: &'a [PendingUpdate], n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        let mut shards: Vec<Vec<(usize, &PendingUpdate)>> = vec![Vec::new(); n_shards];
+        for (idx, u) in updates.iter().enumerate() {
+            shards[shard_of(u.id, n_shards)].push((idx, u));
+        }
+        ShardedAggregator { shards }
+    }
+
+    /// Number of shard buffers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Updates buffered in shard `s`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.shards[s].len()
+    }
+
+    /// Total buffered updates.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The admission-order merge walk: yields every buffered update in
+    /// its original admission order by repeatedly taking the shard cursor
+    /// with the smallest admission index.
+    fn merged(&self) -> impl Iterator<Item = &'a PendingUpdate> + '_ {
+        let mut cursors = vec![0usize; self.shards.len()];
+        std::iter::from_fn(move || {
+            let mut best: Option<(usize, usize)> = None; // (admission idx, shard)
+            for (s, buf) in self.shards.iter().enumerate() {
+                if let Some(&(idx, _)) = buf.get(cursors[s]) {
+                    if best.is_none_or(|(b, _)| idx < b) {
+                        best = Some((idx, s));
+                    }
+                }
+            }
+            let (_, s) = best?;
+            let (_, u) = self.shards[s][cursors[s]];
+            cursors[s] += 1;
+            Some(u)
+        })
+    }
+
+    /// FedAvg over the buffered updates, **bit-identical** to
+    /// [`RoundAccumulator::fedavg`] over the same admissions: the merge
+    /// walk reproduces the flat admission order, so the f64 accumulation
+    /// performs the identical operation sequence regardless of
+    /// `n_shards`. No-op when no updates are buffered (same as flat).
+    pub fn merge_into(&self, global: &mut Vec<f32>) {
+        if self.is_empty() {
+            return;
+        }
+        let total_weight: f64 = self.merged().map(|u| u.n_train as f64).sum();
+        let mut new_params = vec![0.0f64; global.len()];
+        for u in self.merged() {
+            let w = u.n_train as f64 / total_weight;
+            for (acc, &p) in new_params.iter_mut().zip(&u.params) {
+                *acc += w * p as f64;
+            }
+        }
+        *global = new_params.into_iter().map(|x| x as f32).collect();
+    }
+}
+
+// ---------------------------------------------------------------------
+// the worker pool
+// ---------------------------------------------------------------------
+
+/// What the core sends a worker. Frames for one agent always travel the
+/// same worker's FIFO channel, so per-agent frame order is preserved —
+/// the property the protocol's seq numbering relies on.
+enum WorkerCmd {
+    /// Take ownership of an agent; process (and uplink) its `Join`.
+    Spawn(Box<AgentState>),
+    /// One frame for one agent.
+    Frame { id: usize, frame: Bytes },
+    /// One shared frame for many of this worker's agents.
+    Cohort(CohortDispatch),
+    /// Drop the agent (departed or evicted): frees its state and data.
+    Detach { id: usize },
+}
+
+struct Worker {
+    cmds: Sender<WorkerCmd>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// One agent slot in the event core.
+enum Slot {
+    /// Served inline by pool worker `worker`.
+    Inline { worker: usize },
+    /// A remote client reached through a transport bridge: the downlink
+    /// feeds the bridge's writer pump; envelopes arrive on the shared
+    /// uplink exactly like inline agents' (the "same event loop" the TCP
+    /// accept path is routed onto).
+    Remote { downlink: Sender<Bytes>, pump: Option<JoinHandle<()>> },
+    /// Departed/evicted (or a restore-time tombstone): frames are dropped.
+    Detached,
+}
+
+/// The thread-free agent runtime: a fixed worker pool serving all inline
+/// agents, plus remote bridge slots, behind one dispatch surface. OS
+/// thread count is `n_workers` + one bridge pump per *connected remote*,
+/// never a function of federation size.
+pub(crate) struct EventCore {
+    workers: Vec<Worker>,
+    slots: Vec<Slot>,
+    n_shards: usize,
+    /// Pumps of detached remote slots, joined at drop.
+    retired_pumps: Vec<JoinHandle<()>>,
+}
+
+impl EventCore {
+    /// Spawns the worker pool. `uplink` is the shared envelope funnel the
+    /// coordinator drains (the same channel remote bridges feed).
+    pub(crate) fn new(
+        cfg: ShardConfig,
+        factory: SharedModelFactory,
+        uplink: Sender<Envelope>,
+    ) -> Self {
+        let workers = (0..cfg.n_workers)
+            .map(|w| {
+                let (tx, rx) = mpsc::channel();
+                let factory = std::sync::Arc::clone(&factory);
+                let uplink = uplink.clone();
+                let thread = std::thread::Builder::new()
+                    .name(format!("haccs-pool-{w}"))
+                    .spawn(move || worker_main(rx, uplink, factory))
+                    .expect("spawn pool worker");
+                Worker { cmds: tx, thread: Some(thread) }
+            })
+            .collect();
+        EventCore { workers, slots: Vec::new(), n_shards: cfg.n_shards, retired_pumps: Vec::new() }
+    }
+
+    #[allow(dead_code)] // symmetric accessor; kept for the bench crate's wiring
+    pub(crate) fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Agents (inline, remote or tombstoned) ever registered.
+    pub(crate) fn spawned(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The pool worker owning shard `shard`: whole shards map to workers,
+    /// so shard-mates share a command FIFO.
+    fn worker_of_shard(&self, shard: usize) -> usize {
+        shard % self.workers.len()
+    }
+
+    fn worker_of(&self, id: usize) -> usize {
+        self.worker_of_shard(shard_of(id, self.n_shards))
+    }
+
+    /// Registers and starts inline agent `id` (must be the next dense
+    /// id). The owning worker processes its `Join` asynchronously.
+    pub(crate) fn spawn_agent(&mut self, id: usize, state: AgentState) {
+        assert_eq!(id, self.slots.len(), "agent ids must be dense");
+        assert_eq!(state.id(), id, "agent state/slot id mismatch");
+        let w = self.worker_of(id);
+        self.slots.push(Slot::Inline { worker: w });
+        self.workers[w].cmds.send(WorkerCmd::Spawn(Box::new(state))).expect("worker pool alive");
+    }
+
+    /// Registers remote client `id` (must be the next dense id), served
+    /// over a transport bridge.
+    pub(crate) fn attach_remote(
+        &mut self,
+        id: usize,
+        downlink: Sender<Bytes>,
+        pump: Option<JoinHandle<()>>,
+    ) {
+        assert_eq!(id, self.slots.len(), "agent ids must be dense");
+        self.slots.push(Slot::Remote { downlink, pump });
+    }
+
+    /// Registers a tombstone slot (restore path: the client departed
+    /// before the snapshot).
+    pub(crate) fn push_tombstone(&mut self) {
+        self.slots.push(Slot::Detached);
+    }
+
+    /// Sends one frame to one agent. Frames to detached slots are
+    /// dropped, mirroring the threaded runtime's closed downlink.
+    pub(crate) fn dispatch(&self, id: usize, frame: Bytes) {
+        match &self.slots[id] {
+            Slot::Inline { worker } => {
+                let _ = self.workers[*worker].cmds.send(WorkerCmd::Frame { id, frame });
+            }
+            Slot::Remote { downlink, .. } => {
+                // a send error means the bridge wound down (departed)
+                let _ = downlink.send(frame);
+            }
+            Slot::Detached => {}
+        }
+    }
+
+    /// Fans one shared frame out to `ids`: inline recipients are grouped
+    /// into per-worker cohorts (one channel send per worker), remote ones
+    /// get the frame through their bridge.
+    pub(crate) fn dispatch_cohort(&self, ids: &[usize], frame: Bytes) {
+        let mut cohorts: Vec<Vec<usize>> = vec![Vec::new(); self.workers.len()];
+        for &id in ids {
+            match &self.slots[id] {
+                Slot::Inline { worker } => cohorts[*worker].push(id),
+                Slot::Remote { downlink, .. } => {
+                    let _ = downlink.send(frame.clone());
+                }
+                Slot::Detached => {}
+            }
+        }
+        for (w, targets) in cohorts.into_iter().enumerate() {
+            if targets.is_empty() {
+                continue;
+            }
+            let d = CohortDispatch::from_frame(frame.clone(), targets);
+            let _ = self.workers[w].cmds.send(WorkerCmd::Cohort(d));
+        }
+    }
+
+    /// Closes the agent's downlink (departed or evicted): inline agents
+    /// are dropped by their worker, a remote bridge is half-closed.
+    pub(crate) fn detach(&mut self, id: usize) {
+        let old = std::mem::replace(&mut self.slots[id], Slot::Detached);
+        match old {
+            Slot::Inline { worker } => {
+                let _ = self.workers[worker].cmds.send(WorkerCmd::Detach { id });
+            }
+            Slot::Remote { downlink, pump } => {
+                drop(downlink); // pump half-closes the connection
+                if let Some(p) = pump {
+                    self.retired_pumps.push(p);
+                }
+            }
+            Slot::Detached => {}
+        }
+    }
+}
+
+impl Drop for EventCore {
+    fn drop(&mut self) {
+        // close the command channels so workers exit, then join them
+        for w in &mut self.workers {
+            let (dead_tx, _) = mpsc::channel();
+            w.cmds = dead_tx;
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+        // close remote downlinks, then join their pumps
+        for slot in &mut self.slots {
+            if let Slot::Remote { pump: Some(p), .. } = std::mem::replace(slot, Slot::Detached) {
+                self.retired_pumps.push(p);
+            }
+        }
+        for p in self.retired_pumps.drain(..) {
+            let _ = p.join();
+        }
+    }
+}
+
+fn worker_main(cmds: Receiver<WorkerCmd>, uplink: Sender<Envelope>, factory: SharedModelFactory) {
+    let mut agents: HashMap<usize, AgentState> = HashMap::new();
+    // one scratch model replica serves every agent on this worker: the
+    // protocol always `set_params`s before using it (see AgentState docs)
+    let mut model: Option<Sequential> = None;
+    let deliver = |agents: &mut HashMap<usize, AgentState>,
+                   model: &mut Option<Sequential>,
+                   id: usize,
+                   frame: Bytes| {
+        let Some(agent) = agents.get_mut(&id) else {
+            return; // departed and dropped — the closed-downlink case
+        };
+        let m = model.get_or_insert_with(|| factory());
+        if let Some(env) = agent.on_frame(frame, m) {
+            // a send error means the coordinator is gone; just unwind
+            let _ = uplink.send(env);
+        }
+        if agent.departed() {
+            agents.remove(&id); // frees the agent's data shard
+        }
+    };
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            WorkerCmd::Spawn(state) => {
+                let mut st = *state;
+                let env = st.join();
+                agents.insert(st.id(), st);
+                let _ = uplink.send(env);
+            }
+            WorkerCmd::Frame { id, frame } => deliver(&mut agents, &mut model, id, frame),
+            WorkerCmd::Cohort(d) => {
+                for &id in &d.targets {
+                    deliver(&mut agents, &mut model, id, d.frame.clone());
+                }
+            }
+            WorkerCmd::Detach { id } => {
+                agents.remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_pure_and_in_range() {
+        for n_shards in [1usize, 2, 7, 16] {
+            for id in 0..500 {
+                let s = shard_of(id, n_shards);
+                assert!(s < n_shards);
+                assert_eq!(s, shard_of(id, n_shards), "must be pure");
+            }
+        }
+        // the hash actually spreads ids (not all in one shard)
+        let mut counts = [0usize; 8];
+        for id in 0..800 {
+            counts[shard_of(id, 8)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "degenerate shard spread: {counts:?}");
+    }
+
+    fn update(id: usize, n_train: usize, salt: f32) -> PendingUpdate {
+        PendingUpdate {
+            id,
+            params: (0..7).map(|i| (i as f32 + salt) * 0.137 - 0.4).collect(),
+            loss: 0.5,
+            n_train,
+        }
+    }
+
+    #[test]
+    fn merge_is_bit_identical_to_flat_fedavg_for_any_shard_count() {
+        let mut acc = RoundAccumulator::new(None);
+        // admission order deliberately not id order
+        for (i, &id) in [5usize, 0, 11, 3, 8, 2, 13].iter().enumerate() {
+            acc.updates.push(update(id, 10 + 7 * i, i as f32));
+        }
+        let mut flat = vec![0.1f32; 7];
+        acc.fedavg(&mut flat);
+        for n_shards in [1usize, 2, 3, 4, 16] {
+            let agg = ShardedAggregator::from_admissions(&acc.updates, n_shards);
+            assert_eq!(agg.len(), acc.updates.len());
+            let mut merged = vec![0.1f32; 7];
+            agg.merge_into(&mut merged);
+            let a: Vec<u32> = flat.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = merged.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "shard count {n_shards} perturbed the FedAvg bits");
+        }
+    }
+
+    #[test]
+    fn empty_aggregator_leaves_global_untouched() {
+        let agg = ShardedAggregator::from_admissions(&[], 4);
+        assert!(agg.is_empty());
+        let mut g = vec![1.5f32, -2.0];
+        agg.merge_into(&mut g);
+        assert_eq!(g, vec![1.5, -2.0]);
+    }
+}

@@ -30,6 +30,15 @@ pub const SIZE_BYTES: &[f64] = &[
 pub const QUEUE_DEPTH: &[f64] =
     &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0];
 
+/// Bucket bounds for per-shard queue depths in the sharded coordinator
+/// core. Shards hold a slice of the cohort, so depths are smaller than
+/// whole-round batch sizes but the sweep still needs headroom at 100k
+/// clients spread over a handful of shards.
+pub const SHARD_QUEUE_DEPTH: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0,
+];
+
 /// The histogram metric name a span feeds: dots become underscores and
 /// `_seconds` is appended (`engine.round` → `engine_round_seconds`).
 pub fn span_histogram_name(span: &str) -> String {

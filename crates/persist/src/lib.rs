@@ -30,7 +30,14 @@ pub const MAGIC: [u8; 8] = *b"HACCSNAP";
 
 /// Current snapshot format version. Bump on any layout change; readers
 /// reject versions they do not understand rather than misparse.
-pub const VERSION: u32 = 1;
+///
+/// History:
+/// * v1 — flat registries: coordinator snapshots carried per-client state
+///   with no shard layout field.
+/// * v2 — sharded registries: the coordinator payload records the shard
+///   count its registry was partitioned into (informational — restore
+///   accepts any layout, entries stay serialized in global id order).
+pub const VERSION: u32 = 2;
 
 /// Sanity bound on length-prefixed sequence sizes, mirroring the wire
 /// codec's `MAX_LEN`: a corrupt length cannot trigger a huge allocation.
@@ -54,8 +61,12 @@ pub enum PersistError {
     Truncated,
     /// The leading magic bytes are not `HACCSNAP`.
     BadMagic,
-    /// The snapshot was written by an unknown format version.
+    /// The snapshot was written by an unknown (newer) format version.
     UnsupportedVersion(u32),
+    /// The snapshot predates the sharded-registry format (v1): readable
+    /// by older builds but not this one. Carries the found version; the
+    /// `Display` impl includes the migration note.
+    LegacySnapshot(u32),
     /// The payload does not match its recorded checksum.
     ChecksumMismatch,
     /// A length prefix exceeds [`MAX_LEN`] or the remaining payload.
@@ -74,6 +85,16 @@ impl fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a HACCS snapshot (bad magic)"),
             PersistError::UnsupportedVersion(v) => {
                 write!(f, "unsupported snapshot version {v} (this build reads {VERSION})")
+            }
+            PersistError::LegacySnapshot(v) => {
+                write!(
+                    f,
+                    "pre-shard HACCSNAP snapshot (v{v}; this build reads v{VERSION}): v1 \
+                     registries carry no shard layout and cannot be restored here. To \
+                     migrate, resume the run once under a pre-shard build and write a \
+                     fresh snapshot, or restart the run from its seed (runs are \
+                     bit-reproducible from construction inputs)"
+                )
             }
             PersistError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
             PersistError::LengthOutOfBounds(n) => {
@@ -224,6 +245,9 @@ impl<'a> SnapshotReader<'a> {
             return Err(PersistError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version < VERSION {
+            return Err(PersistError::LegacySnapshot(version));
+        }
         if version != VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
@@ -477,6 +501,18 @@ mod tests {
         let mut bytes = sample();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
         assert_eq!(SnapshotReader::open(&bytes), Err(PersistError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn pre_shard_snapshot_is_rejected_with_migration_note() {
+        // a v1 (pre-shard) envelope must surface the typed legacy error,
+        // not a panic and not the generic unsupported-version error
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(SnapshotReader::open(&bytes), Err(PersistError::LegacySnapshot(1)));
+        let msg = PersistError::LegacySnapshot(1).to_string();
+        assert!(msg.contains("pre-shard"), "missing context: {msg}");
+        assert!(msg.contains("migrate"), "missing migration note: {msg}");
     }
 
     #[test]

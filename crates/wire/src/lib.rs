@@ -33,10 +33,12 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 pub mod channel;
+pub mod cohort;
 pub mod frame;
 pub mod transport;
 
 pub use channel::{ChannelError, Delivery, FaultyChannel};
+pub use cohort::{group_by_cohort, CohortDispatch};
 pub use frame::{
     read_frame, read_frame_limited, write_frame, write_frame_limited, FrameError,
     FRAME_HEADER_BYTES, MAX_FRAME_BYTES,

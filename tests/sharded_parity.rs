@@ -1,0 +1,258 @@
+//! Sharded event-loop core ⇄ legacy threaded runtime parity soak.
+//!
+//! The sharded coordinator (`Coordinator::new`: fixed worker pool,
+//! cohort-batched dispatch, `ShardedRegistry`, hierarchical per-shard
+//! aggregation) must reproduce the thread-per-agent reference
+//! (`Coordinator::threaded`) **bit for bit** — `RunResult`'s `PartialEq`
+//! compares every float via `to_bits`. The soak runs n = 256 clients
+//! across a selector × `RoundPolicy` × fault matrix with a different
+//! shard/worker layout per cell, then adds a Join/Leave churn leg and a
+//! kill-and-resume leg (including a cross-backend snapshot restore, and
+//! a restore into a *different* shard layout).
+//!
+//! This is the pinned argument of DESIGN.md §14: shard routing only
+//! regroups commutative work, the aggregation merge replays the flat
+//! FedAvg float sequence in admission order, and liveness sweeps are
+//! re-sorted to flat id order — so the layout can never leak into
+//! results.
+
+use haccs::coord::ShardConfig;
+use haccs::fedsim::engine::ModelFactory;
+use haccs::prelude::*;
+use haccs::scheduler::{build_clusters, summarize_federation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 256;
+const CLASSES: usize = 4;
+const SEED: u64 = 0xACC5;
+const ROUNDS: usize = 4;
+
+/// Which runtime backs the coordinator under test.
+#[derive(Clone, Copy, Debug)]
+enum Backend {
+    /// Legacy thread-per-agent reference.
+    Threaded,
+    /// Sharded event-loop core with the given layout.
+    Sharded(ShardConfig),
+}
+
+fn build_world() -> (FederatedDataset, Vec<DeviceProfile>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let specs = partition::majority_noise(
+        N,
+        CLASSES,
+        &partition::MAJORITY_NOISE_75,
+        (10, 20),
+        12,
+        &mut rng,
+    );
+    let gen = SynthVision::mnist_like(CLASSES, 8, SEED);
+    let fed = FederatedDataset::materialize(&gen, &specs, SEED);
+    let profiles = DeviceProfile::sample_many(N, &mut rng);
+    (fed, profiles)
+}
+
+fn make_selector(kind: &str, fed: &FederatedDataset) -> Box<dyn Selector> {
+    match kind {
+        "random" => Box::new(RandomSelector::new()),
+        "tifl" => Box::new(TiflSelector::new(4)),
+        "oort" => Box::new(OortSelector::new()),
+        "haccs" => {
+            let summarizer = Summarizer::label_dist();
+            let summaries = summarize_federation(fed, &summarizer, SEED ^ 0xD9);
+            let (_, groups) = build_clusters(&summarizer, &summaries, 2, ExtractionMethod::Auto);
+            Box::new(HaccsSelector::new(groups, 0.5, "P(y)"))
+        }
+        other => panic!("unknown selector {other}"),
+    }
+}
+
+/// A coordinator over the first `n_start` clients of the shared world,
+/// on either backend — everything else identical.
+fn build_coord(
+    backend: Backend,
+    kind: &str,
+    n_start: usize,
+    policy: RoundPolicy,
+    faults: FaultModel,
+) -> Coordinator<Box<dyn Selector>> {
+    let (full, profiles) = build_world();
+    let mut fed = full;
+    fed.clients.truncate(n_start);
+    let sel = make_selector(kind, &fed);
+    let factory: ModelFactory =
+        Box::new(|| ModelKind::Mlp.build(1, 8, CLASSES, &mut StdRng::seed_from_u64(7)));
+    let latency = LatencyModel::for_params(10_000, 2e-3, 1);
+    let cfg = SimConfig { k: 16, seed: SEED, ..Default::default() };
+    let coord = match backend {
+        Backend::Threaded => Coordinator::threaded(
+            factory,
+            fed,
+            profiles[..n_start].to_vec(),
+            latency,
+            Availability::AlwaysOn,
+            cfg,
+            sel,
+        ),
+        Backend::Sharded(layout) => Coordinator::new(
+            factory,
+            fed,
+            profiles[..n_start].to_vec(),
+            latency,
+            Availability::AlwaysOn,
+            cfg,
+            sel,
+        )
+        .with_shard_layout(layout),
+    };
+    coord.with_summary_seed(SEED ^ 0xD9).with_policy(policy).with_faults(faults)
+}
+
+/// The selector × policy × fault matrix, one shard layout per cell — from
+/// the degenerate single-shard/single-worker pool to 64 shards on 8
+/// workers. Every cell's sharded run must equal its threaded twin.
+#[test]
+fn sharded_core_is_bit_identical_to_threaded_across_matrix() {
+    let lossy = FaultModel::none(SEED)
+        .with(FaultSpec::Lossy { prob: 0.2 })
+        .with(FaultSpec::Straggler { prob: 0.15, slowdown: 3.0 });
+    let crashy = FaultModel::none(SEED).with(FaultSpec::Crash { prob: 0.15 });
+    let cells: Vec<(&str, RoundPolicy, FaultModel, ShardConfig)> = vec![
+        ("random", RoundPolicy::default(), FaultModel::none(SEED), ShardConfig::new(1, 1)),
+        (
+            "oort",
+            RoundPolicy::deadline(AggregationPolicy::DeadlineDrop, 0.9),
+            lossy,
+            ShardConfig::new(3, 2),
+        ),
+        (
+            "haccs",
+            RoundPolicy::deadline(AggregationPolicy::Replace, 0.9),
+            crashy,
+            ShardConfig::new(16, 4),
+        ),
+        ("tifl", RoundPolicy::default(), lossy, ShardConfig::new(64, 8)),
+    ];
+    for (kind, policy, faults, layout) in cells {
+        let reference = build_coord(Backend::Threaded, kind, N, policy, faults).run(ROUNDS);
+        let sharded = build_coord(Backend::Sharded(layout), kind, N, policy, faults).run(ROUNDS);
+        assert_eq!(
+            reference, sharded,
+            "{kind} under {policy:?} with {layout:?} diverged from the threaded reference"
+        );
+        assert!(reference.rounds.iter().all(|r| !r.participants.is_empty()));
+    }
+}
+
+/// The layout itself must be inert: two sharded runs with wildly
+/// different shard/worker splits are bit-identical to each other.
+#[test]
+fn shard_layout_never_changes_results() {
+    let faults = FaultModel::none(SEED).with(FaultSpec::Lossy { prob: 0.25 });
+    let a = build_coord(
+        Backend::Sharded(ShardConfig::new(2, 1)),
+        "oort",
+        N,
+        RoundPolicy::default(),
+        faults,
+    )
+    .run(ROUNDS);
+    let b = build_coord(
+        Backend::Sharded(ShardConfig::new(128, 8)),
+        "oort",
+        N,
+        RoundPolicy::default(),
+        faults,
+    )
+    .run(ROUNDS);
+    assert_eq!(a, b, "shard layout leaked into results");
+}
+
+/// Join/Leave churn: the same scripted membership stream (mid-training
+/// joins, some with scheduled departures) applied to both backends must
+/// yield identical per-round records and an identical global model.
+fn churn_run(backend: Backend) -> (Vec<haccs::fedsim::RoundRecord>, Vec<f32>) {
+    const N_START: usize = 200;
+    let (full, _) = build_world();
+    let mut coord =
+        build_coord(backend, "random", N_START, RoundPolicy::default(), FaultModel::none(SEED));
+    let mut script = StdRng::seed_from_u64(SEED ^ 0xC0DE);
+    let mut next_join = N_START;
+    let mut records = Vec::new();
+    for round in 0..6u64 {
+        // up to 3 joins per round after the founding enrollment, ~40%
+        // with a scripted leave a couple of rounds out
+        for _ in 0..if round == 0 { 0 } else { script.gen_range(0..4u32) } {
+            if next_join >= N {
+                break;
+            }
+            let data = full.clients[next_join].clone();
+            let profile = DeviceProfile::uniform_fast();
+            if script.gen_bool(0.4) {
+                coord.add_client_leaving_after(data, profile, round + script.gen_range(2..4u64));
+            } else {
+                coord.add_client(data, profile);
+            }
+            next_join += 1;
+        }
+        records.push(coord.run_round());
+    }
+    assert!(next_join > N_START, "churn script must actually join clients");
+    (records, coord.global_params().to_vec())
+}
+
+#[test]
+fn join_leave_churn_is_bit_identical_across_backends() {
+    let (rec_t, params_t) = churn_run(Backend::Threaded);
+    let (rec_s, params_s) = churn_run(Backend::Sharded(ShardConfig::new(8, 3)));
+    assert_eq!(rec_t, rec_s, "churn round histories diverged");
+    assert_eq!(
+        params_t.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        params_s.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        "churn global models diverged"
+    );
+}
+
+/// Kill-and-resume: a sharded coordinator snapshotted mid-run and
+/// restored into a fresh coordinator — on the *other* backend and on a
+/// different shard layout — must finish with the uninterrupted threaded
+/// run's exact history. Snapshots are layout-free by design (the shard
+/// count field is informational), so all four resume paths must agree.
+#[test]
+fn snapshot_resume_is_bit_identical_across_backends_and_layouts() {
+    const SNAP_EPOCH: usize = 2;
+    let policy = RoundPolicy::default();
+    let faults = FaultModel::none(SEED).with(FaultSpec::Straggler { prob: 0.2, slowdown: 2.0 });
+    let reference = build_coord(Backend::Threaded, "oort", N, policy, faults).run(ROUNDS);
+
+    let snap_threaded = {
+        let mut c = build_coord(Backend::Threaded, "oort", N, policy, faults);
+        for _ in 0..SNAP_EPOCH {
+            c.run_round();
+        }
+        c.snapshot()
+    };
+    let snap_sharded = {
+        let mut c =
+            build_coord(Backend::Sharded(ShardConfig::new(16, 4)), "oort", N, policy, faults);
+        for _ in 0..SNAP_EPOCH {
+            c.run_round();
+        }
+        c.snapshot()
+    };
+    assert_eq!(snap_threaded, snap_sharded, "snapshot bytes must be backend-independent");
+
+    let resumes: Vec<(&str, Backend, &Vec<u8>)> = vec![
+        ("threaded → sharded", Backend::Sharded(ShardConfig::new(16, 4)), &snap_threaded),
+        ("sharded → threaded", Backend::Threaded, &snap_sharded),
+        ("sharded → wider layout", Backend::Sharded(ShardConfig::new(64, 8)), &snap_sharded),
+        ("sharded → single shard", Backend::Sharded(ShardConfig::new(1, 1)), &snap_sharded),
+    ];
+    for (label, backend, bytes) in resumes {
+        let mut c = build_coord(backend, "oort", N, policy, faults);
+        c.restore(bytes).unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+        let resumed = c.run(ROUNDS - SNAP_EPOCH);
+        assert_eq!(reference, resumed, "{label}: resumed history diverged");
+    }
+}
