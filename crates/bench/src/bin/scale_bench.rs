@@ -1,9 +1,9 @@
 //! `scale-bench`: the sharded event-loop coordinator under a 1k → 10k →
 //! 100k client size sweep, emitted as schema'd JSON
-//! (`haccs-scale-bench/v1`) into `results/BENCH_SCALE.json`.
+//! (`haccs-scale-bench/v2`) into `results/BENCH_SCALE.json`.
 //!
 //! ```text
-//! scale-bench [--tiers N,N,..] [--rounds R] [--k K] [--seed S] [--out FILE]
+//! scale-bench [--tiers N,N,..] [--rounds R] [--k K] [--seed S] [--out FILE] [--no-fork]
 //! scale-bench --check FILE
 //! ```
 //!
@@ -16,23 +16,44 @@
 //!   queue per wall second (read back from the
 //!   `coord_shard_queue_depth` histogram the coordinator feeds, plus
 //!   the 2·n enrollment round-trips),
+//! * **clustering_ms** — wall-clock of one full §IV-C re-cluster over
+//!   the tier's summaries through the two-level `ClusterCache`
+//!   (`flat_below: 0`, so every tier measures the bucketed path). The
+//!   validator rejects growth anywhere near quadratic — the flat
+//!   all-pairs path's signature,
+//! * **snapshot bytes per tick** — the dirty-shard segmented snapshot's
+//!   steady-state write cost (`coord_snapshot_bytes_total` deltas,
+//!   first all-shard tick excluded and reported separately). Shard
+//!   count is ⌈√n⌉, so steady ticks cost O(√n): the validator rejects
+//!   linear-or-worse growth,
 //! * **peak RSS** — `VmHWM` from `/proc/self/status`,
 //! * **OS thread count** — `Threads:` sampled mid-run. The whole point
 //!   of the sharded core: the pool is sized by `ShardConfig::default()`
 //!   (≤ 8 workers), so this number must NOT grow with n. The validator
 //!   rejects reports where it does.
 //!
-//! `--check FILE` parses an existing report and validates the schema —
-//! CI's `scale-smoke` job runs the 1k tier and then this validator.
+//! Each tier runs in its **own child process** (`--one-tier`, spawned
+//! from `current_exe`): `VmHWM` is a per-process high-water mark that
+//! never resets, so measuring ascending tiers in one process would
+//! attribute every tier the largest predecessor's peak. `--no-fork`
+//! keeps the old single-process behavior (also the automatic fallback
+//! when spawning fails, e.g. under a restrictive sandbox) — there the
+//! RSS column is only an upper bound for all but the largest tier.
+//!
+//! `--check FILE` parses an existing report and validates the schema
+//! plus the scaling assertions — CI's `scale-smoke` job runs a reduced
+//! sweep and then this validator.
 
 use haccs_baselines::RandomSelector;
 use haccs_coord::{Coordinator, ShardConfig};
+use haccs_core::{ClusterCache, ExtractionMethod, TwoLevelConfig};
 use haccs_data::{partition, FederatedDataset, SynthVision};
-use haccs_fedsim::engine::ModelFactory;
+use haccs_fedsim::engine::{ModelFactory, SnapshotPolicy};
 use haccs_fedsim::SimConfig;
 use haccs_nn::ModelKind;
 use haccs_obs::json::Json;
 use haccs_obs::Recorder;
+use haccs_summary::Summarizer;
 use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,16 +110,50 @@ fn build_world(n: usize, seed: u64) -> (FederatedDataset, Vec<DeviceProfile>) {
     (fed, profiles)
 }
 
+/// Times one full two-level re-cluster over the tier's summaries:
+/// insert every client into a bucketed `ClusterCache` and run the
+/// §IV-C hook's `recluster()`. `flat_below: 0` forces the bucketed path
+/// at every tier so the column measures the sub-quadratic algorithm,
+/// not the small-n flat fallback. Returns `(insert_ms, recluster_ms,
+/// buckets, cells, groups)`.
+fn time_clustering(fed: &FederatedDataset, seed: u64) -> (f64, f64, usize, usize, usize) {
+    let cfg = TwoLevelConfig { flat_below: 0, ..TwoLevelConfig::default() };
+    let mut cache =
+        ClusterCache::two_level(Summarizer::label_dist(), 3, ExtractionMethod::default(), cfg);
+    let t = Instant::now();
+    cache.insert_federation(fed, seed ^ 0xD9);
+    let insert_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let groups = cache.recluster();
+    let recluster_ms = t.elapsed().as_secs_f64() * 1e3;
+    (insert_ms, recluster_ms, cache.bucket_count(), cache.cell_count(), groups.len())
+}
+
 /// One tier of the sweep: enroll n clients on the event backend, run the
-/// rounds, read the scaling counters back.
+/// rounds with per-round segmented snapshots, read the scaling counters
+/// back, then time the two-level clustering separately.
 fn run_tier(n: usize, rounds: usize, k: usize, seed: u64) -> Json {
     eprintln!("tier n={n}: materializing dataset");
     let (fed, profiles) = build_world(n, seed);
+    let (cluster_insert_ms, clustering_ms, buckets, cells, groups) = {
+        eprintln!("tier n={n}: timing two-level clustering");
+        time_clustering(&fed, seed)
+    };
+    eprintln!(
+        "tier n={n}: clustering {clustering_ms:.1}ms over {buckets} buckets / {cells} cells \
+         -> {groups} groups"
+    );
+
     let factory: ModelFactory =
         Box::new(move || ModelKind::Mlp.build(1, SIDE, CLASSES, &mut StdRng::seed_from_u64(7)));
     let cfg = SimConfig { k, seed, eval_max: 256, probe_max: 8, ..Default::default() };
     let rec = Recorder::enabled();
     let layout = ShardConfig::default();
+    // √n snapshot shards: steady dirty-shard ticks then cost O(√n)
+    let snap_shards = (n as f64).sqrt().ceil().max(1.0) as usize;
+    let snap_dir =
+        std::env::temp_dir().join(format!("haccs-scale-bench-snap-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
     let mut coord = Coordinator::new(
         factory,
         fed,
@@ -108,22 +163,29 @@ fn run_tier(n: usize, rounds: usize, k: usize, seed: u64) -> Json {
         cfg,
         RandomSelector::new(),
     )
-    .with_recorder(rec.clone());
+    .with_recorder(rec.clone())
+    .with_segmented_snapshots(SnapshotPolicy::every(1, &snap_dir), snap_shards);
 
     let mut wall_s = Vec::with_capacity(rounds);
     let mut sim_s = Vec::with_capacity(rounds);
+    let mut snap_tick_bytes = Vec::with_capacity(rounds);
     let mut threads_peak = 0u64;
+    let mut snap_counter = 0u64;
     let t_total = Instant::now();
     for r in 0..rounds {
         let t = Instant::now();
         let record = coord.run_round();
         wall_s.push(t.elapsed().as_secs_f64());
         sim_s.push(record.round_seconds);
+        let total = rec.counter_value("coord_snapshot_bytes_total");
+        snap_tick_bytes.push((total - snap_counter) as f64);
+        snap_counter = total;
         threads_peak = threads_peak.max(os_threads().unwrap_or(0));
         eprintln!(
-            "tier n={n}: round {r} in {:.3}s wall ({} participants)",
+            "tier n={n}: round {r} in {:.3}s wall ({} participants, {:.0} snapshot bytes)",
             wall_s[r],
-            record.participants.len()
+            record.participants.len(),
+            snap_tick_bytes[r]
         );
     }
     let total_wall = t_total.elapsed().as_secs_f64();
@@ -135,7 +197,11 @@ fn run_tier(n: usize, rounds: usize, k: usize, seed: u64) -> Json {
         rec.histogram("coord_shard_queue_depth").map(|h| h.sum()).unwrap_or(f64::NAN);
     let total_events = timed_events + 2.0 * n as f64;
     let steady: Vec<f64> = wall_s[1..].to_vec();
+    // tick 0 writes every shard (nothing clean yet); steady ticks write
+    // core + manifest + only the shards the round dirtied
+    let steady_snap: Vec<f64> = snap_tick_bytes[1..].to_vec();
     drop(coord); // workers join here; thread peak was sampled mid-run
+    let _ = std::fs::remove_dir_all(&snap_dir);
 
     Json::obj(vec![
         ("n_clients", Json::Num(n as f64)),
@@ -163,20 +229,80 @@ fn run_tier(n: usize, rounds: usize, k: usize, seed: u64) -> Json {
         ("total_wall_s", Json::Num(total_wall)),
         ("events_total", Json::Num(total_events)),
         ("events_per_sec", Json::Num(total_events / total_wall)),
+        (
+            "clustering",
+            Json::obj(vec![
+                ("insert_ms", Json::Num(cluster_insert_ms)),
+                ("recluster_ms", Json::Num(clustering_ms)),
+                ("buckets", Json::Num(buckets as f64)),
+                ("cells", Json::Num(cells as f64)),
+                ("groups", Json::Num(groups as f64)),
+            ]),
+        ),
+        (
+            "snapshot",
+            Json::obj(vec![
+                ("n_snap_shards", Json::Num(snap_shards as f64)),
+                ("first_tick_bytes", Json::Num(snap_tick_bytes[0])),
+                ("bytes_per_tick", Json::Num(mean(&steady_snap))),
+            ]),
+        ),
         ("peak_rss_bytes", Json::Num(peak_rss_bytes().map(|b| b as f64).unwrap_or(f64::NAN))),
         ("os_threads", Json::Num(if threads_peak > 0 { threads_peak as f64 } else { f64::NAN })),
     ])
 }
 
-/// Validates a `haccs-scale-bench/v1` report. Returns every violation.
+/// Runs one tier in a child process (so its `VmHWM` is its own) and
+/// parses the tier JSON from the child's stdout. Falls back to
+/// in-process on any spawn/parse failure, with a warning — the report
+/// stays complete, only the RSS column degrades to an upper bound.
+fn run_tier_forked(n: usize, rounds: usize, k: usize, seed: u64) -> Json {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warning: current_exe failed ({e}); running tier n={n} in-process");
+            return run_tier(n, rounds, k, seed);
+        }
+    };
+    let out = std::process::Command::new(exe)
+        .args(["--one-tier", &n.to_string()])
+        .args(["--rounds", &rounds.to_string()])
+        .args(["--k", &k.to_string()])
+        .args(["--seed", &seed.to_string()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .output();
+    match out {
+        Ok(o) if o.status.success() => {
+            let text = String::from_utf8_lossy(&o.stdout);
+            match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!(
+                        "warning: tier n={n} child emitted unparseable JSON ({e}); \
+                         rerunning in-process"
+                    );
+                    run_tier(n, rounds, k, seed)
+                }
+            }
+        }
+        Ok(o) => panic!("tier n={n} child failed with {}", o.status),
+        Err(e) => {
+            eprintln!("warning: cannot spawn tier child ({e}); running tier n={n} in-process");
+            run_tier(n, rounds, k, seed)
+        }
+    }
+}
+
+/// Validates a `haccs-scale-bench/v2` report. Returns every violation.
 fn check_report(text: &str) -> Vec<String> {
     let mut errs = Vec::new();
     let json = match Json::parse(text) {
         Ok(j) => j,
         Err(e) => return vec![format!("not valid JSON: {e}")],
     };
-    if json.get("schema").and_then(Json::as_str) != Some("haccs-scale-bench/v1") {
-        errs.push("schema must be \"haccs-scale-bench/v1\"".into());
+    if json.get("schema").and_then(Json::as_str) != Some("haccs-scale-bench/v2") {
+        errs.push("schema must be \"haccs-scale-bench/v2\"".into());
     }
     let tiers = match json.get("tiers").and_then(Json::as_arr) {
         Some(t) if !t.is_empty() => t,
@@ -187,6 +313,8 @@ fn check_report(text: &str) -> Vec<String> {
     };
     let mut sizes = Vec::new();
     let mut threads = Vec::new();
+    let mut recluster_ms = Vec::new();
+    let mut snap_bytes = Vec::new();
     for (i, t) in tiers.iter().enumerate() {
         for key in ["n_clients", "rounds", "n_shards", "n_workers", "enroll_round_wall_s"] {
             if t.get(key).and_then(Json::as_f64).is_none() {
@@ -204,6 +332,24 @@ fn check_report(text: &str) -> Vec<String> {
         }
         if let Some(n) = t.get("n_clients").and_then(Json::as_f64) {
             sizes.push(n);
+        }
+        match t.get("clustering").and_then(|c| c.get("recluster_ms")).and_then(Json::as_f64) {
+            Some(ms) if ms >= 0.0 => recluster_ms.push(ms),
+            _ => errs.push(format!("tiers[{i}].clustering.recluster_ms: missing number")),
+        }
+        for key in ["insert_ms", "buckets", "cells", "groups"] {
+            if t.get("clustering").and_then(|c| c.get(key)).and_then(Json::as_f64).is_none() {
+                errs.push(format!("tiers[{i}].clustering.{key}: missing number"));
+            }
+        }
+        match t.get("snapshot").and_then(|s| s.get("bytes_per_tick")).and_then(Json::as_f64) {
+            Some(b) if b > 0.0 => snap_bytes.push(b),
+            _ => errs.push(format!("tiers[{i}].snapshot.bytes_per_tick: must be positive")),
+        }
+        for key in ["n_snap_shards", "first_tick_bytes"] {
+            if t.get("snapshot").and_then(|s| s.get(key)).and_then(Json::as_f64).is_none() {
+                errs.push(format!("tiers[{i}].snapshot.{key}: missing number"));
+            }
         }
         // NaN peak RSS / thread count is allowed (non-Linux hosts); a
         // reported value must be sane
@@ -245,6 +391,39 @@ fn check_report(text: &str) -> Vec<String> {
             errs.push(format!("tiers[{i}].os_threads {th} exceeds any sane fixed pool"));
         }
     }
+    // re-clustering must stay well clear of quadratic: across one tier
+    // step the flat all-pairs path grows ~ratio², so demand < ratio²/2.
+    // Sub-millisecond baselines are skipped — at that scale the ratio is
+    // timer noise, not algorithmic growth.
+    if recluster_ms.len() == sizes.len() {
+        for i in 1..recluster_ms.len() {
+            let size_ratio = sizes[i] / sizes[i - 1];
+            if recluster_ms[i - 1] < 1.0 {
+                continue;
+            }
+            let growth = recluster_ms[i] / recluster_ms[i - 1];
+            if growth >= size_ratio * size_ratio / 2.0 {
+                errs.push(format!(
+                    "tiers[{i}].clustering.recluster_ms grew {growth:.1}x over a {size_ratio:.1}x \
+                     size step — quadratic re-clustering (flat all-pairs path?)"
+                ));
+            }
+        }
+    }
+    // steady-state snapshot ticks must grow sub-linearly (√n sharding
+    // puts them ~ratio^0.5); reject anything at or above linear
+    if snap_bytes.len() == sizes.len() {
+        for i in 1..snap_bytes.len() {
+            let size_ratio = sizes[i] / sizes[i - 1];
+            let growth = snap_bytes[i] / snap_bytes[i - 1];
+            if growth >= size_ratio {
+                errs.push(format!(
+                    "tiers[{i}].snapshot.bytes_per_tick grew {growth:.1}x over a {size_ratio:.1}x \
+                     size step — per-tick snapshot writes must be sub-linear in n"
+                ));
+            }
+        }
+    }
     errs
 }
 
@@ -255,6 +434,8 @@ fn main() -> ExitCode {
     let mut seed = 11u64;
     let mut out = PathBuf::from("results/BENCH_SCALE.json");
     let mut check: Option<PathBuf> = None;
+    let mut one_tier: Option<usize> = None;
+    let mut fork = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -273,9 +454,15 @@ fn main() -> ExitCode {
             "--seed" => seed = args.next().expect("--seed S").parse().expect("integer"),
             "--out" => out = PathBuf::from(args.next().expect("--out FILE")),
             "--check" => check = Some(PathBuf::from(args.next().expect("--check FILE"))),
+            // internal: run a single tier and print its JSON to stdout
+            // (the parent's per-tier child process)
+            "--one-tier" => {
+                one_tier = Some(args.next().expect("--one-tier N").parse().expect("tier size"));
+            }
+            "--no-fork" => fork = false,
             "--help" | "-h" => {
                 println!(
-                    "usage: scale-bench [--tiers N,N,..] [--rounds R] [--k K] [--seed S] [--out FILE]\n       scale-bench --check FILE"
+                    "usage: scale-bench [--tiers N,N,..] [--rounds R] [--k K] [--seed S] [--out FILE] [--no-fork]\n       scale-bench --check FILE"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -294,7 +481,7 @@ fn main() -> ExitCode {
         };
         let errs = check_report(&text);
         if errs.is_empty() {
-            println!("{}: valid haccs-scale-bench/v1 report", path.display());
+            println!("{}: valid haccs-scale-bench/v2 report", path.display());
             return ExitCode::SUCCESS;
         }
         for e in &errs {
@@ -303,13 +490,27 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // ascending so each tier's VmHWM reading reflects its own high-water
-    // mark, not a bigger predecessor's
+    if let Some(n) = one_tier {
+        // child mode: the tier JSON is the stdout contract with the parent
+        println!("{}", run_tier(n, rounds, k, seed).render_pretty());
+        return ExitCode::SUCCESS;
+    }
+
     assert!(tiers.windows(2).all(|w| w[0] < w[1]), "tiers must be ascending");
-    let tier_reports: Vec<Json> = tiers.iter().map(|&n| run_tier(n, rounds, k, seed)).collect();
+    let tier_reports: Vec<Json> =
+        tiers
+            .iter()
+            .map(|&n| {
+                if fork {
+                    run_tier_forked(n, rounds, k, seed)
+                } else {
+                    run_tier(n, rounds, k, seed)
+                }
+            })
+            .collect();
 
     let report = Json::obj(vec![
-        ("schema", Json::Str("haccs-scale-bench/v1".into())),
+        ("schema", Json::Str("haccs-scale-bench/v2".into())),
         (
             "config",
             Json::obj(vec![
@@ -337,27 +538,37 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn tier(n: f64, threads: f64) -> String {
+    fn tier_full(n: f64, threads: f64, recluster_ms: f64, snap_bytes: f64) -> String {
         format!(
             r#"{{"n_clients": {n}, "rounds": 3, "n_shards": 16, "n_workers": 4,
                 "enroll_round_wall_s": 1.0,
                 "round_wall_s": {{"mean": 0.5, "p50": 0.5, "p90": 0.6, "p99": 0.7}},
-                "events_per_sec": 1000.0, "peak_rss_bytes": 1000000.0,
+                "events_per_sec": 1000.0,
+                "clustering": {{"insert_ms": 1.0, "recluster_ms": {recluster_ms},
+                                "buckets": 4, "cells": 40, "groups": 5}},
+                "snapshot": {{"n_snap_shards": 32, "first_tick_bytes": 100000.0,
+                              "bytes_per_tick": {snap_bytes}}},
+                "peak_rss_bytes": 1000000.0,
                 "os_threads": {threads}}}"#
         )
+    }
+
+    fn tier(n: f64, threads: f64) -> String {
+        // √n-ish snapshot growth and ~n·log n clustering growth: both pass
+        tier_full(n, threads, 2.0 * (n / 1000.0), 1000.0 * (n / 1000.0).sqrt())
     }
 
     #[test]
     fn check_rejects_garbage_and_wrong_schema() {
         assert!(!check_report("not json").is_empty());
-        let errs = check_report(r#"{"schema":"haccs-speed-bench/v1","tiers":[]}"#);
-        assert!(errs.iter().any(|e| e.contains("haccs-scale-bench/v1")), "{errs:?}");
+        let errs = check_report(r#"{"schema":"haccs-scale-bench/v1","tiers":[]}"#);
+        assert!(errs.iter().any(|e| e.contains("haccs-scale-bench/v2")), "{errs:?}");
     }
 
     #[test]
     fn check_accepts_a_fixed_thread_pool() {
         let text = format!(
-            r#"{{"schema": "haccs-scale-bench/v1", "tiers": [{}, {}]}}"#,
+            r#"{{"schema": "haccs-scale-bench/v2", "tiers": [{}, {}]}}"#,
             tier(1000.0, 12.0),
             tier(100000.0, 12.0)
         );
@@ -367,7 +578,7 @@ mod tests {
     #[test]
     fn check_rejects_thread_counts_that_scale_with_n() {
         let text = format!(
-            r#"{{"schema": "haccs-scale-bench/v1", "tiers": [{}, {}]}}"#,
+            r#"{{"schema": "haccs-scale-bench/v2", "tiers": [{}, {}]}}"#,
             tier(1000.0, 12.0),
             tier(100000.0, 4000.0)
         );
@@ -378,11 +589,45 @@ mod tests {
     #[test]
     fn check_demands_ascending_tiers() {
         let text = format!(
-            r#"{{"schema": "haccs-scale-bench/v1", "tiers": [{}, {}]}}"#,
+            r#"{{"schema": "haccs-scale-bench/v2", "tiers": [{}, {}]}}"#,
             tier(10000.0, 12.0),
             tier(1000.0, 12.0)
         );
         let errs = check_report(&text);
         assert!(errs.iter().any(|e| e.contains("ascending")), "{errs:?}");
+    }
+
+    #[test]
+    fn check_rejects_quadratic_clustering_growth() {
+        // 10x size step, 100x recluster time: the flat all-pairs signature
+        let text = format!(
+            r#"{{"schema": "haccs-scale-bench/v2", "tiers": [{}, {}]}}"#,
+            tier_full(1000.0, 12.0, 5.0, 1000.0),
+            tier_full(10000.0, 12.0, 500.0, 3000.0)
+        );
+        let errs = check_report(&text);
+        assert!(errs.iter().any(|e| e.contains("quadratic re-clustering")), "{errs:?}");
+    }
+
+    #[test]
+    fn check_ignores_noise_scale_clustering_baselines() {
+        // sub-millisecond baseline: the ratio is timer noise, not growth
+        let text = format!(
+            r#"{{"schema": "haccs-scale-bench/v2", "tiers": [{}, {}]}}"#,
+            tier_full(1000.0, 12.0, 0.01, 1000.0),
+            tier_full(10000.0, 12.0, 2.0, 3000.0)
+        );
+        assert!(check_report(&text).is_empty(), "{:?}", check_report(&text));
+    }
+
+    #[test]
+    fn check_rejects_linear_snapshot_ticks() {
+        let text = format!(
+            r#"{{"schema": "haccs-scale-bench/v2", "tiers": [{}, {}]}}"#,
+            tier_full(1000.0, 12.0, 2.0, 1000.0),
+            tier_full(10000.0, 12.0, 10.0, 10000.0)
+        );
+        let errs = check_report(&text);
+        assert!(errs.iter().any(|e| e.contains("sub-linear")), "{errs:?}");
     }
 }

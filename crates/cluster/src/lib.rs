@@ -20,11 +20,13 @@
 //! unchanged for P(y) and P(X|y) summaries (or anything else).
 
 pub mod agglomerative;
+pub mod buckets;
 pub mod dbscan;
 pub mod optics;
 pub mod quality;
 pub mod warm;
 
+pub use buckets::BucketedWarmOptics;
 pub use warm::{WarmOptics, WarmOpticsStats};
 
 /// A clustering result: per-point cluster label, `None` = noise.

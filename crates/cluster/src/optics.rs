@@ -16,7 +16,7 @@ use crate::dbscan::validate_matrix;
 use crate::Clustering;
 
 /// OPTICS output: the cluster-ordering plus reachability/core distances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Optics {
     /// Visit order of point indices.
     pub order: Vec<usize>,

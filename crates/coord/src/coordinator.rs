@@ -54,6 +54,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -242,6 +243,30 @@ pub fn haccs_cached_recluster_hook(
     }
 }
 
+/// The §IV-C re-clustering hook for [`HaccsSelector`], **two-level
+/// edition** (DESIGN.md §15): like [`haccs_cached_recluster_hook`], but
+/// the embedded [`haccs_core::ClusterCache`] is built with
+/// [`haccs_core::ClusterCache::two_level`]. Below
+/// `cfg.flat_below` members it runs the flat incremental path verbatim
+/// (bit-identical to the cached hook); past the threshold it promotes to
+/// sketch buckets and re-clustering cost is bounded by data diversity
+/// (cells per bucket) instead of O(n²) in the member count.
+pub fn haccs_two_level_recluster_hook(
+    summarizer: Summarizer,
+    min_pts: usize,
+    extraction: haccs_core::ExtractionMethod,
+    cfg: haccs_core::TwoLevelConfig,
+) -> impl FnMut(&mut haccs_core::HaccsSelector, &[(usize, WireSummary)]) {
+    let mut cache = haccs_core::ClusterCache::two_level(summarizer, min_pts, extraction, cfg);
+    move |sel, entries| {
+        cache.sync_wire(entries);
+        let groups = cache.recluster();
+        if !groups.is_empty() {
+            sel.recluster(groups);
+        }
+    }
+}
+
 use haccs_core::HaccsSelector;
 
 /// The coordinator runtime. Generic over the selector so the §IV-C
@@ -283,6 +308,7 @@ pub struct Coordinator<S: Selector> {
     phase: RoundPhase,
     membership_dirty: bool,
     snapshots: Option<SnapshotPolicy>,
+    segmented: Option<SegmentedSnapshots>,
     /// Model-update codec agents encode with and the server decodes
     /// with. `None`/`Identity` keep plain `ModelUpdate` frames and the
     /// historical bit-identical path.
@@ -296,6 +322,25 @@ struct SweepOutcome {
     missed: usize,
     retries: usize,
     bytes: usize,
+}
+
+/// State of the dirty-shard segmented-snapshot path
+/// ([`Coordinator::with_segmented_snapshots`]): which snapshot shards were
+/// mutated since the last tick, and the manifest entry each shard's most
+/// recent segment file carries (reused verbatim for clean shards).
+///
+/// Snapshot shards stripe clients by `id % n_shards` — deliberately
+/// independent of the registry's runtime shard layout, so snapshot *files*
+/// stay layout-free exactly like the monolithic bytes.
+struct SegmentedSnapshots {
+    policy: SnapshotPolicy,
+    n_shards: usize,
+    /// `dirty[s]` — shard `s`'s serialized entry bytes may have changed
+    /// since its last written segment.
+    dirty: Vec<bool>,
+    /// Last written segment per shard (`None` until the first tick, which
+    /// therefore writes every shard).
+    last: Vec<Option<persist::segment::SegmentEntry>>,
 }
 
 /// One client's state as read back from a snapshot.
@@ -391,6 +436,7 @@ impl<S: Selector> Coordinator<S> {
             phase: RoundPhase::Enrolling,
             membership_dirty: false,
             snapshots: None,
+            segmented: None,
             codec: None,
             obs: Recorder::disabled(),
             recluster_hook: None,
@@ -510,6 +556,7 @@ impl<S: Selector> Coordinator<S> {
             phase: RoundPhase::Enrolling,
             membership_dirty: false,
             snapshots: None,
+            segmented: None,
             codec: None,
             obs: Recorder::disabled(),
             recluster_hook: None,
@@ -606,6 +653,48 @@ impl<S: Selector> Coordinator<S> {
         self.snapshots.as_ref()
     }
 
+    /// Enables periodic **segmented** snapshots (builder style): after
+    /// every `policy.every_rounds`-th committed round the coordinator
+    /// writes the core segment plus only the snapshot shards whose
+    /// per-client state changed since the previous tick, then commits the
+    /// tick with a manifest (see [`persist::segment`]). With heartbeat
+    /// acks that merely re-confirm an unchanged loss left clean, per-tick
+    /// bytes scale with *churn*, not federation size. Restore via
+    /// [`Coordinator::restore_segmented`] is bit-identical to the
+    /// monolithic [`Coordinator::restore`].
+    ///
+    /// `n_shards` stripes clients by `id % n_shards` into snapshot shards
+    /// — independent of the runtime shard layout, purely a write
+    /// granularity knob. Mutually composable with
+    /// [`Coordinator::with_snapshots`] (a run may write both formats).
+    pub fn with_segmented_snapshots(mut self, policy: SnapshotPolicy, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "segmented snapshots need at least one shard");
+        self.segmented = Some(SegmentedSnapshots {
+            policy,
+            n_shards,
+            dirty: vec![true; n_shards],
+            last: vec![None; n_shards],
+        });
+        self
+    }
+
+    /// The segmented-snapshot policy, if enabled.
+    pub fn segmented_snapshot_policy(&self) -> Option<&SnapshotPolicy> {
+        self.segmented.as_ref().map(|s| &s.policy)
+    }
+
+    /// Marks client `id`'s snapshot shard dirty: its serialized entry
+    /// bytes may differ from the last written segment. No-op unless
+    /// segmented snapshots are enabled. Call sites are exactly the
+    /// registry mutations that feed [`Coordinator::entry_bytes`]; the
+    /// heartbeat path compares before marking so an ack that changes
+    /// nothing keeps its shard clean.
+    fn mark_entry_dirty(&mut self, id: usize) {
+        if let Some(seg) = &mut self.segmented {
+            seg.dirty[id % seg.n_shards] = true;
+        }
+    }
+
     /// Attaches a telemetry recorder (builder style). Coordinator
     /// instrumentation only reads runtime state in drained-queue order —
     /// never the RNG, the clock or the model — so enabling it keeps
@@ -679,6 +768,7 @@ impl<S: Selector> Coordinator<S> {
             return;
         }
         self.registry.observe_summary_update(id, summary);
+        self.mark_entry_dirty(id);
         self.membership_dirty = true;
     }
 
@@ -859,6 +949,15 @@ impl<S: Selector> Coordinator<S> {
         CoordError::EventQueueFull(e)
     }
 
+    /// Maps restore-time backpressure (bounded event-queue overflow while
+    /// collecting resumed clients' Joins) into the restore path's error
+    /// type, so callers see a [`PersistError`] instead of an abort. The
+    /// drop was already counted in `coord_event_queue_dropped_total` by
+    /// [`Coordinator::queue_overflow`].
+    fn restore_backpressure(e: CoordError) -> PersistError {
+        PersistError::Malformed(format!("restore aborted on coordinator backpressure: {e}"))
+    }
+
     /// Per-shard queue-depth telemetry: how many of one collection's
     /// envelopes each registry shard contributed. Event backend only (the
     /// flat registry has a single shard, already covered by the global
@@ -1007,6 +1106,7 @@ impl<S: Selector> Coordinator<S> {
                             liveness: Liveness::Joined,
                             missed_heartbeats: 0,
                         });
+                        self.mark_entry_dirty(id);
                         new_ids.push(id);
                     }
                     other => panic!("expected Join from client {id}, got {other:?}"),
@@ -1024,6 +1124,7 @@ impl<S: Selector> Coordinator<S> {
                 match Self::decode_delivered(outcome) {
                     Message::Heartbeat { last_loss, .. } => {
                         self.registry.get_mut(id).last_loss = Some(last_loss);
+                        self.mark_entry_dirty(id);
                     }
                     other => panic!("expected enrollment ack from client {id}, got {other:?}"),
                 }
@@ -1196,6 +1297,12 @@ impl<S: Selector> Coordinator<S> {
                     .unwrap_or_else(|e| panic!("scheduled snapshot failed: {e}"));
             }
         }
+        if let Some(seg) = &self.segmented {
+            if self.epoch.is_multiple_of(seg.policy.every_rounds) {
+                self.write_segmented_snapshot()
+                    .unwrap_or_else(|e| panic!("scheduled segmented snapshot failed: {e}"));
+            }
+        }
 
         self.obs.inc("coord_rounds_total", 1);
         self.obs.inc("coord_updates_total", record.participants.len() as u64);
@@ -1322,6 +1429,7 @@ impl<S: Selector> Coordinator<S> {
             }
         }
         for u in &acc.updates {
+            self.mark_entry_dirty(u.id);
             let e = self.registry.get_mut(u.id);
             e.last_loss = Some(u.loss);
             e.participation_count += 1;
@@ -1508,10 +1616,23 @@ impl<S: Selector> Coordinator<S> {
 
         // liveness transitions, in deterministic id order per class
         for (id, loss) in acked {
+            // compare before marking: an ack that only re-confirms an
+            // already-Alive client's unchanged loss leaves its snapshot
+            // shard clean — without this, every probed client would dirty
+            // its shard every sweep and per-tick segment bytes would be
+            // linear in federation size instead of churn
+            let e = self.registry.get(id);
+            if e.last_loss != Some(loss)
+                || e.missed_heartbeats != 0
+                || e.liveness != Liveness::Alive
+            {
+                self.mark_entry_dirty(id);
+            }
             self.registry.observe_heartbeat(id, loss);
         }
         for id in leaves {
             self.registry.observe_leave(id);
+            self.mark_entry_dirty(id);
             self.detach_agent(id); // the agent already wound itself down
             self.membership_dirty = true;
             self.obs
@@ -1525,6 +1646,8 @@ impl<S: Selector> Coordinator<S> {
             probed.iter().copied().filter(|id| !responders.contains(id)).collect();
         for id in silent.into_iter().chain(lost) {
             use haccs_sysmodel::LivenessVerdict;
+            // a miss always increments the entry's streak counter
+            self.mark_entry_dirty(id);
             match self.registry.observe_miss(id, &self.hb_policy) {
                 LivenessVerdict::Evicted => {
                     self.detach_agent(id);
@@ -1598,6 +1721,21 @@ impl<S: Selector> Coordinator<S> {
             "snapshot with queued joins is not supported; run the round that enrolls them first"
         );
         let mut w = SnapshotWriter::new();
+        w.append_raw(&self.snapshot_pre());
+        for e in self.registry.entries() {
+            w.append_raw(&Self::entry_bytes(e));
+        }
+        w.append_raw(&self.snapshot_post());
+        w.finish()
+    }
+
+    /// The snapshot payload *before* the per-client entries: construction
+    /// fingerprints plus the mutable core state. One of the three
+    /// fragments the segmented path stores separately — splicing
+    /// pre + entries (id order) + post reproduces [`Coordinator::snapshot`]
+    /// byte for byte.
+    fn snapshot_pre(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
         // construction fingerprints, validated on restore
         w.put_u64(self.cfg.seed);
         w.put_usize(self.cfg.k);
@@ -1610,7 +1748,9 @@ impl<S: Selector> Coordinator<S> {
         // write identical snapshots and restore each other's
         // (`tests/sharded_parity.rs` pins both directions). Pre-shard
         // snapshots are rejected by the container version gate instead
-        // (`haccs_persist::VERSION`).
+        // (`haccs_persist::VERSION`). The same holds for the segmented
+        // path's snapshot-shard count: a manifest reassembles to these
+        // exact bytes whatever granularity wrote it.
         // mutable core state
         w.put_usize(self.epoch);
         w.put_f64(self.clock.now());
@@ -1620,28 +1760,122 @@ impl<S: Selector> Coordinator<S> {
         w.put_bool(self.membership_dirty);
         // codec guard: a snapshot only restores under the same codec
         w.put_str(&self.codec_label());
-        // per-client registry state
-        for e in self.registry.entries() {
-            w.put_usize(e.summary.histograms.len());
-            for h in &e.summary.histograms {
-                w.put_f32s(h);
-            }
-            w.put_f32s(&e.summary.prevalence);
-            w.put_opt_f32(e.last_loss);
-            w.put_usize(e.participation_count);
-            w.put_u8(match e.liveness {
-                Liveness::Joined => 0,
-                Liveness::Alive => 1,
-                Liveness::Suspected => 2,
-                Liveness::Left => 3,
-            });
-            w.put_u32(e.missed_heartbeats);
-            w.put_usize(e.n_train);
+        w.into_payload()
+    }
+
+    /// One client's snapshot entry bytes. Every registry mutation that can
+    /// change this serialization must pass through
+    /// [`Coordinator::mark_entry_dirty`] — that invariant is what lets the
+    /// segmented path skip clean shards.
+    fn entry_bytes(e: &ClientEntry) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(e.summary.histograms.len());
+        for h in &e.summary.histograms {
+            w.put_f32s(h);
         }
-        // selector, guarded by its strategy name
+        w.put_f32s(&e.summary.prevalence);
+        w.put_opt_f32(e.last_loss);
+        w.put_usize(e.participation_count);
+        w.put_u8(match e.liveness {
+            Liveness::Joined => 0,
+            Liveness::Alive => 1,
+            Liveness::Suspected => 2,
+            Liveness::Left => 3,
+        });
+        w.put_u32(e.missed_heartbeats);
+        w.put_usize(e.n_train);
+        w.into_payload()
+    }
+
+    /// The snapshot payload *after* the per-client entries: the selector,
+    /// guarded by its strategy name.
+    fn snapshot_post(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
         w.put_str(&self.selector.name());
         self.selector.save_state(&mut w);
-        w.finish()
+        w.into_payload()
+    }
+
+    /// Writes one segmented-snapshot tick into the policy's directory:
+    /// the core segment (always — it holds the RNG, clock and global
+    /// model), every dirty snapshot shard, and finally the manifest that
+    /// commits the tick. Clean shards are referenced from their previous
+    /// segment files untouched. Returns the bytes written this tick
+    /// (segments + manifest), which is what `coord_snapshot_bytes_total`
+    /// accumulates — the sub-linear-per-tick quantity the scale bench
+    /// tracks.
+    fn write_segmented_snapshot(&mut self) -> Result<u64, PersistError> {
+        assert!(
+            self.pending.is_empty(),
+            "snapshot with queued joins is not supported; run the round that enrolls them first"
+        );
+        let seg = self.segmented.as_ref().expect("segmented snapshots not configured");
+        let (dir, n_shards) = (seg.policy.dir.clone(), seg.n_shards);
+        let epoch = self.epoch;
+
+        let pre = self.snapshot_pre();
+        let post = self.snapshot_post();
+        let core = persist::segment::write_core_segment(&dir, epoch, &pre, &post, &self.obs)?;
+        let mut written = core.len;
+
+        // per-shard entry bytes, only for dirty shards; entries stripe by
+        // id so each shard's list is ascending by construction
+        let mut fresh: Vec<Option<persist::segment::SegmentEntry>> = vec![None; n_shards];
+        {
+            let seg = self.segmented.as_ref().unwrap();
+            for (shard, slot) in fresh.iter_mut().enumerate() {
+                if !(seg.dirty[shard] || seg.last[shard].is_none()) {
+                    continue;
+                }
+                let entries: Vec<(usize, Vec<u8>)> = self
+                    .registry
+                    .entries()
+                    .into_iter()
+                    .filter(|e| e.id % n_shards == shard)
+                    .map(|e| (e.id, Self::entry_bytes(e)))
+                    .collect();
+                let entry =
+                    persist::segment::write_shard_segment(&dir, shard, epoch, &entries, &self.obs)?;
+                written += entry.len;
+                *slot = Some(entry);
+            }
+        }
+
+        let seg = self.segmented.as_mut().unwrap();
+        let mut dirty_count = 0usize;
+        for (shard, slot) in fresh.iter_mut().enumerate() {
+            if let Some(entry) = slot.take() {
+                seg.last[shard] = Some(entry);
+                seg.dirty[shard] = false;
+                dirty_count += 1;
+            }
+        }
+        let manifest = persist::segment::SegmentManifest {
+            epoch,
+            core,
+            shards: seg.last.iter().map(|e| e.clone().expect("every shard written once")).collect(),
+        };
+        let path = persist::segment::write_manifest(&dir, &manifest, &self.obs)?;
+        written += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+        self.obs.inc("coord_snapshot_bytes_total", written);
+        self.obs.inc("coord_snapshot_segments_written_total", dirty_count as u64 + 1);
+        self.obs
+            .event("coord.snapshot.segmented")
+            .u("epoch", epoch as u64)
+            .u("dirty_shards", dirty_count as u64)
+            .u("bytes", written);
+        Ok(written)
+    }
+
+    /// Restores a segmented snapshot by manifest path: validates and
+    /// reassembles the segments into the monolithic byte stream (see
+    /// [`persist::segment::reassemble`]) and hands it to
+    /// [`Coordinator::restore`] — the resumed run is bit-identical to one
+    /// restored from a monolithic snapshot of the same state.
+    pub fn restore_segmented(&mut self, manifest_path: &Path) -> Result<(), PersistError> {
+        let bytes = persist::segment::reassemble(manifest_path, &self.obs)?;
+        self.restore(&bytes)
     }
 
     /// Kill-and-resume needs every piece of training state server-side,
@@ -1817,10 +2051,7 @@ impl<S: Selector> Coordinator<S> {
         }
 
         let mut joins: HashMap<usize, (u64, ResourceEstimate)> = HashMap::new();
-        for (id, outcome) in self
-            .collect_uniform(n_live)
-            .unwrap_or_else(|e| panic!("event queue overflow during restore: {e}"))
-        {
+        for (id, outcome) in self.collect_uniform(n_live).map_err(Self::restore_backpressure)? {
             match Self::decode_delivered(outcome) {
                 Message::Join { client_nonce, resources, .. } => {
                     joins.insert(id, (client_nonce, resources));
@@ -1924,10 +2155,7 @@ impl<S: Selector> Coordinator<S> {
         // consume the reconnection Joins (they carry fresh summaries; the
         // snapshot's registry view wins, as in the local restore)
         let mut joins: HashMap<usize, (u64, ResourceEstimate)> = HashMap::new();
-        for (id, outcome) in self
-            .collect_uniform(n_live)
-            .unwrap_or_else(|e| panic!("event queue overflow during restore: {e}"))
-        {
+        for (id, outcome) in self.collect_uniform(n_live).map_err(Self::restore_backpressure)? {
             match Self::decode_delivered(outcome) {
                 Message::Join { client_nonce, resources, .. } => {
                     joins.insert(id, (client_nonce, resources));
@@ -2040,6 +2268,22 @@ impl Coordinator<HaccsSelector> {
     ) -> Self {
         let summarizer = self.summarizer;
         self.with_recluster_hook(haccs_recluster_hook(summarizer, min_pts, extraction))
+    }
+
+    /// Installs [`haccs_two_level_recluster_hook`] — the sub-quadratic
+    /// sketch-bucketed path (DESIGN.md §15). Bit-identical to
+    /// [`Self::with_haccs_reclustering`] while the membership stays below
+    /// `cfg.flat_below`.
+    pub fn with_haccs_two_level_reclustering(
+        self,
+        min_pts: usize,
+        extraction: haccs_core::ExtractionMethod,
+        cfg: haccs_core::TwoLevelConfig,
+    ) -> Self {
+        let summarizer = self.summarizer;
+        self.with_recluster_hook(haccs_two_level_recluster_hook(
+            summarizer, min_pts, extraction, cfg,
+        ))
     }
 }
 
@@ -2188,6 +2432,128 @@ mod tests {
         let snap = c.snapshot();
         let mut wrong = build_coord(6, Availability::AlwaysOn);
         assert!(matches!(wrong.restore(&snap), Err(PersistError::Malformed(_))));
+    }
+
+    fn seg_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("haccs-coord-seg-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn segmented_snapshot_reassembles_bit_identical_and_skips_clean_shards() {
+        let dir = seg_dir("skip");
+        let _ = std::fs::remove_dir_all(&dir);
+        // one snapshot shard per client so dirtiness is visible per id
+        let mut c = build_coord(6, Availability::AlwaysOn)
+            .with_segmented_snapshots(SnapshotPolicy::every(1, &dir), 6);
+        c.run(3);
+
+        // the reassembled manifest is byte-identical to the monolithic path
+        let manifest_path = dir.join(persist::segment::manifest_name(3));
+        let bytes = persist::segment::reassemble(&manifest_path, &Recorder::disabled()).unwrap();
+        assert_eq!(bytes, c.snapshot(), "reassembly must splice the exact monolithic bytes");
+
+        // FirstK trains clients 0..3 every round (dirty each tick), while
+        // 3..6 only echo unchanged heartbeat acks after the first sweep —
+        // their shards must still reference the epoch-1 segment files
+        let manifest = persist::segment::read_manifest(&manifest_path).unwrap();
+        for shard in 0..3 {
+            assert_eq!(
+                manifest.shards[shard].file,
+                persist::segment::shard_segment_name(shard, 3),
+                "participant shard {shard} must be rewritten at the latest tick"
+            );
+        }
+        for shard in 3..6 {
+            assert_eq!(
+                manifest.shards[shard].file,
+                persist::segment::shard_segment_name(shard, 1),
+                "clean shard {shard} must reuse its first-tick segment"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segmented_and_monolithic_resume_soak_is_bit_identical() {
+        // kill-and-resume twice, mixing formats: segmented manifest first,
+        // then a monolithic snapshot of the resumed run — the final
+        // history must match the uninterrupted run bit for bit
+        let dir = seg_dir("soak");
+        let _ = std::fs::remove_dir_all(&dir);
+        let full = build_coord(6, Availability::AlwaysOn).run(8);
+
+        let mut first = build_coord(6, Availability::AlwaysOn)
+            .with_segmented_snapshots(SnapshotPolicy::every(1, &dir), 4);
+        first.run(3);
+        drop(first); // simulated crash
+
+        let mut second = build_coord(6, Availability::AlwaysOn)
+            .with_segmented_snapshots(SnapshotPolicy::every(1, &dir), 4);
+        second.restore_segmented(&dir.join(persist::segment::manifest_name(3))).unwrap();
+        second.run(2);
+        let mono = second.snapshot();
+        drop(second); // second crash
+
+        let mut third = build_coord(6, Availability::AlwaysOn);
+        third.restore(&mono).unwrap();
+        let out = third.run(3);
+        assert_eq!(out.rounds, full.rounds, "twice-resumed history must be bit-identical");
+        assert_eq!(out.curve.len(), full.curve.len());
+        for (a, b) in out.curve.iter().zip(&full.curve) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_refuses_restore() {
+        let dir = seg_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = build_coord(4, Availability::AlwaysOn)
+            .with_segmented_snapshots(SnapshotPolicy::every(2, &dir), 2);
+        c.run(2);
+        drop(c);
+
+        let victim = dir.join(persist::segment::shard_segment_name(1, 2));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let mut resumed = build_coord(4, Availability::AlwaysOn);
+        let err =
+            resumed.restore_segmented(&dir.join(persist::segment::manifest_name(2))).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Malformed(m) if m.contains("checksum")),
+            "single corrupt segment must be rejected, got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_backpressure_is_an_error_not_an_abort() {
+        // a bounded event queue overflowing while the resumed clients'
+        // Joins are collected must surface as a PersistError (with the
+        // drop counted), not a process abort
+        let mut c = build_coord(6, Availability::AlwaysOn);
+        c.run(2);
+        let snap = c.snapshot();
+        drop(c);
+
+        let obs = Recorder::enabled();
+        let mut resumed = build_coord(6, Availability::AlwaysOn)
+            .with_event_capacity(2)
+            .with_recorder(obs.clone());
+        let err = resumed.restore(&snap).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Malformed(m) if m.contains("backpressure")),
+            "expected backpressure error, got {err:?}"
+        );
+        assert!(
+            obs.counter_value("coord_event_queue_dropped_total") >= 1,
+            "the dropped event must be counted"
+        );
     }
 
     #[test]

@@ -114,8 +114,12 @@ impl<T> EventQueue<T> {
 
     /// Inserts an event. Panics on non-finite timestamps — a NaN key would
     /// silently scramble `total_cmp` ordering and break run determinism —
-    /// and on overflow of a bounded queue (use [`EventQueue::try_push`] to
-    /// observe backpressure as an error instead).
+    /// and on overflow of a bounded queue. Because of that overflow panic
+    /// this is a convenience for tests and unbounded queues only: every
+    /// coordinator-internal enqueue goes through [`EventQueue::try_push`],
+    /// so a bounded queue at capacity surfaces
+    /// `CoordError::EventQueueFull` (counted in
+    /// `coord_event_queue_dropped_total`) instead of aborting the process.
     pub fn push(&mut self, time: f64, client: usize, seq: u64, payload: T) {
         self.try_push(time, client, seq, payload)
             .unwrap_or_else(|e| panic!("{e} (use try_push to handle backpressure)"));

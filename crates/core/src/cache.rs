@@ -21,26 +21,174 @@
 
 use crate::clusters::{client_summary_seed, summarize_federation, ExtractionMethod};
 use crate::wire_bridge::summary_from_wire;
-use haccs_cluster::WarmOptics;
+use haccs_cluster::{BucketedWarmOptics, WarmOptics};
 use haccs_data::{ClientData, FederatedDataset};
 use haccs_fedsim::persist::{PersistError, SnapshotReader, SnapshotWriter};
 use haccs_fedsim::FedSim;
 use haccs_obs::Recorder;
-use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
+use haccs_summary::{sketch, ClientSummary, DistanceCache, SketchKey, Summarizer};
 use haccs_sysmodel::DeviceProfile;
 use haccs_wire::WireSummary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Configuration of the two-level (sketch-bucketed) clustering mode
+/// (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelConfig {
+    /// Quantization resolution of the coarse sketch partitioning the
+    /// federation into independently clustered buckets.
+    pub coarse_levels: u16,
+    /// Quantization resolution of the fine sketch partitioning each
+    /// bucket into cells that share one representative.
+    pub fine_levels: u16,
+    /// Below this many cached clients the flat O(n²) path runs verbatim
+    /// (bit-identical to [`ClusterCache::new`]); reaching it promotes the
+    /// cache — one way — to the bucketed representation. `0` starts
+    /// bucketed immediately.
+    pub flat_below: usize,
+}
+
+impl Default for TwoLevelConfig {
+    fn default() -> Self {
+        TwoLevelConfig { coarse_levels: 4, fine_levels: 32, flat_below: 1024 }
+    }
+}
+
+/// One coarse bucket: an exact condensed distance matrix over the
+/// bucket's cell representatives, plus the cells themselves.
+#[derive(Debug)]
+struct Bucket {
+    /// Distances between cell representatives (exact Hellinger).
+    dist: DistanceCache,
+    /// Fine sketch key → ascending member ids. The representative is the
+    /// lowest id, so membership (not arrival order) determines it.
+    cells: BTreeMap<SketchKey, Vec<usize>>,
+}
+
+/// The promoted two-level state: every cached summary, its sketch keys,
+/// and the per-bucket representative matrices + warm OPTICS.
+#[derive(Debug)]
+struct Bucketed {
+    summarizer: Summarizer,
+    /// All cached ids, ascending ([`ClusterCache::ids`] in this mode).
+    ids: Vec<usize>,
+    summaries: BTreeMap<usize, ClientSummary>,
+    /// id → (coarse bucket key, fine cell key).
+    keys: BTreeMap<usize, (SketchKey, SketchKey)>,
+    buckets: BTreeMap<SketchKey, Bucket>,
+    warm: BucketedWarmOptics<SketchKey>,
+}
+
+impl Bucketed {
+    fn new(summarizer: Summarizer, min_pts: usize) -> Self {
+        Bucketed {
+            summarizer,
+            ids: Vec::new(),
+            summaries: BTreeMap::new(),
+            keys: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            warm: BucketedWarmOptics::new(f32::INFINITY, min_pts),
+        }
+    }
+
+    fn add(&mut self, id: usize, summary: ClientSummary, cfg: &TwoLevelConfig) {
+        let coarse = sketch(&summary, cfg.coarse_levels);
+        let fine = sketch(&summary, cfg.fine_levels);
+        let i = self.ids.binary_search(&id).expect_err("client already cached");
+        self.ids.insert(i, id);
+        let bucket = self.buckets.entry(coarse.clone()).or_insert_with(|| Bucket {
+            dist: DistanceCache::new(self.summarizer),
+            cells: BTreeMap::new(),
+        });
+        match bucket.cells.get_mut(&fine) {
+            Some(members) => {
+                let pos = members.binary_search(&id).expect_err("client already in cell");
+                members.insert(pos, id);
+                if pos == 0 {
+                    // the newcomer has the lowest id: it takes over as the
+                    // cell representative, so its (exact) summary replaces
+                    // the old representative's row in the bucket matrix
+                    let old_rep = members[1];
+                    let (p, row) = bucket.dist.remove_client(old_rep);
+                    self.warm.remove(&coarse, p, &row);
+                    let (p, row) = bucket.dist.add_client(id, summary.clone());
+                    self.warm.insert(coarse.clone(), p, &row);
+                }
+            }
+            None => {
+                bucket.cells.insert(fine.clone(), vec![id]);
+                let (p, row) = bucket.dist.add_client(id, summary.clone());
+                self.warm.insert(coarse.clone(), p, &row);
+            }
+        }
+        self.keys.insert(id, (coarse, fine));
+        self.summaries.insert(id, summary);
+    }
+
+    fn remove(&mut self, id: usize) {
+        let (coarse, fine) = self.keys.remove(&id).expect("client not cached");
+        self.summaries.remove(&id);
+        let i = self.ids.binary_search(&id).expect("client not cached");
+        self.ids.remove(i);
+        let bucket = self.buckets.get_mut(&coarse).expect("bucket missing for cached key");
+        let members = bucket.cells.get_mut(&fine).expect("cell missing for cached key");
+        let pos = members.binary_search(&id).expect("client not in its cell");
+        members.remove(pos);
+        if pos == 0 {
+            // the representative departs: drop its matrix row and, if the
+            // cell survives, promote the next-lowest member
+            let (p, row) = bucket.dist.remove_client(id);
+            self.warm.remove(&coarse, p, &row);
+            if members.is_empty() {
+                bucket.cells.remove(&fine);
+            } else {
+                let new_rep = members[0];
+                let s = self.summaries[&new_rep].clone();
+                let (p, row) = bucket.dist.add_client(new_rep, s);
+                self.warm.insert(coarse.clone(), p, &row);
+            }
+        }
+        if bucket.cells.is_empty() {
+            self.buckets.remove(&coarse);
+        }
+    }
+
+    fn cell_count(&self) -> usize {
+        self.buckets.values().map(|b| b.cells.len()).sum()
+    }
+}
 
 /// Incremental clustering state: distance cache + warm-start OPTICS +
 /// extraction. One instance serves a whole training run across arbitrary
 /// membership churn.
+///
+/// Two operating modes share this type (DESIGN.md §15):
+///
+/// * **flat** (the [`ClusterCache::new`] default): one exact condensed
+///   matrix over every client — bit-identical to the from-scratch
+///   [`crate::clusters::build_clusters`] path at any size;
+/// * **two-level** ([`ClusterCache::two_level`]): below
+///   [`TwoLevelConfig::flat_below`] the flat path runs verbatim; at the
+///   threshold the cache promotes (one way) to coarse sketch buckets of
+///   fine sketch cells, clustering exact Hellinger distances between one
+///   representative per cell — Σ_b R_b² work bounded by data diversity
+///   instead of O(n²) in the client count.
 #[derive(Debug)]
 pub struct ClusterCache {
     dist: DistanceCache,
     warm: WarmOptics,
     extraction: ExtractionMethod,
     obs: Recorder,
+    two_level: Option<TwoLevel>,
+}
+
+#[derive(Debug)]
+struct TwoLevel {
+    cfg: TwoLevelConfig,
+    /// `None` until the membership reaches `cfg.flat_below`.
+    bucketed: Option<Bucketed>,
 }
 
 impl ClusterCache {
@@ -53,7 +201,23 @@ impl ClusterCache {
             warm: WarmOptics::new(f32::INFINITY, min_pts),
             extraction,
             obs: Recorder::disabled(),
+            two_level: None,
         }
+    }
+
+    /// Empty cache in two-level mode: flat (bit-identical to
+    /// [`ClusterCache::new`]) below `cfg.flat_below` clients, sketch-
+    /// bucketed at and above it.
+    pub fn two_level(
+        summarizer: Summarizer,
+        min_pts: usize,
+        extraction: ExtractionMethod,
+        cfg: TwoLevelConfig,
+    ) -> Self {
+        let bucketed = (cfg.flat_below == 0).then(|| Bucketed::new(summarizer, min_pts));
+        let mut cache = ClusterCache::new(summarizer, min_pts, extraction);
+        cache.two_level = Some(TwoLevel { cfg, bucketed });
+        cache
     }
 
     /// Attaches an observability recorder. Instrumentation only *reads*
@@ -70,24 +234,66 @@ impl ClusterCache {
         self.obs = obs;
     }
 
+    /// The promoted two-level state, if this cache is past its threshold.
+    fn bucketed(&self) -> Option<&Bucketed> {
+        self.two_level.as_ref().and_then(|tl| tl.bucketed.as_ref())
+    }
+
+    /// The two-level configuration, when constructed in that mode.
+    pub fn two_level_config(&self) -> Option<&TwoLevelConfig> {
+        self.two_level.as_ref().map(|tl| &tl.cfg)
+    }
+
+    /// True once the cache has promoted to the bucketed representation.
+    pub fn is_bucketed(&self) -> bool {
+        self.bucketed().is_some()
+    }
+
+    /// Live coarse buckets (0 while flat).
+    pub fn bucket_count(&self) -> usize {
+        self.bucketed().map_or(0, |b| b.buckets.len())
+    }
+
+    /// Live fine cells across every bucket (0 while flat).
+    pub fn cell_count(&self) -> usize {
+        self.bucketed().map_or(0, |b| b.cell_count())
+    }
+
     /// Number of cached clients.
     pub fn len(&self) -> usize {
-        self.dist.len()
+        match self.bucketed() {
+            Some(b) => b.ids.len(),
+            None => self.dist.len(),
+        }
     }
 
     /// True when no clients are cached.
     pub fn is_empty(&self) -> bool {
-        self.dist.is_empty()
+        self.len() == 0
     }
 
     /// Cached client ids, ascending.
     pub fn ids(&self) -> &[usize] {
-        self.dist.ids()
+        match self.bucketed() {
+            Some(b) => &b.ids,
+            None => self.dist.ids(),
+        }
     }
 
     /// True if `id` is cached.
     pub fn contains(&self, id: usize) -> bool {
-        self.dist.contains(id)
+        match self.bucketed() {
+            Some(b) => b.summaries.contains_key(&id),
+            None => self.dist.contains(id),
+        }
+    }
+
+    /// The cached summary of `id`, in either mode.
+    pub fn cached_summary(&self, id: usize) -> Option<&ClientSummary> {
+        match self.bucketed() {
+            Some(b) => b.summaries.get(&id),
+            None => self.dist.summary(id),
+        }
     }
 
     /// The summarizer distances are computed with.
@@ -95,30 +301,82 @@ impl ClusterCache {
         self.dist.summarizer()
     }
 
-    /// The underlying distance cache (read-only; edits must flow through
-    /// this type so the warm OPTICS state stays consistent).
+    /// The underlying flat distance cache (read-only; edits must flow
+    /// through this type so the warm OPTICS state stays consistent).
+    /// Empty once a two-level cache has promoted to buckets.
     pub fn distances(&self) -> &DistanceCache {
         &self.dist
     }
 
-    /// A client joined: computes its distance row (the only `n` summary
-    /// distances evaluated) and splices it into the warm OPTICS state.
+    /// A client joined: computes its distance row (the only summary
+    /// distances evaluated) and splices it into the warm OPTICS state. In
+    /// bucketed mode the row spans only the client's bucket's cell
+    /// representatives — and only if it founds (or takes over) a cell.
     pub fn add_client(&mut self, id: usize, summary: ClientSummary) {
+        if let Some(tl) = &mut self.two_level {
+            if let Some(b) = &mut tl.bucketed {
+                b.add(id, summary, &tl.cfg);
+                return;
+            }
+        }
         let (pos, row) = self.dist.add_client(id, summary);
         self.warm.insert(pos, &row);
+        self.maybe_promote();
     }
 
     /// A client left (graceful `Leave` or eviction). No distances are
-    /// recomputed.
+    /// recomputed in flat mode; in bucketed mode, only a departing cell
+    /// representative costs its successor one recomputed bucket row.
     pub fn remove_client(&mut self, id: usize) {
+        if let Some(tl) = &mut self.two_level {
+            if let Some(b) = &mut tl.bucketed {
+                b.remove(id);
+                return;
+            }
+        }
         let (pos, row) = self.dist.remove_client(id);
         self.warm.remove(pos, &row);
     }
 
-    /// A client's data drifted (§IV-C): recomputes its row only.
+    /// A client's data drifted (§IV-C): recomputes its row only. In
+    /// bucketed mode the client is re-sketched, since drift can move it
+    /// across cells or buckets.
     pub fn update_summary(&mut self, id: usize, summary: ClientSummary) {
+        if let Some(tl) = &mut self.two_level {
+            if let Some(b) = &mut tl.bucketed {
+                b.remove(id);
+                b.add(id, summary, &tl.cfg);
+                return;
+            }
+        }
         let (pos, old_row, new_row) = self.dist.update_summary(id, summary);
         self.warm.update(pos, &old_row, &new_row);
+    }
+
+    /// One-way flat → bucketed promotion at the configured threshold:
+    /// every cached summary is re-inserted under its sketch keys and the
+    /// flat accelerators are reset to empty.
+    fn maybe_promote(&mut self) {
+        let Some(tl) = &self.two_level else { return };
+        if tl.bucketed.is_some() || self.dist.len() < tl.cfg.flat_below {
+            return;
+        }
+        let cfg = tl.cfg;
+        let min_pts = self.warm.min_pts();
+        let summarizer = *self.dist.summarizer();
+        let pairs: Vec<(usize, ClientSummary)> = self
+            .dist
+            .ids()
+            .iter()
+            .map(|&id| (id, self.dist.summary(id).unwrap().clone()))
+            .collect();
+        let mut b = Bucketed::new(summarizer, min_pts);
+        for (id, s) in pairs {
+            b.add(id, s, &cfg);
+        }
+        self.dist = DistanceCache::new(summarizer);
+        self.warm = WarmOptics::new(f32::INFINITY, min_pts);
+        self.two_level.as_mut().unwrap().bucketed = Some(b);
     }
 
     /// Seeds the cache with every client of a federation, using the same
@@ -141,19 +399,14 @@ impl ClusterCache {
         let departed: Vec<usize> = {
             let mut present = entries.iter().map(|(id, _)| *id).collect::<Vec<_>>();
             present.sort_unstable();
-            self.dist
-                .ids()
-                .iter()
-                .copied()
-                .filter(|id| present.binary_search(id).is_err())
-                .collect()
+            self.ids().iter().copied().filter(|id| present.binary_search(id).is_err()).collect()
         };
         for id in departed {
             self.remove_client(id);
         }
         for (id, wire) in entries {
             let summary = summary_from_wire(wire);
-            match self.dist.summary(*id) {
+            match self.cached_summary(*id) {
                 None => self.add_client(*id, summary),
                 Some(cached) if *cached != summary => self.update_summary(*id, summary),
                 Some(_) => {}
@@ -167,6 +420,9 @@ impl ClusterCache {
     /// of **client ids**. Bit-identical to
     /// `build_clusters(...).1` over the id-sorted summaries.
     pub fn recluster(&mut self) -> Vec<Vec<usize>> {
+        if self.is_bucketed() {
+            return self.recluster_bucketed();
+        }
         if self.dist.is_empty() {
             return Vec::new();
         }
@@ -193,34 +449,147 @@ impl ClusterCache {
         groups
     }
 
-    /// Snapshot of the distance-cache reuse counters (observability only).
+    /// The bucketed §IV-C path: exact warm OPTICS per coarse bucket over
+    /// that bucket's cell representatives, each representative group
+    /// expanded to the union of its cells' members. Groups extracted as
+    /// clusters come first (across buckets, in bucket-key order), then
+    /// the noise-derived groups — mirroring
+    /// [`haccs_cluster::Clustering::to_schedulable_groups`]'s clusters-
+    /// then-noise layout. Deterministic for any insertion history,
+    /// because buckets, cells and members are all kept in sorted order.
+    fn recluster_bucketed(&mut self) -> Vec<Vec<usize>> {
+        let extraction = self.extraction;
+        let b = self
+            .two_level
+            .as_mut()
+            .and_then(|tl| tl.bucketed.as_mut())
+            .expect("recluster_bucketed on a flat cache");
+        if b.ids.is_empty() {
+            return Vec::new();
+        }
+        let mut span = self.obs.span("cluster.recluster").u("members", b.ids.len() as u64);
+        let warm_before = b.warm.stats();
+        let mut cluster_groups: Vec<Vec<usize>> = Vec::new();
+        let mut noise_groups: Vec<Vec<usize>> = Vec::new();
+        let mut dist_stats = haccs_summary::DistanceCacheStats::default();
+        for (key, bucket) in b.buckets.iter_mut() {
+            let dense = bucket.dist.dense();
+            let o = b.warm.run(key, &dense);
+            let clustering = extraction.extract(o);
+            let n_clusters = clustering.n_clusters();
+            for (gi, reps) in clustering.to_schedulable_groups().into_iter().enumerate() {
+                let mut members: Vec<usize> = Vec::new();
+                for local in reps {
+                    let rep = bucket.dist.ids()[local];
+                    let (_, fine) = &b.keys[&rep];
+                    members.extend(bucket.cells[fine].iter().copied());
+                }
+                members.sort_unstable();
+                if gi < n_clusters {
+                    cluster_groups.push(members);
+                } else {
+                    noise_groups.push(members);
+                }
+            }
+            let s = bucket.dist.stats();
+            dist_stats.distances_computed += s.distances_computed;
+            dist_stats.entries_reused += s.entries_reused;
+            dist_stats.edits += s.edits;
+        }
+        let warm_after = b.warm.stats();
+        let buckets = b.buckets.len();
+        let cells = b.cell_count();
+        let mut groups = cluster_groups;
+        groups.extend(noise_groups);
+        span.push_u("groups", groups.len() as u64);
+        span.push_u("buckets", buckets as u64);
+        span.push_u("cells", cells as u64);
+        span.push_u("warm_hit", (warm_after.cached_reuses > warm_before.cached_reuses) as u64);
+        span.finish();
+        self.obs.gauge("cluster_two_level_buckets", buckets as f64);
+        self.obs.gauge("cluster_two_level_cells", cells as f64);
+        self.obs.gauge("cluster_distances_computed", dist_stats.distances_computed as f64);
+        self.obs.gauge("cluster_distance_entries_reused", dist_stats.entries_reused as f64);
+        self.obs.gauge("cluster_cache_edits", dist_stats.edits as f64);
+        self.obs.gauge("cluster_optics_expansions", warm_after.expansions as f64);
+        self.obs.gauge("cluster_optics_cached_reuses", warm_after.cached_reuses as f64);
+        groups
+    }
+
+    /// Snapshot of the distance-cache reuse counters (observability
+    /// only). Aggregated across buckets in two-level mode.
     pub fn distance_stats(&self) -> haccs_summary::DistanceCacheStats {
-        self.dist.stats()
+        match self.bucketed() {
+            Some(b) => {
+                let mut out = haccs_summary::DistanceCacheStats::default();
+                for bucket in b.buckets.values() {
+                    let s = bucket.dist.stats();
+                    out.distances_computed += s.distances_computed;
+                    out.entries_reused += s.entries_reused;
+                    out.edits += s.edits;
+                }
+                out
+            }
+            None => self.dist.stats(),
+        }
     }
 
     /// Snapshot of the warm-OPTICS expansion/reuse counters
-    /// (observability only).
+    /// (observability only). Aggregated across buckets in two-level mode.
     pub fn warm_stats(&self) -> haccs_cluster::WarmOpticsStats {
-        self.warm.stats()
+        match self.bucketed() {
+            Some(b) => b.warm.stats(),
+            None => self.warm.stats(),
+        }
     }
 
     /// Appends the cache state to a snapshot payload: `min_pts` as a
-    /// fingerprint, then the full [`DistanceCache`] (ids, summaries,
-    /// condensed matrix — all verbatim). The [`WarmOptics`] accelerator
-    /// state is *not* serialized: it is a pure performance cache whose
-    /// [`ClusterCache::recluster`] output is pinned bit-identical to the
-    /// cold full-rebuild path, so it can be rebuilt on load by replaying
-    /// the id-ascending insertion order over the restored distances.
+    /// fingerprint, a mode byte, then the mode-specific state. Flat (and
+    /// not-yet-promoted two-level) caches write the full
+    /// [`DistanceCache`] (ids, summaries, condensed matrix — all
+    /// verbatim); a promoted two-level cache writes its `(id, summary)`
+    /// pairs in ascending id order, since every sketch key, bucket, cell
+    /// and representative distance is a deterministic pure function of
+    /// that set. Neither the [`WarmOptics`] accelerator state nor the
+    /// bucket matrices are serialized: they are pure performance caches
+    /// whose [`ClusterCache::recluster`] output is pinned bit-identical
+    /// to the cold path, so they are rebuilt on load by replaying the
+    /// id-ascending insertion order.
     pub fn save_state(&self, w: &mut SnapshotWriter) {
         w.put_usize(self.warm.min_pts());
-        self.dist.save_state(w);
+        match &self.two_level {
+            None => {
+                w.put_u8(0);
+                self.dist.save_state(w);
+            }
+            Some(tl) => {
+                w.put_u8(if tl.bucketed.is_some() { 2 } else { 1 });
+                w.put_u32(tl.cfg.coarse_levels as u32);
+                w.put_u32(tl.cfg.fine_levels as u32);
+                w.put_usize(tl.cfg.flat_below);
+                match &tl.bucketed {
+                    None => self.dist.save_state(w),
+                    Some(b) => {
+                        // the empty flat cache still carries the
+                        // summarizer fingerprint the load side validates
+                        self.dist.save_state(w);
+                        w.put_usize(b.ids.len());
+                        for &id in &b.ids {
+                            w.put_usize(id);
+                            b.summaries[&id].save_state(w);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Restores what [`ClusterCache::save_state`] wrote. The snapshot's
-    /// `min_pts` and summarizer fingerprints must match this cache's
-    /// construction parameters. The warm OPTICS state is reconstructed by
-    /// replaying inserts over the restored distance rows — no summary
-    /// distance is recomputed.
+    /// `min_pts`, mode, two-level configuration and summarizer
+    /// fingerprints must match this cache's construction parameters. The
+    /// warm OPTICS state (and, in bucketed mode, the bucket/cell layout)
+    /// is reconstructed by replaying inserts in ascending id order — no
+    /// replay step recomputes a distance the flat path would have cached.
     pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
         let min_pts = r.get_usize()?;
         if min_pts != self.warm.min_pts() {
@@ -229,6 +598,34 @@ impl ClusterCache {
                 self.warm.min_pts()
             )));
         }
+        let mode = r.get_u8()?;
+        match (mode, &self.two_level) {
+            (0, None) | (1, Some(_)) | (2, Some(_)) => {}
+            (m @ (0..=2), _) => {
+                return Err(PersistError::Malformed(format!(
+                    "snapshot cache mode {m} differs from this cache's construction"
+                )));
+            }
+            (m, _) => {
+                return Err(PersistError::Malformed(format!("unknown cluster-cache mode {m}")));
+            }
+        }
+        if mode >= 1 {
+            let cfg = self.two_level.as_ref().unwrap().cfg;
+            let coarse = r.get_u32()?;
+            let fine = r.get_u32()?;
+            let flat_below = r.get_usize()?;
+            if coarse != cfg.coarse_levels as u32
+                || fine != cfg.fine_levels as u32
+                || flat_below != cfg.flat_below
+            {
+                return Err(PersistError::Malformed(format!(
+                    "snapshot two-level config ({coarse}, {fine}, {flat_below}) differs \
+                     from this cache's ({}, {}, {})",
+                    cfg.coarse_levels, cfg.fine_levels, cfg.flat_below
+                )));
+            }
+        }
         self.dist.load_state(r)?;
         self.warm = WarmOptics::new(f32::INFINITY, min_pts);
         for pos in 0..self.dist.len() {
@@ -236,6 +633,35 @@ impl ClusterCache {
             // distances to the already-inserted prefix, self entry last
             let row: Vec<f32> = self.dist.row(pos)[..=pos].to_vec();
             self.warm.insert(pos, &row);
+        }
+        if mode == 2 {
+            if !self.dist.is_empty() {
+                return Err(PersistError::Malformed(
+                    "bucketed snapshot carries a non-empty flat matrix".into(),
+                ));
+            }
+            let tl = self.two_level.as_mut().unwrap();
+            let cfg = tl.cfg;
+            let summarizer = *self.dist.summarizer();
+            let mut b = Bucketed::new(summarizer, min_pts);
+            let n = r.get_usize()?;
+            let mut last: Option<usize> = None;
+            for _ in 0..n {
+                let id = r.get_usize()?;
+                if last.is_some_and(|p| p >= id) {
+                    return Err(PersistError::Malformed(
+                        "bucketed snapshot ids must be strictly ascending".into(),
+                    ));
+                }
+                last = Some(id);
+                b.add(id, ClientSummary::load_state(r)?, &cfg);
+            }
+            tl.bucketed = Some(b);
+        } else {
+            if let Some(tl) = &mut self.two_level {
+                tl.bucketed = None;
+            }
+            self.maybe_promote();
         }
         Ok(())
     }
@@ -413,6 +839,181 @@ mod tests {
         let s = back.summarizer().summarize(&extra.clients[4].train, &mut rng);
         back.add_client(12, s);
         assert_eq!(back.recluster(), full_rebuild(&back, 2));
+    }
+
+    /// Sorted set-of-groups view, for comparing partitions that may order
+    /// groups differently across modes.
+    fn normalized(mut groups: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        for g in groups.iter_mut() {
+            g.sort_unstable();
+        }
+        groups.sort();
+        groups
+    }
+
+    #[test]
+    fn two_level_below_threshold_is_bit_identical_to_flat() {
+        let fed = grouped_federation(3, 4);
+        let mut flat = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        let mut two = ClusterCache::two_level(
+            Summarizer::label_dist(),
+            2,
+            ExtractionMethod::Auto,
+            TwoLevelConfig { flat_below: 1024, ..TwoLevelConfig::default() },
+        );
+        flat.insert_federation(&fed, 7);
+        two.insert_federation(&fed, 7);
+        assert!(!two.is_bucketed());
+        assert_eq!(two.recluster(), flat.recluster());
+
+        // churn keeps them locked together
+        flat.remove_client(5);
+        two.remove_client(5);
+        assert_eq!(two.recluster(), flat.recluster());
+        let extra = grouped_federation(3, 5);
+        let mut rng = StdRng::seed_from_u64(client_summary_seed(7, 12));
+        let s = flat.summarizer().summarize(&extra.clients[4].train, &mut rng);
+        flat.add_client(12, s.clone());
+        two.add_client(12, s);
+        assert_eq!(two.recluster(), flat.recluster());
+    }
+
+    /// A federation of single-label groups: every client of group `g`
+    /// holds only label `g`, so summaries are identical within a group
+    /// and at Hellinger distance 1 across groups — well-separated
+    /// relative to any quantization step, the regime the bucketed mode's
+    /// quality gate targets (DESIGN.md §15).
+    fn onehot_federation(groups: usize, per: usize) -> FederatedDataset {
+        let gen = SynthVision::mnist_like(groups, 8, 0);
+        let mut specs = Vec::new();
+        for g in 0..groups {
+            for _ in 0..per {
+                let mut w = vec![0.0f32; groups];
+                w[g] = 1.0;
+                specs.push(partition::ClientSpec {
+                    label_weights: w,
+                    n_train: 60,
+                    n_test: 0,
+                    rotation_deg: 0.0,
+                    brightness: 0.0,
+                    contrast: 1.0,
+                    group: Some(g),
+                });
+            }
+        }
+        FederatedDataset::materialize(&gen, &specs, 0)
+    }
+
+    #[test]
+    fn forced_bucketed_recovers_separated_groups() {
+        // disjoint-support groups: the coarse sketch separates them into
+        // their own buckets, and the bucketed partition must equal the
+        // flat one as a set of groups
+        let fed = onehot_federation(3, 4);
+        let mut flat = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        let mut two = ClusterCache::two_level(
+            Summarizer::label_dist(),
+            2,
+            ExtractionMethod::Auto,
+            TwoLevelConfig { flat_below: 0, ..TwoLevelConfig::default() },
+        );
+        flat.insert_federation(&fed, 7);
+        two.insert_federation(&fed, 7);
+        assert!(two.is_bucketed());
+        assert_eq!(two.len(), flat.len());
+        assert_eq!(two.ids(), flat.ids());
+        assert_eq!(two.bucket_count(), 3, "each group gets its own coarse bucket");
+        assert_eq!(normalized(two.recluster()), normalized(flat.recluster()));
+    }
+
+    #[test]
+    fn promotion_at_threshold_keeps_membership_and_determinism() {
+        let fed = grouped_federation(3, 4); // 12 clients
+        let cfg = TwoLevelConfig { flat_below: 8, ..TwoLevelConfig::default() };
+        let mut two =
+            ClusterCache::two_level(Summarizer::label_dist(), 2, ExtractionMethod::Auto, cfg);
+        two.insert_federation(&fed, 7);
+        assert!(two.is_bucketed(), "12 inserts must cross the flat_below=8 threshold");
+        assert_eq!(two.len(), 12);
+        assert_eq!(two.ids(), (0..12).collect::<Vec<_>>());
+
+        // insertion order must not matter: reverse-order insertion yields
+        // the same partition
+        let summarizer = Summarizer::label_dist();
+        let sums = summarize_federation(&fed, &summarizer, 7);
+        let mut rev = ClusterCache::two_level(summarizer, 2, ExtractionMethod::Auto, cfg);
+        for id in (0..12).rev() {
+            rev.add_client(id, sums[id].clone());
+        }
+        assert_eq!(rev.recluster(), two.recluster());
+    }
+
+    #[test]
+    fn bucketed_churn_keeps_cells_consistent() {
+        let fed = grouped_federation(2, 5);
+        let summarizer = Summarizer::label_dist();
+        let sums = summarize_federation(&fed, &summarizer, 7);
+        let cfg = TwoLevelConfig { flat_below: 0, ..TwoLevelConfig::default() };
+        let mut two = ClusterCache::two_level(summarizer, 2, ExtractionMethod::Auto, cfg);
+        for (id, s) in sums.iter().enumerate() {
+            two.add_client(id, s.clone());
+        }
+        let before = two.recluster();
+
+        // removing and re-adding the lowest id of each group exercises the
+        // representative promotion / takeover paths both ways
+        two.remove_client(0);
+        two.remove_client(5);
+        assert_eq!(two.len(), 8);
+        two.add_client(0, sums[0].clone());
+        two.add_client(5, sums[5].clone());
+        assert_eq!(two.recluster(), before, "re-added members must restore the partition");
+
+        // drift: client 0 moves to group 1's distribution and must land in
+        // its group
+        two.update_summary(0, sums[5].clone());
+        let drifted = two.recluster();
+        let g0 = drifted.iter().find(|g| g.contains(&0)).unwrap();
+        assert!(g0.contains(&5), "drifted client must cluster with its new distribution");
+    }
+
+    #[test]
+    fn bucketed_save_load_round_trips() {
+        let fed = grouped_federation(3, 4);
+        let cfg = TwoLevelConfig { flat_below: 4, ..TwoLevelConfig::default() };
+        let mut two =
+            ClusterCache::two_level(Summarizer::label_dist(), 2, ExtractionMethod::Auto, cfg);
+        two.insert_federation(&fed, 7);
+        two.remove_client(5); // churn before the snapshot
+        assert!(two.is_bucketed());
+        let groups_before = two.recluster();
+
+        let mut w = SnapshotWriter::new();
+        two.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut back =
+            ClusterCache::two_level(Summarizer::label_dist(), 2, ExtractionMethod::Auto, cfg);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        back.load_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert!(back.is_bucketed());
+        assert_eq!(back.ids(), two.ids());
+        assert_eq!(back.bucket_count(), two.bucket_count());
+        assert_eq!(back.cell_count(), two.cell_count());
+        assert_eq!(back.recluster(), groups_before, "restored partition must match");
+
+        // a flat cache must refuse a bucketed payload, and vice versa
+        let mut flat = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(flat.load_state(&mut r), Err(PersistError::Malformed(_))));
+        let mut w = SnapshotWriter::new();
+        flat.save_state(&mut w);
+        let flat_bytes = w.finish();
+        let mut two2 =
+            ClusterCache::two_level(Summarizer::label_dist(), 2, ExtractionMethod::Auto, cfg);
+        let mut r = SnapshotReader::open(&flat_bytes).unwrap();
+        assert!(matches!(two2.load_state(&mut r), Err(PersistError::Malformed(_))));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod telemetry;
 pub mod weights;
 pub mod wire_bridge;
 
-pub use cache::{engine_add_client, engine_replace_client_data, ClusterCache};
+pub use cache::{engine_add_client, engine_replace_client_data, ClusterCache, TwoLevelConfig};
 pub use clusters::{
     build_clusters, build_gradient_clusters, client_summary_seed, cosine_distance,
     summarize_federation, ExtractionMethod,

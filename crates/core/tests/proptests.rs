@@ -1,10 +1,64 @@
-//! Property-based tests for the HACCS scheduler components.
+//! Property-based tests for the HACCS scheduler components, including
+//! the two-level [`ClusterCache`] parity suite: below the `flat_below`
+//! gate the two-level cache must reproduce the flat §IV-C partition
+//! bit-for-bit on arbitrary random summaries, and the forced-bucketed
+//! path must recover the same partition (as a set of groups) whenever
+//! the summaries are well-separated — across bucket (sketch level)
+//! counts.
 
-use haccs_core::{cluster_weights, ClusterStats, HaccsSelector};
+use haccs_core::{
+    cluster_weights, ClusterCache, ClusterStats, ExtractionMethod, HaccsSelector, TwoLevelConfig,
+};
 use haccs_fedsim::{ClientInfo, SelectionContext, Selector};
+use haccs_summary::summarizer::ClientSummary;
+use haccs_summary::{Histogram, Summarizer};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Random label-distribution summaries: `n` clients over `classes`
+/// labels, arbitrary nonnegative counts (including all-zero → null
+/// histograms, the degenerate case the distance code must tolerate).
+fn random_summaries() -> impl Strategy<Value = Vec<ClientSummary>> {
+    (2usize..=6, 2usize..=256).prop_flat_map(|(classes, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0.0f32..100.0, classes)
+                .prop_map(|c| ClientSummary::LabelDist(Histogram::from_counts(&c))),
+            n,
+        )
+    })
+}
+
+/// Well-separated summaries: `groups` one-hot label distributions with
+/// `per` clients each (magnitudes vary, normalized histograms within a
+/// group are identical; across groups they sit at Hellinger distance 1).
+/// Returns `(summaries, group_of_client)`.
+fn separated_summaries() -> impl Strategy<Value = (Vec<ClientSummary>, Vec<usize>)> {
+    (2usize..=5, 2usize..=6).prop_flat_map(|(groups, per)| {
+        proptest::collection::vec(1.0f32..100.0, groups * per).prop_map(move |mags| {
+            let mut sums = Vec::with_capacity(groups * per);
+            let mut owner = Vec::with_capacity(groups * per);
+            for (i, mag) in mags.iter().enumerate() {
+                let g = i % groups;
+                let mut counts = vec![0.0f32; groups.max(2)];
+                counts[g] = *mag;
+                sums.push(ClientSummary::LabelDist(Histogram::from_counts(&counts)));
+                owner.push(g);
+            }
+            (sums, owner)
+        })
+    })
+}
+
+/// Sorted set-of-groups view, for comparing partitions that may order
+/// groups differently across modes.
+fn normalized(mut groups: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for g in groups.iter_mut() {
+        g.sort_unstable();
+    }
+    groups.sort();
+    groups
+}
 
 fn stats() -> impl Strategy<Value = Vec<ClusterStats>> {
     proptest::collection::vec(
@@ -114,5 +168,78 @@ proptest! {
         let ctx = SelectionContext { epoch: 0, available: &infos, k: 5 };
         let chosen = sel.select(&ctx, &mut rng);
         prop_assert!(chosen.iter().all(|id| !unavailable.contains(id)));
+    }
+}
+
+proptest! {
+    // n can reach 256, so the flat reference is ~32k distances per case —
+    // keep the case count modest
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Below the `flat_below` gate the two-level cache runs the flat
+    /// §IV-C path verbatim, so the partitions must be **bit-identical**
+    /// (same groups, same order) for arbitrary summaries at n ≤ 256 —
+    /// not merely equal as sets.
+    #[test]
+    fn two_level_gate_is_bit_identical_to_flat(
+        sums in random_summaries(),
+        min_pts in 2usize..=4,
+    ) {
+        let mut flat = ClusterCache::new(Summarizer::label_dist(), min_pts, ExtractionMethod::Auto);
+        let mut two = ClusterCache::two_level(
+            Summarizer::label_dist(),
+            min_pts,
+            ExtractionMethod::Auto,
+            TwoLevelConfig { flat_below: 1024, ..TwoLevelConfig::default() },
+        );
+        for (id, s) in sums.iter().enumerate() {
+            flat.add_client(id, s.clone());
+            two.add_client(id, s.clone());
+        }
+        prop_assert!(!two.is_bucketed(), "n <= 256 must stay under the 1024 gate");
+        prop_assert_eq!(two.recluster(), flat.recluster());
+
+        // churn keeps them locked together
+        let evict = sums.len() / 2;
+        flat.remove_client(evict);
+        two.remove_client(evict);
+        prop_assert_eq!(two.recluster(), flat.recluster());
+    }
+
+    /// Forced-bucketed mode (`flat_below: 0`) must recover the flat
+    /// partition as a set of groups whenever the summaries are
+    /// well-separated relative to the sketch quantization — for every
+    /// coarse bucket count.
+    #[test]
+    fn forced_bucketed_matches_flat_across_bucket_counts(
+        (sums, owner) in separated_summaries(),
+        coarse_levels in 2u16..=16,
+    ) {
+        // 2 groups × 2 members is below what the flat reference itself can
+        // resolve (no reachability valley in 4 points) — skip that corner
+        prop_assume!(sums.len() >= 6);
+        let mut flat = ClusterCache::new(Summarizer::label_dist(), 2, ExtractionMethod::Auto);
+        let mut two = ClusterCache::two_level(
+            Summarizer::label_dist(),
+            2,
+            ExtractionMethod::Auto,
+            TwoLevelConfig { coarse_levels, flat_below: 0, ..TwoLevelConfig::default() },
+        );
+        for (id, s) in sums.iter().enumerate() {
+            flat.add_client(id, s.clone());
+            two.add_client(id, s.clone());
+        }
+        prop_assert!(two.is_bucketed());
+        let groups_two = normalized(two.recluster());
+        prop_assert_eq!(&groups_two, &normalized(flat.recluster()));
+
+        // and both must equal the ground-truth grouping: every one-hot
+        // group is a cluster
+        let n_groups = owner.iter().max().unwrap() + 1;
+        let mut truth: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (id, &g) in owner.iter().enumerate() {
+            truth[g].push(id);
+        }
+        prop_assert_eq!(groups_two, normalized(truth));
     }
 }

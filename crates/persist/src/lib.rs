@@ -25,6 +25,8 @@
 use std::fmt;
 use std::path::Path;
 
+pub mod segment;
+
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"HACCSNAP";
 
@@ -37,7 +39,11 @@ pub const MAGIC: [u8; 8] = *b"HACCSNAP";
 /// * v2 — sharded registries: the coordinator payload records the shard
 ///   count its registry was partitioned into (informational — restore
 ///   accepts any layout, entries stay serialized in global id order).
-pub const VERSION: u32 = 2;
+/// * v3 — segmented snapshots ([`segment`]): per-shard HACCSNAP segments
+///   plus a manifest, reassembling byte-identically to the monolithic
+///   payload; the cluster-cache payload gained a mode byte for the
+///   two-level clustering state (DESIGN.md §15).
+pub const VERSION: u32 = 3;
 
 /// Sanity bound on length-prefixed sequence sizes, mirroring the wire
 /// codec's `MAX_LEN`: a corrupt length cannot trigger a huge allocation.
@@ -63,9 +69,10 @@ pub enum PersistError {
     BadMagic,
     /// The snapshot was written by an unknown (newer) format version.
     UnsupportedVersion(u32),
-    /// The snapshot predates the sharded-registry format (v1): readable
-    /// by older builds but not this one. Carries the found version; the
-    /// `Display` impl includes the migration note.
+    /// The snapshot predates the current format (pre-shard v1, or
+    /// pre-segment v2): readable by older builds but not this one.
+    /// Carries the found version; the `Display` impl includes the
+    /// migration note.
     LegacySnapshot(u32),
     /// The payload does not match its recorded checksum.
     ChecksumMismatch,
@@ -89,11 +96,11 @@ impl fmt::Display for PersistError {
             PersistError::LegacySnapshot(v) => {
                 write!(
                     f,
-                    "pre-shard HACCSNAP snapshot (v{v}; this build reads v{VERSION}): v1 \
-                     registries carry no shard layout and cannot be restored here. To \
-                     migrate, resume the run once under a pre-shard build and write a \
-                     fresh snapshot, or restart the run from its seed (runs are \
-                     bit-reproducible from construction inputs)"
+                    "legacy HACCSNAP snapshot (v{v}; this build reads v{VERSION}): v1 is the \
+                     pre-shard layout and v2 the pre-segment layout, and neither can be \
+                     restored here. To migrate, resume the run once under a matching older \
+                     build and write a fresh snapshot, or restart the run from its seed \
+                     (runs are bit-reproducible from construction inputs)"
                 )
             }
             PersistError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
@@ -210,6 +217,22 @@ impl SnapshotWriter {
         for &x in v {
             self.put_usize(x);
         }
+    }
+
+    /// Appends raw payload bytes verbatim — **no** length prefix. The
+    /// segmented-snapshot reassembly path uses this to splice
+    /// pre-serialized payload fragments back into one monolithic payload
+    /// byte-identically; the fragments must be self-delimiting for the
+    /// reader to make sense of them.
+    pub fn append_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the raw unframed payload — the
+    /// fragment form [`SnapshotWriter::append_raw`] splices. Most callers
+    /// want [`SnapshotWriter::finish`] instead.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Frames the payload: magic, version, payload length, payload,
@@ -513,6 +536,52 @@ mod tests {
         let msg = PersistError::LegacySnapshot(1).to_string();
         assert!(msg.contains("pre-shard"), "missing context: {msg}");
         assert!(msg.contains("migrate"), "missing migration note: {msg}");
+    }
+
+    #[test]
+    fn pre_segment_snapshot_is_rejected_with_migration_note() {
+        // a v2 (pre-segment) envelope is legacy too, with the same note
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(SnapshotReader::open(&bytes), Err(PersistError::LegacySnapshot(2)));
+        let msg = PersistError::LegacySnapshot(2).to_string();
+        assert!(msg.contains("pre-segment"), "missing context: {msg}");
+        assert!(msg.contains("migrate"), "missing migration note: {msg}");
+    }
+
+    #[test]
+    fn raw_fragments_splice_byte_identically() {
+        // building a payload whole vs from append_raw fragments must
+        // yield identical framed snapshots — the segmented-reassembly
+        // invariant
+        let whole = sample();
+        let (pre, entries, post) = {
+            let mut w = SnapshotWriter::new();
+            w.put_u8(7);
+            w.put_u32(0xDEAD_BEEF);
+            let pre = w.into_payload();
+            let mut w = SnapshotWriter::new();
+            w.put_u64(u64::MAX);
+            w.put_usize(12345);
+            w.put_f32(f32::NAN);
+            w.put_f64(-0.0);
+            w.put_bool(true);
+            w.put_opt_f32(None);
+            w.put_opt_f32(Some(2.5));
+            let entries = w.into_payload();
+            let mut w = SnapshotWriter::new();
+            w.put_str("haccs");
+            w.put_f32s(&[1.0, f32::INFINITY, -3.5]);
+            w.put_u64s(&[1, 2, 3]);
+            w.put_usizes(&[9, 8]);
+            w.put_bytes(b"blob");
+            (pre, entries, w.into_payload())
+        };
+        let mut w = SnapshotWriter::new();
+        w.append_raw(&pre);
+        w.append_raw(&entries);
+        w.append_raw(&post);
+        assert_eq!(w.finish(), whole);
     }
 
     #[test]

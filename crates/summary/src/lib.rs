@@ -14,7 +14,9 @@
 //!   for histograms (Eq. 5 controls the noise variance 2/ε²),
 //! * [`cache::DistanceCache`] — a persistent condensed pairwise-distance
 //!   matrix maintained incrementally under membership churn (§IV-C), so a
-//!   join/leave/drift recomputes one row instead of the full O(n²) matrix.
+//!   join/leave/drift recomputes one row instead of the full O(n²) matrix,
+//! * [`sketch`] — quantized summary fingerprints keying the two-level
+//!   (bucketed) clustering mode (DESIGN.md §15).
 //!
 //! A [`Summarizer`] bundles the configuration (summary kind, bin count,
 //! privacy budget) and produces [`ClientSummary`] values from a client's
@@ -26,10 +28,12 @@ pub mod distance;
 pub mod dp;
 pub mod hist;
 pub mod persist;
+pub mod sketch;
 pub mod summarizer;
 
 pub use cache::{DistanceCache, DistanceCacheStats};
 pub use distance::{avg_hellinger, euclidean, hellinger, total_variation, DistanceKind};
 pub use dp::{laplace_noise, privatize_counts, LaplaceMechanism};
 pub use hist::Histogram;
+pub use sketch::{sketch, SketchKey};
 pub use summarizer::{pairwise_distances, ClientSummary, Summarizer, SummaryKind};

@@ -194,22 +194,31 @@ impl Summarizer {
 
 /// Symmetric pairwise distance matrix over client summaries, computed in
 /// parallel. Entry `[i][j]` = `d(S(Z_i), S(Z_j))`.
+///
+/// Only the upper triangle is evaluated; the lower triangle is mirrored.
+/// Every summary distance in this crate is fp-symmetric (Hellinger terms
+/// `(sqrt(a)-sqrt(b))²` and the prevalence weights `(pa+pb)/2` are bitwise
+/// commutative), so the mirror is bit-identical to evaluating both
+/// triangles while halving the distance calls.
 pub fn pairwise_distances(summarizer: &Summarizer, summaries: &[ClientSummary]) -> Vec<Vec<f32>> {
     let n = summaries.len();
-    (0..n)
+    let upper: Vec<Vec<f32>> = (0..n)
         .into_par_iter()
         .map(|i| {
-            (0..n)
-                .map(|j| {
-                    if i == j {
-                        0.0
-                    } else {
-                        summarizer.distance_between(&summaries[i], &summaries[j])
-                    }
-                })
+            ((i + 1)..n)
+                .map(|j| summarizer.distance_between(&summaries[i], &summaries[j]))
                 .collect()
         })
-        .collect()
+        .collect();
+    let mut m = vec![vec![0.0f32; n]; n];
+    for (i, row) in upper.iter().enumerate() {
+        for (k, &d) in row.iter().enumerate() {
+            let j = i + 1 + k;
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
 }
 
 #[cfg(test)]
@@ -326,6 +335,41 @@ mod tests {
             assert_eq!(row[i], 0.0);
             for (j, &d) in row.iter().enumerate() {
                 assert!((d - m[j][i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_mirror_is_bit_identical_to_both_triangles() {
+        // regression: the old implementation evaluated d(i,j) and d(j,i)
+        // separately; the mirrored upper triangle must reproduce it bit
+        // for bit, for both summary kinds
+        let both_triangles = |s: &Summarizer, sums: &[ClientSummary]| -> Vec<Vec<f32>> {
+            let n = sums.len();
+            (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| if i == j { 0.0 } else { s.distance_between(&sums[i], &sums[j]) })
+                        .collect()
+                })
+                .collect()
+        };
+        for s in [Summarizer::label_dist(), Summarizer::cond_dist(8)] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let sums: Vec<ClientSummary> = (0..13)
+                .map(|i| {
+                    let mut w = vec![0.05; 4];
+                    w[i % 4] = 0.85;
+                    s.summarize(&client_set(&w, 60 + 7 * i, i as u64), &mut rng)
+                })
+                .collect();
+            let new = pairwise_distances(&s, &sums);
+            let old = both_triangles(&s, &sums);
+            assert_eq!(new.len(), old.len());
+            for (i, (nr, or)) in new.iter().zip(&old).enumerate() {
+                for (j, (&a, &b)) in nr.iter().zip(or).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "entry ({i},{j}) diverged");
+                }
             }
         }
     }
