@@ -21,8 +21,12 @@ use haccs_codec::CodecKind;
 use haccs_coord::{accept_remote_clients, haccs_cached_recluster_hook, Coordinator};
 use haccs_core::ExtractionMethod;
 use haccs_fedsim::engine::{ModelFactory, SnapshotPolicy};
+use haccs_fedsim::Selector;
 use haccs_obs::{MetricsServer, Recorder};
-use haccs_wire::{auth_token_digest, TcpConfig};
+use haccs_selectors::{
+    DppSelector, FedClustSelector, HeterogeneityGuidedSelector, LeflSelector, SelectorKind,
+};
+use haccs_wire::{auth_token_digest, TcpConfig, WireSummary};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::exit;
@@ -46,6 +50,8 @@ OPTIONS:
                            (stateless codecs only: identity / int8)
     --codec <KIND>         model-update compression, must match the clients:
                            identity | int8 | topk | topk:<permille>
+    --selector <KIND>      scheduling strategy: py (HACCS clustering, the
+                           default) | fedclust | lefl | dpp | het
     --auth-token <TOKEN>   shared secret; connections whose first frame is
                            not its digest are dropped (must match clients)
     --help                 print this help
@@ -63,6 +69,7 @@ struct Opts {
     snapshot_every: usize,
     resume: Option<PathBuf>,
     codec: Option<CodecKind>,
+    selector: SelectorKind,
     auth_token: Option<String>,
 }
 
@@ -79,6 +86,7 @@ impl Default for Opts {
             snapshot_every: 1,
             resume: None,
             codec: None,
+            selector: SelectorKind::HaccsPy,
             auth_token: None,
         }
     }
@@ -103,6 +111,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--snapshot-every" => opts.snapshot_every = parse_num(&value, flag)?,
             "--resume" => opts.resume = Some(PathBuf::from(value)),
             "--codec" => opts.codec = Some(value.parse()?),
+            "--selector" => opts.selector = value.parse()?,
             "--auth-token" => opts.auth_token = Some(value),
             other => return Err(format!("unknown flag {other}; see --help")),
         }
@@ -120,6 +129,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             opts.codec.unwrap()
         ));
     }
+    if matches!(
+        opts.selector,
+        SelectorKind::Random | SelectorKind::Tifl | SelectorKind::Oort | SelectorKind::HaccsPxy
+    ) {
+        return Err(format!(
+            "--selector {} is not supported by the daemon; use the engine \
+             (`haccs-sim --strategy {}`) or one of py|fedclust|lefl|dpp|het",
+            opts.selector, opts.selector
+        ));
+    }
     Ok(opts)
 }
 
@@ -127,20 +146,19 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag} expects a number, got {s:?}"))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_opts(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if msg.is_empty() {
-                print!("{USAGE}");
-                exit(0);
-            }
-            eprintln!("error: {msg}\n\n{USAGE}");
-            exit(2);
-        }
-    };
+/// The label distribution a wire summary carries: `histograms[0]` for a
+/// `P(y)` summary, the prevalence vector for `P(X|y)`.
+fn wire_label_dist(ws: &WireSummary) -> Vec<f32> {
+    if ws.prevalence.is_empty() {
+        ws.histograms.first().cloned().unwrap_or_default()
+    } else {
+        ws.prevalence.clone()
+    }
+}
 
+/// Builds the coordinator shared by every `--selector` flavor; only the
+/// selector value and its recluster hook differ per kind.
+fn build_coord<S: Selector>(opts: &Opts, obs: Recorder, selector: S) -> Coordinator<S> {
     let n = opts.clients;
     let fed = demo::federation(n, opts.seed);
     let profiles = demo::profiles(n, opts.seed);
@@ -150,12 +168,6 @@ fn main() {
         let f = Arc::clone(&shared);
         Box::new(move || f())
     };
-
-    let obs = Recorder::enabled();
-    let metrics = MetricsServer::serve(obs.clone(), opts.metrics.as_str())
-        .unwrap_or_else(|e| panic!("bind metrics endpoint {}: {e}", opts.metrics));
-    println!("metrics: http://{}/metrics", metrics.addr());
-
     let mut coord = Coordinator::remote(
         factory,
         fed.global_test.clone(),
@@ -163,12 +175,11 @@ fn main() {
         haccs_sysmodel::LatencyModel::default(),
         haccs_sysmodel::Availability::AlwaysOn,
         cfg,
-        demo::selector(n),
+        selector,
     )
     .with_faults(demo::faults(opts.seed))
     .with_policy(demo::policy())
     .with_summarizer(demo::summarizer())
-    .with_recluster_hook(haccs_cached_recluster_hook(demo::summarizer(), 2, ExtractionMethod::Auto))
     .with_recorder(obs);
     if let Some(dir) = &opts.snapshot_dir {
         coord = coord.with_snapshots(SnapshotPolicy::every(opts.snapshot_every, dir));
@@ -177,7 +188,13 @@ fn main() {
         println!("codec: {kind} model-update compression");
         coord = coord.with_codec(kind);
     }
+    coord
+}
 
+/// Accepts the clients, optionally restores, and drives the run — the
+/// selector-independent tail of `main`.
+fn serve<S: Selector>(opts: &Opts, mut coord: Coordinator<S>) {
+    let n = opts.clients;
     let tcp = TcpConfig {
         auth_token: opts.auth_token.as_deref().map(auth_token_digest),
         ..TcpConfig::default()
@@ -219,6 +236,75 @@ fn main() {
     );
     // dropping the coordinator half-closes every client connection; the
     // clients unwind cleanly on EOF
+}
+
+/// Recluster hook for the label-distribution selectors: refreshes each
+/// member's distribution from its latest wire summary on every membership
+/// change (and hence on every mid-training drift re-summary).
+fn dist_hook<S: Selector>(
+    update: impl Fn(&mut S, Vec<(usize, Vec<f32>)>) + 'static,
+) -> impl FnMut(&mut S, &[(usize, WireSummary)]) {
+    move |sel, entries| {
+        let dists: Vec<(usize, Vec<f32>)> =
+            entries.iter().map(|(id, ws)| (*id, wire_label_dist(ws))).collect();
+        update(sel, dists);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                exit(0);
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            exit(2);
+        }
+    };
+
+    let obs = Recorder::enabled();
+    let metrics = MetricsServer::serve(obs.clone(), opts.metrics.as_str())
+        .unwrap_or_else(|e| panic!("bind metrics endpoint {}: {e}", opts.metrics));
+    println!("metrics: http://{}/metrics", metrics.addr());
+    println!("selector: {}", opts.selector.label());
+
+    match opts.selector {
+        SelectorKind::HaccsPy => {
+            let coord = build_coord(&opts, obs, demo::selector(opts.clients)).with_recluster_hook(
+                haccs_cached_recluster_hook(demo::summarizer(), 2, ExtractionMethod::Auto),
+            );
+            serve(&opts, coord);
+        }
+        SelectorKind::FedClust => {
+            // clusters come from model-update deltas, not summaries — no hook
+            serve(&opts, build_coord(&opts, obs, FedClustSelector::default()));
+        }
+        SelectorKind::Lefl => {
+            let coord = build_coord(&opts, obs, LeflSelector::default())
+                .with_recluster_hook(dist_hook(|s: &mut LeflSelector, d| {
+                    s.update_distributions(d)
+                }));
+            serve(&opts, coord);
+        }
+        SelectorKind::Dpp => {
+            let coord = build_coord(&opts, obs, DppSelector::default())
+                .with_recluster_hook(dist_hook(|s: &mut DppSelector, d| {
+                    s.update_distributions(d)
+                }));
+            serve(&opts, coord);
+        }
+        SelectorKind::HetGuided => {
+            let coord = build_coord(&opts, obs, HeterogeneityGuidedSelector::default())
+                .with_recluster_hook(dist_hook(|s: &mut HeterogeneityGuidedSelector, d| {
+                    s.update_distributions(d)
+                }));
+            serve(&opts, coord);
+        }
+        other => unreachable!("parse_opts rejects --selector {other}"),
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +375,32 @@ mod tests {
         assert_eq!(o.auth_token.as_deref(), Some("hunter2"));
         let o = parse_opts(&args(&["--codec", "topk:50"])).unwrap();
         assert_eq!(o.codec, Some(CodecKind::TopK { keep_permille: 50 }));
+    }
+
+    #[test]
+    fn selector_flag_parses_daemon_kinds_and_rejects_engine_only_ones() {
+        assert_eq!(parse_opts(&[]).unwrap().selector, SelectorKind::HaccsPy);
+        for kind in ["py", "fedclust", "lefl", "dpp", "het"] {
+            let o = parse_opts(&args(&["--selector", kind])).unwrap();
+            assert_eq!(o.selector.token(), kind);
+        }
+        for kind in ["random", "tifl", "oort", "pxy"] {
+            let e = parse_opts(&args(&["--selector", kind])).unwrap_err();
+            assert!(e.contains("not supported by the daemon"), "{e}");
+        }
+        let e = parse_opts(&args(&["--selector", "roulette"])).unwrap_err();
+        assert!(e.contains("unknown selector"), "{e}");
+    }
+
+    #[test]
+    fn wire_label_dist_reads_both_summary_flavors() {
+        let py = WireSummary { histograms: vec![vec![0.25, 0.75]], prevalence: vec![] };
+        assert_eq!(wire_label_dist(&py), vec![0.25, 0.75]);
+        let pxy = WireSummary {
+            histograms: vec![vec![0.5; 4], vec![0.5; 4]],
+            prevalence: vec![0.9, 0.1],
+        };
+        assert_eq!(wire_label_dist(&pxy), vec![0.9, 0.1]);
     }
 
     #[test]

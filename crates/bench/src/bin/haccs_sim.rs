@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]
-//!           [--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]
+//!           [--dataset mnist|femnist|cifar]
+//!           [--strategy random|tifl|oort|py|pxy|fedclust|lefl|dpp|het]
 //!           [--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]
 //!           [--full] [--seed N] [--target F] [--transport inproc|tcp]
 //!           [--codec identity|int8|topk|topk:<permille>]
@@ -44,7 +45,8 @@
 use haccs_bench::TransportKind;
 use haccs_codec::CodecKind;
 use haccs_data::{partition, DatasetKind};
-use haccs_experiments::common::{accuracy_series, build_haccs, Env, Scale, StrategyKind};
+use haccs_experiments::common::{accuracy_series, build_haccs, build_selector, Env, Scale};
+use haccs_selectors::SelectorKind;
 use haccs_summary::Summarizer;
 use haccs_sysmodel::Availability;
 use rand::rngs::StdRng;
@@ -57,7 +59,7 @@ struct Args {
     rounds: usize,
     classes: usize,
     dataset: DatasetKind,
-    strategy: String,
+    strategy: SelectorKind,
     rho: f32,
     epsilon: Option<f64>,
     dropout: f64,
@@ -82,7 +84,7 @@ impl Default for Args {
             rounds: 60,
             classes: 10,
             dataset: DatasetKind::CifarLike,
-            strategy: "py".into(),
+            strategy: SelectorKind::HaccsPy,
             rho: 0.5,
             epsilon: None,
             dropout: 0.0,
@@ -123,7 +125,10 @@ fn parse_from(it: impl Iterator<Item = String>) -> Args {
                     other => panic!("unknown dataset {other} (mnist|femnist|cifar)"),
                 }
             }
-            "--strategy" => a.strategy = val("--strategy"),
+            "--strategy" => {
+                a.strategy =
+                    val("--strategy").parse().unwrap_or_else(|e: String| panic!("{e}"))
+            }
             "--rho" => a.rho = val("--rho").parse().expect("float"),
             "--epsilon" => a.epsilon = Some(val("--epsilon").parse().expect("float")),
             "--dropout" => a.dropout = val("--dropout").parse().expect("float"),
@@ -147,7 +152,8 @@ fn parse_from(it: impl Iterator<Item = String>) -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: haccs-sim [--clients N] [--select K] [--rounds R] [--classes C]\n\
-                     \t[--dataset mnist|femnist|cifar] [--strategy random|tifl|oort|py|pxy]\n\
+                     \t[--dataset mnist|femnist|cifar]\n\
+                     \t[--strategy random|tifl|oort|py|pxy|fedclust|lefl|dpp|het]\n\
                      \t[--rho F] [--epsilon F] [--dropout F] [--skew majority|klabels|iid]\n\
                      \t[--full] [--seed N] [--target F] [--transport inproc|tcp]\n\
                      \t[--codec identity|int8|topk|topk:<permille>]\n\
@@ -214,11 +220,8 @@ fn main() {
         Availability::AlwaysOn
     };
 
-    let mut selector: Box<dyn haccs_fedsim::Selector> = match a.strategy.as_str() {
-        "random" => StrategyKind::Random.build(&env, a.rho, a.epsilon),
-        "tifl" => StrategyKind::Tifl.build(&env, a.rho, a.epsilon),
-        "oort" => StrategyKind::Oort.build(&env, a.rho, a.epsilon),
-        "py" => {
+    let mut selector: Box<dyn haccs_fedsim::Selector> = match a.strategy {
+        SelectorKind::HaccsPy => {
             let h = build_haccs(&env, Summarizer::label_dist(), a.epsilon, a.rho, "P(y)");
             println!(
                 "P(y) clustering: {} schedulable groups, sizes {:?}",
@@ -227,12 +230,15 @@ fn main() {
             );
             Box::new(h)
         }
-        "pxy" => {
+        SelectorKind::HaccsPxy => {
             let h = build_haccs(&env, Summarizer::cond_dist(16), a.epsilon, a.rho, "P(X|y)");
             println!("P(X|y) clustering: {} schedulable groups", h.groups().len());
             Box::new(h)
         }
-        other => panic!("unknown strategy {other} (random|tifl|oort|py|pxy)"),
+        kind => {
+            println!("selector: {}", kind.label());
+            build_selector(kind, &env, a.rho, a.epsilon)
+        }
     };
 
     if a.transport == TransportKind::Tcp {
@@ -374,6 +380,23 @@ mod tests {
     #[should_panic(expected = "unknown codec")]
     fn bogus_codec_is_rejected() {
         parse(&["--codec", "gzip"]);
+    }
+
+    #[test]
+    fn strategy_flag_covers_the_full_selector_zoo() {
+        assert_eq!(parse(&[]).strategy, SelectorKind::HaccsPy);
+        for kind in SelectorKind::ALL {
+            assert_eq!(parse(&["--strategy", kind.token()]).strategy, kind);
+        }
+        // report-style aliases keep working
+        assert_eq!(parse(&["--strategy", "haccs-P(y)"]).strategy, SelectorKind::HaccsPy);
+        assert_eq!(parse(&["--strategy", "het-guided"]).strategy, SelectorKind::HetGuided);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown selector")]
+    fn bogus_strategy_is_rejected() {
+        parse(&["--strategy", "roulette"]);
     }
 
     #[test]

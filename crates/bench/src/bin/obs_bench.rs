@@ -23,7 +23,8 @@
 use haccs_coord::Coordinator;
 use haccs_core::{build_clusters, summarize_federation, ClusterCache, ExtractionMethod};
 use haccs_data::{partition, DatasetKind};
-use haccs_experiments::common::{Env, Scale, StrategyKind};
+use haccs_experiments::common::{build_selector, Env, Scale};
+use haccs_selectors::SelectorKind;
 use haccs_fedsim::{RunResult, Selector};
 use haccs_obs::json::Json;
 use haccs_obs::{MemorySink, Recorder};
@@ -40,8 +41,8 @@ const K: usize = 6;
 const RHO: f32 = 0.5;
 const MIN_PTS: usize = 2;
 
-const SELECTORS: [StrategyKind; 3] =
-    [StrategyKind::Random, StrategyKind::HaccsPy, StrategyKind::Oort];
+const SELECTORS: [SelectorKind; 3] =
+    [SelectorKind::Random, SelectorKind::HaccsPy, SelectorKind::Oort];
 
 /// A named fault schedule of the matrix.
 #[derive(Clone, Copy)]
@@ -106,12 +107,12 @@ fn mean(values: &[f64]) -> f64 {
 /// recorder (for counter reads), and wall ms per round.
 fn run_engine(
     env: &Env,
-    strategy: StrategyKind,
+    strategy: SelectorKind,
     faults: &FaultCase,
     rounds: usize,
 ) -> (RunResult, Recorder, f64) {
     let rec = Recorder::enabled();
-    let mut selector = strategy.build(env, RHO, None);
+    let mut selector = build_selector(strategy, env, RHO, None);
     let mut sim = env
         .build_sim(K, Availability::AlwaysOn)
         .with_faults(faults.model(env.seed))
@@ -126,12 +127,12 @@ fn run_engine(
 /// control traffic the loop engine only models analytically.
 fn run_coordinator(
     env: &Env,
-    strategy: StrategyKind,
+    strategy: SelectorKind,
     faults: &FaultCase,
     rounds: usize,
 ) -> (RunResult, Recorder) {
     let rec = Recorder::enabled();
-    let selector: Box<dyn Selector> = strategy.build(env, RHO, None);
+    let selector: Box<dyn Selector> = build_selector(strategy, env, RHO, None);
     let mut coord = Coordinator::new(
         env.factory(),
         env.fed.clone(),
@@ -150,7 +151,7 @@ fn run_coordinator(
 /// Engine-side tracing-overhead parity soak: the recorder-enabled run
 /// must produce a bit-identical round history to the disabled run.
 fn parity_block(env: &Env, rounds: usize) -> Json {
-    let mut sel_off = StrategyKind::HaccsPy.build(env, RHO, None);
+    let mut sel_off = build_selector(SelectorKind::HaccsPy, env, RHO, None);
     let mut sim_off = env.build_sim(K, Availability::AlwaysOn);
     let t_off = Instant::now();
     let off = sim_off.run(sel_off.as_mut(), rounds);
@@ -158,7 +159,7 @@ fn parity_block(env: &Env, rounds: usize) -> Json {
 
     let sink = MemorySink::new();
     let rec = Recorder::enabled().with_sink(sink.clone());
-    let mut sel_on = StrategyKind::HaccsPy.build(env, RHO, None);
+    let mut sel_on = build_selector(SelectorKind::HaccsPy, env, RHO, None);
     let mut sim_on = env.build_sim(K, Availability::AlwaysOn).with_recorder(rec.clone());
     let t_on = Instant::now();
     let on = sim_on.run(sel_on.as_mut(), rounds);
@@ -220,7 +221,7 @@ fn recluster_block(env: &Env, n_events: usize) -> Json {
 }
 
 fn scenario_json(
-    strategy: StrategyKind,
+    strategy: SelectorKind,
     faults: &FaultCase,
     n_clients: usize,
     rounds: usize,
@@ -240,7 +241,7 @@ fn scenario_json(
     let retries: usize = crun.rounds.iter().map(|r| r.faults.retries).sum();
 
     Json::obj(vec![
-        ("selector", Json::Str(strategy.name().to_string())),
+        ("selector", Json::Str(strategy.label().to_string())),
         ("faults", Json::Str(faults.name.to_string())),
         ("n_clients", Json::Num(n_clients as f64)),
         ("k", Json::Num(K as f64)),
@@ -407,7 +408,7 @@ fn main() -> ExitCode {
             for faults in &FAULT_CASES {
                 eprintln!(
                     "scenario: selector={} faults={} n_clients={n} rounds={rounds}",
-                    strategy.name(),
+                    strategy.label(),
                     faults.name
                 );
                 scenarios.push(scenario_json(strategy, faults, n, rounds, coord_rounds, seed));

@@ -29,7 +29,8 @@ use haccs_codec::CodecKind;
 use haccs_coord::agent::SharedModelFactory;
 use haccs_coord::{accept_remote_clients, remote_agent_config, serve_agent_tcp, Coordinator};
 use haccs_data::{partition, DatasetKind};
-use haccs_experiments::common::{Env, Scale, StrategyKind};
+use haccs_experiments::common::{build_selector, Env, Scale};
+use haccs_selectors::SelectorKind;
 use haccs_fedsim::engine::ModelFactory;
 use haccs_fedsim::{RoundPolicy, RunResult};
 use haccs_obs::json::Json;
@@ -49,8 +50,8 @@ const CLASSES: usize = 6;
 const K: usize = 6;
 const RHO: f32 = 0.5;
 
-const SELECTORS: [StrategyKind; 3] =
-    [StrategyKind::Random, StrategyKind::HaccsPy, StrategyKind::Oort];
+const SELECTORS: [SelectorKind; 3] =
+    [SelectorKind::Random, SelectorKind::HaccsPy, SelectorKind::Oort];
 
 /// The codec column of the matrix. `None` is the pre-codec baseline the
 /// deltas are measured against.
@@ -102,12 +103,12 @@ fn mean(values: &[f64]) -> f64 {
 /// One engine pass; the recorder reads back the codec byte counters.
 fn run_engine(
     env: &Env,
-    strategy: StrategyKind,
+    strategy: SelectorKind,
     codec: Option<CodecKind>,
     rounds: usize,
 ) -> (RunResult, Recorder) {
     let rec = Recorder::enabled();
-    let mut selector = strategy.build(env, RHO, None);
+    let mut selector = build_selector(strategy, env, RHO, None);
     let mut sim = env.build_sim(K, Availability::AlwaysOn).with_recorder(rec.clone());
     if let Some(kind) = codec {
         sim = sim.with_codec(kind);
@@ -117,7 +118,7 @@ fn run_engine(
 }
 
 fn scenario_json(
-    strategy: StrategyKind,
+    strategy: SelectorKind,
     codec: Option<CodecKind>,
     baseline: &RunResult,
     run: &RunResult,
@@ -136,7 +137,7 @@ fn scenario_json(
     let base_acc = baseline.curve.last().map(|p| p.accuracy as f64).unwrap_or(f64::NAN);
     Json::obj(vec![
         ("codec", Json::Str(codec_name(codec))),
-        ("selector", Json::Str(strategy.name().to_string())),
+        ("selector", Json::Str(strategy.label().to_string())),
         ("rounds", Json::Num(rounds as f64)),
         ("bytes_per_round_raw", Json::Num(raw as f64 / rounds.max(1) as f64)),
         ("bytes_per_round_encoded", Json::Num(enc as f64 / rounds.max(1) as f64)),
@@ -225,7 +226,7 @@ fn tcp_int8_block(env: &Env, rounds: usize) -> Json {
     };
 
     let rec = Recorder::enabled();
-    let selector = StrategyKind::HaccsPy.build(env, RHO, None);
+    let selector = build_selector(SelectorKind::HaccsPy, env, RHO, None);
     let coord_factory: ModelFactory = {
         let f = Arc::clone(&shared);
         Box::new(move || f())
@@ -426,7 +427,7 @@ fn main() -> ExitCode {
     for strategy in SELECTORS {
         let (baseline, base_rec) = run_engine(&env, strategy, None, rounds);
         for codec in CODECS {
-            eprintln!("scenario: codec={} selector={}", codec_name(codec), strategy.name());
+            eprintln!("scenario: codec={} selector={}", codec_name(codec), strategy.label());
             if codec.is_none() {
                 scenarios
                     .push(scenario_json(strategy, None, &baseline, &baseline, &base_rec, rounds));

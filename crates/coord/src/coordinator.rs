@@ -341,6 +341,9 @@ struct SegmentedSnapshots {
     /// Last written segment per shard (`None` until the first tick, which
     /// therefore writes every shard).
     last: Vec<Option<persist::segment::SegmentEntry>>,
+    /// Keep the newest K committed manifests after each tick (`None`
+    /// disables GC and the directory grows unboundedly).
+    retain: Option<usize>,
 }
 
 /// One client's state as read back from a snapshot.
@@ -674,7 +677,23 @@ impl<S: Selector> Coordinator<S> {
             n_shards,
             dirty: vec![true; n_shards],
             last: vec![None; n_shards],
+            retain: None,
         });
+        self
+    }
+
+    /// Bounds the segmented-snapshot directory (builder style, after
+    /// [`Coordinator::with_segmented_snapshots`]): after each committed
+    /// tick, only the newest `keep` manifests — plus every segment file
+    /// they reference, including clean shards from older epochs — are
+    /// retained on disk (see [`persist::segment::gc_segments`]).
+    pub fn with_segment_retention(mut self, keep: usize) -> Self {
+        assert!(keep >= 1, "retention must keep at least the latest manifest");
+        let seg = self
+            .segmented
+            .as_mut()
+            .expect("call with_segmented_snapshots before with_segment_retention");
+        seg.retain = Some(keep);
         self
     }
 
@@ -1417,6 +1436,18 @@ impl<S: Selector> Coordinator<S> {
             }
         }
 
+        // Update-hungry selectors (FedClust) see each admitted delta
+        // (trained − global, both pre-aggregation) first — the same
+        // capture point as the loop engine, so both backends feed the
+        // selector identical floats.
+        if self.selector.wants_updates() {
+            for u in &acc.updates {
+                let delta: Vec<f32> =
+                    u.params.iter().zip(&self.global_params).map(|(p, g)| p - g).collect();
+                self.selector.observe_update(epoch, u.id, &delta);
+            }
+        }
+
         // FedAvg + server-side telemetry. The event backend commits
         // hierarchically: per-shard partial buffers merged by admission
         // order — the same float sequence as the flat fedavg, bit for bit
@@ -1857,6 +1888,11 @@ impl<S: Selector> Coordinator<S> {
         };
         let path = persist::segment::write_manifest(&dir, &manifest, &self.obs)?;
         written += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+        // manifest committed: safe point for the retention sweep
+        if let Some(keep) = seg.retain {
+            persist::segment::gc_segments(&dir, keep, &self.obs)?;
+        }
 
         self.obs.inc("coord_snapshot_bytes_total", written);
         self.obs.inc("coord_snapshot_segments_written_total", dirty_count as u64 + 1);
@@ -2471,6 +2507,43 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_retention_prunes_old_epochs_but_latest_still_restores() {
+        let dir = seg_dir("retain");
+        let _ = std::fs::remove_dir_all(&dir);
+        let full = build_coord(6, Availability::AlwaysOn).run(8);
+
+        let mut c = build_coord(6, Availability::AlwaysOn)
+            .with_segmented_snapshots(SnapshotPolicy::every(1, &dir), 2)
+            .with_segment_retention(2);
+        c.run(5);
+        drop(c); // simulated crash
+
+        // only the newest two manifests survive the sweep
+        for epoch in 1..=3 {
+            assert!(
+                !dir.join(persist::segment::manifest_name(epoch)).exists(),
+                "manifest for epoch {epoch} should have been pruned"
+            );
+            assert!(!dir.join(persist::segment::core_segment_name(epoch)).exists());
+        }
+        for epoch in 4..=5 {
+            assert!(dir.join(persist::segment::manifest_name(epoch)).exists());
+        }
+
+        let mut resumed = build_coord(6, Availability::AlwaysOn);
+        resumed.restore_segmented(&dir.join(persist::segment::manifest_name(5))).unwrap();
+        let out = resumed.run(3);
+        assert_eq!(out.rounds, full.rounds, "resume from the retained tip must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_segmented_snapshots before with_segment_retention")]
+    fn segment_retention_requires_segmented_snapshots() {
+        let _ = build_coord(3, Availability::AlwaysOn).with_segment_retention(1);
     }
 
     #[test]

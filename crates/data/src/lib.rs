@@ -19,15 +19,23 @@
 //!   (§V-A) and the 70/10/10/10 variant (Fig. 8a),
 //! * [`partition::k_random_labels`] — 5-labels-per-client skew (Fig. 7),
 //! * [`partition::iid`] — the IID control (Fig. 7),
+//! * [`partition::dirichlet_skew`] — Dirichlet(α) label skew (the standard
+//!   non-IID benchmark layout),
 //! * rotation assignment for feature skew (Fig. 10).
+//!
+//! [`scenario`] adds *dynamic* workloads on top of the static layouts:
+//! label-distribution drift schedules and diurnal availability churn,
+//! both seed-deterministic so every strategy replays the same world.
 
 pub mod federated;
 pub mod image;
 pub mod partition;
 pub mod rotate;
+pub mod scenario;
 pub mod synth;
 
 pub use federated::{ClientData, FederatedDataset};
 pub use image::ImageSet;
 pub use partition::ClientSpec;
+pub use scenario::{DiurnalAvailability, DriftEvent, DriftSchedule};
 pub use synth::{DatasetKind, ImageTransform, SynthVision};

@@ -246,6 +246,74 @@ pub fn assign_rotations<R: Rng>(specs: &mut [ClientSpec], angle: f32, rng: &mut 
     }
 }
 
+/// Dirichlet label skew: every client's label weights are one draw from
+/// `Dir(α, …, α)` — the standard non-IID benchmark layout (Hsu et al.,
+/// arXiv:1909.06335). Small `α` (0.1) concentrates mass on one or two
+/// labels per client; large `α` (10+) approaches IID. Sample counts vary
+/// uniformly in `train_range` like [`majority_noise`].
+pub fn dirichlet_skew<R: Rng>(
+    n_clients: usize,
+    classes: usize,
+    alpha: f64,
+    train_range: (usize, usize),
+    test_n: usize,
+    rng: &mut R,
+) -> Vec<ClientSpec> {
+    assert!(classes >= 1, "need at least one class");
+    assert!(alpha > 0.0 && alpha.is_finite(), "Dirichlet needs α > 0");
+    assert!(train_range.0 >= 1 && train_range.0 <= train_range.1);
+    (0..n_clients)
+        .map(|_| {
+            let mut w: Vec<f32> = (0..classes).map(|_| sample_gamma(alpha, rng) as f32).collect();
+            let total: f32 = w.iter().sum();
+            if total > 0.0 && total.is_finite() {
+                w.iter_mut().for_each(|x| *x /= total);
+            } else {
+                // astronomically unlikely all-zero draw: fall back to IID
+                w = vec![1.0 / classes as f32; classes];
+            }
+            let n_train = rng.gen_range(train_range.0..=train_range.1);
+            let (brightness, contrast) = sample_device_variation(rng);
+            ClientSpec {
+                label_weights: w,
+                n_train,
+                n_test: test_n,
+                rotation_deg: 0.0,
+                brightness,
+                contrast,
+                group: None,
+            }
+        })
+        .collect()
+}
+
+/// One `Gamma(α, 1)` draw via Marsaglia–Tsang, with the `U^{1/α}` boost
+/// for the `α < 1` regime. Normal variates come from Box–Muller over the
+/// shim rng's uniform stream, keeping the draw deterministic per seed.
+fn sample_gamma<R: Rng>(alpha: f64, rng: &mut R) -> f64 {
+    if alpha < 1.0 {
+        // Gamma(α) = Gamma(α+1) · U^{1/α}
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Box–Muller standard normal
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +415,47 @@ mod tests {
         assert!(specs.iter().all(|s| s.rotation_deg == 0.0 || s.rotation_deg == 45.0));
         assert!(specs.iter().any(|s| s.rotation_deg == 45.0));
         assert!(specs.iter().any(|s| s.rotation_deg == 0.0));
+    }
+
+    #[test]
+    fn dirichlet_weights_are_normalized_distributions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let specs = dirichlet_skew(30, 10, 0.3, (40, 60), 10, &mut rng);
+        assert_eq!(specs.len(), 30);
+        for s in &specs {
+            assert_eq!(s.label_weights.len(), 10);
+            let total: f32 = s.label_weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-4, "weights sum to {total}");
+            assert!(s.label_weights.iter().all(|w| w.is_finite() && *w >= 0.0));
+            assert!((40..=60).contains(&s.n_train));
+        }
+    }
+
+    #[test]
+    fn dirichlet_alpha_controls_skew() {
+        // mean max-weight: small α → concentrated (high), large α → flat
+        let max_weight_mean = |alpha: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let specs = dirichlet_skew(50, 10, alpha, (50, 50), 0, &mut rng);
+            specs
+                .iter()
+                .map(|s| s.label_weights.iter().cloned().fold(0.0f32, f32::max) as f64)
+                .sum::<f64>()
+                / 50.0
+        };
+        let skewed = max_weight_mean(0.1, 7);
+        let flat = max_weight_mean(50.0, 7);
+        assert!(skewed > 0.6, "α=0.1 mean max weight {skewed}");
+        assert!(flat < 0.3, "α=50 mean max weight {flat}");
+    }
+
+    #[test]
+    fn dirichlet_is_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        assert_eq!(
+            dirichlet_skew(10, 4, 0.5, (20, 30), 5, &mut a),
+            dirichlet_skew(10, 4, 0.5, (20, 30), 5, &mut b)
+        );
     }
 }

@@ -9,7 +9,10 @@ use haccs_fedsim::engine::ModelFactory;
 use haccs_fedsim::trainer::TrainConfig;
 use haccs_fedsim::{FedSim, RunResult, Selector, SimConfig};
 use haccs_nn::ModelKind;
-use haccs_summary::Summarizer;
+use haccs_selectors::{
+    DppSelector, FedClustSelector, HeterogeneityGuidedSelector, LeflSelector, SelectorKind,
+};
+use haccs_summary::{ClientSummary, Summarizer};
 use haccs_sysmodel::{Availability, DeviceProfile, LatencyModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -229,6 +232,56 @@ impl StrategyKind {
                 Box::new(build_haccs(env, Summarizer::cond_dist(16), epsilon, rho, "P(X|y)"))
             }
         }
+    }
+}
+
+/// Per-client P(y) label distributions of `env`'s federation — the
+/// `(id, bins)` pairs the haccs-selectors zoo consumes. Uses the same
+/// summary seed as [`build_haccs`], so zoo selectors and HACCS see the
+/// same (privacy-treated) view of the data.
+pub fn label_distributions(env: &Env, epsilon: Option<f64>) -> Vec<(usize, Vec<f32>)> {
+    let mut summarizer = Summarizer::label_dist();
+    if let Some(eps) = epsilon {
+        summarizer = summarizer.with_epsilon(eps);
+    }
+    let summaries = summarize_federation(&env.fed, &summarizer, env.seed ^ 0xD9);
+    summaries
+        .iter()
+        .enumerate()
+        .map(|(id, s)| match s {
+            ClientSummary::LabelDist(h) => (id, h.bins().to_vec()),
+            ClientSummary::CondDist { prevalence, .. } => (id, prevalence.clone()),
+        })
+        .collect()
+}
+
+/// Instantiates any [`SelectorKind`] for `env` — the superset of
+/// [`StrategyKind::build`] that also covers the haccs-selectors zoo.
+/// `rho` feeds HACCS's Eq. 7 and the heterogeneity-guided blend; `epsilon`
+/// is the optional DP budget on the summaries.
+pub fn build_selector(
+    kind: SelectorKind,
+    env: &Env,
+    rho: f32,
+    epsilon: Option<f64>,
+) -> Box<dyn Selector> {
+    match kind {
+        SelectorKind::Random => StrategyKind::Random.build(env, rho, epsilon),
+        SelectorKind::Tifl => StrategyKind::Tifl.build(env, rho, epsilon),
+        SelectorKind::Oort => StrategyKind::Oort.build(env, rho, epsilon),
+        SelectorKind::HaccsPy => StrategyKind::HaccsPy.build(env, rho, epsilon),
+        SelectorKind::HaccsPxy => StrategyKind::HaccsPxy.build(env, rho, epsilon),
+        SelectorKind::FedClust => Box::new(FedClustSelector::default()),
+        SelectorKind::Lefl => {
+            Box::new(LeflSelector::from_distributions(label_distributions(env, epsilon)))
+        }
+        SelectorKind::Dpp => {
+            Box::new(DppSelector::from_distributions(label_distributions(env, epsilon)))
+        }
+        SelectorKind::HetGuided => Box::new(HeterogeneityGuidedSelector::from_distributions(
+            rho as f64,
+            label_distributions(env, epsilon),
+        )),
     }
 }
 

@@ -784,7 +784,17 @@ impl FedSim {
             }
         }
 
-        // 6. FedAvg over everything that arrived, weighted by sample count
+        // 6. FedAvg over everything that arrived, weighted by sample count.
+        // Update-hungry selectors (FedClust) see each admitted delta
+        // (trained − global, both pre-aggregation) first; the gate keeps
+        // every other strategy allocation-free and bit-identical.
+        if selector.wants_updates() {
+            for u in &acc.updates {
+                let delta: Vec<f32> =
+                    u.params.iter().zip(&self.global_params).map(|(p, g)| p - g).collect();
+                selector.observe_update(epoch, u.id, &delta);
+            }
+        }
         let agg_span = self
             .obs
             .span("engine.aggregate")

@@ -35,6 +35,21 @@ pub trait Selector: Send {
     /// devices; the default ignores it.
     fn observe_faults(&mut self, _epoch: usize, _failed: &[usize]) {}
 
+    /// Whether this selector wants per-client model-update deltas via
+    /// [`Selector::observe_update`]. Engines skip the (allocating) delta
+    /// computation entirely when this is `false` — the default — so
+    /// existing strategies stay bit-identical and pay nothing.
+    fn wants_updates(&self) -> bool {
+        false
+    }
+
+    /// Feedback during aggregation: the weight delta (`trained − global`,
+    /// both pre-aggregation) of one admitted client update. Called once per
+    /// admitted update, before FedAvg, only when
+    /// [`Selector::wants_updates`] returns `true`. FedClust-style
+    /// selectors cluster on these deltas; the default ignores them.
+    fn observe_update(&mut self, _epoch: usize, _id: usize, _delta: &[f32]) {}
+
     /// Appends this selector's mutable state to a snapshot
     /// ([`crate::FedSim::snapshot`] / `Coordinator::snapshot`). Stateless
     /// selectors (the default) write nothing; stateful ones must write
@@ -68,6 +83,14 @@ impl Selector for Box<dyn Selector> {
 
     fn observe_faults(&mut self, epoch: usize, failed: &[usize]) {
         (**self).observe_faults(epoch, failed)
+    }
+
+    fn wants_updates(&self) -> bool {
+        (**self).wants_updates()
+    }
+
+    fn observe_update(&mut self, epoch: usize, id: usize, delta: &[f32]) {
+        (**self).observe_update(epoch, id, delta)
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {

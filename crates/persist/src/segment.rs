@@ -296,6 +296,94 @@ fn reassemble_inner(manifest_path: &Path) -> Result<Vec<u8>, PersistError> {
     Ok(w.finish())
 }
 
+/// What [`gc_segments`] removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Manifest files deleted.
+    pub manifests_removed: usize,
+    /// Core/shard segment files deleted.
+    pub segments_removed: usize,
+    /// Bytes reclaimed across all deleted files.
+    pub bytes_reclaimed: u64,
+}
+
+/// Retention pass over a segmented-snapshot directory: keeps the newest
+/// `keep` committed manifests plus **every segment file any kept manifest
+/// references** (clean shards legitimately point at files from much older
+/// epochs), and deletes the rest. Without this, a long run's directory
+/// grows one core segment and one manifest per snapshot tick, unbounded.
+///
+/// Deletion order is manifest-last in reverse: old manifests go first, so
+/// a crash mid-GC can orphan segment files (harmless, the next pass
+/// sweeps them) but can never leave a manifest whose segments are gone.
+/// Files not matching the canonical segment/manifest names are untouched.
+pub fn gc_segments(
+    dir: &Path,
+    keep: usize,
+    obs: &haccs_obs::Recorder,
+) -> Result<GcStats, PersistError> {
+    assert!(keep >= 1, "retention must keep at least the latest manifest");
+    let mut manifest_epochs: Vec<usize> = Vec::new();
+    let mut candidates: Vec<String> = Vec::new();
+    let io = |e: std::io::Error| PersistError::Io(format!("{}: {e}", dir.display()));
+    for entry in std::fs::read_dir(dir).map_err(io)? {
+        let name = match entry.map_err(io)?.file_name().into_string() {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        if let Some(epoch) = parse_numbered(&name, "manifest-", ".snap") {
+            manifest_epochs.push(epoch);
+            candidates.push(name);
+        } else if parse_numbered(&name, "core-", ".seg").is_some()
+            || name.starts_with("shard-") && name.ends_with(".seg")
+        {
+            candidates.push(name);
+        }
+    }
+    manifest_epochs.sort_unstable();
+    let kept_epochs: Vec<usize> =
+        manifest_epochs.iter().rev().take(keep).copied().collect();
+
+    // the retained set: kept manifests + everything they reference
+    let mut retained: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for &epoch in &kept_epochs {
+        let manifest = read_manifest(&dir.join(manifest_name(epoch)))?;
+        retained.insert(manifest_name(epoch));
+        retained.insert(manifest.core.file.clone());
+        for s in &manifest.shards {
+            retained.insert(s.file.clone());
+        }
+    }
+
+    // segments first, manifests last (and oldest manifests before newer)
+    candidates.sort_by_key(|name| (name.starts_with("manifest-"), name.clone()));
+    let mut stats = GcStats::default();
+    for name in candidates {
+        if retained.contains(&name) {
+            continue;
+        }
+        let path = dir.join(&name);
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(&path)
+            .map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))?;
+        stats.bytes_reclaimed += len;
+        if name.starts_with("manifest-") {
+            stats.manifests_removed += 1;
+        } else {
+            stats.segments_removed += 1;
+        }
+    }
+    obs.inc("persist_gc_passes_total", 1);
+    obs.inc("persist_gc_files_removed_total", (stats.manifests_removed + stats.segments_removed) as u64);
+    Ok(stats)
+}
+
+/// Parses `{prefix}{number}{suffix}` file names, e.g.
+/// `manifest-000042.snap` → `Some(42)`.
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<usize> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,5 +570,116 @@ mod tests {
         let (manifest_path, expected) = write_all(&dir, 1, 2, 5); // shards 2..5 empty
         assert_eq!(reassemble(&manifest_path, &obs()).unwrap(), expected);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn dir_names(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn gc_keeps_last_k_epochs_and_their_segments() {
+        let dir = temp_dir("gc-basic");
+        let mut expects = Vec::new();
+        for epoch in 1..=5 {
+            expects.push(write_all(&dir, epoch, 4, 2));
+        }
+        let stats = gc_segments(&dir, 2, &obs()).unwrap();
+        // epochs 1..=3 dropped: 3 manifests + 3 × (core + 2 shards)
+        assert_eq!(stats.manifests_removed, 3);
+        assert_eq!(stats.segments_removed, 9);
+        assert!(stats.bytes_reclaimed > 0);
+        let names = dir_names(&dir);
+        assert_eq!(
+            names,
+            vec![
+                "core-000004.seg",
+                "core-000005.seg",
+                "manifest-000004.snap",
+                "manifest-000005.snap",
+                "shard-0000-000004.seg",
+                "shard-0000-000005.seg",
+                "shard-0001-000004.seg",
+                "shard-0001-000005.seg",
+            ]
+        );
+        // surviving snapshots still restore bit-identically
+        for (manifest_path, expected) in &expects[3..] {
+            assert_eq!(&reassemble(manifest_path, &obs()).unwrap(), expected);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_retains_old_segment_files_referenced_by_clean_shards() {
+        let dir = temp_dir("gc-dirty");
+        let (pre, shards, post) = synthetic(4, 2);
+        // epoch 1: everything fresh
+        let core1 = write_core_segment(&dir, 1, &pre, &post, &obs()).unwrap();
+        let s0_e1 = write_shard_segment(&dir, 0, 1, &shards[0], &obs()).unwrap();
+        let s1_e1 = write_shard_segment(&dir, 1, 1, &shards[1], &obs()).unwrap();
+        let m1 = SegmentManifest { epoch: 1, core: core1, shards: vec![s0_e1, s1_e1.clone()] };
+        write_manifest(&dir, &m1, &obs()).unwrap();
+        // epoch 2: only shard 0 dirty — shard 1 re-references epoch 1's file
+        let core2 = write_core_segment(&dir, 2, &pre, &post, &obs()).unwrap();
+        let s0_e2 = write_shard_segment(&dir, 0, 2, &shards[0], &obs()).unwrap();
+        let m2 = SegmentManifest { epoch: 2, core: core2, shards: vec![s0_e2, s1_e1] };
+        let m2_path = write_manifest(&dir, &m2, &obs()).unwrap();
+
+        let stats = gc_segments(&dir, 1, &obs()).unwrap();
+        assert_eq!(stats.manifests_removed, 1);
+        // core-000001 and shard-0000-000001 go; shard-0001-000001 survives
+        // because the kept manifest still references it
+        assert_eq!(stats.segments_removed, 2);
+        assert_eq!(
+            dir_names(&dir),
+            vec![
+                "core-000002.seg",
+                "manifest-000002.snap",
+                "shard-0000-000002.seg",
+                "shard-0001-000001.seg",
+            ]
+        );
+        assert_eq!(
+            reassemble(&m2_path, &obs()).unwrap(),
+            monolithic(&pre, &shards, &post),
+            "retained snapshot must still reassemble after GC"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_is_a_noop_when_everything_is_retained() {
+        let dir = temp_dir("gc-noop");
+        write_all(&dir, 1, 3, 2);
+        write_all(&dir, 2, 3, 2);
+        let before = dir_names(&dir);
+        let stats = gc_segments(&dir, 5, &obs()).unwrap();
+        assert_eq!(stats, GcStats::default());
+        assert_eq!(dir_names(&dir), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_ignores_foreign_files() {
+        let dir = temp_dir("gc-foreign");
+        write_all(&dir, 1, 3, 2);
+        write_all(&dir, 2, 3, 2);
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        gc_segments(&dir, 1, &obs()).unwrap();
+        assert!(dir.join("notes.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention must keep")]
+    fn gc_rejects_zero_retention() {
+        let dir = temp_dir("gc-zero");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = gc_segments(&dir, 0, &obs());
     }
 }

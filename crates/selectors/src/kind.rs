@@ -1,0 +1,135 @@
+//! The shared strategy-name enum.
+//!
+//! Every CLI bin used to hand-roll its own `match s { "random" => …,
+//! "tifl" => …, _ => panic!() }` over selector names; [`SelectorKind`]
+//! centralizes that (mirroring `haccs_codec::CodecKind`'s
+//! `Display`/`FromStr` pair) so a new strategy lands in one place and
+//! every bin picks it up.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Every client-selection strategy the workspace knows how to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// Uniform random (haccs-baselines).
+    Random,
+    /// TiFL latency tiers (haccs-baselines).
+    Tifl,
+    /// Oort utility + ε-greedy (haccs-baselines).
+    Oort,
+    /// HACCS over P(y) summaries (haccs-core).
+    HaccsPy,
+    /// HACCS over P(X|y) summaries (haccs-core).
+    HaccsPxy,
+    /// FedClust weight-delta clustering (this crate).
+    FedClust,
+    /// LEFL low-entropy sampling (this crate).
+    Lefl,
+    /// k-DPP diversity sampling (this crate).
+    Dpp,
+    /// Heterogeneity-guided divergence/speed blend (this crate).
+    HetGuided,
+}
+
+impl SelectorKind {
+    /// Every strategy, in report order.
+    pub const ALL: [SelectorKind; 9] = [
+        SelectorKind::Random,
+        SelectorKind::Tifl,
+        SelectorKind::Oort,
+        SelectorKind::HaccsPy,
+        SelectorKind::HaccsPxy,
+        SelectorKind::FedClust,
+        SelectorKind::Lefl,
+        SelectorKind::Dpp,
+        SelectorKind::HetGuided,
+    ];
+
+    /// Canonical CLI token (what `FromStr` round-trips).
+    pub fn token(self) -> &'static str {
+        match self {
+            SelectorKind::Random => "random",
+            SelectorKind::Tifl => "tifl",
+            SelectorKind::Oort => "oort",
+            SelectorKind::HaccsPy => "py",
+            SelectorKind::HaccsPxy => "pxy",
+            SelectorKind::FedClust => "fedclust",
+            SelectorKind::Lefl => "lefl",
+            SelectorKind::Dpp => "dpp",
+            SelectorKind::HetGuided => "het",
+        }
+    }
+
+    /// Human-facing report label (matches `StrategyKind::name` for the
+    /// strategies that predate this enum, so old and new reports agree).
+    pub fn label(self) -> &'static str {
+        match self {
+            SelectorKind::Random => "random",
+            SelectorKind::Tifl => "tifl",
+            SelectorKind::Oort => "oort",
+            SelectorKind::HaccsPy => "haccs-P(y)",
+            SelectorKind::HaccsPxy => "haccs-P(X|y)",
+            SelectorKind::FedClust => "fedclust",
+            SelectorKind::Lefl => "lefl",
+            SelectorKind::Dpp => "dpp",
+            SelectorKind::HetGuided => "het-guided",
+        }
+    }
+}
+
+impl fmt::Display for SelectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for SelectorKind {
+    type Err = String;
+
+    /// Parses the canonical tokens plus the aliases older bins accepted
+    /// (`haccs-py`, `haccs-pxy`, `haccs-P(y)`, …).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "random" => Ok(SelectorKind::Random),
+            "tifl" => Ok(SelectorKind::Tifl),
+            "oort" => Ok(SelectorKind::Oort),
+            "py" | "haccs-py" | "haccs-P(y)" => Ok(SelectorKind::HaccsPy),
+            "pxy" | "haccs-pxy" | "haccs-P(X|y)" => Ok(SelectorKind::HaccsPxy),
+            "fedclust" => Ok(SelectorKind::FedClust),
+            "lefl" => Ok(SelectorKind::Lefl),
+            "dpp" => Ok(SelectorKind::Dpp),
+            "het" | "het-guided" => Ok(SelectorKind::HetGuided),
+            other => Err(format!(
+                "unknown selector {other:?} (expected random, tifl, oort, py, pxy, \
+                 fedclust, lefl, dpp or het)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for kind in SelectorKind::ALL {
+            assert_eq!(kind.token().parse::<SelectorKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.token());
+        }
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for kind in SelectorKind::ALL {
+            assert_eq!(kind.label().parse::<SelectorKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let err = "fedprox".parse::<SelectorKind>().unwrap_err();
+        assert!(err.contains("unknown selector"), "{err}");
+    }
+}

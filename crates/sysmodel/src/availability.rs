@@ -37,6 +37,33 @@ pub enum Availability {
         /// First epoch at which they are gone.
         from_epoch: usize,
     },
+    /// Diurnal duty cycle: the day is `period` epochs, each client is
+    /// online for `online_epochs` consecutive epochs of it, phase-shifted
+    /// per `(seed, client)`. The loop-engine twin of
+    /// `haccs_data::scenario::DiurnalAvailability` — same phase mixer, so
+    /// an engine run and a coordinator Join/Leave replay see the same
+    /// churn (the workspace e2e suite asserts the parity).
+    Diurnal {
+        /// Epochs per simulated day.
+        period: usize,
+        /// Online epochs per day, in `1..=period`.
+        online_epochs: usize,
+        /// Total clients in the system.
+        n_clients: usize,
+        /// Phase seed.
+        seed: u64,
+    },
+}
+
+/// The diurnal phase function: where in its day `client` starts
+/// (splitmix64 finalizer over `(seed, client)`). Kept bit-compatible with
+/// `haccs_data::scenario::diurnal_phase`.
+pub fn diurnal_phase(seed: u64, client: usize, period: usize) -> usize {
+    let mut z = seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % period.max(1) as u64) as usize
 }
 
 impl Availability {
@@ -51,6 +78,15 @@ impl Availability {
         Availability::PermanentDrop { dropped: dropped.into_iter().collect(), from_epoch: 0 }
     }
 
+    /// Diurnal model: each client online for a `duty` fraction of every
+    /// `period`-epoch day, phase-shifted per client.
+    pub fn diurnal(period: usize, duty: f64, n_clients: usize, seed: u64) -> Self {
+        assert!(period >= 1, "day must last at least one epoch");
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        let online_epochs = ((period as f64 * duty).round() as usize).clamp(1, period);
+        Availability::Diurnal { period, online_epochs, n_clients, seed }
+    }
+
     /// Whether `client` can participate in `epoch`.
     pub fn is_available(&self, client: usize, epoch: usize) -> bool {
         match self {
@@ -58,6 +94,10 @@ impl Availability {
             Availability::EpochDropout { .. } => !self.dropped_set(epoch).contains(&client),
             Availability::PermanentDrop { dropped, from_epoch } => {
                 epoch < *from_epoch || !dropped.contains(&client)
+            }
+            Availability::Diurnal { period, online_epochs, seed, .. } => {
+                let phase = diurnal_phase(*seed, client, *period);
+                (epoch + phase) % period < *online_epochs
             }
         }
     }
@@ -81,6 +121,9 @@ impl Availability {
                 } else {
                     HashSet::new()
                 }
+            }
+            Availability::Diurnal { n_clients, .. } => {
+                (0..*n_clients).filter(|&c| !self.is_available(c, epoch)).collect()
             }
         }
     }
@@ -158,5 +201,31 @@ mod tests {
     #[should_panic(expected = "rate must be in")]
     fn bad_rate_rejected() {
         Availability::epoch_dropout(1.5, 10, 0);
+    }
+
+    #[test]
+    fn diurnal_duty_fraction_per_day() {
+        let a = Availability::diurnal(10, 0.6, 20, 42);
+        for client in 0..20 {
+            let online = (0..10).filter(|&e| a.is_available(client, e)).count();
+            assert_eq!(online, 6, "client {client}");
+        }
+    }
+
+    #[test]
+    fn diurnal_dropped_set_matches_is_available() {
+        let a = Availability::diurnal(8, 0.5, 16, 3);
+        for epoch in 0..16 {
+            let dropped = a.dropped_set(epoch);
+            for c in 0..16 {
+                assert_eq!(!a.is_available(c, epoch), dropped.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn diurnal_bad_duty_rejected() {
+        Availability::diurnal(10, 0.0, 5, 0);
     }
 }

@@ -24,6 +24,7 @@
 //! | [`sysmodel`] | Table II device profiles, latency model, dropout |
 //! | [`fedsim`] | the FedAvg simulation engine |
 //! | [`baselines`] | Random, TiFL, Oort selectors |
+//! | [`selectors`] | extended zoo: FedClust, LEFL, k-DPP, heterogeneity-guided |
 //! | [`scheduler`] | the HACCS selector itself (Algorithm 1) |
 //! | [`experiments`] | one module per paper table/figure |
 //! | [`wire`] | the client↔server message codec with exact size accounting |
@@ -75,6 +76,7 @@ pub use haccs_fedsim as fedsim;
 pub use haccs_nn as nn;
 pub use haccs_obs as obs;
 pub use haccs_persist as persist;
+pub use haccs_selectors as selectors;
 pub use haccs_summary as summary;
 pub use haccs_sysmodel as sysmodel;
 pub use haccs_tensor as tensor;
@@ -99,6 +101,9 @@ pub mod prelude {
     pub use haccs_nn::{ModelKind, Sequential, Sgd};
     pub use haccs_obs::{JsonlSink, MemorySink, MetricsRegistry, Recorder, Sink};
     pub use haccs_persist::{PersistError, SnapshotReader, SnapshotWriter};
+    pub use haccs_selectors::{
+        DppSelector, FedClustSelector, HeterogeneityGuidedSelector, LeflSelector, SelectorKind,
+    };
     pub use haccs_summary::{ClientSummary, DistanceCache, Summarizer};
     pub use haccs_sysmodel::{
         Availability, DeviceProfile, FaultModel, FaultSpec, LatencyModel, PerfCategory,

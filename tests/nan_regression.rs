@@ -67,6 +67,56 @@ fn haccs_selector_survives_nan_client() {
     check_selector(HaccsSelector::new(groups, 0.5, "P(y)"), "haccs");
 }
 
+/// Per-client label distributions with client 2's poisoned by NaN — the
+/// zoo selectors must sanitize it away instead of propagating.
+fn nan_dists() -> Vec<(usize, Vec<f32>)> {
+    (0..6)
+        .map(|id| {
+            let mut d = vec![0.1f32; 4];
+            d[id % 4] = 0.7;
+            if id == 2 {
+                d[0] = f32::NAN;
+            }
+            (id, d)
+        })
+        .collect()
+}
+
+#[test]
+fn fedclust_selector_survives_nan_client() {
+    check_selector(FedClustSelector::default(), "fedclust");
+}
+
+#[test]
+fn fedclust_selector_survives_nan_deltas() {
+    // a diverged client's model update is all-NaN; the sketch must stay
+    // finite and clustering must not panic
+    let mut s = FedClustSelector::new(8, 2, 1);
+    for epoch in 0..3 {
+        for id in 0..6 {
+            let delta = if id == 2 { vec![f32::NAN; 16] } else { vec![0.1 * id as f32; 16] };
+            s.observe_update(epoch, id, &delta);
+        }
+        s.observe_round(epoch, &[0, 1, 2], &[0.4, 0.4, f32::NAN]);
+    }
+    check_selector(s, "fedclust-nan-deltas");
+}
+
+#[test]
+fn lefl_selector_survives_nan_client() {
+    check_selector(LeflSelector::from_distributions(nan_dists()), "lefl");
+}
+
+#[test]
+fn dpp_selector_survives_nan_client() {
+    check_selector(DppSelector::from_distributions(nan_dists()), "dpp");
+}
+
+#[test]
+fn het_guided_selector_survives_nan_client() {
+    check_selector(HeterogeneityGuidedSelector::from_distributions(0.7, nan_dists()), "het");
+}
+
 #[test]
 fn haccs_selector_survives_whole_nan_cluster() {
     // every member of cluster 0 diverged: its ACL is NaN, which must not
@@ -112,6 +162,10 @@ fn full_sim_run_survives_nan_probe_losses() {
         Box::new(TiflSelector::new(4)),
         Box::new(OortSelector::new()),
         Box::new(HaccsSelector::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 0.5, "P(y)")),
+        Box::new(FedClustSelector::default()),
+        Box::new(LeflSelector::from_distributions(nan_dists())),
+        Box::new(DppSelector::from_distributions(nan_dists())),
+        Box::new(HeterogeneityGuidedSelector::from_distributions(0.7, nan_dists())),
     ];
     for mut selector in selectors {
         let factory: haccs::fedsim::engine::ModelFactory =

@@ -44,6 +44,18 @@ fn active_faults(seed: u64) -> FaultModel {
         .with(FaultSpec::Lossy { prob: 0.1 })
 }
 
+/// Deterministic per-client label distributions for the zoo selectors
+/// (both the uninterrupted and the resumed construction derive the same).
+fn zoo_dists() -> Vec<(usize, Vec<f32>)> {
+    (0..10)
+        .map(|id| {
+            let mut d = vec![0.08f32; 4];
+            d[id % 4] = 0.76;
+            (id, d)
+        })
+        .collect()
+}
+
 fn make_selector(kind: &str) -> Box<dyn Selector> {
     match kind {
         "random" => Box::new(RandomSelector::new()),
@@ -54,6 +66,10 @@ fn make_selector(kind: &str) -> Box<dyn Selector> {
             0.5,
             "P(y)",
         )),
+        "fedclust" => Box::new(FedClustSelector::new(16, 3, 2)),
+        "lefl" => Box::new(LeflSelector::from_distributions(zoo_dists())),
+        "dpp" => Box::new(DppSelector::from_distributions(zoo_dists())),
+        "het" => Box::new(HeterogeneityGuidedSelector::from_distributions(0.6, zoo_dists())),
         other => panic!("unknown selector {other}"),
     }
 }
@@ -134,6 +150,26 @@ fn resume_is_bit_identical_fault_free_and_tifl() {
             let a = run_uninterrupted(3, kind, None, RoundPolicy::default());
             let b = run_killed_and_resumed(3, kind, None, RoundPolicy::default(), snap_epoch);
             assert_eq!(a, b, "{kind} resumed at round {snap_epoch}");
+        }
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_for_the_selector_zoo() {
+    // the zoo selectors carry their own state across the snapshot:
+    // fedclust its delta sketches + cluster cursor, the distribution
+    // selectors their sanitized per-client tables
+    for (si, kind) in ["fedclust", "lefl", "dpp", "het"].iter().enumerate() {
+        for snap_epoch in [1, 2 + si, ROUNDS - 1] {
+            let a = run_uninterrupted(9, kind, Some(active_faults(9)), RoundPolicy::default());
+            let b = run_killed_and_resumed(
+                9,
+                kind,
+                Some(active_faults(9)),
+                RoundPolicy::default(),
+                snap_epoch,
+            );
+            assert_eq!(a, b, "{kind} resumed at round {snap_epoch} must be bit-identical");
         }
     }
 }
